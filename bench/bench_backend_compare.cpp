@@ -1,0 +1,98 @@
+// ABL2 — compares the two solver backends behind the reasoning layer: the
+// from-scratch CDCL stack vs the native Z3 API (the paper's substrate).
+// Both must return the same verdicts and lexicographic costs; wall time is
+// reported per query class.
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/engine.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+namespace {
+
+reason::Problem caseStudy(const kb::KnowledgeBase& kb) {
+    reason::Problem p = reason::makeDefaultProblem(kb);
+    p.hardware[kb::HardwareClass::Server].count = 60;
+    p.hardware[kb::HardwareClass::Switch].count = 8;
+    p.hardware[kb::HardwareClass::Nic].count = 60;
+    p.workloads = {catalog::makeInferenceWorkload()};
+    p.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost,
+                           kb::kObjMonitoring};
+    p.requiredCapabilities = {catalog::kCapDetectQueueLength};
+    return p;
+}
+
+struct QuerySpec {
+    const char* name;
+    reason::Problem problem;
+    bool optimizeQuery; ///< else feasibility
+};
+
+} // namespace
+
+int main() {
+    if (!smt::haveZ3()) {
+        std::printf("built without Z3 — nothing to compare\n");
+        return EXIT_SUCCESS;
+    }
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+
+    std::vector<QuerySpec> queries;
+    queries.push_back({"feasibility (case study)", caseStudy(kb), false});
+    queries.push_back({"optimize (case study)", caseStudy(kb), true});
+    {
+        reason::Problem infeasible = caseStudy(kb);
+        infeasible.hardware[kb::HardwareClass::Switch].pinnedModel =
+            "Cisco Catalyst 9500-40X";
+        queries.push_back({"infeasible + core", std::move(infeasible), false});
+    }
+    {
+        reason::Problem budget = caseStudy(kb);
+        budget.maxHardwareCostUsd = 700000;
+        queries.push_back({"optimize under budget", std::move(budget), true});
+    }
+
+    bench::printHeader("backend comparison: from-scratch CDCL vs native Z3");
+    bench::printRow({"query", "cdcl", "z3", "agree"});
+    bench::printRule();
+    int failures = 0;
+    for (const QuerySpec& q : queries) {
+        double cdclMs = 0;
+        double z3Ms = 0;
+        bool agree = true;
+        if (q.optimizeQuery) {
+            util::Stopwatch t1;
+            const auto a = reason::Engine(q.problem, smt::BackendKind::Cdcl).optimize();
+            cdclMs = t1.millis();
+            util::Stopwatch t2;
+            const auto b = reason::Engine(q.problem, smt::BackendKind::Z3).optimize();
+            z3Ms = t2.millis();
+            agree = a.has_value() == b.has_value() &&
+                    (!a.has_value() || a->objectiveCosts == b->objectiveCosts);
+        } else {
+            util::Stopwatch t1;
+            const auto a =
+                reason::Engine(q.problem, smt::BackendKind::Cdcl).checkFeasible();
+            cdclMs = t1.millis();
+            util::Stopwatch t2;
+            const auto b =
+                reason::Engine(q.problem, smt::BackendKind::Z3).checkFeasible();
+            z3Ms = t2.millis();
+            agree = a.feasible == b.feasible &&
+                    (a.feasible || (!a.conflictingRules.empty() &&
+                                    !b.conflictingRules.empty()));
+        }
+        bench::printRow({q.name, bench::ms(cdclMs), bench::ms(z3Ms),
+                         agree ? "yes" : "NO"});
+        if (!agree) ++failures;
+    }
+
+    std::printf("\nABL2: %s\n",
+                failures == 0 ? "backends agree on every query" : "DISAGREEMENT");
+    return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

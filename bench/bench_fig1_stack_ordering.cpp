@@ -1,0 +1,146 @@
+// FIG1 — reproduces Figure 1: the conditional partial ordering over six
+// network stacks (ZygOS, Linux, Snap, NetChannel, Shenango, Demikernel)
+// along throughput (yellow), isolation (red), and application-modification
+// (blue), under the figure's two condition axes: network load vs 40 Gbps
+// and Pony enabled vs plain TCP.
+//
+// Output: for each (objective, context) the active edges of the partial
+// order, the maximal elements, and the preserved knowledge gap
+// (Shenango vs Demikernel isolation). Exits nonzero if any edge the paper
+// shows is missing.
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "order/poset.hpp"
+
+using namespace lar;
+
+namespace {
+
+const std::vector<std::string> kStacks = {"ZygOS",    "Linux",      "Snap",
+                                          "NetChannel", "Shenango", "Demikernel"};
+
+struct ContextSpec {
+    const char* name;
+    double nicGbps;
+    bool pony;
+};
+
+int failures = 0;
+
+void expectEdge(const order::PreferenceGraph& graph, const order::Context& ctx,
+                const std::string& better, const std::string& worse) {
+    if (!graph.strictlyBetter(better, worse, ctx)) {
+        std::printf("  !! MISSING EXPECTED EDGE: %s > %s\n", better.c_str(),
+                    worse.c_str());
+        ++failures;
+    }
+}
+
+} // namespace
+
+int main() {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    kb::HardwareSpec nic;
+    nic.model = "bench-nic";
+    nic.cls = kb::HardwareClass::Nic;
+
+    const ContextSpec contexts[] = {
+        {"load<40G, TCP", 10, false},
+        {"load<40G, Pony", 10, true},
+        {"load>=40G, TCP", 100, false},
+        {"load>=40G, Pony", 100, true},
+    };
+    const char* objectives[] = {kb::kObjThroughput, kb::kObjIsolation,
+                                kb::kObjAppModification};
+
+    bench::printHeader("Figure 1: partial ordering of network stacks");
+    for (const char* objective : objectives) {
+        const order::PreferenceGraph graph(kb, objective);
+        for (const ContextSpec& spec : contexts) {
+            nic.attrs[kb::kAttrPortBandwidthGbps] = spec.nicGbps;
+            order::Context ctx;
+            ctx.hardware[kb::HardwareClass::Nic] = &nic;
+            if (spec.pony) ctx.options.insert(catalog::kOptPonyEnabled);
+
+            std::printf("\n[%s | %s]\n", objective, spec.name);
+            for (const kb::Ordering* e : graph.activeEdges(ctx)) {
+                std::printf("  %-12s > %-12s  (%s)\n", e->better.c_str(),
+                            e->worse.c_str(), e->source.c_str());
+            }
+            const auto maxima = graph.maximalElements(kStacks, ctx);
+            std::string maxStr;
+            for (const std::string& m : maxima) maxStr += m + " ";
+            std::printf("  maximal: %s\n", maxStr.c_str());
+        }
+    }
+
+    // Verify the paper's headline edges.
+    bench::printHeader("verification against the paper's figure");
+    {
+        const order::PreferenceGraph throughput(kb, kb::kObjThroughput);
+        nic.attrs[kb::kAttrPortBandwidthGbps] = 100.0;
+        order::Context fastPony;
+        fastPony.hardware[kb::HardwareClass::Nic] = &nic;
+        fastPony.options.insert(catalog::kOptPonyEnabled);
+        expectEdge(throughput, fastPony, "Snap", "Linux");
+        expectEdge(throughput, fastPony, "NetChannel", "Snap");
+        expectEdge(throughput, fastPony, "NetChannel", "Linux");
+
+        kb::HardwareSpec slowNic = nic;
+        slowNic.attrs[kb::kAttrPortBandwidthGbps] = 10.0;
+        order::Context slow;
+        slow.hardware[kb::HardwareClass::Nic] = &slowNic;
+        expectEdge(throughput, slow, "Linux", "NetChannel");
+
+        const order::PreferenceGraph isolation(kb, kb::kObjIsolation);
+        expectEdge(isolation, fastPony, "Snap", "Shenango");
+        expectEdge(isolation, fastPony, "Linux", "Shenango");
+        if (!isolation.incomparable("Shenango", "Demikernel", fastPony)) {
+            std::printf("  !! Shenango vs Demikernel should stay a knowledge "
+                        "gap on isolation\n");
+            ++failures;
+        } else {
+            std::printf("  knowledge gap preserved: Shenango ? Demikernel "
+                        "(isolation) — no comparison in the literature\n");
+        }
+
+        const order::PreferenceGraph mods(kb, kb::kObjAppModification);
+        expectEdge(mods, fastPony, "Linux", "Snap"); // Pony needs app changes
+        expectEdge(mods, fastPony, "Linux", "Demikernel");
+    }
+
+    // DOT rendering of the throughput ordering (Figure 1 reproduction),
+    // restricted to the six stacks the figure shows.
+    bench::printHeader("Graphviz (throughput, load>=40G, Pony)");
+    {
+        const order::PreferenceGraph throughput(kb, kb::kObjThroughput);
+        nic.attrs[kb::kAttrPortBandwidthGbps] = 100.0;
+        order::Context ctx;
+        ctx.hardware[kb::HardwareClass::Nic] = &nic;
+        ctx.options.insert(catalog::kOptPonyEnabled);
+        std::printf("%s", throughput.toDot(ctx, kStacks).c_str());
+
+        // Clutter-free views: Hasse edges and preference levels.
+        std::printf("\nHasse edges (transitive reduction):\n");
+        for (const auto& [a, b] : throughput.hasseEdges(ctx))
+            std::printf("  %s > %s\n", a.c_str(), b.c_str());
+        std::printf("preference levels (0 = best):\n");
+        const auto levels = throughput.levels(ctx);
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            std::printf("  level %zu:", i);
+            for (const std::string& s : levels[i]) std::printf(" %s", s.c_str());
+            std::printf("\n");
+        }
+    }
+
+    if (failures > 0) {
+        std::printf("\nFIG1 reproduction: %d missing edges\n", failures);
+        return EXIT_FAILURE;
+    }
+    std::printf("\nFIG1 reproduction: all expected edges present\n");
+    return EXIT_SUCCESS;
+}

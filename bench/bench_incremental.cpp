@@ -1,0 +1,79 @@
+// ABL4 — incremental what-if sessions vs fresh recompilation.
+//
+// §5.1's queries are bursts of small variations on one problem. A
+// WhatIfSession compiles once and answers each variation by solver
+// assumptions (learned clauses persist); the baseline compiles a fresh
+// Engine per variation. Both must agree on every verdict.
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/engine.hpp"
+#include "reason/whatif.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+int main() {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    reason::Problem p = reason::makeDefaultProblem(kb);
+    p.hardware[kb::HardwareClass::Server].count = 60;
+    p.hardware[kb::HardwareClass::Switch].count = 8;
+    p.hardware[kb::HardwareClass::Nic].count = 60;
+    p.workloads = {catalog::makeInferenceWorkload()};
+    p.requiredCapabilities = {catalog::kCapDetectQueueLength};
+
+    // The variation sweep: pin each system in turn (one per query).
+    std::vector<reason::Variation> variations;
+    for (const kb::System& s : kb.systems()) {
+        reason::Variation v;
+        v.systems[s.name] = true;
+        variations.push_back(std::move(v));
+    }
+
+    // Incremental: one compilation, assumption-based queries.
+    util::Stopwatch incTimer;
+    reason::WhatIfSession session(p);
+    std::vector<bool> incrementalVerdicts;
+    for (const reason::Variation& v : variations)
+        incrementalVerdicts.push_back(session.ask(v).feasible);
+    const double incrementalMs = incTimer.millis();
+
+    // Baseline: fresh engine per query.
+    util::Stopwatch freshTimer;
+    std::vector<bool> freshVerdicts;
+    for (const kb::System& s : kb.systems()) {
+        reason::Problem pinned = p;
+        pinned.pinnedSystems[s.name] = true;
+        freshVerdicts.push_back(reason::Engine(pinned).checkFeasible().feasible);
+    }
+    const double freshMs = freshTimer.millis();
+
+    int disagreements = 0;
+    int feasibleCount = 0;
+    for (std::size_t i = 0; i < variations.size(); ++i) {
+        if (incrementalVerdicts[i] != freshVerdicts[i]) ++disagreements;
+        if (incrementalVerdicts[i]) ++feasibleCount;
+    }
+
+    bench::printHeader("incremental what-if sessions (56 pin-one-system queries)");
+    bench::printRow({"strategy", "queries", "total", "per query"});
+    bench::printRule();
+    bench::printRow({"WhatIfSession (compile once)",
+                     bench::num(static_cast<long long>(variations.size())),
+                     bench::ms(incrementalMs),
+                     bench::ms(incrementalMs / variations.size())});
+    bench::printRow({"fresh Engine per query",
+                     bench::num(static_cast<long long>(variations.size())),
+                     bench::ms(freshMs), bench::ms(freshMs / variations.size())});
+    std::printf("\nspeedup: %.1fx — verdicts agree on %zu/%zu (%d feasible pins)\n",
+                freshMs / incrementalMs, variations.size() - disagreements,
+                variations.size(), feasibleCount);
+
+    const bool ok = disagreements == 0 && incrementalMs < freshMs;
+    std::printf("ABL4: %s\n", ok ? "incremental wins, verdicts agree"
+                                 : "FAILED");
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,87 @@
+// SEC22 — the Microsoft RDMA/PFC story (§2.2, §3.4), both ways:
+//
+//  1. the deep analysis: build a k-ary fat-tree, install up-down routes,
+//     construct the PFC buffer-dependency graph, search for cycles —
+//     deadlock-free without flooding, deadlock-possible once Ethernet
+//     flooding is in place;
+//  2. the lightweight expert rule ("PFC cannot be used with any flooding
+//     algorithm"): reaches the same verdict via one predicate, which is the
+//     paper's argument for shallow encodings.
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil.hpp"
+#include "topo/pfc.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+int main() {
+    int failures = 0;
+
+    bench::printHeader("§2.2 PFC buffer-dependency analysis on k-ary fat-trees");
+    bench::printRow({"topology", "flooding", "buffers", "deps", "deadlock",
+                     "analysis"});
+    bench::printRule();
+    for (const int k : {4, 8, 16}) {
+        for (const bool flooding : {false, true}) {
+            util::Stopwatch timer;
+            const topo::PfcAnalysis analysis = topo::analyzePfcDeadlock(
+                k, /*routePairs=*/3 * k * k, flooding, /*seed=*/2024);
+            const double elapsed = timer.millis();
+            bench::printRow({"fat-tree k=" + std::to_string(k),
+                             flooding ? "yes" : "no",
+                             bench::num(static_cast<long long>(analysis.buffers)),
+                             bench::num(static_cast<long long>(analysis.dependencies)),
+                             analysis.deadlockPossible ? "POSSIBLE" : "free",
+                             bench::ms(elapsed)});
+            if (analysis.deadlockPossible != flooding) ++failures;
+        }
+    }
+
+    bench::printHeader("example deadlock cycle (k=4, flooding)");
+    {
+        const topo::FatTree tree(4);
+        util::Rng rng(2024);
+        auto routes = topo::sampleUpDownRoutes(tree, 48, rng);
+        auto turns = topo::routeTurns(tree, routes);
+        const auto flood = topo::floodingTurns(tree);
+        turns.insert(turns.end(), flood.begin(), flood.end());
+        const topo::BufferDependencyGraph graph(tree, turns);
+        if (const auto cycle = graph.findCycle()) {
+            std::printf("%s\n", graph.describeCycle(tree, *cycle).c_str());
+        } else {
+            std::printf("!! expected a cycle\n");
+            ++failures;
+        }
+    }
+
+    bench::printHeader("§3.4 expert rule vs deep analysis");
+    bench::printRow({"scenario", "expert rule", "graph", "agree"});
+    bench::printRule();
+    struct Scenario {
+        const char* name;
+        bool pfc;
+        bool flooding;
+    };
+    for (const Scenario& s : {Scenario{"up-down routing only", true, false},
+                              Scenario{"up-down + ARP flooding", true, true},
+                              Scenario{"no PFC, flooding", false, true}}) {
+        const bool rule = topo::pfcExpertRuleUnsafe(s.pfc, s.flooding);
+        // Graph analysis: deadlock only matters when PFC is on.
+        const topo::PfcAnalysis analysis =
+            topo::analyzePfcDeadlock(4, 48, s.flooding, 7);
+        const bool graphUnsafe = s.pfc && analysis.deadlockPossible;
+        bench::printRow({s.name, rule ? "unsafe" : "safe",
+                         graphUnsafe ? "unsafe" : "safe",
+                         rule == graphUnsafe ? "yes" : "NO"});
+        if (rule != graphUnsafe) ++failures;
+    }
+    std::printf("\npaper: the one-line expert rule catches the Microsoft "
+                "deadlock without any\ntopology reasoning — the case for "
+                "lightweight encodings.\n");
+
+    std::printf("\nSEC22 reproduction: %s\n",
+                failures == 0 ? "verdicts match throughout" : "FAILED");
+    return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,117 @@
+// ABL5 — the §3.4 logic-substrate trade-off, made concrete:
+// rule-based forward chaining (Datalog) vs SAT search.
+//
+//  * checking a GIVEN design: both work; Datalog does it with a declarative
+//    program and no search;
+//  * finding a design: only the SAT engine can — forward chaining has no
+//    notion of choice.
+//
+// The bench validates agreement between the Datalog checker, the native
+// validator, and the SAT engine on a corpus of good designs and single-edit
+// corruptions, and reports per-check costs.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/engine.hpp"
+#include "reason/validate.hpp"
+#include "rules/deployment.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+int main() {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    reason::Problem p = reason::makeDefaultProblem(kb);
+    p.hardware[kb::HardwareClass::Server].count = 60;
+    p.hardware[kb::HardwareClass::Switch].count = 8;
+    p.hardware[kb::HardwareClass::Nic].count = 60;
+    p.workloads = {catalog::makeInferenceWorkload()};
+    p.requiredCapabilities = {catalog::kCapDetectQueueLength};
+
+    // Corpus: optimal-class designs + one corruption per category (swap the
+    // chosen system for the first alternative in its category).
+    reason::Engine engine(p);
+    std::vector<reason::Design> corpus = engine.enumerateDesigns(4);
+    const std::size_t goodCount = corpus.size();
+    for (std::size_t i = 0; i < goodCount; ++i) {
+        for (const kb::Category category : kb::kAllCategories) {
+            const auto it = corpus[i].chosen.find(category);
+            if (it == corpus[i].chosen.end()) continue;
+            for (const kb::System* s : kb.byCategory(category)) {
+                if (s->name == it->second) continue;
+                reason::Design corrupted = corpus[i];
+                corrupted.chosen[category] = s->name;
+                corpus.push_back(std::move(corrupted));
+                break;
+            }
+        }
+    }
+
+    int agree = 0;
+    int disagree = 0;
+    double datalogMs = 0;
+    double validatorMs = 0;
+    std::size_t lastFacts = 0;
+    std::size_t lastRules = 0;
+    for (const reason::Design& design : corpus) {
+        util::Stopwatch t1;
+        const rules::DatalogCheck check = rules::checkDesignWithRules(p, design);
+        datalogMs += t1.millis();
+        lastFacts = check.programFacts;
+        lastRules = check.programRules;
+
+        util::Stopwatch t2;
+        // Restrict the validator to the predicate-level rule families the
+        // Datalog program models (requirements / conflicts / capabilities /
+        // research-grade).
+        const auto violations = reason::validateDesign(p, design);
+        validatorMs += t2.millis();
+        const bool predicateViolation = std::any_of(
+            violations.begin(), violations.end(), [](const std::string& v) {
+                return v.find("requirement of") != std::string::npos ||
+                       v.find("conflicts with") != std::string::npos ||
+                       v.find("solves") != std::string::npos ||
+                       v.find("research-grade") != std::string::npos;
+            });
+        if (check.compliant == !predicateViolation)
+            ++agree;
+        else
+            ++disagree;
+    }
+
+    bench::printHeader("§3.4 rule-based checking vs native validator");
+    bench::printRow({"metric", "value"});
+    bench::printRule();
+    bench::printRow({"designs checked",
+                     bench::num(static_cast<long long>(corpus.size()))});
+    bench::printRow({"verdict agreement",
+                     bench::num(agree) + "/" +
+                         bench::num(static_cast<long long>(corpus.size()))});
+    bench::printRow({"datalog program size", bench::num(static_cast<long long>(
+                                                 lastFacts)) +
+                                                 " facts, " +
+                                                 bench::num(static_cast<long long>(
+                                                     lastRules)) +
+                                                 " rules"});
+    bench::printRow({"datalog per check",
+                     bench::ms(datalogMs / static_cast<double>(corpus.size()))});
+    bench::printRow({"validator per check",
+                     bench::ms(validatorMs / static_cast<double>(corpus.size()))});
+
+    // Search needs SAT: forward chaining cannot synthesize a design.
+    util::Stopwatch t3;
+    const auto synthesized = reason::Engine(p).optimize();
+    bench::printRow({"SAT synthesis (for contrast)", bench::ms(t3.millis())});
+    std::printf("\npaper (§3.4): simple predicate logic suffices for the "
+                "rules; the SAT solver's\n\"power to explore combinatorial "
+                "search spaces\" is what synthesis needs.\n");
+
+    const bool ok = disagree == 0 && synthesized.has_value();
+    std::printf("ABL5: %s\n", ok ? "checkers agree, synthesis works"
+                                 : "FAILED");
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,110 @@
+// SEC31 — the paper's success measure (§3.1): "the length of specification
+// should grow linearly with the number of systems, hardware and workloads
+// included", and the solver must keep up as the knowledge base grows.
+//
+// The bench sweeps KB prefixes (systems and hardware added in catalog
+// order), reporting encoding length (KB-side), compiled constraint count
+// (solver-side), and optimize() wall time.
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/engine.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+namespace {
+
+/// A KB containing the first `systemCount` systems and a `fraction` of each
+/// hardware class (keeping all three classes populated), plus the orderings
+/// among the included systems.
+kb::KnowledgeBase prefixKb(const kb::KnowledgeBase& full, std::size_t systemCount,
+                           double fraction) {
+    kb::KnowledgeBase prefix;
+    for (std::size_t i = 0; i < systemCount && i < full.systems().size(); ++i)
+        prefix.addSystem(full.systems()[i]);
+    for (const kb::HardwareClass cls :
+         {kb::HardwareClass::Switch, kb::HardwareClass::Nic,
+          kb::HardwareClass::Server}) {
+        const auto specs = full.byClass(cls);
+        const std::size_t keep = std::max<std::size_t>(
+            1, static_cast<std::size_t>(static_cast<double>(specs.size()) * fraction));
+        for (std::size_t i = 0; i < keep; ++i) prefix.addHardware(*specs[i]);
+    }
+    for (const kb::Ordering& o : full.orderings())
+        if (prefix.findSystem(o.better) != nullptr &&
+            prefix.findSystem(o.worse) != nullptr)
+            prefix.addOrdering(o);
+    return prefix;
+}
+
+} // namespace
+
+int main() {
+    const kb::KnowledgeBase full = catalog::buildKnowledgeBase();
+
+    bench::printHeader("§3.1 encoding length vs knowledge-base size");
+    bench::printRow({"systems", "hardware", "encoding len", "len/entity"});
+    bench::printRule();
+    std::vector<double> perEntity;
+    for (const std::size_t systems : {8u, 16u, 24u, 32u, 40u, 48u, 56u}) {
+        const kb::KnowledgeBase prefix =
+            prefixKb(full, systems, static_cast<double>(systems) / 56.0);
+        const std::size_t hardware = prefix.hardwareSpecs().size();
+        const std::size_t length = prefix.encodingLength();
+        const double ratio =
+            static_cast<double>(length) / static_cast<double>(systems + hardware);
+        perEntity.push_back(ratio);
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%.2f", ratio);
+        bench::printRow({bench::num(static_cast<long long>(systems)),
+                         bench::num(static_cast<long long>(hardware)),
+                         bench::num(static_cast<long long>(length)), buf});
+    }
+    // Linearity: per-entity cost stays flat (within 1.5× of the smallest).
+    double lo = perEntity[0];
+    double hi = perEntity[0];
+    for (const double r : perEntity) {
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+    }
+    const bool linear = hi / lo < 1.5;
+    std::printf("\nper-entity encoding cost spread: %.2f–%.2f (ratio %.2f) — %s\n",
+                lo, hi, hi / lo,
+                linear ? "LINEAR growth, the paper's success criterion"
+                       : "SUPER-LINEAR growth");
+
+    bench::printHeader("solve time vs knowledge-base size (optimize, full query)");
+    bench::printRow({"systems", "hardware", "feasible", "optimize"});
+    bench::printRule();
+    bool solvedAll = true;
+    for (const std::size_t systems : {14u, 28u, 42u, 56u}) {
+        const kb::KnowledgeBase prefix =
+            prefixKb(full, systems, static_cast<double>(systems) / 56.0);
+        const std::size_t hardware = prefix.hardwareSpecs().size();
+        reason::Problem p = reason::makeDefaultProblem(prefix);
+        // 120 servers so even small-core prefix inventories can host the
+        // workload; the sweep measures solve time, not capacity planning.
+        p.hardware[kb::HardwareClass::Server].count = 120;
+        p.hardware[kb::HardwareClass::Switch].count = 8;
+        p.hardware[kb::HardwareClass::Nic].count = 120;
+        p.workloads = {catalog::makeInferenceWorkload()};
+        p.workloads[0].bounds.clear(); // bounds need systems near the end
+        p.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost};
+        util::Stopwatch timer;
+        const auto design = reason::Engine(p).optimize();
+        const double elapsed = timer.millis();
+        bench::printRow({bench::num(static_cast<long long>(systems)),
+                         bench::num(static_cast<long long>(hardware)),
+                         design.has_value() ? "yes" : "no", bench::ms(elapsed)});
+        solvedAll = solvedAll && design.has_value() && elapsed < 60000;
+    }
+
+    std::printf("\nSEC31 reproduction: %s\n",
+                (linear && solvedAll) ? "length linear, solves interactive"
+                                      : "FAILED");
+    return (linear && solvedAll) ? EXIT_SUCCESS : EXIT_FAILURE;
+}

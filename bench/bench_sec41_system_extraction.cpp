@@ -1,0 +1,102 @@
+// SEC41b — reproduces §4.1's system-encoding extraction findings with the
+// simulated LLM: hardware requirements are found reliably, nuance
+// applicability conditions (e.g. "Annulus is only needed when WAN and DC
+// traffic compete") and resource quantities are missed far more often, and
+// adversarial prompting ("list requirements without which the system cannot
+// work") recovers part of the gap.
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "extract/extractor.hpp"
+#include "extract/specgen.hpp"
+#include "util/rng.hpp"
+
+using namespace lar;
+
+namespace {
+
+extract::ExtractionStats runCorpus(const kb::KnowledgeBase& kb,
+                                   const extract::NoiseModel& noise,
+                                   std::uint64_t seed, int rounds) {
+    util::Rng rng(seed);
+    extract::ExtractionStats stats;
+    const auto corpus = extract::renderSystemCorpus(kb);
+    for (int round = 0; round < rounds; ++round)
+        for (const extract::SystemDoc& doc : corpus)
+            stats.add(extract::extractSystem(doc, noise, rng).stats);
+    return stats;
+}
+
+double ratio(int num, int den) {
+    return den == 0 ? 1.0 : static_cast<double>(num) / den;
+}
+
+void printStats(const char* label, const extract::ExtractionStats& s) {
+    bench::printRow(
+        {label,
+         bench::pct(ratio(s.hardRequirementsFound, s.hardRequirementsTotal)),
+         bench::pct(ratio(s.nuanceConditionsFound, s.nuanceConditionsTotal)),
+         bench::pct(ratio(s.quantitiesFound, s.quantitiesTotal)),
+         bench::pct(ratio(s.quantitiesCorrect, s.quantitiesTotal)),
+         bench::pct(ratio(s.providesFound, s.providesTotal)),
+         bench::pct(ratio(s.conflictsFound, s.conflictsTotal))});
+}
+
+} // namespace
+
+int main() {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    constexpr int kRounds = 50;
+
+    bench::printHeader("§4.1 system-encoding extraction recall (56 systems × 50 runs)");
+    bench::printRow({"prompting", "hw reqs", "nuances", "qty found", "qty ok",
+                     "provides", "conflicts"});
+    bench::printRule();
+    extract::NoiseModel plain;
+    const auto plainStats = runCorpus(kb, plain, 42, kRounds);
+    printStats("plain (\"describe the system\")", plainStats);
+
+    extract::NoiseModel adversarial;
+    adversarial.adversarialPrompting = true;
+    const auto advStats = runCorpus(kb, adversarial, 42, kRounds);
+    printStats("adversarial (\"what breaks it?\")", advStats);
+
+    std::printf("\npaper: LLMs identify hardware requirements but miss "
+                "nuance conditions and quantities;\n       adversarial "
+                "prompting is more productive. Shape reproduced when the\n"
+                "       nuance/quantity recall sits well below hardware-"
+                "requirement recall.\n");
+
+    // The paper's concrete example: the Annulus WAN/DC nuance.
+    bench::printHeader("the Annulus example");
+    const extract::SystemDoc annulusDoc =
+        extract::renderSystemDoc(kb.system("Annulus"));
+    util::Rng rng(7);
+    int missed = 0;
+    constexpr int kTries = 200;
+    for (int i = 0; i < kTries; ++i) {
+        const auto result = extract::extractSystem(annulusDoc, plain, rng);
+        const bool hasNuance =
+            result.encoding.constraints.toString().find(
+                "wan_dc_traffic_compete") != std::string::npos;
+        if (!hasNuance) ++missed;
+    }
+    std::printf("plain prompting missed the \"only when WAN and DC traffic "
+                "compete\" condition in %d/%d runs (%s)\n",
+                missed, kTries,
+                bench::pct(static_cast<double>(missed) / kTries).c_str());
+
+    // Sanity gates for the reproduction.
+    const double hardRecall =
+        ratio(plainStats.hardRequirementsFound, plainStats.hardRequirementsTotal);
+    const double nuanceRecall =
+        ratio(plainStats.nuanceConditionsFound, plainStats.nuanceConditionsTotal);
+    const bool shapeHolds = hardRecall > 0.9 && nuanceRecall < hardRecall - 0.2 &&
+                            ratio(advStats.nuanceConditionsFound,
+                                  advStats.nuanceConditionsTotal) > nuanceRecall;
+    std::printf("\nSEC41b reproduction: %s\n",
+                shapeHolds ? "shape holds" : "SHAPE VIOLATED");
+    return shapeHolds ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,158 @@
+// SEC51 — reproduces the three §5.1 architect queries over the case-study
+// deployment, printing the engine's answers and solve times:
+//
+//  1. "I want to support more applications, but I can't change my servers."
+//  2. "I have already deployed Sonata, and I don't want to change it unless
+//      there are huge performance benefits or cost savings."
+//  3. "Given my current workloads, is it worthwhile to deploy CXL memory
+//      pooling?"
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/engine.hpp"
+#include "reason/validate.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+namespace {
+
+reason::Problem caseStudyProblem(const kb::KnowledgeBase& kb) {
+    reason::Problem p = reason::makeDefaultProblem(kb);
+    p.hardware[kb::HardwareClass::Server].count = 60;
+    p.hardware[kb::HardwareClass::Switch].count = 8;
+    p.hardware[kb::HardwareClass::Nic].count = 60;
+    p.workloads = {catalog::makeInferenceWorkload()};
+    p.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost,
+                           kb::kObjMonitoring};
+    p.requiredCapabilities = {catalog::kCapDetectQueueLength};
+    return p;
+}
+
+int failures = 0;
+
+void verdict(bool ok, const char* what) {
+    if (!ok) {
+        std::printf("  !! %s\n", what);
+        ++failures;
+    }
+}
+
+} // namespace
+
+int main() {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    const reason::Problem base = caseStudyProblem(kb);
+
+    // Baseline optimal design.
+    bench::printHeader("baseline: §2.3 case study, optimized");
+    util::Stopwatch timer;
+    const auto baseline = reason::Engine(base).optimize();
+    std::printf("(solved in %s)\n", bench::ms(timer.millis()).c_str());
+    verdict(baseline.has_value(), "baseline infeasible");
+    if (baseline) std::printf("%s", baseline->toString().c_str());
+
+    // -- Query 1: more applications, servers frozen ---------------------------
+    bench::printHeader("query 1: add workloads, servers cannot change");
+    reason::Problem frozen = base;
+    if (baseline)
+        frozen.hardware[kb::HardwareClass::Server].pinnedModel =
+            baseline->hardwareModel.at(kb::HardwareClass::Server);
+    frozen.workloads.push_back(catalog::makeVideoWorkload());
+    frozen.workloads.push_back(catalog::makeBatchWorkload());
+    timer.reset();
+    reason::Engine frozenEngine(frozen);
+    const auto frozenReport = frozenEngine.checkFeasible();
+    if (!frozenReport.feasible) {
+        std::printf("with current servers: INFEASIBLE, because:\n");
+        for (const std::string& rule : frozenReport.conflictingRules)
+            std::printf("  - %s\n", rule.c_str());
+        // What changes when servers may change after all?
+        reason::Problem unfrozen = frozen;
+        unfrozen.hardware[kb::HardwareClass::Server].pinnedModel.reset();
+        const auto upgraded = reason::Engine(unfrozen).optimize();
+        verdict(upgraded.has_value(), "even unfrozen servers infeasible");
+        if (upgraded && baseline) {
+            std::printf("unfreezing the servers gives a design again; ripple:\n");
+            for (const std::string& change : baseline->diff(*upgraded))
+                std::printf("  * %s\n", change.c_str());
+        }
+    } else {
+        const auto design = frozenEngine.optimize();
+        verdict(design.has_value(), "feasible but not optimizable");
+        if (design && baseline) {
+            std::printf("feasible with current servers; ripple vs baseline:\n");
+            for (const std::string& change : baseline->diff(*design))
+                std::printf("  * %s\n", change.c_str());
+            if (baseline->diff(*design).empty())
+                std::printf("  (no changes needed)\n");
+        }
+    }
+    std::printf("(answered in %s)\n", bench::ms(timer.millis()).c_str());
+
+    // -- Query 2: keep Sonata unless big win ----------------------------------
+    bench::printHeader("query 2: keep Sonata unless huge benefits");
+    timer.reset();
+    const reason::RetentionReport retention =
+        reason::analyzeRetention(base, "Sonata");
+    verdict(retention.keeping.has_value(), "cannot deploy Sonata at all");
+    verdict(retention.free_.has_value(), "free optimization infeasible");
+    if (retention.keeping && retention.free_) {
+        std::printf("objective costs keeping Sonata:");
+        for (const auto c : retention.keeping->objectiveCosts)
+            std::printf(" %lld", static_cast<long long>(c));
+        std::printf("\nobjective costs free choice:  ");
+        for (const auto c : retention.free_->objectiveCosts)
+            std::printf(" %lld", static_cast<long long>(c));
+        std::printf("\nextra hardware cost of keeping Sonata: $%.0f\n",
+                    retention.extraHardwareCostUsd);
+        constexpr std::int64_t kHugeBenefit = 100; // architect's threshold
+        std::printf("worth switching at threshold %lld? %s\n",
+                    static_cast<long long>(kHugeBenefit),
+                    retention.worthSwitching(kHugeBenefit) ? "YES" : "NO — keep Sonata");
+    }
+    std::printf("(answered in %s)\n", bench::ms(timer.millis()).c_str());
+
+    // -- Query 3: is CXL memory pooling worthwhile? ----------------------------
+    bench::printHeader("query 3: is CXL memory pooling worthwhile?");
+    timer.reset();
+    reason::Problem memoryHeavy = base;
+    memoryHeavy.workloads.push_back(catalog::makeStorageWorkload());
+    // The storage team's rule: memory-intensive workloads need either big
+    // boxes (≥512 GB RAM) or CXL memory pooling.
+    memoryHeavy.extraConstraint = kb::Requirement::anyOf(
+        {kb::Requirement::hardwareCmp(kb::HardwareClass::Server, kb::kAttrRamGb,
+                                      kb::CmpOp::Ge, 512.0),
+         kb::Requirement::hardwareHas(kb::HardwareClass::Server,
+                                      kb::kAttrCxlSupported)});
+    reason::Problem noCxl = memoryHeavy;
+    for (const kb::HardwareSpec* h : kb.byClass(kb::HardwareClass::Server))
+        if (!h->boolAttr(kb::kAttrCxlSupported).value_or(false))
+            noCxl.hardware[kb::HardwareClass::Server].candidateModels.push_back(
+                h->model);
+    const reason::ScenarioComparison cxl =
+        reason::compareScenarios(noCxl, memoryHeavy);
+    verdict(cxl.a.has_value() && cxl.b.has_value(), "CXL comparison infeasible");
+    if (cxl.a && cxl.b) {
+        std::printf("optimal without CXL-capable servers: %s ($%.0f)\n",
+                    cxl.a->hardwareModel.at(kb::HardwareClass::Server).c_str(),
+                    cxl.a->hardwareCostUsd);
+        std::printf("optimal with CXL allowed:           %s ($%.0f)\n",
+                    cxl.b->hardwareModel.at(kb::HardwareClass::Server).c_str(),
+                    cxl.b->hardwareCostUsd);
+        const bool cxlChosen =
+            kb.hardware(cxl.b->hardwareModel.at(kb::HardwareClass::Server))
+                .boolAttr(kb::kAttrCxlSupported)
+                .value_or(false);
+        std::printf("verdict: CXL pooling %s for these workloads\n",
+                    cxlChosen ? "IS worthwhile" : "is NOT worth paying for");
+    }
+    std::printf("(answered in %s)\n", bench::ms(timer.millis()).c_str());
+
+    std::printf("\nSEC51 reproduction: %s\n",
+                failures == 0 ? "all queries answered" : "FAILED");
+    return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,85 @@
+// The §2.3 / Listing-3 case study as a worked example.
+//
+// An architect deploys an ML inference application (racks 0–3, 2800 peak
+// cores, 30 Gbps, short high-priority DC flows) over the full 56-system /
+// 208-hardware knowledge base, states goals in Listing-3 form, and lets the
+// engine design the network — then pokes at the design with what-if twists.
+//
+// Build & run:  ./build/examples/ml_inference
+#include <cstdio>
+
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/engine.hpp"
+#include "reason/validate.hpp"
+
+using namespace lar;
+
+int main() {
+    const kb::KnowledgeBase knowledge = catalog::buildKnowledgeBase();
+
+    // Listing 3, in the C++ DSL:
+    //   inference_app = Workload(properties=[dc_flows, short_flows,
+    //       high_priority], deployed_at=racks[0:3], peak_cores=2800,
+    //       peak_bandwidth=30)
+    //   inference_app.set_performance_bound(objective=load_balancing,
+    //       better_than=PacketSpray)
+    //   Optimize(latency > Hardware cost > monitoring)
+    kb::Workload inference = catalog::makeInferenceWorkload();
+
+    reason::Problem problem = reason::makeDefaultProblem(knowledge);
+    problem.hardware[kb::HardwareClass::Server].count = 60;
+    problem.hardware[kb::HardwareClass::Switch].count = 8;
+    problem.hardware[kb::HardwareClass::Nic].count = 60;
+    problem.workloads = {inference};
+    problem.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost,
+                                 kb::kObjMonitoring};
+    problem.requiredCapabilities = {catalog::kCapDetectQueueLength};
+
+    std::printf("=== optimizing the inference deployment ===\n");
+    reason::Engine engine(problem);
+    const auto design = engine.optimize();
+    if (!design) {
+        std::printf("infeasible!\n");
+        return 1;
+    }
+    std::printf("%s", design->toString().c_str());
+    const auto violations = reason::validateDesign(problem, *design);
+    std::printf("independent validation: %s\n",
+                violations.empty() ? "clean" : violations.front().c_str());
+
+    // What-if 1: the org has a sharp deadline — no research prototypes.
+    std::printf("\n=== what-if: sharp deployment deadline ===\n");
+    reason::Problem deadline = problem;
+    deadline.forbidResearchGrade = true;
+    if (const auto safer = reason::Engine(deadline).optimize()) {
+        for (const std::string& change : design->diff(*safer))
+            std::printf("  * %s\n", change.c_str());
+        if (design->diff(*safer).empty()) std::printf("  (no change)\n");
+    }
+
+    // What-if 2: the security team insists on a firewall at every server.
+    std::printf("\n=== what-if: mandatory firewalling ===\n");
+    reason::Problem secured = problem;
+    secured.requiredCapabilities.push_back(catalog::kCapFirewalling);
+    if (const auto withFw = reason::Engine(secured).optimize()) {
+        for (const std::string& change : design->diff(*withFw))
+            std::printf("  * %s\n", change.c_str());
+        std::printf("firewall chosen: %s\n",
+                    withFw->chosen.count(kb::Category::Firewall)
+                        ? withFw->chosen.at(kb::Category::Firewall).c_str()
+                        : "(none)");
+    }
+
+    // Equivalence classes: several designs may be equally optimal (§6).
+    std::printf("\n=== optimal equivalence class (up to 4 members) ===\n");
+    reason::Engine enumerator(problem);
+    const auto designs = enumerator.enumerateDesigns(4, /*optimizeFirst=*/true);
+    std::printf("%zu equally-optimal design(s) found\n", designs.size());
+    for (std::size_t i = 1; i < designs.size(); ++i) {
+        std::printf("variant %zu differs from the first by:\n", i);
+        for (const std::string& change : designs[0].diff(designs[i]))
+            std::printf("  * %s\n", change.c_str());
+    }
+    return 0;
+}

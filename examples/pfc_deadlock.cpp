@@ -1,0 +1,84 @@
+// The §2.2 Microsoft RDMA story, both at the rule level and in the fabric.
+//
+// "Microsoft reasoned that no cyclic buffer dependency should exist …
+//  because of their datacenter's routing configuration. However, they
+//  missed that Ethernet packet flooding was already in place, which broke
+//  the routing configuration's invariant, causing deadlocks."
+//
+// Part 1 uses the reasoning engine: deploying RoCEv2 (which enables PFC)
+// is fine, until the environment contains flooding — then the expert rule
+// "PFC cannot be used with any flooding algorithm" fires and the engine
+// explains the conflict.
+// Part 2 drops to the topology substrate and shows the underlying physics:
+// the buffer-dependency cycle that appears once flooding turns exist.
+//
+// Build & run:  ./build/examples/pfc_deadlock
+#include <cstdio>
+
+#include "catalog/catalog.hpp"
+#include "reason/engine.hpp"
+#include "topo/pfc.hpp"
+
+using namespace lar;
+
+int main() {
+    const kb::KnowledgeBase knowledge = catalog::buildKnowledgeBase();
+
+    std::printf("=== part 1: the lightweight rule ===\n");
+    reason::Problem rdma = reason::makeDefaultProblem(knowledge);
+    rdma.hardware[kb::HardwareClass::Server].count = 40;
+    rdma.hardware[kb::HardwareClass::Nic].count = 40;
+    rdma.pinnedSystems["RoCEv2"] = true;
+
+    const auto clean = reason::Engine(rdma).checkFeasible();
+    std::printf("RoCEv2 on a clean fabric: %s\n",
+                clean.feasible ? "deployable" : "NOT deployable");
+
+    reason::Problem flooded = rdma;
+    flooded.pinnedFacts[catalog::kFactFlooding] = true; // ARP flooding in place
+    reason::Engine floodedEngine(flooded);
+    const auto broken = floodedEngine.checkFeasible();
+    std::printf("RoCEv2 with Ethernet flooding already in place: %s\n",
+                broken.feasible ? "deployable (!?)" : "correctly rejected");
+    if (!broken.feasible) {
+        std::printf("the engine explains:\n");
+        for (const std::string& rule :
+             reason::Engine(flooded).explainMinimalConflict().conflictingRules)
+            std::printf("  - %s\n", rule.c_str());
+    }
+
+    // The same trap via a chosen system rather than a pinned fact: a Linux
+    // learning bridge floods unknown unicast.
+    reason::Problem viaBridge = rdma;
+    viaBridge.pinnedSystems["Linux-Bridge"] = true;
+    const auto bridge = reason::Engine(viaBridge).checkFeasible();
+    std::printf("RoCEv2 + Linux-Bridge (a flooding virtual switch): %s\n",
+                bridge.feasible ? "deployable (!?)" : "correctly rejected");
+
+    std::printf("\n=== part 2: why the rule is right (buffer dependencies) ===\n");
+    for (const bool flooding : {false, true}) {
+        const topo::PfcAnalysis analysis = topo::analyzePfcDeadlock(
+            /*k=*/8, /*routePairs=*/200, flooding, /*seed=*/11);
+        std::printf("fat-tree k=8, up-down routing%s: %zu buffers, %zu "
+                    "dependencies -> %s\n",
+                    flooding ? " + ARP flooding" : "", analysis.buffers,
+                    analysis.dependencies,
+                    analysis.deadlockPossible ? "DEADLOCK POSSIBLE"
+                                              : "deadlock-free");
+    }
+    {
+        const topo::FatTree tree(4);
+        util::Rng rng(11);
+        auto routes = topo::sampleUpDownRoutes(tree, 64, rng);
+        auto turns = topo::routeTurns(tree, routes);
+        const auto flood = topo::floodingTurns(tree);
+        turns.insert(turns.end(), flood.begin(), flood.end());
+        const topo::BufferDependencyGraph graph(tree, turns);
+        if (const auto cycle = graph.findCycle())
+            std::printf("example cycle (k=4): %s\n",
+                        graph.describeCycle(tree, *cycle).c_str());
+    }
+    std::printf("\nThe one-line expert rule catches in microseconds what the "
+                "production fabric\nlearned the hard way.\n");
+    return 0;
+}

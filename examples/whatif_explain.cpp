@@ -1,0 +1,96 @@
+// Explainability and what-if reasoning (§5.1 queries, §6 future work).
+//
+// Demonstrates the engine features beyond plain synthesis:
+//   * minimal conflict explanations when requirements clash,
+//   * retention analysis ("keep Sonata unless there are huge benefits"),
+//   * value-of-information ("is measuring Shenango vs Demikernel worth
+//     it? only if the answer changes the design" — §3.1),
+//   * knowledge-gap listing from the partial order.
+//
+// Build & run:  ./build/examples/whatif_explain
+#include <cstdio>
+
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "order/poset.hpp"
+#include "reason/engine.hpp"
+
+using namespace lar;
+
+namespace {
+
+reason::Problem caseStudy(const kb::KnowledgeBase& kb) {
+    reason::Problem p = reason::makeDefaultProblem(kb);
+    p.hardware[kb::HardwareClass::Server].count = 60;
+    p.hardware[kb::HardwareClass::Switch].count = 8;
+    p.hardware[kb::HardwareClass::Nic].count = 60;
+    p.workloads = {catalog::makeInferenceWorkload()};
+    p.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost,
+                           kb::kObjMonitoring};
+    p.requiredCapabilities = {catalog::kCapDetectQueueLength};
+    return p;
+}
+
+} // namespace
+
+int main() {
+    const kb::KnowledgeBase knowledge = catalog::buildKnowledgeBase();
+
+    // 1. An over-constrained problem, explained minimally.
+    std::printf("=== conflicting requirements, explained ===\n");
+    reason::Problem conflicted = caseStudy(knowledge);
+    conflicted.maxHardwareCostUsd = 250000; // too tight for 2800 cores
+    reason::Engine engine(conflicted);
+    const auto report = engine.explainMinimalConflict();
+    if (!report.feasible) {
+        std::printf("no design fits; the minimal clash (%zu rules):\n",
+                    report.conflictingRules.size());
+        for (std::size_t i = 0; i < report.conflictingRules.size() && i < 8; ++i)
+            std::printf("  - %s\n", report.conflictingRules[i].c_str());
+        if (report.conflictingRules.size() > 8)
+            std::printf("  … and %zu more\n", report.conflictingRules.size() - 8);
+    }
+
+    // 2. Retention: "I already run Sonata."
+    std::printf("\n=== keep Sonata unless there are huge benefits ===\n");
+    const reason::RetentionReport retention =
+        reason::analyzeRetention(caseStudy(knowledge), "Sonata");
+    if (retention.keeping && retention.free_) {
+        std::printf("extra per-objective cost of keeping Sonata:");
+        for (const auto d : retention.extraCostPerObjective)
+            std::printf(" %+lld", static_cast<long long>(d));
+        std::printf("\nextra hardware cost: $%+.0f\n",
+                    retention.extraHardwareCostUsd);
+        std::printf("verdict at a 'huge benefit' threshold of 100: %s\n",
+                    retention.worthSwitching(100)
+                        ? "switch away from Sonata"
+                        : "keep Sonata (no huge benefit in switching)");
+    }
+
+    // 3. Value of information (§3.1): would a measurement change anything?
+    std::printf("\n=== is measuring Shenango vs Demikernel isolation worth it? ===\n");
+    reason::Problem isolationFocused = reason::makeDefaultProblem(knowledge);
+    isolationFocused.objectivePriority = {kb::kObjIsolation};
+    const reason::InformationValue info = reason::valueOfInformation(
+        isolationFocused, kb::kObjIsolation, "Shenango", "Demikernel");
+    std::printf("design if Shenango wins vs if Demikernel wins: %s\n",
+                info.changesDesign
+                    ? "DIFFERENT -> the measurement is worth running"
+                    : "identical -> skip the measurement");
+
+    // 4. Knowledge gaps in the stack ordering (candidates for measurement).
+    std::printf("\n=== knowledge gaps among network stacks (isolation) ===\n");
+    const order::PreferenceGraph isolation(knowledge, kb::kObjIsolation);
+    kb::HardwareSpec nic;
+    nic.cls = kb::HardwareClass::Nic;
+    nic.attrs[kb::kAttrPortBandwidthGbps] = 100.0;
+    order::Context fast;
+    fast.hardware[kb::HardwareClass::Nic] = &nic;
+    order::Context slow = fast; // same shape; conditions differ via attrs only
+    const auto gaps = order::knowledgeGaps(
+        isolation, {"Linux", "Snap", "NetChannel", "Shenango", "Demikernel"},
+        {fast, slow});
+    for (const auto& [a, b] : gaps)
+        std::printf("  no comparison encoded: %s vs %s\n", a.c_str(), b.c_str());
+    return 0;
+}

@@ -1,0 +1,60 @@
+// The seed knowledge base — the paper's §5.1 prototype content.
+//
+// "We encoded over fifty systems, spread across Network Stacks, Congestion
+//  Control, Network Monitoring, Firewalls, Virtual Switches, Load Balancers,
+//  and Transport Protocols. In addition, we encode about 200 hardware specs
+//  of servers, switches, NICs, etc, from publicly available information."
+//
+// Every encoding here follows that shape: 56 systems with rule-of-thumb
+// requirements sourced from the cited papers, 208 hardware specs (including
+// the Listing-1 Cisco Catalyst 9500-40X), the Figure-1 network-stack
+// orderings, and the §2.3 case-study workloads.
+#pragma once
+
+#include "kb/kb.hpp"
+#include "kb/workload.hpp"
+
+namespace lar::catalog {
+
+/// Capability names used by `System::solves` in this catalog.
+inline constexpr const char* kCapCaptureDelays = "capture_delays";
+inline constexpr const char* kCapDetectQueueLength = "detect_queue_length";
+inline constexpr const char* kCapTelemetryQueries = "telemetry_queries";
+inline constexpr const char* kCapBandwidthAllocation = "bandwidth_allocation";
+inline constexpr const char* kCapVirtualization = "virtualization";
+inline constexpr const char* kCapFirewalling = "firewalling";
+
+/// Fact names provided/required by catalog systems.
+inline constexpr const char* kFactFlooding = "flooding";
+inline constexpr const char* kFactKernelBypass = "kernel_bypass";
+inline constexpr const char* kFactPfcEnabled = "pfc_enabled";
+inline constexpr const char* kFactLosslessFabric = "lossless_fabric";
+
+/// Deployment options referenced by ordering conditions.
+inline constexpr const char* kOptPonyEnabled = "pony_enabled";
+inline constexpr const char* kOptScavengerClass = "scavenger_class";
+
+/// Adds the 56 system encodings and their orderings.
+void addSystemCatalog(kb::KnowledgeBase& kb);
+
+/// Adds the 208 hardware specs (switches, NICs, servers).
+void addHardwareCatalog(kb::KnowledgeBase& kb);
+
+/// The full knowledge base (systems + orderings + hardware), validated.
+[[nodiscard]] kb::KnowledgeBase buildKnowledgeBase();
+
+/// The §2.3 / Listing-3 ML inference workload: racks 0–3, 2800 peak cores,
+/// 30 Gbps peak bandwidth, short high-priority DC flows, and the Listing-3
+/// performance bound "load balancing better than PacketSpray".
+[[nodiscard]] kb::Workload makeInferenceWorkload();
+
+/// A WAN-facing video workload (exercises Annulus' WAN/DC-competition rule).
+[[nodiscard]] kb::Workload makeVideoWorkload();
+
+/// A storage backend workload (memory intensive; exercises the CXL query).
+[[nodiscard]] kb::Workload makeStorageWorkload();
+
+/// A batch-analytics workload (throughput bound, long flows).
+[[nodiscard]] kb::Workload makeBatchWorkload();
+
+} // namespace lar::catalog

@@ -1,0 +1,490 @@
+// Hardware encodings: 208 specs across switches, NICs, and servers.
+//
+// The flagship entries are transcriptions of public spec sheets (Listing 1's
+// Cisco Catalyst 9500-40X is exact); the rest are generated family variants
+// with realistic attribute spreads — the paper encoded "about 200 hardware
+// specs … from publicly available information", which we reproduce with a
+// deterministic generator so every bench sees the same inventory.
+#include "catalog/catalog.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lar::catalog {
+
+using kb::AttrValue;
+using kb::HardwareClass;
+using kb::HardwareSpec;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Switches
+// ---------------------------------------------------------------------------
+
+struct SwitchFamily {
+    const char* name;
+    const char* vendor;
+    std::vector<int> speedsGbps;
+    std::vector<int> portCounts;
+    bool p4 = false;
+    int p4Stages = 0;
+    bool ecn = true;
+    bool qcn = false;
+    bool intTelemetry = false;
+    bool pfc = true;
+    bool deepBuffers = false;
+    int qosClasses = 8;
+    double memoryGb = 8;
+    int macTableK = 64; ///< thousands of entries
+};
+
+void addSwitchFamily(kb::KnowledgeBase& kb, const SwitchFamily& family) {
+    for (const int speed : family.speedsGbps) {
+        for (const int ports : family.portCounts) {
+            HardwareSpec spec;
+            spec.model = std::string(family.name) + " " + std::to_string(ports) +
+                         "x" + std::to_string(speed) + "G";
+            spec.vendor = family.vendor;
+            spec.cls = HardwareClass::Switch;
+            spec.attrs[kb::kAttrPortBandwidthGbps] =
+                static_cast<std::int64_t>(speed);
+            spec.attrs[kb::kAttrNumPorts] = static_cast<std::int64_t>(ports);
+            spec.attrs[kb::kAttrMemoryGb] = family.memoryGb;
+            spec.attrs[kb::kAttrP4Supported] = family.p4;
+            if (family.p4)
+                spec.attrs[kb::kAttrP4Stages] =
+                    static_cast<std::int64_t>(family.p4Stages);
+            spec.attrs[kb::kAttrEcnSupported] = family.ecn;
+            spec.attrs[kb::kAttrQcnSupported] = family.qcn;
+            spec.attrs[kb::kAttrIntSupported] = family.intTelemetry;
+            spec.attrs[kb::kAttrPfcSupported] = family.pfc;
+            spec.attrs[kb::kAttrDeepBuffers] = family.deepBuffers;
+            spec.attrs[kb::kAttrQosClasses] =
+                static_cast<std::int64_t>(family.qosClasses);
+            spec.attrs[kb::kAttrMacTableSize] =
+                static_cast<std::int64_t>(family.macTableK) * 1000;
+            spec.attrs[kb::kAttrBufferMb] = family.deepBuffers ? 4096.0 : 64.0;
+            const double totalGbps = static_cast<double>(speed) * ports;
+            spec.maxPowerW = 150.0 + totalGbps * 0.12 +
+                             (family.deepBuffers ? 400.0 : 0.0);
+            spec.unitCostUsd = 4000.0 + totalGbps * 9.0 +
+                               (family.p4 ? 6000.0 : 0.0) +
+                               (family.deepBuffers ? 15000.0 : 0.0);
+            kb.addHardware(std::move(spec));
+        }
+    }
+}
+
+void addSwitches(kb::KnowledgeBase& kb) {
+    // Listing 1, exact fields.
+    {
+        HardwareSpec spec;
+        spec.model = "Cisco Catalyst 9500-40X";
+        spec.vendor = "Cisco";
+        spec.cls = HardwareClass::Switch;
+        spec.attrs[kb::kAttrPortBandwidthGbps] = std::int64_t{10};
+        spec.attrs[kb::kAttrNumPorts] = std::int64_t{40}; // 40x 10GE SFP+
+        spec.attrs[kb::kAttrMemoryGb] = 16.0;
+        spec.attrs[kb::kAttrP4Supported] = false; // "# P4 Stages": N/A
+        spec.attrs[kb::kAttrEcnSupported] = true;
+        spec.attrs[kb::kAttrQcnSupported] = false;
+        spec.attrs[kb::kAttrIntSupported] = false;
+        spec.attrs[kb::kAttrPfcSupported] = true;
+        spec.attrs[kb::kAttrDeepBuffers] = false;
+        spec.attrs[kb::kAttrQosClasses] = std::int64_t{8};
+        spec.attrs[kb::kAttrMacTableSize] = std::int64_t{64000};
+        spec.attrs[kb::kAttrBufferMb] = 36.0;
+        spec.maxPowerW = 950.0; // "Max Power Consumption": 950W
+        spec.unitCostUsd = 22000.0;
+        kb.addHardware(std::move(spec));
+    }
+
+    const std::vector<SwitchFamily> families = {
+        // Catalyst siblings (the 40X itself is hand-entered above).
+        {.name = "Cisco Catalyst 9500",
+         .vendor = "Cisco",
+         .speedsGbps = {25, 100},
+         .portCounts = {24, 32},
+         .memoryGb = 16},
+        {.name = "Arista 7050X3",
+         .vendor = "Arista",
+         .speedsGbps = {10, 25},
+         .portCounts = {32, 48},
+         .qcn = true},
+        {.name = "Arista 7060X4",
+         .vendor = "Arista",
+         .speedsGbps = {100, 400},
+         .portCounts = {32, 64},
+         .qcn = true,
+         .memoryGb = 16},
+        {.name = "Arista 7280R3",
+         .vendor = "Arista",
+         .speedsGbps = {100, 400},
+         .portCounts = {24, 48},
+         .deepBuffers = true,
+         .memoryGb = 32},
+        {.name = "Broadcom Trident3",
+         .vendor = "Broadcom",
+         .speedsGbps = {10, 25, 100},
+         .portCounts = {32, 48}},
+        {.name = "Broadcom Trident4",
+         .vendor = "Broadcom",
+         .speedsGbps = {100, 400},
+         .portCounts = {32, 64},
+         .qcn = true,
+         .memoryGb = 12},
+        {.name = "Broadcom Tomahawk3",
+         .vendor = "Broadcom",
+         .speedsGbps = {100, 200, 400},
+         .portCounts = {32, 64},
+         .qosClasses = 10},
+        {.name = "Broadcom Tomahawk4",
+         .vendor = "Broadcom",
+         .speedsGbps = {200, 400},
+         .portCounts = {32, 64},
+         .qcn = true,
+         .qosClasses = 10,
+         .memoryGb = 16},
+        {.name = "Intel Tofino",
+         .vendor = "Intel",
+         .speedsGbps = {10, 25, 100},
+         .portCounts = {32, 64},
+         .p4 = true,
+         .p4Stages = 12,
+         .intTelemetry = true},
+        {.name = "Intel Tofino2",
+         .vendor = "Intel",
+         .speedsGbps = {100, 400},
+         .portCounts = {32, 64},
+         .p4 = true,
+         .p4Stages = 20,
+         .qcn = true,
+         .intTelemetry = true,
+         .memoryGb = 16},
+        {.name = "NVIDIA Spectrum-2",
+         .vendor = "NVIDIA",
+         .speedsGbps = {25, 100},
+         .portCounts = {16, 32},
+         .qcn = true},
+        {.name = "NVIDIA Spectrum-3",
+         .vendor = "NVIDIA",
+         .speedsGbps = {100, 200, 400},
+         .portCounts = {32, 64},
+         .qcn = true,
+         .intTelemetry = true,
+         .memoryGb = 16},
+        {.name = "Juniper QFX5120",
+         .vendor = "Juniper",
+         .speedsGbps = {10, 25, 100},
+         .portCounts = {32, 48}},
+        {.name = "Juniper QFX5130",
+         .vendor = "Juniper",
+         .speedsGbps = {100, 400},
+         .portCounts = {32, 64},
+         .memoryGb = 16},
+        {.name = "Cisco Nexus 9300",
+         .vendor = "Cisco",
+         .speedsGbps = {10, 25, 100},
+         .portCounts = {36, 48}},
+        {.name = "Cisco Nexus 9500",
+         .vendor = "Cisco",
+         .speedsGbps = {100, 400},
+         .portCounts = {64, 128},
+         .deepBuffers = true,
+         .memoryGb = 64},
+        // Bare-metal Tofino box popular in research testbeds.
+        {.name = "Edgecore Wedge100BF",
+         .vendor = "Edgecore",
+         .speedsGbps = {100},
+         .portCounts = {32},
+         .p4 = true,
+         .p4Stages = 12,
+         .intTelemetry = true},
+    };
+    for (const SwitchFamily& family : families) addSwitchFamily(kb, family);
+}
+
+// ---------------------------------------------------------------------------
+// NICs
+// ---------------------------------------------------------------------------
+
+struct NicFamily {
+    const char* name;
+    const char* vendor;
+    std::vector<int> speedsGbps;
+    bool timestamps = false;
+    bool rdma = false;
+    bool srIov = true;
+    bool interruptPolling = false;
+    const char* smartNicKind = "none"; ///< "none" | "fpga" | "cpu"
+    int nicCores = 0;                  ///< CPU SmartNIC cores
+    int fpgaGatesK = 0;                ///< FPGA SmartNIC logic (thousands)
+    int reorderBufferKb = 64;
+};
+
+void addNicFamily(kb::KnowledgeBase& kb, const NicFamily& family) {
+    for (const int speed : family.speedsGbps) {
+        for (const int ports : {1, 2}) {
+            HardwareSpec spec;
+            spec.model = std::string(family.name) + " " + std::to_string(speed) +
+                         "G" + (ports == 2 ? " dual" : "");
+            spec.vendor = family.vendor;
+            spec.cls = HardwareClass::Nic;
+            spec.attrs[kb::kAttrPortBandwidthGbps] =
+                static_cast<std::int64_t>(speed);
+            spec.attrs[kb::kAttrNumPorts] = static_cast<std::int64_t>(ports);
+            spec.attrs[kb::kAttrNicTimestamps] = family.timestamps;
+            spec.attrs[kb::kAttrRdmaSupported] = family.rdma;
+            spec.attrs[kb::kAttrSrIov] = family.srIov;
+            spec.attrs[kb::kAttrInterruptPolling] = family.interruptPolling;
+            const bool smart = std::string(family.smartNicKind) != "none";
+            spec.attrs[kb::kAttrSmartNic] = smart;
+            spec.attrs[kb::kAttrSmartNicKind] = std::string(family.smartNicKind);
+            if (family.nicCores > 0)
+                spec.attrs[kb::kAttrNicCores] =
+                    static_cast<std::int64_t>(family.nicCores);
+            if (family.fpgaGatesK > 0)
+                spec.attrs[kb::kAttrFpgaGatesK] =
+                    static_cast<std::int64_t>(family.fpgaGatesK);
+            spec.attrs[kb::kAttrReorderBufferKb] =
+                static_cast<std::int64_t>(family.reorderBufferKb);
+            spec.maxPowerW =
+                12.0 + speed * 0.1 * ports + (smart ? 45.0 : 0.0);
+            spec.unitCostUsd = 120.0 + speed * 9.0 * ports +
+                               (smart ? 1400.0 : 0.0) +
+                               (family.timestamps ? 80.0 : 0.0);
+            kb.addHardware(std::move(spec));
+        }
+    }
+}
+
+void addNics(kb::KnowledgeBase& kb) {
+    const std::vector<NicFamily> families = {
+        {.name = "Mellanox ConnectX-4",
+         .vendor = "NVIDIA",
+         .speedsGbps = {25, 50, 100},
+         .timestamps = true,
+         .rdma = true},
+        {.name = "Mellanox ConnectX-5",
+         .vendor = "NVIDIA",
+         .speedsGbps = {25, 50, 100},
+         .timestamps = true,
+         .rdma = true,
+         .interruptPolling = true,
+         .reorderBufferKb = 256},
+        {.name = "Mellanox ConnectX-6",
+         .vendor = "NVIDIA",
+         .speedsGbps = {100, 200},
+         .timestamps = true,
+         .rdma = true,
+         .interruptPolling = true,
+         .reorderBufferKb = 512},
+        {.name = "Mellanox ConnectX-7",
+         .vendor = "NVIDIA",
+         .speedsGbps = {200, 400},
+         .timestamps = true,
+         .rdma = true,
+         .interruptPolling = true,
+         .reorderBufferKb = 1024},
+        {.name = "Intel X520", .vendor = "Intel", .speedsGbps = {10},
+         .srIov = true},
+        {.name = "Intel X710", .vendor = "Intel", .speedsGbps = {10, 25}},
+        {.name = "Intel E810",
+         .vendor = "Intel",
+         .speedsGbps = {25, 100},
+         .timestamps = true,
+         .rdma = true,
+         .interruptPolling = true,
+         .reorderBufferKb = 256},
+        {.name = "Broadcom N225",
+         .vendor = "Broadcom",
+         .speedsGbps = {25, 50},
+         .timestamps = true,
+         .rdma = true},
+        {.name = "Chelsio T6",
+         .vendor = "Chelsio",
+         .speedsGbps = {25, 100},
+         .timestamps = true,
+         .rdma = true,
+         .reorderBufferKb = 256},
+        {.name = "NVIDIA BlueField-2",
+         .vendor = "NVIDIA",
+         .speedsGbps = {25, 100},
+         .timestamps = true,
+         .rdma = true,
+         .interruptPolling = true,
+         .smartNicKind = "cpu",
+         .nicCores = 8,
+         .reorderBufferKb = 512},
+        {.name = "NVIDIA BlueField-3",
+         .vendor = "NVIDIA",
+         .speedsGbps = {200, 400},
+         .timestamps = true,
+         .rdma = true,
+         .interruptPolling = true,
+         .smartNicKind = "cpu",
+         .nicCores = 16,
+         .reorderBufferKb = 1024},
+        {.name = "Pensando DSC",
+         .vendor = "AMD",
+         .speedsGbps = {25, 100},
+         .timestamps = true,
+         .rdma = true,
+         .smartNicKind = "cpu",
+         .nicCores = 8,
+         .reorderBufferKb = 512},
+        {.name = "Xilinx Alveo U25",
+         .vendor = "AMD",
+         .speedsGbps = {25},
+         .timestamps = true,
+         .smartNicKind = "fpga",
+         .fpgaGatesK = 300,
+         .reorderBufferKb = 512},
+        {.name = "Xilinx Alveo U50",
+         .vendor = "AMD",
+         .speedsGbps = {100},
+         .timestamps = true,
+         .smartNicKind = "fpga",
+         .fpgaGatesK = 600,
+         .reorderBufferKb = 512},
+        {.name = "Xilinx Alveo U280",
+         .vendor = "AMD",
+         .speedsGbps = {100},
+         .timestamps = true,
+         .smartNicKind = "fpga",
+         .fpgaGatesK = 900,
+         .reorderBufferKb = 1024},
+        {.name = "Broadcom Stingray PS225",
+         .vendor = "Broadcom",
+         .speedsGbps = {25},
+         .timestamps = true,
+         .rdma = true,
+         .smartNicKind = "cpu",
+         .nicCores = 8},
+        {.name = "Napatech NT200",
+         .vendor = "Napatech",
+         .speedsGbps = {100},
+         .timestamps = true,
+         .smartNicKind = "fpga",
+         .fpgaGatesK = 500,
+         .reorderBufferKb = 2048},
+        {.name = "Fungible FC",
+         .vendor = "Fungible",
+         .speedsGbps = {100, 200},
+         .timestamps = true,
+         .rdma = true,
+         .smartNicKind = "cpu",
+         .nicCores = 12},
+        {.name = "OEM Legacy 1G", .vendor = "OEM", .speedsGbps = {1},
+         .srIov = false},
+        {.name = "Solarflare X2522",
+         .vendor = "AMD",
+         .speedsGbps = {10, 25},
+         .timestamps = true,
+         .interruptPolling = true,
+         .reorderBufferKb = 128},
+        {.name = "Marvell OcteonTX2",
+         .vendor = "Marvell",
+         .speedsGbps = {25, 100},
+         .timestamps = true,
+         .rdma = true,
+         .smartNicKind = "cpu",
+         .nicCores = 24},
+        {.name = "Intel IPU E2000",
+         .vendor = "Intel",
+         .speedsGbps = {200},
+         .timestamps = true,
+         .rdma = true,
+         .smartNicKind = "cpu",
+         .nicCores = 16,
+         .reorderBufferKb = 1024},
+        {.name = "AWS Nitro-like DPU",
+         .vendor = "Annapurna",
+         .speedsGbps = {25, 100},
+         .timestamps = true,
+         .smartNicKind = "cpu",
+         .nicCores = 8},
+        {.name = "Intel E823",
+         .vendor = "Intel",
+         .speedsGbps = {25},
+         .timestamps = true,
+         .rdma = true},
+    };
+    for (const NicFamily& family : families) addNicFamily(kb, family);
+}
+
+// ---------------------------------------------------------------------------
+// Servers
+// ---------------------------------------------------------------------------
+
+struct ServerPlatform {
+    const char* name;
+    const char* vendor;
+    std::vector<int> coreCounts;
+    bool cxl = false;
+    double costPerCore = 120.0;
+};
+
+void addServers(kb::KnowledgeBase& kb) {
+    const std::vector<ServerPlatform> platforms = {
+        {.name = "Xeon Skylake-SP", .vendor = "Intel", .coreCounts = {16, 20, 28}},
+        {.name = "Xeon Cascade Lake",
+         .vendor = "Intel",
+         .coreCounts = {24, 28, 32}},
+        {.name = "Xeon Ice Lake", .vendor = "Intel", .coreCounts = {32, 36, 40}},
+        {.name = "Xeon Sapphire Rapids",
+         .vendor = "Intel",
+         .coreCounts = {32, 48, 56},
+         .cxl = true,
+         .costPerCore = 150.0},
+        {.name = "EPYC Rome", .vendor = "AMD", .coreCounts = {32, 48, 64}},
+        {.name = "EPYC Milan", .vendor = "AMD", .coreCounts = {32, 48, 64}},
+        {.name = "EPYC Genoa",
+         .vendor = "AMD",
+         .coreCounts = {64, 84, 96},
+         .cxl = true,
+         .costPerCore = 140.0},
+        {.name = "Ampere Altra", .vendor = "Ampere", .coreCounts = {80, 96, 128}},
+    };
+    for (const ServerPlatform& platform : platforms) {
+        for (const int cores : platform.coreCounts) {
+            for (const int formFactor : {1, 2}) { // 1U / 2U (RAM differs)
+                HardwareSpec spec;
+                spec.model = std::string(platform.name) + " " +
+                             std::to_string(cores) + "c " +
+                             std::to_string(formFactor) + "U";
+                spec.vendor = platform.vendor;
+                spec.cls = HardwareClass::Server;
+                const double ramGb = formFactor == 1 ? cores * 4.0 : cores * 8.0;
+                spec.attrs[kb::kAttrCores] = static_cast<std::int64_t>(cores);
+                spec.attrs[kb::kAttrRamGb] = ramGb;
+                spec.attrs[kb::kAttrCxlSupported] = platform.cxl;
+                spec.attrs[kb::kAttrNumaNodes] =
+                    static_cast<std::int64_t>(formFactor);
+                spec.maxPowerW = 120.0 + cores * 3.2 + ramGb * 0.25;
+                spec.unitCostUsd =
+                    1500.0 + cores * platform.costPerCore + ramGb * 8.0;
+                kb.addHardware(std::move(spec));
+            }
+        }
+    }
+}
+
+} // namespace
+
+void addHardwareCatalog(kb::KnowledgeBase& kb) {
+    addSwitches(kb);
+    addNics(kb);
+    addServers(kb);
+}
+
+kb::KnowledgeBase buildKnowledgeBase() {
+    kb::KnowledgeBase kb;
+    addSystemCatalog(kb);
+    addHardwareCatalog(kb);
+    return kb;
+}
+
+} // namespace lar::catalog

@@ -1,0 +1,821 @@
+// System encodings: 56 systems across the seven §5.1 categories, with the
+// Figure-1 / Listing-2 orderings. Each encoding is a shallow rule of thumb
+// sourced from the cited paper or deployment experience — no behavioural
+// modelling, per §3.2.
+#include "catalog/catalog.hpp"
+
+#include "kb/objectives.hpp"
+
+namespace lar::catalog {
+
+using kb::Category;
+using kb::CmpOp;
+using kb::HardwareClass;
+using kb::Ordering;
+using kb::Requirement;
+using kb::System;
+
+namespace {
+
+Requirement nicHas(const char* key) {
+    return Requirement::hardwareHas(HardwareClass::Nic, key);
+}
+Requirement switchHas(const char* key) {
+    return Requirement::hardwareHas(HardwareClass::Switch, key);
+}
+Requirement nicBwAtLeast(double gbps) {
+    return Requirement::hardwareCmp(HardwareClass::Nic, kb::kAttrPortBandwidthGbps,
+                                    CmpOp::Ge, gbps);
+}
+Requirement nicBwBelow(double gbps) {
+    return Requirement::hardwareCmp(HardwareClass::Nic, kb::kAttrPortBandwidthGbps,
+                                    CmpOp::Lt, gbps);
+}
+
+void addNetworkStacks(kb::KnowledgeBase& kb) {
+    {
+        System s;
+        s.name = "Linux";
+        s.category = Category::NetworkStack;
+        s.solves = {"transport"};
+        s.source = "kernel.org; Snap/Shenango baselines";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Snap";
+        s.category = Category::NetworkStack;
+        s.solves = {"transport", kb::kObjThroughput};
+        s.provides = {kFactKernelBypass};
+        // Snap runs its engines on dedicated spinning cores.
+        s.demands = {{kb::kResCores, 4.0, 0.0, 0.05}};
+        s.source = "Marty et al., SOSP '19";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "NetChannel";
+        s.category = Category::NetworkStack;
+        s.solves = {"transport", kb::kObjThroughput};
+        // Only relevant at NIC speeds above 40 Gbit/s (§2.3).
+        s.constraints = nicBwAtLeast(40.0);
+        s.demands = {{kb::kResCores, 2.0, 0.0, 0.1}};
+        s.source = "Cai et al., SIGCOMM '22";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Shenango";
+        s.category = Category::NetworkStack;
+        s.solves = {"transport", kb::kObjLatency};
+        s.provides = {kFactKernelBypass};
+        // Requires NICs that support interrupt polling (§4.2's example of a
+        // requirement a human-written encoding missed) and dedicates a core
+        // to the IOKernel spin loop.
+        s.constraints = Requirement::allOf(
+            {nicHas(kb::kAttrInterruptPolling), nicHas(kb::kAttrSrIov)});
+        s.demands = {{kb::kResCores, 1.0, 0.0, 0.0}};
+        s.researchGrade = true;
+        s.source = "Ousterhout et al., NSDI '19";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Demikernel";
+        s.category = Category::NetworkStack;
+        s.solves = {"transport", kb::kObjLatency};
+        s.provides = {kFactKernelBypass};
+        s.constraints = nicHas(kb::kAttrSrIov);
+        s.researchGrade = true;
+        s.source = "Zhang et al., SOSP '21";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "ZygOS";
+        s.category = Category::NetworkStack;
+        s.solves = {"transport", kb::kObjLatency};
+        s.provides = {kFactKernelBypass};
+        s.constraints = nicHas(kb::kAttrSrIov);
+        s.demands = {{kb::kResCores, 1.0, 0.0, 0.0}};
+        s.researchGrade = true;
+        s.source = "Prekas et al., SOSP '17";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "mTCP";
+        s.category = Category::NetworkStack;
+        s.solves = {"transport"};
+        s.provides = {kFactKernelBypass};
+        s.constraints = nicHas(kb::kAttrSrIov);
+        s.researchGrade = true;
+        s.source = "Jeong et al., NSDI '14";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "F-Stack";
+        s.category = Category::NetworkStack;
+        s.solves = {"transport"};
+        s.provides = {kFactKernelBypass};
+        s.constraints = nicHas(kb::kAttrSrIov);
+        s.demands = {{kb::kResCores, 2.0, 0.0, 0.0}};
+        s.source = "f-stack.org (DPDK)";
+        kb.addSystem(std::move(s));
+    }
+
+    // --- Figure 1: conditional partial order over the six stacks ------------
+    const Requirement pony = Requirement::option(kOptPonyEnabled);
+
+    // Throughput (yellow).
+    kb.addOrdering({"Snap", "Linux", kb::kObjThroughput, pony,
+                    "Snap paper: Pony Express beats kernel TCP"});
+    kb.addOrdering({"NetChannel", "Snap", kb::kObjThroughput, nicBwAtLeast(40.0),
+                    "NetChannel: terabit-era host stack"});
+    kb.addOrdering({"NetChannel", "Linux", kb::kObjThroughput, nicBwAtLeast(40.0),
+                    "NetChannel relevant above 40 Gbps"});
+    kb.addOrdering({"Linux", "NetChannel", kb::kObjThroughput, nicBwBelow(40.0),
+                    "Linux sufficiently performant at low link rates (<40G)"});
+    kb.addOrdering({"ZygOS", "Linux", kb::kObjThroughput,
+                    Requirement::alwaysTrue(), "ZygOS: kernel bypass dataplane"});
+    kb.addOrdering({"Demikernel", "Linux", kb::kObjThroughput,
+                    Requirement::alwaysTrue(), "Demikernel: kernel bypass"});
+
+    // Latency.
+    kb.addOrdering({"Shenango", "Linux", kb::kObjLatency, Requirement::alwaysTrue(),
+                    "Shenango: microsecond tails"});
+    kb.addOrdering({"Shenango", "Snap", kb::kObjLatency, Requirement::alwaysTrue(),
+                    "Shenango: lower latency than Snap at low loads"});
+    kb.addOrdering({"Demikernel", "Linux", kb::kObjLatency,
+                    Requirement::alwaysTrue(), "Demikernel: µs-scale I/O"});
+    kb.addOrdering({"ZygOS", "Linux", kb::kObjLatency, Requirement::alwaysTrue(),
+                    "ZygOS: work stealing keeps tails low"});
+    kb.addOrdering({"Snap", "Linux", kb::kObjLatency, Requirement::alwaysTrue(),
+                    "Snap: dedicated engines beat kernel path"});
+
+    // Isolation (red). NOTE: deliberately no Shenango↔Demikernel edge — the
+    // paper calls this pair out as a knowledge gap (§3.1).
+    kb.addOrdering({"Snap", "Shenango", kb::kObjIsolation,
+                    Requirement::alwaysTrue(),
+                    "Snap: centralized engines isolate tenants; Shenango offers "
+                    "less process isolation"});
+    kb.addOrdering({"Linux", "Shenango", kb::kObjIsolation,
+                    Requirement::alwaysTrue(), "kernel enforces isolation"});
+    kb.addOrdering({"NetChannel", "Shenango", kb::kObjIsolation,
+                    Requirement::alwaysTrue(),
+                    "NetChannel: isolation via disaggregated channels"});
+    kb.addOrdering({"Linux", "ZygOS", kb::kObjIsolation, Requirement::alwaysTrue(),
+                    "ZygOS dataplane shares address space"});
+
+    // Application modification (blue): higher = fewer app changes needed.
+    kb.addOrdering({"Linux", "Snap", kb::kObjAppModification, pony,
+                    "using Pony requires application modification"});
+    kb.addOrdering({"Linux", "Demikernel", kb::kObjAppModification,
+                    Requirement::alwaysTrue(),
+                    "Demikernel: new libOS API, apps must port"});
+    kb.addOrdering({"Linux", "Shenango", kb::kObjAppModification,
+                    Requirement::alwaysTrue(),
+                    "Shenango runtime requires app integration"});
+    kb.addOrdering({"ZygOS", "Demikernel", kb::kObjAppModification,
+                    Requirement::alwaysTrue(),
+                    "ZygOS runs unmodified epoll servers"});
+
+    // Deployment ease.
+    for (const char* stack :
+         {"Snap", "NetChannel", "Shenango", "Demikernel", "ZygOS", "mTCP",
+          "F-Stack"}) {
+        kb.addOrdering({"Linux", stack, kb::kObjDeploymentEase,
+                        Requirement::alwaysTrue(),
+                        "default stack: nothing new to operate"});
+    }
+}
+
+void addCongestionControl(kb::KnowledgeBase& kb) {
+    {
+        System s;
+        s.name = "Cubic";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation};
+        s.source = "Ha et al., SIGOPS '08 (Linux default)";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "DCTCP";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation, kb::kObjLatency};
+        s.constraints = switchHas(kb::kAttrEcnSupported);
+        s.source = "Alizadeh et al., SIGCOMM '10";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "HPCC";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation, kb::kObjLatency};
+        // HPCC needs INT-enabled switches (§3.1).
+        s.constraints = switchHas(kb::kAttrIntSupported);
+        s.source = "Li et al., SIGCOMM '19";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Timely";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation, kb::kObjLatency};
+        // Depends on NIC timestamps (§3.1).
+        s.constraints = nicHas(kb::kAttrNicTimestamps);
+        s.source = "Mittal et al., SIGCOMM '15";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Swift";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation, kb::kObjLatency};
+        // NIC timestamps + a dedicated QoS level for ACKs (§3.1).
+        s.constraints = nicHas(kb::kAttrNicTimestamps);
+        s.demands = {{kb::kResQosClasses, 1.0, 0.0, 0.0}};
+        s.source = "Kumar et al., SIGCOMM '20";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Vegas";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation};
+        // Delay-based CC cannot compete with buffer-filling flows unless run
+        // as a scavenger class, and queues must be deep enough (§2.2).
+        s.constraints = Requirement::allOf(
+            {Requirement::option(kOptScavengerClass),
+             switchHas(kb::kAttrDeepBuffers)});
+        s.demands = {{kb::kResQosClasses, 1.0, 0.0, 0.0}};
+        s.source = "Brakmo et al., SIGCOMM '94; RFC 6297 scavenger guidance";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Annulus";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation, kb::kObjTailLatency};
+        // Only applicable when WAN and DC traffic compete (§4.1's missed
+        // nuance) and switches must emit QCN notifications (§2.3).
+        s.constraints = Requirement::allOf(
+            {Requirement::workloadHas(kb::kPropWanDcCompete),
+             switchHas(kb::kAttrQcnSupported)});
+        s.source = "Saeed et al., SIGCOMM '20";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "BFC";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation, kb::kObjLatency};
+        // Backpressure flow control needs programmable switches with state.
+        s.constraints = switchHas(kb::kAttrP4Supported);
+        s.demands = {{kb::kResP4Stages, 3.0, 0.0, 0.0}};
+        s.researchGrade = true;
+        s.source = "Goyal et al., NSDI '22";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "BBR";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation, kb::kObjThroughput};
+        s.source = "Cardwell et al., ACM Queue '16";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "PCC";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation};
+        s.researchGrade = true;
+        s.source = "Dong et al., NSDI '15";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Fastpass";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation, kb::kObjLatency};
+        // Centralized arbiter burns cores proportional to flow arrival rate.
+        s.demands = {{kb::kResCores, 8.0, 0.5, 0.0}};
+        s.researchGrade = true;
+        s.source = "Perry et al., SIGCOMM '14";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "BwE";
+        s.category = Category::CongestionControl;
+        s.solves = {kCapBandwidthAllocation};
+        // Hierarchical WAN allocator; pointless without WAN traffic.
+        s.constraints = Requirement::workloadHas(kb::kPropWanFlows);
+        s.demands = {{kb::kResCores, 16.0, 0.0, 0.0}};
+        s.source = "Kumar et al., SIGCOMM '15";
+        kb.addSystem(std::move(s));
+    }
+
+    // Orderings: datacenter latency rules of thumb.
+    const Requirement dc = Requirement::workloadHas(kb::kPropDcFlows);
+    kb.addOrdering({"DCTCP", "Cubic", kb::kObjLatency, dc,
+                    "ECN marking keeps queues short in the DC"});
+    kb.addOrdering({"Timely", "Cubic", kb::kObjLatency, dc,
+                    "RTT gradients beat loss-based CC on tails"});
+    kb.addOrdering({"Swift", "Timely", kb::kObjLatency, dc,
+                    "Swift supersedes Timely at Google"});
+    kb.addOrdering({"HPCC", "DCTCP", kb::kObjLatency, dc,
+                    "INT gives precise congestion info"});
+    // The canonical subjective debate (§3.1 cites "ECN vs delay in
+    // datacenter CCAs"): encode one direction, carry the dissent.
+    kb.addOrdering({"DCTCP", "Timely", kb::kObjLatency, dc,
+                    "ECN marking scales with hops; RTT noise hurts Timely",
+                    {"Zhu et al., CoNEXT '16 (ECN or Delay): delay-based can "
+                     "match ECN with careful gain tuning",
+                     "Swift (SIGCOMM '20): delay is simple and effective"}});
+    kb.addOrdering({"BFC", "HPCC", kb::kObjLatency,
+                    Requirement::workloadHas(kb::kPropIncastHeavy),
+                    "per-hop backpressure wins under incast"});
+    kb.addOrdering({"Annulus", "Swift", kb::kObjTailLatency,
+                    Requirement::workloadHas(kb::kPropWanDcCompete),
+                    "Annulus improves tails when WAN and DC traffic share"});
+    kb.addOrdering({"BBR", "Cubic", kb::kObjThroughput,
+                    Requirement::workloadHas(kb::kPropWanFlows),
+                    "model-based probing on WAN paths"});
+    kb.addOrdering({"Cubic", "Vegas", kb::kObjThroughput,
+                    Requirement::alwaysTrue(),
+                    "delay-based flows lose to buffer-filling ones"});
+    kb.addOrdering({"Cubic", "PCC", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(), "kernel default vs research CC"});
+    kb.addOrdering({"DCTCP", "Fastpass", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(),
+                    "decentralized CC needs no arbiter fleet"});
+}
+
+void addMonitoring(kb::KnowledgeBase& kb) {
+    {
+        // Listing 2, verbatim shape.
+        System s;
+        s.name = "SIMON";
+        s.category = Category::Monitoring;
+        s.solves = {kCapCaptureDelays, kCapDetectQueueLength, kb::kObjMonitoring};
+        s.constraints = Requirement::allOf(
+            {nicHas(kb::kAttrNicTimestamps), nicHas(kb::kAttrSmartNic)});
+        // computes.cores_needed(CPU_FACTOR * num_flows)
+        s.demands = {{kb::kResCores, 2.0, 0.04, 0.0},
+                     {kb::kResSmartNicCores, 2.0, 0.0, 0.0}};
+        s.source = "Geng et al., NSDI '19 (Listing 2)";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Sonata";
+        s.category = Category::Monitoring;
+        s.solves = {kCapTelemetryQueries, kCapDetectQueueLength,
+                    kb::kObjMonitoring};
+        s.constraints = switchHas(kb::kAttrP4Supported);
+        // Query pipelines consume stages (the §4.2 wrong-number example).
+        s.demands = {{kb::kResP4Stages, 8.0, 0.0, 0.0},
+                     {kb::kResCores, 4.0, 0.0, 0.2}};
+        s.source = "Gupta et al., SIGCOMM '18";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Marple";
+        s.category = Category::Monitoring;
+        s.solves = {kCapTelemetryQueries, kCapCaptureDelays, kb::kObjMonitoring};
+        s.constraints = Requirement::allOf(
+            {switchHas(kb::kAttrP4Supported),
+             Requirement::hardwareCmp(HardwareClass::Switch, kb::kAttrP4Stages,
+                                      CmpOp::Ge, 6.0)});
+        s.demands = {{kb::kResP4Stages, 6.0, 0.0, 0.0}};
+        s.researchGrade = true;
+        s.source = "Narayana et al., SIGCOMM '17";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "PingMesh";
+        s.category = Category::Monitoring;
+        s.solves = {kCapCaptureDelays, kb::kObjMonitoring};
+        s.demands = {{kb::kResCores, 1.0, 0.0, 0.0}};
+        s.source = "Guo et al., SIGCOMM '15";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "sFlow";
+        s.category = Category::Monitoring;
+        s.solves = {kb::kObjMonitoring};
+        s.source = "RFC 3176";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "NetFlow";
+        s.category = Category::Monitoring;
+        s.solves = {kb::kObjMonitoring};
+        s.demands = {{kb::kResSwitchMemoryGb, 1.0, 0.0, 0.0}};
+        s.source = "RFC 3954";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "INT-Telemetry";
+        s.category = Category::Monitoring;
+        s.solves = {kCapDetectQueueLength, kCapCaptureDelays, kb::kObjMonitoring};
+        s.constraints = switchHas(kb::kAttrIntSupported);
+        s.demands = {{kb::kResP4Stages, 2.0, 0.0, 0.0}};
+        s.source = "P4.org INT spec";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Everflow";
+        s.category = Category::Monitoring;
+        s.solves = {kCapCaptureDelays, kb::kObjMonitoring};
+        s.demands = {{kb::kResSwitchMemoryGb, 2.0, 0.0, 0.0},
+                     {kb::kResCores, 8.0, 0.0, 0.5}};
+        s.source = "Zhu et al., SIGCOMM '15";
+        kb.addSystem(std::move(s));
+    }
+
+    // Listing 2 lines 7–8, verbatim.
+    kb.addOrdering({"SIMON", "PingMesh", kb::kObjMonitoring,
+                    Requirement::alwaysTrue(),
+                    "Ordering(SIMON, monitoring, better_than = PINGMESH)"});
+    kb.addOrdering({"PingMesh", "SIMON", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(),
+                    "Ordering(PINGMESH, deployment_ease, better_than = SIMON)"});
+    kb.addOrdering({"Sonata", "NetFlow", kb::kObjMonitoring,
+                    Requirement::alwaysTrue(), "query-driven beats fixed flow "
+                                               "records"});
+    kb.addOrdering({"Marple", "sFlow", kb::kObjMonitoring,
+                    Requirement::alwaysTrue(),
+                    "line-rate per-packet queries vs sampling"});
+    kb.addOrdering({"INT-Telemetry", "sFlow", kb::kObjMonitoring,
+                    Requirement::alwaysTrue(), "per-hop truth vs samples"});
+    kb.addOrdering({"SIMON", "sFlow", kb::kObjMonitoring,
+                    Requirement::alwaysTrue(),
+                    "reconstructs queues; sampling cannot"});
+    kb.addOrdering({"sFlow", "Everflow", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(), "sampling is cheap to run"});
+    kb.addOrdering({"PingMesh", "Sonata", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(), "no programmable switches needed"});
+}
+
+void addFirewalls(kb::KnowledgeBase& kb) {
+    {
+        System s;
+        s.name = "iptables";
+        s.category = Category::Firewall;
+        s.solves = {kCapFirewalling, kb::kObjSecurity};
+        s.constraints = Requirement::systemPresent("Linux");
+        s.source = "netfilter.org";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "eBPF-Firewall";
+        s.category = Category::Firewall;
+        s.solves = {kCapFirewalling, kb::kObjSecurity};
+        s.constraints = Requirement::systemPresent("Linux");
+        s.demands = {{kb::kResCores, 1.0, 0.0, 0.1}};
+        s.source = "Cilium/XDP deployment reports";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "SmartNIC-Firewall";
+        s.category = Category::Firewall;
+        s.solves = {kCapFirewalling, kb::kObjSecurity};
+        s.constraints = nicHas(kb::kAttrSmartNic);
+        s.demands = {{kb::kResSmartNicCores, 4.0, 0.0, 0.0}};
+        s.source = "AccelNet-style offload practice";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "FPGA-Firewall";
+        s.category = Category::Firewall;
+        s.solves = {kCapFirewalling, kb::kObjSecurity};
+        s.constraints = Requirement::hardwareCmp(
+            HardwareClass::Nic, kb::kAttrFpgaGatesK, CmpOp::Ge, 200.0);
+        s.demands = {{kb::kResFpgaGatesK, 200.0, 0.0, 0.0}};
+        s.source = "FPGA NIC vendor app notes";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "P4-Firewall";
+        s.category = Category::Firewall;
+        s.solves = {kCapFirewalling, kb::kObjSecurity};
+        s.constraints = switchHas(kb::kAttrP4Supported);
+        s.demands = {{kb::kResP4Stages, 4.0, 0.0, 0.0}};
+        s.source = "switch.p4 reference pipeline";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Edge-Appliance-FW";
+        s.category = Category::Firewall;
+        s.solves = {kCapFirewalling, kb::kObjSecurity};
+        s.source = "commercial appliance datasheets";
+        kb.addSystem(std::move(s));
+    }
+
+    kb.addOrdering({"eBPF-Firewall", "iptables", kb::kObjThroughput,
+                    Requirement::alwaysTrue(), "XDP bypasses netfilter chains"});
+    kb.addOrdering({"SmartNIC-Firewall", "eBPF-Firewall", kb::kObjThroughput,
+                    Requirement::alwaysTrue(), "offload frees host cores"});
+    kb.addOrdering({"iptables", "SmartNIC-Firewall", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(), "no special hardware"});
+    kb.addOrdering({"iptables", "FPGA-Firewall", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(), "no special hardware"});
+}
+
+void addVirtualSwitches(kb::KnowledgeBase& kb) {
+    {
+        System s;
+        s.name = "OVS";
+        s.category = Category::VirtualSwitch;
+        s.solves = {kCapVirtualization};
+        s.demands = {{kb::kResCores, 1.0, 0.0, 0.15}};
+        s.source = "Pfaff et al., NSDI '15";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "OVS-DPDK";
+        s.category = Category::VirtualSwitch;
+        s.solves = {kCapVirtualization, kb::kObjThroughput};
+        s.provides = {kFactKernelBypass};
+        s.demands = {{kb::kResCores, 4.0, 0.0, 0.1}};
+        s.source = "OVS-DPDK deployment guides";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Andromeda";
+        s.category = Category::VirtualSwitch;
+        s.solves = {kCapVirtualization, kb::kObjThroughput};
+        s.demands = {{kb::kResCores, 6.0, 0.0, 0.2}};
+        s.source = "Dalton et al., NSDI '18";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "VFP";
+        s.category = Category::VirtualSwitch;
+        s.solves = {kCapVirtualization};
+        s.demands = {{kb::kResCores, 4.0, 0.0, 0.2}};
+        s.source = "Firestone, NSDI '17";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "AccelNet-Offload";
+        s.category = Category::VirtualSwitch;
+        s.solves = {kCapVirtualization, kb::kObjThroughput, kb::kObjLatency};
+        s.constraints = Requirement::hardwareCmp(
+            HardwareClass::Nic, kb::kAttrFpgaGatesK, CmpOp::Ge, 400.0);
+        s.demands = {{kb::kResFpgaGatesK, 400.0, 0.0, 0.0}};
+        s.source = "Firestone et al., NSDI '18 (§2.3 hardware-offloaded "
+                   "virtualization)";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "SR-IOV-Passthrough";
+        s.category = Category::VirtualSwitch;
+        s.solves = {kCapVirtualization, kb::kObjLatency};
+        s.constraints = nicHas(kb::kAttrSrIov);
+        s.source = "vendor SR-IOV guides (no live migration)";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Linux-Bridge";
+        s.category = Category::VirtualSwitch;
+        s.solves = {kCapVirtualization};
+        // Learning bridge floods unknown unicast — the fact that broke PFC
+        // in the Microsoft deployment (§2.2).
+        s.provides = {kFactFlooding};
+        s.constraints = Requirement::systemPresent("Linux");
+        s.source = "kernel bridge docs";
+        kb.addSystem(std::move(s));
+    }
+
+    kb.addOrdering({"AccelNet-Offload", "Andromeda", kb::kObjLatency,
+                    Requirement::alwaysTrue(), "FPGA datapath removes host hop"});
+    kb.addOrdering({"Andromeda", "OVS", kb::kObjThroughput,
+                    Requirement::alwaysTrue(), "busy-polling fastpath"});
+    kb.addOrdering({"OVS-DPDK", "OVS", kb::kObjThroughput,
+                    Requirement::alwaysTrue(), "userspace datapath"});
+    kb.addOrdering({"OVS", "AccelNet-Offload", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(), "software-only"});
+    kb.addOrdering({"OVS", "Linux-Bridge", kb::kObjMonitoring,
+                    Requirement::alwaysTrue(), "flow-level visibility"});
+}
+
+void addLoadBalancers(kb::KnowledgeBase& kb) {
+    {
+        System s;
+        s.name = "ECMP";
+        s.category = Category::LoadBalancer;
+        s.solves = {kb::kObjLoadBalancing};
+        s.source = "RFC 2992";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "WCMP";
+        s.category = Category::LoadBalancer;
+        s.solves = {kb::kObjLoadBalancing};
+        s.source = "Zhou et al., EuroSys '14";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "VLB";
+        s.category = Category::LoadBalancer;
+        s.solves = {kb::kObjLoadBalancing};
+        s.source = "Valiant load balancing literature";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "PacketSpray";
+        s.category = Category::LoadBalancer;
+        s.solves = {kb::kObjLoadBalancing};
+        // Packet spraying requires larger reorder buffers at NICs (§2.3).
+        s.constraints = Requirement::hardwareCmp(
+            HardwareClass::Nic, kb::kAttrReorderBufferKb, CmpOp::Ge, 256.0);
+        s.source = "Dixit et al. packet spraying study";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "LetFlow";
+        s.category = Category::LoadBalancer;
+        s.solves = {kb::kObjLoadBalancing};
+        s.constraints = switchHas(kb::kAttrP4Supported);
+        s.demands = {{kb::kResP4Stages, 1.0, 0.0, 0.0}};
+        s.source = "Vanini et al., NSDI '17";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "CONGA";
+        s.category = Category::LoadBalancer;
+        s.solves = {kb::kObjLoadBalancing, kb::kObjLatency};
+        s.constraints = switchHas(kb::kAttrP4Supported);
+        s.demands = {{kb::kResP4Stages, 4.0, 0.0, 0.0}};
+        s.source = "Alizadeh et al., SIGCOMM '14";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Hedera";
+        s.category = Category::LoadBalancer;
+        s.solves = {kb::kObjLoadBalancing};
+        s.demands = {{kb::kResCores, 4.0, 0.0, 0.0}};
+        s.researchGrade = true;
+        s.source = "Al-Fares et al., NSDI '10";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Maglev";
+        s.category = Category::LoadBalancer;
+        s.solves = {kb::kObjLoadBalancing};
+        s.demands = {{kb::kResCores, 8.0, 0.0, 0.3}};
+        s.source = "Eisenbud et al., NSDI '16";
+        kb.addSystem(std::move(s));
+    }
+
+    const Requirement shortFlows = Requirement::workloadHas(kb::kPropShortFlows);
+    kb.addOrdering({"PacketSpray", "ECMP", kb::kObjLoadBalancing, shortFlows,
+                    "per-packet spraying removes hash imbalance (§2.3)"});
+    kb.addOrdering({"CONGA", "ECMP", kb::kObjLoadBalancing,
+                    Requirement::alwaysTrue(), "congestion-aware flowlets"});
+    kb.addOrdering({"LetFlow", "ECMP", kb::kObjLoadBalancing,
+                    Requirement::alwaysTrue(), "flowlets absorb asymmetry"});
+    kb.addOrdering({"CONGA", "PacketSpray", kb::kObjLoadBalancing,
+                    Requirement::alwaysTrue(),
+                    "congestion-aware flowlets balance without the reordering "
+                    "penalty of spraying"});
+    kb.addOrdering({"WCMP", "ECMP", kb::kObjLoadBalancing,
+                    Requirement::alwaysTrue(), "weights handle asymmetry"});
+    kb.addOrdering({"ECMP", "PacketSpray", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(), "every switch does ECMP"});
+    kb.addOrdering({"ECMP", "Hedera", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(), "no central scheduler"});
+}
+
+void addTransports(kb::KnowledgeBase& kb) {
+    {
+        System s;
+        s.name = "TCP";
+        s.category = Category::TransportProtocol;
+        s.solves = {"transport"};
+        s.source = "RFC 9293";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "UDP";
+        s.category = Category::TransportProtocol;
+        s.solves = {"transport"};
+        s.source = "RFC 768";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "QUIC";
+        s.category = Category::TransportProtocol;
+        s.solves = {"transport"};
+        s.demands = {{kb::kResCores, 0.0, 0.0, 0.5}};
+        s.source = "RFC 9000 (userspace crypto cost)";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "RoCEv2";
+        s.category = Category::TransportProtocol;
+        s.solves = {"transport", kb::kObjLatency, kb::kObjThroughput};
+        // RDMA over lossy Ethernet needs PFC; PFC deadlocks under cyclic
+        // buffer dependencies, so the expert rule forbids coexisting with
+        // flooding (§2.2 / §3.4, the Microsoft incident).
+        s.constraints = Requirement::allOf(
+            {nicHas(kb::kAttrRdmaSupported), switchHas(kb::kAttrPfcSupported),
+             Requirement::factAbsent(kFactFlooding)});
+        s.provides = {kFactPfcEnabled, kFactLosslessFabric};
+        s.source = "Guo et al., SIGCOMM '16 (RDMA at scale)";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "iWARP";
+        s.category = Category::TransportProtocol;
+        s.solves = {"transport", kb::kObjLatency};
+        s.constraints = nicHas(kb::kAttrRdmaSupported);
+        s.source = "RFC 5040";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "Homa";
+        s.category = Category::TransportProtocol;
+        s.solves = {"transport", kb::kObjLatency};
+        // Receiver-driven priorities need several QoS classes.
+        s.demands = {{kb::kResQosClasses, 4.0, 0.0, 0.0}};
+        s.researchGrade = true;
+        s.source = "Montazeri et al., SIGCOMM '18";
+        kb.addSystem(std::move(s));
+    }
+    {
+        System s;
+        s.name = "NDP";
+        s.category = Category::TransportProtocol;
+        s.solves = {"transport", kb::kObjLatency};
+        s.constraints = switchHas(kb::kAttrP4Supported);
+        s.demands = {{kb::kResP4Stages, 2.0, 0.0, 0.0}};
+        s.researchGrade = true;
+        s.source = "Handley et al., SIGCOMM '17";
+        kb.addSystem(std::move(s));
+    }
+
+    kb.addOrdering({"RoCEv2", "TCP", kb::kObjLatency, Requirement::alwaysTrue(),
+                    "RDMA bypasses the host stack"});
+    kb.addOrdering({"RoCEv2", "iWARP", kb::kObjThroughput,
+                    Requirement::alwaysTrue(), "no TCP processing on NIC"});
+    kb.addOrdering({"Homa", "TCP", kb::kObjLatency,
+                    Requirement::workloadHas(kb::kPropShortFlows),
+                    "receiver-driven scheduling for short messages"});
+    kb.addOrdering({"TCP", "QUIC", kb::kObjThroughput,
+                    Requirement::alwaysTrue(), "kernel offloads (GSO/TSO)"});
+    kb.addOrdering({"QUIC", "TCP", kb::kObjDeploymentEase,
+                    Requirement::workloadHas(kb::kPropWanFlows),
+                    "userspace evolution, middlebox-proof"});
+    kb.addOrdering({"TCP", "RoCEv2", kb::kObjDeploymentEase,
+                    Requirement::alwaysTrue(), "no lossless fabric to operate"});
+}
+
+} // namespace
+
+void addSystemCatalog(kb::KnowledgeBase& kb) {
+    addNetworkStacks(kb);
+    addCongestionControl(kb);
+    addMonitoring(kb);
+    addFirewalls(kb);
+    addVirtualSwitches(kb);
+    addLoadBalancers(kb);
+    addTransports(kb);
+}
+
+} // namespace lar::catalog

@@ -1,0 +1,64 @@
+// Workload encodings for the §2.3 case study and the §5.1 queries.
+#include "catalog/catalog.hpp"
+
+#include "kb/objectives.hpp"
+
+namespace lar::catalog {
+
+kb::Workload makeInferenceWorkload() {
+    // Listing 3, verbatim shape:
+    //   inference_app = Workload(
+    //     properties = [dc_flows, short_flows, high_priority],
+    //     deployed_at = racks[0:3],
+    //     peak_cores = 2800, peak_bandwidth = 30)
+    //   inference_app.set_performance_bound(
+    //     objective = load_balancing, better_than = PacketSpray)
+    kb::Workload w;
+    w.name = "inference_app";
+    w.properties = {kb::kPropDcFlows, kb::kPropShortFlows, kb::kPropHighPriority,
+                    kb::kPropLatencySensitive};
+    w.racks = {0, 1, 2};
+    w.peakCores = 2800;
+    w.peakBandwidthGbps = 30.0;
+    w.numFlows = 50000;
+    w.bounds = {{kb::kObjLoadBalancing, "PacketSpray"}};
+    return w;
+}
+
+kb::Workload makeVideoWorkload() {
+    kb::Workload w;
+    w.name = "video_egress";
+    w.properties = {kb::kPropWanFlows, kb::kPropLongFlows,
+                    kb::kPropThroughputBound, kb::kPropWanDcCompete};
+    w.racks = {3, 4};
+    w.peakCores = 900;
+    w.peakBandwidthGbps = 120.0;
+    w.numFlows = 8000;
+    return w;
+}
+
+kb::Workload makeStorageWorkload() {
+    kb::Workload w;
+    w.name = "storage_backend";
+    w.properties = {kb::kPropDcFlows, kb::kPropLongFlows,
+                    kb::kPropMemoryIntensive, kb::kPropIncastHeavy};
+    w.racks = {5, 6, 7};
+    w.peakCores = 1600;
+    w.peakBandwidthGbps = 200.0;
+    w.numFlows = 20000;
+    return w;
+}
+
+kb::Workload makeBatchWorkload() {
+    kb::Workload w;
+    w.name = "batch_analytics";
+    w.properties = {kb::kPropDcFlows, kb::kPropLongFlows,
+                    kb::kPropThroughputBound, kb::kPropUnmodifiableApp};
+    w.racks = {8, 9};
+    w.peakCores = 3200;
+    w.peakBandwidthGbps = 320.0;
+    w.numFlows = 4000;
+    return w;
+}
+
+} // namespace lar::catalog

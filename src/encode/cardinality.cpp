@@ -1,0 +1,145 @@
+#include "encode/cardinality.hpp"
+
+#include "util/error.hpp"
+
+namespace lar::encode {
+
+namespace {
+
+// Sinz sequential counter: registers s[i][j] = "at least j+1 of the first
+// i+1 inputs are true", clipped at k+1 columns.
+void sequentialAtMost(CnfBuilder& b, std::span<const sat::Lit> lits, int k) {
+    const int n = static_cast<int>(lits.size());
+    if (k >= n) return;
+    if (k == 0) {
+        for (const sat::Lit l : lits) b.assertLit(~l);
+        return;
+    }
+    // s[j] holds the register column for the previous input row.
+    std::vector<sat::Lit> prev(static_cast<std::size_t>(k));
+    for (int j = 0; j < k; ++j) prev[static_cast<std::size_t>(j)] = b.newLit();
+    // Row 0: s0,0 ↔ x0 (one direction suffices), s0,j>0 forced false.
+    b.addClause(~lits[0], prev[0]);
+    for (int j = 1; j < k; ++j) b.assertLit(~prev[static_cast<std::size_t>(j)]);
+
+    for (int i = 1; i < n - 1; ++i) {
+        std::vector<sat::Lit> cur(static_cast<std::size_t>(k));
+        for (int j = 0; j < k; ++j) cur[static_cast<std::size_t>(j)] = b.newLit();
+        // x_i → s_i,0 ; s_{i-1},j → s_i,j ; x_i ∧ s_{i-1},j-1 → s_i,j
+        b.addClause(~lits[static_cast<std::size_t>(i)], cur[0]);
+        for (int j = 0; j < k; ++j)
+            b.addClause(~prev[static_cast<std::size_t>(j)],
+                        cur[static_cast<std::size_t>(j)]);
+        for (int j = 1; j < k; ++j)
+            b.addClause(~lits[static_cast<std::size_t>(i)],
+                        ~prev[static_cast<std::size_t>(j - 1)],
+                        cur[static_cast<std::size_t>(j)]);
+        // Overflow: x_i ∧ s_{i-1},k-1 → ⊥
+        b.addClause(~lits[static_cast<std::size_t>(i)],
+                    ~prev[static_cast<std::size_t>(k - 1)]);
+        prev = std::move(cur);
+    }
+    // Last input only needs the overflow clause.
+    b.addClause(~lits[static_cast<std::size_t>(n - 1)],
+                ~prev[static_cast<std::size_t>(k - 1)]);
+}
+
+} // namespace
+
+Totalizer::Totalizer(CnfBuilder& builder, std::span<const sat::Lit> inputs) {
+    // Build the counter tree bottom-up; each node's outputs are a sorted
+    // unary representation of how many leaves below it are true.
+    std::vector<std::vector<sat::Lit>> layer;
+    layer.reserve(inputs.size());
+    for (const sat::Lit in : inputs) layer.push_back({in});
+
+    while (layer.size() > 1) {
+        std::vector<std::vector<sat::Lit>> next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+            const auto& a = layer[i];
+            const auto& bNode = layer[i + 1];
+            std::vector<sat::Lit> out(a.size() + bNode.size());
+            for (auto& l : out) l = builder.newLit();
+            // Merge clauses: (a_i ∧ b_j) → out_{i+j+1}, with virtual
+            // sentinels for i = 0 / j = 0.
+            for (std::size_t ai = 0; ai <= a.size(); ++ai) {
+                for (std::size_t bi = 0; bi <= bNode.size(); ++bi) {
+                    const std::size_t sum = ai + bi;
+                    if (sum == 0 || sum > out.size()) continue;
+                    std::vector<sat::Lit> clause;
+                    if (ai > 0) clause.push_back(~a[ai - 1]);
+                    if (bi > 0) clause.push_back(~bNode[bi - 1]);
+                    if (clause.empty()) continue;
+                    clause.push_back(out[sum - 1]);
+                    builder.addClause(std::move(clause));
+                }
+            }
+            next.push_back(std::move(out));
+        }
+        if (layer.size() % 2 == 1) next.push_back(std::move(layer.back()));
+        layer = std::move(next);
+    }
+    if (!layer.empty()) outputs_ = std::move(layer[0]);
+    // Ladder: output(i+1) → output(i), so negating one output caps the sum.
+    for (std::size_t i = 0; i + 1 < outputs_.size(); ++i)
+        builder.addClause(~outputs_[i + 1], outputs_[i]);
+}
+
+sat::Lit Totalizer::output(std::size_t i) const {
+    expects(i < outputs_.size(), "Totalizer::output: index out of range");
+    return outputs_[i];
+}
+
+sat::Lit Totalizer::atMostLit(CnfBuilder& builder, int k) const {
+    expects(k >= 0, "Totalizer::atMostLit: negative bound");
+    if (static_cast<std::size_t>(k) >= outputs_.size()) return builder.trueLit();
+    return ~outputs_[static_cast<std::size_t>(k)];
+}
+
+void Totalizer::assertAtMost(CnfBuilder& builder, int k) const {
+    const sat::Lit l = atMostLit(builder, k);
+    builder.assertLit(l);
+}
+
+void addAtMost(CnfBuilder& builder, std::span<const sat::Lit> lits, int k,
+               CardinalityEncoding encoding) {
+    expects(k >= 0, "addAtMost: negative bound");
+    if (static_cast<std::size_t>(k) >= lits.size()) return;
+    if (encoding == CardinalityEncoding::SequentialCounter) {
+        sequentialAtMost(builder, lits, k);
+    } else {
+        Totalizer t(builder, lits);
+        t.assertAtMost(builder, k);
+    }
+}
+
+void addAtLeast(CnfBuilder& builder, std::span<const sat::Lit> lits, int k,
+                CardinalityEncoding encoding) {
+    expects(k >= 0, "addAtLeast: negative bound");
+    if (k == 0) return;
+    expects(static_cast<std::size_t>(k) <= lits.size(),
+            "addAtLeast: bound exceeds literal count (unsatisfiable)");
+    if (k == 1) {
+        builder.addClause(std::vector<sat::Lit>(lits.begin(), lits.end()));
+        return;
+    }
+    // Σ lits ≥ k  ⇔  Σ ¬lits ≤ n − k.
+    std::vector<sat::Lit> negated;
+    negated.reserve(lits.size());
+    for (const sat::Lit l : lits) negated.push_back(~l);
+    addAtMost(builder, negated, static_cast<int>(lits.size()) - k, encoding);
+}
+
+void addExactly(CnfBuilder& builder, std::span<const sat::Lit> lits, int k,
+                CardinalityEncoding encoding) {
+    addAtMost(builder, lits, k, encoding);
+    addAtLeast(builder, lits, k, encoding);
+}
+
+void addAtMostOnePairwise(CnfBuilder& builder, std::span<const sat::Lit> lits) {
+    for (std::size_t i = 0; i < lits.size(); ++i)
+        for (std::size_t j = i + 1; j < lits.size(); ++j)
+            builder.addClause(~lits[i], ~lits[j]);
+}
+
+} // namespace lar::encode

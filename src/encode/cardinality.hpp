@@ -1,0 +1,61 @@
+// Cardinality constraints over literals.
+//
+// Two encodings are provided:
+//   * sequential counter (Sinz 2005) — compact, good for one-shot bounds;
+//   * totalizer (Bailleux & Boufkhad 2003) — unary outputs that support
+//     incremental bound tightening, used by the MaxSAT optimizer.
+// The encoding ablation bench compares the two.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "encode/cnf_builder.hpp"
+
+namespace lar::encode {
+
+enum class CardinalityEncoding { SequentialCounter, Totalizer };
+
+/// Asserts Σ lits ≤ k (k ≥ 0) using the chosen encoding.
+void addAtMost(CnfBuilder& builder, std::span<const sat::Lit> lits, int k,
+               CardinalityEncoding encoding = CardinalityEncoding::SequentialCounter);
+
+/// Asserts Σ lits ≥ k.
+void addAtLeast(CnfBuilder& builder, std::span<const sat::Lit> lits, int k,
+                CardinalityEncoding encoding = CardinalityEncoding::SequentialCounter);
+
+/// Asserts Σ lits = k.
+void addExactly(CnfBuilder& builder, std::span<const sat::Lit> lits, int k,
+                CardinalityEncoding encoding = CardinalityEncoding::SequentialCounter);
+
+/// Pairwise at-most-one (quadratic but optimal for very small sets).
+void addAtMostOnePairwise(CnfBuilder& builder, std::span<const sat::Lit> lits);
+
+/// Totalizer: unary counter tree over input literals.
+///
+/// After construction, output(i) is a literal equivalent in one direction to
+/// "at least i+1 inputs are true" (inputs imply outputs). Ladder clauses
+/// output(i+1) → output(i) are added so that asserting ~output(k) enforces
+/// Σ inputs ≤ k. Bounds can be tightened incrementally by asserting further
+/// output negations.
+class Totalizer {
+public:
+    Totalizer(CnfBuilder& builder, std::span<const sat::Lit> inputs);
+
+    [[nodiscard]] std::size_t size() const { return outputs_.size(); }
+
+    /// Literal "at least i+1 inputs true" (0-based); i < size().
+    [[nodiscard]] sat::Lit output(std::size_t i) const;
+
+    /// Literal whose assertion enforces Σ inputs ≤ k (for k < size());
+    /// for k ≥ size() there is nothing to enforce and trueLit is returned.
+    [[nodiscard]] sat::Lit atMostLit(CnfBuilder& builder, int k) const;
+
+    /// Hard-asserts Σ inputs ≤ k.
+    void assertAtMost(CnfBuilder& builder, int k) const;
+
+private:
+    std::vector<sat::Lit> outputs_;
+};
+
+} // namespace lar::encode

@@ -1,0 +1,71 @@
+#include "encode/cnf_builder.hpp"
+
+namespace lar::encode {
+
+sat::Lit CnfBuilder::trueLit() {
+    if (!true_.isDefined()) {
+        true_ = newLit();
+        solver_->addClause(true_);
+    }
+    return true_;
+}
+
+sat::Lit CnfBuilder::mkAnd(std::span<const sat::Lit> inputs) {
+    if (inputs.empty()) return trueLit();
+    if (inputs.size() == 1) return inputs[0];
+    const sat::Lit out = newLit();
+    // out → each input
+    for (const sat::Lit in : inputs) addClause(~out, in);
+    // all inputs → out
+    std::vector<sat::Lit> clause;
+    clause.reserve(inputs.size() + 1);
+    for (const sat::Lit in : inputs) clause.push_back(~in);
+    clause.push_back(out);
+    addClause(std::move(clause));
+    return out;
+}
+
+sat::Lit CnfBuilder::mkOr(std::span<const sat::Lit> inputs) {
+    if (inputs.empty()) return falseLit();
+    if (inputs.size() == 1) return inputs[0];
+    const sat::Lit out = newLit();
+    // each input → out
+    for (const sat::Lit in : inputs) addClause(~in, out);
+    // out → some input
+    std::vector<sat::Lit> clause;
+    clause.reserve(inputs.size() + 1);
+    clause.push_back(~out);
+    for (const sat::Lit in : inputs) clause.push_back(in);
+    addClause(std::move(clause));
+    return out;
+}
+
+sat::Lit CnfBuilder::mkAnd(sat::Lit a, sat::Lit b) {
+    const sat::Lit ins[] = {a, b};
+    return mkAnd(std::span<const sat::Lit>(ins));
+}
+
+sat::Lit CnfBuilder::mkOr(sat::Lit a, sat::Lit b) {
+    const sat::Lit ins[] = {a, b};
+    return mkOr(std::span<const sat::Lit>(ins));
+}
+
+sat::Lit CnfBuilder::mkIff(sat::Lit a, sat::Lit b) {
+    const sat::Lit out = newLit();
+    addClause(~out, ~a, b);
+    addClause(~out, a, ~b);
+    addClause(out, a, b);
+    addClause(out, ~a, ~b);
+    return out;
+}
+
+sat::Lit CnfBuilder::mkIte(sat::Lit cond, sat::Lit ifTrue, sat::Lit ifFalse) {
+    const sat::Lit out = newLit();
+    addClause(~cond, ~ifTrue, out);
+    addClause(~cond, ifTrue, ~out);
+    addClause(cond, ~ifFalse, out);
+    addClause(cond, ifFalse, ~out);
+    return out;
+}
+
+} // namespace lar::encode

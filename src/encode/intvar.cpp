@@ -1,0 +1,47 @@
+#include "encode/intvar.hpp"
+
+#include "util/error.hpp"
+
+namespace lar::encode {
+
+IntVar IntVar::create(CnfBuilder& builder, int lo, int hi) {
+    expects(lo <= hi, "IntVar: lo must not exceed hi");
+    std::vector<sat::Lit> leq;
+    leq.reserve(static_cast<std::size_t>(hi - lo));
+    for (int i = lo; i < hi; ++i) leq.push_back(builder.newLit());
+    for (std::size_t i = 0; i + 1 < leq.size(); ++i)
+        builder.assertImplies(leq[i], leq[i + 1]); // (x ≤ c) → (x ≤ c+1)
+    return IntVar(lo, hi, std::move(leq));
+}
+
+sat::Lit IntVar::leqLit(CnfBuilder& builder, int c) const {
+    if (c >= hi_) return builder.trueLit();
+    if (c < lo_) return builder.falseLit();
+    return leq_[static_cast<std::size_t>(c - lo_)];
+}
+
+sat::Lit IntVar::eqLit(CnfBuilder& builder, int c) const {
+    if (c < lo_ || c > hi_) return builder.falseLit();
+    const sat::Lit le = leqLit(builder, c);
+    const sat::Lit ge = geqLit(builder, c);
+    if (le == builder.trueLit()) return ge;
+    if (ge == builder.trueLit()) return le;
+    return builder.mkAnd(le, ge);
+}
+
+int IntVar::valueIn(const sat::Solver& solver) const {
+    for (std::size_t i = 0; i < leq_.size(); ++i)
+        if (solver.modelValue(leq_[i])) return lo_ + static_cast<int>(i);
+    return hi_;
+}
+
+std::vector<PbTerm> IntVar::scaledTerms(std::int64_t scale) const {
+    expects(scale > 0, "IntVar::scaledTerms: scale must be positive");
+    // (x − lo) = Σ_i [x > lo+i] = Σ_i ¬leq_i.
+    std::vector<PbTerm> terms;
+    terms.reserve(leq_.size());
+    for (const sat::Lit q : leq_) terms.push_back({scale, ~q});
+    return terms;
+}
+
+} // namespace lar::encode

@@ -1,0 +1,52 @@
+// Bounded integer variables with the order encoding.
+//
+// An IntVar over [lo, hi] is represented by literals q_i ⇔ (x ≤ lo+i) with
+// ladder clauses q_i → q_{i+1}. Comparisons are single literals; equality is
+// a conjunction; arithmetic flows through PbSum by expanding the variable
+// into unit-weight indicator bits. The reasoning layer uses IntVars for
+// quantities an architect leaves open (e.g. how many SmartNIC-equipped racks
+// to provision).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encode/cnf_builder.hpp"
+#include "encode/pb.hpp"
+
+namespace lar::encode {
+
+class IntVar {
+public:
+    /// Creates a variable ranging over [lo, hi] (lo ≤ hi).
+    static IntVar create(CnfBuilder& builder, int lo, int hi);
+
+    [[nodiscard]] int lo() const { return lo_; }
+    [[nodiscard]] int hi() const { return hi_; }
+
+    /// Literal for (x ≤ c). Constant-folds to true/false outside [lo, hi).
+    [[nodiscard]] sat::Lit leqLit(CnfBuilder& builder, int c) const;
+    /// Literal for (x ≥ c).
+    [[nodiscard]] sat::Lit geqLit(CnfBuilder& builder, int c) const {
+        return ~leqLit(builder, c - 1);
+    }
+    /// Literal for (x = c); a fresh gate except at the bounds.
+    [[nodiscard]] sat::Lit eqLit(CnfBuilder& builder, int c) const;
+
+    /// The variable's value in the solver's current model.
+    [[nodiscard]] int valueIn(const sat::Solver& solver) const;
+
+    /// Expands (x − lo) into unit-weight PB terms, each scaled by `scale`:
+    /// Σ terms = scale·(x − lo). Used to embed the variable in linear sums.
+    [[nodiscard]] std::vector<PbTerm> scaledTerms(std::int64_t scale) const;
+
+private:
+    IntVar(int lo, int hi, std::vector<sat::Lit> leq)
+        : lo_(lo), hi_(hi), leq_(std::move(leq)) {}
+
+    int lo_ = 0;
+    int hi_ = 0;
+    std::vector<sat::Lit> leq_; ///< leq_[i] ⇔ x ≤ lo+i, i ∈ [0, hi-lo)
+};
+
+} // namespace lar::encode

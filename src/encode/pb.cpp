@@ -1,0 +1,192 @@
+#include "encode/pb.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace lar::encode {
+
+namespace {
+
+/// A merge-tree node: ascending (sum, literal) pairs.
+struct Node {
+    std::vector<std::int64_t> sums;
+    std::vector<sat::Lit> lits;
+};
+
+std::int64_t clampSum(std::int64_t s, std::int64_t clampAt) {
+    return (clampAt >= 0 && s > clampAt) ? clampAt : s;
+}
+
+Node mergeNodes(CnfBuilder& b, const Node& left, const Node& right,
+                std::int64_t clampAt) {
+    // Collect distinct attainable sums.
+    std::map<std::int64_t, sat::Lit> outputs;
+    const auto ensureOutput = [&](std::int64_t s) -> sat::Lit {
+        auto it = outputs.find(s);
+        if (it != outputs.end()) return it->second;
+        const sat::Lit l = b.newLit();
+        outputs.emplace(s, l);
+        return l;
+    };
+
+    for (std::size_t i = 0; i <= left.sums.size(); ++i) {
+        for (std::size_t j = 0; j <= right.sums.size(); ++j) {
+            if (i == 0 && j == 0) continue;
+            const std::int64_t sum =
+                clampSum((i > 0 ? left.sums[i - 1] : 0) +
+                             (j > 0 ? right.sums[j - 1] : 0),
+                         clampAt);
+            const sat::Lit out = ensureOutput(sum);
+            std::vector<sat::Lit> clause;
+            if (i > 0) clause.push_back(~left.lits[i - 1]);
+            if (j > 0) clause.push_back(~right.lits[j - 1]);
+            clause.push_back(out);
+            b.addClause(std::move(clause));
+        }
+    }
+
+    Node merged;
+    merged.sums.reserve(outputs.size());
+    merged.lits.reserve(outputs.size());
+    for (const auto& [sum, lit] : outputs) {
+        merged.sums.push_back(sum);
+        merged.lits.push_back(lit);
+    }
+    return merged;
+}
+
+} // namespace
+
+namespace {
+
+/// Leaf for a group of mutually exclusive terms: one output per distinct
+/// clamped weight; each term implies every output at or below its weight.
+Node makeExclusiveLeaf(CnfBuilder& b, const std::vector<PbTerm>& group,
+                       std::int64_t clampAt) {
+    if (group.size() == 1) {
+        Node leaf;
+        leaf.sums.push_back(clampSum(group[0].weight, clampAt));
+        leaf.lits.push_back(group[0].lit);
+        return leaf;
+    }
+    std::map<std::int64_t, sat::Lit> outputs;
+    for (const PbTerm& t : group) {
+        expects(t.weight > 0, "PbSum: weights must be positive");
+        const std::int64_t w = clampSum(t.weight, clampAt);
+        if (outputs.find(w) == outputs.end()) outputs.emplace(w, b.newLit());
+    }
+    Node leaf;
+    for (const auto& [sum, lit] : outputs) {
+        leaf.sums.push_back(sum);
+        leaf.lits.push_back(lit);
+    }
+    // term → every output threshold it reaches.
+    for (const PbTerm& t : group) {
+        const std::int64_t w = clampSum(t.weight, clampAt);
+        for (std::size_t i = 0; i < leaf.sums.size() && leaf.sums[i] <= w; ++i)
+            b.addClause(~t.lit, leaf.lits[i]);
+    }
+    return leaf;
+}
+
+std::vector<std::int64_t> finishTree(CnfBuilder& builder, std::vector<Node> layer,
+                                     std::int64_t clampAt,
+                                     std::vector<sat::Lit>& outputs) {
+    while (layer.size() > 1) {
+        std::sort(layer.begin(), layer.end(), [](const Node& a, const Node& b) {
+            return a.sums.size() > b.sums.size(); // merge smallest (at back)
+        });
+        Node right = std::move(layer.back());
+        layer.pop_back();
+        Node left = std::move(layer.back());
+        layer.pop_back();
+        layer.push_back(mergeNodes(builder, left, right, clampAt));
+    }
+    std::vector<std::int64_t> sums = std::move(layer[0].sums);
+    outputs = std::move(layer[0].lits);
+    // Ladder clauses: higher sums imply lower ones.
+    for (std::size_t i = 0; i + 1 < outputs.size(); ++i)
+        builder.addClause(~outputs[i + 1], outputs[i]);
+    return sums;
+}
+
+} // namespace
+
+PbSum::PbSum(CnfBuilder& builder,
+             std::span<const std::vector<PbTerm>> exclusiveGroups,
+             std::int64_t clampAt) {
+    std::vector<Node> layer;
+    layer.reserve(exclusiveGroups.size());
+    for (const std::vector<PbTerm>& group : exclusiveGroups) {
+        if (group.empty()) continue;
+        layer.push_back(makeExclusiveLeaf(builder, group, clampAt));
+    }
+    if (layer.empty()) return;
+    sums_ = finishTree(builder, std::move(layer), clampAt, outputs_);
+}
+
+PbSum::PbSum(CnfBuilder& builder, std::span<const PbTerm> terms,
+             std::int64_t clampAt) {
+    std::vector<Node> layer;
+    layer.reserve(terms.size());
+    for (const PbTerm& t : terms) {
+        expects(t.weight > 0, "PbSum: weights must be positive");
+        Node leaf;
+        leaf.sums.push_back(clampSum(t.weight, clampAt));
+        leaf.lits.push_back(t.lit);
+        layer.push_back(std::move(leaf));
+    }
+    if (layer.empty()) return;
+    sums_ = finishTree(builder, std::move(layer), clampAt, outputs_);
+}
+
+sat::Lit PbSum::geqLit(CnfBuilder& builder, std::int64_t s) const {
+    if (s <= 0) return builder.trueLit();
+    // Smallest attainable sum ≥ s.
+    const auto it = std::lower_bound(sums_.begin(), sums_.end(), s);
+    if (it == sums_.end()) return builder.falseLit();
+    return outputs_[static_cast<std::size_t>(it - sums_.begin())];
+}
+
+sat::Lit PbSum::atMostLit(CnfBuilder& builder, std::int64_t bound) const {
+    // sum ≤ bound ⇔ ¬(sum ≥ bound+1).
+    const sat::Lit geq = geqLit(builder, bound + 1);
+    return ~geq;
+}
+
+void PbSum::assertAtMost(CnfBuilder& builder, std::int64_t bound) const {
+    builder.assertLit(atMostLit(builder, bound));
+}
+
+void addPbAtMost(CnfBuilder& builder, std::span<const PbTerm> terms,
+                 std::int64_t bound) {
+    expects(bound >= 0, "addPbAtMost: negative bound");
+    // Terms whose weight alone exceeds the bound must be false; drop them
+    // from the counter to keep it small.
+    std::vector<PbTerm> kept;
+    kept.reserve(terms.size());
+    std::int64_t total = 0;
+    for (const PbTerm& t : terms) {
+        expects(t.weight > 0, "addPbAtMost: weights must be positive");
+        if (t.weight > bound) {
+            builder.assertLit(~t.lit);
+        } else {
+            kept.push_back(t);
+            total += t.weight;
+        }
+    }
+    if (total <= bound) return; // cannot be violated
+    const PbSum sum(builder, kept, /*clampAt=*/bound + 1);
+    sum.assertAtMost(builder, bound);
+}
+
+std::int64_t evalPb(const sat::Solver& solver, std::span<const PbTerm> terms) {
+    std::int64_t total = 0;
+    for (const PbTerm& t : terms)
+        if (solver.modelValue(t.lit)) total += t.weight;
+    return total;
+}
+
+} // namespace lar::encode

@@ -1,0 +1,149 @@
+#include "extract/checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lar::extract {
+
+namespace {
+
+/// Flattens a requirement into its conjunct leaves for set comparison.
+void flatten(const kb::Requirement& r, std::vector<kb::Requirement>& out) {
+    if (r.kind() == kb::Requirement::Kind::And) {
+        for (const kb::Requirement& c : r.children()) flatten(c, out);
+        return;
+    }
+    if (!r.isTrivial()) out.push_back(r);
+}
+
+bool containsRequirement(const std::vector<kb::Requirement>& haystack,
+                         const kb::Requirement& needle) {
+    const std::string rendered = needle.toString();
+    return std::any_of(haystack.begin(), haystack.end(),
+                       [&rendered](const kb::Requirement& r) {
+                           return r.toString() == rendered;
+                       });
+}
+
+const kb::ResourceDemand* findDemand(const kb::System& candidate,
+                                     const std::string& resource) {
+    for (const kb::ResourceDemand& d : candidate.demands)
+        if (d.resource == resource) return &d;
+    return nullptr;
+}
+
+bool demandMatches(const kb::ResourceDemand& a, const kb::ResourceDemand& b) {
+    return std::llround(a.fixed) == std::llround(b.fixed) &&
+           std::abs(a.perKiloFlows - b.perKiloFlows) < 1e-9 &&
+           std::abs(a.perGbps - b.perGbps) < 1e-9;
+}
+
+} // namespace
+
+CheckResult checkEncoding(const kb::System& candidate,
+                          const SystemDoc& referenceDoc,
+                          const CheckerModel& model, util::Rng& rng) {
+    CheckResult result;
+    std::vector<kb::Requirement> candidateReqs;
+    flatten(candidate.constraints, candidateReqs);
+
+    for (const DocFact& fact : referenceDoc.facts) {
+        switch (fact.kind) {
+            case DocFact::Kind::HardRequirement:
+            case DocFact::Kind::NuanceCondition: {
+                if (containsRequirement(candidateReqs, fact.requirement)) {
+                    if (rng.chance(model.falseAlarm)) {
+                        ++result.stats.falseAlarms;
+                        result.findings.push_back(
+                            {CheckFinding::Type::FalseAlarm,
+                             "questioned (correct) condition: " +
+                                 fact.requirement.toString()});
+                    }
+                    break;
+                }
+                ++result.stats.missingTotal;
+                if (rng.chance(model.detectMissingCondition)) {
+                    ++result.stats.missingFlagged;
+                    result.findings.push_back(
+                        {CheckFinding::Type::MissingCondition,
+                         candidate.name + " encoding is missing the condition: " +
+                             fact.requirement.toString()});
+                }
+                break;
+            }
+            case DocFact::Kind::ResourceQuantity: {
+                const kb::ResourceDemand* mine =
+                    findDemand(candidate, fact.demand.resource);
+                if (mine == nullptr) {
+                    // Absent quantity = existence problem: strong detection.
+                    ++result.stats.missingTotal;
+                    if (rng.chance(model.detectMissingCondition)) {
+                        ++result.stats.missingFlagged;
+                        result.findings.push_back(
+                            {CheckFinding::Type::MissingCondition,
+                             candidate.name + " encoding omits its '" +
+                                 fact.demand.resource + "' demand"});
+                    }
+                    break;
+                }
+                if (demandMatches(*mine, fact.demand)) break;
+                // Present but wrong number: weak detection (§4.2).
+                ++result.stats.wrongValueTotal;
+                if (rng.chance(model.detectWrongValue)) {
+                    ++result.stats.wrongValueFlagged;
+                    result.findings.push_back(
+                        {CheckFinding::Type::WrongValue,
+                         candidate.name + " encodes the wrong amount of '" +
+                             fact.demand.resource + "'"});
+                }
+                break;
+            }
+            case DocFact::Kind::Provides: {
+                if (std::find(candidate.provides.begin(), candidate.provides.end(),
+                              fact.name) != candidate.provides.end())
+                    break;
+                ++result.stats.missingTotal;
+                if (rng.chance(model.detectMissingCondition)) {
+                    ++result.stats.missingFlagged;
+                    result.findings.push_back(
+                        {CheckFinding::Type::MissingCondition,
+                         candidate.name + " encoding omits provided fact '" +
+                             fact.name + "'"});
+                }
+                break;
+            }
+            case DocFact::Kind::Conflict: {
+                if (std::find(candidate.conflicts.begin(),
+                              candidate.conflicts.end(),
+                              fact.name) != candidate.conflicts.end())
+                    break;
+                ++result.stats.missingTotal;
+                if (rng.chance(model.detectMissingCondition)) {
+                    ++result.stats.missingFlagged;
+                    result.findings.push_back(
+                        {CheckFinding::Type::MissingCondition,
+                         candidate.name + " encoding omits the conflict with " +
+                             fact.name});
+                }
+                break;
+            }
+            case DocFact::Kind::Capability: break; // headline claims
+        }
+    }
+    return result;
+}
+
+ClaimClass classifyOrdering(const kb::Ordering& ordering) {
+    (void)ordering;
+    // Any better-than claim is comparative and hence subjective (§4.2: "the
+    // controversial questions were all about comparisons between systems").
+    return ClaimClass::SubjectiveComparison;
+}
+
+ClaimClass classifyRequirement(const kb::Requirement& requirement) {
+    (void)requirement;
+    // Inter-dependencies between systems and hardware are objective.
+    return ClaimClass::ObjectiveFact;
+}
+
+} // namespace lar::extract

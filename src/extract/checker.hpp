@@ -1,0 +1,60 @@
+// Simulated-LLM encoding checking (§4.2).
+//
+// "LLMs can check rules humans write for (1) completeness and (2)
+//  objectivity. … LLMs could not always check for the correctness of a
+//  condition (especially if it's loaded with numbers), but they did a
+//  better job of checking for the existence of a condition."
+//
+// The checker compares a candidate encoding against the source document and
+// reports findings; detection is noisy per the calibrated model — existence
+// checks (a requirement missing outright, like Shenango's interrupt-polling
+// NIC) are caught far more reliably than wrong numeric values (like an
+// incorrect Sonata P4 stage count). It also separates objective facts from
+// subjective comparisons for the §4.2 objectivity discussion.
+#pragma once
+
+#include "extract/document.hpp"
+#include "kb/kb.hpp"
+#include "util/rng.hpp"
+
+namespace lar::extract {
+
+struct CheckerModel {
+    double detectMissingCondition = 0.92; ///< existence checks: strong
+    double detectWrongValue = 0.55;       ///< numeric correctness: weak
+    double falseAlarm = 0.02;             ///< flags a correct fact anyway
+};
+
+struct CheckFinding {
+    enum class Type { MissingCondition, WrongValue, FalseAlarm };
+    Type type = Type::MissingCondition;
+    std::string description;
+};
+
+struct CheckStats {
+    int missingTotal = 0;  ///< facts absent from the candidate
+    int missingFlagged = 0;
+    int wrongValueTotal = 0;
+    int wrongValueFlagged = 0;
+    int falseAlarms = 0;
+};
+
+struct CheckResult {
+    std::vector<CheckFinding> findings;
+    CheckStats stats;
+};
+
+/// Checks `candidate` against the document's ground-truth facts.
+[[nodiscard]] CheckResult checkEncoding(const kb::System& candidate,
+                                        const SystemDoc& referenceDoc,
+                                        const CheckerModel& model,
+                                        util::Rng& rng);
+
+/// §4.2 objectivity classification: ordering rules are comparative and
+/// therefore subjective ("everybody wants to believe their favorite design
+/// is best"); requirement/dependency facts are objective.
+enum class ClaimClass { ObjectiveFact, SubjectiveComparison };
+[[nodiscard]] ClaimClass classifyOrdering(const kb::Ordering& ordering);
+[[nodiscard]] ClaimClass classifyRequirement(const kb::Requirement& requirement);
+
+} // namespace lar::extract

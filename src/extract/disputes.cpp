@@ -1,0 +1,52 @@
+#include "extract/disputes.hpp"
+
+#include <algorithm>
+
+namespace lar::extract {
+
+std::vector<ComparativeClaim> renderClaimCorpus(const kb::KnowledgeBase& kb,
+                                                double contrarianProb,
+                                                util::Rng& rng) {
+    static const char* kVenues[] = {"vendor blog",     "mailing-list thread",
+                                    "conference eval", "operator bug report",
+                                    "benchmark repo",  "datasheet footnote"};
+    std::vector<ComparativeClaim> corpus;
+    int counter = 0;
+    for (const kb::Ordering& o : kb.orderings()) {
+        const int supporting = 1 + static_cast<int>(rng.below(3));
+        for (int i = 0; i < supporting; ++i) {
+            corpus.push_back({o.better, o.worse, o.objective,
+                              std::string(kVenues[rng.below(std::size(kVenues))]) +
+                                  " #" + std::to_string(counter++)});
+        }
+        if (rng.chance(contrarianProb)) {
+            // The contrarian source claims the opposite direction.
+            corpus.push_back({o.worse, o.better, o.objective,
+                              std::string(kVenues[rng.below(std::size(kVenues))]) +
+                                  " #" + std::to_string(counter++)});
+        }
+    }
+    return corpus;
+}
+
+std::size_t annotateDisputes(kb::KnowledgeBase& kb,
+                             const std::vector<ComparativeClaim>& corpus) {
+    std::size_t annotated = 0;
+    for (kb::Ordering& o : kb.mutableOrderings()) {
+        const std::size_t before = o.disputes.size();
+        for (const ComparativeClaim& claim : corpus) {
+            // A claim disputes the ordering when it asserts the reverse
+            // direction on the same objective.
+            if (claim.objective != o.objective || claim.better != o.worse ||
+                claim.worse != o.better)
+                continue;
+            if (std::find(o.disputes.begin(), o.disputes.end(), claim.source) ==
+                o.disputes.end())
+                o.disputes.push_back(claim.source);
+        }
+        if (o.disputes.size() > before) ++annotated;
+    }
+    return annotated;
+}
+
+} // namespace lar::extract

@@ -1,0 +1,40 @@
+// Dispute annotation (§4.2 objectivity).
+//
+// "Both humans and the literature are often biased … LLMs can read a broad
+//  range of sources (papers, blog posts, bug reports, datasheets etc.) and
+//  present any conflicting claim to humans."
+//
+// We simulate the source landscape: a corpus of comparative claims derived
+// from the knowledge base, with a calibrated share of contrarian sources
+// (the blog post insisting the underdog is faster). The annotator scans the
+// corpus and attaches every claim that contradicts an encoded ordering to
+// that ordering's `disputes` list — surfacing, not resolving, the
+// controversy.
+#pragma once
+
+#include "kb/kb.hpp"
+#include "util/rng.hpp"
+
+namespace lar::extract {
+
+/// One comparative claim found "in the wild".
+struct ComparativeClaim {
+    std::string better;
+    std::string worse;
+    std::string objective;
+    std::string source; ///< e.g. "vendor blog", "NSDI '19 eval"
+};
+
+/// Generates a claim corpus from the KB's orderings: each ordering yields
+/// 1–3 supporting claims, plus a contrarian (flipped) claim with probability
+/// `contrarianProb`.
+[[nodiscard]] std::vector<ComparativeClaim> renderClaimCorpus(
+    const kb::KnowledgeBase& kb, double contrarianProb, util::Rng& rng);
+
+/// Attaches every corpus claim contradicting an encoded ordering to that
+/// ordering's `disputes` list. Returns the number of orderings that gained
+/// at least one dispute. Idempotent per distinct source string.
+std::size_t annotateDisputes(kb::KnowledgeBase& kb,
+                             const std::vector<ComparativeClaim>& corpus);
+
+} // namespace lar::extract

@@ -1,0 +1,52 @@
+// Source-document models for the §4 extraction experiments.
+//
+// Hardware knowledge arrives as highly structured vendor spec sheets
+// (Listing 1's input); system knowledge arrives as paper-like prose whose
+// facts vary in how explicitly they are stated. Each prose document keeps
+// its facts in structured form alongside the rendered text, so extraction
+// experiments can measure recall per fact kind against ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kb/system.hpp"
+
+namespace lar::extract {
+
+/// One fact stated by a system's source document.
+struct DocFact {
+    enum class Kind {
+        HardRequirement,  ///< explicit hardware/system dependency
+        NuanceCondition,  ///< applicability condition stated in passing
+                          ///< (e.g. "only when WAN and DC traffic compete")
+        ResourceQuantity, ///< how much of a resource is needed
+        Provides,         ///< side effects on the environment
+        Conflict,         ///< incompatibility with another system
+        Capability        ///< what the system solves
+    };
+    Kind kind = Kind::HardRequirement;
+    std::string sentence; ///< the rendered prose sentence
+
+    // Machine-readable payload (exactly one is meaningful per kind).
+    kb::Requirement requirement;
+    kb::ResourceDemand demand;
+    std::string name; ///< capability / fact / conflicting-system name
+};
+
+/// A paper-like description of one system.
+struct SystemDoc {
+    std::string systemName;
+    kb::Category category = kb::Category::NetworkStack;
+    bool researchGrade = false;
+    std::vector<DocFact> facts;
+    std::string prose; ///< all sentences joined, for display
+};
+
+/// A vendor spec sheet: rendered text plus the ground-truth spec.
+struct SpecSheet {
+    std::string text;
+    kb::HardwareSpec groundTruth;
+};
+
+} // namespace lar::extract

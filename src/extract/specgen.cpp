@@ -1,0 +1,236 @@
+#include "extract/specgen.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace lar::extract {
+
+namespace {
+
+std::string yesNo(bool v) { return v ? "Yes" : "No"; }
+
+std::string withThousands(std::int64_t v) {
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count > 0 && count % 3 == 0) out.insert(out.begin(), ',');
+        out.insert(out.begin(), *it);
+        ++count;
+    }
+    return out;
+}
+
+void field(std::string& text, const std::string& label, const std::string& value) {
+    text += "  \"" + label + "\": \"" + value + "\",\n";
+}
+
+} // namespace
+
+SpecSheet renderSpecSheet(const kb::HardwareSpec& spec) {
+    // Field names follow Listing 1's display labels.
+    std::string text = "{\n";
+    field(text, "Model Name", spec.model);
+    field(text, "Vendor", spec.vendor);
+    field(text, "Device Class", toString(spec.cls));
+    if (const auto bw = spec.numAttr(kb::kAttrPortBandwidthGbps))
+        field(text, "Port Bandwidth",
+              std::to_string(static_cast<long long>(*bw)) + " Gbps");
+    field(text, "Max Power Consumption",
+          std::to_string(static_cast<long long>(std::llround(spec.maxPowerW))) +
+              "W");
+    if (const auto ports = spec.numAttr(kb::kAttrNumPorts)) {
+        const auto bw = spec.numAttr(kb::kAttrPortBandwidthGbps).value_or(0);
+        field(text, "Ports",
+              std::to_string(static_cast<long long>(*ports)) + "x " +
+                  std::to_string(static_cast<long long>(bw)) +
+                  " Gigabit Ethernet SFP+");
+    }
+    if (const auto mem = spec.numAttr(kb::kAttrMemoryGb))
+        field(text, "Memory",
+              std::to_string(static_cast<long long>(*mem)) + " GB");
+    if (const auto p4 = spec.boolAttr(kb::kAttrP4Supported)) {
+        field(text, "P4 Supported?", yesNo(*p4));
+        if (*p4) {
+            field(text, "# P4 Stages",
+                  std::to_string(static_cast<long long>(
+                      spec.numAttr(kb::kAttrP4Stages).value_or(0))));
+        } else {
+            field(text, "# P4 Stages", "N/A");
+        }
+    }
+    if (const auto ecn = spec.boolAttr(kb::kAttrEcnSupported))
+        field(text, "ECN supported?", yesNo(*ecn));
+    if (const auto qcn = spec.boolAttr(kb::kAttrQcnSupported))
+        field(text, "QCN supported?", yesNo(*qcn));
+    if (const auto intSup = spec.boolAttr(kb::kAttrIntSupported))
+        field(text, "INT supported?", yesNo(*intSup));
+    if (const auto pfc = spec.boolAttr(kb::kAttrPfcSupported))
+        field(text, "PFC supported?", yesNo(*pfc));
+    if (const auto deep = spec.boolAttr(kb::kAttrDeepBuffers))
+        field(text, "Deep Buffers?", yesNo(*deep));
+    if (const auto mac = spec.numAttr(kb::kAttrMacTableSize))
+        field(text, "MAC Address Table Size",
+              withThousands(static_cast<std::int64_t>(*mac)) + " entries");
+    if (const auto qos = spec.numAttr(kb::kAttrQosClasses))
+        field(text, "QoS Classes",
+              std::to_string(static_cast<long long>(*qos)));
+    if (const auto buf = spec.numAttr(kb::kAttrBufferMb))
+        field(text, "Packet Buffer",
+              std::to_string(static_cast<long long>(*buf)) + " MB");
+    if (const auto ts = spec.boolAttr(kb::kAttrNicTimestamps))
+        field(text, "Hardware Timestamps?", yesNo(*ts));
+    if (const auto rdma = spec.boolAttr(kb::kAttrRdmaSupported))
+        field(text, "RDMA Supported?", yesNo(*rdma));
+    if (const auto sriov = spec.boolAttr(kb::kAttrSrIov))
+        field(text, "SR-IOV?", yesNo(*sriov));
+    if (const auto poll = spec.boolAttr(kb::kAttrInterruptPolling))
+        field(text, "Interrupt Polling?", yesNo(*poll));
+    if (const auto smart = spec.boolAttr(kb::kAttrSmartNic))
+        field(text, "SmartNIC?", yesNo(*smart));
+    if (const auto kind = spec.strAttr(kb::kAttrSmartNicKind))
+        field(text, "SmartNIC Type", *kind);
+    if (const auto cores = spec.numAttr(kb::kAttrNicCores))
+        field(text, "NIC Cores", std::to_string(static_cast<long long>(*cores)));
+    if (const auto gates = spec.numAttr(kb::kAttrFpgaGatesK))
+        field(text, "FPGA Logic",
+              withThousands(static_cast<std::int64_t>(*gates)) + "K gates");
+    if (const auto reorder = spec.numAttr(kb::kAttrReorderBufferKb))
+        field(text, "Reorder Buffer",
+              std::to_string(static_cast<long long>(*reorder)) + " KB");
+    if (const auto cores = spec.numAttr(kb::kAttrCores))
+        field(text, "CPU Cores", std::to_string(static_cast<long long>(*cores)));
+    if (const auto ram = spec.numAttr(kb::kAttrRamGb))
+        field(text, "RAM", std::to_string(static_cast<long long>(*ram)) + " GB");
+    if (const auto cxl = spec.boolAttr(kb::kAttrCxlSupported))
+        field(text, "CXL Supported?", yesNo(*cxl));
+    if (const auto numa = spec.numAttr(kb::kAttrNumaNodes))
+        field(text, "NUMA Nodes", std::to_string(static_cast<long long>(*numa)));
+    field(text, "Unit Price",
+          "$" + withThousands(static_cast<std::int64_t>(
+                    std::llround(spec.unitCostUsd))));
+    // Trim the trailing comma for tidy JSON-ish output.
+    if (text.size() >= 2 && text[text.size() - 2] == ',')
+        text.erase(text.size() - 2, 1);
+    text += "}\n";
+    return SpecSheet{std::move(text), spec};
+}
+
+namespace {
+
+/// True for requirement nodes whose applicability depends on workload or
+/// deployment context rather than hardware capability — the "nuances" §4.1
+/// found LLMs miss.
+bool isNuance(const kb::Requirement& r) {
+    using Kind = kb::Requirement::Kind;
+    switch (r.kind()) {
+        case Kind::WorkloadHas:
+        case Kind::OptionTrue: return true;
+        case Kind::Not: return isNuance(r.children()[0]);
+        case Kind::FactTrue: return true; // environment facts, e.g. flooding
+        default: return false;
+    }
+}
+
+std::string requirementSentence(const std::string& name,
+                                const kb::Requirement& r, bool nuance) {
+    if (nuance)
+        return "Note that " + name + " applies only when " + r.toString() + ".";
+    return name + " requires " + r.toString() + " to be deployed.";
+}
+
+void factsFromRequirement(const kb::System& s, const kb::Requirement& r,
+                          std::vector<DocFact>& out) {
+    // Split top-level conjunctions into individually-stated facts.
+    if (r.kind() == kb::Requirement::Kind::And) {
+        for (const kb::Requirement& c : r.children())
+            factsFromRequirement(s, c, out);
+        return;
+    }
+    if (r.isTrivial()) return;
+    DocFact fact;
+    fact.requirement = r;
+    fact.kind = isNuance(r) ? DocFact::Kind::NuanceCondition
+                            : DocFact::Kind::HardRequirement;
+    fact.sentence = requirementSentence(
+        s.name, r, fact.kind == DocFact::Kind::NuanceCondition);
+    out.push_back(std::move(fact));
+}
+
+} // namespace
+
+SystemDoc renderSystemDoc(const kb::System& system) {
+    SystemDoc doc;
+    doc.systemName = system.name;
+    doc.category = system.category;
+    doc.researchGrade = system.researchGrade;
+
+    for (const std::string& capability : system.solves) {
+        DocFact fact;
+        fact.kind = DocFact::Kind::Capability;
+        fact.name = capability;
+        fact.sentence = system.name + " addresses the '" + capability +
+                        "' objective for its deployments.";
+        doc.facts.push_back(std::move(fact));
+    }
+    factsFromRequirement(system, system.constraints, doc.facts);
+    for (const kb::ResourceDemand& demand : system.demands) {
+        DocFact fact;
+        fact.kind = DocFact::Kind::ResourceQuantity;
+        fact.demand = demand;
+        fact.sentence = system.name + " consumes " +
+                        util::formatDouble(demand.fixed, 0) + " units of " +
+                        demand.resource +
+                        (demand.perKiloFlows > 0
+                             ? " plus " + util::formatDouble(demand.perKiloFlows, 2) +
+                                   " per thousand flows"
+                             : "") +
+                        (demand.perGbps > 0
+                             ? " plus " + util::formatDouble(demand.perGbps, 2) +
+                                   " per Gbps"
+                             : "") +
+                        ".";
+        doc.facts.push_back(std::move(fact));
+    }
+    for (const std::string& provided : system.provides) {
+        DocFact fact;
+        fact.kind = DocFact::Kind::Provides;
+        fact.name = provided;
+        fact.sentence =
+            "Deploying " + system.name + " introduces '" + provided +
+            "' into the environment.";
+        doc.facts.push_back(std::move(fact));
+    }
+    for (const std::string& conflict : system.conflicts) {
+        DocFact fact;
+        fact.kind = DocFact::Kind::Conflict;
+        fact.name = conflict;
+        fact.sentence = system.name + " cannot coexist with " + conflict + ".";
+        doc.facts.push_back(std::move(fact));
+    }
+
+    doc.prose = system.name + " (" + toString(system.category) + "; " +
+                system.source + ").";
+    for (const DocFact& fact : doc.facts) doc.prose += " " + fact.sentence;
+    return doc;
+}
+
+std::vector<SpecSheet> renderHardwareCorpus(const kb::KnowledgeBase& kb) {
+    std::vector<SpecSheet> corpus;
+    corpus.reserve(kb.hardwareSpecs().size());
+    for (const kb::HardwareSpec& spec : kb.hardwareSpecs())
+        corpus.push_back(renderSpecSheet(spec));
+    return corpus;
+}
+
+std::vector<SystemDoc> renderSystemCorpus(const kb::KnowledgeBase& kb) {
+    std::vector<SystemDoc> corpus;
+    corpus.reserve(kb.systems().size());
+    for (const kb::System& system : kb.systems())
+        corpus.push_back(renderSystemDoc(system));
+    return corpus;
+}
+
+} // namespace lar::extract

@@ -1,0 +1,26 @@
+// Synthetic corpus generation: renders catalog entries into the document
+// forms the §4 experiments extract from.
+#pragma once
+
+#include "extract/document.hpp"
+#include "kb/kb.hpp"
+
+namespace lar::extract {
+
+/// Renders a hardware spec as a Listing-1-style vendor sheet ("Model Name",
+/// "Port Bandwidth": "10 Gbps", "MAC Address Table Size": "64,000 entries",
+/// ...). Fields absent from the spec are omitted, mirroring real sheets.
+[[nodiscard]] SpecSheet renderSpecSheet(const kb::HardwareSpec& spec);
+
+/// Renders a system encoding as paper-like prose with structured facts.
+/// Hard requirements are stated prominently; nuance conditions are buried
+/// in qualifying clauses (the kind §4.1 found LLMs miss).
+[[nodiscard]] SystemDoc renderSystemDoc(const kb::System& system);
+
+/// Whole-corpus helpers.
+[[nodiscard]] std::vector<SpecSheet> renderHardwareCorpus(
+    const kb::KnowledgeBase& kb);
+[[nodiscard]] std::vector<SystemDoc> renderSystemCorpus(
+    const kb::KnowledgeBase& kb);
+
+} // namespace lar::extract

@@ -1,0 +1,211 @@
+#include "json/parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace lar::json {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value parseDocument() {
+        Value v = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size()) fail("trailing characters after JSON value");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const {
+        throw ParseError("json: " + why + " at offset " + std::to_string(pos_));
+    }
+
+    void skipWhitespace() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char advance() {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void expect(char c) {
+        if (advance() != c) {
+            --pos_;
+            fail(std::string("expected '") + c + "'");
+        }
+    }
+
+    bool consumeKeyword(std::string_view kw) {
+        if (text_.substr(pos_, kw.size()) == kw) {
+            pos_ += kw.size();
+            return true;
+        }
+        return false;
+    }
+
+    Value parseValue() {
+        skipWhitespace();
+        const char c = peek();
+        switch (c) {
+            case '{': return parseObject();
+            case '[': return parseArray();
+            case '"': return Value(parseString());
+            case 't':
+                if (consumeKeyword("true")) return Value(true);
+                fail("invalid literal");
+            case 'f':
+                if (consumeKeyword("false")) return Value(false);
+                fail("invalid literal");
+            case 'n':
+                if (consumeKeyword("null")) return Value(nullptr);
+                fail("invalid literal");
+            default: return parseNumber();
+        }
+    }
+
+    Value parseObject() {
+        expect('{');
+        Object obj;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return Value(std::move(obj));
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            obj[key] = parseValue();
+            skipWhitespace();
+            const char c = advance();
+            if (c == '}') return Value(std::move(obj));
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or '}' in object");
+            }
+        }
+    }
+
+    Value parseArray() {
+        expect('[');
+        Array arr;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return Value(std::move(arr));
+        }
+        while (true) {
+            arr.push_back(parseValue());
+            skipWhitespace();
+            const char c = advance();
+            if (c == ']') return Value(std::move(arr));
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or ']' in array");
+            }
+        }
+    }
+
+    std::string parseString() {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = advance();
+            if (c == '"') return out;
+            if (c == '\\') {
+                const char esc = advance();
+                switch (esc) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u': out += parseUnicodeEscape(); break;
+                    default: fail("invalid escape sequence");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    std::string parseUnicodeEscape() {
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = advance();
+            cp <<= 4;
+            if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+            else fail("invalid \\u escape");
+        }
+        // Encode the BMP code point as UTF-8 (surrogate pairs unsupported;
+        // the knowledge base is ASCII in practice).
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        return out;
+    }
+
+    Value parseNumber() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-") fail("invalid number");
+        const bool isFloat = tok.find_first_of(".eE") != std::string_view::npos;
+        if (!isFloat) {
+            std::int64_t v = 0;
+            auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+            if (ec == std::errc() && p == tok.data() + tok.size()) return Value(v);
+        }
+        double d = 0;
+        auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (ec != std::errc() || p != tok.data() + tok.size() || !std::isfinite(d))
+            fail("invalid number");
+        return Value(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value parse(std::string_view text) { return Parser(text).parseDocument(); }
+
+} // namespace lar::json

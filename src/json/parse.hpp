@@ -1,0 +1,14 @@
+// Recursive-descent JSON parser.
+#pragma once
+
+#include <string_view>
+
+#include "json/value.hpp"
+
+namespace lar::json {
+
+/// Parses a complete JSON document. Throws ParseError on malformed input or
+/// trailing garbage.
+[[nodiscard]] Value parse(std::string_view text);
+
+} // namespace lar::json

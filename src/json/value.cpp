@@ -1,0 +1,99 @@
+#include "json/value.hpp"
+
+namespace lar::json {
+
+Value& Object::operator[](std::string_view key) {
+    if (auto it = index_.find(key); it != index_.end()) return entries_[it->second].second;
+    entries_.emplace_back(std::string(key), Value{});
+    index_.emplace(std::string(key), entries_.size() - 1);
+    return entries_.back().second;
+}
+
+const Value& Object::at(std::string_view key) const {
+    auto it = index_.find(key);
+    if (it == index_.end())
+        throw LogicError("json::Object::at: missing key '" + std::string(key) + "'");
+    return entries_[it->second].second;
+}
+
+bool Object::contains(std::string_view key) const { return index_.count(key) > 0; }
+
+bool Object::erase(std::string_view key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    const std::size_t pos = it->second;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
+    index_.erase(it);
+    for (auto& [k, idx] : index_)
+        if (idx > pos) --idx;
+    return true;
+}
+
+bool Object::operator==(const Object& other) const { return entries_ == other.entries_; }
+
+Type Value::type() const {
+    switch (data_.index()) {
+        case 0: return Type::Null;
+        case 1: return Type::Bool;
+        case 2: return Type::Int;
+        case 3: return Type::Double;
+        case 4: return Type::String;
+        case 5: return Type::Array;
+        case 6: return Type::Object;
+    }
+    return Type::Null;
+}
+
+namespace {
+[[noreturn]] void typeMismatch(const char* wanted) {
+    throw LogicError(std::string("json::Value: not a ") + wanted);
+}
+} // namespace
+
+bool Value::asBool() const {
+    if (auto* p = std::get_if<bool>(&data_)) return *p;
+    typeMismatch("bool");
+}
+
+std::int64_t Value::asInt() const {
+    if (auto* p = std::get_if<std::int64_t>(&data_)) return *p;
+    typeMismatch("int");
+}
+
+double Value::asDouble() const {
+    if (auto* p = std::get_if<double>(&data_)) return *p;
+    if (auto* p = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*p);
+    typeMismatch("number");
+}
+
+const std::string& Value::asString() const {
+    if (auto* p = std::get_if<std::string>(&data_)) return *p;
+    typeMismatch("string");
+}
+
+const Array& Value::asArray() const {
+    if (auto* p = std::get_if<Array>(&data_)) return *p;
+    typeMismatch("array");
+}
+
+Array& Value::asArray() {
+    if (auto* p = std::get_if<Array>(&data_)) return *p;
+    typeMismatch("array");
+}
+
+const Object& Value::asObject() const {
+    if (auto* p = std::get_if<Object>(&data_)) return *p;
+    typeMismatch("object");
+}
+
+Object& Value::asObject() {
+    if (auto* p = std::get_if<Object>(&data_)) return *p;
+    typeMismatch("object");
+}
+
+Value& Value::operator[](std::string_view key) {
+    if (isNull()) data_ = Object{};
+    return asObject()[key];
+}
+
+} // namespace lar::json

@@ -1,0 +1,100 @@
+// A small, dependency-free JSON document model.
+//
+// Knowledge-base encodings (Listing 1 style hardware specs, system
+// descriptions, workloads) are serialized as JSON. Objects preserve key
+// insertion order so generated encodings print in the same field order as
+// the paper's listings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lar::json {
+
+enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+class Value;
+
+/// Object with stable (insertion) key order.
+class Object {
+public:
+    /// Returns the value for `key`, inserting a null value when absent.
+    Value& operator[](std::string_view key);
+
+    /// Returns the value for `key`; throws LogicError when absent.
+    [[nodiscard]] const Value& at(std::string_view key) const;
+
+    [[nodiscard]] bool contains(std::string_view key) const;
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+    /// Entries in insertion order.
+    [[nodiscard]] const std::vector<std::pair<std::string, Value>>& entries() const {
+        return entries_;
+    }
+
+    /// Removes `key` if present; returns true when something was removed.
+    bool erase(std::string_view key);
+
+    bool operator==(const Object& other) const;
+
+private:
+    std::vector<std::pair<std::string, Value>> entries_;
+    std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+using Array = std::vector<Value>;
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+class Value {
+public:
+    Value() : data_(nullptr) {}
+    Value(std::nullptr_t) : data_(nullptr) {}
+    Value(bool b) : data_(b) {}
+    Value(int v) : data_(static_cast<std::int64_t>(v)) {}
+    Value(std::int64_t v) : data_(v) {}
+    Value(double v) : data_(v) {}
+    Value(const char* s) : data_(std::string(s)) {}
+    Value(std::string s) : data_(std::move(s)) {}
+    Value(std::string_view s) : data_(std::string(s)) {}
+    Value(Array a) : data_(std::move(a)) {}
+    Value(Object o) : data_(std::move(o)) {}
+
+    [[nodiscard]] Type type() const;
+    [[nodiscard]] bool isNull() const { return type() == Type::Null; }
+    [[nodiscard]] bool isBool() const { return type() == Type::Bool; }
+    [[nodiscard]] bool isInt() const { return type() == Type::Int; }
+    [[nodiscard]] bool isDouble() const { return type() == Type::Double; }
+    [[nodiscard]] bool isNumber() const { return isInt() || isDouble(); }
+    [[nodiscard]] bool isString() const { return type() == Type::String; }
+    [[nodiscard]] bool isArray() const { return type() == Type::Array; }
+    [[nodiscard]] bool isObject() const { return type() == Type::Object; }
+
+    /// Typed accessors; each throws LogicError on a type mismatch.
+    [[nodiscard]] bool asBool() const;
+    [[nodiscard]] std::int64_t asInt() const;
+    [[nodiscard]] double asDouble() const; // accepts Int too
+    [[nodiscard]] const std::string& asString() const;
+    [[nodiscard]] const Array& asArray() const;
+    [[nodiscard]] Array& asArray();
+    [[nodiscard]] const Object& asObject() const;
+    [[nodiscard]] Object& asObject();
+
+    /// Object convenience: value.at("key"). Throws unless this is an object.
+    [[nodiscard]] const Value& at(std::string_view key) const { return asObject().at(key); }
+    [[nodiscard]] Value& operator[](std::string_view key);
+
+    bool operator==(const Value& other) const { return data_ == other.data_; }
+
+private:
+    std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object>
+        data_;
+};
+
+} // namespace lar::json

@@ -1,0 +1,111 @@
+#include "json/write.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lar::json {
+
+namespace {
+
+void writeEscaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void writeNumber(std::string& out, double d) {
+    // Shortest round-trip-ish representation; integral doubles print as N.0.
+    char buf[32];
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.1f", d);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+    }
+    out += buf;
+}
+
+void writeValue(std::string& out, const Value& v, int indent, int depth) {
+    const bool pretty = indent > 0;
+    const auto pad = [&](int levels) {
+        if (!pretty) return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * levels), ' ');
+    };
+    switch (v.type()) {
+        case Type::Null: out += "null"; return;
+        case Type::Bool: out += v.asBool() ? "true" : "false"; return;
+        case Type::Int: out += std::to_string(v.asInt()); return;
+        case Type::Double: writeNumber(out, v.asDouble()); return;
+        case Type::String: writeEscaped(out, v.asString()); return;
+        case Type::Array: {
+            const Array& arr = v.asArray();
+            if (arr.empty()) {
+                out += "[]";
+                return;
+            }
+            out += '[';
+            for (std::size_t i = 0; i < arr.size(); ++i) {
+                if (i > 0) out += ',';
+                pad(depth + 1);
+                writeValue(out, arr[i], indent, depth + 1);
+            }
+            pad(depth);
+            out += ']';
+            return;
+        }
+        case Type::Object: {
+            const Object& obj = v.asObject();
+            if (obj.empty()) {
+                out += "{}";
+                return;
+            }
+            out += '{';
+            bool first = true;
+            for (const auto& [key, val] : obj.entries()) {
+                if (!first) out += ',';
+                first = false;
+                pad(depth + 1);
+                writeEscaped(out, key);
+                out += pretty ? ": " : ":";
+                writeValue(out, val, indent, depth + 1);
+            }
+            pad(depth);
+            out += '}';
+            return;
+        }
+    }
+}
+
+} // namespace
+
+std::string write(const Value& v) {
+    std::string out;
+    writeValue(out, v, /*indent=*/0, /*depth=*/0);
+    return out;
+}
+
+std::string writePretty(const Value& v, int indent) {
+    std::string out;
+    writeValue(out, v, indent, 0);
+    return out;
+}
+
+} // namespace lar::json

@@ -1,0 +1,16 @@
+// JSON serialization with optional pretty-printing.
+#pragma once
+
+#include <string>
+
+#include "json/value.hpp"
+
+namespace lar::json {
+
+/// Serializes `v` compactly (no whitespace).
+[[nodiscard]] std::string write(const Value& v);
+
+/// Serializes `v` with newlines and `indent`-space indentation per level.
+[[nodiscard]] std::string writePretty(const Value& v, int indent = 2);
+
+} // namespace lar::json

@@ -1,0 +1,30 @@
+// Typed attribute values for hardware encodings (Listing 1 style).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace lar::kb {
+
+/// A hardware attribute value: flag, count, measurement, or free text.
+using AttrValue = std::variant<bool, std::int64_t, double, std::string>;
+
+/// Numeric view of an attribute (ints and doubles); nullopt for bool/string.
+[[nodiscard]] inline std::optional<double> attrAsNumber(const AttrValue& v) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    return std::nullopt;
+}
+
+/// Boolean view; nullopt for non-bool attributes.
+[[nodiscard]] inline std::optional<bool> attrAsBool(const AttrValue& v) {
+    if (const auto* b = std::get_if<bool>(&v)) return *b;
+    return std::nullopt;
+}
+
+/// Human-readable rendering (used in reports and generated spec sheets).
+[[nodiscard]] std::string attrToString(const AttrValue& v);
+
+} // namespace lar::kb

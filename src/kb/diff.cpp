@@ -1,0 +1,114 @@
+#include "kb/diff.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "json/write.hpp"
+#include "kb/serialize.hpp"
+
+namespace lar::kb {
+
+namespace {
+
+std::string renderOrdering(const Ordering& o) {
+    std::string out = o.better + " > " + o.worse + " on " + o.objective;
+    if (!o.condition.isTrivial()) out += " if " + o.condition.toString();
+    return out;
+}
+
+/// Canonical content fingerprint of an entity via its JSON rendering.
+template <typename Entity>
+std::string fingerprint(const Entity& e) {
+    return json::write(toJson(e));
+}
+
+} // namespace
+
+bool KbDiff::empty() const { return totalChanges() == 0; }
+
+std::size_t KbDiff::totalChanges() const {
+    return addedSystems.size() + removedSystems.size() + changedSystems.size() +
+           addedHardware.size() + removedHardware.size() +
+           changedHardware.size() + addedOrderings.size() +
+           removedOrderings.size();
+}
+
+std::string KbDiff::toString() const {
+    std::ostringstream out;
+    const auto section = [&out](const char* label,
+                                const std::vector<std::string>& items,
+                                char marker) {
+        for (const std::string& item : items)
+            out << marker << ' ' << label << ' ' << item << '\n';
+    };
+    section("system", addedSystems, '+');
+    section("system", removedSystems, '-');
+    section("system", changedSystems, '~');
+    section("hardware", addedHardware, '+');
+    section("hardware", removedHardware, '-');
+    section("hardware", changedHardware, '~');
+    section("ordering", addedOrderings, '+');
+    section("ordering", removedOrderings, '-');
+    if (empty()) out << "(no changes)\n";
+    return out.str();
+}
+
+KbDiff diffKnowledgeBases(const KnowledgeBase& before, const KnowledgeBase& after) {
+    KbDiff diff;
+
+    // Systems, by name; content compared via canonical JSON.
+    for (const System& s : after.systems()) {
+        const System* old = before.findSystem(s.name);
+        if (old == nullptr)
+            diff.addedSystems.push_back(s.name);
+        else if (fingerprint(*old) != fingerprint(s))
+            diff.changedSystems.push_back(s.name);
+    }
+    for (const System& s : before.systems())
+        if (after.findSystem(s.name) == nullptr)
+            diff.removedSystems.push_back(s.name);
+
+    // Hardware, by model name.
+    for (const HardwareSpec& h : after.hardwareSpecs()) {
+        const HardwareSpec* old = before.findHardware(h.model);
+        if (old == nullptr)
+            diff.addedHardware.push_back(h.model);
+        else if (fingerprint(*old) != fingerprint(h))
+            diff.changedHardware.push_back(h.model);
+    }
+    for (const HardwareSpec& h : before.hardwareSpecs())
+        if (after.findHardware(h.model) == nullptr)
+            diff.removedHardware.push_back(h.model);
+
+    // Orderings have no identity: diff as multisets of fingerprints.
+    std::multiset<std::string> beforeEdges;
+    std::map<std::string, std::string> rendered;
+    for (const Ordering& o : before.orderings()) {
+        const std::string fp = fingerprint(o);
+        beforeEdges.insert(fp);
+        rendered.emplace(fp, renderOrdering(o));
+    }
+    std::multiset<std::string> afterEdges;
+    for (const Ordering& o : after.orderings()) {
+        const std::string fp = fingerprint(o);
+        afterEdges.insert(fp);
+        rendered.emplace(fp, renderOrdering(o));
+    }
+    for (const std::string& fp : afterEdges)
+        if (afterEdges.count(fp) > beforeEdges.count(fp) &&
+            diff.addedOrderings.end() ==
+                std::find(diff.addedOrderings.begin(), diff.addedOrderings.end(),
+                          rendered.at(fp)))
+            diff.addedOrderings.push_back(rendered.at(fp));
+    for (const std::string& fp : beforeEdges)
+        if (beforeEdges.count(fp) > afterEdges.count(fp) &&
+            diff.removedOrderings.end() ==
+                std::find(diff.removedOrderings.begin(),
+                          diff.removedOrderings.end(), rendered.at(fp)))
+            diff.removedOrderings.push_back(rendered.at(fp));
+    return diff;
+}
+
+} // namespace lar::kb

@@ -1,0 +1,35 @@
+// Knowledge-base diffing.
+//
+// The paper's §1/§3.3 workflow has the community crowd-source encodings
+// into a shared compendium; reviewing a contribution means seeing exactly
+// what changed. diffKnowledgeBases compares two KBs entity-by-entity
+// (content-based, via the canonical JSON rendering), powering the larctl
+// `diff` subcommand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kb/kb.hpp"
+
+namespace lar::kb {
+
+struct KbDiff {
+    std::vector<std::string> addedSystems;
+    std::vector<std::string> removedSystems;
+    std::vector<std::string> changedSystems;
+    std::vector<std::string> addedHardware;
+    std::vector<std::string> removedHardware;
+    std::vector<std::string> changedHardware;
+    std::vector<std::string> addedOrderings;   ///< rendered "A > B on obj"
+    std::vector<std::string> removedOrderings;
+
+    [[nodiscard]] bool empty() const;
+    [[nodiscard]] std::size_t totalChanges() const;
+    [[nodiscard]] std::string toString() const;
+};
+
+[[nodiscard]] KbDiff diffKnowledgeBases(const KnowledgeBase& before,
+                                        const KnowledgeBase& after);
+
+} // namespace lar::kb

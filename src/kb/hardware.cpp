@@ -1,0 +1,42 @@
+#include "kb/hardware.hpp"
+
+#include "util/strings.hpp"
+
+namespace lar::kb {
+
+std::string toString(HardwareClass c) {
+    switch (c) {
+        case HardwareClass::Switch: return "switch";
+        case HardwareClass::Nic: return "nic";
+        case HardwareClass::Server: return "server";
+    }
+    return "?";
+}
+
+std::string attrToString(const AttrValue& v) {
+    if (const auto* b = std::get_if<bool>(&v)) return *b ? "Yes" : "No";
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+    if (const auto* d = std::get_if<double>(&v)) return util::formatDouble(*d, 2);
+    return std::get<std::string>(v);
+}
+
+std::optional<bool> HardwareSpec::boolAttr(const std::string& key) const {
+    const auto it = attrs.find(key);
+    if (it == attrs.end()) return std::nullopt;
+    return attrAsBool(it->second);
+}
+
+std::optional<double> HardwareSpec::numAttr(const std::string& key) const {
+    const auto it = attrs.find(key);
+    if (it == attrs.end()) return std::nullopt;
+    return attrAsNumber(it->second);
+}
+
+std::optional<std::string> HardwareSpec::strAttr(const std::string& key) const {
+    const auto it = attrs.find(key);
+    if (it == attrs.end()) return std::nullopt;
+    if (const auto* s = std::get_if<std::string>(&it->second)) return *s;
+    return std::nullopt;
+}
+
+} // namespace lar::kb

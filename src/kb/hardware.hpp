@@ -1,0 +1,69 @@
+// Hardware encodings: switches, NICs, and servers as attribute maps.
+//
+// Mirrors the paper's Listing 1 (an auto-generated encoding of the Cisco
+// Catalyst 9500-40X): a hardware spec is a flat, typed attribute map plus a
+// unit cost and power figure used by the cost objective. Attribute keys are
+// free-form strings; the constants below name the ones the built-in rules
+// reference.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kb/attr.hpp"
+
+namespace lar::kb {
+
+enum class HardwareClass { Switch, Nic, Server };
+
+[[nodiscard]] std::string toString(HardwareClass c);
+
+/// Well-known attribute keys (switches).
+inline constexpr const char* kAttrPortBandwidthGbps = "port_bandwidth_gbps";
+inline constexpr const char* kAttrNumPorts = "num_ports";
+inline constexpr const char* kAttrMemoryGb = "memory_gb";
+inline constexpr const char* kAttrP4Supported = "p4_supported";
+inline constexpr const char* kAttrP4Stages = "p4_stages";
+inline constexpr const char* kAttrEcnSupported = "ecn_supported";
+inline constexpr const char* kAttrQcnSupported = "qcn_supported";
+inline constexpr const char* kAttrIntSupported = "int_supported";
+inline constexpr const char* kAttrMacTableSize = "mac_table_size";
+inline constexpr const char* kAttrQosClasses = "qos_classes";
+inline constexpr const char* kAttrPfcSupported = "pfc_supported";
+inline constexpr const char* kAttrBufferMb = "buffer_mb";
+inline constexpr const char* kAttrDeepBuffers = "deep_buffers";
+
+/// Well-known attribute keys (NICs).
+inline constexpr const char* kAttrNicTimestamps = "nic_timestamps";
+inline constexpr const char* kAttrSmartNic = "smartnic";           // bool
+inline constexpr const char* kAttrSmartNicKind = "smartnic_kind";  // "none"|"fpga"|"cpu"
+inline constexpr const char* kAttrInterruptPolling = "interrupt_polling";
+inline constexpr const char* kAttrReorderBufferKb = "reorder_buffer_kb";
+inline constexpr const char* kAttrRdmaSupported = "rdma_supported";
+inline constexpr const char* kAttrFpgaGatesK = "fpga_gates_k";
+inline constexpr const char* kAttrNicCores = "nic_cores";
+inline constexpr const char* kAttrSrIov = "sr_iov";
+
+/// Well-known attribute keys (servers).
+inline constexpr const char* kAttrCores = "cores";
+inline constexpr const char* kAttrRamGb = "ram_gb";
+inline constexpr const char* kAttrCxlSupported = "cxl_supported";
+inline constexpr const char* kAttrNumaNodes = "numa_nodes";
+
+/// A single hardware model's encoding.
+struct HardwareSpec {
+    std::string model;   ///< e.g. "Cisco Catalyst 9500-40X"
+    std::string vendor;  ///< e.g. "Cisco"
+    HardwareClass cls = HardwareClass::Switch;
+    std::map<std::string, AttrValue> attrs;
+    double unitCostUsd = 0.0;
+    double maxPowerW = 0.0;
+
+    /// Typed lookups; nullopt when absent or wrong type.
+    [[nodiscard]] std::optional<bool> boolAttr(const std::string& key) const;
+    [[nodiscard]] std::optional<double> numAttr(const std::string& key) const;
+    [[nodiscard]] std::optional<std::string> strAttr(const std::string& key) const;
+};
+
+} // namespace lar::kb

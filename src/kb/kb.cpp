@@ -1,0 +1,236 @@
+#include "kb/kb.hpp"
+
+#include <functional>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace lar::kb {
+
+void KnowledgeBase::addSystem(System system) {
+    if (systemIndex_.count(system.name) > 0)
+        throw EncodingError("duplicate system encoding: " + system.name);
+    systemIndex_.emplace(system.name, systems_.size());
+    systems_.push_back(std::move(system));
+}
+
+void KnowledgeBase::addHardware(HardwareSpec spec) {
+    if (hardwareIndex_.count(spec.model) > 0)
+        throw EncodingError("duplicate hardware encoding: " + spec.model);
+    hardwareIndex_.emplace(spec.model, hardware_.size());
+    hardware_.push_back(std::move(spec));
+}
+
+void KnowledgeBase::addOrdering(Ordering ordering) {
+    orderings_.push_back(std::move(ordering));
+}
+
+void KnowledgeBase::replaceSystem(System system) {
+    const auto it = systemIndex_.find(system.name);
+    if (it == systemIndex_.end())
+        throw EncodingError("replaceSystem: unknown system " + system.name);
+    systems_[it->second] = std::move(system);
+}
+
+std::size_t KnowledgeBase::removeSystem(const std::string& name) {
+    const auto it = systemIndex_.find(name);
+    if (it == systemIndex_.end())
+        throw EncodingError("removeSystem: unknown system " + name);
+    const std::size_t pos = it->second;
+    systems_.erase(systems_.begin() + static_cast<std::ptrdiff_t>(pos));
+    systemIndex_.erase(it);
+    for (auto& [otherName, idx] : systemIndex_)
+        if (idx > pos) --idx;
+    const std::size_t before = orderings_.size();
+    std::erase_if(orderings_, [&name](const Ordering& o) {
+        return o.better == name || o.worse == name;
+    });
+    return before - orderings_.size();
+}
+
+const System* KnowledgeBase::findSystem(const std::string& name) const {
+    const auto it = systemIndex_.find(name);
+    return it == systemIndex_.end() ? nullptr : &systems_[it->second];
+}
+
+const System& KnowledgeBase::system(const std::string& name) const {
+    const System* s = findSystem(name);
+    if (s == nullptr) throw EncodingError("unknown system: " + name);
+    return *s;
+}
+
+const HardwareSpec* KnowledgeBase::findHardware(const std::string& model) const {
+    const auto it = hardwareIndex_.find(model);
+    return it == hardwareIndex_.end() ? nullptr : &hardware_[it->second];
+}
+
+const HardwareSpec& KnowledgeBase::hardware(const std::string& model) const {
+    const HardwareSpec* h = findHardware(model);
+    if (h == nullptr) throw EncodingError("unknown hardware model: " + model);
+    return *h;
+}
+
+std::vector<const System*> KnowledgeBase::byCategory(Category category) const {
+    std::vector<const System*> out;
+    for (const System& s : systems_)
+        if (s.category == category) out.push_back(&s);
+    return out;
+}
+
+std::vector<const HardwareSpec*> KnowledgeBase::byClass(HardwareClass cls) const {
+    std::vector<const HardwareSpec*> out;
+    for (const HardwareSpec& h : hardware_)
+        if (h.cls == cls) out.push_back(&h);
+    return out;
+}
+
+std::vector<const System*> KnowledgeBase::solving(
+    const std::string& capability) const {
+    std::vector<const System*> out;
+    for (const System& s : systems_)
+        if (s.solvesCapability(capability)) out.push_back(&s);
+    return out;
+}
+
+std::vector<const Ordering*> KnowledgeBase::orderingsFor(
+    const std::string& objective) const {
+    std::vector<const Ordering*> out;
+    for (const Ordering& o : orderings_)
+        if (o.objective == objective) out.push_back(&o);
+    return out;
+}
+
+std::vector<ValidationIssue> KnowledgeBase::validate() const {
+    std::vector<ValidationIssue> issues;
+    const auto error = [&issues](std::string msg) {
+        issues.push_back({ValidationIssue::Severity::Error, std::move(msg)});
+    };
+    const auto warning = [&issues](std::string msg) {
+        issues.push_back({ValidationIssue::Severity::Warning, std::move(msg)});
+    };
+
+    // Referential integrity of requirements / conflicts / orderings.
+    for (const System& s : systems_) {
+        std::vector<std::string> refs;
+        s.constraints.collectSystemRefs(refs);
+        for (const std::string& ref : refs)
+            if (findSystem(ref) == nullptr)
+                error("system '" + s.name + "' requires unknown system '" + ref +
+                      "'");
+        for (const std::string& conflict : s.conflicts) {
+            if (findSystem(conflict) == nullptr)
+                error("system '" + s.name + "' conflicts with unknown system '" +
+                      conflict + "'");
+        }
+        if (s.source.empty())
+            warning("system '" + s.name + "' has no source citation");
+    }
+    for (const Ordering& o : orderings_) {
+        if (findSystem(o.better) == nullptr)
+            error("ordering references unknown system '" + o.better + "'");
+        if (findSystem(o.worse) == nullptr)
+            error("ordering references unknown system '" + o.worse + "'");
+        if (o.better == o.worse)
+            error("ordering compares '" + o.better + "' with itself");
+        // Orderings only make sense within one category.
+        const System* a = findSystem(o.better);
+        const System* b = findSystem(o.worse);
+        if (a != nullptr && b != nullptr && a->category != b->category)
+            error("ordering on '" + o.objective + "' crosses categories: " +
+                  o.better + " vs " + o.worse);
+    }
+
+    // Hardware attributes referenced by requirements should exist on at
+    // least one spec of that class — otherwise the leaf can never hold,
+    // which is almost always a typo in a crowd-sourced encoding.
+    {
+        std::map<HardwareClass, std::set<std::string>> knownAttrs;
+        for (const HardwareSpec& h : hardware_)
+            for (const auto& [key, value] : h.attrs) knownAttrs[h.cls].insert(key);
+        const auto checkRefs = [&](const Requirement& r, const std::string& owner) {
+            std::vector<std::pair<HardwareClass, std::string>> refs;
+            r.collectHardwareRefs(refs);
+            for (const auto& [cls, key] : refs) {
+                if (knownAttrs.count(cls) > 0 && knownAttrs[cls].count(key) > 0)
+                    continue;
+                if (hardware_.empty()) continue; // nothing to check against
+                warning(owner + " references attribute '" + key + "' that no " +
+                        lar::kb::toString(cls) + " in the knowledge base has "
+                        "(typo?)");
+            }
+        };
+        for (const System& s : systems_)
+            checkRefs(s.constraints, "system '" + s.name + "'");
+        for (const Ordering& o : orderings_)
+            checkRefs(o.condition,
+                      "ordering " + o.better + " > " + o.worse);
+    }
+
+    // Facts referenced anywhere should be provided by some system (or be
+    // well-known pinnable facts) — flag unprovided ones as warnings.
+    std::set<std::string> provided;
+    for (const System& s : systems_)
+        for (const std::string& f : s.provides) provided.insert(f);
+    for (const System& s : systems_) {
+        std::vector<std::string> facts;
+        s.constraints.collectFactRefs(facts);
+        for (const std::string& f : facts)
+            if (provided.count(f) == 0)
+                warning("system '" + s.name + "' references fact '" + f +
+                        "' that no system provides (must be pinned by the "
+                        "architect)");
+    }
+
+    // Unconditional-preference cycles per objective (A > B > ... > A with all
+    // conditions trivially true is contradictory knowledge).
+    std::set<std::string> objectives;
+    for (const Ordering& o : orderings_) objectives.insert(o.objective);
+    for (const std::string& objective : objectives) {
+        std::map<std::string, std::vector<std::string>> adj;
+        for (const Ordering& o : orderings_)
+            if (o.objective == objective && o.condition.isTrivial())
+                adj[o.better].push_back(o.worse);
+        // Iterative DFS cycle detection.
+        std::map<std::string, int> state; // 0 unseen, 1 active, 2 done
+        std::function<bool(const std::string&)> hasCycle =
+            [&](const std::string& node) -> bool {
+            state[node] = 1;
+            for (const std::string& next : adj[node]) {
+                if (state[next] == 1) return true;
+                if (state[next] == 0 && hasCycle(next)) return true;
+            }
+            state[node] = 2;
+            return false;
+        };
+        for (const auto& [node, edges] : adj) {
+            if (state[node] == 0 && hasCycle(node)) {
+                error("unconditional ordering cycle on objective '" + objective +
+                      "' involving '" + node + "'");
+                break;
+            }
+        }
+    }
+    return issues;
+}
+
+namespace {
+std::size_t requirementSize(const Requirement& r) {
+    std::size_t n = 1;
+    for (const Requirement& c : r.children()) n += requirementSize(c);
+    return n;
+}
+} // namespace
+
+std::size_t KnowledgeBase::encodingLength() const {
+    std::size_t total = 0;
+    for (const System& s : systems_) {
+        total += requirementSize(s.constraints);
+        total += s.demands.size() + s.provides.size() + s.conflicts.size() +
+                 s.solves.size() + 1;
+    }
+    for (const HardwareSpec& h : hardware_) total += h.attrs.size() + 1;
+    for (const Ordering& o : orderings_) total += 1 + requirementSize(o.condition);
+    return total;
+}
+
+} // namespace lar::kb

@@ -1,0 +1,90 @@
+// The knowledge base: the machine-readable compendium the paper proposes.
+//
+// Holds every encoded system, hardware spec, and ordering rule-of-thumb,
+// with lookup indices and a validator that rejects dangling references and
+// contradictory unconditional preferences. Serializable to JSON (see
+// kb/serialize.hpp) so encodings can be crowd-sourced, diffed, and checked.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kb/hardware.hpp"
+#include "kb/system.hpp"
+#include "kb/workload.hpp"
+
+namespace lar::kb {
+
+/// Validation findings; empty list means the KB is consistent.
+struct ValidationIssue {
+    enum class Severity { Error, Warning };
+    Severity severity = Severity::Error;
+    std::string message;
+};
+
+class KnowledgeBase {
+public:
+    // -- population -----------------------------------------------------------
+    /// Adds a system; throws EncodingError on duplicate names.
+    void addSystem(System system);
+    /// Adds a hardware spec; throws EncodingError on duplicate model names.
+    void addHardware(HardwareSpec spec);
+    /// Adds an ordering edge.
+    void addOrdering(Ordering ordering);
+
+    // -- modular evolution (§6 "proof modularity") ------------------------------
+    /// Replaces the encoding of an existing system (matched by name) with a
+    /// new version — no other encoding needs to change, because properties
+    /// carry no cross-encoding semantics. Throws EncodingError when absent.
+    void replaceSystem(System system);
+    /// Removes a system and every ordering that references it. Throws
+    /// EncodingError when absent; returns the number of orderings dropped.
+    std::size_t removeSystem(const std::string& name);
+
+    // -- lookup ---------------------------------------------------------------
+    [[nodiscard]] const System* findSystem(const std::string& name) const;
+    [[nodiscard]] const System& system(const std::string& name) const;
+    [[nodiscard]] const HardwareSpec* findHardware(const std::string& model) const;
+    [[nodiscard]] const HardwareSpec& hardware(const std::string& model) const;
+
+    [[nodiscard]] const std::vector<System>& systems() const { return systems_; }
+    [[nodiscard]] const std::vector<HardwareSpec>& hardwareSpecs() const {
+        return hardware_;
+    }
+    [[nodiscard]] const std::vector<Ordering>& orderings() const {
+        return orderings_;
+    }
+    /// Mutable access for annotation workflows (disputes, source updates).
+    [[nodiscard]] std::vector<Ordering>& mutableOrderings() { return orderings_; }
+
+    /// Systems in a category, in insertion order.
+    [[nodiscard]] std::vector<const System*> byCategory(Category category) const;
+    /// Hardware models of a class, in insertion order.
+    [[nodiscard]] std::vector<const HardwareSpec*> byClass(HardwareClass cls) const;
+    /// Systems that solve `capability`.
+    [[nodiscard]] std::vector<const System*> solving(
+        const std::string& capability) const;
+    /// Orderings on `objective`.
+    [[nodiscard]] std::vector<const Ordering*> orderingsFor(
+        const std::string& objective) const;
+
+    // -- validation -----------------------------------------------------------
+    /// Checks referential integrity and unconditional-preference acyclicity.
+    [[nodiscard]] std::vector<ValidationIssue> validate() const;
+
+    /// §3.1 success measure: total size of the encoding, counted as the
+    /// number of requirement nodes + demands + orderings + attributes. Used
+    /// by the scaling bench to show growth is linear in systems/hardware.
+    [[nodiscard]] std::size_t encodingLength() const;
+
+private:
+    std::vector<System> systems_;
+    std::vector<HardwareSpec> hardware_;
+    std::vector<Ordering> orderings_;
+    std::map<std::string, std::size_t> systemIndex_;
+    std::map<std::string, std::size_t> hardwareIndex_;
+};
+
+} // namespace lar::kb

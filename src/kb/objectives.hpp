@@ -1,0 +1,22 @@
+// Objective names used across encodings.
+//
+// Objectives are open-ended strings (architects add their own); these
+// constants name the ones the paper's examples use — the Figure-1 ordering
+// dimensions, the Listing-3 optimization priorities, and the §5.1 query
+// objectives.
+#pragma once
+
+namespace lar::kb {
+
+inline constexpr const char* kObjThroughput = "throughput";
+inline constexpr const char* kObjLatency = "latency";
+inline constexpr const char* kObjIsolation = "isolation";
+inline constexpr const char* kObjAppModification = "app_modification";
+inline constexpr const char* kObjDeploymentEase = "deployment_ease";
+inline constexpr const char* kObjLoadBalancing = "load_balancing";
+inline constexpr const char* kObjMonitoring = "monitoring";
+inline constexpr const char* kObjHardwareCost = "hardware_cost";
+inline constexpr const char* kObjTailLatency = "tail_latency";
+inline constexpr const char* kObjSecurity = "security";
+
+} // namespace lar::kb

@@ -1,0 +1,141 @@
+#include "kb/requirement.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace lar::kb {
+
+std::string toString(CmpOp op) {
+    switch (op) {
+        case CmpOp::Lt: return "<";
+        case CmpOp::Le: return "<=";
+        case CmpOp::Eq: return "==";
+        case CmpOp::Ne: return "!=";
+        case CmpOp::Ge: return ">=";
+        case CmpOp::Gt: return ">";
+    }
+    return "?";
+}
+
+bool applyCmp(CmpOp op, double lhs, double rhs) {
+    switch (op) {
+        case CmpOp::Lt: return lhs < rhs;
+        case CmpOp::Le: return lhs <= rhs;
+        case CmpOp::Eq: return lhs == rhs;
+        case CmpOp::Ne: return lhs != rhs;
+        case CmpOp::Ge: return lhs >= rhs;
+        case CmpOp::Gt: return lhs > rhs;
+    }
+    return false;
+}
+
+Requirement Requirement::allOf(std::vector<Requirement> children) {
+    Requirement r(Kind::And);
+    r.children_ = std::move(children);
+    return r;
+}
+
+Requirement Requirement::anyOf(std::vector<Requirement> children) {
+    Requirement r(Kind::Or);
+    r.children_ = std::move(children);
+    return r;
+}
+
+Requirement Requirement::negate(Requirement child) {
+    Requirement r(Kind::Not);
+    r.children_.push_back(std::move(child));
+    return r;
+}
+
+Requirement Requirement::hardwareHas(HardwareClass cls, std::string key) {
+    Requirement r(Kind::HardwareHas);
+    r.hwClass_ = cls;
+    r.key_ = std::move(key);
+    return r;
+}
+
+Requirement Requirement::hardwareCmp(HardwareClass cls, std::string key, CmpOp op,
+                                     double value) {
+    Requirement r(Kind::HardwareCmp);
+    r.hwClass_ = cls;
+    r.key_ = std::move(key);
+    r.op_ = op;
+    r.value_ = value;
+    return r;
+}
+
+Requirement Requirement::systemPresent(std::string name) {
+    Requirement r(Kind::SystemPresent);
+    r.key_ = std::move(name);
+    return r;
+}
+
+Requirement Requirement::fact(std::string name) {
+    Requirement r(Kind::FactTrue);
+    r.key_ = std::move(name);
+    return r;
+}
+
+Requirement Requirement::option(std::string name) {
+    Requirement r(Kind::OptionTrue);
+    r.key_ = std::move(name);
+    return r;
+}
+
+Requirement Requirement::workloadHas(std::string property) {
+    Requirement r(Kind::WorkloadHas);
+    r.key_ = std::move(property);
+    return r;
+}
+
+std::string Requirement::toString() const {
+    switch (kind_) {
+        case Kind::True: return "true";
+        case Kind::False: return "false";
+        case Kind::Not: return "!" + children_[0].toString();
+        case Kind::And:
+        case Kind::Or: {
+            std::string out = "(";
+            const char* sep = kind_ == Kind::And ? " & " : " | ";
+            for (std::size_t i = 0; i < children_.size(); ++i) {
+                if (i > 0) out += sep;
+                out += children_[i].toString();
+            }
+            return out + ")";
+        }
+        case Kind::HardwareHas:
+            return lar::kb::toString(hwClass_) + ".has(" + key_ + ")";
+        case Kind::HardwareCmp:
+            return lar::kb::toString(hwClass_) + "." + key_ + " " +
+                   lar::kb::toString(op_) + " " + util::formatDouble(value_, 0);
+        case Kind::SystemPresent: return "system(" + key_ + ")";
+        case Kind::FactTrue: return "fact(" + key_ + ")";
+        case Kind::OptionTrue: return "option(" + key_ + ")";
+        case Kind::WorkloadHas: return "workload.has(" + key_ + ")";
+    }
+    return "?";
+}
+
+void Requirement::collectSystemRefs(std::vector<std::string>& out) const {
+    if (kind_ == Kind::SystemPresent) out.push_back(key_);
+    for (const Requirement& c : children_) c.collectSystemRefs(out);
+}
+
+void Requirement::collectFactRefs(std::vector<std::string>& out) const {
+    if (kind_ == Kind::FactTrue) out.push_back(key_);
+    for (const Requirement& c : children_) c.collectFactRefs(out);
+}
+
+void Requirement::collectOptionRefs(std::vector<std::string>& out) const {
+    if (kind_ == Kind::OptionTrue) out.push_back(key_);
+    for (const Requirement& c : children_) c.collectOptionRefs(out);
+}
+
+void Requirement::collectHardwareRefs(
+    std::vector<std::pair<HardwareClass, std::string>>& out) const {
+    if (kind_ == Kind::HardwareHas || kind_ == Kind::HardwareCmp)
+        out.emplace_back(hwClass_, key_);
+    for (const Requirement& c : children_) c.collectHardwareRefs(out);
+}
+
+} // namespace lar::kb

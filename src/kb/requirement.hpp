@@ -1,0 +1,101 @@
+// The requirement DSL — the `constraints = And(...)` part of Listing 2.
+//
+// A Requirement is a small predicate tree over the *deployment environment*:
+// attributes of the chosen hardware models, presence of other systems,
+// derived facts (e.g. "flooding is in use"), free deployment options
+// (e.g. "Pony enabled"), and workload properties. The reasoning layer
+// compiles each node to a solver formula; Requirements themselves carry no
+// solver state, so encodings stay declarative and serializable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kb/hardware.hpp"
+
+namespace lar::kb {
+
+enum class CmpOp { Lt, Le, Eq, Ne, Ge, Gt };
+
+[[nodiscard]] std::string toString(CmpOp op);
+[[nodiscard]] bool applyCmp(CmpOp op, double lhs, double rhs);
+
+class Requirement {
+public:
+    enum class Kind {
+        True,           ///< no requirement
+        False,          ///< unconditionally violated (useful in tests)
+        And,            ///< all children
+        Or,             ///< any child
+        Not,            ///< single child negated
+        HardwareHas,    ///< chosen model of `hwClass` has bool attr `key` true
+        HardwareCmp,    ///< chosen model's numeric attr `key` <op> `value`
+        SystemPresent,  ///< system `name` is part of the design
+        FactTrue,       ///< derived fact `name` holds (provided by a chosen
+                        ///< system or pinned by the architect)
+        OptionTrue,     ///< free deployment option `name` is switched on
+        WorkloadHas     ///< some workload in the problem has property `name`
+    };
+
+    Requirement() : kind_(Kind::True) {}
+
+    // -- factories -----------------------------------------------------------
+    static Requirement alwaysTrue() { return Requirement(Kind::True); }
+    static Requirement alwaysFalse() { return Requirement(Kind::False); }
+    static Requirement allOf(std::vector<Requirement> children);
+    static Requirement anyOf(std::vector<Requirement> children);
+    static Requirement negate(Requirement child);
+    static Requirement hardwareHas(HardwareClass cls, std::string key);
+    static Requirement hardwareCmp(HardwareClass cls, std::string key, CmpOp op,
+                                   double value);
+    static Requirement systemPresent(std::string name);
+    static Requirement systemAbsent(std::string name) {
+        return negate(systemPresent(std::move(name)));
+    }
+    static Requirement fact(std::string name);
+    static Requirement factAbsent(std::string name) {
+        return negate(fact(std::move(name)));
+    }
+    static Requirement option(std::string name);
+    static Requirement workloadHas(std::string property);
+
+    // -- introspection (used by the compiler, serializer, and checker) -------
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] const std::vector<Requirement>& children() const {
+        return children_;
+    }
+    [[nodiscard]] const std::string& key() const { return key_; }
+    [[nodiscard]] HardwareClass hwClass() const { return hwClass_; }
+    [[nodiscard]] CmpOp op() const { return op_; }
+    [[nodiscard]] double value() const { return value_; }
+
+    /// True when the requirement is the trivial `True` node.
+    [[nodiscard]] bool isTrivial() const { return kind_ == Kind::True; }
+
+    /// Human-readable rendering used in explanations, e.g.
+    /// "nic.has(nic_timestamps) & fact(flooding_absent)".
+    [[nodiscard]] std::string toString() const;
+
+    /// Collects the names referenced by SystemPresent nodes (validation).
+    void collectSystemRefs(std::vector<std::string>& out) const;
+    /// Collects fact names referenced by FactTrue nodes.
+    void collectFactRefs(std::vector<std::string>& out) const;
+    /// Collects option names referenced by OptionTrue nodes.
+    void collectOptionRefs(std::vector<std::string>& out) const;
+    /// Collects (class, key) pairs referenced by Hardware* nodes.
+    void collectHardwareRefs(
+        std::vector<std::pair<HardwareClass, std::string>>& out) const;
+
+private:
+    explicit Requirement(Kind kind) : kind_(kind) {}
+
+    Kind kind_;
+    std::vector<Requirement> children_;
+    std::string key_;                            ///< attr key / name / property
+    HardwareClass hwClass_ = HardwareClass::Switch;
+    CmpOp op_ = CmpOp::Ge;
+    double value_ = 0.0;
+};
+
+} // namespace lar::kb

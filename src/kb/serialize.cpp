@@ -1,0 +1,304 @@
+#include "kb/serialize.hpp"
+
+#include "json/parse.hpp"
+#include "json/write.hpp"
+#include "util/error.hpp"
+
+namespace lar::kb {
+
+namespace {
+
+json::Value attrToJson(const AttrValue& v) {
+    if (const auto* b = std::get_if<bool>(&v)) return json::Value(*b);
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return json::Value(*i);
+    if (const auto* d = std::get_if<double>(&v)) return json::Value(*d);
+    return json::Value(std::get<std::string>(v));
+}
+
+AttrValue attrFromJson(const json::Value& v) {
+    switch (v.type()) {
+        case json::Type::Bool: return v.asBool();
+        case json::Type::Int: return v.asInt();
+        case json::Type::Double: return v.asDouble();
+        case json::Type::String: return v.asString();
+        default: throw ParseError("kb: invalid attribute value type");
+    }
+}
+
+HardwareClass hwClassFromString(const std::string& s) {
+    if (s == "switch") return HardwareClass::Switch;
+    if (s == "nic") return HardwareClass::Nic;
+    if (s == "server") return HardwareClass::Server;
+    throw ParseError("kb: unknown hardware class '" + s + "'");
+}
+
+Category categoryFromString(const std::string& s) {
+    for (const Category c : kAllCategories)
+        if (toString(c) == s) return c;
+    throw ParseError("kb: unknown category '" + s + "'");
+}
+
+CmpOp cmpFromString(const std::string& s) {
+    if (s == "<") return CmpOp::Lt;
+    if (s == "<=") return CmpOp::Le;
+    if (s == "==") return CmpOp::Eq;
+    if (s == "!=") return CmpOp::Ne;
+    if (s == ">=") return CmpOp::Ge;
+    if (s == ">") return CmpOp::Gt;
+    throw ParseError("kb: unknown comparison operator '" + s + "'");
+}
+
+json::Value stringArray(const std::vector<std::string>& items) {
+    json::Array arr;
+    for (const std::string& s : items) arr.emplace_back(s);
+    return json::Value(std::move(arr));
+}
+
+std::vector<std::string> stringArrayFromJson(const json::Value& v) {
+    std::vector<std::string> out;
+    for (const json::Value& item : v.asArray()) out.push_back(item.asString());
+    return out;
+}
+
+} // namespace
+
+json::Value toJson(const Requirement& r) {
+    json::Value v;
+    using Kind = Requirement::Kind;
+    switch (r.kind()) {
+        case Kind::True: v["kind"] = "true"; break;
+        case Kind::False: v["kind"] = "false"; break;
+        case Kind::And:
+        case Kind::Or:
+        case Kind::Not: {
+            v["kind"] = r.kind() == Kind::And ? "and"
+                        : r.kind() == Kind::Or ? "or"
+                                               : "not";
+            json::Array kids;
+            for (const Requirement& c : r.children()) kids.push_back(toJson(c));
+            v["children"] = json::Value(std::move(kids));
+            break;
+        }
+        case Kind::HardwareHas:
+            v["kind"] = "hw_has";
+            v["class"] = toString(r.hwClass());
+            v["key"] = r.key();
+            break;
+        case Kind::HardwareCmp:
+            v["kind"] = "hw_cmp";
+            v["class"] = toString(r.hwClass());
+            v["key"] = r.key();
+            v["op"] = toString(r.op());
+            v["value"] = r.value();
+            break;
+        case Kind::SystemPresent:
+            v["kind"] = "system";
+            v["name"] = r.key();
+            break;
+        case Kind::FactTrue:
+            v["kind"] = "fact";
+            v["name"] = r.key();
+            break;
+        case Kind::OptionTrue:
+            v["kind"] = "option";
+            v["name"] = r.key();
+            break;
+        case Kind::WorkloadHas:
+            v["kind"] = "workload_has";
+            v["name"] = r.key();
+            break;
+    }
+    return v;
+}
+
+Requirement requirementFromJson(const json::Value& v) {
+    const std::string kind = v.at("kind").asString();
+    if (kind == "true") return Requirement::alwaysTrue();
+    if (kind == "false") return Requirement::alwaysFalse();
+    if (kind == "and" || kind == "or" || kind == "not") {
+        std::vector<Requirement> kids;
+        for (const json::Value& c : v.at("children").asArray())
+            kids.push_back(requirementFromJson(c));
+        if (kind == "and") return Requirement::allOf(std::move(kids));
+        if (kind == "or") return Requirement::anyOf(std::move(kids));
+        if (kids.size() != 1) throw ParseError("kb: 'not' needs one child");
+        return Requirement::negate(std::move(kids[0]));
+    }
+    if (kind == "hw_has")
+        return Requirement::hardwareHas(hwClassFromString(v.at("class").asString()),
+                                        v.at("key").asString());
+    if (kind == "hw_cmp")
+        return Requirement::hardwareCmp(hwClassFromString(v.at("class").asString()),
+                                        v.at("key").asString(),
+                                        cmpFromString(v.at("op").asString()),
+                                        v.at("value").asDouble());
+    if (kind == "system") return Requirement::systemPresent(v.at("name").asString());
+    if (kind == "fact") return Requirement::fact(v.at("name").asString());
+    if (kind == "option") return Requirement::option(v.at("name").asString());
+    if (kind == "workload_has")
+        return Requirement::workloadHas(v.at("name").asString());
+    throw ParseError("kb: unknown requirement kind '" + kind + "'");
+}
+
+json::Value toJson(const HardwareSpec& spec) {
+    json::Value v;
+    v["model"] = spec.model;
+    v["vendor"] = spec.vendor;
+    v["class"] = toString(spec.cls);
+    v["unit_cost_usd"] = spec.unitCostUsd;
+    v["max_power_w"] = spec.maxPowerW;
+    json::Object attrs;
+    for (const auto& [key, value] : spec.attrs) attrs[key] = attrToJson(value);
+    v["attrs"] = json::Value(std::move(attrs));
+    return v;
+}
+
+HardwareSpec hardwareFromJson(const json::Value& v) {
+    HardwareSpec spec;
+    spec.model = v.at("model").asString();
+    spec.vendor = v.at("vendor").asString();
+    spec.cls = hwClassFromString(v.at("class").asString());
+    spec.unitCostUsd = v.at("unit_cost_usd").asDouble();
+    spec.maxPowerW = v.at("max_power_w").asDouble();
+    for (const auto& [key, value] : v.at("attrs").asObject().entries())
+        spec.attrs.emplace(key, attrFromJson(value));
+    return spec;
+}
+
+json::Value toJson(const System& s) {
+    json::Value v;
+    v["name"] = s.name;
+    v["category"] = toString(s.category);
+    v["solves"] = stringArray(s.solves);
+    v["constraints"] = toJson(s.constraints);
+    json::Array demands;
+    for (const ResourceDemand& d : s.demands) {
+        json::Value dv;
+        dv["resource"] = d.resource;
+        dv["fixed"] = d.fixed;
+        dv["per_kflows"] = d.perKiloFlows;
+        dv["per_gbps"] = d.perGbps;
+        demands.push_back(std::move(dv));
+    }
+    v["resources"] = json::Value(std::move(demands));
+    v["provides"] = stringArray(s.provides);
+    v["conflicts"] = stringArray(s.conflicts);
+    v["research_grade"] = s.researchGrade;
+    v["source"] = s.source;
+    return v;
+}
+
+System systemFromJson(const json::Value& v) {
+    System s;
+    s.name = v.at("name").asString();
+    s.category = categoryFromString(v.at("category").asString());
+    s.solves = stringArrayFromJson(v.at("solves"));
+    s.constraints = requirementFromJson(v.at("constraints"));
+    for (const json::Value& dv : v.at("resources").asArray()) {
+        ResourceDemand d;
+        d.resource = dv.at("resource").asString();
+        d.fixed = dv.at("fixed").asDouble();
+        d.perKiloFlows = dv.at("per_kflows").asDouble();
+        d.perGbps = dv.at("per_gbps").asDouble();
+        s.demands.push_back(std::move(d));
+    }
+    s.provides = stringArrayFromJson(v.at("provides"));
+    s.conflicts = stringArrayFromJson(v.at("conflicts"));
+    s.researchGrade = v.at("research_grade").asBool();
+    s.source = v.at("source").asString();
+    return s;
+}
+
+json::Value toJson(const Ordering& o) {
+    json::Value v;
+    v["better"] = o.better;
+    v["worse"] = o.worse;
+    v["objective"] = o.objective;
+    v["condition"] = toJson(o.condition);
+    v["source"] = o.source;
+    if (!o.disputes.empty()) v["disputes"] = stringArray(o.disputes);
+    return v;
+}
+
+Ordering orderingFromJson(const json::Value& v) {
+    Ordering o;
+    o.better = v.at("better").asString();
+    o.worse = v.at("worse").asString();
+    o.objective = v.at("objective").asString();
+    o.condition = requirementFromJson(v.at("condition"));
+    o.source = v.at("source").asString();
+    if (v.asObject().contains("disputes"))
+        o.disputes = stringArrayFromJson(v.at("disputes"));
+    return o;
+}
+
+json::Value toJson(const Workload& w) {
+    json::Value v;
+    v["name"] = w.name;
+    v["properties"] = stringArray(w.properties);
+    json::Array racks;
+    for (const int r : w.racks) racks.emplace_back(std::int64_t{r});
+    v["deployed_at"] = json::Value(std::move(racks));
+    v["peak_cores"] = w.peakCores;
+    v["peak_bandwidth_gbps"] = w.peakBandwidthGbps;
+    v["num_flows"] = w.numFlows;
+    json::Array bounds;
+    for (const PerformanceBound& b : w.bounds) {
+        json::Value bv;
+        bv["objective"] = b.objective;
+        bv["better_than"] = b.betterThanSystem;
+        bounds.push_back(std::move(bv));
+    }
+    v["performance_bounds"] = json::Value(std::move(bounds));
+    return v;
+}
+
+Workload workloadFromJson(const json::Value& v) {
+    Workload w;
+    w.name = v.at("name").asString();
+    w.properties = stringArrayFromJson(v.at("properties"));
+    for (const json::Value& r : v.at("deployed_at").asArray())
+        w.racks.push_back(static_cast<int>(r.asInt()));
+    w.peakCores = v.at("peak_cores").asInt();
+    w.peakBandwidthGbps = v.at("peak_bandwidth_gbps").asDouble();
+    w.numFlows = v.at("num_flows").asInt();
+    for (const json::Value& bv : v.at("performance_bounds").asArray())
+        w.bounds.push_back(
+            {bv.at("objective").asString(), bv.at("better_than").asString()});
+    return w;
+}
+
+json::Value toJson(const KnowledgeBase& kb) {
+    json::Value v;
+    json::Array systems;
+    for (const System& s : kb.systems()) systems.push_back(toJson(s));
+    v["systems"] = json::Value(std::move(systems));
+    json::Array hardware;
+    for (const HardwareSpec& h : kb.hardwareSpecs()) hardware.push_back(toJson(h));
+    v["hardware"] = json::Value(std::move(hardware));
+    json::Array orderings;
+    for (const Ordering& o : kb.orderings()) orderings.push_back(toJson(o));
+    v["orderings"] = json::Value(std::move(orderings));
+    return v;
+}
+
+KnowledgeBase kbFromJson(const json::Value& v) {
+    KnowledgeBase kb;
+    for (const json::Value& s : v.at("systems").asArray())
+        kb.addSystem(systemFromJson(s));
+    for (const json::Value& h : v.at("hardware").asArray())
+        kb.addHardware(hardwareFromJson(h));
+    for (const json::Value& o : v.at("orderings").asArray())
+        kb.addOrdering(orderingFromJson(o));
+    return kb;
+}
+
+std::string kbToText(const KnowledgeBase& kb) {
+    return json::writePretty(toJson(kb));
+}
+
+KnowledgeBase kbFromText(const std::string& text) {
+    return kbFromJson(json::parse(text));
+}
+
+} // namespace lar::kb

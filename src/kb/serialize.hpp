@@ -1,0 +1,36 @@
+// JSON (de)serialization of knowledge-base encodings.
+//
+// The wire format mirrors the paper's listings: hardware specs serialize to
+// Listing-1-style attribute objects; systems to Listing-2-style objects with
+// `solves`, `constraints`, and `resources`; orderings to Listing-2 lines 7–8.
+#pragma once
+
+#include <string>
+
+#include "json/value.hpp"
+#include "kb/kb.hpp"
+
+namespace lar::kb {
+
+// -- individual entities ------------------------------------------------------
+[[nodiscard]] json::Value toJson(const HardwareSpec& spec);
+[[nodiscard]] json::Value toJson(const System& system);
+[[nodiscard]] json::Value toJson(const Ordering& ordering);
+[[nodiscard]] json::Value toJson(const Requirement& requirement);
+[[nodiscard]] json::Value toJson(const Workload& workload);
+
+[[nodiscard]] HardwareSpec hardwareFromJson(const json::Value& v);
+[[nodiscard]] System systemFromJson(const json::Value& v);
+[[nodiscard]] Ordering orderingFromJson(const json::Value& v);
+[[nodiscard]] Requirement requirementFromJson(const json::Value& v);
+[[nodiscard]] Workload workloadFromJson(const json::Value& v);
+
+// -- whole knowledge base -----------------------------------------------------
+[[nodiscard]] json::Value toJson(const KnowledgeBase& kb);
+[[nodiscard]] KnowledgeBase kbFromJson(const json::Value& v);
+
+/// Convenience text round trip.
+[[nodiscard]] std::string kbToText(const KnowledgeBase& kb);
+[[nodiscard]] KnowledgeBase kbFromText(const std::string& text);
+
+} // namespace lar::kb

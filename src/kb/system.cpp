@@ -1,0 +1,36 @@
+#include "kb/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lar::kb {
+
+std::string toString(Category c) {
+    switch (c) {
+        case Category::NetworkStack: return "network_stack";
+        case Category::CongestionControl: return "congestion_control";
+        case Category::Monitoring: return "monitoring";
+        case Category::Firewall: return "firewall";
+        case Category::VirtualSwitch: return "virtual_switch";
+        case Category::LoadBalancer: return "load_balancer";
+        case Category::TransportProtocol: return "transport_protocol";
+    }
+    return "?";
+}
+
+std::int64_t ResourceDemand::amountFor(double totalKiloFlows,
+                                       double totalGbps) const {
+    const double amount =
+        fixed + perKiloFlows * totalKiloFlows + perGbps * totalGbps;
+    return static_cast<std::int64_t>(std::ceil(std::max(0.0, amount)));
+}
+
+bool System::solvesCapability(const std::string& capability) const {
+    return std::find(solves.begin(), solves.end(), capability) != solves.end();
+}
+
+bool System::providesFact(const std::string& fact) const {
+    return std::find(provides.begin(), provides.end(), fact) != provides.end();
+}
+
+} // namespace lar::kb

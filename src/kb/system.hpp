@@ -1,0 +1,93 @@
+// System encodings — the paper's Listing 2.
+//
+// A System is the shallow description of a deployable component: the
+// category (role) it fills, the capabilities it `solves`, the requirements
+// it places on the environment, the resources it consumes (possibly scaled
+// by workload aggregates, like SIMON's CPU_FACTOR·num_flows), the facts it
+// `provides` to the environment, and hard conflicts. No behavioural or
+// temporal modelling — by design (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/requirement.hpp"
+
+namespace lar::kb {
+
+/// The system taxonomy used by the paper's prototype (§5.1).
+enum class Category {
+    NetworkStack,
+    CongestionControl,
+    Monitoring,
+    Firewall,
+    VirtualSwitch,
+    LoadBalancer,
+    TransportProtocol,
+};
+
+inline constexpr Category kAllCategories[] = {
+    Category::NetworkStack,   Category::CongestionControl,
+    Category::Monitoring,     Category::Firewall,
+    Category::VirtualSwitch,  Category::LoadBalancer,
+    Category::TransportProtocol,
+};
+
+[[nodiscard]] std::string toString(Category c);
+
+/// Resource names with built-in capacity semantics (see reason/compile.cpp).
+inline constexpr const char* kResCores = "cores";            // per server
+inline constexpr const char* kResP4Stages = "p4_stages";     // per switch
+inline constexpr const char* kResQosClasses = "qos_classes"; // per switch
+inline constexpr const char* kResSmartNicCores = "smartnic_cores"; // per NIC
+inline constexpr const char* kResFpgaGatesK = "fpga_gates_k";      // per NIC
+inline constexpr const char* kResSwitchMemoryGb = "switch_memory_gb";
+
+/// A system's demand on one resource. The effective amount is
+///   fixed + perKiloFlows·(Σ workload flows / 1000)
+///         + perGbps·(Σ workload peak bandwidth),
+/// rounded up — the "crude approximations human designers use" (§3.1).
+struct ResourceDemand {
+    std::string resource;
+    double fixed = 0.0;
+    double perKiloFlows = 0.0;
+    double perGbps = 0.0;
+
+    /// Effective integer demand for given workload aggregates.
+    [[nodiscard]] std::int64_t amountFor(double totalKiloFlows,
+                                         double totalGbps) const;
+};
+
+struct System {
+    std::string name;
+    Category category = Category::NetworkStack;
+    std::vector<std::string> solves;    ///< capabilities, e.g. "detect_queue_length"
+    Requirement constraints;            ///< deployment requirements
+    std::vector<ResourceDemand> demands;
+    std::vector<std::string> provides;  ///< facts made true when deployed
+    std::vector<std::string> conflicts; ///< systems it cannot coexist with
+    bool researchGrade = false;         ///< research prototype (§3.1 deadline rule)
+    std::string source;                 ///< citation / provenance note
+
+    [[nodiscard]] bool solvesCapability(const std::string& capability) const;
+    [[nodiscard]] bool providesFact(const std::string& fact) const;
+};
+
+/// A rule-of-thumb preference edge (Figure 1): `better` beats `worse` on
+/// `objective`, when `condition` holds in the deployment context.
+///
+/// Comparisons are inherently subjective (§4.2); `disputes` records sources
+/// that disagree with the encoded direction, so architects can see both
+/// sides before trusting the edge ("annotated by LLMs and humans with links
+/// to sources that disagree with what is encoded").
+struct Ordering {
+    std::string better;
+    std::string worse;
+    std::string objective;
+    Requirement condition; ///< default: unconditional
+    std::string source;    ///< citation backing the rule of thumb
+    std::vector<std::string> disputes; ///< sources contesting this edge
+};
+
+} // namespace lar::kb

@@ -1,0 +1,12 @@
+#include "kb/workload.hpp"
+
+#include <algorithm>
+
+namespace lar::kb {
+
+bool Workload::hasProperty(const std::string& property) const {
+    return std::find(properties.begin(), properties.end(), property) !=
+           properties.end();
+}
+
+} // namespace lar::kb

@@ -1,0 +1,49 @@
+// Workload encodings — the paper's Listing 3.
+//
+// A workload describes an application from the architect's point of view:
+// qualitative properties ("dc_flows", "short_flows", "high_priority"),
+// placement, aggregate resource peaks, and per-objective performance bounds
+// expressed against the partial order ("load balancing must be strictly
+// better than PacketSpray").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lar::kb {
+
+/// Well-known workload properties.
+inline constexpr const char* kPropDcFlows = "dc_flows";
+inline constexpr const char* kPropWanFlows = "wan_flows";
+inline constexpr const char* kPropShortFlows = "short_flows";
+inline constexpr const char* kPropLongFlows = "long_flows";
+inline constexpr const char* kPropHighPriority = "high_priority";
+inline constexpr const char* kPropLatencySensitive = "latency_sensitive";
+inline constexpr const char* kPropThroughputBound = "throughput_bound";
+inline constexpr const char* kPropWanDcCompete = "wan_dc_traffic_compete";
+inline constexpr const char* kPropMemoryIntensive = "memory_intensive";
+inline constexpr const char* kPropUnmodifiableApp = "unmodifiable_app";
+inline constexpr const char* kPropIncastHeavy = "incast_heavy";
+
+/// `set_performance_bound(objective=…, better_than=…)` from Listing 3:
+/// the chosen system serving `objective` must beat `betterThanSystem` in the
+/// knowledge base's partial order under the current context.
+struct PerformanceBound {
+    std::string objective;
+    std::string betterThanSystem;
+};
+
+struct Workload {
+    std::string name;
+    std::vector<std::string> properties;
+    std::vector<int> racks;              ///< deployed_at rack indices
+    std::int64_t peakCores = 0;
+    double peakBandwidthGbps = 0.0;
+    std::int64_t numFlows = 0;
+    std::vector<PerformanceBound> bounds;
+
+    [[nodiscard]] bool hasProperty(const std::string& property) const;
+};
+
+} // namespace lar::kb

@@ -1,0 +1,127 @@
+#include "llmsim/greedy.hpp"
+
+#include <algorithm>
+
+#include "kb/objectives.hpp"
+#include "order/poset.hpp"
+
+namespace lar::llmsim {
+
+std::int64_t GreedyReasoner::minCoresNeeded(
+    const std::vector<std::string>& systems) const {
+    // Straightforward aggregation — the kind of question §5.2 says LLMs get
+    // right.
+    const reason::WorkloadAggregates agg =
+        reason::aggregateWorkloads(problem_->workloads);
+    std::int64_t total = agg.totalPeakCores;
+    for (const std::string& name : systems) {
+        const kb::System* s = problem_->kb->findSystem(name);
+        if (s == nullptr) continue;
+        for (const kb::ResourceDemand& d : s->demands)
+            if (d.resource == kb::kResCores)
+                total += d.amountFor(agg.totalKiloFlows, agg.totalGbps);
+    }
+    return total;
+}
+
+reason::Design GreedyReasoner::proposeDesign() const {
+    const kb::KnowledgeBase& kb = *problem_->kb;
+    reason::Design design;
+
+    // Hardware: "bigger is better" — pick the highest-bandwidth (or highest
+    // core count) model per class, honoring pins but ignoring cost budgets.
+    for (const auto& [cls, choice] : problem_->hardware) {
+        if (choice.pinnedModel.has_value()) {
+            design.hardwareModel[cls] = *choice.pinnedModel;
+        } else {
+            const kb::HardwareSpec* best = nullptr;
+            double bestScore = -1;
+            for (const kb::HardwareSpec* h : kb.byClass(cls)) {
+                if (!choice.candidateModels.empty() &&
+                    std::find(choice.candidateModels.begin(),
+                              choice.candidateModels.end(),
+                              h->model) == choice.candidateModels.end())
+                    continue;
+                const double score =
+                    h->numAttr(kb::kAttrPortBandwidthGbps).value_or(0) +
+                    h->numAttr(kb::kAttrCores).value_or(0);
+                if (score > bestScore) {
+                    bestScore = score;
+                    best = h;
+                }
+            }
+            if (best != nullptr) design.hardwareModel[cls] = best->model;
+        }
+        const kb::HardwareSpec& spec = kb.hardware(design.hardwareModel[cls]);
+        design.hardwareCostUsd += spec.unitCostUsd * choice.count;
+        design.powerW += spec.maxPowerW * choice.count;
+    }
+
+    // Evaluation context seen by the greedy picker: it knows the hardware it
+    // just chose and the workload properties, but NOT the facts other
+    // chosen systems introduce (it never revisits earlier choices).
+    order::Context ctx;
+    for (const auto& [cls, model] : design.hardwareModel)
+        ctx.hardware[cls] = &kb.hardware(model);
+    for (const kb::Workload& w : problem_->workloads)
+        for (const std::string& p : w.properties) ctx.workloadProperties.insert(p);
+
+    // Category choices: the preference-graph maximum for the first objective
+    // that orders the category; hard requirements only checked against the
+    // static context (no conflicts, no resource sums, no derived facts).
+    const std::vector<std::string>& priorities = problem_->objectivePriority;
+    for (const kb::Category category : kb::kAllCategories) {
+        const bool required = problem_->requiredCategories.count(category) > 0;
+        const bool optional = problem_->optionalCategories.count(category) > 0;
+        if (!required && !optional) continue;
+
+        std::vector<std::string> candidates;
+        for (const kb::System* s : kb.byCategory(category)) {
+            const auto pin = problem_->pinnedSystems.find(s->name);
+            if (pin != problem_->pinnedSystems.end() && !pin->second) continue;
+            candidates.push_back(s->name);
+        }
+        // Honor positive pins outright.
+        std::string chosen;
+        for (const auto& [name, include] : problem_->pinnedSystems)
+            if (include && kb.findSystem(name) != nullptr &&
+                kb.system(name).category == category)
+                chosen = name;
+
+        if (chosen.empty()) {
+            for (const std::string& objective : priorities) {
+                const order::PreferenceGraph graph(kb, objective);
+                const auto maxima = graph.maximalElements(candidates, ctx);
+                // The greedy reasoner takes the first maximal candidate that
+                // superficially fits the hardware it picked.
+                for (const std::string& name : maxima) {
+                    if (maxima.size() == candidates.size()) break; // no signal
+                    const kb::System& s = kb.system(name);
+                    if (!ctx.evaluate(s.constraints)) continue; // shallow check
+                    chosen = name;
+                    break;
+                }
+                if (!chosen.empty()) break;
+            }
+        }
+        if (chosen.empty() && required && !candidates.empty())
+            chosen = candidates.front(); // "use the default"
+        if (chosen.empty()) continue;
+        design.chosen[category] = chosen;
+        ctx.presentSystems.insert(chosen);
+        // NOTE: provides-facts deliberately not propagated into ctx — this
+        // is the blind spot that reproduces the §5.2 failures.
+    }
+
+    // Resource bookkeeping for the report (an LLM would also narrate this).
+    const reason::WorkloadAggregates agg =
+        reason::aggregateWorkloads(problem_->workloads);
+    for (const auto& [category, name] : design.chosen)
+        for (const kb::ResourceDemand& d : kb.system(name).demands)
+            design.resourceUsage[d.resource] +=
+                d.amountFor(agg.totalKiloFlows, agg.totalGbps);
+    design.resourceUsage[kb::kResCores] += agg.totalPeakCores;
+    return design;
+}
+
+} // namespace lar::llmsim

@@ -1,0 +1,44 @@
+// Simulated LLM-as-a-reasoner (§5.2).
+//
+// "While it accurately determined straightforward requirements such as the
+//  minimum number of cores needed to deploy all the workloads and systems,
+//  it failed to return correct results when faced with nuances …"
+//
+// The GreedyReasoner mimics that behaviour mechanistically rather than
+// stochastically: it answers aggregate arithmetic questions by direct
+// computation (correct), and proposes designs with locally-plausible greedy
+// choices — picking the preference-graph maximum per category and beefy
+// hardware — while ignoring exactly the cross-cutting structure LLMs miss:
+// resource contention across systems, conflicts, derived facts (flooding),
+// nuance applicability conditions, and budget interactions.
+#pragma once
+
+#include <cstdint>
+
+#include "reason/design.hpp"
+#include "reason/problem.hpp"
+
+namespace lar::llmsim {
+
+class GreedyReasoner {
+public:
+    explicit GreedyReasoner(const reason::Problem& problem)
+        : problem_(&problem) {}
+
+    /// Simple aggregate query — answered correctly (it is one addition):
+    /// minimum cores to host the workloads plus the named systems' fixed
+    /// demands.
+    [[nodiscard]] std::int64_t minCoresNeeded(
+        const std::vector<std::string>& systems) const;
+
+    /// Greedy design proposal. Plausible per-category choices, but no
+    /// global constraint propagation: the result frequently violates
+    /// resource capacities, nuance conditions, and ripple-effect rules —
+    /// validate with reason::validateDesign to score it.
+    [[nodiscard]] reason::Design proposeDesign() const;
+
+private:
+    const reason::Problem* problem_;
+};
+
+} // namespace lar::llmsim

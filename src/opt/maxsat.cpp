@@ -1,0 +1,81 @@
+#include "opt/maxsat.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace lar::opt {
+
+std::optional<std::int64_t> minimizeAndLock(encode::CnfBuilder& builder,
+                                            std::span<const SoftConstraint> softs,
+                                            std::span<const sat::Lit> assumptions) {
+    sat::Solver& solver = builder.solver();
+
+    // Penalty terms: weight is paid when the soft literal is FALSE. Group
+    // them by exclusiveGroup so the counter can use one leaf per group.
+    std::vector<encode::PbTerm> penalties;
+    std::map<int, std::vector<encode::PbTerm>> groupIndex;
+    std::vector<std::vector<encode::PbTerm>> groups;
+    penalties.reserve(softs.size());
+    for (const SoftConstraint& s : softs) {
+        expects(s.weight >= 0, "minimizeAndLock: negative soft weight");
+        if (s.weight == 0) continue;
+        const encode::PbTerm term{s.weight, ~s.lit};
+        penalties.push_back(term);
+        if (s.exclusiveGroup >= 0)
+            groupIndex[s.exclusiveGroup].push_back(term);
+        else
+            groups.push_back({term});
+    }
+    for (auto& [id, members] : groupIndex) groups.push_back(std::move(members));
+
+    std::vector<sat::Lit> assume(assumptions.begin(), assumptions.end());
+    if (solver.solve(assume) != sat::SolveResult::Sat) return std::nullopt;
+    std::int64_t cost = encode::evalPb(solver, penalties);
+    if (cost == 0 || penalties.empty()) return cost;
+
+    // Counter clamped just above the first cost: tighter bounds only.
+    const encode::PbSum counter(
+        builder, std::span<const std::vector<encode::PbTerm>>(groups),
+        /*clampAt=*/cost + 1);
+    while (cost > 0) {
+        assume.assign(assumptions.begin(), assumptions.end());
+        assume.push_back(counter.atMostLit(builder, cost - 1));
+        if (solver.solve(assume) != sat::SolveResult::Sat) break;
+        const std::int64_t improved = encode::evalPb(solver, penalties);
+        ensures(improved < cost, "minimizeAndLock: cost failed to decrease");
+        cost = improved;
+        util::logAt(util::LogLevel::Debug, "maxsat: improved cost to ", cost);
+    }
+
+    // Lock the optimum and restore the optimal model.
+    builder.assertLit(counter.atMostLit(builder, cost));
+    assume.assign(assumptions.begin(), assumptions.end());
+    const sat::SolveResult final = solver.solve(assume);
+    ensures(final == sat::SolveResult::Sat,
+            "minimizeAndLock: formula infeasible after locking optimum");
+    return cost;
+}
+
+LexResult optimizeLex(encode::CnfBuilder& builder,
+                      std::span<const Objective> objectives,
+                      std::span<const sat::Lit> assumptions) {
+    LexResult result;
+    for (const Objective& objective : objectives) {
+        const auto cost = minimizeAndLock(builder, objective.softs, assumptions);
+        if (!cost.has_value()) return result; // infeasible: costs empty/partial
+        util::logAt(util::LogLevel::Debug, "lex: objective '", objective.name,
+                    "' optimal cost ", *cost);
+        result.costs.push_back(*cost);
+    }
+    result.feasible = true;
+    // When there are no objectives at all, still report hard feasibility.
+    if (objectives.empty()) {
+        result.feasible =
+            builder.solver().solve(assumptions) == sat::SolveResult::Sat;
+    }
+    return result;
+}
+
+} // namespace lar::opt

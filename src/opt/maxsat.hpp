@@ -1,0 +1,61 @@
+// Weighted MaxSAT and lexicographic multi-objective optimization.
+//
+// The reasoning layer turns conditional partial-order preferences ("Snap is
+// better than Linux on throughput when load ≥ 40 Gbps") into weighted soft
+// constraints and optimizes them per objective, in the priority order the
+// architect declares (Listing 3: Optimize(latency > Hardware cost >
+// monitoring)). The optimizer runs a linear SAT→UNSAT search over an
+// incremental Generalized-Totalizer objective counter: each improving model
+// tightens the bound by assumption, and the final bound is locked as a hard
+// constraint before the next objective level runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "encode/cnf_builder.hpp"
+#include "encode/pb.hpp"
+
+namespace lar::opt {
+
+/// A soft constraint: pay `weight` whenever `lit` is false in the model.
+/// Softs sharing a non-negative `exclusiveGroup` are guaranteed by the
+/// caller to have at most one *violated* member at a time (e.g. penalties
+/// attached to an exactly-one selector); the objective counter exploits this
+/// to stay linear instead of enumerating subset sums.
+struct SoftConstraint {
+    sat::Lit lit;
+    std::int64_t weight = 1;
+    int exclusiveGroup = -1;
+};
+
+/// One lexicographic level: minimize the total weight of violated softs.
+struct Objective {
+    std::string name;
+    std::vector<SoftConstraint> softs;
+};
+
+/// Costs per level (same order as the objectives); empty when infeasible.
+struct LexResult {
+    bool feasible = false;
+    std::vector<std::int64_t> costs;
+};
+
+/// Minimizes the violation cost of `softs` subject to the solver's hard
+/// clauses and `assumptions`. Returns std::nullopt when the hard part is
+/// unsatisfiable; otherwise the optimal cost, with the optimal model loaded
+/// in the solver and the bound locked in as a hard constraint (so later
+/// optimization levels preserve it).
+std::optional<std::int64_t> minimizeAndLock(encode::CnfBuilder& builder,
+                                            std::span<const SoftConstraint> softs,
+                                            std::span<const sat::Lit> assumptions = {});
+
+/// Runs minimizeAndLock for each objective in order.
+LexResult optimizeLex(encode::CnfBuilder& builder,
+                      std::span<const Objective> objectives,
+                      std::span<const sat::Lit> assumptions = {});
+
+} // namespace lar::opt

@@ -1,0 +1,41 @@
+#include "order/context.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lar::order {
+
+bool Context::evaluate(const kb::Requirement& r) const {
+    using Kind = kb::Requirement::Kind;
+    switch (r.kind()) {
+        case Kind::True: return true;
+        case Kind::False: return false;
+        case Kind::And:
+            return std::all_of(r.children().begin(), r.children().end(),
+                               [this](const kb::Requirement& c) { return evaluate(c); });
+        case Kind::Or:
+            return std::any_of(r.children().begin(), r.children().end(),
+                               [this](const kb::Requirement& c) { return evaluate(c); });
+        case Kind::Not: return !evaluate(r.children()[0]);
+        case Kind::HardwareHas: {
+            const auto it = hardware.find(r.hwClass());
+            if (it == hardware.end() || it->second == nullptr) return false;
+            return it->second->boolAttr(r.key()).value_or(false);
+        }
+        case Kind::HardwareCmp: {
+            const auto it = hardware.find(r.hwClass());
+            if (it == hardware.end() || it->second == nullptr) return false;
+            const auto num = it->second->numAttr(r.key());
+            if (!num.has_value()) return false;
+            return kb::applyCmp(r.op(), *num, r.value());
+        }
+        case Kind::SystemPresent: return presentSystems.count(r.key()) > 0;
+        case Kind::FactTrue: return facts.count(r.key()) > 0;
+        case Kind::OptionTrue: return options.count(r.key()) > 0;
+        case Kind::WorkloadHas: return workloadProperties.count(r.key()) > 0;
+    }
+    return false;
+}
+
+} // namespace lar::order

@@ -1,0 +1,31 @@
+// A concrete deployment context for evaluating ordering conditions.
+//
+// Figure 1's edges are conditional ("network load ≥ 40 Gbps", "if Pony
+// enabled"). Given a fully-specified context — chosen hardware models,
+// deployed systems, facts, enabled options, and workload properties — every
+// Requirement condition evaluates to a definite boolean.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "kb/hardware.hpp"
+#include "kb/requirement.hpp"
+
+namespace lar::order {
+
+struct Context {
+    /// Chosen hardware model per class (absent class → Hardware* nodes on it
+    /// evaluate false).
+    std::map<kb::HardwareClass, const kb::HardwareSpec*> hardware;
+    std::set<std::string> presentSystems;
+    std::set<std::string> facts;
+    std::set<std::string> options;
+    std::set<std::string> workloadProperties;
+
+    /// Evaluates `requirement` under this context.
+    [[nodiscard]] bool evaluate(const kb::Requirement& requirement) const;
+};
+
+} // namespace lar::order

@@ -1,0 +1,100 @@
+// Compilation of a design Problem into solver formulas.
+//
+// Variable map:
+//   sys/<name>        — system <name> is part of the design
+//   hw/<class>/<model> — <model> is the chosen model for <class>
+//   fact/<name>       — derived fact holds (defined as OR of providers + pin)
+//   opt/<name>        — free deployment option switched on
+//
+// Every hard rule asserted into the backend carries a track id whose
+// human-readable description is kept in trackedRules(); unsat cores map back
+// through it to produce the §6-style explanations ("which of your
+// requirements are in conflict").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reason/design.hpp"
+#include "reason/problem.hpp"
+#include "smt/backend.hpp"
+
+namespace lar::reason {
+
+class Compilation {
+public:
+    Compilation(const Problem& problem, smt::BackendKind kind);
+
+    [[nodiscard]] smt::Backend& backend() { return *backend_; }
+    [[nodiscard]] smt::FormulaStore& store() { return store_; }
+    [[nodiscard]] const Problem& problem() const { return *problem_; }
+
+    /// Description of tracked rule `track` (index into trackedRules()).
+    [[nodiscard]] const std::vector<std::string>& trackedRules() const {
+        return ruleDescriptions_;
+    }
+    [[nodiscard]] std::vector<std::string> describeTracks(
+        const std::vector<int>& tracks) const;
+
+    /// Lexicographic objective stack built from Problem::objectivePriority.
+    [[nodiscard]] const std::vector<smt::ObjectiveSpec>& objectives() const {
+        return objectives_;
+    }
+
+    /// Variable lookups (kInvalidNode when the entity is unknown).
+    [[nodiscard]] smt::NodeId systemVar(const std::string& name) const;
+    [[nodiscard]] smt::NodeId hardwareVar(kb::HardwareClass cls,
+                                          const std::string& model) const;
+    [[nodiscard]] smt::NodeId optionVar(const std::string& name) const;
+
+    /// Reads the backend's current model into a Design (resource accounting
+    /// and cost computed from the chosen hardware).
+    [[nodiscard]] Design extractDesign() const;
+
+    /// Blocks the current projected design (chosen systems + hardware) so
+    /// the next check produces a different equivalence-class representative.
+    void blockCurrentDesign();
+
+private:
+    // -- construction passes --------------------------------------------------
+    void collectFactsAndOptions();
+    void buildHardwareVars();
+    void buildSystemVars();
+    void defineFacts();
+    void buildCategoryRules();
+    void buildSystemRules();
+    void buildCapabilityRules();
+    void buildResourceRules();
+    void buildBandwidthRules();
+    void buildPerformanceBounds();
+    void buildPins();
+    void buildBudgets();
+    void buildExtraConstraint();
+    void buildObjectives();
+
+    [[nodiscard]] smt::NodeId compileRequirement(const kb::Requirement& r);
+    /// OR over simple paths from `from` to `to` in the ordering graph of
+    /// `objective`, with each path contributing AND(edge conditions).
+    [[nodiscard]] smt::NodeId betterFormula(const std::string& objective,
+                                            const std::string& from,
+                                            const std::string& to);
+
+    int track(std::string description);
+    void assertTracked(smt::NodeId formula, std::string description);
+
+    const Problem* problem_;
+    smt::FormulaStore store_;
+    std::unique_ptr<smt::Backend> backend_;
+
+    std::map<std::string, smt::NodeId> systemVars_;
+    std::map<kb::HardwareClass, std::map<std::string, smt::NodeId>> hardwareVars_;
+    std::map<std::string, smt::NodeId> factVars_;
+    std::map<std::string, smt::NodeId> optionVars_;
+
+    std::vector<std::string> ruleDescriptions_;
+    std::vector<smt::ObjectiveSpec> objectives_;
+};
+
+} // namespace lar::reason

@@ -1,0 +1,84 @@
+#include "reason/design.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace lar::reason {
+
+std::set<std::string> Design::systems() const {
+    std::set<std::string> out;
+    for (const auto& [category, name] : chosen) out.insert(name);
+    return out;
+}
+
+bool Design::uses(const std::string& name) const {
+    for (const auto& [category, chosenName] : chosen)
+        if (chosenName == name) return true;
+    return false;
+}
+
+std::vector<std::string> Design::diff(const Design& other) const {
+    std::vector<std::string> changes;
+    for (const kb::Category c : kb::kAllCategories) {
+        const auto mine = chosen.find(c);
+        const auto theirs = other.chosen.find(c);
+        const std::string a = mine == chosen.end() ? "(none)" : mine->second;
+        const std::string b = theirs == other.chosen.end() ? "(none)" : theirs->second;
+        if (a != b)
+            changes.push_back(kb::toString(c) + ": " + a + " -> " + b);
+    }
+    for (const kb::HardwareClass hc :
+         {kb::HardwareClass::Switch, kb::HardwareClass::Nic,
+          kb::HardwareClass::Server}) {
+        const auto mine = hardwareModel.find(hc);
+        const auto theirs = other.hardwareModel.find(hc);
+        const std::string a = mine == hardwareModel.end() ? "(none)" : mine->second;
+        const std::string b =
+            theirs == other.hardwareModel.end() ? "(none)" : theirs->second;
+        if (a != b)
+            changes.push_back(kb::toString(hc) + ": " + a + " -> " + b);
+    }
+    for (const std::string& opt : other.enabledOptions)
+        if (enabledOptions.count(opt) == 0)
+            changes.push_back("option enabled: " + opt);
+    for (const std::string& opt : enabledOptions)
+        if (other.enabledOptions.count(opt) == 0)
+            changes.push_back("option disabled: " + opt);
+    return changes;
+}
+
+std::string Design::toString() const {
+    std::ostringstream out;
+    out << "Design:\n";
+    for (const auto& [category, name] : chosen)
+        out << "  " << kb::toString(category) << ": " << name << "\n";
+    for (const auto& [cls, model] : hardwareModel)
+        out << "  " << kb::toString(cls) << ": " << model << "\n";
+    if (!enabledOptions.empty()) {
+        out << "  options:";
+        for (const std::string& o : enabledOptions) out << ' ' << o;
+        out << "\n";
+    }
+    if (!activeFacts.empty()) {
+        out << "  facts:";
+        for (const std::string& f : activeFacts) out << ' ' << f;
+        out << "\n";
+    }
+    for (const auto& [resource, used] : resourceUsage) {
+        out << "  " << resource << ": " << used;
+        const auto cap = resourceCapacity.find(resource);
+        if (cap != resourceCapacity.end()) out << " / " << cap->second;
+        out << "\n";
+    }
+    out << "  hardware cost: $" << util::formatDouble(hardwareCostUsd, 0)
+        << ", power: " << util::formatDouble(powerW, 0) << " W\n";
+    if (!objectiveCosts.empty()) {
+        out << "  objective costs:";
+        for (const std::int64_t c : objectiveCosts) out << ' ' << c;
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace lar::reason

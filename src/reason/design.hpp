@@ -1,0 +1,50 @@
+// The engine's output: a concrete architecture design.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kb/hardware.hpp"
+#include "kb/system.hpp"
+
+namespace lar::reason {
+
+struct Design {
+    /// Chosen system per category; absent key = category left empty.
+    std::map<kb::Category, std::string> chosen;
+    /// Chosen hardware model per class.
+    std::map<kb::HardwareClass, std::string> hardwareModel;
+    /// Deployment options switched on by the solver (e.g. pony_enabled).
+    std::set<std::string> enabledOptions;
+    /// Facts that hold in this design (derived from chosen systems + pins).
+    std::set<std::string> activeFacts;
+
+    /// Resource accounting (systems + workloads vs hardware capacity).
+    std::map<std::string, std::int64_t> resourceUsage;
+    std::map<std::string, std::int64_t> resourceCapacity;
+
+    double hardwareCostUsd = 0.0;
+    double powerW = 0.0;
+
+    /// Per-objective violation costs from lexicographic optimization (same
+    /// order as Problem::objectivePriority); empty for plain synthesis.
+    std::vector<std::int64_t> objectiveCosts;
+
+    /// Names of all chosen systems.
+    [[nodiscard]] std::set<std::string> systems() const;
+
+    /// True when `name` is part of the design.
+    [[nodiscard]] bool uses(const std::string& name) const;
+
+    /// Human-readable change list between two designs — the "ripple effect"
+    /// view of §2.3 (how one altered choice propagates).
+    [[nodiscard]] std::vector<std::string> diff(const Design& other) const;
+
+    /// Multi-line report.
+    [[nodiscard]] std::string toString() const;
+};
+
+} // namespace lar::reason

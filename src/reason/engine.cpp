@@ -1,0 +1,210 @@
+#include "reason/engine.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace lar::reason {
+
+Engine::Engine(const Problem& problem, smt::BackendKind kind)
+    : problem_(problem) {
+    compilation_ = std::make_unique<Compilation>(problem_, kind);
+}
+
+FeasibilityReport Engine::checkFeasible() {
+    FeasibilityReport report;
+    const smt::CheckStatus status = compilation_->backend().check();
+    report.feasible = status == smt::CheckStatus::Sat;
+    if (status == smt::CheckStatus::Unsat) {
+        report.conflictingRules =
+            compilation_->describeTracks(compilation_->backend().unsatCore().tracks);
+    }
+    return report;
+}
+
+FeasibilityReport Engine::explainMinimalConflict() {
+    FeasibilityReport report;
+    smt::Backend& backend = compilation_->backend();
+    if (backend.check() == smt::CheckStatus::Sat) {
+        report.feasible = true;
+        return report;
+    }
+    std::vector<int> core = backend.unsatCore().tracks;
+    // Deletion-based minimization: drop one rule at a time; keep the drop
+    // whenever the remainder is still unsatisfiable (adopting the possibly
+    // even smaller core the solver returns).
+    std::size_t i = 0;
+    while (i < core.size()) {
+        std::vector<int> candidate = core;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+        if (backend.checkWithTracks(candidate) == smt::CheckStatus::Unsat) {
+            std::vector<int> shrunk = backend.unsatCore().tracks;
+            core = shrunk.empty() ? candidate : std::move(shrunk);
+            i = 0; // restart scan over the smaller core
+        } else {
+            ++i;
+        }
+    }
+    report.conflictingRules = compilation_->describeTracks(core);
+    return report;
+}
+
+std::optional<Design> Engine::synthesize() {
+    if (compilation_->backend().check() != smt::CheckStatus::Sat)
+        return std::nullopt;
+    return compilation_->extractDesign();
+}
+
+std::optional<Design> Engine::optimize() {
+    const smt::OptimizeResult result =
+        compilation_->backend().optimize(compilation_->objectives());
+    if (!result.feasible) return std::nullopt;
+    Design design = compilation_->extractDesign();
+    design.objectiveCosts = result.costs;
+    return design;
+}
+
+std::vector<Design> Engine::enumerateDesigns(int maxDesigns, bool optimizeFirst) {
+    std::vector<Design> designs;
+    if (optimizeFirst) {
+        // Lock in the optimal objective costs, then enumerate within them.
+        if (!optimize().has_value()) return designs;
+    }
+    while (static_cast<int>(designs.size()) < maxDesigns) {
+        if (compilation_->backend().check() != smt::CheckStatus::Sat) break;
+        designs.push_back(compilation_->extractDesign());
+        compilation_->blockCurrentDesign();
+    }
+    return designs;
+}
+
+ScenarioComparison compareScenarios(const Problem& a, const Problem& b,
+                                    smt::BackendKind kind) {
+    ScenarioComparison cmp;
+    cmp.a = Engine(a, kind).optimize();
+    cmp.b = Engine(b, kind).optimize();
+    if (cmp.a.has_value() && cmp.b.has_value()) cmp.changes = cmp.a->diff(*cmp.b);
+    return cmp;
+}
+
+RetentionReport analyzeRetention(const Problem& problem, const std::string& system,
+                                 smt::BackendKind kind) {
+    RetentionReport report;
+    Problem keeping = problem;
+    keeping.pinnedSystems[system] = true;
+    report.keeping = Engine(keeping, kind).optimize();
+    report.free_ = Engine(problem, kind).optimize();
+    if (report.keeping.has_value() && report.free_.has_value()) {
+        const auto& kc = report.keeping->objectiveCosts;
+        const auto& fc = report.free_->objectiveCosts;
+        for (std::size_t i = 0; i < kc.size() && i < fc.size(); ++i)
+            report.extraCostPerObjective.push_back(kc[i] - fc[i]);
+        report.extraHardwareCostUsd =
+            report.keeping->hardwareCostUsd - report.free_->hardwareCostUsd;
+    }
+    return report;
+}
+
+bool RetentionReport::worthSwitching(std::int64_t threshold) const {
+    if (!keeping.has_value()) return true; // cannot keep it at all
+    if (!free_.has_value()) return false;
+    for (const std::int64_t delta : extraCostPerObjective) {
+        if (delta > threshold) return true; // keeping costs too much here
+        if (delta < 0) return false;        // keeping actually wins earlier level
+    }
+    return false;
+}
+
+std::vector<DisambiguationSuggestion> suggestDisambiguation(
+    const Problem& problem, int sampleDesigns, smt::BackendKind kind) {
+    Engine engine(problem, kind);
+    const std::vector<Design> designs =
+        engine.enumerateDesigns(sampleDesigns, /*optimizeFirst=*/true);
+    std::vector<DisambiguationSuggestion> suggestions;
+    if (designs.size() <= 1) return suggestions; // already unique (or infeasible)
+
+    for (const kb::Category category : kb::kAllCategories) {
+        std::set<std::string> choices;
+        for (const Design& d : designs) {
+            const auto it = d.chosen.find(category);
+            choices.insert(it == d.chosen.end() ? "(none)" : it->second);
+        }
+        if (choices.size() <= 1) continue;
+        DisambiguationSuggestion s;
+        s.category = category;
+        s.contenders.assign(choices.begin(), choices.end());
+        std::string names;
+        for (const std::string& c : s.contenders) {
+            if (!names.empty()) names += ", ";
+            names += c;
+        }
+        const std::string topObjective =
+            problem.objectivePriority.empty() ? "your top objective"
+                                              : problem.objectivePriority.front();
+        s.suggestion = "the " + toString(category) +
+                       " choice is not pinned down (" + names +
+                       " tie at the optimum); encode an ordering among them on "
+                       "'" + topObjective + "' or pin one to make the design "
+                       "unique";
+        suggestions.push_back(std::move(s));
+    }
+    return suggestions;
+}
+
+std::vector<RefinementHint> suggestRefinements(const Problem& problem,
+                                               const Design& design) {
+    expects(problem.kb != nullptr, "suggestRefinements: problem has no KB");
+    const kb::KnowledgeBase& kb = *problem.kb;
+    std::vector<RefinementHint> hints;
+    for (const auto& [category, name] : design.chosen) {
+        const kb::System& s = kb.system(name);
+        RefinementHint hint;
+        hint.system = name;
+        if (s.constraints.isTrivial())
+            hint.gaps.push_back("no deployment requirements encoded");
+        if (s.demands.empty())
+            hint.gaps.push_back("no resource demands encoded");
+        const bool compared = std::any_of(
+            kb.orderings().begin(), kb.orderings().end(),
+            [&name = name](const kb::Ordering& o) {
+                return o.better == name || o.worse == name;
+            });
+        if (!compared)
+            hint.gaps.push_back("no orderings compare it with alternatives");
+        if (!hint.gaps.empty()) hints.push_back(std::move(hint));
+    }
+    return hints;
+}
+
+InformationValue valueOfInformation(const Problem& problem,
+                                    const std::string& objective,
+                                    const std::string& systemA,
+                                    const std::string& systemB,
+                                    smt::BackendKind kind) {
+    expects(problem.kb != nullptr, "valueOfInformation: problem has no KB");
+    InformationValue result;
+
+    kb::KnowledgeBase kbA = *problem.kb; // deep copy
+    kbA.addOrdering({systemA, systemB, objective, kb::Requirement::alwaysTrue(),
+                     "hypothetical measurement", {}});
+    Problem pa = problem;
+    pa.kb = &kbA;
+    result.ifABetter = Engine(pa, kind).optimize();
+
+    kb::KnowledgeBase kbB = *problem.kb;
+    kbB.addOrdering({systemB, systemA, objective, kb::Requirement::alwaysTrue(),
+                     "hypothetical measurement", {}});
+    Problem pb = problem;
+    pb.kb = &kbB;
+    result.ifBBetter = Engine(pb, kind).optimize();
+
+    if (result.ifABetter.has_value() != result.ifBBetter.has_value()) {
+        result.changesDesign = true;
+    } else if (result.ifABetter.has_value() && result.ifBBetter.has_value()) {
+        result.changesDesign = !result.ifABetter->diff(*result.ifBBetter).empty();
+    }
+    return result;
+}
+
+} // namespace lar::reason

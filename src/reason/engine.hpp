@@ -1,0 +1,134 @@
+// The reasoning engine — the paper's §5.1 prototype, as a library.
+//
+// An Engine owns one compiled problem instance and answers the architect's
+// queries on it: feasibility with rule-level conflict explanations (§6
+// "Explainability"), synthesis, lexicographic optimization (Listing 3 line
+// 10), and equivalence-class enumeration. Queries mutate solver state
+// monotonically (optimization locks bounds), so use one Engine per logical
+// query, or the free helper functions below which do that for you.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reason/compile.hpp"
+#include "reason/design.hpp"
+#include "reason/problem.hpp"
+
+namespace lar::reason {
+
+struct FeasibilityReport {
+    bool feasible = false;
+    /// When infeasible: human-readable descriptions of the clashing rules
+    /// (from the backend's unsat core).
+    std::vector<std::string> conflictingRules;
+};
+
+class Engine {
+public:
+    explicit Engine(const Problem& problem,
+                    smt::BackendKind kind = smt::BackendKind::Cdcl);
+
+    /// Is any compliant design possible? On failure, names the conflict.
+    [[nodiscard]] FeasibilityReport checkFeasible();
+
+    /// Like checkFeasible(), but on failure shrinks the conflict to a
+    /// locally-minimal rule set by deletion: every rule left in the report
+    /// is necessary (dropping it alone makes the rest satisfiable). This is
+    /// the §6 "which of your requirements are in conflict" answer.
+    [[nodiscard]] FeasibilityReport explainMinimalConflict();
+
+    /// Any compliant design (no optimization).
+    [[nodiscard]] std::optional<Design> synthesize();
+
+    /// Lexicographically optimal design per Problem::objectivePriority.
+    /// objectiveCosts in the result carries the per-level violation costs.
+    [[nodiscard]] std::optional<Design> optimize();
+
+    /// Representatives of distinct designs (projected on chosen systems and
+    /// hardware), up to `maxDesigns`. When `optimizeFirst` is set, only
+    /// designs in the *optimal* equivalence class are enumerated — the §6
+    /// goal of returning classes instead of an arbitrary model.
+    [[nodiscard]] std::vector<Design> enumerateDesigns(int maxDesigns,
+                                                       bool optimizeFirst = false);
+
+    [[nodiscard]] const Compilation& compilation() const { return *compilation_; }
+    [[nodiscard]] const Problem& problem() const { return problem_; }
+
+private:
+    Problem problem_;
+    std::unique_ptr<Compilation> compilation_;
+};
+
+// -- §5.1-style query helpers (fresh engine per call) -------------------------
+
+/// Compares the optimal designs of two scenarios (e.g. with/without CXL
+/// servers, or before/after adding workloads).
+struct ScenarioComparison {
+    std::optional<Design> a;
+    std::optional<Design> b;
+    /// Ripple-effect change list (empty when either side is infeasible).
+    std::vector<std::string> changes;
+};
+[[nodiscard]] ScenarioComparison compareScenarios(
+    const Problem& a, const Problem& b,
+    smt::BackendKind kind = smt::BackendKind::Cdcl);
+
+/// §5.1 query 2 ("keep Sonata unless there are huge benefits"): optimal
+/// design with `system` pinned vs left free, with per-objective cost deltas
+/// (positive delta = keeping the system costs that much more).
+struct RetentionReport {
+    std::optional<Design> keeping;
+    std::optional<Design> free_;
+    std::vector<std::int64_t> extraCostPerObjective;
+    double extraHardwareCostUsd = 0.0;
+    /// True when switching away wins by more than `threshold` at some
+    /// objective level (checked most-important first).
+    [[nodiscard]] bool worthSwitching(std::int64_t threshold) const;
+};
+[[nodiscard]] RetentionReport analyzeRetention(
+    const Problem& problem, const std::string& system,
+    smt::BackendKind kind = smt::BackendKind::Cdcl);
+
+/// §3.1 value-of-information: would learning how `systemA` compares to
+/// `systemB` on `objective` change the optimal design? If not, the
+/// measurement is not worth running.
+struct InformationValue {
+    std::optional<Design> ifABetter;
+    std::optional<Design> ifBBetter;
+    bool changesDesign = false;
+};
+[[nodiscard]] InformationValue valueOfInformation(
+    const Problem& problem, const std::string& objective,
+    const std::string& systemA, const std::string& systemB,
+    smt::BackendKind kind = smt::BackendKind::Cdcl);
+
+/// §6: when the problem is under-specified, several designs tie at the
+/// optimum. Each suggestion names a category whose choice is not pinned
+/// down by the current knowledge + goals, with the tied contenders — the
+/// minimal-effort input (an ordering, a pin) the architect could provide to
+/// make the solution unique.
+struct DisambiguationSuggestion {
+    kb::Category category = kb::Category::NetworkStack;
+    std::vector<std::string> contenders;
+    std::string suggestion; ///< human-readable next step
+};
+[[nodiscard]] std::vector<DisambiguationSuggestion> suggestDisambiguation(
+    const Problem& problem, int sampleDesigns = 8,
+    smt::BackendKind kind = smt::BackendKind::Cdcl);
+
+/// §3.1 breadth-first granularity refinement: encode coarsely first, refine
+/// only where it matters. A refinement hint names a system the optimal
+/// design *relies on* whose encoding is thin — no requirements, no resource
+/// demands, or no orderings comparing it — so the architect knows where
+/// detail pays off next.
+struct RefinementHint {
+    std::string system;
+    std::vector<std::string> gaps; ///< e.g. "no deployment requirements"
+};
+[[nodiscard]] std::vector<RefinementHint> suggestRefinements(
+    const Problem& problem, const Design& design);
+
+} // namespace lar::reason

@@ -1,0 +1,29 @@
+#include "reason/problem.hpp"
+
+namespace lar::reason {
+
+Problem makeDefaultProblem(const kb::KnowledgeBase& kb) {
+    Problem p;
+    p.kb = &kb;
+    p.hardware[kb::HardwareClass::Switch] = {};
+    p.hardware[kb::HardwareClass::Nic] = {};
+    p.hardware[kb::HardwareClass::Server] = {};
+    p.requiredCategories = {kb::Category::NetworkStack,
+                            kb::Category::CongestionControl};
+    p.optionalCategories = {kb::Category::Monitoring, kb::Category::Firewall,
+                            kb::Category::VirtualSwitch, kb::Category::LoadBalancer,
+                            kb::Category::TransportProtocol};
+    return p;
+}
+
+WorkloadAggregates aggregateWorkloads(const std::vector<kb::Workload>& workloads) {
+    WorkloadAggregates agg;
+    for (const kb::Workload& w : workloads) {
+        agg.totalKiloFlows += static_cast<double>(w.numFlows) / 1000.0;
+        agg.totalGbps += w.peakBandwidthGbps;
+        agg.totalPeakCores += w.peakCores;
+    }
+    return agg;
+}
+
+} // namespace lar::reason

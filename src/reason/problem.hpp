@@ -1,0 +1,88 @@
+// The architect's design problem — what the reasoning engine solves.
+//
+// Bundles the knowledge base with the concrete question: available hardware
+// (with pins for "I can't change my servers"), workloads (Listing 3),
+// lexicographic objective priorities (Listing 3 line 10), required
+// capabilities, pinned/forbidden systems ("I already deployed Sonata"),
+// organization-specific extra rules, and budget caps.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kb/kb.hpp"
+#include "kb/workload.hpp"
+
+namespace lar::reason {
+
+/// Hardware inventory for one class.
+struct HardwareChoice {
+    /// Candidate models (empty = every model of the class in the KB).
+    std::vector<std::string> candidateModels;
+    /// When set, the model is fixed (§5.1: "I can't change my servers").
+    std::optional<std::string> pinnedModel;
+    /// Units deployed (servers, switches, NICs).
+    int count = 1;
+};
+
+struct Problem {
+    const kb::KnowledgeBase* kb = nullptr;
+
+    std::map<kb::HardwareClass, HardwareChoice> hardware;
+    std::vector<kb::Workload> workloads;
+
+    /// Lexicographic objective priority, most important first
+    /// (e.g. {latency, hardware_cost, monitoring} per Listing 3).
+    std::vector<std::string> objectivePriority;
+
+    /// Capabilities some chosen system must provide (e.g. "capture_delays").
+    std::vector<std::string> requiredCapabilities;
+
+    /// Categories that must/may have a chosen system. Categories in neither
+    /// set are excluded outright. Defaults set by makeDefaultProblem().
+    std::set<kb::Category> requiredCategories;
+    std::set<kb::Category> optionalCategories;
+
+    /// Force-include (true) or forbid (false) specific systems.
+    std::map<std::string, bool> pinnedSystems;
+    /// Pin derived facts (e.g. environment already floods Ethernet frames).
+    std::map<std::string, bool> pinnedFacts;
+    /// Pin free deployment options (e.g. pony_enabled).
+    std::map<std::string, bool> pinnedOptions;
+
+    /// Organization-specific subjective rule (§3.1).
+    kb::Requirement extraConstraint;
+
+    std::optional<double> maxHardwareCostUsd;
+    std::optional<double> maxPowerW;
+
+    /// §3.4 common-sense rule pack (stack/CC mandatory, hardware everywhere,
+    /// NIC bandwidth covers workload peaks, switch ports match NIC speeds).
+    bool commonSenseRules = true;
+    /// Append an implicit lowest-priority objective that minimizes the
+    /// number of deployed systems, so optional categories are only filled
+    /// when some higher objective wants them.
+    bool preferMinimalDesign = true;
+    /// §3.1 sharp-deadline rule: research prototypes are not deployable.
+    bool forbidResearchGrade = false;
+};
+
+/// A problem with the usual defaults: all hardware classes available, the
+/// common-sense category split (network stack + congestion control required;
+/// monitoring, firewall, virtual switch, load balancer, transport optional).
+[[nodiscard]] Problem makeDefaultProblem(const kb::KnowledgeBase& kb);
+
+/// Aggregate workload figures used to scale resource demands.
+struct WorkloadAggregates {
+    double totalKiloFlows = 0.0;
+    double totalGbps = 0.0;
+    std::int64_t totalPeakCores = 0;
+};
+
+[[nodiscard]] WorkloadAggregates aggregateWorkloads(
+    const std::vector<kb::Workload>& workloads);
+
+} // namespace lar::reason

@@ -1,0 +1,180 @@
+#include "reason/problem_io.hpp"
+
+#include "json/parse.hpp"
+#include "json/write.hpp"
+#include "kb/serialize.hpp"
+#include "util/error.hpp"
+
+namespace lar::reason {
+
+namespace {
+
+json::Value categorySet(const std::set<kb::Category>& categories) {
+    json::Array arr;
+    for (const kb::Category c : categories) arr.emplace_back(toString(c));
+    return json::Value(std::move(arr));
+}
+
+std::set<kb::Category> categorySetFromJson(const json::Value& v) {
+    std::set<kb::Category> out;
+    for (const json::Value& item : v.asArray()) {
+        const std::string name = item.asString();
+        bool found = false;
+        for (const kb::Category c : kb::kAllCategories) {
+            if (toString(c) == name) {
+                out.insert(c);
+                found = true;
+                break;
+            }
+        }
+        if (!found) throw ParseError("problem: unknown category '" + name + "'");
+    }
+    return out;
+}
+
+json::Value boolMap(const std::map<std::string, bool>& m) {
+    json::Object obj;
+    for (const auto& [key, value] : m) obj[key] = value;
+    return json::Value(std::move(obj));
+}
+
+std::map<std::string, bool> boolMapFromJson(const json::Value& v) {
+    std::map<std::string, bool> out;
+    for (const auto& [key, value] : v.asObject().entries())
+        out.emplace(key, value.asBool());
+    return out;
+}
+
+} // namespace
+
+json::Value toJson(const Problem& problem) {
+    json::Value v;
+    json::Object hardware;
+    for (const auto& [cls, choice] : problem.hardware) {
+        json::Value hv;
+        hv["count"] = std::int64_t{choice.count};
+        if (choice.pinnedModel.has_value())
+            hv["pinned_model"] = *choice.pinnedModel;
+        json::Array candidates;
+        for (const std::string& m : choice.candidateModels)
+            candidates.emplace_back(m);
+        hv["candidates"] = json::Value(std::move(candidates));
+        hardware[toString(cls)] = std::move(hv);
+    }
+    v["hardware"] = json::Value(std::move(hardware));
+
+    json::Array workloads;
+    for (const kb::Workload& w : problem.workloads) workloads.push_back(kb::toJson(w));
+    v["workloads"] = json::Value(std::move(workloads));
+
+    json::Array priority;
+    for (const std::string& o : problem.objectivePriority) priority.emplace_back(o);
+    v["objective_priority"] = json::Value(std::move(priority));
+
+    json::Array capabilities;
+    for (const std::string& c : problem.requiredCapabilities)
+        capabilities.emplace_back(c);
+    v["required_capabilities"] = json::Value(std::move(capabilities));
+
+    v["required_categories"] = categorySet(problem.requiredCategories);
+    v["optional_categories"] = categorySet(problem.optionalCategories);
+    v["pinned_systems"] = boolMap(problem.pinnedSystems);
+    v["pinned_facts"] = boolMap(problem.pinnedFacts);
+    v["pinned_options"] = boolMap(problem.pinnedOptions);
+    if (!problem.extraConstraint.isTrivial())
+        v["extra_constraint"] = kb::toJson(problem.extraConstraint);
+    if (problem.maxHardwareCostUsd.has_value())
+        v["max_hardware_cost_usd"] = *problem.maxHardwareCostUsd;
+    if (problem.maxPowerW.has_value()) v["max_power_w"] = *problem.maxPowerW;
+    v["common_sense_rules"] = problem.commonSenseRules;
+    v["prefer_minimal_design"] = problem.preferMinimalDesign;
+    v["forbid_research_grade"] = problem.forbidResearchGrade;
+    return v;
+}
+
+Problem problemFromJson(const json::Value& v, const kb::KnowledgeBase& kb) {
+    Problem problem = makeDefaultProblem(kb);
+    const json::Object& obj = v.asObject();
+
+    if (obj.contains("hardware")) {
+        problem.hardware.clear();
+        for (const auto& [clsName, hv] : obj.at("hardware").asObject().entries()) {
+            kb::HardwareClass cls = kb::HardwareClass::Switch;
+            if (clsName == "switch") cls = kb::HardwareClass::Switch;
+            else if (clsName == "nic") cls = kb::HardwareClass::Nic;
+            else if (clsName == "server") cls = kb::HardwareClass::Server;
+            else throw ParseError("problem: unknown hardware class '" + clsName + "'");
+            HardwareChoice choice;
+            const json::Object& ho = hv.asObject();
+            if (ho.contains("count"))
+                choice.count = static_cast<int>(ho.at("count").asInt());
+            if (ho.contains("pinned_model")) {
+                const std::string model = ho.at("pinned_model").asString();
+                if (kb.findHardware(model) == nullptr)
+                    throw EncodingError("problem: unknown pinned model " + model);
+                choice.pinnedModel = model;
+            }
+            if (ho.contains("candidates")) {
+                for (const json::Value& m : ho.at("candidates").asArray()) {
+                    if (kb.findHardware(m.asString()) == nullptr)
+                        throw EncodingError("problem: unknown candidate model " +
+                                            m.asString());
+                    choice.candidateModels.push_back(m.asString());
+                }
+            }
+            problem.hardware[cls] = std::move(choice);
+        }
+    }
+    if (obj.contains("workloads")) {
+        for (const json::Value& w : obj.at("workloads").asArray())
+            problem.workloads.push_back(kb::workloadFromJson(w));
+    }
+    if (obj.contains("objective_priority")) {
+        for (const json::Value& o : obj.at("objective_priority").asArray())
+            problem.objectivePriority.push_back(o.asString());
+    }
+    if (obj.contains("required_capabilities")) {
+        for (const json::Value& c : obj.at("required_capabilities").asArray())
+            problem.requiredCapabilities.push_back(c.asString());
+    }
+    if (obj.contains("required_categories"))
+        problem.requiredCategories =
+            categorySetFromJson(obj.at("required_categories"));
+    if (obj.contains("optional_categories"))
+        problem.optionalCategories =
+            categorySetFromJson(obj.at("optional_categories"));
+    if (obj.contains("pinned_systems")) {
+        problem.pinnedSystems = boolMapFromJson(obj.at("pinned_systems"));
+        for (const auto& [name, include] : problem.pinnedSystems)
+            if (kb.findSystem(name) == nullptr)
+                throw EncodingError("problem: pinned unknown system " + name);
+    }
+    if (obj.contains("pinned_facts"))
+        problem.pinnedFacts = boolMapFromJson(obj.at("pinned_facts"));
+    if (obj.contains("pinned_options"))
+        problem.pinnedOptions = boolMapFromJson(obj.at("pinned_options"));
+    if (obj.contains("extra_constraint"))
+        problem.extraConstraint =
+            kb::requirementFromJson(obj.at("extra_constraint"));
+    if (obj.contains("max_hardware_cost_usd"))
+        problem.maxHardwareCostUsd = obj.at("max_hardware_cost_usd").asDouble();
+    if (obj.contains("max_power_w"))
+        problem.maxPowerW = obj.at("max_power_w").asDouble();
+    if (obj.contains("common_sense_rules"))
+        problem.commonSenseRules = obj.at("common_sense_rules").asBool();
+    if (obj.contains("prefer_minimal_design"))
+        problem.preferMinimalDesign = obj.at("prefer_minimal_design").asBool();
+    if (obj.contains("forbid_research_grade"))
+        problem.forbidResearchGrade = obj.at("forbid_research_grade").asBool();
+    return problem;
+}
+
+std::string problemToText(const Problem& problem) {
+    return json::writePretty(toJson(problem));
+}
+
+Problem problemFromText(const std::string& text, const kb::KnowledgeBase& kb) {
+    return problemFromJson(json::parse(text), kb);
+}
+
+} // namespace lar::reason

@@ -1,0 +1,28 @@
+// JSON (de)serialization of design problems.
+//
+// A problem spec references a knowledge base loaded separately (problems
+// are small and user-authored; knowledge bases are large and shared), so
+// fromJson() takes the KB the problem should bind to. Used by the larctl
+// CLI and by teams exchanging architecture questions (§1's cross-team
+// planning use case).
+#pragma once
+
+#include "json/value.hpp"
+#include "reason/problem.hpp"
+
+namespace lar::reason {
+
+[[nodiscard]] json::Value toJson(const Problem& problem);
+
+/// Builds a Problem bound to `kb` from a spec. Missing optional fields get
+/// makeDefaultProblem() defaults. Throws ParseError on malformed specs and
+/// EncodingError on references to unknown systems/models.
+[[nodiscard]] Problem problemFromJson(const json::Value& v,
+                                      const kb::KnowledgeBase& kb);
+
+/// Text conveniences.
+[[nodiscard]] std::string problemToText(const Problem& problem);
+[[nodiscard]] Problem problemFromText(const std::string& text,
+                                      const kb::KnowledgeBase& kb);
+
+} // namespace lar::reason

@@ -1,0 +1,224 @@
+#include "reason/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "order/poset.hpp"
+
+namespace lar::reason {
+
+namespace {
+
+order::Context contextFor(const Problem& problem, const Design& design) {
+    order::Context ctx;
+    for (const auto& [cls, model] : design.hardwareModel)
+        ctx.hardware[cls] = &problem.kb->hardware(model);
+    for (const auto& [category, name] : design.chosen)
+        ctx.presentSystems.insert(name);
+    // Facts derive from chosen systems' provides + positive pins.
+    for (const auto& [category, name] : design.chosen)
+        for (const std::string& f : problem.kb->system(name).provides)
+            ctx.facts.insert(f);
+    for (const auto& [fact, value] : problem.pinnedFacts)
+        if (value) ctx.facts.insert(fact);
+    ctx.options = design.enabledOptions;
+    for (const kb::Workload& w : problem.workloads)
+        for (const std::string& p : w.properties) ctx.workloadProperties.insert(p);
+    return ctx;
+}
+
+} // namespace
+
+std::vector<std::string> validateDesign(const Problem& problem,
+                                        const Design& design) {
+    std::vector<std::string> violations;
+    const kb::KnowledgeBase& kb = *problem.kb;
+    const order::Context ctx = contextFor(problem, design);
+
+    // Categories: required must be filled; excluded must be empty.
+    for (const kb::Category category : kb::kAllCategories) {
+        const bool filled = design.chosen.count(category) > 0;
+        const bool required = problem.requiredCategories.count(category) > 0 &&
+                              problem.commonSenseRules;
+        const bool allowed = problem.requiredCategories.count(category) > 0 ||
+                             problem.optionalCategories.count(category) > 0;
+        if (required && !filled)
+            violations.push_back("category " + toString(category) +
+                                 " left empty");
+        if (!allowed && filled)
+            violations.push_back("category " + toString(category) +
+                                 " is excluded but filled");
+    }
+
+    // Hardware: model for each inventory class, pins honored.
+    for (const auto& [cls, choice] : problem.hardware) {
+        const auto it = design.hardwareModel.find(cls);
+        if (it == design.hardwareModel.end()) {
+            violations.push_back("no " + toString(cls) + " model chosen");
+            continue;
+        }
+        if (choice.pinnedModel.has_value() && *choice.pinnedModel != it->second)
+            violations.push_back("pinned " + toString(cls) + " model changed to " +
+                                 it->second);
+        if (!choice.candidateModels.empty() &&
+            std::find(choice.candidateModels.begin(), choice.candidateModels.end(),
+                      it->second) == choice.candidateModels.end())
+            violations.push_back(toString(cls) + " model " + it->second +
+                                 " is not among the candidates");
+    }
+
+    // System constraints, conflicts, research-grade rule.
+    for (const auto& [category, name] : design.chosen) {
+        const kb::System& s = kb.system(name);
+        if (!ctx.evaluate(s.constraints))
+            violations.push_back("requirement of " + name + " violated: " +
+                                 s.constraints.toString());
+        for (const std::string& conflict : s.conflicts)
+            if (ctx.presentSystems.count(conflict) > 0)
+                violations.push_back(name + " conflicts with deployed " + conflict);
+        if (problem.forbidResearchGrade && s.researchGrade)
+            violations.push_back(name + " is research-grade (deadline rule)");
+    }
+
+    // Pinned systems.
+    for (const auto& [name, include] : problem.pinnedSystems) {
+        const bool present = ctx.presentSystems.count(name) > 0;
+        if (include && !present)
+            violations.push_back("pinned system " + name + " missing");
+        if (!include && present)
+            violations.push_back("forbidden system " + name + " deployed");
+    }
+    // Pinned options.
+    for (const auto& [name, enabled] : problem.pinnedOptions) {
+        const bool on = design.enabledOptions.count(name) > 0;
+        if (enabled != on)
+            violations.push_back("option " + name + " must be " +
+                                 (enabled ? "on" : "off"));
+    }
+
+    // Required capabilities.
+    for (const std::string& capability : problem.requiredCapabilities) {
+        const bool covered = std::any_of(
+            design.chosen.begin(), design.chosen.end(), [&](const auto& entry) {
+                return kb.system(entry.second).solvesCapability(capability);
+            });
+        if (!covered)
+            violations.push_back("no chosen system solves '" + capability + "'");
+    }
+
+    // Resource capacities.
+    const WorkloadAggregates agg = aggregateWorkloads(problem.workloads);
+    std::map<std::string, std::int64_t> usage;
+    for (const auto& [category, name] : design.chosen)
+        for (const kb::ResourceDemand& d : kb.system(name).demands)
+            usage[d.resource] += d.amountFor(agg.totalKiloFlows, agg.totalGbps);
+    usage[kb::kResCores] += agg.totalPeakCores;
+
+    struct CapRule {
+        const char* resource;
+        kb::HardwareClass cls;
+        const char* attr;
+        bool pooled;
+    };
+    static constexpr CapRule rules[] = {
+        {kb::kResCores, kb::HardwareClass::Server, kb::kAttrCores, true},
+        {kb::kResP4Stages, kb::HardwareClass::Switch, kb::kAttrP4Stages, false},
+        {kb::kResQosClasses, kb::HardwareClass::Switch, kb::kAttrQosClasses,
+         false},
+        {kb::kResSmartNicCores, kb::HardwareClass::Nic, kb::kAttrNicCores, false},
+        {kb::kResFpgaGatesK, kb::HardwareClass::Nic, kb::kAttrFpgaGatesK, false},
+        {kb::kResSwitchMemoryGb, kb::HardwareClass::Switch, kb::kAttrMemoryGb,
+         false},
+    };
+    for (const auto& [resource, used] : usage) {
+        if (used == 0) continue;
+        const CapRule* rule = nullptr;
+        for (const CapRule& r : rules)
+            if (resource == r.resource) rule = &r;
+        if (rule == nullptr) continue;
+        const auto modelIt = design.hardwareModel.find(rule->cls);
+        if (modelIt == design.hardwareModel.end()) {
+            violations.push_back("resource '" + resource + "' demanded but no " +
+                                 toString(rule->cls) + " chosen");
+            continue;
+        }
+        const auto hwChoice = problem.hardware.find(rule->cls);
+        const int count =
+            hwChoice == problem.hardware.end() ? 1 : hwChoice->second.count;
+        const double attr =
+            kb.hardware(modelIt->second).numAttr(rule->attr).value_or(0.0);
+        const auto capacity =
+            static_cast<std::int64_t>(rule->pooled ? attr * count : attr);
+        if (used > capacity)
+            violations.push_back("resource '" + resource + "' over capacity: " +
+                                 std::to_string(used) + " > " +
+                                 std::to_string(capacity));
+    }
+
+    // Common-sense bandwidth rules.
+    if (problem.commonSenseRules) {
+        const auto nicIt = design.hardwareModel.find(kb::HardwareClass::Nic);
+        if (nicIt != design.hardwareModel.end() && agg.totalGbps > 0) {
+            const auto hwChoice = problem.hardware.find(kb::HardwareClass::Nic);
+            const int count =
+                hwChoice == problem.hardware.end() ? 1 : hwChoice->second.count;
+            const double bw = kb.hardware(nicIt->second)
+                                  .numAttr(kb::kAttrPortBandwidthGbps)
+                                  .value_or(0);
+            if (bw * count < agg.totalGbps)
+                violations.push_back("NIC fleet bandwidth below workload peak");
+        }
+        const auto swIt = design.hardwareModel.find(kb::HardwareClass::Switch);
+        if (nicIt != design.hardwareModel.end() &&
+            swIt != design.hardwareModel.end()) {
+            const double nicBw = kb.hardware(nicIt->second)
+                                     .numAttr(kb::kAttrPortBandwidthGbps)
+                                     .value_or(0);
+            const double swBw = kb.hardware(swIt->second)
+                                    .numAttr(kb::kAttrPortBandwidthGbps)
+                                    .value_or(0);
+            if (swBw < nicBw)
+                violations.push_back("switch ports slower than NICs");
+        }
+    }
+
+    // Budgets.
+    if (problem.maxHardwareCostUsd.has_value() &&
+        design.hardwareCostUsd > *problem.maxHardwareCostUsd + 0.5)
+        violations.push_back("hardware cost exceeds budget");
+    if (problem.maxPowerW.has_value() && design.powerW > *problem.maxPowerW + 0.5)
+        violations.push_back("power exceeds budget");
+
+    // Architect extra rule.
+    if (!problem.extraConstraint.isTrivial() &&
+        !ctx.evaluate(problem.extraConstraint))
+        violations.push_back("architect rule violated: " +
+                             problem.extraConstraint.toString());
+
+    // Performance bounds via the partial order.
+    for (const kb::Workload& w : problem.workloads) {
+        for (const kb::PerformanceBound& bound : w.bounds) {
+            const kb::System* baseline = kb.findSystem(bound.betterThanSystem);
+            if (baseline == nullptr) continue;
+            const auto chosen = design.chosen.find(baseline->category);
+            if (chosen == design.chosen.end()) {
+                violations.push_back("performance bound of " + w.name +
+                                     " unmet: no " +
+                                     toString(baseline->category) + " chosen");
+                continue;
+            }
+            const order::PreferenceGraph graph(kb, bound.objective);
+            if (!graph.strictlyBetter(chosen->second, baseline->name, ctx))
+                violations.push_back("performance bound of " + w.name +
+                                     " unmet: " + chosen->second +
+                                     " does not beat " + baseline->name + " on " +
+                                     bound.objective);
+        }
+    }
+
+    return violations;
+}
+
+} // namespace lar::reason

@@ -1,0 +1,22 @@
+// Independent design validation.
+//
+// Re-checks a concrete Design against a Problem by direct evaluation — no
+// solver involved. Serves two purposes: a property-test oracle (every
+// design the engine emits must validate cleanly; the validator shares no
+// code with the compiler's formula construction) and the §5.2 scorer that
+// judges the simulated-LLM reasoner's proposals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reason/design.hpp"
+#include "reason/problem.hpp"
+
+namespace lar::reason {
+
+/// All rule violations of `design` under `problem`; empty = compliant.
+[[nodiscard]] std::vector<std::string> validateDesign(const Problem& problem,
+                                                      const Design& design);
+
+} // namespace lar::reason

@@ -1,0 +1,58 @@
+// Incremental what-if sessions.
+//
+// An architect's exploration (§5.1) is a burst of small variations on one
+// problem: pin this system, forbid that one, freeze a hardware model, try
+// again. Engine answers each by recompiling; a WhatIfSession compiles once
+// and answers every variation through solver assumptions, exploiting the
+// CDCL backend's incrementality (learned clauses persist across queries).
+//
+// Only pin-style variations are expressible this way — anything that
+// changes rules (new workloads, different budgets) needs a fresh Engine.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "reason/compile.hpp"
+#include "reason/design.hpp"
+#include "reason/problem.hpp"
+
+namespace lar::reason {
+
+/// One what-if variation: pins applied on top of the base problem.
+struct Variation {
+    /// System name → must be deployed (true) / must not (false).
+    std::map<std::string, bool> systems;
+    /// Hardware class → the model that must be used.
+    std::map<kb::HardwareClass, std::string> hardwareModels;
+    /// Option name → forced value.
+    std::map<std::string, bool> options;
+};
+
+struct WhatIfAnswer {
+    bool feasible = false;
+    std::optional<Design> design;              ///< present when feasible
+    std::vector<std::string> conflictingRules; ///< present when not
+};
+
+class WhatIfSession {
+public:
+    explicit WhatIfSession(const Problem& problem,
+                           smt::BackendKind kind = smt::BackendKind::Cdcl);
+
+    /// Answers a variation without recompiling. Repeated calls are
+    /// independent: assumptions do not accumulate.
+    [[nodiscard]] WhatIfAnswer ask(const Variation& variation);
+
+    /// Number of variations answered so far (for reporting).
+    [[nodiscard]] int queriesAnswered() const { return queries_; }
+
+private:
+    Problem problem_;
+    std::unique_ptr<Compilation> compilation_;
+    int queries_ = 0;
+};
+
+} // namespace lar::reason

@@ -1,0 +1,186 @@
+#include "rules/datalog.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace lar::rules {
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+void Database::insert(const std::string& predicate, Tuple tuple) {
+    relations_[predicate].insert(std::move(tuple));
+}
+
+bool Database::contains(const std::string& predicate, const Tuple& tuple) const {
+    const auto it = relations_.find(predicate);
+    return it != relations_.end() && it->second.count(tuple) > 0;
+}
+
+const std::set<Database::Tuple>& Database::relation(
+    const std::string& predicate) const {
+    static const std::set<Tuple> kEmpty;
+    const auto it = relations_.find(predicate);
+    return it == relations_.end() ? kEmpty : it->second;
+}
+
+std::size_t Database::totalFacts() const {
+    std::size_t n = 0;
+    for (const auto& [predicate, tuples] : relations_) n += tuples.size();
+    return n;
+}
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+void Program::addFact(const std::string& predicate,
+                      std::vector<std::string> constants) {
+    facts_.insert(predicate, std::move(constants));
+}
+
+namespace {
+
+void collectVariables(const Atom& atom, std::set<std::string>& out) {
+    for (const Term& t : atom.terms)
+        if (t.isVariable) out.insert(t.text);
+}
+
+} // namespace
+
+void Program::addRule(Rule rule) {
+    std::set<std::string> positive;
+    for (const Atom& a : rule.body) collectVariables(a, positive);
+    std::set<std::string> needed;
+    collectVariables(rule.head, needed);
+    for (const Atom& a : rule.negated) collectVariables(a, needed);
+    for (const std::string& v : needed) {
+        if (positive.count(v) == 0)
+            throw EncodingError(
+                "datalog: rule for '" + rule.head.predicate + "' is not range-"
+                "restricted: variable " + v + " only occurs in the head or "
+                "under negation");
+    }
+    rules_.push_back(std::move(rule));
+}
+
+std::vector<std::vector<const Rule*>> Program::stratify() const {
+    // Iterative stratum assignment: positive dependencies keep the stratum,
+    // negative dependencies force head above the negated predicate.
+    std::map<std::string, int> stratum;
+    const auto level = [&stratum](const std::string& p) {
+        const auto it = stratum.find(p);
+        return it == stratum.end() ? 0 : it->second;
+    };
+    const int limit = static_cast<int>(rules_.size()) + 2;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const Rule& r : rules_) {
+            int need = 0;
+            for (const Atom& b : r.body) need = std::max(need, level(b.predicate));
+            for (const Atom& n : r.negated)
+                need = std::max(need, level(n.predicate) + 1);
+            if (need > level(r.head.predicate)) {
+                stratum[r.head.predicate] = need;
+                if (need > limit)
+                    throw EncodingError(
+                        "datalog: program is not stratifiable (negation "
+                        "through recursion at '" + r.head.predicate + "')");
+                changed = true;
+            }
+        }
+    }
+    int maxStratum = 0;
+    for (const auto& [predicate, s] : stratum) maxStratum = std::max(maxStratum, s);
+    std::vector<std::vector<const Rule*>> strata(
+        static_cast<std::size_t>(maxStratum) + 1);
+    for (const Rule& r : rules_)
+        strata[static_cast<std::size_t>(level(r.head.predicate))].push_back(&r);
+    return strata;
+}
+
+namespace {
+
+using Bindings = std::map<std::string, std::string>;
+
+/// Unifies `atom` against every matching tuple in `db`, extending `env` and
+/// invoking `emit` for each solution.
+void matchAtom(const Database& db, const Atom& atom, Bindings& env,
+               const std::function<void()>& emit) {
+    for (const Database::Tuple& tuple : db.relation(atom.predicate)) {
+        if (tuple.size() != atom.terms.size()) continue;
+        std::vector<std::string> added;
+        bool ok = true;
+        for (std::size_t i = 0; i < tuple.size() && ok; ++i) {
+            const Term& t = atom.terms[i];
+            if (!t.isVariable) {
+                ok = t.text == tuple[i];
+                continue;
+            }
+            const auto it = env.find(t.text);
+            if (it == env.end()) {
+                env.emplace(t.text, tuple[i]);
+                added.push_back(t.text);
+            } else {
+                ok = it->second == tuple[i];
+            }
+        }
+        if (ok) emit();
+        for (const std::string& v : added) env.erase(v);
+    }
+}
+
+/// Grounds `atom` under a complete environment.
+Database::Tuple ground(const Atom& atom, const Bindings& env) {
+    Database::Tuple tuple;
+    tuple.reserve(atom.terms.size());
+    for (const Term& t : atom.terms)
+        tuple.push_back(t.isVariable ? env.at(t.text) : t.text);
+    return tuple;
+}
+
+/// Fires `rule` against `db`, inserting derived head tuples; returns true
+/// when anything new appeared.
+bool fireRule(const Rule& rule, Database& db) {
+    bool derived = false;
+    Bindings env;
+    const std::function<void(std::size_t)> joinFrom = [&](std::size_t index) {
+        if (index == rule.body.size()) {
+            for (const Atom& n : rule.negated)
+                if (db.contains(n.predicate, ground(n, env))) return;
+            Database::Tuple head = ground(rule.head, env);
+            if (!db.contains(rule.head.predicate, head)) {
+                db.insert(rule.head.predicate, std::move(head));
+                derived = true;
+            }
+            return;
+        }
+        matchAtom(db, rule.body[index], env, [&] { joinFrom(index + 1); });
+    };
+    joinFrom(0);
+    return derived;
+}
+
+} // namespace
+
+Database Program::evaluate() const {
+    Database db = facts_;
+    for (const std::vector<const Rule*>& stratum : stratify()) {
+        // Fixpoint iteration within the stratum (naive evaluation — ample
+        // at knowledge-base scale; strata below are already complete, so
+        // negation is safe).
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const Rule* rule : stratum)
+                if (fireRule(*rule, db)) changed = true;
+        }
+    }
+    return db;
+}
+
+} // namespace lar::rules

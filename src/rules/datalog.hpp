@@ -1,0 +1,89 @@
+// A small Datalog engine with stratified negation.
+//
+// §3.4 weighs "rule-based systems [Datalog, Prolog]" against SAT/SMT as the
+// logic substrate for lightweight reasoning. This module makes that
+// comparison concrete: a from-scratch semi-naive Datalog evaluator, used by
+// rules/deployment.hpp to run the paper's predicate-logic rules (e.g. "PFC
+// cannot be used with any flooding algorithm") as forward-chaining checks.
+// Datalog handles *checking* a given design; the combinatorial *search* for
+// a design is what the SAT backends provide — exactly the trade the paper
+// describes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lar::rules {
+
+/// A term: a variable (matched during joins) or a string constant.
+struct Term {
+    bool isVariable = false;
+    std::string text;
+
+    bool operator==(const Term&) const = default;
+    auto operator<=>(const Term&) const = default;
+};
+
+[[nodiscard]] inline Term var(std::string name) { return {true, std::move(name)}; }
+[[nodiscard]] inline Term cst(std::string value) {
+    return {false, std::move(value)};
+}
+
+/// An atom: predicate applied to terms, e.g. chosen(S) or provides(S, "pfc").
+struct Atom {
+    std::string predicate;
+    std::vector<Term> terms;
+};
+
+/// A Horn rule with optional stratified negation:
+///   head :- body₁, …, bodyₙ, not neg₁, …, not negₘ.
+/// Every variable in the head and in negated atoms must appear in some
+/// positive body atom (range restriction; checked at addRule time).
+struct Rule {
+    Atom head;
+    std::vector<Atom> body;
+    std::vector<Atom> negated;
+};
+
+/// A set of ground tuples per predicate.
+class Database {
+public:
+    using Tuple = std::vector<std::string>;
+
+    void insert(const std::string& predicate, Tuple tuple);
+    [[nodiscard]] bool contains(const std::string& predicate,
+                                const Tuple& tuple) const;
+    [[nodiscard]] const std::set<Tuple>& relation(const std::string& predicate) const;
+    [[nodiscard]] std::size_t totalFacts() const;
+
+private:
+    std::map<std::string, std::set<Tuple>> relations_;
+};
+
+class Program {
+public:
+    /// Adds a ground fact.
+    void addFact(const std::string& predicate, std::vector<std::string> constants);
+
+    /// Adds a rule; throws EncodingError when it is not range-restricted.
+    void addRule(Rule rule);
+
+    /// Evaluates to fixpoint with semi-naive iteration per stratum.
+    /// Throws EncodingError when the program cannot be stratified
+    /// (negation through recursion).
+    [[nodiscard]] Database evaluate() const;
+
+    [[nodiscard]] std::size_t ruleCount() const { return rules_.size(); }
+    [[nodiscard]] std::size_t factCount() const { return facts_.totalFacts(); }
+
+private:
+    [[nodiscard]] std::vector<std::vector<const Rule*>> stratify() const;
+
+    Database facts_;
+    std::vector<Rule> rules_;
+};
+
+} // namespace lar::rules

@@ -1,0 +1,215 @@
+#include "rules/deployment.hpp"
+
+#include <algorithm>
+
+#include "kb/kb.hpp"
+
+namespace lar::rules {
+
+namespace {
+
+/// Emits holds(<nodeId>) rules/facts for a requirement tree; returns the
+/// node id of the root. Quantitative leaves (HardwareCmp, WorkloadHas) are
+/// evaluated against the design up front — arithmetic is extralogical for
+/// Datalog — while structural leaves become genuine rules.
+class RequirementEmitter {
+public:
+    RequirementEmitter(Program& program, const reason::Problem& problem,
+                       const reason::Design& design)
+        : program_(&program), problem_(&problem), design_(&design) {}
+
+    std::string emit(const kb::Requirement& r) {
+        const std::string node = "n" + std::to_string(counter_++);
+        using Kind = kb::Requirement::Kind;
+        switch (r.kind()) {
+            case Kind::True:
+                program_->addFact("holds_" + node, {});
+                break;
+            case Kind::False:
+                break; // never holds
+            case Kind::And: {
+                Rule rule;
+                rule.head = {"holds_" + node, {}};
+                for (const kb::Requirement& c : r.children())
+                    rule.body.push_back({"holds_" + emit(c), {}});
+                program_->addRule(std::move(rule));
+                break;
+            }
+            case Kind::Or: {
+                for (const kb::Requirement& c : r.children()) {
+                    Rule rule;
+                    rule.head = {"holds_" + node, {}};
+                    rule.body.push_back({"holds_" + emit(c), {}});
+                    program_->addRule(std::move(rule));
+                }
+                break;
+            }
+            case Kind::Not: {
+                Rule rule;
+                rule.head = {"holds_" + node, {}};
+                rule.negated.push_back({"holds_" + emit(r.children()[0]), {}});
+                program_->addRule(std::move(rule));
+                break;
+            }
+            case Kind::HardwareHas: {
+                Rule rule;
+                rule.head = {"holds_" + node, {}};
+                rule.body.push_back(
+                    {"hw_bool", {cst(toString(r.hwClass())), cst(r.key())}});
+                program_->addRule(std::move(rule));
+                break;
+            }
+            case Kind::HardwareCmp: {
+                // Arithmetic leaf: evaluate against the chosen model now.
+                const auto it = design_->hardwareModel.find(r.hwClass());
+                if (it == design_->hardwareModel.end()) break;
+                const auto num =
+                    problem_->kb->hardware(it->second).numAttr(r.key());
+                if (num.has_value() && kb::applyCmp(r.op(), *num, r.value()))
+                    program_->addFact("holds_" + node, {});
+                break;
+            }
+            case Kind::SystemPresent: {
+                Rule rule;
+                rule.head = {"holds_" + node, {}};
+                rule.body.push_back({"chosen", {cst(r.key())}});
+                program_->addRule(std::move(rule));
+                break;
+            }
+            case Kind::FactTrue: {
+                Rule rule;
+                rule.head = {"holds_" + node, {}};
+                rule.body.push_back({"env_fact", {cst(r.key())}});
+                program_->addRule(std::move(rule));
+                break;
+            }
+            case Kind::OptionTrue: {
+                Rule rule;
+                rule.head = {"holds_" + node, {}};
+                rule.body.push_back({"option_on", {cst(r.key())}});
+                program_->addRule(std::move(rule));
+                break;
+            }
+            case Kind::WorkloadHas: {
+                const bool has = std::any_of(
+                    problem_->workloads.begin(), problem_->workloads.end(),
+                    [&r](const kb::Workload& w) { return w.hasProperty(r.key()); });
+                if (has) program_->addFact("holds_" + node, {});
+                break;
+            }
+        }
+        return node;
+    }
+
+private:
+    Program* program_;
+    const reason::Problem* problem_;
+    const reason::Design* design_;
+    int counter_ = 0;
+};
+
+} // namespace
+
+Program buildDeploymentProgram(const reason::Problem& problem,
+                               const reason::Design& design) {
+    const kb::KnowledgeBase& kb = *problem.kb;
+    Program program;
+
+    // --- extensional facts from the design and the KB -----------------------
+    for (const auto& [category, name] : design.chosen)
+        program.addFact("chosen", {name});
+    for (const auto& [cls, model] : design.hardwareModel) {
+        const kb::HardwareSpec& spec = kb.hardware(model);
+        for (const auto& [key, value] : spec.attrs) {
+            const auto b = kb::attrAsBool(value);
+            if (b.has_value() && *b)
+                program.addFact("hw_bool", {toString(cls), key});
+        }
+    }
+    for (const std::string& option : design.enabledOptions)
+        program.addFact("option_on", {option});
+    for (const kb::System& s : kb.systems()) {
+        for (const std::string& f : s.provides)
+            program.addFact("provides", {s.name, f});
+        for (const std::string& c : s.conflicts)
+            program.addFact("conflicts_with", {s.name, c});
+        for (const std::string& cap : s.solves)
+            program.addFact("solves", {s.name, cap});
+        if (s.researchGrade) program.addFact("research_grade", {s.name});
+    }
+    for (const auto& [fact, pinned] : problem.pinnedFacts)
+        if (pinned) program.addFact("env_fact", {fact});
+    for (const std::string& cap : problem.requiredCapabilities)
+        program.addFact("needs_capability", {cap});
+
+    // --- intensional rules ---------------------------------------------------
+    // env_fact(F) :- chosen(S), provides(S, F).
+    {
+        Rule rule;
+        rule.head = {"env_fact", {var("F")}};
+        rule.body = {{"chosen", {var("S")}}, {"provides", {var("S"), var("F")}}};
+        program.addRule(std::move(rule));
+    }
+    // requirement trees of chosen systems: violation(S) when root fails.
+    RequirementEmitter emitter(program, problem, design);
+    for (const auto& [category, name] : design.chosen) {
+        const kb::System& s = kb.system(name);
+        if (s.constraints.isTrivial()) continue;
+        const std::string root = emitter.emit(s.constraints);
+        Rule rule;
+        rule.head = {"violation", {cst(name), cst("requirement")}};
+        rule.body = {{"chosen", {cst(name)}}};
+        rule.negated = {{"holds_" + root, {}}};
+        program.addRule(std::move(rule));
+    }
+    // violation on conflicts: both directions.
+    {
+        Rule rule;
+        rule.head = {"violation", {var("S"), cst("conflict")}};
+        rule.body = {{"chosen", {var("S")}},
+                     {"chosen", {var("T")}},
+                     {"conflicts_with", {var("S"), var("T")}}};
+        program.addRule(std::move(rule));
+        Rule reverse;
+        reverse.head = {"violation", {var("T"), cst("conflict")}};
+        reverse.body = {{"chosen", {var("S")}},
+                        {"chosen", {var("T")}},
+                        {"conflicts_with", {var("S"), var("T")}}};
+        program.addRule(std::move(reverse));
+    }
+    // capability coverage.
+    {
+        Rule covered;
+        covered.head = {"covered", {var("C")}};
+        covered.body = {{"chosen", {var("S")}}, {"solves", {var("S"), var("C")}}};
+        program.addRule(std::move(covered));
+        Rule missing;
+        missing.head = {"violation", {var("C"), cst("capability")}};
+        missing.body = {{"needs_capability", {var("C")}}};
+        missing.negated = {{"covered", {var("C")}}};
+        program.addRule(std::move(missing));
+    }
+    // research-grade exclusion under the deadline rule.
+    if (problem.forbidResearchGrade) {
+        Rule rule;
+        rule.head = {"violation", {var("S"), cst("research_grade")}};
+        rule.body = {{"chosen", {var("S")}}, {"research_grade", {var("S")}}};
+        program.addRule(std::move(rule));
+    }
+    return program;
+}
+
+DatalogCheck checkDesignWithRules(const reason::Problem& problem,
+                                  const reason::Design& design) {
+    const Program program = buildDeploymentProgram(problem, design);
+    DatalogCheck check;
+    check.programFacts = program.factCount();
+    check.programRules = program.ruleCount();
+    const Database db = program.evaluate();
+    for (const Database::Tuple& tuple : db.relation("violation"))
+        check.violations.push_back(tuple[0] + " (" + tuple[1] + ")");
+    check.compliant = check.violations.empty();
+    return check;
+}
+
+} // namespace lar::rules

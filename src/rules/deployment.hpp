@@ -1,0 +1,37 @@
+// Deployment checking as a Datalog program (§3.4).
+//
+// Re-expresses the knowledge base's *predicate-logic* rules — requirement
+// trees, provided facts, conflicts, capability coverage — as a Datalog
+// program evaluated against a concrete Design. This is the "rule-based
+// systems" branch of the paper's §3.4 trade-off: forward chaining verifies
+// a given design fast, but cannot search for one (that is what the SAT
+// backends do), and quantities (resources, budgets) are beyond pure
+// Datalog — those stay with reason::validateDesign.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reason/design.hpp"
+#include "reason/problem.hpp"
+#include "rules/datalog.hpp"
+
+namespace lar::rules {
+
+struct DatalogCheck {
+    bool compliant = false;
+    std::vector<std::string> violations;
+    std::size_t programFacts = 0;
+    std::size_t programRules = 0;
+};
+
+/// Builds the checking program for (problem, design) without evaluating it
+/// (exposed for tests and for inspecting the encoding).
+[[nodiscard]] Program buildDeploymentProgram(const reason::Problem& problem,
+                                             const reason::Design& design);
+
+/// Evaluates the program and extracts violations.
+[[nodiscard]] DatalogCheck checkDesignWithRules(const reason::Problem& problem,
+                                                const reason::Design& design);
+
+} // namespace lar::rules

@@ -1,0 +1,69 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+
+#include "sat/solver.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace lar::sat {
+
+Cnf parseDimacs(const std::string& text) {
+    Cnf cnf;
+    bool sawHeader = false;
+    int declaredClauses = 0;
+    std::vector<Lit> current;
+
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string_view trimmed = util::trim(line);
+        if (trimmed.empty() || trimmed[0] == 'c') continue;
+        if (trimmed[0] == 'p') {
+            const auto fields = util::splitWhitespace(trimmed);
+            if (fields.size() != 4 || fields[1] != "cnf")
+                throw ParseError("dimacs: malformed problem line: " + line);
+            cnf.numVars = std::stoi(fields[2]);
+            declaredClauses = std::stoi(fields[3]);
+            sawHeader = true;
+            continue;
+        }
+        if (!sawHeader) throw ParseError("dimacs: clause before problem line");
+        for (const std::string& tok : util::splitWhitespace(trimmed)) {
+            const int v = std::stoi(tok);
+            if (v == 0) {
+                cnf.clauses.push_back(current);
+                current.clear();
+                continue;
+            }
+            const Var var = std::abs(v) - 1;
+            if (var >= cnf.numVars)
+                throw ParseError("dimacs: literal exceeds declared variables: " + tok);
+            current.push_back(mkLit(var, v < 0));
+        }
+    }
+    if (!current.empty()) cnf.clauses.push_back(current);
+    if (!sawHeader) throw ParseError("dimacs: missing problem line");
+    if (declaredClauses != static_cast<int>(cnf.clauses.size()))
+        throw ParseError("dimacs: clause count mismatch");
+    return cnf;
+}
+
+std::string writeDimacs(const Cnf& cnf) {
+    std::ostringstream out;
+    out << "p cnf " << cnf.numVars << ' ' << cnf.clauses.size() << '\n';
+    for (const auto& clause : cnf.clauses) {
+        for (const Lit l : clause) out << l.toDimacs() << ' ';
+        out << "0\n";
+    }
+    return out.str();
+}
+
+bool loadCnf(Solver& solver, const Cnf& cnf) {
+    while (solver.numVars() < cnf.numVars) solver.newVar();
+    bool ok = true;
+    for (const auto& clause : cnf.clauses) ok = solver.addClause(clause) && ok;
+    return ok;
+}
+
+} // namespace lar::sat

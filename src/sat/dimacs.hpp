@@ -1,0 +1,31 @@
+// DIMACS CNF reader/writer, used by tests and the solver bench harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace lar::sat {
+
+class Solver;
+
+/// A CNF formula in memory: clause list over variables [0, numVars).
+struct Cnf {
+    int numVars = 0;
+    std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parses DIMACS CNF text ("p cnf V C" header, comment lines with 'c').
+/// Throws ParseError on malformed input.
+[[nodiscard]] Cnf parseDimacs(const std::string& text);
+
+/// Renders `cnf` as DIMACS text.
+[[nodiscard]] std::string writeDimacs(const Cnf& cnf);
+
+/// Loads `cnf` into `solver`, creating variables as needed.
+/// Returns false when the formula is trivially unsatisfiable.
+bool loadCnf(Solver& solver, const Cnf& cnf);
+
+} // namespace lar::sat

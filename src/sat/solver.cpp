@@ -1,0 +1,632 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace lar::sat {
+
+// ---------------------------------------------------------------------------
+// Variable / clause creation
+// ---------------------------------------------------------------------------
+
+Var Solver::newVar() {
+    const Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(lbool::Undef);
+    varData_.push_back({});
+    polarity_.push_back(1); // default phase: assign false first
+    activity_.push_back(0.0);
+    heapIndex_.push_back(-1);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+bool Solver::addClause(std::vector<Lit> lits) {
+    expects(decisionLevel() == 0, "addClause: only valid at decision level 0");
+    if (!ok_) return false;
+
+    // Simplify: sort, drop duplicates and false literals, detect tautologies
+    // and literals already true at level 0.
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    out.reserve(lits.size());
+    Lit prev = kUndefLit;
+    for (const Lit l : lits) {
+        expects(l.var() >= 0 && l.var() < numVars(), "addClause: unknown variable");
+        if (l == prev) continue;
+        if (prev.isDefined() && l == ~prev) return true; // tautology: x ∨ ¬x
+        const lbool v = value(l);
+        if (v == lbool::True) return true; // satisfied at level 0
+        if (v == lbool::False) continue;   // falsified at level 0: drop
+        out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        if (!enqueue(out[0], nullptr)) {
+            ok_ = false;
+            return false;
+        }
+        ok_ = (propagate() == nullptr);
+        return ok_;
+    }
+
+    auto clause = std::make_unique<Clause>();
+    clause->lits = std::move(out);
+    attachClause(*clause);
+    clauses_.push_back(std::move(clause));
+    return true;
+}
+
+void Solver::attachClause(Clause& c) {
+    expects(c.size() >= 2, "attachClause: clause too short");
+    watches_[static_cast<std::size_t>((~c[0]).index())].push_back({&c, c[1]});
+    watches_[static_cast<std::size_t>((~c[1]).index())].push_back({&c, c[0]});
+}
+
+void Solver::detachClause(Clause& c) {
+    for (const Lit w : {c[0], c[1]}) {
+        auto& list = watches_[static_cast<std::size_t>((~w).index())];
+        auto it = std::find_if(list.begin(), list.end(),
+                               [&c](const Watcher& wt) { return wt.clause == &c; });
+        if (it != list.end()) {
+            *it = list.back();
+            list.pop_back();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trail management
+// ---------------------------------------------------------------------------
+
+bool Solver::enqueue(Lit l, Clause* from) {
+    const lbool v = value(l);
+    if (v != lbool::Undef) return v == lbool::True;
+    assigns_[static_cast<std::size_t>(l.var())] = fromBool(!l.sign());
+    varData_[static_cast<std::size_t>(l.var())] = {from, decisionLevel()};
+    trail_.push_back(l);
+    return true;
+}
+
+void Solver::newDecisionLevel(Lit decision) {
+    trailLim_.push_back(static_cast<int>(trail_.size()));
+    frames_.push_back({decision, false});
+}
+
+void Solver::backtrackTo(int level) {
+    if (decisionLevel() <= level) return;
+    const int limit = trailLim_[static_cast<std::size_t>(level)];
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= limit; --i) {
+        const Var v = trail_[static_cast<std::size_t>(i)].var();
+        if (opts_.usePhaseSaving)
+            polarity_[static_cast<std::size_t>(v)] =
+                trail_[static_cast<std::size_t>(i)].sign() ? 1 : 0;
+        assigns_[static_cast<std::size_t>(v)] = lbool::Undef;
+        varData_[static_cast<std::size_t>(v)].reason = nullptr;
+        if (heapIndex_[static_cast<std::size_t>(v)] < 0) heapInsert(v);
+    }
+    trail_.resize(static_cast<std::size_t>(limit));
+    trailLim_.resize(static_cast<std::size_t>(level));
+    frames_.resize(static_cast<std::size_t>(level));
+    qhead_ = trail_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Propagation
+// ---------------------------------------------------------------------------
+
+Clause* Solver::propagate() {
+    Clause* conflict = nullptr;
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        auto& list = watches_[static_cast<std::size_t>(p.index())];
+        std::size_t keep = 0;
+        std::size_t i = 0;
+        for (; i < list.size(); ++i) {
+            const Watcher w = list[i];
+            // Fast path: blocker already true.
+            if (value(w.blocker) == lbool::True) {
+                list[keep++] = w;
+                continue;
+            }
+            Clause& c = *w.clause;
+            const Lit falseLit = ~p;
+            // Normalize: put the falsified watch at position 1.
+            if (c[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
+            const Lit first = c[0];
+            if (first != w.blocker && value(first) == lbool::True) {
+                list[keep++] = {&c, first};
+                continue;
+            }
+            // Look for a new literal to watch.
+            bool found = false;
+            for (std::size_t k = 2; k < c.size(); ++k) {
+                if (value(c[k]) != lbool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[static_cast<std::size_t>((~c[1]).index())].push_back(
+                        {&c, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found) continue;
+            // Clause is unit or conflicting.
+            list[keep++] = {&c, first};
+            if (value(first) == lbool::False) {
+                conflict = &c;
+                qhead_ = trail_.size();
+                // Copy the remaining watchers and stop.
+                for (++i; i < list.size(); ++i) list[keep++] = list[i];
+                break;
+            }
+            enqueue(first, &c);
+        }
+        list.resize(keep);
+        if (conflict != nullptr) break;
+    }
+    return conflict;
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis (1UIP + minimization)
+// ---------------------------------------------------------------------------
+
+int Solver::computeLbd(const std::vector<Lit>& lits) {
+    // Number of distinct decision levels among the literals.
+    std::vector<int> levels;
+    levels.reserve(lits.size());
+    for (const Lit l : lits) levels.push_back(levelOf(l.var()));
+    std::sort(levels.begin(), levels.end());
+    return static_cast<int>(
+        std::unique(levels.begin(), levels.end()) - levels.begin());
+}
+
+void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt, int& backtrackLevel,
+                     int& lbd) {
+    learnt.clear();
+    learnt.push_back(kUndefLit); // slot for the asserting literal
+    int counter = 0;             // literals at the current level still to resolve
+    Lit p = kUndefLit;
+    std::size_t trailIndex = trail_.size();
+    Clause* reason = conflict;
+
+    do {
+        expects(reason != nullptr, "analyze: missing reason clause");
+        if (reason->learnt) clauseBumpActivity(*reason);
+        const std::size_t startIdx = (p == kUndefLit) ? 0 : 1;
+        for (std::size_t i = startIdx; i < reason->size(); ++i) {
+            const Lit q = (*reason)[i];
+            const Var v = q.var();
+            if (seen_[static_cast<std::size_t>(v)] || levelOf(v) == 0) continue;
+            seen_[static_cast<std::size_t>(v)] = 1;
+            varBumpActivity(v);
+            if (levelOf(v) >= decisionLevel()) {
+                ++counter;
+            } else {
+                learnt.push_back(q);
+            }
+        }
+        // Select the next literal on the trail to resolve on.
+        while (!seen_[static_cast<std::size_t>(trail_[trailIndex - 1].var())])
+            --trailIndex;
+        --trailIndex;
+        p = trail_[trailIndex];
+        reason = reasonOf(p.var());
+        seen_[static_cast<std::size_t>(p.var())] = 0;
+        --counter;
+    } while (counter > 0);
+    learnt[0] = ~p;
+
+    // Minimize: drop literals implied by the rest of the learned clause.
+    analyzeToClear_.assign(learnt.begin(), learnt.end());
+    std::uint32_t abstractLevels = 0;
+    for (std::size_t i = 1; i < learnt.size(); ++i)
+        abstractLevels |= abstractLevel(learnt[i].var());
+    std::size_t keep = 1;
+    for (std::size_t i = 1; i < learnt.size(); ++i) {
+        if (reasonOf(learnt[i].var()) == nullptr ||
+            !litRedundant(learnt[i], abstractLevels))
+            learnt[keep++] = learnt[i];
+    }
+    learnt.resize(keep);
+    for (const Lit l : analyzeToClear_) seen_[static_cast<std::size_t>(l.var())] = 0;
+
+    // Compute the backtrack level: highest level below the current one.
+    if (learnt.size() == 1) {
+        backtrackLevel = 0;
+    } else {
+        std::size_t maxIdx = 1;
+        for (std::size_t i = 2; i < learnt.size(); ++i)
+            if (levelOf(learnt[i].var()) > levelOf(learnt[maxIdx].var())) maxIdx = i;
+        std::swap(learnt[1], learnt[maxIdx]);
+        backtrackLevel = levelOf(learnt[1].var());
+    }
+    lbd = computeLbd(learnt);
+    stats_.learntLiterals += learnt.size();
+}
+
+bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
+    analyzeStack_.clear();
+    analyzeStack_.push_back(l);
+    const std::size_t clearTop = analyzeToClear_.size();
+    while (!analyzeStack_.empty()) {
+        const Lit cur = analyzeStack_.back();
+        analyzeStack_.pop_back();
+        const Clause* reason = reasonOf(cur.var());
+        expects(reason != nullptr, "litRedundant: literal without reason");
+        for (std::size_t i = 1; i < reason->size(); ++i) {
+            const Lit q = (*reason)[i];
+            const Var v = q.var();
+            if (seen_[static_cast<std::size_t>(v)] || levelOf(v) == 0) continue;
+            if (reasonOf(v) != nullptr && (abstractLevel(v) & abstractLevels) != 0) {
+                seen_[static_cast<std::size_t>(v)] = 1;
+                analyzeStack_.push_back(q);
+                analyzeToClear_.push_back(q);
+            } else {
+                // Not redundant: undo the marks added during this call.
+                for (std::size_t j = clearTop; j < analyzeToClear_.size(); ++j)
+                    seen_[static_cast<std::size_t>(analyzeToClear_[j].var())] = 0;
+                analyzeToClear_.resize(clearTop);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void Solver::analyzeFinal(Lit falsifiedAssumption) {
+    core_.clear();
+    core_.push_back(falsifiedAssumption);
+    if (decisionLevel() == 0) return;
+    seen_[static_cast<std::size_t>(falsifiedAssumption.var())] = 1;
+    for (int i = static_cast<int>(trail_.size()) - 1;
+         i >= trailLim_[0]; --i) {
+        const Var x = trail_[static_cast<std::size_t>(i)].var();
+        if (!seen_[static_cast<std::size_t>(x)]) continue;
+        const Clause* reason = reasonOf(x);
+        if (reason == nullptr) {
+            // A decision: under assumptions-first ordering this is an
+            // assumption literal contributing to the failure.
+            core_.push_back(trail_[static_cast<std::size_t>(i)]);
+        } else {
+            for (std::size_t k = 1; k < reason->size(); ++k) {
+                const Var v = (*reason)[k].var();
+                if (levelOf(v) > 0) seen_[static_cast<std::size_t>(v)] = 1;
+            }
+        }
+        seen_[static_cast<std::size_t>(x)] = 0;
+    }
+    seen_[static_cast<std::size_t>(falsifiedAssumption.var())] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Activity
+// ---------------------------------------------------------------------------
+
+void Solver::varBumpActivity(Var v) {
+    auto& act = activity_[static_cast<std::size_t>(v)];
+    act += varInc_;
+    if (act > 1e100) {
+        for (auto& a : activity_) a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+    if (heapIndex_[static_cast<std::size_t>(v)] >= 0) heapUpdate(v);
+}
+
+void Solver::varDecayActivity() { varInc_ /= opts_.varDecay; }
+
+void Solver::clauseBumpActivity(Clause& c) {
+    c.activity += claInc_;
+    if (c.activity > 1e20) {
+        for (auto& learnt : learnts_) learnt->activity *= 1e-20;
+        claInc_ *= 1e-20;
+    }
+}
+
+void Solver::clauseDecayActivity() { claInc_ /= opts_.clauseDecay; }
+
+// ---------------------------------------------------------------------------
+// Order heap
+// ---------------------------------------------------------------------------
+
+void Solver::heapInsert(Var v) {
+    heapIndex_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heapSiftUp(heap_.size() - 1);
+}
+
+void Solver::heapUpdate(Var v) {
+    heapSiftUp(static_cast<std::size_t>(heapIndex_[static_cast<std::size_t>(v)]));
+}
+
+Var Solver::heapPopMax() {
+    const Var top = heap_[0];
+    heapIndex_[static_cast<std::size_t>(top)] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heapIndex_[static_cast<std::size_t>(heap_[0])] = 0;
+        heapSiftDown(0);
+    }
+    return top;
+}
+
+void Solver::heapSiftUp(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!heapLess(heap_[parent], v)) break;
+        heap_[i] = heap_[parent];
+        heapIndex_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+        i = parent;
+    }
+    heap_[i] = v;
+    heapIndex_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+}
+
+void Solver::heapSiftDown(std::size_t i) {
+    const Var v = heap_[i];
+    while (true) {
+        std::size_t child = 2 * i + 1;
+        if (child >= heap_.size()) break;
+        if (child + 1 < heap_.size() && heapLess(heap_[child], heap_[child + 1]))
+            ++child;
+        if (!heapLess(v, heap_[child])) break;
+        heap_[i] = heap_[child];
+        heapIndex_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+        i = child;
+    }
+    heap_[i] = v;
+    heapIndex_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+}
+
+// ---------------------------------------------------------------------------
+// Learned-clause database reduction
+// ---------------------------------------------------------------------------
+
+void Solver::reduceLearntDb() {
+    // Sort worst-first: high LBD, then low activity.
+    std::vector<Clause*> sorted;
+    sorted.reserve(learnts_.size());
+    for (auto& c : learnts_) sorted.push_back(c.get());
+    std::sort(sorted.begin(), sorted.end(), [](const Clause* a, const Clause* b) {
+        if (a->lbd != b->lbd) return a->lbd > b->lbd;
+        return a->activity < b->activity;
+    });
+
+    const auto locked = [this](const Clause& c) {
+        return value(c[0]) == lbool::True && reasonOf(c[0].var()) == &c;
+    };
+
+    std::unordered_set<const Clause*> toRemove;
+    const std::size_t target = learnts_.size() / 2;
+    for (Clause* c : sorted) {
+        if (toRemove.size() >= target) break;
+        if (c->size() <= 2 || c->lbd <= 2 || locked(*c)) continue;
+        detachClause(*c);
+        toRemove.insert(c);
+    }
+    std::erase_if(learnts_, [&toRemove](const std::unique_ptr<Clause>& c) {
+        return toRemove.count(c.get()) > 0;
+    });
+    stats_.removedClauses += toRemove.size();
+}
+
+void Solver::removeSatisfiedAtLevelZero() {
+    expects(decisionLevel() == 0, "removeSatisfied: requires level 0");
+    const auto satisfied = [this](const Clause& c) {
+        return std::any_of(c.lits.begin(), c.lits.end(),
+                           [this](Lit l) { return value(l) == lbool::True; });
+    };
+    for (auto* vec : {&clauses_, &learnts_}) {
+        std::erase_if(*vec, [&](const std::unique_ptr<Clause>& c) {
+            if (!satisfied(*c)) return false;
+            detachClause(*c);
+            return true;
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Branching
+// ---------------------------------------------------------------------------
+
+Lit Solver::pickBranchLit() {
+    if (opts_.useVsids) {
+        while (!heapEmpty()) {
+            const Var v = heapPopMax();
+            if (value(v) == lbool::Undef)
+                return mkLit(v, polarity_[static_cast<std::size_t>(v)] != 0);
+        }
+        return kUndefLit;
+    }
+    // Static order: lowest-index unassigned variable (ablation mode).
+    for (Var v = 0; v < numVars(); ++v)
+        if (value(v) == lbool::Undef)
+            return mkLit(v, polarity_[static_cast<std::size_t>(v)] != 0);
+    return kUndefLit;
+}
+
+// ---------------------------------------------------------------------------
+// DPLL fallback (learning disabled)
+// ---------------------------------------------------------------------------
+
+bool Solver::handleConflictDpll(Clause* /*conflict*/) {
+    // Flip the deepest unflipped non-assumption decision; fail when none.
+    const int assumptionLevels = static_cast<int>(assumptions_.size());
+    int flipLevel = -1;
+    for (int lvl = decisionLevel(); lvl > assumptionLevels; --lvl) {
+        if (!frames_[static_cast<std::size_t>(lvl - 1)].flipped) {
+            flipLevel = lvl;
+            break;
+        }
+    }
+    if (flipLevel < 0) {
+        // Exhausted: unsatisfiable under the assumptions. For DPLL mode the
+        // reported core is the full assumption set (no resolution proof to
+        // shrink it).
+        core_ = assumptions_;
+        return false;
+    }
+    const Lit flipped = ~frames_[static_cast<std::size_t>(flipLevel - 1)].decision;
+    backtrackTo(flipLevel - 1);
+    newDecisionLevel(flipped);
+    frames_.back().flipped = true;
+    enqueue(flipped, nullptr);
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Main search
+// ---------------------------------------------------------------------------
+
+std::int64_t Solver::luby(std::int64_t i) {
+    // Luby sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 … (0-indexed), via the
+    // MiniSat formulation: find the subsequence containing index i.
+    std::int64_t size = 1;
+    std::int64_t seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) / 2;
+        --seq;
+        i %= size;
+    }
+    return 1LL << seq;
+}
+
+SolveResult Solver::solve(std::span<const Lit> assumptions) {
+    ++stats_.solves;
+    core_.clear();
+    if (!ok_) return SolveResult::Unsat;
+    assumptions_.assign(assumptions.begin(), assumptions.end());
+    for (const Lit a : assumptions_)
+        expects(a.var() >= 0 && a.var() < numVars(), "solve: unknown assumption var");
+
+    removeSatisfiedAtLevelZero();
+    maxLearnts_ = std::max(1000.0, static_cast<double>(clauses_.size()) * 0.3);
+    restartCount_ = 0;
+    restartLimit_ = opts_.restartBase * luby(restartCount_);
+    conflictsSinceRestart_ = 0;
+
+    const SolveResult result = search();
+    if (result == SolveResult::Sat) model_ = assigns_;
+    backtrackTo(0);
+    return result;
+}
+
+SolveResult Solver::search() {
+    const std::int64_t conflictLimit =
+        opts_.conflictBudget < 0
+            ? -1
+            : static_cast<std::int64_t>(stats_.conflicts) + opts_.conflictBudget;
+    std::vector<Lit> learnt;
+
+    while (true) {
+        Clause* conflict = propagate();
+        if (conflict != nullptr) {
+            ++stats_.conflicts;
+            ++conflictsSinceRestart_;
+            if (conflictLimit >= 0 &&
+                static_cast<std::int64_t>(stats_.conflicts) >= conflictLimit) {
+                backtrackTo(0);
+                return SolveResult::Unknown;
+            }
+            if (!opts_.useLearning) {
+                if (decisionLevel() <= static_cast<int>(assumptions_.size())) {
+                    if (decisionLevel() == 0) {
+                        ok_ = false;
+                        return SolveResult::Unsat;
+                    }
+                    core_ = assumptions_;
+                    return SolveResult::Unsat;
+                }
+                if (!handleConflictDpll(conflict)) return SolveResult::Unsat;
+                continue;
+            }
+            if (decisionLevel() == 0) {
+                ok_ = false;
+                return SolveResult::Unsat;
+            }
+            int backtrackLevel = 0;
+            int lbd = 0;
+            analyze(conflict, learnt, backtrackLevel, lbd);
+            backtrackTo(backtrackLevel);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], nullptr);
+            } else {
+                auto clause = std::make_unique<Clause>();
+                clause->lits = learnt;
+                clause->learnt = true;
+                clause->lbd = lbd;
+                Clause* raw = clause.get();
+                attachClause(*raw);
+                clauseBumpActivity(*raw);
+                learnts_.push_back(std::move(clause));
+                enqueue(learnt[0], raw);
+            }
+            varDecayActivity();
+            clauseDecayActivity();
+
+            if (opts_.useRestarts && conflictsSinceRestart_ >= restartLimit_) {
+                ++stats_.restarts;
+                ++restartCount_;
+                restartLimit_ = opts_.restartBase * luby(restartCount_);
+                conflictsSinceRestart_ = 0;
+                backtrackTo(0);
+            }
+            if (opts_.reduceDb &&
+                static_cast<double>(learnts_.size()) >= maxLearnts_) {
+                reduceLearntDb();
+                maxLearnts_ *= 1.3;
+            }
+            continue;
+        }
+
+        // No conflict: place assumptions, then decide.
+        if (decisionLevel() < static_cast<int>(assumptions_.size())) {
+            const Lit a = assumptions_[static_cast<std::size_t>(decisionLevel())];
+            const lbool v = value(a);
+            if (v == lbool::True) {
+                newDecisionLevel(a); // dummy level to keep alignment
+                continue;
+            }
+            if (v == lbool::False) {
+                analyzeFinal(a);
+                return SolveResult::Unsat;
+            }
+            ++stats_.decisions;
+            newDecisionLevel(a);
+            enqueue(a, nullptr);
+            continue;
+        }
+
+        const Lit next = pickBranchLit();
+        if (!next.isDefined()) return SolveResult::Sat;
+        ++stats_.decisions;
+        newDecisionLevel(next);
+        enqueue(next, nullptr);
+    }
+}
+
+bool Solver::modelValue(Var v) const {
+    expects(static_cast<std::size_t>(v) < model_.size(),
+            "modelValue: no model for variable");
+    // Variables never assigned in the model are free; report false.
+    return model_[static_cast<std::size_t>(v)] == lbool::True;
+}
+
+} // namespace lar::sat

@@ -1,0 +1,230 @@
+// CDCL SAT solver.
+//
+// A from-scratch conflict-driven clause-learning solver in the MiniSat
+// lineage, providing the substrate the paper's "shim layer over SAT solvers"
+// builds on. Features:
+//
+//   * two-watched-literal propagation with blocker literals,
+//   * first-UIP conflict analysis with learned-clause minimization,
+//   * EVSIDS variable activities on a binary heap, phase saving,
+//   * Luby restarts, LBD-based learned-clause database reduction,
+//   * incremental solving under assumptions with unsat-core extraction
+//     (failed-assumption analysis), and
+//   * ablation switches (disable learning / VSIDS / restarts / phase saving)
+//     used by the solver-ablation bench.
+//
+// With learning disabled the solver falls back to a sound DPLL search that
+// flips the deepest unflipped decision on conflict.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace lar::sat {
+
+/// Outcome of a solve() call. Unknown is only returned when a budget is set.
+enum class SolveResult { Sat, Unsat, Unknown };
+
+/// A clause; learned clauses carry an LBD score and activity for DB reduction.
+struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    int lbd = 0;
+    double activity = 0.0;
+
+    [[nodiscard]] std::size_t size() const { return lits.size(); }
+    Lit& operator[](std::size_t i) { return lits[i]; }
+    const Lit& operator[](std::size_t i) const { return lits[i]; }
+};
+
+/// Search statistics, reset per solver instance.
+struct SolverStats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learntLiterals = 0;
+    std::uint64_t removedClauses = 0;
+    std::uint64_t solves = 0;
+};
+
+/// Feature switches; defaults are the full CDCL configuration.
+struct SolverOptions {
+    bool useLearning = true;    ///< false → DPLL with decision flipping
+    bool useVsids = true;       ///< false → lowest-index unassigned variable
+    bool useRestarts = true;    ///< Luby restarts (ignored when !useLearning)
+    bool usePhaseSaving = true; ///< remember last polarity per variable
+    bool reduceDb = true;       ///< periodically drop high-LBD learnt clauses
+    double varDecay = 0.95;
+    double clauseDecay = 0.999;
+    int restartBase = 100;          ///< conflicts per Luby unit
+    std::int64_t conflictBudget = -1; ///< -1 = unlimited; else Unknown on exhaustion
+};
+
+class Solver {
+public:
+    Solver() = default;
+    explicit Solver(const SolverOptions& options) : opts_(options) {}
+
+    Solver(const Solver&) = delete;
+    Solver& operator=(const Solver&) = delete;
+
+    /// Creates a fresh variable and returns it.
+    Var newVar();
+
+    /// Number of variables created so far.
+    [[nodiscard]] int numVars() const { return static_cast<int>(assigns_.size()); }
+
+    /// Number of problem (non-learnt) clauses currently held.
+    [[nodiscard]] std::size_t numClauses() const { return clauses_.size(); }
+
+    /// Adds a clause (vector is consumed). Returns false when the clause
+    /// makes the formula trivially unsatisfiable (empty after simplification
+    /// or contradicting a level-0 assignment); the solver is then unusable
+    /// except for solve(), which reports Unsat.
+    bool addClause(std::vector<Lit> lits);
+
+    /// Convenience overloads.
+    bool addClause(Lit a) { return addClause(std::vector<Lit>{a}); }
+    bool addClause(Lit a, Lit b) { return addClause(std::vector<Lit>{a, b}); }
+    bool addClause(Lit a, Lit b, Lit c) { return addClause(std::vector<Lit>{a, b, c}); }
+
+    /// Solves the formula under the given assumptions (may be empty). The
+    /// solver stays usable afterwards: more clauses/vars can be added and
+    /// solve() called again (incremental use).
+    SolveResult solve(std::span<const Lit> assumptions = {});
+
+    /// Model access after Sat: value assigned to `v` in the last model.
+    [[nodiscard]] bool modelValue(Var v) const;
+    [[nodiscard]] bool modelValue(Lit l) const { return modelValue(l.var()) != l.sign(); }
+
+    /// After Unsat under assumptions: a subset of the assumptions that is
+    /// already unsatisfiable with the clauses (the "failed assumptions").
+    [[nodiscard]] const std::vector<Lit>& unsatCore() const { return core_; }
+
+    /// True when the clause set became unsatisfiable at level 0.
+    [[nodiscard]] bool inconsistent() const { return !ok_; }
+
+    [[nodiscard]] const SolverStats& stats() const { return stats_; }
+    [[nodiscard]] const SolverOptions& options() const { return opts_; }
+    SolverOptions& mutableOptions() { return opts_; }
+
+    /// Current value of a variable/literal in the solver trail (Undef when
+    /// unassigned). Exposed for encoder-level propagation checks in tests.
+    [[nodiscard]] lbool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+    [[nodiscard]] lbool value(Lit l) const {
+        const lbool v = value(l.var());
+        return l.sign() ? ~v : v;
+    }
+
+private:
+    struct Watcher {
+        Clause* clause = nullptr;
+        Lit blocker = kUndefLit;
+    };
+    struct VarData {
+        Clause* reason = nullptr;
+        int level = 0;
+    };
+    struct DecisionFrame {
+        Lit decision = kUndefLit;
+        bool flipped = false; ///< DPLL mode: both phases tried?
+    };
+
+    // -- search ------------------------------------------------------------
+    SolveResult search();
+    Lit pickBranchLit();
+    bool enqueue(Lit l, Clause* from);
+    Clause* propagate();
+    void analyze(Clause* conflict, std::vector<Lit>& learnt, int& backtrackLevel,
+                 int& lbd);
+    bool litRedundant(Lit l, std::uint32_t abstractLevels);
+    void analyzeFinal(Lit falsifiedAssumption);
+    void backtrackTo(int level);
+    bool handleConflictDpll(Clause* conflict);
+    void newDecisionLevel(Lit decision);
+
+    // -- state helpers -----------------------------------------------------
+    [[nodiscard]] int decisionLevel() const {
+        return static_cast<int>(trailLim_.size());
+    }
+    [[nodiscard]] int levelOf(Var v) const {
+        return varData_[static_cast<std::size_t>(v)].level;
+    }
+    [[nodiscard]] Clause* reasonOf(Var v) const {
+        return varData_[static_cast<std::size_t>(v)].reason;
+    }
+    [[nodiscard]] std::uint32_t abstractLevel(Var v) const {
+        return 1u << (levelOf(v) & 31);
+    }
+    void attachClause(Clause& c);
+    void detachClause(Clause& c);
+    void removeSatisfiedAtLevelZero();
+    void reduceLearntDb();
+    int computeLbd(const std::vector<Lit>& lits);
+
+    // -- activity ----------------------------------------------------------
+    void varBumpActivity(Var v);
+    void varDecayActivity();
+    void clauseBumpActivity(Clause& c);
+    void clauseDecayActivity();
+
+    // -- order heap (binary max-heap on activity_) ---------------------------
+    void heapInsert(Var v);
+    void heapUpdate(Var v);
+    Var heapPopMax();
+    [[nodiscard]] bool heapEmpty() const { return heap_.empty(); }
+    void heapSiftUp(std::size_t i);
+    void heapSiftDown(std::size_t i);
+    [[nodiscard]] bool heapLess(Var a, Var b) const {
+        return activity_[static_cast<std::size_t>(a)] <
+               activity_[static_cast<std::size_t>(b)];
+    }
+
+    static std::int64_t luby(std::int64_t i);
+
+    // -- data ---------------------------------------------------------------
+    SolverOptions opts_;
+    SolverStats stats_;
+    bool ok_ = true;
+
+    std::vector<std::unique_ptr<Clause>> clauses_;
+    std::vector<std::unique_ptr<Clause>> learnts_;
+    std::vector<std::vector<Watcher>> watches_; ///< indexed by Lit::index()
+
+    std::vector<lbool> assigns_;
+    std::vector<VarData> varData_;
+    std::vector<char> polarity_; ///< saved phase (1 = last assigned false)
+    std::vector<double> activity_;
+    double varInc_ = 1.0;
+    double claInc_ = 1.0;
+
+    std::vector<Lit> trail_;
+    std::vector<int> trailLim_;
+    std::vector<DecisionFrame> frames_; ///< parallel to trailLim_
+    std::size_t qhead_ = 0;
+
+    std::vector<Var> heap_;        ///< heap of vars ordered by activity
+    std::vector<int> heapIndex_;   ///< var -> position in heap_ or -1
+
+    std::vector<Lit> assumptions_;
+    std::vector<Lit> core_;
+
+    std::vector<char> seen_;       ///< scratch for analyze()
+    std::vector<Lit> analyzeToClear_;
+    std::vector<Lit> analyzeStack_;
+
+    std::vector<lbool> model_;
+
+    double maxLearnts_ = 0;
+    std::int64_t conflictsSinceRestart_ = 0;
+    std::int64_t restartLimit_ = 0;
+    int restartCount_ = 0;
+};
+
+} // namespace lar::sat

@@ -1,0 +1,83 @@
+// Core SAT types: variables, literals, and the three-valued lbool.
+//
+// Follows the MiniSat conventions: a variable is a dense non-negative index;
+// a literal packs (variable, sign) into one int so literal-indexed arrays
+// (watch lists, seen flags) are contiguous.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace lar::sat {
+
+/// Variable index, 0-based and dense.
+using Var = std::int32_t;
+
+constexpr Var kUndefVar = -1;
+
+/// A literal: variable plus sign. index() == 2*var + (negated ? 1 : 0).
+class Lit {
+public:
+    constexpr Lit() : code_(-2) {}
+    constexpr Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+    /// The underlying variable.
+    [[nodiscard]] constexpr Var var() const { return code_ >> 1; }
+    /// True for a negative literal (¬x).
+    [[nodiscard]] constexpr bool sign() const { return (code_ & 1) != 0; }
+    /// Dense index usable for literal-indexed arrays.
+    [[nodiscard]] constexpr std::int32_t index() const { return code_; }
+
+    /// Negation.
+    [[nodiscard]] constexpr Lit operator~() const { return fromIndex(code_ ^ 1); }
+
+    constexpr bool operator==(const Lit& o) const = default;
+    constexpr auto operator<=>(const Lit& o) const = default;
+
+    [[nodiscard]] constexpr bool isDefined() const { return code_ >= 0; }
+
+    /// Rebuilds a literal from its dense index.
+    static constexpr Lit fromIndex(std::int32_t idx) {
+        Lit l;
+        l.code_ = idx;
+        return l;
+    }
+
+    /// 1-based DIMACS form: +v+1 or -(v+1).
+    [[nodiscard]] int toDimacs() const { return sign() ? -(var() + 1) : (var() + 1); }
+
+    [[nodiscard]] std::string toString() const {
+        return (sign() ? "~x" : "x") + std::to_string(var());
+    }
+
+private:
+    std::int32_t code_;
+};
+
+constexpr Lit kUndefLit{};
+
+/// Positive literal of `v`.
+constexpr Lit mkLit(Var v) { return Lit(v, false); }
+/// Literal of `v` with explicit sign; negated==true yields ¬v.
+constexpr Lit mkLit(Var v, bool negated) { return Lit(v, negated); }
+
+/// Three-valued boolean.
+enum class lbool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+constexpr lbool fromBool(bool b) { return b ? lbool::True : lbool::False; }
+
+/// Negation on lbool; Undef is a fixed point.
+constexpr lbool operator~(lbool v) {
+    if (v == lbool::Undef) return lbool::Undef;
+    return v == lbool::True ? lbool::False : lbool::True;
+}
+
+} // namespace lar::sat
+
+template <>
+struct std::hash<lar::sat::Lit> {
+    std::size_t operator()(const lar::sat::Lit& l) const noexcept {
+        return std::hash<std::int32_t>()(l.index());
+    }
+};

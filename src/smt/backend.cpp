@@ -1,0 +1,33 @@
+#include "smt/backend.hpp"
+
+#include "smt/cdcl_backend.hpp"
+#include "util/error.hpp"
+
+#if defined(LAR_HAVE_Z3)
+#include "smt/z3_backend.hpp"
+#endif
+
+namespace lar::smt {
+
+bool haveZ3() {
+#if defined(LAR_HAVE_Z3)
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::unique_ptr<Backend> makeBackend(BackendKind kind, const FormulaStore& store) {
+    switch (kind) {
+        case BackendKind::Cdcl: return std::make_unique<CdclBackend>(store);
+        case BackendKind::Z3:
+#if defined(LAR_HAVE_Z3)
+            return std::make_unique<Z3Backend>(store);
+#else
+            throw LogicError("Z3 backend requested but the build has no libz3");
+#endif
+    }
+    throw LogicError("makeBackend: unknown backend kind");
+}
+
+} // namespace lar::smt

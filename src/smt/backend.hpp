@@ -1,0 +1,96 @@
+// Abstract solver backend consumed by the reasoning engine.
+//
+// Two implementations exist: CdclBackend (the from-scratch CDCL solver with
+// CNF encodings and MaxSAT) and Z3Backend (native Z3 C++ API — the solver
+// family the paper's prototype used). They are interchangeable and the test
+// suite cross-checks their verdicts on random formulas.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "smt/formula.hpp"
+
+namespace lar::smt {
+
+enum class CheckStatus { Sat, Unsat, Unknown };
+
+/// Soft constraint: pay `weight` when `formula` is violated. Softs sharing a
+/// non-negative `exclusiveGroup` must have at most one violated member in
+/// any model (caller-guaranteed); backends may exploit this to keep their
+/// objective counters small.
+struct SoftItem {
+    NodeId formula = kInvalidNode;
+    std::int64_t weight = 1;
+    int exclusiveGroup = -1;
+};
+
+/// One lexicographic objective level (earlier levels dominate later ones).
+struct ObjectiveSpec {
+    std::string name;
+    std::vector<SoftItem> softs;
+};
+
+/// Result of an optimize() call: per-level violation costs, in order.
+struct OptimizeResult {
+    bool feasible = false;
+    std::vector<std::int64_t> costs;
+};
+
+/// Unsat-core: which tracked hard constraints and which assumptions clash.
+struct CoreResult {
+    std::vector<int> tracks;            ///< track ids passed to addHard
+    std::vector<NodeId> assumptions;    ///< failing members of the assumption set
+};
+
+class Backend {
+public:
+    virtual ~Backend() = default;
+
+    /// Asserts `formula` as a hard constraint. When `track` >= 0 the
+    /// constraint participates in unsat cores under that id (tracked
+    /// constraints are enforced through a selector, so they cost one extra
+    /// assumption per check).
+    virtual void addHard(NodeId formula, int track = -1) = 0;
+
+    /// Satisfiability under assumptions. Each assumption must be a Var or
+    /// Not(Var) node.
+    virtual CheckStatus check(std::span<const NodeId> assumptions = {}) = 0;
+
+    /// Like check(), but only the tracked constraints whose ids appear in
+    /// `activeTracks` are enforced (untracked constraints always hold).
+    /// Used for deletion-based unsat-core minimization.
+    virtual CheckStatus checkWithTracks(std::span<const int> activeTracks,
+                                        std::span<const NodeId> assumptions = {}) = 0;
+
+    /// Value of a Var node in the model of the last Sat check/optimize.
+    [[nodiscard]] virtual bool modelValue(NodeId var) const = 0;
+
+    /// After an Unsat check: the conflicting tracked constraints/assumptions.
+    [[nodiscard]] virtual CoreResult unsatCore() const = 0;
+
+    /// Lexicographic optimization under assumptions. On success the model of
+    /// the optimum is available through modelValue(). Backends may leave the
+    /// optimum locked in (the engine uses one backend instance per query).
+    virtual OptimizeResult optimize(std::span<const ObjectiveSpec> objectives,
+                                    std::span<const NodeId> assumptions = {}) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Kinds of backends available in this build.
+enum class BackendKind { Cdcl, Z3 };
+
+/// True when the library was built with Z3 support.
+[[nodiscard]] bool haveZ3();
+
+/// Creates a backend over `store`. Throws LogicError for BackendKind::Z3
+/// when the library was built without Z3.
+[[nodiscard]] std::unique_ptr<Backend> makeBackend(BackendKind kind,
+                                                   const FormulaStore& store);
+
+} // namespace lar::smt

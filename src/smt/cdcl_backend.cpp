@@ -1,0 +1,249 @@
+#include "smt/cdcl_backend.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "encode/pb.hpp"
+#include "opt/maxsat.hpp"
+#include "util/error.hpp"
+
+namespace lar::smt {
+
+sat::Lit CdclBackend::compile(NodeId id) {
+    if (const auto it = cache_.find(id); it != cache_.end()) return it->second;
+    const Node& n = store_->node(id);
+    sat::Lit out = sat::kUndefLit;
+    switch (n.kind) {
+        case NodeKind::Const:
+            out = n.constValue ? builder_.trueLit() : builder_.falseLit();
+            break;
+        case NodeKind::Var:
+            out = builder_.newLit();
+            break;
+        case NodeKind::Not:
+            out = ~compile(n.children[0]);
+            break;
+        case NodeKind::And:
+        case NodeKind::Or: {
+            std::vector<sat::Lit> kids;
+            kids.reserve(n.children.size());
+            for (const NodeId c : n.children) kids.push_back(compile(c));
+            out = n.kind == NodeKind::And ? builder_.mkAnd(kids) : builder_.mkOr(kids);
+            break;
+        }
+        case NodeKind::LinLeq:
+            out = compileLinLeq(id);
+            break;
+    }
+    cache_.emplace(id, out);
+    return out;
+}
+
+sat::Lit CdclBackend::compileLinLeq(NodeId id) {
+    const Node& n = store_->node(id);
+    // The FormulaStore folds trivial bounds, but stay defensive.
+    std::int64_t total = 0;
+    for (const LinTerm& t : n.terms) total += t.coef;
+    if (n.bound >= total) return builder_.trueLit();
+    if (n.bound < 0) return builder_.falseLit();
+
+    LinLeqGate& gate = linleqGates_[id];
+    gate.out = builder_.newLit();
+    emitLinLeqDirections(id);
+    return gate.out;
+}
+
+void CdclBackend::emitLinLeqDirections(NodeId id) {
+    auto gateIt = linleqGates_.find(id);
+    if (gateIt == linleqGates_.end()) return; // folded to a constant
+    LinLeqGate& gate = gateIt->second;
+    const int mask = polarity_.count(id) ? polarity_[id] : (kPos | kNeg);
+    const bool needForward = (mask & kPos) != 0 && !gate.forwardBuilt;
+    const bool needBackward = (mask & kNeg) != 0 && !gate.backwardBuilt;
+    if (!needForward && !needBackward) return;
+
+    const Node& n = store_->node(id);
+    std::int64_t total = 0;
+    std::vector<encode::PbTerm> flat;
+    std::map<int, std::vector<encode::PbTerm>> grouped;
+    std::vector<std::vector<encode::PbTerm>> groups;
+    flat.reserve(n.terms.size());
+    for (const LinTerm& t : n.terms) {
+        const sat::Lit varLit = compile(t.var);
+        const sat::Lit lit = t.negated ? ~varLit : varLit;
+        const encode::PbTerm term{t.coef, lit};
+        flat.push_back(term);
+        if (t.group >= 0)
+            grouped[t.group].push_back(term);
+        else
+            groups.push_back({term});
+        total += t.coef;
+    }
+    for (auto& [groupId, members] : grouped) groups.push_back(std::move(members));
+
+    if (needForward) {
+        // out → Σ ≤ bound: counter detects Σ ≥ bound+1; exclusivity groups
+        // keep it linear for selector-style inputs.
+        const encode::PbSum forward(
+            builder_, std::span<const std::vector<encode::PbTerm>>(groups),
+            /*clampAt=*/n.bound + 1);
+        builder_.addClause(~gate.out, forward.atMostLit(builder_, n.bound));
+        gate.forwardBuilt = true;
+    }
+    if (needBackward) {
+        // ¬out → Σ ≥ bound+1 ⇔ Σ complements ≤ total−bound−1. Complements
+        // are not exclusive, so this uses the flat construction.
+        std::vector<encode::PbTerm> complements;
+        complements.reserve(flat.size());
+        for (const encode::PbTerm& t : flat) complements.push_back({t.weight, ~t.lit});
+        const encode::PbSum backward(builder_, complements,
+                                     /*clampAt=*/total - n.bound);
+        builder_.addClause(gate.out,
+                           backward.atMostLit(builder_, total - n.bound - 1));
+        gate.backwardBuilt = true;
+    }
+}
+
+void CdclBackend::notePolarity(NodeId id, int mask) {
+    const Node& n = store_->node(id);
+    switch (n.kind) {
+        case NodeKind::Const:
+        case NodeKind::Var: return;
+        case NodeKind::Not:
+            notePolarity(n.children[0],
+                         ((mask & kPos) != 0 ? kNeg : 0) |
+                             ((mask & kNeg) != 0 ? kPos : 0));
+            return;
+        case NodeKind::And:
+        case NodeKind::Or:
+            for (const NodeId c : n.children) notePolarity(c, mask);
+            return;
+        case NodeKind::LinLeq: {
+            const int before = polarity_.count(id) ? polarity_[id] : 0;
+            const int after = before | mask;
+            if (after == before) return;
+            polarity_[id] = after;
+            // Upgrade an already-compiled gate with the new direction.
+            if (cache_.count(id)) emitLinLeqDirections(id);
+            return;
+        }
+    }
+}
+
+void CdclBackend::addHard(NodeId formula, int track) {
+    notePolarity(formula, kPos);
+    const sat::Lit f = compile(formula);
+    if (track < 0) {
+        builder_.assertLit(f);
+        return;
+    }
+    const sat::Lit selector = builder_.newLit();
+    builder_.assertImplies(selector, f);
+    selectors_.emplace_back(track, selector);
+}
+
+sat::Lit CdclBackend::assumptionLit(NodeId id) {
+    const auto lit = store_->asLiteral(id);
+    expects(lit.has_value(), "CdclBackend: assumption must be a (negated) variable");
+    const sat::Lit base = compile(lit->first);
+    return lit->second ? ~base : base;
+}
+
+std::vector<sat::Lit> CdclBackend::buildAssumptionLits(
+    std::span<const NodeId> assumptions) {
+    std::vector<sat::Lit> lits;
+    lits.reserve(selectors_.size() + assumptions.size());
+    for (const auto& [track, selector] : selectors_) lits.push_back(selector);
+    for (const NodeId a : assumptions) lits.push_back(assumptionLit(a));
+    return lits;
+}
+
+void CdclBackend::captureCore(std::span<const NodeId> assumptions) {
+    lastCore_ = {};
+    const std::vector<sat::Lit>& core = solver_.unsatCore();
+    for (const sat::Lit failed : core) {
+        bool matched = false;
+        for (const auto& [track, selector] : selectors_) {
+            if (selector == failed) {
+                lastCore_.tracks.push_back(track);
+                matched = true;
+                break;
+            }
+        }
+        if (matched) continue;
+        for (const NodeId a : assumptions) {
+            if (assumptionLit(a) == failed) {
+                lastCore_.assumptions.push_back(a);
+                break;
+            }
+        }
+    }
+}
+
+CheckStatus CdclBackend::check(std::span<const NodeId> assumptions) {
+    const std::vector<sat::Lit> lits = buildAssumptionLits(assumptions);
+    switch (solver_.solve(lits)) {
+        case sat::SolveResult::Sat: return CheckStatus::Sat;
+        case sat::SolveResult::Unknown: return CheckStatus::Unknown;
+        case sat::SolveResult::Unsat:
+            captureCore(assumptions);
+            return CheckStatus::Unsat;
+    }
+    return CheckStatus::Unknown;
+}
+
+CheckStatus CdclBackend::checkWithTracks(std::span<const int> activeTracks,
+                                         std::span<const NodeId> assumptions) {
+    std::vector<sat::Lit> lits;
+    lits.reserve(activeTracks.size() + assumptions.size());
+    for (const auto& [track, selector] : selectors_) {
+        if (std::find(activeTracks.begin(), activeTracks.end(), track) !=
+            activeTracks.end())
+            lits.push_back(selector);
+    }
+    for (const NodeId a : assumptions) lits.push_back(assumptionLit(a));
+    switch (solver_.solve(lits)) {
+        case sat::SolveResult::Sat: return CheckStatus::Sat;
+        case sat::SolveResult::Unknown: return CheckStatus::Unknown;
+        case sat::SolveResult::Unsat:
+            captureCore(assumptions);
+            return CheckStatus::Unsat;
+    }
+    return CheckStatus::Unknown;
+}
+
+bool CdclBackend::modelValue(NodeId var) const {
+    expects(store_->node(var).kind == NodeKind::Var,
+            "CdclBackend::modelValue: not a variable");
+    const auto it = cache_.find(var);
+    if (it == cache_.end()) return false; // variable absent from the formula
+    return solver_.modelValue(it->second);
+}
+
+OptimizeResult CdclBackend::optimize(std::span<const ObjectiveSpec> objectives,
+                                     std::span<const NodeId> assumptions) {
+    const std::vector<sat::Lit> assume = buildAssumptionLits(assumptions);
+
+    std::vector<opt::Objective> levels;
+    levels.reserve(objectives.size());
+    for (const ObjectiveSpec& spec : objectives) {
+        opt::Objective level;
+        level.name = spec.name;
+        level.softs.reserve(spec.softs.size());
+        for (const SoftItem& soft : spec.softs) {
+            notePolarity(soft.formula, kPos);
+            level.softs.push_back(
+                {compile(soft.formula), soft.weight, soft.exclusiveGroup});
+        }
+        levels.push_back(std::move(level));
+    }
+
+    const opt::LexResult lex = opt::optimizeLex(builder_, levels, assume);
+    OptimizeResult result;
+    result.feasible = lex.feasible;
+    result.costs = lex.costs;
+    if (!lex.feasible) captureCore(assumptions);
+    return result;
+}
+
+} // namespace lar::smt

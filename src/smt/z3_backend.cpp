@@ -1,0 +1,179 @@
+#if defined(LAR_HAVE_Z3)
+
+#include "smt/z3_backend.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lar::smt {
+
+Z3Backend::Z3Backend(const FormulaStore& store)
+    : store_(&store), solver_(ctx_) {}
+
+z3::expr Z3Backend::varExpr(NodeId id) {
+    const auto it = exprIndex_.find(id);
+    if (it != exprIndex_.end()) return exprs_[it->second];
+    const Node& n = store_->node(id);
+    expects(n.kind == NodeKind::Var, "Z3Backend::varExpr: not a variable");
+    z3::expr e = ctx_.bool_const(n.name.c_str());
+    exprIndex_.emplace(id, static_cast<unsigned>(exprs_.size()));
+    exprs_.push_back(e);
+    return e;
+}
+
+z3::expr Z3Backend::toExpr(NodeId id) {
+    const Node& n = store_->node(id);
+    switch (n.kind) {
+        case NodeKind::Const: return ctx_.bool_val(n.constValue);
+        case NodeKind::Var: return varExpr(id);
+        case NodeKind::Not: return !toExpr(n.children[0]);
+        case NodeKind::And: {
+            z3::expr_vector kids(ctx_);
+            for (const NodeId c : n.children) kids.push_back(toExpr(c));
+            return z3::mk_and(kids);
+        }
+        case NodeKind::Or: {
+            z3::expr_vector kids(ctx_);
+            for (const NodeId c : n.children) kids.push_back(toExpr(c));
+            return z3::mk_or(kids);
+        }
+        case NodeKind::LinLeq: {
+            // Σ coef·ite(lit, 1, 0) ≤ bound over the integers.
+            z3::expr sum = ctx_.int_val(0);
+            for (const LinTerm& t : n.terms) {
+                z3::expr lit = varExpr(t.var);
+                if (t.negated) lit = !lit;
+                sum = sum + z3::ite(lit, ctx_.int_val(static_cast<int>(t.coef)),
+                                    ctx_.int_val(0));
+            }
+            return sum <= ctx_.int_val(static_cast<int>(n.bound));
+        }
+    }
+    throw LogicError("Z3Backend::toExpr: unknown node kind");
+}
+
+void Z3Backend::addHard(NodeId formula, int track) {
+    hardForOptimize_.emplace_back(formula, track);
+    if (track < 0) {
+        solver_.add(toExpr(formula));
+        return;
+    }
+    const std::string name = "lar!track!" + std::to_string(track);
+    z3::expr selector = ctx_.bool_const(name.c_str());
+    solver_.add(z3::implies(selector, toExpr(formula)));
+    selectors_.emplace_back(track, selector);
+}
+
+void Z3Backend::captureCore(const z3::expr_vector& core,
+                            std::span<const NodeId> assumptions) {
+    lastCore_ = {};
+    for (unsigned i = 0; i < core.size(); ++i) {
+        const z3::expr failed = core[i];
+        bool matched = false;
+        for (const auto& [track, selector] : selectors_) {
+            if (z3::eq(failed, selector)) {
+                lastCore_.tracks.push_back(track);
+                matched = true;
+                break;
+            }
+        }
+        if (matched) continue;
+        for (const NodeId a : assumptions) {
+            z3::expr e = toExpr(a);
+            if (z3::eq(failed, e)) {
+                lastCore_.assumptions.push_back(a);
+                break;
+            }
+        }
+    }
+}
+
+CheckStatus Z3Backend::checkWithTracks(std::span<const int> activeTracks,
+                                       std::span<const NodeId> assumptions) {
+    z3::expr_vector assume(ctx_);
+    for (const auto& [track, selector] : selectors_) {
+        if (std::find(activeTracks.begin(), activeTracks.end(), track) !=
+            activeTracks.end())
+            assume.push_back(selector);
+    }
+    for (const NodeId a : assumptions) assume.push_back(toExpr(a));
+    switch (solver_.check(assume)) {
+        case z3::sat:
+            model_ = std::make_unique<z3::model>(solver_.get_model());
+            return CheckStatus::Sat;
+        case z3::unsat:
+            captureCore(solver_.unsat_core(), assumptions);
+            return CheckStatus::Unsat;
+        case z3::unknown: return CheckStatus::Unknown;
+    }
+    return CheckStatus::Unknown;
+}
+
+CheckStatus Z3Backend::check(std::span<const NodeId> assumptions) {
+    z3::expr_vector assume(ctx_);
+    for (const auto& [track, selector] : selectors_) assume.push_back(selector);
+    for (const NodeId a : assumptions) assume.push_back(toExpr(a));
+    switch (solver_.check(assume)) {
+        case z3::sat:
+            model_ = std::make_unique<z3::model>(solver_.get_model());
+            return CheckStatus::Sat;
+        case z3::unsat:
+            captureCore(solver_.unsat_core(), assumptions);
+            return CheckStatus::Unsat;
+        case z3::unknown: return CheckStatus::Unknown;
+    }
+    return CheckStatus::Unknown;
+}
+
+bool Z3Backend::modelValue(NodeId var) const {
+    expects(model_ != nullptr, "Z3Backend::modelValue: no model available");
+    const Node& n = store_->node(var);
+    expects(n.kind == NodeKind::Var, "Z3Backend::modelValue: not a variable");
+    const auto it = exprIndex_.find(var);
+    if (it == exprIndex_.end()) return false; // variable absent from the formula
+    const z3::expr v = model_->eval(exprs_[it->second], /*model_completion=*/true);
+    return v.is_true();
+}
+
+OptimizeResult Z3Backend::optimize(std::span<const ObjectiveSpec> objectives,
+                                   std::span<const NodeId> assumptions) {
+    z3::optimize opt(ctx_);
+    z3::params params(ctx_);
+    params.set("priority", ctx_.str_symbol("lex"));
+    opt.set(params);
+
+    for (const auto& [formula, track] : hardForOptimize_) opt.add(toExpr(formula));
+    for (const NodeId a : assumptions) opt.add(toExpr(a));
+    // Soft groups are created in objective order; with lex priority Z3
+    // optimizes them in that order. The installed z3++.h has no grouped
+    // add_soft overload, so go through the C API.
+    for (const ObjectiveSpec& spec : objectives) {
+        const z3::symbol group = ctx_.str_symbol(spec.name.c_str());
+        for (const SoftItem& soft : spec.softs) {
+            const std::string weight = std::to_string(soft.weight);
+            Z3_optimize_assert_soft(ctx_, opt, toExpr(soft.formula), weight.c_str(),
+                                    group);
+        }
+    }
+
+    OptimizeResult result;
+    if (opt.check() != z3::sat) return result;
+    model_ = std::make_unique<z3::model>(opt.get_model());
+    result.feasible = true;
+    // Recompute per-level costs from the model (backend-independent metric).
+    for (const ObjectiveSpec& spec : objectives) {
+        std::int64_t cost = 0;
+        for (const SoftItem& soft : spec.softs) {
+            const z3::expr v = model_->eval(
+                const_cast<Z3Backend*>(this)->toExpr(soft.formula), true);
+            if (!v.is_true()) cost += soft.weight;
+        }
+        result.costs.push_back(cost);
+    }
+    return result;
+}
+
+} // namespace lar::smt
+
+#endif // LAR_HAVE_Z3

@@ -1,0 +1,49 @@
+// Backend over the native Z3 C++ API (the paper's solver substrate).
+// Compiled only when the build finds libz3; see smt/backend.hpp::haveZ3().
+#pragma once
+
+#include "smt/backend.hpp"
+
+#if defined(LAR_HAVE_Z3)
+
+#include <memory>
+#include <unordered_map>
+
+#include <z3++.h>
+
+namespace lar::smt {
+
+class Z3Backend final : public Backend {
+public:
+    explicit Z3Backend(const FormulaStore& store);
+
+    void addHard(NodeId formula, int track = -1) override;
+    CheckStatus check(std::span<const NodeId> assumptions = {}) override;
+    CheckStatus checkWithTracks(std::span<const int> activeTracks,
+                                std::span<const NodeId> assumptions = {}) override;
+    [[nodiscard]] bool modelValue(NodeId var) const override;
+    [[nodiscard]] CoreResult unsatCore() const override { return lastCore_; }
+    OptimizeResult optimize(std::span<const ObjectiveSpec> objectives,
+                            std::span<const NodeId> assumptions = {}) override;
+    [[nodiscard]] std::string name() const override { return "z3"; }
+
+private:
+    z3::expr toExpr(NodeId id);
+    z3::expr varExpr(NodeId id);
+    void captureCore(const z3::expr_vector& core,
+                     std::span<const NodeId> assumptions);
+
+    const FormulaStore* store_;
+    z3::context ctx_;
+    z3::solver solver_;
+    std::unordered_map<NodeId, unsigned> exprIndex_; ///< NodeId -> exprs_ slot
+    std::vector<z3::expr> exprs_;
+    std::vector<std::pair<int, z3::expr>> selectors_;
+    std::vector<std::pair<NodeId, int>> hardForOptimize_; ///< (formula, track)
+    std::unique_ptr<z3::model> model_;
+    CoreResult lastCore_;
+};
+
+} // namespace lar::smt
+
+#endif // LAR_HAVE_Z3

@@ -1,0 +1,79 @@
+#include "topo/clos.hpp"
+
+#include "util/error.hpp"
+
+namespace lar::topo {
+
+FatTree::FatTree(int k) : k_(k) {
+    expects(k >= 2 && k % 2 == 0, "FatTree: k must be even and >= 2");
+    const int half = k / 2;
+
+    // Core switches: (k/2)².
+    std::vector<int> cores;
+    for (int i = 0; i < half * half; ++i)
+        cores.push_back(addNode(NodeKind::CoreSwitch, -1,
+                                "core" + std::to_string(i)));
+
+    for (int pod = 0; pod < k; ++pod) {
+        std::vector<int> edges;
+        std::vector<int> aggs;
+        for (int i = 0; i < half; ++i) {
+            edges.push_back(addNode(NodeKind::EdgeSwitch, pod,
+                                    "p" + std::to_string(pod) + "e" +
+                                        std::to_string(i)));
+            aggs.push_back(addNode(NodeKind::AggSwitch, pod,
+                                   "p" + std::to_string(pod) + "a" +
+                                       std::to_string(i)));
+        }
+        // Hosts: k/2 per edge switch.
+        for (int e = 0; e < half; ++e) {
+            for (int h = 0; h < half; ++h) {
+                const int host =
+                    addNode(NodeKind::Host, pod,
+                            "p" + std::to_string(pod) + "e" + std::to_string(e) +
+                                "h" + std::to_string(h));
+                addBidirectional(host, edges[static_cast<std::size_t>(e)], true);
+            }
+        }
+        // Edge ↔ agg full mesh within the pod.
+        for (const int e : edges)
+            for (const int a : aggs) addBidirectional(e, a, true);
+        // Agg ↔ core: agg i connects to cores [i*half, (i+1)*half).
+        for (int i = 0; i < half; ++i)
+            for (int c = 0; c < half; ++c)
+                addBidirectional(aggs[static_cast<std::size_t>(i)],
+                                 cores[static_cast<std::size_t>(i * half + c)],
+                                 true);
+    }
+}
+
+int FatTree::addNode(NodeKind kind, int pod, std::string name) {
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back({id, kind, pod, std::move(name)});
+    out_.emplace_back();
+    in_.emplace_back();
+    if (kind == NodeKind::Host)
+        hosts_.push_back(id);
+    else
+        switches_.push_back(id);
+    return id;
+}
+
+void FatTree::addBidirectional(int a, int b, bool aToBisUp) {
+    const int upId = static_cast<int>(links_.size());
+    links_.push_back({upId, a, b, aToBisUp});
+    out_[static_cast<std::size_t>(a)].push_back(upId);
+    in_[static_cast<std::size_t>(b)].push_back(upId);
+    const int downId = static_cast<int>(links_.size());
+    links_.push_back({downId, b, a, !aToBisUp});
+    out_[static_cast<std::size_t>(b)].push_back(downId);
+    in_[static_cast<std::size_t>(a)].push_back(downId);
+}
+
+int FatTree::findLink(int from, int to) const {
+    for (const int l : out_[static_cast<std::size_t>(from)])
+        if (links_[static_cast<std::size_t>(l)].to == to) return l;
+    return -1;
+}
+
+} // namespace lar::topo

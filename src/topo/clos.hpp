@@ -1,0 +1,79 @@
+// k-ary fat-tree (Clos) topology builder.
+//
+// Substrate for the §2.2 PFC-deadlock experiment: Microsoft's RDMA
+// deployment used up-down routing on a Clos network and believed that ruled
+// out cyclic buffer dependencies — until Ethernet flooding broke the
+// up-down invariant. We model exactly enough topology to reproduce that
+// reasoning: hosts, edge/aggregation/core switches, links, and the
+// up/down direction of every link.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lar::topo {
+
+enum class NodeKind { Host, EdgeSwitch, AggSwitch, CoreSwitch };
+
+struct Node {
+    int id = 0;
+    NodeKind kind = NodeKind::Host;
+    int pod = -1; ///< -1 for core switches and out-of-pod entities
+    std::string name;
+};
+
+/// A directed link (u → v). Every physical cable appears twice, once per
+/// direction; each direction has its own buffer at the receiving end.
+struct Link {
+    int id = 0;
+    int from = 0;
+    int to = 0;
+    /// True when the link goes "up" (host→edge→agg→core); down otherwise.
+    bool up = false;
+};
+
+class FatTree {
+public:
+    /// Builds a k-ary fat-tree (k even, ≥ 2): k pods, (k/2)² core switches,
+    /// k/2 edge + k/2 agg switches per pod, k/2 hosts per edge switch.
+    explicit FatTree(int k);
+
+    [[nodiscard]] int k() const { return k_; }
+    [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+    [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+    [[nodiscard]] const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+    [[nodiscard]] const Link& link(int id) const { return links_[static_cast<std::size_t>(id)]; }
+
+    /// Hosts, in id order.
+    [[nodiscard]] const std::vector<int>& hosts() const { return hosts_; }
+    /// Switches (edge + agg + core), in id order.
+    [[nodiscard]] const std::vector<int>& switches() const { return switches_; }
+
+    /// Outgoing link ids of `nodeId`.
+    [[nodiscard]] const std::vector<int>& outLinks(int nodeId) const {
+        return out_[static_cast<std::size_t>(nodeId)];
+    }
+    /// Incoming link ids of `nodeId`.
+    [[nodiscard]] const std::vector<int>& inLinks(int nodeId) const {
+        return in_[static_cast<std::size_t>(nodeId)];
+    }
+
+    /// The link from → to; -1 when absent.
+    [[nodiscard]] int findLink(int from, int to) const;
+
+private:
+    int addNode(NodeKind kind, int pod, std::string name);
+    void addBidirectional(int a, int b, bool aToBisUp);
+
+    int k_ = 0;
+    std::vector<Node> nodes_;
+    std::vector<Link> links_;
+    std::vector<int> hosts_;
+    std::vector<int> switches_;
+    std::vector<std::vector<int>> out_;
+    std::vector<std::vector<int>> in_;
+};
+
+} // namespace lar::topo

@@ -1,0 +1,121 @@
+#include "topo/loadbalance.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lar::topo {
+
+std::vector<Flow> randomTrafficMatrix(const FatTree& tree, int flows,
+                                      util::Rng& rng) {
+    const std::vector<int>& hosts = tree.hosts();
+    expects(hosts.size() >= 2, "randomTrafficMatrix: need hosts");
+    std::vector<Flow> out;
+    out.reserve(static_cast<std::size_t>(flows));
+    for (int i = 0; i < flows; ++i) {
+        Flow f;
+        f.srcHost = hosts[rng.below(hosts.size())];
+        do {
+            f.dstHost = hosts[rng.below(hosts.size())];
+        } while (f.dstHost == f.srcHost);
+        // Elephants and mice: 10 % of flows carry ~20× the rate.
+        f.rateGbps = rng.chance(0.1) ? 4.0 + rng.uniform() * 6.0
+                                     : 0.1 + rng.uniform() * 0.4;
+        out.push_back(f);
+    }
+    return out;
+}
+
+namespace {
+
+/// Only fabric (switch-to-switch) links count: host access links carry the
+/// full flow rate under every scheme and would mask the fabric imbalance.
+LoadReport summarize(const FatTree& tree, const std::vector<double>& load) {
+    LoadReport report;
+    double total = 0;
+    int loaded = 0;
+    for (std::size_t i = 0; i < load.size(); ++i) {
+        const Link& link = tree.link(static_cast<int>(i));
+        if (tree.node(link.from).kind == NodeKind::Host ||
+            tree.node(link.to).kind == NodeKind::Host)
+            continue;
+        report.maxLinkLoadGbps = std::max(report.maxLinkLoadGbps, load[i]);
+        if (load[i] > 0) {
+            total += load[i];
+            ++loaded;
+        }
+    }
+    report.meanLinkLoadGbps = loaded == 0 ? 0 : total / loaded;
+    return report;
+}
+
+void addLoad(std::vector<double>& load, const FatTree& tree, int from, int to,
+             double rate) {
+    const int link = tree.findLink(from, to);
+    expects(link >= 0, "loadbalance: missing link");
+    load[static_cast<std::size_t>(link)] += rate;
+}
+
+} // namespace
+
+LoadReport simulateEcmp(const FatTree& tree, const std::vector<Flow>& flows) {
+    std::vector<double> load(tree.links().size(), 0.0);
+    for (const Flow& f : flows) {
+        const Route route = upDownRoute(tree, f.srcHost, f.dstHost);
+        for (const int link : route.linkIds)
+            load[static_cast<std::size_t>(link)] += f.rateGbps;
+    }
+    return summarize(tree, load);
+}
+
+LoadReport simulateSpraying(const FatTree& tree, const std::vector<Flow>& flows) {
+    std::vector<double> load(tree.links().size(), 0.0);
+    const double half = tree.k() / 2.0;
+
+    const auto upNeighbors = [&tree](int node) {
+        std::vector<int> ups;
+        for (const int l : tree.outLinks(node))
+            if (tree.link(l).up) ups.push_back(tree.link(l).to);
+        return ups;
+    };
+
+    for (const Flow& f : flows) {
+        const int srcEdge = upNeighbors(f.srcHost)[0];
+        const int dstEdge = upNeighbors(f.dstHost)[0];
+        addLoad(load, tree, f.srcHost, srcEdge, f.rateGbps);
+        addLoad(load, tree, dstEdge, f.dstHost, f.rateGbps);
+        if (srcEdge == dstEdge) continue;
+
+        if (tree.node(srcEdge).pod == tree.node(dstEdge).pod) {
+            // Spread over every aggregation switch in the pod.
+            for (const int agg : upNeighbors(srcEdge)) {
+                addLoad(load, tree, srcEdge, agg, f.rateGbps / half);
+                addLoad(load, tree, agg, dstEdge, f.rateGbps / half);
+            }
+            continue;
+        }
+        // Cross-pod: spread over every (srcAgg, core) pair; each core has
+        // exactly one aggregation switch in the destination pod.
+        for (const int srcAgg : upNeighbors(srcEdge)) {
+            addLoad(load, tree, srcEdge, srcAgg, f.rateGbps / half);
+            for (const int core : upNeighbors(srcAgg)) {
+                const double perCore = f.rateGbps / (half * half);
+                addLoad(load, tree, srcAgg, core, perCore);
+                int dstAgg = -1;
+                for (const int l : tree.outLinks(core)) {
+                    const int agg = tree.link(l).to;
+                    if (tree.node(agg).pod == tree.node(dstEdge).pod) {
+                        dstAgg = agg;
+                        break;
+                    }
+                }
+                expects(dstAgg >= 0, "spraying: no agg under core in dst pod");
+                addLoad(load, tree, core, dstAgg, perCore);
+                addLoad(load, tree, dstAgg, dstEdge, perCore);
+            }
+        }
+    }
+    return summarize(tree, load);
+}
+
+} // namespace lar::topo

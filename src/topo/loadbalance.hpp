@@ -1,0 +1,48 @@
+// Flow-level load-balancing simulation on the fat-tree.
+//
+// Substantiates the §2.3 rule of thumb "ECMP load balancing can lead to
+// load imbalance … consider using packet spraying instead": place a traffic
+// matrix on the fabric under hash-based ECMP (each flow pinned to one path)
+// vs packet spraying (each flow split evenly over all shortest paths), and
+// compare the peak link utilization. The asymmetry under ECMP comes from
+// hash collisions of heavy flows — the effect the partial-order edge
+// "PacketSpray > ECMP (short_flows)" encodes shallowly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/routing.hpp"
+
+namespace lar::topo {
+
+/// One flow of the traffic matrix.
+struct Flow {
+    int srcHost = 0;
+    int dstHost = 0;
+    double rateGbps = 1.0;
+};
+
+/// A random permutation-style traffic matrix with heavy-tailed flow sizes.
+[[nodiscard]] std::vector<Flow> randomTrafficMatrix(const FatTree& tree,
+                                                    int flows, util::Rng& rng);
+
+struct LoadReport {
+    double maxLinkLoadGbps = 0.0;
+    double meanLinkLoadGbps = 0.0; ///< over links that carry any traffic
+    /// Imbalance factor: max / mean. 1.0 = perfectly balanced.
+    [[nodiscard]] double imbalance() const {
+        return meanLinkLoadGbps == 0 ? 0 : maxLinkLoadGbps / meanLinkLoadGbps;
+    }
+};
+
+/// ECMP: each flow follows its single hash-chosen up-down path.
+[[nodiscard]] LoadReport simulateEcmp(const FatTree& tree,
+                                      const std::vector<Flow>& flows);
+
+/// Packet spraying: each flow's rate is split evenly across all of its
+/// shortest up-down paths (all choices of upward hops).
+[[nodiscard]] LoadReport simulateSpraying(const FatTree& tree,
+                                          const std::vector<Flow>& flows);
+
+} // namespace lar::topo

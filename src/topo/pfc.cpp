@@ -1,0 +1,84 @@
+#include "topo/pfc.hpp"
+
+#include <functional>
+
+namespace lar::topo {
+
+BufferDependencyGraph::BufferDependencyGraph(const FatTree& tree,
+                                             const std::vector<Turn>& turns)
+    : adj_(tree.links().size()) {
+    for (const Turn& t : turns) {
+        adj_[static_cast<std::size_t>(t.inLink)].push_back(t.outLink);
+        ++edges_;
+    }
+}
+
+std::optional<std::vector<int>> BufferDependencyGraph::findCycle() const {
+    // Iterative DFS with colors; reconstruct the cycle from the stack.
+    enum : char { White, Gray, Black };
+    std::vector<char> color(adj_.size(), White);
+    std::vector<int> stack;
+
+    const std::function<std::optional<std::vector<int>>(int)> dfs =
+        [&](int u) -> std::optional<std::vector<int>> {
+        color[static_cast<std::size_t>(u)] = Gray;
+        stack.push_back(u);
+        for (const int v : adj_[static_cast<std::size_t>(u)]) {
+            if (color[static_cast<std::size_t>(v)] == Gray) {
+                std::vector<int> cycle;
+                auto it = std::find(stack.begin(), stack.end(), v);
+                cycle.assign(it, stack.end());
+                return cycle;
+            }
+            if (color[static_cast<std::size_t>(v)] == White) {
+                if (auto found = dfs(v)) return found;
+            }
+        }
+        stack.pop_back();
+        color[static_cast<std::size_t>(u)] = Black;
+        return std::nullopt;
+    };
+
+    for (std::size_t u = 0; u < adj_.size(); ++u)
+        if (color[u] == White)
+            if (auto found = dfs(static_cast<int>(u))) return found;
+    return std::nullopt;
+}
+
+std::string BufferDependencyGraph::describeCycle(
+    const FatTree& tree, const std::vector<int>& cycle) const {
+    std::string out;
+    for (const int linkId : cycle) {
+        const Link& l = tree.link(linkId);
+        if (!out.empty()) out += " -> ";
+        out += tree.node(l.from).name + ">" + tree.node(l.to).name;
+    }
+    return out;
+}
+
+bool pfcExpertRuleUnsafe(bool pfcEnabled, bool floodingEnabled) {
+    return pfcEnabled && floodingEnabled;
+}
+
+PfcAnalysis analyzePfcDeadlock(int k, int routePairs, bool floodingEnabled,
+                               std::uint64_t seed) {
+    const FatTree tree(k);
+    util::Rng rng(seed);
+    const std::vector<Route> routes = sampleUpDownRoutes(tree, routePairs, rng);
+    std::vector<Turn> turns = routeTurns(tree, routes);
+    if (floodingEnabled) {
+        const std::vector<Turn> flood = floodingTurns(tree);
+        turns.insert(turns.end(), flood.begin(), flood.end());
+    }
+    const BufferDependencyGraph graph(tree, turns);
+    PfcAnalysis analysis;
+    analysis.buffers = graph.bufferCount();
+    analysis.dependencies = graph.dependencyCount();
+    if (const auto cycle = graph.findCycle()) {
+        analysis.deadlockPossible = true;
+        analysis.cycle = *cycle;
+    }
+    return analysis;
+}
+
+} // namespace lar::topo

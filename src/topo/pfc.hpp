@@ -1,0 +1,58 @@
+// PFC buffer-dependency analysis.
+//
+// With Priority Flow Control, a paused downstream buffer back-pressures the
+// upstream buffer feeding it; a cycle in that dependency relation can
+// deadlock the fabric. The dependency graph has one vertex per directed
+// link (the buffer at its receiving end) and one edge per traffic turn.
+// Up-down routing provably yields an acyclic graph; adding Ethernet
+// flooding recreates the Microsoft RDMA deadlock (§2.2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/routing.hpp"
+
+namespace lar::topo {
+
+class BufferDependencyGraph {
+public:
+    BufferDependencyGraph(const FatTree& tree, const std::vector<Turn>& turns);
+
+    /// Number of buffers (= directed links) in the fabric.
+    [[nodiscard]] std::size_t bufferCount() const { return adj_.size(); }
+    /// Number of dependency edges.
+    [[nodiscard]] std::size_t dependencyCount() const { return edges_; }
+
+    /// A cycle of link ids when the dependency graph is cyclic (deadlock
+    /// possible), nullopt when acyclic (deadlock-free).
+    [[nodiscard]] std::optional<std::vector<int>> findCycle() const;
+
+    /// Human-readable rendering of a cycle for reports.
+    [[nodiscard]] std::string describeCycle(const FatTree& tree,
+                                            const std::vector<int>& cycle) const;
+
+private:
+    std::vector<std::vector<int>> adj_; ///< linkId → dependent linkIds
+    std::size_t edges_ = 0;
+};
+
+/// The paper's §3.4 expert shortcut: "PFC cannot be used with any flooding
+/// algorithm". True when the (pfcEnabled, floodingEnabled) combination is
+/// unsafe per the rule — no topology analysis involved.
+[[nodiscard]] bool pfcExpertRuleUnsafe(bool pfcEnabled, bool floodingEnabled);
+
+/// Full analysis: builds routes (+ flooding turns when enabled) on a k-ary
+/// fat-tree and reports whether a deadlock cycle exists.
+struct PfcAnalysis {
+    bool deadlockPossible = false;
+    std::size_t buffers = 0;
+    std::size_t dependencies = 0;
+    std::vector<int> cycle; ///< empty when deadlock-free
+};
+[[nodiscard]] PfcAnalysis analyzePfcDeadlock(int k, int routePairs,
+                                             bool floodingEnabled,
+                                             std::uint64_t seed);
+
+} // namespace lar::topo

@@ -1,0 +1,129 @@
+#include "topo/routing.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace lar::topo {
+
+namespace {
+
+/// Deterministic pick from a vector based on a pair hash (ECMP-style).
+int pick(const std::vector<int>& options, unsigned hash) {
+    expects(!options.empty(), "routing: no path option");
+    return options[hash % options.size()];
+}
+
+/// The switch one level above `node` chosen deterministically for the pair.
+int upNeighbor(const FatTree& tree, int node, unsigned hash) {
+    std::vector<int> ups;
+    for (const int l : tree.outLinks(node))
+        if (tree.link(l).up) ups.push_back(tree.link(l).to);
+    return pick(ups, hash);
+}
+
+} // namespace
+
+Route upDownRoute(const FatTree& tree, int srcHost, int dstHost) {
+    expects(tree.node(srcHost).kind == NodeKind::Host &&
+                tree.node(dstHost).kind == NodeKind::Host,
+            "upDownRoute: endpoints must be hosts");
+    expects(srcHost != dstHost, "upDownRoute: distinct hosts required");
+    const unsigned hash =
+        static_cast<unsigned>(srcHost * 2654435761u + dstHost * 40503u);
+
+    Route route;
+    route.srcHost = srcHost;
+    route.dstHost = dstHost;
+
+    // Climb from both ends until the up-paths can meet, then stitch.
+    const int srcEdge = upNeighbor(tree, srcHost, hash);
+    const int dstEdge = upNeighbor(tree, dstHost, hash);
+
+    std::vector<int> upPath{srcHost, srcEdge};
+    std::vector<int> downPath{dstHost, dstEdge}; // reversed later
+
+    if (srcEdge != dstEdge) {
+        const int srcAgg = upNeighbor(tree, srcEdge, hash);
+        if (tree.node(srcEdge).pod == tree.node(dstEdge).pod) {
+            // Same pod: meet at an aggregation switch (full edge↔agg mesh).
+            upPath.push_back(srcAgg);
+            downPath.push_back(srcAgg);
+        } else {
+            // Different pods: climb to a core switch above srcAgg, then the
+            // unique agg in the destination pod attached to that core.
+            const int core = upNeighbor(tree, srcAgg, hash);
+            upPath.push_back(srcAgg);
+            upPath.push_back(core);
+            int dstAgg = -1;
+            for (const int l : tree.outLinks(core)) {
+                const int agg = tree.link(l).to;
+                if (tree.node(agg).pod == tree.node(dstEdge).pod) {
+                    dstAgg = agg;
+                    break;
+                }
+            }
+            expects(dstAgg >= 0, "upDownRoute: no agg under core in dst pod");
+            downPath.push_back(dstAgg);
+            downPath.push_back(core);
+        }
+    }
+
+    // Stitch: upPath ends where reversed downPath begins.
+    std::vector<int> nodes = upPath;
+    for (auto it = downPath.rbegin(); it != downPath.rend(); ++it) {
+        if (*it == nodes.back()) continue; // meeting node
+        nodes.push_back(*it);
+    }
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+        const int l = tree.findLink(nodes[i], nodes[i + 1]);
+        expects(l >= 0, "upDownRoute: missing link on stitched path");
+        route.linkIds.push_back(l);
+    }
+    return route;
+}
+
+std::vector<Route> sampleUpDownRoutes(const FatTree& tree, int pairs,
+                                      util::Rng& rng) {
+    const std::vector<int>& hosts = tree.hosts();
+    expects(hosts.size() >= 2, "sampleUpDownRoutes: need at least two hosts");
+    std::vector<Route> routes;
+    routes.reserve(static_cast<std::size_t>(pairs));
+    for (int i = 0; i < pairs; ++i) {
+        const int a = hosts[rng.below(hosts.size())];
+        int b = a;
+        while (b == a) b = hosts[rng.below(hosts.size())];
+        routes.push_back(upDownRoute(tree, a, b));
+    }
+    return routes;
+}
+
+std::vector<Turn> routeTurns(const FatTree& tree,
+                             const std::vector<Route>& routes) {
+    (void)tree;
+    std::set<std::pair<int, int>> seen;
+    std::vector<Turn> turns;
+    for (const Route& route : routes) {
+        for (std::size_t i = 0; i + 1 < route.linkIds.size(); ++i) {
+            const auto key = std::make_pair(route.linkIds[i], route.linkIds[i + 1]);
+            if (seen.insert(key).second) turns.push_back({key.first, key.second});
+        }
+    }
+    return turns;
+}
+
+std::vector<Turn> floodingTurns(const FatTree& tree) {
+    std::vector<Turn> turns;
+    for (const int sw : tree.switches()) {
+        for (const int inLink : tree.inLinks(sw)) {
+            for (const int outLink : tree.outLinks(sw)) {
+                // Forward on every port except back where it came from.
+                if (tree.link(outLink).to == tree.link(inLink).from) continue;
+                turns.push_back({inLink, outLink});
+            }
+        }
+    }
+    return turns;
+}
+
+} // namespace lar::topo

@@ -1,0 +1,47 @@
+// Routing models over the fat-tree: up-down (valley-free) unicast routes
+// and the turn set induced by Ethernet flooding.
+#pragma once
+
+#include <vector>
+
+#include "topo/clos.hpp"
+#include "util/rng.hpp"
+
+namespace lar::topo {
+
+/// A unicast route: the sequence of link ids from source host to
+/// destination host.
+struct Route {
+    int srcHost = 0;
+    int dstHost = 0;
+    std::vector<int> linkIds;
+};
+
+/// A turn: a packet occupying the buffer at the receiving end of `inLink`
+/// waits for space on `outLink` — the unit of PFC buffer dependency.
+struct Turn {
+    int inLink = 0;
+    int outLink = 0;
+    bool operator==(const Turn&) const = default;
+};
+
+/// Computes an up-down route between two hosts: climb to the lowest common
+/// level (edge / agg / core, chosen deterministically by `rng`-free hashing
+/// of the pair), then descend. Never makes a down→up turn.
+[[nodiscard]] Route upDownRoute(const FatTree& tree, int srcHost, int dstHost);
+
+/// Up-down routes for `pairs` random host pairs (seeded; distinct hosts).
+[[nodiscard]] std::vector<Route> sampleUpDownRoutes(const FatTree& tree,
+                                                    int pairs,
+                                                    util::Rng& rng);
+
+/// Turns traversed by a set of routes.
+[[nodiscard]] std::vector<Turn> routeTurns(const FatTree& tree,
+                                           const std::vector<Route>& routes);
+
+/// Turns induced by Ethernet flooding (e.g. ARP broadcast): every switch
+/// forwards a flooded frame out of every port except the one it arrived on,
+/// including down→up turns that up-down routing forbids (§2.2).
+[[nodiscard]] std::vector<Turn> floodingTurns(const FatTree& tree);
+
+} // namespace lar::topo

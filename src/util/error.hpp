@@ -1,0 +1,49 @@
+// Error types and precondition helpers shared across the library.
+//
+// The library reports recoverable failures (bad input files, malformed
+// encodings, infeasible API usage) with exceptions derived from lar::Error,
+// per the project convention of RAII + exceptions for error handling.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace lar {
+
+/// Base class of all exceptions thrown by this library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// Thrown when an input document / JSON / DIMACS file cannot be parsed.
+class ParseError : public Error {
+public:
+    explicit ParseError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Thrown when a knowledge-base encoding is internally inconsistent
+/// (dangling references, contradictory unconditional orderings, ...).
+class EncodingError : public Error {
+public:
+    explicit EncodingError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Thrown when an API precondition is violated by the caller.
+class LogicError : public Error {
+public:
+    explicit LogicError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Precondition check: throws LogicError when `cond` is false.
+inline void expects(bool cond, std::string_view msg) {
+    if (!cond) throw LogicError(std::string(msg));
+}
+
+/// Postcondition / invariant check: throws LogicError when `cond` is false.
+inline void ensures(bool cond, std::string_view msg) {
+    if (!cond) throw LogicError(std::string(msg));
+}
+
+} // namespace lar

@@ -1,0 +1,26 @@
+#include "util/file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lar::util {
+
+std::string readFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("cannot open file for reading: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) throw Error("read failed: " + path);
+    return buffer.str();
+}
+
+void writeFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot open file for writing: " + path);
+    out << content;
+    if (!out) throw Error("write failed: " + path);
+}
+
+} // namespace lar::util

@@ -1,0 +1,14 @@
+// Whole-file read/write helpers.
+#pragma once
+
+#include <string>
+
+namespace lar::util {
+
+/// Reads an entire file; throws lar::Error when it cannot be opened.
+[[nodiscard]] std::string readFile(const std::string& path);
+
+/// Writes `content` to `path` (truncating); throws lar::Error on failure.
+void writeFile(const std::string& path, const std::string& content);
+
+} // namespace lar::util

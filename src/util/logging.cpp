@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace lar::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* levelName(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+} // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void logLine(LogLevel level, const std::string& message) {
+    if (level < logLevel()) return;
+    std::fprintf(stderr, "[lar:%s] %s\n", levelName(level), message.c_str());
+}
+
+} // namespace lar::util

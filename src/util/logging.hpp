@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// The reasoning engine logs compilation and search statistics at Debug level;
+// benches raise the level to Warn to keep tables clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lar::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+[[nodiscard]] LogLevel logLevel();
+
+/// Emits one formatted line to stderr when `level` passes the threshold.
+void logLine(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& value, const Rest&... rest) {
+    os << value;
+    append(os, rest...);
+}
+} // namespace detail
+
+/// Variadic convenience: logAt(LogLevel::Info, "solved in ", ms, " ms").
+template <typename... Args>
+void logAt(LogLevel level, const Args&... args) {
+    if (level < logLevel()) return;
+    std::ostringstream os;
+    detail::append(os, args...);
+    logLine(level, os.str());
+}
+
+} // namespace lar::util

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (workload generators, the
+// simulated-LLM noise model, random test instances) draw from this seeded
+// generator so every experiment is reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace lar::util {
+
+/// splitmix64 — used to expand a single seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** — small, fast, high-quality PRNG with explicit seeding.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64(sm);
+    }
+
+    /// Uniform 64-bit value.
+    std::uint64_t next() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). `bound` must be positive.
+    std::uint64_t below(std::uint64_t bound) {
+        expects(bound > 0, "Rng::below: bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (true) {
+            const std::uint64_t r = next();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        expects(lo <= hi, "Rng::range: lo must not exceed hi");
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    bool chance(double p) { return uniform() < p; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+} // namespace lar::util

@@ -1,0 +1,28 @@
+// Monotonic wall-clock stopwatch for reporting solve times in benches.
+#pragma once
+
+#include <chrono>
+
+namespace lar::util {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /// Restarts the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction or last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Elapsed milliseconds since construction or last reset().
+    [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace lar::util

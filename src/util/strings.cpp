@@ -1,0 +1,121 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace lar::util {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string> splitWhitespace(std::string_view s) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+        std::size_t j = i;
+        while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+        if (j > i) out.emplace_back(s.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+std::string toLower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool containsIgnoreCase(std::string_view haystack, std::string_view needle) {
+    if (needle.empty()) return true;
+    if (needle.size() > haystack.size()) return false;
+    const std::string h = toLower(haystack);
+    const std::string n = toLower(needle);
+    return h.find(n) != std::string::npos;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string replaceAll(std::string_view s, std::string_view from, std::string_view to) {
+    if (from.empty()) return std::string(s);
+    std::string out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(from, start);
+        if (pos == std::string_view::npos) {
+            out += s.substr(start);
+            return out;
+        }
+        out += s.substr(start, pos - start);
+        out += to;
+        start = pos + from.size();
+    }
+}
+
+bool parseFirstInt(std::string_view s, long long& out) {
+    std::size_t i = 0;
+    while (i < s.size() && !std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i == s.size()) return false;
+    long long v = 0;
+    bool any = false;
+    while (i < s.size()) {
+        const char c = s[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            v = v * 10 + (c - '0');
+            any = true;
+        } else if (c == ',') {
+            // thousands separator inside a number ("64,000"): skip only when
+            // followed by a digit, otherwise the number has ended.
+            if (i + 1 >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i + 1]))) break;
+        } else {
+            break;
+        }
+        ++i;
+    }
+    if (!any) return false;
+    out = v;
+    return true;
+}
+
+std::string formatDouble(double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+    return std::string(buf);
+}
+
+} // namespace lar::util

@@ -1,0 +1,45 @@
+// Small string utilities used across parsing and report generation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lar::util {
+
+/// Splits `s` on every occurrence of `sep`; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits `s` on runs of whitespace; drops empty fields.
+[[nodiscard]] std::vector<std::string> splitWhitespace(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// ASCII lower-casing.
+[[nodiscard]] std::string toLower(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
+
+/// True when `s` ends with `suffix`.
+[[nodiscard]] bool endsWith(std::string_view s, std::string_view suffix);
+
+/// True when `needle` occurs in `haystack`, ignoring ASCII case.
+[[nodiscard]] bool containsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) in `s` with `to`.
+[[nodiscard]] std::string replaceAll(std::string_view s, std::string_view from,
+                                     std::string_view to);
+
+/// Parses a non-negative decimal integer embedded in `s` (first digit run),
+/// ignoring thousands separators (','). Returns false when no digits exist.
+[[nodiscard]] bool parseFirstInt(std::string_view s, long long& out);
+
+/// Formats `v` with `digits` digits after the decimal point.
+[[nodiscard]] std::string formatDouble(double v, int digits);
+
+} // namespace lar::util

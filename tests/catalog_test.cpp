@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "kb/serialize.hpp"
+
+namespace lar::catalog {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() { kb_ = new kb::KnowledgeBase(buildKnowledgeBase()); }
+    static void TearDownTestSuite() {
+        delete kb_;
+        kb_ = nullptr;
+    }
+    static kb::KnowledgeBase* kb_;
+};
+
+kb::KnowledgeBase* CatalogTest::kb_ = nullptr;
+
+TEST_F(CatalogTest, PaperScaleCounts) {
+    // §5.1: "over fifty systems" across seven categories, "about 200
+    // hardware specs".
+    EXPECT_GE(kb_->systems().size(), 50u);
+    EXPECT_EQ(kb_->systems().size(), 56u);
+    EXPECT_EQ(kb_->hardwareSpecs().size(), 208u);
+    EXPECT_GE(kb_->orderings().size(), 50u);
+}
+
+TEST_F(CatalogTest, AllSevenCategoriesPopulated) {
+    for (const kb::Category c : kb::kAllCategories)
+        EXPECT_GE(kb_->byCategory(c).size(), 6u) << toString(c);
+}
+
+TEST_F(CatalogTest, AllThreeHardwareClassesPopulated) {
+    EXPECT_GE(kb_->byClass(kb::HardwareClass::Switch).size(), 70u);
+    EXPECT_GE(kb_->byClass(kb::HardwareClass::Nic).size(), 70u);
+    EXPECT_GE(kb_->byClass(kb::HardwareClass::Server).size(), 40u);
+}
+
+TEST_F(CatalogTest, ValidatesWithoutErrors) {
+    const auto issues = kb_->validate();
+    for (const auto& issue : issues) {
+        EXPECT_NE(issue.severity, kb::ValidationIssue::Severity::Error)
+            << issue.message;
+    }
+}
+
+TEST_F(CatalogTest, Listing1CiscoCatalystIsExact) {
+    const kb::HardwareSpec& spec = kb_->hardware("Cisco Catalyst 9500-40X");
+    EXPECT_EQ(spec.cls, kb::HardwareClass::Switch);
+    EXPECT_EQ(spec.numAttr(kb::kAttrPortBandwidthGbps), 10.0); // "10 Gbps"
+    EXPECT_DOUBLE_EQ(spec.maxPowerW, 950.0);                   // "950W"
+    EXPECT_EQ(spec.numAttr(kb::kAttrNumPorts), 40.0);          // "40x 10GE"
+    EXPECT_EQ(spec.numAttr(kb::kAttrMemoryGb), 16.0);          // "16 GB"
+    EXPECT_EQ(spec.boolAttr(kb::kAttrP4Supported), false);     // "No" / "N/A"
+    EXPECT_EQ(spec.boolAttr(kb::kAttrEcnSupported), true);     // "Yes"
+    EXPECT_EQ(spec.numAttr(kb::kAttrMacTableSize), 64000.0);   // "64,000"
+}
+
+TEST_F(CatalogTest, Listing2SimonEncoding) {
+    const kb::System& simon = kb_->system("SIMON");
+    EXPECT_EQ(simon.category, kb::Category::Monitoring);
+    // solves = [capture_delays, detect_queue_length]
+    EXPECT_TRUE(simon.solvesCapability(kCapCaptureDelays));
+    EXPECT_TRUE(simon.solvesCapability(kCapDetectQueueLength));
+    // constraints include NICs.have("NIC_TIMESTAMPS")
+    EXPECT_NE(simon.constraints.toString().find("nic_timestamps"),
+              std::string::npos);
+    // cores_needed(CPU_FACTOR * num_flows): per-kiloflow scaling present.
+    const bool hasScaledCores = std::any_of(
+        simon.demands.begin(), simon.demands.end(),
+        [](const kb::ResourceDemand& d) {
+            return d.resource == kb::kResCores && d.perKiloFlows > 0;
+        });
+    EXPECT_TRUE(hasScaledCores);
+}
+
+TEST_F(CatalogTest, PaperRulesOfThumbEncoded) {
+    // §3.1: HPCC needs INT-enabled switches.
+    EXPECT_NE(kb_->system("HPCC").constraints.toString().find("int_supported"),
+              std::string::npos);
+    // §3.1: Timely/Swift depend on NIC timestamps.
+    EXPECT_NE(kb_->system("Timely").constraints.toString().find("nic_timestamps"),
+              std::string::npos);
+    EXPECT_NE(kb_->system("Swift").constraints.toString().find("nic_timestamps"),
+              std::string::npos);
+    // §4.1: Annulus required only when WAN and DC traffic compete.
+    EXPECT_NE(kb_->system("Annulus").constraints.toString().find(
+                  "wan_dc_traffic_compete"),
+              std::string::npos);
+    // §2.3: packet spraying needs larger NIC reorder buffers.
+    EXPECT_NE(
+        kb_->system("PacketSpray").constraints.toString().find("reorder_buffer"),
+        std::string::npos);
+    // §3.4: PFC (RoCEv2) cannot be used with flooding.
+    EXPECT_NE(kb_->system("RoCEv2").constraints.toString().find("!fact(flooding)"),
+              std::string::npos);
+    // §4.2: Shenango requires NICs that support interrupt polling.
+    EXPECT_NE(
+        kb_->system("Shenango").constraints.toString().find("interrupt_polling"),
+        std::string::npos);
+}
+
+TEST_F(CatalogTest, FloodingProvidedByLearningBridge) {
+    EXPECT_TRUE(kb_->system("Linux-Bridge").providesFact(kFactFlooding));
+}
+
+TEST_F(CatalogTest, ResearchGradeFlags) {
+    EXPECT_TRUE(kb_->system("Shenango").researchGrade);
+    EXPECT_TRUE(kb_->system("Fastpass").researchGrade);
+    EXPECT_FALSE(kb_->system("Linux").researchGrade);
+    EXPECT_FALSE(kb_->system("Cubic").researchGrade);
+}
+
+TEST_F(CatalogTest, EverySystemCitesASource) {
+    for (const kb::System& s : kb_->systems())
+        EXPECT_FALSE(s.source.empty()) << s.name;
+}
+
+TEST_F(CatalogTest, EveryOrderingCitesASource) {
+    for (const kb::Ordering& o : kb_->orderings())
+        EXPECT_FALSE(o.source.empty()) << o.better << ">" << o.worse;
+}
+
+TEST_F(CatalogTest, HardwareAttrsArePlausible) {
+    for (const kb::HardwareSpec& h : kb_->hardwareSpecs()) {
+        EXPECT_GT(h.unitCostUsd, 0) << h.model;
+        EXPECT_GT(h.maxPowerW, 0) << h.model;
+        switch (h.cls) {
+            case kb::HardwareClass::Switch:
+                EXPECT_TRUE(h.numAttr(kb::kAttrPortBandwidthGbps).has_value());
+                EXPECT_TRUE(h.boolAttr(kb::kAttrP4Supported).has_value());
+                break;
+            case kb::HardwareClass::Nic:
+                EXPECT_TRUE(h.numAttr(kb::kAttrPortBandwidthGbps).has_value());
+                EXPECT_TRUE(h.boolAttr(kb::kAttrSmartNic).has_value());
+                break;
+            case kb::HardwareClass::Server:
+                EXPECT_TRUE(h.numAttr(kb::kAttrCores).has_value());
+                EXPECT_TRUE(h.boolAttr(kb::kAttrCxlSupported).has_value());
+                break;
+        }
+    }
+}
+
+TEST_F(CatalogTest, P4StagesOnlyOnP4Switches) {
+    for (const kb::HardwareSpec* h : kb_->byClass(kb::HardwareClass::Switch)) {
+        const bool p4 = h->boolAttr(kb::kAttrP4Supported).value_or(false);
+        const bool hasStages = h->numAttr(kb::kAttrP4Stages).has_value();
+        EXPECT_EQ(p4, hasStages) << h->model;
+        if (p4) EXPECT_GE(*h->numAttr(kb::kAttrP4Stages), 10.0) << h->model;
+    }
+}
+
+TEST_F(CatalogTest, CxlServersExist) {
+    int cxl = 0;
+    for (const kb::HardwareSpec* h : kb_->byClass(kb::HardwareClass::Server))
+        if (h->boolAttr(kb::kAttrCxlSupported).value_or(false)) ++cxl;
+    EXPECT_GE(cxl, 8);
+}
+
+TEST_F(CatalogTest, SmartNicKindsCoverFpgaAndCpu) {
+    std::set<std::string> kinds;
+    for (const kb::HardwareSpec* h : kb_->byClass(kb::HardwareClass::Nic))
+        if (const auto kind = h->strAttr(kb::kAttrSmartNicKind)) kinds.insert(*kind);
+    EXPECT_TRUE(kinds.count("fpga"));
+    EXPECT_TRUE(kinds.count("cpu"));
+    EXPECT_TRUE(kinds.count("none"));
+}
+
+TEST_F(CatalogTest, SerializationRoundTripsWholeCatalog) {
+    const kb::KnowledgeBase restored = kb::kbFromText(kb::kbToText(*kb_));
+    EXPECT_EQ(restored.systems().size(), kb_->systems().size());
+    EXPECT_EQ(restored.hardwareSpecs().size(), kb_->hardwareSpecs().size());
+    EXPECT_EQ(restored.orderings().size(), kb_->orderings().size());
+    // Spot-check deep equality through re-rendering.
+    EXPECT_EQ(kb::kbToText(restored), kb::kbToText(*kb_));
+}
+
+TEST_F(CatalogTest, EncodingLengthLinearInSystems) {
+    // §3.1 success measure: KB length grows roughly linearly as systems are
+    // added (no quadratic cross-products in the encoding).
+    kb::KnowledgeBase incremental;
+    std::vector<std::size_t> lengths;
+    for (const kb::System& s : kb_->systems()) {
+        incremental.addSystem(s);
+        lengths.push_back(incremental.encodingLength());
+    }
+    // Average per-system increment over the second half must not exceed
+    // twice that of the first half (linearity up to encoding-size noise).
+    const std::size_t half = lengths.size() / 2;
+    const double firstHalf = static_cast<double>(lengths[half]) / half;
+    const double secondHalf =
+        static_cast<double>(lengths.back() - lengths[half]) /
+        static_cast<double>(lengths.size() - half);
+    EXPECT_LT(secondHalf, 2.0 * firstHalf);
+}
+
+TEST_F(CatalogTest, WorkloadsMatchListing3) {
+    const kb::Workload inference = makeInferenceWorkload();
+    EXPECT_EQ(inference.name, "inference_app");
+    EXPECT_EQ(inference.peakCores, 2800);
+    EXPECT_DOUBLE_EQ(inference.peakBandwidthGbps, 30.0);
+    EXPECT_TRUE(inference.hasProperty(kb::kPropDcFlows));
+    EXPECT_TRUE(inference.hasProperty(kb::kPropShortFlows));
+    EXPECT_TRUE(inference.hasProperty(kb::kPropHighPriority));
+    ASSERT_EQ(inference.bounds.size(), 1u);
+    EXPECT_EQ(inference.bounds[0].objective, kb::kObjLoadBalancing);
+    EXPECT_EQ(inference.bounds[0].betterThanSystem, "PacketSpray");
+
+    EXPECT_TRUE(makeVideoWorkload().hasProperty(kb::kPropWanDcCompete));
+    EXPECT_TRUE(makeStorageWorkload().hasProperty(kb::kPropMemoryIntensive));
+    EXPECT_TRUE(makeBatchWorkload().hasProperty(kb::kPropUnmodifiableApp));
+}
+
+} // namespace
+} // namespace lar::catalog

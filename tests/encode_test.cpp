@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "encode/cardinality.hpp"
+#include "encode/cnf_builder.hpp"
+#include "encode/intvar.hpp"
+#include "encode/pb.hpp"
+#include "util/rng.hpp"
+
+namespace lar::encode {
+namespace {
+
+using sat::Lit;
+using sat::mkLit;
+using sat::SolveResult;
+using sat::Solver;
+
+// Enumerates all models of `solver` projected onto `lits` by blocking; the
+// count is compared against an expected predicate evaluated on all 2^n
+// assignments. Assumes the solver contains no variables beyond `lits` that
+// constrain the projection count (auxiliary encoding vars are fine — each
+// projected assignment is counted once).
+template <typename Predicate>
+void expectModelCount(Solver& solver, const std::vector<Lit>& lits,
+                      Predicate predicate) {
+    // Expected count by brute force.
+    const std::size_t n = lits.size();
+    ASSERT_LE(n, 16u);
+    std::size_t expected = 0;
+    for (std::uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+        std::vector<bool> assignment(n);
+        for (std::size_t i = 0; i < n; ++i) assignment[i] = ((bits >> i) & 1) != 0;
+        if (predicate(assignment)) ++expected;
+    }
+    // Count projected models with blocking clauses.
+    std::size_t found = 0;
+    while (solver.solve() == SolveResult::Sat) {
+        ++found;
+        ASSERT_LE(found, expected) << "more projected models than expected";
+        std::vector<bool> assignment(n);
+        std::vector<Lit> block;
+        for (std::size_t i = 0; i < n; ++i) {
+            assignment[i] = solver.modelValue(lits[i]);
+            block.push_back(assignment[i] ? ~lits[i] : lits[i]);
+        }
+        EXPECT_TRUE(predicate(assignment));
+        solver.addClause(std::move(block));
+    }
+    EXPECT_EQ(found, expected);
+}
+
+std::vector<Lit> freshLits(CnfBuilder& b, int n) {
+    std::vector<Lit> lits;
+    for (int i = 0; i < n; ++i) lits.push_back(b.newLit());
+    return lits;
+}
+
+TEST(CnfBuilder, TrueLitIsTrue) {
+    Solver s;
+    CnfBuilder b(s);
+    const Lit t = b.trueLit();
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(t));
+    EXPECT_FALSE(s.modelValue(b.falseLit()));
+}
+
+TEST(CnfBuilder, AndGateBothPolarities) {
+    Solver s;
+    CnfBuilder b(s);
+    const Lit x = b.newLit();
+    const Lit y = b.newLit();
+    const Lit g = b.mkAnd(x, y);
+    // Force g true: both inputs must hold.
+    b.assertLit(g);
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(x));
+    EXPECT_TRUE(s.modelValue(y));
+    // Force g false while x,y true: UNSAT.
+    Solver s2;
+    CnfBuilder b2(s2);
+    const Lit x2 = b2.newLit();
+    const Lit y2 = b2.newLit();
+    const Lit g2 = b2.mkAnd(x2, y2);
+    b2.assertLit(~g2);
+    b2.assertLit(x2);
+    b2.assertLit(y2);
+    EXPECT_EQ(s2.solve(), SolveResult::Unsat);
+}
+
+TEST(CnfBuilder, OrGateBothPolarities) {
+    Solver s;
+    CnfBuilder b(s);
+    const Lit x = b.newLit();
+    const Lit y = b.newLit();
+    const Lit g = b.mkOr(x, y);
+    b.assertLit(~g);
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(x));
+    EXPECT_FALSE(s.modelValue(y));
+}
+
+TEST(CnfBuilder, EmptyGates) {
+    Solver s;
+    CnfBuilder b(s);
+    EXPECT_EQ(b.mkAnd(std::span<const Lit>{}), b.trueLit());
+    EXPECT_EQ(b.mkOr(std::span<const Lit>{}), b.falseLit());
+}
+
+TEST(CnfBuilder, IffAndXorTruthTables) {
+    for (const bool xv : {false, true}) {
+        for (const bool yv : {false, true}) {
+            Solver s;
+            CnfBuilder b(s);
+            const Lit x = b.newLit();
+            const Lit y = b.newLit();
+            const Lit iff = b.mkIff(x, y);
+            const Lit xr = b.mkXor(x, y);
+            b.assertLit(xv ? x : ~x);
+            b.assertLit(yv ? y : ~y);
+            ASSERT_EQ(s.solve(), SolveResult::Sat);
+            EXPECT_EQ(s.modelValue(iff), xv == yv);
+            EXPECT_EQ(s.modelValue(xr), xv != yv);
+        }
+    }
+}
+
+TEST(CnfBuilder, IteTruthTable) {
+    for (const bool cv : {false, true}) {
+        for (const bool tv : {false, true}) {
+            for (const bool ev : {false, true}) {
+                Solver s;
+                CnfBuilder b(s);
+                const Lit c = b.newLit();
+                const Lit t = b.newLit();
+                const Lit e = b.newLit();
+                const Lit out = b.mkIte(c, t, e);
+                b.assertLit(cv ? c : ~c);
+                b.assertLit(tv ? t : ~t);
+                b.assertLit(ev ? e : ~e);
+                ASSERT_EQ(s.solve(), SolveResult::Sat);
+                EXPECT_EQ(s.modelValue(out), cv ? tv : ev);
+            }
+        }
+    }
+}
+
+// --- Cardinality: parameterized over encodings and (n, k) -------------------
+
+using CardParam = std::tuple<CardinalityEncoding, int, int>; // encoding, n, k
+
+class CardinalityTest : public ::testing::TestWithParam<CardParam> {};
+
+TEST_P(CardinalityTest, AtMostExactCount) {
+    const auto [enc, n, k] = GetParam();
+    Solver s;
+    CnfBuilder b(s);
+    const auto lits = freshLits(b, n);
+    addAtMost(b, lits, k, enc);
+    expectModelCount(s, lits, [k = k](const std::vector<bool>& a) {
+        return std::count(a.begin(), a.end(), true) <= k;
+    });
+}
+
+TEST_P(CardinalityTest, AtLeastExactCount) {
+    const auto [enc, n, k] = GetParam();
+    if (k > n) GTEST_SKIP();
+    Solver s;
+    CnfBuilder b(s);
+    const auto lits = freshLits(b, n);
+    addAtLeast(b, lits, k, enc);
+    expectModelCount(s, lits, [k = k](const std::vector<bool>& a) {
+        return std::count(a.begin(), a.end(), true) >= k;
+    });
+}
+
+TEST_P(CardinalityTest, ExactlyExactCount) {
+    const auto [enc, n, k] = GetParam();
+    if (k > n) GTEST_SKIP();
+    Solver s;
+    CnfBuilder b(s);
+    const auto lits = freshLits(b, n);
+    addExactly(b, lits, k, enc);
+    expectModelCount(s, lits, [k = k](const std::vector<bool>& a) {
+        return std::count(a.begin(), a.end(), true) == k;
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CardinalityTest,
+    ::testing::Combine(::testing::Values(CardinalityEncoding::SequentialCounter,
+                                         CardinalityEncoding::Totalizer),
+                       ::testing::Values(1, 2, 4, 5, 7), // n
+                       ::testing::Values(0, 1, 2, 3, 6)), // k
+    [](const ::testing::TestParamInfo<CardParam>& info) {
+        const char* name = std::get<0>(info.param) ==
+                                   CardinalityEncoding::SequentialCounter
+                               ? "seq"
+                               : "tot";
+        return std::string(name) + "_n" + std::to_string(std::get<1>(info.param)) +
+               "_k" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Cardinality, PairwiseAtMostOne) {
+    Solver s;
+    CnfBuilder b(s);
+    const auto lits = freshLits(b, 5);
+    addAtMostOnePairwise(b, lits);
+    expectModelCount(s, lits, [](const std::vector<bool>& a) {
+        return std::count(a.begin(), a.end(), true) <= 1;
+    });
+}
+
+TEST(Totalizer, OutputsReflectCount) {
+    Solver s;
+    CnfBuilder b(s);
+    const auto lits = freshLits(b, 6);
+    const Totalizer t(b, lits);
+    ASSERT_EQ(t.size(), 6u);
+    // Force exactly 3 inputs true; outputs 0..2 must be true-capable and
+    // asserting ~output(3) must stay satisfiable while ~output(2) must not.
+    for (int i = 0; i < 3; ++i) b.assertLit(lits[static_cast<std::size_t>(i)]);
+    for (int i = 3; i < 6; ++i) b.assertLit(~lits[static_cast<std::size_t>(i)]);
+    b.assertLit(~t.output(3)); // at most 3: consistent
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    b.assertLit(~t.output(2)); // at most 2: contradiction
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Totalizer, AtMostLitBeyondSizeIsTrue) {
+    Solver s;
+    CnfBuilder b(s);
+    const auto lits = freshLits(b, 3);
+    const Totalizer t(b, lits);
+    EXPECT_EQ(t.atMostLit(b, 5), b.trueLit());
+}
+
+// --- Pseudo-Boolean ---------------------------------------------------------
+
+TEST(Pb, WeightedAtMostExactCount) {
+    Solver s;
+    CnfBuilder b(s);
+    const auto lits = freshLits(b, 5);
+    const std::vector<std::int64_t> weights{3, 5, 2, 7, 1};
+    std::vector<PbTerm> terms;
+    for (std::size_t i = 0; i < lits.size(); ++i)
+        terms.push_back({weights[i], lits[i]});
+    addPbAtMost(b, terms, 9);
+    expectModelCount(s, lits, [&weights](const std::vector<bool>& a) {
+        std::int64_t sum = 0;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            if (a[i]) sum += weights[i];
+        return sum <= 9;
+    });
+}
+
+TEST(Pb, OversizedWeightForcesFalse) {
+    Solver s;
+    CnfBuilder b(s);
+    const Lit big = b.newLit();
+    const Lit small = b.newLit();
+    addPbAtMost(b, std::vector<PbTerm>{{10, big}, {2, small}}, 5);
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(big));
+}
+
+TEST(Pb, TrivialBoundAddsNothing) {
+    Solver s;
+    CnfBuilder b(s);
+    const auto lits = freshLits(b, 3);
+    std::vector<PbTerm> terms;
+    for (const Lit l : lits) terms.push_back({1, l});
+    addPbAtMost(b, terms, 3); // can never be violated
+    EXPECT_EQ(s.numClauses(), 0u);
+}
+
+TEST(Pb, RandomizedAgainstBruteForce) {
+    util::Rng rng(99);
+    for (int round = 0; round < 25; ++round) {
+        const int n = 3 + static_cast<int>(rng.below(5));
+        Solver s;
+        CnfBuilder b(s);
+        const auto lits = freshLits(b, n);
+        std::vector<PbTerm> terms;
+        std::vector<std::int64_t> weights;
+        std::int64_t total = 0;
+        for (const Lit l : lits) {
+            const std::int64_t w = 1 + static_cast<std::int64_t>(rng.below(9));
+            terms.push_back({w, l});
+            weights.push_back(w);
+            total += w;
+        }
+        const std::int64_t bound = static_cast<std::int64_t>(rng.below(
+            static_cast<std::uint64_t>(total + 1)));
+        addPbAtMost(b, terms, bound);
+        expectModelCount(s, lits, [&](const std::vector<bool>& a) {
+            std::int64_t sum = 0;
+            for (std::size_t i = 0; i < a.size(); ++i)
+                if (a[i]) sum += weights[i];
+            return sum <= bound;
+        });
+    }
+}
+
+TEST(PbSum, GeqLitDetectsThreshold) {
+    Solver s;
+    CnfBuilder b(s);
+    const auto lits = freshLits(b, 4);
+    std::vector<PbTerm> terms;
+    for (const Lit l : lits) terms.push_back({2, l});
+    const PbSum sum(b, terms);
+    EXPECT_EQ(sum.maxSum(), 8);
+    // Set three inputs true → sum = 6 → geq(6) forced true, geq(8) free.
+    b.assertLit(lits[0]);
+    b.assertLit(lits[1]);
+    b.assertLit(lits[2]);
+    b.assertLit(~lits[3]);
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(sum.geqLit(b, 6)));
+    EXPECT_TRUE(s.modelValue(sum.geqLit(b, 5))); // rounds up to sum 6
+    // Asserting ¬geq(6) now must be UNSAT.
+    b.assertLit(~sum.geqLit(b, 6));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(PbSum, EmptyTermsIsZero) {
+    Solver s;
+    CnfBuilder b(s);
+    const PbSum sum(b, std::vector<PbTerm>{});
+    EXPECT_EQ(sum.maxSum(), 0);
+    EXPECT_EQ(sum.atMostLit(b, 0), b.trueLit());
+}
+
+// --- IntVar ------------------------------------------------------------------
+
+TEST(IntVar, RangeAndComparisons) {
+    Solver s;
+    CnfBuilder b(s);
+    const IntVar x = IntVar::create(b, 2, 7);
+    b.assertLit(x.geqLit(b, 5));
+    b.assertLit(x.leqLit(b, 5));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_EQ(x.valueIn(s), 5);
+}
+
+TEST(IntVar, BoundsConstantFold) {
+    Solver s;
+    CnfBuilder b(s);
+    const IntVar x = IntVar::create(b, 0, 3);
+    EXPECT_EQ(x.leqLit(b, 3), b.trueLit());
+    EXPECT_EQ(x.leqLit(b, 10), b.trueLit());
+    EXPECT_EQ(x.leqLit(b, -1), b.falseLit());
+    EXPECT_EQ(x.eqLit(b, 9), b.falseLit());
+}
+
+TEST(IntVar, SingletonDomain) {
+    Solver s;
+    CnfBuilder b(s);
+    const IntVar x = IntVar::create(b, 4, 4);
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_EQ(x.valueIn(s), 4);
+    EXPECT_EQ(x.eqLit(b, 4), b.trueLit());
+}
+
+TEST(IntVar, EqLitEnumeratesDomain) {
+    // Each value of [1,4] should be reachable and reported consistently.
+    for (int target = 1; target <= 4; ++target) {
+        Solver s;
+        CnfBuilder b(s);
+        const IntVar x = IntVar::create(b, 1, 4);
+        b.assertLit(x.eqLit(b, target));
+        ASSERT_EQ(s.solve(), SolveResult::Sat);
+        EXPECT_EQ(x.valueIn(s), target);
+    }
+}
+
+TEST(IntVar, ScaledTermsSumMatchesValue) {
+    Solver s;
+    CnfBuilder b(s);
+    const IntVar x = IntVar::create(b, 3, 9);
+    b.assertLit(x.eqLit(b, 6));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    const auto terms = x.scaledTerms(4); // 4·(x−3) = 12
+    EXPECT_EQ(evalPb(s, terms), 12);
+}
+
+TEST(IntVar, LinearConstraintOverTwoVars) {
+    // x ∈ [0,5], y ∈ [0,5], 2x + 3y ≤ 11, maximize-ish by forcing x ≥ 4.
+    Solver s;
+    CnfBuilder b(s);
+    const IntVar x = IntVar::create(b, 0, 5);
+    const IntVar y = IntVar::create(b, 0, 5);
+    std::vector<PbTerm> terms = x.scaledTerms(2);
+    const auto yTerms = y.scaledTerms(3);
+    terms.insert(terms.end(), yTerms.begin(), yTerms.end());
+    addPbAtMost(b, terms, 11);
+    b.assertLit(x.geqLit(b, 4));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_GE(x.valueIn(s), 4);
+    EXPECT_LE(2 * x.valueIn(s) + 3 * y.valueIn(s), 11);
+    // y can be at most 1 here; force y ≥ 2 → UNSAT.
+    b.assertLit(y.geqLit(b, 2));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+} // namespace
+} // namespace lar::encode

@@ -1,0 +1,248 @@
+// Tests for the §6 "future work" features the library implements:
+// disambiguation suggestions, modular knowledge evolution, and the
+// track-subset checking that powers minimal conflict explanations.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/engine.hpp"
+#include "reason/validate.hpp"
+#include "smt/backend.hpp"
+
+namespace lar::reason {
+namespace {
+
+class EngineFeaturesTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        kb_ = new kb::KnowledgeBase(catalog::buildKnowledgeBase());
+    }
+    static void TearDownTestSuite() {
+        delete kb_;
+        kb_ = nullptr;
+    }
+
+    Problem caseStudy() const {
+        Problem p = makeDefaultProblem(*kb_);
+        p.hardware[kb::HardwareClass::Server].count = 60;
+        p.hardware[kb::HardwareClass::Switch].count = 8;
+        p.hardware[kb::HardwareClass::Nic].count = 60;
+        p.workloads = {catalog::makeInferenceWorkload()};
+        p.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost,
+                               kb::kObjMonitoring};
+        p.requiredCapabilities = {catalog::kCapDetectQueueLength};
+        return p;
+    }
+
+    static kb::KnowledgeBase* kb_;
+};
+
+kb::KnowledgeBase* EngineFeaturesTest::kb_ = nullptr;
+
+// --- disambiguation (§6: make the solution unique) ---------------------------
+
+TEST_F(EngineFeaturesTest, SuggestsDisambiguationWhenOptimumIsNotUnique) {
+    const Problem p = caseStudy();
+    const auto suggestions = suggestDisambiguation(p, /*sampleDesigns=*/6);
+    // The case study has several equally-optimal designs (seen in the
+    // ml_inference example), so at least one category needs input.
+    ASSERT_FALSE(suggestions.empty());
+    for (const auto& s : suggestions) {
+        EXPECT_GE(s.contenders.size(), 2u);
+        EXPECT_NE(s.suggestion.find(toString(s.category)), std::string::npos);
+    }
+}
+
+TEST_F(EngineFeaturesTest, PinningContendersRemovesSuggestions) {
+    Problem p = caseStudy();
+    auto suggestions = suggestDisambiguation(p, 6);
+    ASSERT_FALSE(suggestions.empty());
+    // Apply the advice: pin one contender per suggested category.
+    for (const auto& s : suggestions) {
+        for (const std::string& contender : s.contenders) {
+            if (contender != "(none)") {
+                p.pinnedSystems[contender] = true;
+                break;
+            }
+        }
+    }
+    const auto after = suggestDisambiguation(p, 6);
+    EXPECT_LT(after.size(), suggestions.size() + 1); // strictly fewer or zero
+    // The pinned problem must still be solvable.
+    EXPECT_TRUE(Engine(p).checkFeasible().feasible);
+}
+
+TEST_F(EngineFeaturesTest, UniqueOptimumYieldsNoSuggestions) {
+    Problem p = caseStudy();
+    // Over-pin everything: one system per category, one model per class.
+    Engine engine(p);
+    const auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    for (const auto& [category, name] : design->chosen)
+        p.pinnedSystems[name] = true;
+    for (const kb::Category c : kb::kAllCategories) {
+        if (design->chosen.count(c) == 0)
+            for (const kb::System* s : kb_->byCategory(c))
+                p.pinnedSystems[s->name] = false;
+    }
+    for (const auto& [cls, model] : design->hardwareModel)
+        p.hardware[cls].pinnedModel = model;
+    const auto suggestions = suggestDisambiguation(p, 6);
+    EXPECT_TRUE(suggestions.empty());
+}
+
+// --- modular knowledge evolution (§6 proof modularity) ------------------------
+
+TEST_F(EngineFeaturesTest, ReplaceSystemChangesReasoningOutcome) {
+    kb::KnowledgeBase evolved = *kb_;
+    // v2 of Sonata no longer needs a P4 switch (say it gained an eBPF
+    // backend); nothing else in the KB changes.
+    kb::System sonataV2 = evolved.system("Sonata");
+    sonataV2.constraints = kb::Requirement::alwaysTrue();
+    sonataV2.demands = {{kb::kResCores, 8.0, 0.0, 0.2}};
+    evolved.replaceSystem(std::move(sonataV2));
+
+    Problem p = makeDefaultProblem(evolved);
+    p.hardware[kb::HardwareClass::Server].count = 60;
+    p.hardware[kb::HardwareClass::Nic].count = 60;
+    p.pinnedSystems["Sonata"] = true;
+    // Pin a non-P4 switch: impossible with v1, fine with v2.
+    p.hardware[kb::HardwareClass::Switch].pinnedModel = "Cisco Catalyst 9500-40X";
+    // (no workloads: the Catalyst's 10G ports are fine for an empty load)
+    EXPECT_TRUE(Engine(p).checkFeasible().feasible);
+
+    Problem v1 = p;
+    v1.kb = kb_;
+    EXPECT_FALSE(Engine(v1).checkFeasible().feasible);
+}
+
+TEST_F(EngineFeaturesTest, ReplaceUnknownSystemThrows) {
+    kb::KnowledgeBase copy = *kb_;
+    kb::System ghost;
+    ghost.name = "Ghost";
+    EXPECT_THROW(copy.replaceSystem(std::move(ghost)), EncodingError);
+}
+
+TEST_F(EngineFeaturesTest, RemoveSystemDropsItsOrderings) {
+    kb::KnowledgeBase copy = *kb_;
+    const std::size_t orderingsBefore = copy.orderings().size();
+    const std::size_t dropped = copy.removeSystem("SIMON");
+    EXPECT_GE(dropped, 2u); // Listing 2's two ordering lines at minimum
+    EXPECT_EQ(copy.orderings().size(), orderingsBefore - dropped);
+    EXPECT_EQ(copy.findSystem("SIMON"), nullptr);
+    // Index integrity: every other system still resolvable.
+    for (const kb::System& s : copy.systems())
+        EXPECT_EQ(&copy.system(s.name), &s);
+    // Validation stays clean (no dangling ordering refs).
+    for (const auto& issue : copy.validate())
+        EXPECT_NE(issue.severity, kb::ValidationIssue::Severity::Error)
+            << issue.message;
+}
+
+TEST_F(EngineFeaturesTest, RemoveUnknownSystemThrows) {
+    kb::KnowledgeBase copy = *kb_;
+    EXPECT_THROW((void)copy.removeSystem("Ghost"), EncodingError);
+}
+
+// --- §3.1 breadth-first granularity refinement ---------------------------------
+
+TEST_F(EngineFeaturesTest, RefinementHintsFlagCoarseEncodings) {
+    // Plant a coarse system that the design must rely on.
+    kb::KnowledgeBase coarseKb = *kb_;
+    kb::System coarse;
+    coarse.name = "CoarseMon";
+    coarse.category = kb::Category::Monitoring;
+    coarse.solves = {catalog::kCapDetectQueueLength};
+    coarse.source = "napkin";
+    coarseKb.addSystem(std::move(coarse));
+
+    Problem p = caseStudy();
+    p.kb = &coarseKb;
+    p.pinnedSystems["CoarseMon"] = true;
+    const auto design = Engine(p).optimize();
+    ASSERT_TRUE(design.has_value());
+    const auto hints = suggestRefinements(p, *design);
+    const auto it = std::find_if(hints.begin(), hints.end(),
+                                 [](const RefinementHint& h) {
+                                     return h.system == "CoarseMon";
+                                 });
+    ASSERT_NE(it, hints.end());
+    EXPECT_GE(it->gaps.size(), 3u); // no reqs, no demands, no orderings
+}
+
+TEST_F(EngineFeaturesTest, WellEncodedSystemsGetNoHints) {
+    const Problem p = caseStudy();
+    const auto design = Engine(p).optimize();
+    ASSERT_TRUE(design.has_value());
+    for (const auto& hint : suggestRefinements(p, *design)) {
+        // Fully-encoded catalog systems (SIMON, CONGA, ...) must not be
+        // flagged for missing requirements AND demands AND orderings.
+        EXPECT_LT(hint.gaps.size(), 3u) << hint.system;
+    }
+}
+
+// --- §2.3 marginal-cost sharing -----------------------------------------------
+
+TEST_F(EngineFeaturesTest, SmartNicSystemsShareTheProvisionedHardware) {
+    // "if the architect deploys these SmartNICs, then the marginal cost of
+    //  deploying other systems using SmartNICs decreases since the systems
+    //  can share SmartNIC resources" (§2.3). With SIMON already forcing a
+    //  SmartNIC fleet, adding the SmartNIC firewall changes nothing about
+    //  the hardware bill.
+    Problem withSimon = caseStudy();
+    withSimon.pinnedSystems["SIMON"] = true;
+    const auto base = Engine(withSimon).optimize();
+    ASSERT_TRUE(base.has_value());
+    const kb::HardwareSpec& nic =
+        kb_->hardware(base->hardwareModel.at(kb::HardwareClass::Nic));
+    ASSERT_TRUE(nic.boolAttr(kb::kAttrSmartNic).value_or(false));
+
+    Problem withFirewall = withSimon;
+    withFirewall.pinnedSystems["SmartNIC-Firewall"] = true;
+    const auto shared = Engine(withFirewall).optimize();
+    ASSERT_TRUE(shared.has_value());
+    // The firewall rides on the already-provisioned SmartNICs: zero (or
+    // negligible) extra hardware cost.
+    EXPECT_NEAR(shared->hardwareCostUsd, base->hardwareCostUsd,
+                base->hardwareCostUsd * 0.05);
+    // Both SmartNIC consumers fit within the NIC's core budget.
+    EXPECT_LE(shared->resourceUsage.at(kb::kResSmartNicCores),
+              shared->resourceCapacity.at(kb::kResSmartNicCores));
+}
+
+// --- checkWithTracks (the mechanism behind minimal conflicts) -----------------
+
+TEST_F(EngineFeaturesTest, CheckWithTracksEnforcesOnlyTheSubset) {
+    smt::FormulaStore store;
+    const smt::NodeId x = store.var("x");
+    auto backend = smt::makeBackend(smt::BackendKind::Cdcl, store);
+    backend->addHard(x, /*track=*/1);
+    backend->addHard(store.mkNot(x), /*track=*/2);
+    // Both tracks: contradiction. Either alone: fine.
+    const std::vector<int> both{1, 2};
+    EXPECT_EQ(backend->checkWithTracks(both), smt::CheckStatus::Unsat);
+    const std::vector<int> onlyFirst{1};
+    EXPECT_EQ(backend->checkWithTracks(onlyFirst), smt::CheckStatus::Sat);
+    EXPECT_TRUE(backend->modelValue(x));
+    const std::vector<int> onlySecond{2};
+    EXPECT_EQ(backend->checkWithTracks(onlySecond), smt::CheckStatus::Sat);
+    EXPECT_FALSE(backend->modelValue(x));
+}
+
+TEST_F(EngineFeaturesTest, MinimalConflictSubsetOfFullConflictRules) {
+    Problem p = caseStudy();
+    p.maxHardwareCostUsd = 100000; // far too tight
+    Engine engine(p);
+    const auto minimal = engine.explainMinimalConflict();
+    ASSERT_FALSE(minimal.feasible);
+    // The budget rule must be part of any minimal explanation here.
+    const bool mentionsBudget = std::any_of(
+        minimal.conflictingRules.begin(), minimal.conflictingRules.end(),
+        [](const std::string& rule) {
+            return rule.find("budget") != std::string::npos;
+        });
+    EXPECT_TRUE(mentionsBudget);
+}
+
+} // namespace
+} // namespace lar::reason

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "json/parse.hpp"
+#include "json/value.hpp"
+#include "json/write.hpp"
+#include "util/error.hpp"
+
+namespace lar::json {
+namespace {
+
+TEST(JsonValue, DefaultIsNull) {
+    Value v;
+    EXPECT_TRUE(v.isNull());
+}
+
+TEST(JsonValue, ScalarConstruction) {
+    EXPECT_TRUE(Value(true).asBool());
+    EXPECT_EQ(Value(42).asInt(), 42);
+    EXPECT_DOUBLE_EQ(Value(2.5).asDouble(), 2.5);
+    EXPECT_EQ(Value("hi").asString(), "hi");
+}
+
+TEST(JsonValue, IntCoercesToDouble) {
+    EXPECT_DOUBLE_EQ(Value(7).asDouble(), 7.0);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+    EXPECT_THROW((void)Value(1).asString(), LogicError);
+    EXPECT_THROW((void)Value("x").asInt(), LogicError);
+    EXPECT_THROW((void)Value(true).asArray(), LogicError);
+}
+
+TEST(JsonObject, PreservesInsertionOrder) {
+    Object o;
+    o["zeta"] = 1;
+    o["alpha"] = 2;
+    o["mid"] = 3;
+    const auto& entries = o.entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].first, "zeta");
+    EXPECT_EQ(entries[1].first, "alpha");
+    EXPECT_EQ(entries[2].first, "mid");
+}
+
+TEST(JsonObject, AtThrowsOnMissing) {
+    Object o;
+    o["present"] = 1;
+    EXPECT_EQ(o.at("present").asInt(), 1);
+    EXPECT_THROW((void)o.at("absent"), LogicError);
+    EXPECT_TRUE(o.contains("present"));
+    EXPECT_FALSE(o.contains("absent"));
+}
+
+TEST(JsonObject, EraseMaintainsIndex) {
+    Object o;
+    o["a"] = 1;
+    o["b"] = 2;
+    o["c"] = 3;
+    EXPECT_TRUE(o.erase("b"));
+    EXPECT_FALSE(o.erase("b"));
+    EXPECT_EQ(o.size(), 2u);
+    EXPECT_EQ(o.at("a").asInt(), 1);
+    EXPECT_EQ(o.at("c").asInt(), 3);
+}
+
+TEST(JsonValue, IndexingNullMakesObject) {
+    Value v;
+    v["key"] = "value";
+    EXPECT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("key").asString(), "value");
+}
+
+TEST(JsonParse, Scalars) {
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_TRUE(parse("true").asBool());
+    EXPECT_FALSE(parse("false").asBool());
+    EXPECT_EQ(parse("-17").asInt(), -17);
+    EXPECT_DOUBLE_EQ(parse("3.25").asDouble(), 3.25);
+    EXPECT_DOUBLE_EQ(parse("1e3").asDouble(), 1000.0);
+    EXPECT_EQ(parse("\"str\"").asString(), "str");
+}
+
+TEST(JsonParse, NestedDocument) {
+    const Value v = parse(R"({
+      "Model Name": "Cisco Catalyst 9500-40X",
+      "Ports": 40,
+      "ECN supported?": true,
+      "features": ["a", "b"],
+      "nested": {"x": [1, 2.5, null]}
+    })");
+    EXPECT_EQ(v.at("Model Name").asString(), "Cisco Catalyst 9500-40X");
+    EXPECT_EQ(v.at("Ports").asInt(), 40);
+    EXPECT_TRUE(v.at("ECN supported?").asBool());
+    EXPECT_EQ(v.at("features").asArray().size(), 2u);
+    const auto& x = v.at("nested").at("x").asArray();
+    ASSERT_EQ(x.size(), 3u);
+    EXPECT_EQ(x[0].asInt(), 1);
+    EXPECT_DOUBLE_EQ(x[1].asDouble(), 2.5);
+    EXPECT_TRUE(x[2].isNull());
+}
+
+TEST(JsonParse, EscapeSequences) {
+    EXPECT_EQ(parse(R"("a\nb\t\"c\"\\")").asString(), "a\nb\t\"c\"\\");
+    EXPECT_EQ(parse(R"("A")").asString(), "A");
+}
+
+TEST(JsonParse, EmptyContainers) {
+    EXPECT_TRUE(parse("{}").asObject().empty());
+    EXPECT_TRUE(parse("[]").asArray().empty());
+}
+
+TEST(JsonParse, MalformedInputsThrow) {
+    EXPECT_THROW(parse(""), ParseError);
+    EXPECT_THROW(parse("{"), ParseError);
+    EXPECT_THROW(parse("[1,]"), ParseError);
+    EXPECT_THROW(parse("{\"a\" 1}"), ParseError);
+    EXPECT_THROW(parse("tru"), ParseError);
+    EXPECT_THROW(parse("1 2"), ParseError);
+    EXPECT_THROW(parse("\"unterminated"), ParseError);
+    EXPECT_THROW(parse("nan"), ParseError);
+}
+
+TEST(JsonWrite, CompactRoundTrip) {
+    const std::string text =
+        R"({"name":"x","n":3,"f":1.5,"b":true,"nil":null,"arr":[1,2],"obj":{"k":"v"}})";
+    const Value v = parse(text);
+    EXPECT_EQ(parse(write(v)), v);
+}
+
+TEST(JsonWrite, PrettyRoundTrip) {
+    Value v;
+    v["a"] = Value(Array{Value(1), Value(2)});
+    v["b"]["c"] = "deep";
+    const std::string pretty = writePretty(v);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    EXPECT_EQ(parse(pretty), v);
+}
+
+TEST(JsonWrite, StringEscaping) {
+    const Value v(std::string("line\n\"quote\"\\slash"));
+    EXPECT_EQ(parse(write(v)), v);
+}
+
+TEST(JsonWrite, PreservesKeyOrder) {
+    Value v;
+    v["z"] = 1;
+    v["a"] = 2;
+    const std::string out = write(v);
+    EXPECT_LT(out.find("\"z\""), out.find("\"a\""));
+}
+
+TEST(JsonWrite, IntegralDoubleKeepsPointZero) {
+    EXPECT_EQ(write(Value(4.0)), "4.0");
+    EXPECT_EQ(write(Value(std::int64_t{4})), "4");
+}
+
+TEST(JsonParse, DeeplyNestedArrays) {
+    std::string text;
+    constexpr int depth = 64;
+    for (int i = 0; i < depth; ++i) text += '[';
+    text += '1';
+    for (int i = 0; i < depth; ++i) text += ']';
+    Value v = parse(text);
+    for (int i = 0; i < depth; ++i) {
+        ASSERT_TRUE(v.isArray());
+        Value inner = v.asArray()[0]; // copy out before reassigning v
+        v = std::move(inner);
+    }
+    EXPECT_EQ(v.asInt(), 1);
+}
+
+TEST(JsonRoundTrip, LargeIntegersExact) {
+    const std::int64_t big = 9007199254740993LL; // not representable in double
+    EXPECT_EQ(parse(write(Value(big))).asInt(), big);
+}
+
+} // namespace
+} // namespace lar::json

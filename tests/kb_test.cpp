@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "json/parse.hpp"
+#include "kb/kb.hpp"
+#include "kb/objectives.hpp"
+#include "kb/serialize.hpp"
+#include "util/error.hpp"
+
+namespace lar::kb {
+namespace {
+
+Requirement sampleRequirement() {
+    return Requirement::allOf(
+        {Requirement::hardwareHas(HardwareClass::Nic, kAttrNicTimestamps),
+         Requirement::anyOf(
+             {Requirement::systemPresent("Linux"),
+              Requirement::negate(Requirement::fact("flooding"))}),
+         Requirement::hardwareCmp(HardwareClass::Switch, kAttrP4Stages, CmpOp::Ge,
+                                  6.0),
+         Requirement::option("pony_enabled"),
+         Requirement::workloadHas("dc_flows")});
+}
+
+TEST(Requirement, DefaultIsTrivial) {
+    EXPECT_TRUE(Requirement().isTrivial());
+    EXPECT_TRUE(Requirement::alwaysTrue().isTrivial());
+    EXPECT_FALSE(Requirement::alwaysFalse().isTrivial());
+}
+
+TEST(Requirement, ToStringShapes) {
+    EXPECT_EQ(Requirement::systemPresent("Snap").toString(), "system(Snap)");
+    EXPECT_EQ(Requirement::fact("flooding").toString(), "fact(flooding)");
+    EXPECT_EQ(Requirement::factAbsent("flooding").toString(), "!fact(flooding)");
+    EXPECT_EQ(Requirement::option("pony").toString(), "option(pony)");
+    EXPECT_EQ(Requirement::workloadHas("dc_flows").toString(),
+              "workload.has(dc_flows)");
+    EXPECT_EQ(
+        Requirement::hardwareHas(HardwareClass::Nic, "nic_timestamps").toString(),
+        "nic.has(nic_timestamps)");
+    EXPECT_EQ(Requirement::hardwareCmp(HardwareClass::Switch, "p4_stages",
+                                       CmpOp::Ge, 6.0)
+                  .toString(),
+              "switch.p4_stages >= 6");
+}
+
+TEST(Requirement, CollectRefs) {
+    const Requirement r = sampleRequirement();
+    std::vector<std::string> systems;
+    r.collectSystemRefs(systems);
+    ASSERT_EQ(systems.size(), 1u);
+    EXPECT_EQ(systems[0], "Linux");
+    std::vector<std::string> facts;
+    r.collectFactRefs(facts);
+    ASSERT_EQ(facts.size(), 1u);
+    EXPECT_EQ(facts[0], "flooding");
+    std::vector<std::string> options;
+    r.collectOptionRefs(options);
+    ASSERT_EQ(options.size(), 1u);
+    EXPECT_EQ(options[0], "pony_enabled");
+    std::vector<std::pair<HardwareClass, std::string>> hw;
+    r.collectHardwareRefs(hw);
+    ASSERT_EQ(hw.size(), 2u);
+}
+
+TEST(CmpOp, ApplyAllOperators) {
+    EXPECT_TRUE(applyCmp(CmpOp::Lt, 1, 2));
+    EXPECT_FALSE(applyCmp(CmpOp::Lt, 2, 2));
+    EXPECT_TRUE(applyCmp(CmpOp::Le, 2, 2));
+    EXPECT_TRUE(applyCmp(CmpOp::Eq, 2, 2));
+    EXPECT_TRUE(applyCmp(CmpOp::Ne, 1, 2));
+    EXPECT_TRUE(applyCmp(CmpOp::Ge, 2, 2));
+    EXPECT_TRUE(applyCmp(CmpOp::Gt, 3, 2));
+    EXPECT_FALSE(applyCmp(CmpOp::Gt, 2, 2));
+}
+
+TEST(HardwareSpec, TypedAttrLookups) {
+    HardwareSpec spec;
+    spec.attrs["flag"] = true;
+    spec.attrs["count"] = std::int64_t{42};
+    spec.attrs["ratio"] = 2.5;
+    spec.attrs["label"] = std::string("fpga");
+    EXPECT_EQ(spec.boolAttr("flag"), true);
+    EXPECT_EQ(spec.numAttr("count"), 42.0);
+    EXPECT_EQ(spec.numAttr("ratio"), 2.5);
+    EXPECT_EQ(spec.strAttr("label"), "fpga");
+    // Wrong type / absent → nullopt.
+    EXPECT_FALSE(spec.boolAttr("count").has_value());
+    EXPECT_FALSE(spec.numAttr("flag").has_value());
+    EXPECT_FALSE(spec.strAttr("absent").has_value());
+}
+
+TEST(ResourceDemand, AmountScalesWithWorkload) {
+    const ResourceDemand d{kResCores, 2.0, 0.04, 0.1};
+    EXPECT_EQ(d.amountFor(0, 0), 2);
+    EXPECT_EQ(d.amountFor(50, 0), 4);   // 2 + 0.04*50 = 4
+    EXPECT_EQ(d.amountFor(0, 30), 5);   // 2 + 3 = 5
+    EXPECT_EQ(d.amountFor(50, 30), 7);  // 2 + 2 + 3
+    // Rounds up.
+    const ResourceDemand frac{kResCores, 0.5, 0.0, 0.0};
+    EXPECT_EQ(frac.amountFor(0, 0), 1);
+}
+
+TEST(System, CapabilityAndFactHelpers) {
+    System s;
+    s.solves = {"capture_delays", "monitoring"};
+    s.provides = {"flooding"};
+    EXPECT_TRUE(s.solvesCapability("monitoring"));
+    EXPECT_FALSE(s.solvesCapability("transport"));
+    EXPECT_TRUE(s.providesFact("flooding"));
+    EXPECT_FALSE(s.providesFact("pfc"));
+}
+
+KnowledgeBase makeSmallKb() {
+    KnowledgeBase kb;
+    System linux;
+    linux.name = "Linux";
+    linux.category = Category::NetworkStack;
+    linux.source = "kernel";
+    kb.addSystem(std::move(linux));
+    System snap;
+    snap.name = "Snap";
+    snap.category = Category::NetworkStack;
+    snap.source = "sosp19";
+    kb.addSystem(std::move(snap));
+    System dctcp;
+    dctcp.name = "DCTCP";
+    dctcp.category = Category::CongestionControl;
+    dctcp.source = "sigcomm10";
+    kb.addSystem(std::move(dctcp));
+    HardwareSpec sw;
+    sw.model = "SW-1";
+    sw.vendor = "V";
+    sw.cls = HardwareClass::Switch;
+    kb.addHardware(std::move(sw));
+    return kb;
+}
+
+TEST(KnowledgeBase, AddAndLookup) {
+    const KnowledgeBase kb = makeSmallKb();
+    EXPECT_NE(kb.findSystem("Linux"), nullptr);
+    EXPECT_EQ(kb.findSystem("Nope"), nullptr);
+    EXPECT_EQ(kb.system("Snap").category, Category::NetworkStack);
+    EXPECT_THROW((void)kb.system("Nope"), EncodingError);
+    EXPECT_NE(kb.findHardware("SW-1"), nullptr);
+    EXPECT_THROW((void)kb.hardware("Nope"), EncodingError);
+}
+
+TEST(KnowledgeBase, DuplicatesRejected) {
+    KnowledgeBase kb = makeSmallKb();
+    System dup;
+    dup.name = "Linux";
+    EXPECT_THROW(kb.addSystem(std::move(dup)), EncodingError);
+    HardwareSpec hw;
+    hw.model = "SW-1";
+    EXPECT_THROW(kb.addHardware(std::move(hw)), EncodingError);
+}
+
+TEST(KnowledgeBase, CategoryAndCapabilityIndices) {
+    KnowledgeBase kb = makeSmallKb();
+    EXPECT_EQ(kb.byCategory(Category::NetworkStack).size(), 2u);
+    EXPECT_EQ(kb.byCategory(Category::Firewall).size(), 0u);
+    EXPECT_EQ(kb.byClass(HardwareClass::Switch).size(), 1u);
+    EXPECT_EQ(kb.byClass(HardwareClass::Nic).size(), 0u);
+}
+
+TEST(KnowledgeBase, ValidateFlagsDanglingRefs) {
+    KnowledgeBase kb = makeSmallKb();
+    System bad;
+    bad.name = "Bad";
+    bad.category = Category::Monitoring;
+    bad.constraints = Requirement::systemPresent("Ghost");
+    bad.conflicts = {"AlsoGhost"};
+    bad.source = "x";
+    kb.addSystem(std::move(bad));
+    const auto issues = kb.validate();
+    int errors = 0;
+    for (const auto& issue : issues)
+        if (issue.severity == ValidationIssue::Severity::Error) ++errors;
+    EXPECT_EQ(errors, 2);
+}
+
+TEST(KnowledgeBase, ValidateFlagsOrderingProblems) {
+    KnowledgeBase kb = makeSmallKb();
+    kb.addOrdering({"Linux", "Ghost", kObjThroughput, {}, "src"});
+    kb.addOrdering({"Linux", "Linux", kObjThroughput, {}, "src"});
+    kb.addOrdering({"Linux", "DCTCP", kObjThroughput, {}, "src"}); // cross-cat
+    const auto issues = kb.validate();
+    int errors = 0;
+    for (const auto& issue : issues)
+        if (issue.severity == ValidationIssue::Severity::Error) ++errors;
+    EXPECT_GE(errors, 3);
+}
+
+TEST(KnowledgeBase, ValidateDetectsUnconditionalCycle) {
+    KnowledgeBase kb = makeSmallKb();
+    kb.addOrdering({"Linux", "Snap", kObjThroughput, {}, "a"});
+    kb.addOrdering({"Snap", "Linux", kObjThroughput, {}, "b"});
+    const auto issues = kb.validate();
+    const bool hasCycleError = std::any_of(
+        issues.begin(), issues.end(), [](const ValidationIssue& issue) {
+            return issue.severity == ValidationIssue::Severity::Error &&
+                   issue.message.find("cycle") != std::string::npos;
+        });
+    EXPECT_TRUE(hasCycleError);
+}
+
+TEST(KnowledgeBase, ConditionalOppositeEdgesAreNotACycle) {
+    // Conditional edges in opposite directions under different contexts are
+    // legitimate knowledge (Figure 1's <40G vs ≥40G pair).
+    KnowledgeBase kb = makeSmallKb();
+    kb.addOrdering({"Linux", "Snap", kObjThroughput,
+                    Requirement::option("low_rate"), "a"});
+    kb.addOrdering({"Snap", "Linux", kObjThroughput,
+                    Requirement::option("high_rate"), "b"});
+    const auto issues = kb.validate();
+    const bool hasCycleError = std::any_of(
+        issues.begin(), issues.end(), [](const ValidationIssue& issue) {
+            return issue.message.find("cycle") != std::string::npos;
+        });
+    EXPECT_FALSE(hasCycleError);
+}
+
+TEST(KnowledgeBase, MissingSourceIsWarningOnly) {
+    KnowledgeBase kb;
+    System s;
+    s.name = "NoSource";
+    kb.addSystem(std::move(s));
+    const auto issues = kb.validate();
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].severity, ValidationIssue::Severity::Warning);
+}
+
+TEST(KnowledgeBase, EncodingLengthGrowsWithContent) {
+    KnowledgeBase kb = makeSmallKb();
+    const std::size_t before = kb.encodingLength();
+    System s;
+    s.name = "Extra";
+    s.category = Category::Monitoring;
+    s.constraints = sampleRequirement();
+    s.demands = {{kResCores, 1, 0, 0}};
+    s.source = "x";
+    kb.addSystem(std::move(s));
+    EXPECT_GT(kb.encodingLength(), before);
+}
+
+// --- serialization ------------------------------------------------------------
+
+TEST(Serialize, RequirementRoundTrip) {
+    const Requirement original = sampleRequirement();
+    const Requirement restored = requirementFromJson(toJson(original));
+    EXPECT_EQ(restored.toString(), original.toString());
+}
+
+TEST(Serialize, RequirementAllKinds) {
+    for (const Requirement& r :
+         {Requirement::alwaysTrue(), Requirement::alwaysFalse(),
+          Requirement::systemAbsent("X"), Requirement::fact("f"),
+          Requirement::option("o"), Requirement::workloadHas("w"),
+          Requirement::hardwareHas(HardwareClass::Server, "cores"),
+          Requirement::hardwareCmp(HardwareClass::Nic, "bw", CmpOp::Lt, 40)}) {
+        EXPECT_EQ(requirementFromJson(toJson(r)).toString(), r.toString());
+    }
+}
+
+TEST(Serialize, HardwareRoundTrip) {
+    HardwareSpec spec;
+    spec.model = "Cisco Catalyst 9500-40X";
+    spec.vendor = "Cisco";
+    spec.cls = HardwareClass::Switch;
+    spec.unitCostUsd = 22000;
+    spec.maxPowerW = 950;
+    spec.attrs[kAttrPortBandwidthGbps] = std::int64_t{10};
+    spec.attrs[kAttrP4Supported] = false;
+    spec.attrs[kAttrMemoryGb] = 16.0;
+    spec.attrs["note"] = std::string("sfp+");
+    const HardwareSpec restored = hardwareFromJson(toJson(spec));
+    EXPECT_EQ(restored.model, spec.model);
+    EXPECT_EQ(restored.cls, spec.cls);
+    EXPECT_EQ(restored.attrs, spec.attrs);
+    EXPECT_DOUBLE_EQ(restored.unitCostUsd, spec.unitCostUsd);
+}
+
+TEST(Serialize, SystemRoundTrip) {
+    System s;
+    s.name = "SIMON";
+    s.category = Category::Monitoring;
+    s.solves = {"capture_delays", "detect_queue_length"};
+    s.constraints = sampleRequirement();
+    s.demands = {{kResCores, 2.0, 0.04, 0.0}, {kResSmartNicCores, 2.0, 0, 0}};
+    s.provides = {"telemetry"};
+    s.conflicts = {"Everflow"};
+    s.researchGrade = true;
+    s.source = "NSDI 19";
+    const System restored = systemFromJson(toJson(s));
+    EXPECT_EQ(restored.name, s.name);
+    EXPECT_EQ(restored.category, s.category);
+    EXPECT_EQ(restored.solves, s.solves);
+    EXPECT_EQ(restored.constraints.toString(), s.constraints.toString());
+    ASSERT_EQ(restored.demands.size(), 2u);
+    EXPECT_EQ(restored.demands[0].resource, kResCores);
+    EXPECT_DOUBLE_EQ(restored.demands[0].perKiloFlows, 0.04);
+    EXPECT_EQ(restored.provides, s.provides);
+    EXPECT_EQ(restored.conflicts, s.conflicts);
+    EXPECT_TRUE(restored.researchGrade);
+}
+
+TEST(Serialize, WorkloadRoundTrip) {
+    Workload w;
+    w.name = "inference_app";
+    w.properties = {kPropDcFlows, kPropShortFlows, kPropHighPriority};
+    w.racks = {0, 1, 2};
+    w.peakCores = 2800;
+    w.peakBandwidthGbps = 30.0;
+    w.numFlows = 50000;
+    w.bounds = {{kObjLoadBalancing, "PacketSpray"}};
+    const Workload restored = workloadFromJson(toJson(w));
+    EXPECT_EQ(restored.name, w.name);
+    EXPECT_EQ(restored.properties, w.properties);
+    EXPECT_EQ(restored.racks, w.racks);
+    EXPECT_EQ(restored.peakCores, 2800);
+    ASSERT_EQ(restored.bounds.size(), 1u);
+    EXPECT_EQ(restored.bounds[0].betterThanSystem, "PacketSpray");
+}
+
+TEST(Serialize, WholeKbRoundTrip) {
+    KnowledgeBase kb = makeSmallKb();
+    kb.addOrdering({"Snap", "Linux", kObjThroughput,
+                    Requirement::option("pony_enabled"), "snap paper"});
+    const KnowledgeBase restored = kbFromText(kbToText(kb));
+    EXPECT_EQ(restored.systems().size(), kb.systems().size());
+    EXPECT_EQ(restored.hardwareSpecs().size(), kb.hardwareSpecs().size());
+    ASSERT_EQ(restored.orderings().size(), 1u);
+    EXPECT_EQ(restored.orderings()[0].better, "Snap");
+    EXPECT_EQ(restored.orderings()[0].condition.toString(),
+              "option(pony_enabled)");
+}
+
+TEST(Serialize, MalformedKbTextThrows) {
+    EXPECT_THROW((void)kbFromText("not json"), ParseError);
+    EXPECT_THROW((void)kbFromText("{}"), Error);
+}
+
+TEST(Serialize, UnknownRequirementKindThrows) {
+    EXPECT_THROW(
+        (void)requirementFromJson(json::parse(R"({"kind":"martian"})")),
+        ParseError);
+}
+
+} // namespace
+} // namespace lar::kb

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.hpp"
+#include "json/parse.hpp"
+#include "kb/objectives.hpp"
+#include "reason/problem_io.hpp"
+#include "util/error.hpp"
+
+namespace lar::reason {
+namespace {
+
+class ProblemIoTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        kb_ = new kb::KnowledgeBase(catalog::buildKnowledgeBase());
+    }
+    static void TearDownTestSuite() {
+        delete kb_;
+        kb_ = nullptr;
+    }
+    static kb::KnowledgeBase* kb_;
+};
+
+kb::KnowledgeBase* ProblemIoTest::kb_ = nullptr;
+
+Problem fullySpecifiedProblem(const kb::KnowledgeBase& kb) {
+    Problem p = makeDefaultProblem(kb);
+    p.hardware[kb::HardwareClass::Server] = {{}, "EPYC Milan 64c 2U", 60};
+    p.hardware[kb::HardwareClass::Switch].count = 8;
+    p.hardware[kb::HardwareClass::Nic].candidateModels = {
+        "Mellanox ConnectX-5 100G", "Intel E810 100G"};
+    p.workloads = {catalog::makeInferenceWorkload(), catalog::makeVideoWorkload()};
+    p.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost};
+    p.requiredCapabilities = {catalog::kCapDetectQueueLength};
+    p.pinnedSystems = {{"Sonata", true}, {"Hedera", false}};
+    p.pinnedFacts = {{"flooding", false}};
+    p.pinnedOptions = {{"pony_enabled", true}};
+    p.extraConstraint = kb::Requirement::hardwareCmp(
+        kb::HardwareClass::Server, kb::kAttrRamGb, kb::CmpOp::Ge, 256.0);
+    p.maxHardwareCostUsd = 900000;
+    p.maxPowerW = 50000;
+    p.forbidResearchGrade = true;
+    p.preferMinimalDesign = false;
+    return p;
+}
+
+TEST_F(ProblemIoTest, RoundTripPreservesEverything) {
+    const Problem original = fullySpecifiedProblem(*kb_);
+    const Problem restored = problemFromText(problemToText(original), *kb_);
+
+    EXPECT_EQ(restored.hardware.at(kb::HardwareClass::Server).pinnedModel,
+              original.hardware.at(kb::HardwareClass::Server).pinnedModel);
+    EXPECT_EQ(restored.hardware.at(kb::HardwareClass::Server).count, 60);
+    EXPECT_EQ(restored.hardware.at(kb::HardwareClass::Nic).candidateModels,
+              original.hardware.at(kb::HardwareClass::Nic).candidateModels);
+    ASSERT_EQ(restored.workloads.size(), 2u);
+    EXPECT_EQ(restored.workloads[0].name, "inference_app");
+    EXPECT_EQ(restored.workloads[0].bounds.size(), 1u);
+    EXPECT_EQ(restored.objectivePriority, original.objectivePriority);
+    EXPECT_EQ(restored.requiredCapabilities, original.requiredCapabilities);
+    EXPECT_EQ(restored.requiredCategories, original.requiredCategories);
+    EXPECT_EQ(restored.optionalCategories, original.optionalCategories);
+    EXPECT_EQ(restored.pinnedSystems, original.pinnedSystems);
+    EXPECT_EQ(restored.pinnedFacts, original.pinnedFacts);
+    EXPECT_EQ(restored.pinnedOptions, original.pinnedOptions);
+    EXPECT_EQ(restored.extraConstraint.toString(),
+              original.extraConstraint.toString());
+    EXPECT_EQ(restored.maxHardwareCostUsd, original.maxHardwareCostUsd);
+    EXPECT_EQ(restored.maxPowerW, original.maxPowerW);
+    EXPECT_EQ(restored.forbidResearchGrade, true);
+    EXPECT_EQ(restored.preferMinimalDesign, false);
+    EXPECT_EQ(restored.kb, kb_);
+}
+
+TEST_F(ProblemIoTest, EmptySpecYieldsDefaults) {
+    const Problem defaults = makeDefaultProblem(*kb_);
+    const Problem restored = problemFromText("{}", *kb_);
+    EXPECT_EQ(restored.requiredCategories, defaults.requiredCategories);
+    EXPECT_EQ(restored.optionalCategories, defaults.optionalCategories);
+    EXPECT_EQ(restored.hardware.size(), 3u);
+    EXPECT_TRUE(restored.commonSenseRules);
+    EXPECT_TRUE(restored.preferMinimalDesign);
+    EXPECT_FALSE(restored.maxHardwareCostUsd.has_value());
+}
+
+TEST_F(ProblemIoTest, UnknownReferencesRejected) {
+    EXPECT_THROW((void)problemFromText(
+                     R"({"pinned_systems": {"NoSuchSystem": true}})", *kb_),
+                 EncodingError);
+    EXPECT_THROW((void)problemFromText(
+                     R"({"hardware": {"server": {"pinned_model": "Ghost"}}})",
+                     *kb_),
+                 EncodingError);
+    EXPECT_THROW((void)problemFromText(
+                     R"({"hardware": {"blimp": {"count": 1}}})", *kb_),
+                 ParseError);
+    EXPECT_THROW((void)problemFromText(
+                     R"({"required_categories": ["sorcery"]})", *kb_),
+                 ParseError);
+}
+
+TEST_F(ProblemIoTest, PartialHardwareSpecReplacesDefaults) {
+    const Problem restored = problemFromText(
+        R"({"hardware": {"server": {"count": 10}}})", *kb_);
+    // Only the classes listed in the spec exist afterwards.
+    EXPECT_EQ(restored.hardware.size(), 1u);
+    EXPECT_EQ(restored.hardware.at(kb::HardwareClass::Server).count, 10);
+}
+
+TEST_F(ProblemIoTest, SerializedSpecIsValidJson) {
+    const Problem original = fullySpecifiedProblem(*kb_);
+    EXPECT_NO_THROW((void)json::parse(problemToText(original)));
+}
+
+} // namespace
+} // namespace lar::reason

@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/engine.hpp"
+#include "reason/validate.hpp"
+
+namespace lar::reason {
+namespace {
+
+using catalog::kCapDetectQueueLength;
+using kb::Category;
+using kb::HardwareClass;
+
+class ReasonTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        kb_ = new kb::KnowledgeBase(catalog::buildKnowledgeBase());
+    }
+    static void TearDownTestSuite() {
+        delete kb_;
+        kb_ = nullptr;
+    }
+
+    /// The §2.3 case-study problem shape.
+    Problem caseStudyProblem() const {
+        Problem p = makeDefaultProblem(*kb_);
+        p.hardware[HardwareClass::Server].count = 60;
+        p.hardware[HardwareClass::Switch].count = 8;
+        p.hardware[HardwareClass::Nic].count = 60;
+        p.workloads = {catalog::makeInferenceWorkload()};
+        p.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost,
+                               kb::kObjMonitoring};
+        p.requiredCapabilities = {kCapDetectQueueLength};
+        return p;
+    }
+
+    static kb::KnowledgeBase* kb_;
+};
+
+kb::KnowledgeBase* ReasonTest::kb_ = nullptr;
+
+TEST_F(ReasonTest, DefaultProblemIsFeasible) {
+    Problem p = makeDefaultProblem(*kb_);
+    Engine engine(p);
+    EXPECT_TRUE(engine.checkFeasible().feasible);
+}
+
+TEST_F(ReasonTest, CaseStudyIsFeasibleAndValid) {
+    const Problem p = caseStudyProblem();
+    Engine engine(p);
+    const auto design = engine.synthesize();
+    ASSERT_TRUE(design.has_value());
+    const auto violations = validateDesign(p, *design);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_F(ReasonTest, OptimizedDesignValidatesAndFillsRequiredRoles) {
+    const Problem p = caseStudyProblem();
+    Engine engine(p);
+    const auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    EXPECT_TRUE(design->chosen.count(Category::NetworkStack));
+    EXPECT_TRUE(design->chosen.count(Category::CongestionControl));
+    // Required capability forces a monitoring-capable system.
+    const auto violations = validateDesign(p, *design);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+    // Lexicographic costs reported for each level (+ implicit parsimony).
+    EXPECT_EQ(design->objectiveCosts.size(), 4u);
+}
+
+TEST_F(ReasonTest, PerformanceBoundForcesCongaAndP4Switch) {
+    // Listing 3's bound (beat PacketSpray on load balancing) can only be met
+    // by CONGA in the catalog, which needs a P4 switch: the §2.3 ripple.
+    const Problem p = caseStudyProblem();
+    Engine engine(p);
+    const auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    EXPECT_EQ(design->chosen.at(Category::LoadBalancer), "CONGA");
+    const kb::HardwareSpec& sw =
+        kb_->hardware(design->hardwareModel.at(HardwareClass::Switch));
+    EXPECT_TRUE(sw.boolAttr(kb::kAttrP4Supported).value_or(false));
+}
+
+TEST_F(ReasonTest, InfeasibilityExplainedWithRuleNames) {
+    Problem p = caseStudyProblem();
+    // Pin a non-P4 switch: the load-balancing bound (CONGA) now conflicts.
+    p.hardware[HardwareClass::Switch].pinnedModel = "Cisco Catalyst 9500-40X";
+    Engine engine(p);
+    const FeasibilityReport report = engine.checkFeasible();
+    ASSERT_FALSE(report.feasible);
+    ASSERT_FALSE(report.conflictingRules.empty());
+    const bool mentionsPin = std::any_of(
+        report.conflictingRules.begin(), report.conflictingRules.end(),
+        [](const std::string& rule) {
+            return rule.find("pinned hardware") != std::string::npos;
+        });
+    // The 10G fixed-function switch breaks the design in more than one way
+    // (the CONGA bound needs P4; the queue-length goal needs SmartNICs that
+    // outpace the 10G ports) — the core must surface at least one of them.
+    const bool mentionsSubstance = std::any_of(
+        report.conflictingRules.begin(), report.conflictingRules.end(),
+        [](const std::string& rule) {
+            return rule.find("performance bound") != std::string::npos ||
+                   rule.find("detect_queue_length") != std::string::npos;
+        });
+    EXPECT_TRUE(mentionsPin);
+    EXPECT_TRUE(mentionsSubstance);
+}
+
+TEST_F(ReasonTest, MinimalConflictIsSmallAndIrreducible) {
+    Problem p = caseStudyProblem();
+    p.hardware[HardwareClass::Switch].pinnedModel = "Cisco Catalyst 9500-40X";
+    Engine plain(p);
+    const FeasibilityReport full = plain.checkFeasible();
+    ASSERT_FALSE(full.feasible);
+
+    Engine minimal(p);
+    const FeasibilityReport shrunk = minimal.explainMinimalConflict();
+    ASSERT_FALSE(shrunk.feasible);
+    EXPECT_FALSE(shrunk.conflictingRules.empty());
+    EXPECT_LE(shrunk.conflictingRules.size(), full.conflictingRules.size());
+    // Each remaining rule must name a concrete entity; "minimal" can still
+    // be a few dozen rules when the explanation has to exclude every
+    // SmartNIC model one by one.
+    for (const std::string& rule : shrunk.conflictingRules)
+        EXPECT_FALSE(rule.empty());
+}
+
+TEST_F(ReasonTest, ResearchGradeExclusion) {
+    Problem p = caseStudyProblem();
+    p.forbidResearchGrade = true;
+    Engine engine(p);
+    const auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    for (const auto& [category, name] : design->chosen)
+        EXPECT_FALSE(kb_->system(name).researchGrade) << name;
+}
+
+TEST_F(ReasonTest, PinnedSystemIsKept) {
+    Problem p = caseStudyProblem();
+    p.pinnedSystems["Sonata"] = true;
+    Engine engine(p);
+    const auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    EXPECT_TRUE(design->uses("Sonata"));
+    // Sonata requires a P4 switch; the ripple must hold.
+    const kb::HardwareSpec& sw =
+        kb_->hardware(design->hardwareModel.at(HardwareClass::Switch));
+    EXPECT_TRUE(sw.boolAttr(kb::kAttrP4Supported).value_or(false));
+    EXPECT_TRUE(validateDesign(p, *design).empty());
+}
+
+TEST_F(ReasonTest, ForbiddenSystemIsAvoided) {
+    Problem p = caseStudyProblem();
+    p.pinnedSystems["CONGA"] = false;
+    Engine engine(p);
+    // Without CONGA nothing beats PacketSpray: infeasible.
+    EXPECT_FALSE(engine.checkFeasible().feasible);
+}
+
+TEST_F(ReasonTest, FactPinReproducesPfcFloodingStory) {
+    // §2.2: the environment already floods (e.g. a learning bridge is in
+    // place); RoCEv2's expert rule must then exclude it.
+    Problem p = makeDefaultProblem(*kb_);
+    p.optionalCategories.insert(Category::TransportProtocol);
+    p.pinnedFacts[catalog::kFactFlooding] = true;
+    p.pinnedSystems["RoCEv2"] = true;
+    Engine engine(p);
+    const FeasibilityReport report = engine.checkFeasible();
+    ASSERT_FALSE(report.feasible);
+    const bool mentionsRoce = std::any_of(
+        report.conflictingRules.begin(), report.conflictingRules.end(),
+        [](const std::string& rule) {
+            return rule.find("RoCEv2") != std::string::npos;
+        });
+    EXPECT_TRUE(mentionsRoce);
+    // Without the pinned flooding fact, RoCEv2 deploys fine.
+    Problem ok = makeDefaultProblem(*kb_);
+    ok.pinnedSystems["RoCEv2"] = true;
+    EXPECT_TRUE(Engine(ok).checkFeasible().feasible);
+}
+
+TEST_F(ReasonTest, FloodingProviderConflictsWithRoce) {
+    // Even unpinned: choosing Linux-Bridge (provides flooding) together with
+    // RoCEv2 must be impossible.
+    Problem p = makeDefaultProblem(*kb_);
+    p.pinnedSystems["RoCEv2"] = true;
+    p.pinnedSystems["Linux-Bridge"] = true;
+    Engine engine(p);
+    EXPECT_FALSE(engine.checkFeasible().feasible);
+}
+
+TEST_F(ReasonTest, ResourceCapacityBindsCores) {
+    Problem p = caseStudyProblem();
+    // 10 small servers cannot host 2800 workload cores.
+    p.hardware[HardwareClass::Server].count = 10;
+    p.hardware[HardwareClass::Server].pinnedModel = "Xeon Skylake-SP 16c 1U";
+    Engine engine(p);
+    const FeasibilityReport report = engine.checkFeasible();
+    ASSERT_FALSE(report.feasible);
+    const bool mentionsCores = std::any_of(
+        report.conflictingRules.begin(), report.conflictingRules.end(),
+        [](const std::string& rule) {
+            return rule.find("cores") != std::string::npos;
+        });
+    EXPECT_TRUE(mentionsCores);
+}
+
+TEST_F(ReasonTest, BudgetConstraintRespected) {
+    Problem p = caseStudyProblem();
+    p.maxHardwareCostUsd = 700000;
+    Engine engine(p);
+    const auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    EXPECT_LE(design->hardwareCostUsd, 700000 + 1);
+    EXPECT_TRUE(validateDesign(p, *design).empty());
+}
+
+TEST_F(ReasonTest, ImpossibleBudgetExplained) {
+    Problem p = caseStudyProblem();
+    p.maxHardwareCostUsd = 1000; // nothing fits
+    Engine engine(p);
+    const FeasibilityReport report = engine.checkFeasible();
+    ASSERT_FALSE(report.feasible);
+    const bool mentionsBudget = std::any_of(
+        report.conflictingRules.begin(), report.conflictingRules.end(),
+        [](const std::string& rule) {
+            return rule.find("budget") != std::string::npos;
+        });
+    EXPECT_TRUE(mentionsBudget);
+}
+
+TEST_F(ReasonTest, HardwareCostObjectiveReducesCost) {
+    Problem cheap = caseStudyProblem();
+    cheap.objectivePriority = {kb::kObjHardwareCost};
+    const auto cheapDesign = Engine(cheap).optimize();
+    Problem indifferent = caseStudyProblem();
+    indifferent.objectivePriority = {};
+    indifferent.preferMinimalDesign = false;
+    const auto anyDesign = Engine(indifferent).synthesize();
+    ASSERT_TRUE(cheapDesign.has_value());
+    ASSERT_TRUE(anyDesign.has_value());
+    EXPECT_LE(cheapDesign->hardwareCostUsd, anyDesign->hardwareCostUsd);
+}
+
+TEST_F(ReasonTest, ParsimonySkipsUselessCategories) {
+    Problem p = makeDefaultProblem(*kb_);
+    p.objectivePriority = {};
+    Engine engine(p);
+    const auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    // Only the two required categories should be filled.
+    EXPECT_EQ(design->chosen.size(), 2u);
+}
+
+TEST_F(ReasonTest, EnumerateDistinctDesigns) {
+    Problem p = makeDefaultProblem(*kb_);
+    Engine engine(p);
+    const auto designs = engine.enumerateDesigns(5);
+    ASSERT_GE(designs.size(), 2u);
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        EXPECT_TRUE(validateDesign(p, designs[i]).empty());
+        for (std::size_t j = i + 1; j < designs.size(); ++j)
+            EXPECT_FALSE(designs[i].diff(designs[j]).empty())
+                << "designs " << i << " and " << j << " identical";
+    }
+}
+
+TEST_F(ReasonTest, EnumerateWithinOptimalClass) {
+    Problem p = caseStudyProblem();
+    Engine engine(p);
+    const auto designs = engine.enumerateDesigns(3, /*optimizeFirst=*/true);
+    ASSERT_GE(designs.size(), 1u);
+    // Every member of the optimal class must still satisfy the bound.
+    for (const Design& d : designs)
+        EXPECT_EQ(d.chosen.at(Category::LoadBalancer), "CONGA");
+}
+
+TEST_F(ReasonTest, WorkloadPropertyUnlocksAnnulus) {
+    // Annulus is only deployable when WAN and DC traffic compete (§4.1).
+    Problem without = makeDefaultProblem(*kb_);
+    without.hardware[HardwareClass::Server].count = 40;
+    without.hardware[HardwareClass::Nic].count = 40;
+    without.pinnedSystems["Annulus"] = true;
+    EXPECT_FALSE(Engine(without).checkFeasible().feasible);
+
+    Problem with = without;
+    with.workloads = {catalog::makeVideoWorkload()}; // wan_dc_traffic_compete
+    EXPECT_TRUE(Engine(with).checkFeasible().feasible);
+}
+
+TEST_F(ReasonTest, CompareScenariosShowsCxlRipple) {
+    // §5.1 query 3: is CXL memory pooling worthwhile? Compare a problem
+    // restricted to non-CXL servers vs one allowing CXL under a
+    // memory-intensive workload mix.
+    Problem base = caseStudyProblem();
+    base.workloads.push_back(catalog::makeStorageWorkload());
+    Problem noCxl = base;
+    for (const kb::HardwareSpec* h : kb_->byClass(HardwareClass::Server))
+        if (!h->boolAttr(kb::kAttrCxlSupported).value_or(false))
+            noCxl.hardware[HardwareClass::Server].candidateModels.push_back(
+                h->model);
+    const ScenarioComparison cmp = compareScenarios(noCxl, base);
+    ASSERT_TRUE(cmp.a.has_value());
+    ASSERT_TRUE(cmp.b.has_value());
+    // Both feasible; the comparison lists any ripple as concrete changes.
+    for (const std::string& change : cmp.changes) EXPECT_FALSE(change.empty());
+}
+
+TEST_F(ReasonTest, RetentionAnalysisSonata) {
+    // §5.1 query 2: keep Sonata unless there are huge benefits.
+    Problem p = caseStudyProblem();
+    const RetentionReport report = analyzeRetention(p, "Sonata");
+    ASSERT_TRUE(report.keeping.has_value());
+    ASSERT_TRUE(report.free_.has_value());
+    EXPECT_TRUE(report.keeping->uses("Sonata"));
+    ASSERT_FALSE(report.extraCostPerObjective.empty());
+    // Keeping a feasible system can never *improve* the free optimum.
+    for (std::size_t i = 0; i < report.extraCostPerObjective.size(); ++i) {
+        if (report.extraCostPerObjective[i] != 0) {
+            EXPECT_GT(report.extraCostPerObjective[i], 0);
+            break;
+        }
+    }
+}
+
+TEST_F(ReasonTest, ValueOfInformationShenangoDemikernel) {
+    // §3.1: is measuring Shenango vs Demikernel isolation worth it? Only if
+    // the answer would change the design.
+    Problem p = makeDefaultProblem(*kb_);
+    p.objectivePriority = {kb::kObjIsolation};
+    const InformationValue value =
+        valueOfInformation(p, kb::kObjIsolation, "Shenango", "Demikernel");
+    ASSERT_TRUE(value.ifABetter.has_value());
+    ASSERT_TRUE(value.ifBBetter.has_value());
+    // The engine answers decisively either way; the flag tells the architect
+    // whether running the measurement pays off.
+    if (value.changesDesign) {
+        EXPECT_FALSE(value.ifABetter->diff(*value.ifBBetter).empty());
+    } else {
+        EXPECT_TRUE(value.ifABetter->diff(*value.ifBBetter).empty());
+    }
+}
+
+TEST_F(ReasonTest, DesignDiffListsChanges) {
+    Design a;
+    a.chosen[Category::NetworkStack] = "Linux";
+    a.hardwareModel[HardwareClass::Nic] = "N1";
+    Design b;
+    b.chosen[Category::NetworkStack] = "Snap";
+    b.hardwareModel[HardwareClass::Nic] = "N1";
+    b.enabledOptions.insert("pony_enabled");
+    const auto changes = a.diff(b);
+    ASSERT_EQ(changes.size(), 2u);
+    EXPECT_NE(changes[0].find("Linux -> Snap"), std::string::npos);
+    EXPECT_NE(changes[1].find("pony_enabled"), std::string::npos);
+    EXPECT_TRUE(a.diff(a).empty());
+}
+
+TEST_F(ReasonTest, ValidatorCatchesBrokenDesigns) {
+    const Problem p = caseStudyProblem();
+    Engine engine(p);
+    auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    // Sabotage: swap the load balancer to ECMP (violates the bound).
+    Design broken = *design;
+    broken.chosen[Category::LoadBalancer] = "ECMP";
+    const auto violations = validateDesign(p, broken);
+    EXPECT_FALSE(violations.empty());
+}
+
+TEST_F(ReasonTest, CommonSenseOffAllowsIncoherentDesigns) {
+    // §3.4: without common-sense rules the engine may return designs with
+    // no network stack at all.
+    Problem p = makeDefaultProblem(*kb_);
+    p.commonSenseRules = false;
+    p.preferMinimalDesign = true;
+    p.objectivePriority = {};
+    Engine engine(p);
+    const auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    EXPECT_TRUE(design->chosen.empty()); // nothing forces anything
+}
+
+// Property suite across both backends.
+class ReasonBackendTest : public ::testing::TestWithParam<smt::BackendKind> {
+protected:
+    static void SetUpTestSuite() {
+        kb_ = new kb::KnowledgeBase(catalog::buildKnowledgeBase());
+    }
+    static void TearDownTestSuite() {
+        delete kb_;
+        kb_ = nullptr;
+    }
+    static kb::KnowledgeBase* kb_;
+};
+
+kb::KnowledgeBase* ReasonBackendTest::kb_ = nullptr;
+
+TEST_P(ReasonBackendTest, OptimalCostsAgreeAcrossBackends) {
+    Problem p = makeDefaultProblem(*kb_);
+    p.hardware[HardwareClass::Server].count = 40;
+    p.workloads = {catalog::makeInferenceWorkload()};
+    p.objectivePriority = {kb::kObjLatency, kb::kObjMonitoring};
+    Engine engine(p, GetParam());
+    const auto design = engine.optimize();
+    ASSERT_TRUE(design.has_value());
+    EXPECT_TRUE(validateDesign(p, *design).empty());
+    // The cdcl backend's result is the reference; both must agree on costs.
+    Engine reference(p, smt::BackendKind::Cdcl);
+    const auto refDesign = reference.optimize();
+    ASSERT_TRUE(refDesign.has_value());
+    EXPECT_EQ(design->objectiveCosts, refDesign->objectiveCosts);
+}
+
+std::vector<smt::BackendKind> reasonBackends() {
+    std::vector<smt::BackendKind> kinds{smt::BackendKind::Cdcl};
+    if (smt::haveZ3()) kinds.push_back(smt::BackendKind::Z3);
+    return kinds;
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ReasonBackendTest,
+                         ::testing::ValuesIn(reasonBackends()),
+                         [](const ::testing::TestParamInfo<smt::BackendKind>& info) {
+                             return info.param == smt::BackendKind::Cdcl ? "cdcl"
+                                                                         : "z3";
+                         });
+
+} // namespace
+} // namespace lar::reason

@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "testsupport.hpp"
+#include "util/rng.hpp"
+
+namespace lar::sat {
+namespace {
+
+using test::bruteForceSat;
+using test::randomKSat;
+using test::satisfies;
+
+TEST(Lit, EncodingRoundTrip) {
+    const Lit p = mkLit(5);
+    EXPECT_EQ(p.var(), 5);
+    EXPECT_FALSE(p.sign());
+    const Lit n = ~p;
+    EXPECT_EQ(n.var(), 5);
+    EXPECT_TRUE(n.sign());
+    EXPECT_EQ(~n, p);
+    EXPECT_EQ(Lit::fromIndex(p.index()), p);
+    EXPECT_EQ(p.toDimacs(), 6);
+    EXPECT_EQ(n.toDimacs(), -6);
+}
+
+TEST(Lit, UndefIsNotDefined) {
+    EXPECT_FALSE(kUndefLit.isDefined());
+    EXPECT_TRUE(mkLit(0).isDefined());
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+    Solver s;
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Solver, SingleUnit) {
+    Solver s;
+    const Var x = s.newVar();
+    ASSERT_TRUE(s.addClause(mkLit(x)));
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(x));
+}
+
+TEST(Solver, ContradictoryUnitsAreUnsat) {
+    Solver s;
+    const Var x = s.newVar();
+    ASSERT_TRUE(s.addClause(mkLit(x)));
+    EXPECT_FALSE(s.addClause(~mkLit(x)));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+    EXPECT_TRUE(s.inconsistent());
+}
+
+TEST(Solver, TautologyIgnored) {
+    Solver s;
+    const Var x = s.newVar();
+    ASSERT_TRUE(s.addClause(std::vector<Lit>{mkLit(x), ~mkLit(x)}));
+    EXPECT_EQ(s.numClauses(), 0u);
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Solver, DuplicateLiteralsCollapse) {
+    Solver s;
+    const Var x = s.newVar();
+    ASSERT_TRUE(s.addClause(std::vector<Lit>{mkLit(x), mkLit(x), mkLit(x)}));
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(x));
+}
+
+TEST(Solver, SimpleImplicationChain) {
+    // x0 ∧ (x0→x1) ∧ (x1→x2) ∧ ... forces all true.
+    Solver s;
+    constexpr int n = 20;
+    std::vector<Var> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.newVar());
+    ASSERT_TRUE(s.addClause(mkLit(vars[0])));
+    for (int i = 0; i + 1 < n; ++i)
+        ASSERT_TRUE(s.addClause(~mkLit(vars[i]), mkLit(vars[i + 1])));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    for (const Var v : vars) EXPECT_TRUE(s.modelValue(v));
+}
+
+TEST(Solver, PigeonholeUnsat) {
+    // 4 pigeons, 3 holes: classic small UNSAT instance needing real search.
+    Solver s;
+    constexpr int pigeons = 4;
+    constexpr int holes = 3;
+    Var p[pigeons][holes];
+    for (auto& row : p)
+        for (auto& v : row) v = s.newVar();
+    for (int i = 0; i < pigeons; ++i) {
+        std::vector<Lit> atLeastOne;
+        for (int j = 0; j < holes; ++j) atLeastOne.push_back(mkLit(p[i][j]));
+        ASSERT_TRUE(s.addClause(std::move(atLeastOne)));
+    }
+    for (int j = 0; j < holes; ++j)
+        for (int i = 0; i < pigeons; ++i)
+            for (int k = i + 1; k < pigeons; ++k)
+                ASSERT_TRUE(s.addClause(~mkLit(p[i][j]), ~mkLit(p[k][j])));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, AssumptionsSelectBranch) {
+    Solver s;
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    ASSERT_TRUE(s.addClause(mkLit(a), mkLit(b))); // a ∨ b
+    const std::vector<Lit> assumeNotA{~mkLit(a)};
+    ASSERT_EQ(s.solve(assumeNotA), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(a));
+    EXPECT_TRUE(s.modelValue(b));
+    const std::vector<Lit> assumeNotB{~mkLit(b)};
+    ASSERT_EQ(s.solve(assumeNotB), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Solver, UnsatCoreIsSubsetOfAssumptionsAndUnsat) {
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    const Var z = s.newVar();
+    ASSERT_TRUE(s.addClause(~mkLit(x), ~mkLit(y))); // x ∧ y impossible
+    // z is irrelevant.
+    const std::vector<Lit> assumptions{mkLit(z), mkLit(x), mkLit(y)};
+    ASSERT_EQ(s.solve(assumptions), SolveResult::Unsat);
+    const auto& core = s.unsatCore();
+    EXPECT_GE(core.size(), 2u);
+    for (const Lit l : core) {
+        EXPECT_TRUE(std::find(assumptions.begin(), assumptions.end(), l) !=
+                    assumptions.end());
+    }
+    // The core itself (x, y) should exclude the irrelevant z.
+    EXPECT_TRUE(std::find(core.begin(), core.end(), mkLit(z)) == core.end());
+}
+
+TEST(Solver, UnsatCoreWithPropagatedConflict) {
+    // Assumption a forces chain to ¬b; assuming b too must fail with a core.
+    Solver s;
+    const Var a = s.newVar();
+    const Var m = s.newVar();
+    const Var b = s.newVar();
+    ASSERT_TRUE(s.addClause(~mkLit(a), mkLit(m)));
+    ASSERT_TRUE(s.addClause(~mkLit(m), ~mkLit(b)));
+    const std::vector<Lit> assumptions{mkLit(a), mkLit(b)};
+    ASSERT_EQ(s.solve(assumptions), SolveResult::Unsat);
+    EXPECT_FALSE(s.unsatCore().empty());
+}
+
+TEST(Solver, IncrementalAddAfterSolve) {
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    ASSERT_TRUE(s.addClause(mkLit(x), mkLit(y)));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    ASSERT_TRUE(s.addClause(~mkLit(x)));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(x));
+    EXPECT_TRUE(s.modelValue(y));
+    s.addClause(~mkLit(y));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, ConflictBudgetReturnsUnknown) {
+    // A hard pigeonhole instance with a 1-conflict budget cannot finish.
+    SolverOptions opts;
+    opts.conflictBudget = 1;
+    Solver s(opts);
+    constexpr int pigeons = 7;
+    constexpr int holes = 6;
+    std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+    for (auto& row : p)
+        for (auto& v : row) v = s.newVar();
+    for (int i = 0; i < pigeons; ++i) {
+        std::vector<Lit> c;
+        for (int j = 0; j < holes; ++j) c.push_back(mkLit(p[i][j]));
+        s.addClause(std::move(c));
+    }
+    for (int j = 0; j < holes; ++j)
+        for (int i = 0; i < pigeons; ++i)
+            for (int k = i + 1; k < pigeons; ++k)
+                s.addClause(~mkLit(p[i][j]), ~mkLit(p[k][j]));
+    EXPECT_EQ(s.solve(), SolveResult::Unknown);
+}
+
+TEST(Solver, ManyConflictsTriggerRestartsWithoutHanging) {
+    // Regression: instances crossing the restart threshold (100 conflicts by
+    // default) must keep making progress through the Luby sequence. A
+    // broken luby() implementation hangs here.
+    util::Rng rng(4242);
+    int restartsSeen = 0;
+    for (int round = 0; round < 25; ++round) {
+        const Cnf cnf = randomKSat(rng, 60, 255, 3); // near phase transition
+        Solver s;
+        loadCnf(s, cnf);
+        const SolveResult result = s.solve();
+        EXPECT_NE(result, SolveResult::Unknown);
+        restartsSeen += static_cast<int>(s.stats().restarts);
+    }
+    EXPECT_GT(restartsSeen, 0) << "test must exercise the restart path";
+}
+
+TEST(Solver, LargePigeonholeCompletes) {
+    // PHP(8,7): thousands of conflicts, multiple restarts, DB reductions.
+    Solver s;
+    constexpr int holes = 7;
+    constexpr int pigeons = 8;
+    std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+    for (auto& row : p)
+        for (auto& v : row) v = s.newVar();
+    for (int i = 0; i < pigeons; ++i) {
+        std::vector<Lit> c;
+        for (int j = 0; j < holes; ++j) c.push_back(mkLit(p[i][j]));
+        s.addClause(std::move(c));
+    }
+    for (int j = 0; j < holes; ++j)
+        for (int i = 0; i < pigeons; ++i)
+            for (int k = i + 1; k < pigeons; ++k)
+                s.addClause(~mkLit(p[i][j]), ~mkLit(p[k][j]));
+    EXPECT_EQ(s.solve(), SolveResult::Unsat);
+    EXPECT_GT(s.stats().conflicts, 100u);
+}
+
+TEST(Solver, StatsAreTracked) {
+    Solver s;
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    s.addClause(mkLit(x), mkLit(y));
+    s.addClause(~mkLit(x), mkLit(y));
+    s.addClause(mkLit(x), ~mkLit(y));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_GE(s.stats().decisions, 1u);
+    EXPECT_EQ(s.stats().solves, 1u);
+}
+
+// --- Parameterized property suite: solver configs × random instances -------
+
+struct ConfigCase {
+    const char* name;
+    SolverOptions opts;
+};
+
+class SolverConfigTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(SolverConfigTest, AgreesWithBruteForceOnRandom3Sat) {
+    util::Rng rng(2024);
+    int satCount = 0;
+    int unsatCount = 0;
+    for (int round = 0; round < 60; ++round) {
+        const int vars = 6 + static_cast<int>(rng.below(7));       // 6..12
+        const int clauses = static_cast<int>(vars * (3.0 + rng.uniform() * 2.5));
+        const Cnf cnf = randomKSat(rng, vars, clauses, 3);
+        const auto expected = bruteForceSat(cnf);
+
+        Solver s(GetParam().opts);
+        loadCnf(s, cnf);
+        const SolveResult result = s.solve();
+        if (expected.has_value()) {
+            ASSERT_EQ(result, SolveResult::Sat) << "round " << round;
+            std::vector<bool> model(static_cast<std::size_t>(vars));
+            for (Var v = 0; v < vars; ++v)
+                model[static_cast<std::size_t>(v)] = s.modelValue(v);
+            EXPECT_TRUE(satisfies(cnf, model)) << "round " << round;
+            ++satCount;
+        } else {
+            ASSERT_EQ(result, SolveResult::Unsat) << "round " << round;
+            ++unsatCount;
+        }
+    }
+    // The clause-density range must exercise both outcomes.
+    EXPECT_GT(satCount, 5);
+    EXPECT_GT(unsatCount, 5);
+}
+
+TEST_P(SolverConfigTest, UnsatCoreIsActuallyUnsat) {
+    // Random instances solved under random assumptions: whenever Unsat, the
+    // returned core re-asserted as units must also be Unsat.
+    util::Rng rng(777);
+    int coresChecked = 0;
+    for (int round = 0; round < 40; ++round) {
+        const int vars = 8;
+        const Cnf cnf = randomKSat(rng, vars, 30, 3);
+        std::vector<Lit> assumptions;
+        for (Var v = 0; v < 4; ++v)
+            assumptions.push_back(mkLit(v, rng.chance(0.5)));
+
+        Solver s(GetParam().opts);
+        loadCnf(s, cnf);
+        if (s.solve(assumptions) != SolveResult::Unsat) continue;
+        const std::vector<Lit> core = s.unsatCore();
+        Solver s2(GetParam().opts);
+        loadCnf(s2, cnf);
+        bool ok = true;
+        for (const Lit l : core) ok = s2.addClause(l) && ok;
+        EXPECT_TRUE(!ok || s2.solve() == SolveResult::Unsat) << "round " << round;
+        ++coresChecked;
+    }
+    EXPECT_GT(coresChecked, 3);
+}
+
+SolverOptions makeOpts(bool learning, bool vsids, bool restarts, bool phase) {
+    SolverOptions o;
+    o.useLearning = learning;
+    o.useVsids = vsids;
+    o.useRestarts = restarts;
+    o.usePhaseSaving = phase;
+    return o;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SolverConfigTest,
+    ::testing::Values(
+        ConfigCase{"full_cdcl", makeOpts(true, true, true, true)},
+        ConfigCase{"no_vsids", makeOpts(true, false, true, true)},
+        ConfigCase{"no_restarts", makeOpts(true, true, false, true)},
+        ConfigCase{"no_phase_saving", makeOpts(true, true, true, false)},
+        ConfigCase{"dpll", makeOpts(false, true, false, true)},
+        ConfigCase{"dpll_static_order", makeOpts(false, false, false, false)}),
+    [](const ::testing::TestParamInfo<ConfigCase>& info) {
+        return std::string(info.param.name);
+    });
+
+// --- DIMACS -----------------------------------------------------------------
+
+TEST(Dimacs, ParseBasic) {
+    const Cnf cnf = parseDimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+    EXPECT_EQ(cnf.numVars, 3);
+    ASSERT_EQ(cnf.clauses.size(), 2u);
+    EXPECT_EQ(cnf.clauses[0][0], mkLit(0));
+    EXPECT_EQ(cnf.clauses[0][1], ~mkLit(1));
+}
+
+TEST(Dimacs, RoundTrip) {
+    util::Rng rng(5);
+    const Cnf cnf = randomKSat(rng, 10, 25, 3);
+    const Cnf parsed = parseDimacs(writeDimacs(cnf));
+    EXPECT_EQ(parsed.numVars, cnf.numVars);
+    ASSERT_EQ(parsed.clauses.size(), cnf.clauses.size());
+    for (std::size_t i = 0; i < cnf.clauses.size(); ++i)
+        EXPECT_EQ(parsed.clauses[i], cnf.clauses[i]);
+}
+
+TEST(Dimacs, ClauseSpanningLines) {
+    const Cnf cnf = parseDimacs("p cnf 3 1\n1\n2\n3 0\n");
+    ASSERT_EQ(cnf.clauses.size(), 1u);
+    EXPECT_EQ(cnf.clauses[0].size(), 3u);
+}
+
+TEST(Dimacs, Malformed) {
+    EXPECT_THROW(parseDimacs(""), ParseError);
+    EXPECT_THROW(parseDimacs("1 2 0\n"), ParseError);
+    EXPECT_THROW(parseDimacs("p cnf 2 1\n5 0\n"), ParseError);
+    EXPECT_THROW(parseDimacs("p cnf 2 2\n1 0\n"), ParseError);
+}
+
+} // namespace
+} // namespace lar::sat

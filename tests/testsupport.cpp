@@ -1,0 +1,52 @@
+#include "testsupport.hpp"
+
+#include "util/error.hpp"
+
+namespace lar::test {
+
+sat::Cnf randomKSat(util::Rng& rng, int numVars, int numClauses, int k) {
+    expects(k <= numVars, "randomKSat: k exceeds variable count");
+    sat::Cnf cnf;
+    cnf.numVars = numVars;
+    cnf.clauses.reserve(static_cast<std::size_t>(numClauses));
+    for (int c = 0; c < numClauses; ++c) {
+        std::vector<sat::Lit> clause;
+        std::vector<char> used(static_cast<std::size_t>(numVars), 0);
+        while (static_cast<int>(clause.size()) < k) {
+            const auto v = static_cast<sat::Var>(rng.below(static_cast<std::uint64_t>(numVars)));
+            if (used[static_cast<std::size_t>(v)]) continue;
+            used[static_cast<std::size_t>(v)] = 1;
+            clause.push_back(sat::mkLit(v, rng.chance(0.5)));
+        }
+        cnf.clauses.push_back(std::move(clause));
+    }
+    return cnf;
+}
+
+bool satisfies(const sat::Cnf& cnf, const std::vector<bool>& assignment) {
+    for (const auto& clause : cnf.clauses) {
+        bool sat = false;
+        for (const sat::Lit l : clause) {
+            if (assignment[static_cast<std::size_t>(l.var())] != l.sign()) {
+                sat = true;
+                break;
+            }
+        }
+        if (!sat) return false;
+    }
+    return true;
+}
+
+std::optional<std::vector<bool>> bruteForceSat(const sat::Cnf& cnf) {
+    expects(cnf.numVars <= 24, "bruteForceSat: too many variables");
+    const std::uint64_t limit = 1ULL << cnf.numVars;
+    std::vector<bool> assignment(static_cast<std::size_t>(cnf.numVars));
+    for (std::uint64_t bits = 0; bits < limit; ++bits) {
+        for (int v = 0; v < cnf.numVars; ++v)
+            assignment[static_cast<std::size_t>(v)] = ((bits >> v) & 1) != 0;
+        if (satisfies(cnf, assignment)) return assignment;
+    }
+    return std::nullopt;
+}
+
+} // namespace lar::test

@@ -1,0 +1,24 @@
+// Shared test helpers: random CNF generation and a brute-force SAT oracle.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sat/dimacs.hpp"
+#include "sat/types.hpp"
+#include "util/rng.hpp"
+
+namespace lar::test {
+
+/// Generates a uniform random k-SAT instance with `numVars` variables and
+/// `numClauses` clauses (distinct variables within each clause).
+[[nodiscard]] sat::Cnf randomKSat(util::Rng& rng, int numVars, int numClauses, int k);
+
+/// Exhaustive SAT check (numVars must be small). Returns a model when
+/// satisfiable, nullopt otherwise.
+[[nodiscard]] std::optional<std::vector<bool>> bruteForceSat(const sat::Cnf& cnf);
+
+/// True when `assignment` satisfies every clause of `cnf`.
+[[nodiscard]] bool satisfies(const sat::Cnf& cnf, const std::vector<bool>& assignment);
+
+} // namespace lar::test

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace lar::util {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    const auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+    const auto parts = split("alone", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+    const auto parts = splitWhitespace("  a \t b\n c  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, TrimBothEnds) {
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("z"), "z");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(toLower("AbC-42"), "abc-42"); }
+
+TEST(Strings, StartsEndsWith) {
+    EXPECT_TRUE(startsWith("hello world", "hello"));
+    EXPECT_FALSE(startsWith("hello", "hello world"));
+    EXPECT_TRUE(endsWith("spec.json", ".json"));
+    EXPECT_FALSE(endsWith("spec", ".json"));
+}
+
+TEST(Strings, ContainsIgnoreCase) {
+    EXPECT_TRUE(containsIgnoreCase("Cisco Catalyst 9500-40X", "catalyst"));
+    EXPECT_FALSE(containsIgnoreCase("Cisco", "juniper"));
+    EXPECT_TRUE(containsIgnoreCase("anything", ""));
+}
+
+TEST(Strings, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(Strings, ReplaceAll) {
+    EXPECT_EQ(replaceAll("a-b-c", "-", "+"), "a+b+c");
+    EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(replaceAll("none", "x", "y"), "none");
+}
+
+TEST(Strings, ParseFirstIntPlain) {
+    long long v = 0;
+    ASSERT_TRUE(parseFirstInt("40x 10 Gigabit", v));
+    EXPECT_EQ(v, 40);
+}
+
+TEST(Strings, ParseFirstIntThousandsSeparators) {
+    long long v = 0;
+    ASSERT_TRUE(parseFirstInt("64,000 entries", v));
+    EXPECT_EQ(v, 64000);
+}
+
+TEST(Strings, ParseFirstIntStopsAtNonNumericComma) {
+    long long v = 0;
+    ASSERT_TRUE(parseFirstInt("16, then more", v));
+    EXPECT_EQ(v, 16);
+}
+
+TEST(Strings, ParseFirstIntNoDigits) {
+    long long v = 0;
+    EXPECT_FALSE(parseFirstInt("N/A", v));
+}
+
+TEST(Strings, FormatDouble) {
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 1), "2.0");
+}
+
+TEST(Errors, ExpectsThrowsLogicError) {
+    EXPECT_NO_THROW(expects(true, "fine"));
+    EXPECT_THROW(expects(false, "boom"), LogicError);
+}
+
+TEST(Errors, HierarchyIsCatchableAsError) {
+    try {
+        throw ParseError("bad file");
+    } catch (const Error& e) {
+        EXPECT_STREQ(e.what(), "bad file");
+        return;
+    }
+    FAIL() << "ParseError not caught as Error";
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+    EXPECT_THROW(rng.below(0), LogicError);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng rng(9);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo = sawLo || v == -3;
+        sawHi = sawHi || v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (rng.chance(0.25)) ++hits;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+} // namespace
+} // namespace lar::util

@@ -1,0 +1,214 @@
+// larctl — command-line front end to the reasoning library.
+//
+// The workflow the paper envisions: a shared knowledge base (JSON, possibly
+// crowd-sourced), per-team problem specs (JSON), and quick answers at the
+// terminal.
+//
+//   larctl export-kb <kb.json>             write the built-in seed KB
+//   larctl validate <kb.json>              check an encoding file
+//   larctl feasible <kb.json> <prob.json>  is any compliant design possible?
+//                                          (prints a minimal conflict if not)
+//   larctl optimize <kb.json> <prob.json>  lexicographically optimal design
+//   larctl enumerate <kb.json> <prob.json> [N]   distinct optimal designs
+//   larctl suggest  <kb.json> <prob.json>  disambiguation suggestions (§6)
+//   larctl ordering <kb.json> <objective>  Graphviz of the partial order
+//   larctl sheet    <kb.json> <model>      render a vendor spec sheet
+//   larctl diff     <old.json> <new.json>  review a KB contribution (§3.3)
+//
+// Pass the literal name "builtin" instead of <kb.json> to use the compiled-in
+// catalog (56 systems / 208 hardware specs).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "catalog/catalog.hpp"
+#include "extract/specgen.hpp"
+#include "kb/diff.hpp"
+#include "kb/serialize.hpp"
+#include "order/poset.hpp"
+#include "reason/engine.hpp"
+#include "reason/problem_io.hpp"
+#include "reason/validate.hpp"
+#include "util/error.hpp"
+#include "util/file.hpp"
+
+using namespace lar;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: larctl <command> [args]\n"
+                 "  export-kb <out.json>\n"
+                 "  validate  <kb.json>\n"
+                 "  feasible  <kb.json> <problem.json>\n"
+                 "  optimize  <kb.json> <problem.json>\n"
+                 "  enumerate <kb.json> <problem.json> [maxDesigns]\n"
+                 "  suggest   <kb.json> <problem.json>\n"
+                 "  ordering  <kb.json> <objective>\n"
+                 "  sheet     <kb.json> <model name>\n"
+                 "  diff      <old.json> <new.json>\n"
+                 "use 'builtin' as <kb.json> for the compiled-in catalog\n");
+    return 2;
+}
+
+kb::KnowledgeBase loadKb(const std::string& path) {
+    if (path == "builtin") return catalog::buildKnowledgeBase();
+    return kb::kbFromText(util::readFile(path));
+}
+
+int cmdExportKb(const std::string& out) {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    util::writeFile(out, kb::kbToText(kb));
+    std::printf("wrote %zu systems, %zu hardware specs, %zu orderings to %s\n",
+                kb.systems().size(), kb.hardwareSpecs().size(),
+                kb.orderings().size(), out.c_str());
+    return 0;
+}
+
+int cmdValidate(const std::string& kbPath) {
+    const kb::KnowledgeBase kb = loadKb(kbPath);
+    const auto issues = kb.validate();
+    int errors = 0;
+    for (const kb::ValidationIssue& issue : issues) {
+        const bool isError =
+            issue.severity == kb::ValidationIssue::Severity::Error;
+        std::printf("%s: %s\n", isError ? "error" : "warning",
+                    issue.message.c_str());
+        if (isError) ++errors;
+    }
+    std::printf("%zu systems, %zu hardware specs, %zu orderings; %d errors, "
+                "%zu findings\n",
+                kb.systems().size(), kb.hardwareSpecs().size(),
+                kb.orderings().size(), errors, issues.size());
+    return errors == 0 ? 0 : 1;
+}
+
+int cmdFeasible(const std::string& kbPath, const std::string& problemPath) {
+    const kb::KnowledgeBase kb = loadKb(kbPath);
+    const reason::Problem problem =
+        reason::problemFromText(util::readFile(problemPath), kb);
+    reason::Engine engine(problem);
+    const auto report = engine.explainMinimalConflict();
+    if (report.feasible) {
+        std::printf("FEASIBLE\n");
+        return 0;
+    }
+    std::printf("INFEASIBLE — minimal conflicting rule set:\n");
+    for (const std::string& rule : report.conflictingRules)
+        std::printf("  - %s\n", rule.c_str());
+    return 1;
+}
+
+int cmdOptimize(const std::string& kbPath, const std::string& problemPath) {
+    const kb::KnowledgeBase kb = loadKb(kbPath);
+    const reason::Problem problem =
+        reason::problemFromText(util::readFile(problemPath), kb);
+    reason::Engine engine(problem);
+    const auto design = engine.optimize();
+    if (!design) {
+        std::printf("INFEASIBLE — run 'larctl feasible' for the conflict\n");
+        return 1;
+    }
+    std::printf("%s", design->toString().c_str());
+    const auto violations = reason::validateDesign(problem, *design);
+    if (!violations.empty()) {
+        std::printf("INTERNAL ERROR: design failed independent validation:\n");
+        for (const std::string& v : violations) std::printf("  %s\n", v.c_str());
+        return 3;
+    }
+    return 0;
+}
+
+int cmdEnumerate(const std::string& kbPath, const std::string& problemPath,
+                 int maxDesigns) {
+    const kb::KnowledgeBase kb = loadKb(kbPath);
+    const reason::Problem problem =
+        reason::problemFromText(util::readFile(problemPath), kb);
+    reason::Engine engine(problem);
+    const auto designs = engine.enumerateDesigns(maxDesigns, /*optimizeFirst=*/true);
+    std::printf("%zu design(s) in the optimal equivalence class:\n",
+                designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        std::printf("--- design %zu ---\n%s", i + 1, designs[i].toString().c_str());
+    }
+    return designs.empty() ? 1 : 0;
+}
+
+int cmdSuggest(const std::string& kbPath, const std::string& problemPath) {
+    const kb::KnowledgeBase kb = loadKb(kbPath);
+    const reason::Problem problem =
+        reason::problemFromText(util::readFile(problemPath), kb);
+    const auto suggestions = reason::suggestDisambiguation(problem);
+    if (suggestions.empty()) {
+        std::printf("the optimal design is already unique (or infeasible)\n");
+        return 0;
+    }
+    for (const auto& s : suggestions) std::printf("* %s\n", s.suggestion.c_str());
+    return 0;
+}
+
+int cmdOrdering(const std::string& kbPath, const std::string& objective) {
+    const kb::KnowledgeBase kb = loadKb(kbPath);
+    const order::PreferenceGraph graph(kb, objective);
+    // Render with every conditional edge visible (empty context would hide
+    // them): use condition labels by passing a context that activates
+    // nothing and printing the full edge list instead.
+    std::printf("digraph \"%s\" {\n", objective.c_str());
+    for (const kb::Ordering* e : kb.orderingsFor(objective)) {
+        std::printf("  \"%s\" -> \"%s\"", e->better.c_str(), e->worse.c_str());
+        if (!e->condition.isTrivial())
+            std::printf(" [label=\"%s\"]", e->condition.toString().c_str());
+        std::printf(";\n");
+    }
+    std::printf("}\n");
+    return graph.systems().empty() ? 1 : 0;
+}
+
+int cmdDiff(const std::string& beforePath, const std::string& afterPath) {
+    const kb::KnowledgeBase before = loadKb(beforePath);
+    const kb::KnowledgeBase after = loadKb(afterPath);
+    const kb::KbDiff diff = kb::diffKnowledgeBases(before, after);
+    std::printf("%s", diff.toString().c_str());
+    std::printf("%zu change(s)\n", diff.totalChanges());
+    return 0;
+}
+
+int cmdSheet(const std::string& kbPath, const std::string& model) {
+    const kb::KnowledgeBase kb = loadKb(kbPath);
+    const kb::HardwareSpec* spec = kb.findHardware(model);
+    if (spec == nullptr) {
+        std::fprintf(stderr, "unknown model: %s\n", model.c_str());
+        return 1;
+    }
+    std::printf("%s", extract::renderSpecSheet(*spec).text.c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "export-kb" && argc == 3) return cmdExportKb(argv[2]);
+        if (command == "validate" && argc == 3) return cmdValidate(argv[2]);
+        if (command == "feasible" && argc == 4)
+            return cmdFeasible(argv[2], argv[3]);
+        if (command == "optimize" && argc == 4)
+            return cmdOptimize(argv[2], argv[3]);
+        if (command == "enumerate" && (argc == 4 || argc == 5))
+            return cmdEnumerate(argv[2], argv[3],
+                                argc == 5 ? std::atoi(argv[4]) : 4);
+        if (command == "suggest" && argc == 4)
+            return cmdSuggest(argv[2], argv[3]);
+        if (command == "ordering" && argc == 4)
+            return cmdOrdering(argv[2], argv[3]);
+        if (command == "sheet" && argc == 4) return cmdSheet(argv[2], argv[3]);
+        if (command == "diff" && argc == 4) return cmdDiff(argv[2], argv[3]);
+    } catch (const Error& e) {
+        std::fprintf(stderr, "larctl: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
