@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backend_compare.dir/bench_backend_compare.cpp.o"
+  "CMakeFiles/bench_backend_compare.dir/bench_backend_compare.cpp.o.d"
+  "bench_backend_compare"
+  "bench_backend_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backend_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

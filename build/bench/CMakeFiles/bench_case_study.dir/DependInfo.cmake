@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_case_study.cpp" "bench/CMakeFiles/bench_case_study.dir/bench_case_study.cpp.o" "gcc" "bench/CMakeFiles/bench_case_study.dir/bench_case_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reason/CMakeFiles/lar_reason.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/lar_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/lar_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/lar_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/lar_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lar_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/lar_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/lar_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lar_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_imbalance.dir/bench_lb_imbalance.cpp.o"
+  "CMakeFiles/bench_lb_imbalance.dir/bench_lb_imbalance.cpp.o.d"
+  "bench_lb_imbalance"
+  "bench_lb_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listing1_hw_extraction.dir/bench_listing1_hw_extraction.cpp.o"
+  "CMakeFiles/bench_listing1_hw_extraction.dir/bench_listing1_hw_extraction.cpp.o.d"
+  "bench_listing1_hw_extraction"
+  "bench_listing1_hw_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listing1_hw_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_listing1_hw_extraction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pfc_deadlock.dir/bench_pfc_deadlock.cpp.o"
+  "CMakeFiles/bench_pfc_deadlock.dir/bench_pfc_deadlock.cpp.o.d"
+  "bench_pfc_deadlock"
+  "bench_pfc_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pfc_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

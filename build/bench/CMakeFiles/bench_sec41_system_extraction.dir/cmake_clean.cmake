@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_system_extraction.dir/bench_sec41_system_extraction.cpp.o"
+  "CMakeFiles/bench_sec41_system_extraction.dir/bench_sec41_system_extraction.cpp.o.d"
+  "bench_sec41_system_extraction"
+  "bench_sec41_system_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_system_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_encoding_check.dir/bench_sec42_encoding_check.cpp.o"
+  "CMakeFiles/bench_sec42_encoding_check.dir/bench_sec42_encoding_check.cpp.o.d"
+  "bench_sec42_encoding_check"
+  "bench_sec42_encoding_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_encoding_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

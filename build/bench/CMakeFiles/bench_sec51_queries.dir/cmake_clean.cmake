@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_queries.dir/bench_sec51_queries.cpp.o"
+  "CMakeFiles/bench_sec51_queries.dir/bench_sec51_queries.cpp.o.d"
+  "bench_sec51_queries"
+  "bench_sec51_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_llm_vs_sat.dir/bench_sec52_llm_vs_sat.cpp.o"
+  "CMakeFiles/bench_sec52_llm_vs_sat.dir/bench_sec52_llm_vs_sat.cpp.o.d"
+  "bench_sec52_llm_vs_sat"
+  "bench_sec52_llm_vs_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_llm_vs_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

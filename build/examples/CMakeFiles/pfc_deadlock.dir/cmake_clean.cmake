@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfc_deadlock.dir/pfc_deadlock.cpp.o"
+  "CMakeFiles/pfc_deadlock.dir/pfc_deadlock.cpp.o.d"
+  "pfc_deadlock"
+  "pfc_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfc_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

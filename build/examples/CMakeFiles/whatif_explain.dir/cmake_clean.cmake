@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_explain.dir/whatif_explain.cpp.o"
+  "CMakeFiles/whatif_explain.dir/whatif_explain.cpp.o.d"
+  "whatif_explain"
+  "whatif_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

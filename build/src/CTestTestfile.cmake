@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("sat")
+subdirs("encode")
+subdirs("opt")
+subdirs("smt")
+subdirs("kb")
+subdirs("order")
+subdirs("reason")
+subdirs("rules")
+subdirs("topo")
+subdirs("extract")
+subdirs("llmsim")
+subdirs("catalog")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_catalog.dir/hardware.cpp.o"
+  "CMakeFiles/lar_catalog.dir/hardware.cpp.o.d"
+  "CMakeFiles/lar_catalog.dir/systems.cpp.o"
+  "CMakeFiles/lar_catalog.dir/systems.cpp.o.d"
+  "CMakeFiles/lar_catalog.dir/workloads.cpp.o"
+  "CMakeFiles/lar_catalog.dir/workloads.cpp.o.d"
+  "liblar_catalog.a"
+  "liblar_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_encode.dir/cardinality.cpp.o"
+  "CMakeFiles/lar_encode.dir/cardinality.cpp.o.d"
+  "CMakeFiles/lar_encode.dir/cnf_builder.cpp.o"
+  "CMakeFiles/lar_encode.dir/cnf_builder.cpp.o.d"
+  "CMakeFiles/lar_encode.dir/intvar.cpp.o"
+  "CMakeFiles/lar_encode.dir/intvar.cpp.o.d"
+  "CMakeFiles/lar_encode.dir/pb.cpp.o"
+  "CMakeFiles/lar_encode.dir/pb.cpp.o.d"
+  "liblar_encode.a"
+  "liblar_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/checker.cpp" "src/extract/CMakeFiles/lar_extract.dir/checker.cpp.o" "gcc" "src/extract/CMakeFiles/lar_extract.dir/checker.cpp.o.d"
+  "/root/repo/src/extract/disputes.cpp" "src/extract/CMakeFiles/lar_extract.dir/disputes.cpp.o" "gcc" "src/extract/CMakeFiles/lar_extract.dir/disputes.cpp.o.d"
+  "/root/repo/src/extract/extractor.cpp" "src/extract/CMakeFiles/lar_extract.dir/extractor.cpp.o" "gcc" "src/extract/CMakeFiles/lar_extract.dir/extractor.cpp.o.d"
+  "/root/repo/src/extract/specgen.cpp" "src/extract/CMakeFiles/lar_extract.dir/specgen.cpp.o" "gcc" "src/extract/CMakeFiles/lar_extract.dir/specgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/lar_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lar_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_extract.dir/checker.cpp.o"
+  "CMakeFiles/lar_extract.dir/checker.cpp.o.d"
+  "CMakeFiles/lar_extract.dir/disputes.cpp.o"
+  "CMakeFiles/lar_extract.dir/disputes.cpp.o.d"
+  "CMakeFiles/lar_extract.dir/extractor.cpp.o"
+  "CMakeFiles/lar_extract.dir/extractor.cpp.o.d"
+  "CMakeFiles/lar_extract.dir/specgen.cpp.o"
+  "CMakeFiles/lar_extract.dir/specgen.cpp.o.d"
+  "liblar_extract.a"
+  "liblar_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_json.dir/parse.cpp.o"
+  "CMakeFiles/lar_json.dir/parse.cpp.o.d"
+  "CMakeFiles/lar_json.dir/value.cpp.o"
+  "CMakeFiles/lar_json.dir/value.cpp.o.d"
+  "CMakeFiles/lar_json.dir/write.cpp.o"
+  "CMakeFiles/lar_json.dir/write.cpp.o.d"
+  "liblar_json.a"
+  "liblar_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

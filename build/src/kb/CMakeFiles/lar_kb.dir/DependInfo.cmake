@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/diff.cpp" "src/kb/CMakeFiles/lar_kb.dir/diff.cpp.o" "gcc" "src/kb/CMakeFiles/lar_kb.dir/diff.cpp.o.d"
+  "/root/repo/src/kb/hardware.cpp" "src/kb/CMakeFiles/lar_kb.dir/hardware.cpp.o" "gcc" "src/kb/CMakeFiles/lar_kb.dir/hardware.cpp.o.d"
+  "/root/repo/src/kb/kb.cpp" "src/kb/CMakeFiles/lar_kb.dir/kb.cpp.o" "gcc" "src/kb/CMakeFiles/lar_kb.dir/kb.cpp.o.d"
+  "/root/repo/src/kb/requirement.cpp" "src/kb/CMakeFiles/lar_kb.dir/requirement.cpp.o" "gcc" "src/kb/CMakeFiles/lar_kb.dir/requirement.cpp.o.d"
+  "/root/repo/src/kb/serialize.cpp" "src/kb/CMakeFiles/lar_kb.dir/serialize.cpp.o" "gcc" "src/kb/CMakeFiles/lar_kb.dir/serialize.cpp.o.d"
+  "/root/repo/src/kb/system.cpp" "src/kb/CMakeFiles/lar_kb.dir/system.cpp.o" "gcc" "src/kb/CMakeFiles/lar_kb.dir/system.cpp.o.d"
+  "/root/repo/src/kb/workload.cpp" "src/kb/CMakeFiles/lar_kb.dir/workload.cpp.o" "gcc" "src/kb/CMakeFiles/lar_kb.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lar_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

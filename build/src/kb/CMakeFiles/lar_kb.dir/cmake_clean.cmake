@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_kb.dir/diff.cpp.o"
+  "CMakeFiles/lar_kb.dir/diff.cpp.o.d"
+  "CMakeFiles/lar_kb.dir/hardware.cpp.o"
+  "CMakeFiles/lar_kb.dir/hardware.cpp.o.d"
+  "CMakeFiles/lar_kb.dir/kb.cpp.o"
+  "CMakeFiles/lar_kb.dir/kb.cpp.o.d"
+  "CMakeFiles/lar_kb.dir/requirement.cpp.o"
+  "CMakeFiles/lar_kb.dir/requirement.cpp.o.d"
+  "CMakeFiles/lar_kb.dir/serialize.cpp.o"
+  "CMakeFiles/lar_kb.dir/serialize.cpp.o.d"
+  "CMakeFiles/lar_kb.dir/system.cpp.o"
+  "CMakeFiles/lar_kb.dir/system.cpp.o.d"
+  "CMakeFiles/lar_kb.dir/workload.cpp.o"
+  "CMakeFiles/lar_kb.dir/workload.cpp.o.d"
+  "liblar_kb.a"
+  "liblar_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_llmsim.dir/greedy.cpp.o"
+  "CMakeFiles/lar_llmsim.dir/greedy.cpp.o.d"
+  "liblar_llmsim.a"
+  "liblar_llmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_llmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

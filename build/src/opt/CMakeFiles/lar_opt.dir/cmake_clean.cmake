@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_opt.dir/maxsat.cpp.o"
+  "CMakeFiles/lar_opt.dir/maxsat.cpp.o.d"
+  "liblar_opt.a"
+  "liblar_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblar_opt.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_order.dir/context.cpp.o"
+  "CMakeFiles/lar_order.dir/context.cpp.o.d"
+  "CMakeFiles/lar_order.dir/poset.cpp.o"
+  "CMakeFiles/lar_order.dir/poset.cpp.o.d"
+  "liblar_order.a"
+  "liblar_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_reason.dir/compile.cpp.o"
+  "CMakeFiles/lar_reason.dir/compile.cpp.o.d"
+  "CMakeFiles/lar_reason.dir/design.cpp.o"
+  "CMakeFiles/lar_reason.dir/design.cpp.o.d"
+  "CMakeFiles/lar_reason.dir/engine.cpp.o"
+  "CMakeFiles/lar_reason.dir/engine.cpp.o.d"
+  "CMakeFiles/lar_reason.dir/problem.cpp.o"
+  "CMakeFiles/lar_reason.dir/problem.cpp.o.d"
+  "CMakeFiles/lar_reason.dir/problem_io.cpp.o"
+  "CMakeFiles/lar_reason.dir/problem_io.cpp.o.d"
+  "CMakeFiles/lar_reason.dir/validate.cpp.o"
+  "CMakeFiles/lar_reason.dir/validate.cpp.o.d"
+  "CMakeFiles/lar_reason.dir/whatif.cpp.o"
+  "CMakeFiles/lar_reason.dir/whatif.cpp.o.d"
+  "liblar_reason.a"
+  "liblar_reason.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_reason.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

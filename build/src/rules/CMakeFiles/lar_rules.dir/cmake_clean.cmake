@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_rules.dir/datalog.cpp.o"
+  "CMakeFiles/lar_rules.dir/datalog.cpp.o.d"
+  "CMakeFiles/lar_rules.dir/deployment.cpp.o"
+  "CMakeFiles/lar_rules.dir/deployment.cpp.o.d"
+  "liblar_rules.a"
+  "liblar_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

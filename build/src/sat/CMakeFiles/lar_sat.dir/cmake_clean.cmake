@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/lar_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/lar_sat.dir/solver.cpp.o"
+  "CMakeFiles/lar_sat.dir/solver.cpp.o.d"
+  "liblar_sat.a"
+  "liblar_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

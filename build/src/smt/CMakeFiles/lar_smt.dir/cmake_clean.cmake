@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_smt.dir/backend.cpp.o"
+  "CMakeFiles/lar_smt.dir/backend.cpp.o.d"
+  "CMakeFiles/lar_smt.dir/cdcl_backend.cpp.o"
+  "CMakeFiles/lar_smt.dir/cdcl_backend.cpp.o.d"
+  "CMakeFiles/lar_smt.dir/formula.cpp.o"
+  "CMakeFiles/lar_smt.dir/formula.cpp.o.d"
+  "CMakeFiles/lar_smt.dir/z3_backend.cpp.o"
+  "CMakeFiles/lar_smt.dir/z3_backend.cpp.o.d"
+  "liblar_smt.a"
+  "liblar_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

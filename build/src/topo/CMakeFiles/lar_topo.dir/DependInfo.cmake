@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/clos.cpp" "src/topo/CMakeFiles/lar_topo.dir/clos.cpp.o" "gcc" "src/topo/CMakeFiles/lar_topo.dir/clos.cpp.o.d"
+  "/root/repo/src/topo/loadbalance.cpp" "src/topo/CMakeFiles/lar_topo.dir/loadbalance.cpp.o" "gcc" "src/topo/CMakeFiles/lar_topo.dir/loadbalance.cpp.o.d"
+  "/root/repo/src/topo/pfc.cpp" "src/topo/CMakeFiles/lar_topo.dir/pfc.cpp.o" "gcc" "src/topo/CMakeFiles/lar_topo.dir/pfc.cpp.o.d"
+  "/root/repo/src/topo/routing.cpp" "src/topo/CMakeFiles/lar_topo.dir/routing.cpp.o" "gcc" "src/topo/CMakeFiles/lar_topo.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

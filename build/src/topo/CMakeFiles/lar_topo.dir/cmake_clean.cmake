@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_topo.dir/clos.cpp.o"
+  "CMakeFiles/lar_topo.dir/clos.cpp.o.d"
+  "CMakeFiles/lar_topo.dir/loadbalance.cpp.o"
+  "CMakeFiles/lar_topo.dir/loadbalance.cpp.o.d"
+  "CMakeFiles/lar_topo.dir/pfc.cpp.o"
+  "CMakeFiles/lar_topo.dir/pfc.cpp.o.d"
+  "CMakeFiles/lar_topo.dir/routing.cpp.o"
+  "CMakeFiles/lar_topo.dir/routing.cpp.o.d"
+  "liblar_topo.a"
+  "liblar_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

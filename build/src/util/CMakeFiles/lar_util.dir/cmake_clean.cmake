@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_util.dir/file.cpp.o"
+  "CMakeFiles/lar_util.dir/file.cpp.o.d"
+  "CMakeFiles/lar_util.dir/logging.cpp.o"
+  "CMakeFiles/lar_util.dir/logging.cpp.o.d"
+  "CMakeFiles/lar_util.dir/strings.cpp.o"
+  "CMakeFiles/lar_util.dir/strings.cpp.o.d"
+  "liblar_util.a"
+  "liblar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diff_disputes_test.dir/diff_disputes_test.cpp.o"
+  "CMakeFiles/diff_disputes_test.dir/diff_disputes_test.cpp.o.d"
+  "diff_disputes_test"
+  "diff_disputes_test.pdb"
+  "diff_disputes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diff_disputes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lar_test_support.dir/testsupport.cpp.o"
+  "CMakeFiles/lar_test_support.dir/testsupport.cpp.o.d"
+  "liblar_test_support.a"
+  "liblar_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lar_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

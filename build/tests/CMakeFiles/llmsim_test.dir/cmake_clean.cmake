@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmsim_test.dir/llmsim_test.cpp.o"
+  "CMakeFiles/llmsim_test.dir/llmsim_test.cpp.o.d"
+  "llmsim_test"
+  "llmsim_test.pdb"
+  "llmsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/encode_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/smt_test[1]_include.cmake")
+include("/root/repo/build/tests/kb_test[1]_include.cmake")
+include("/root/repo/build/tests/order_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/reason_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/extract_test[1]_include.cmake")
+include("/root/repo/build/tests/llmsim_test[1]_include.cmake")
+include("/root/repo/build/tests/problem_io_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_features_test[1]_include.cmake")
+include("/root/repo/build/tests/whatif_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/diff_disputes_test[1]_include.cmake")
+add_test(larctl_export_validate "sh" "-c" "/root/repo/build/tools/larctl export-kb /root/repo/build/kb_export.json && /root/repo/build/tools/larctl validate /root/repo/build/kb_export.json")
+set_tests_properties(larctl_export_validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(larctl_optimize "sh" "-c" "echo '{\"hardware\":{\"server\":{\"count\":60},\"switch\":{\"count\":8},\"nic\":{\"count\":60}},\"objective_priority\":[\"latency\"]}' > /root/repo/build/prob_smoke.json && /root/repo/build/tools/larctl optimize builtin /root/repo/build/prob_smoke.json")
+set_tests_properties(larctl_optimize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(larctl_ordering "/root/repo/build/tools/larctl" "ordering" "builtin" "throughput")
+set_tests_properties(larctl_ordering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(larctl_sheet "/root/repo/build/tools/larctl" "sheet" "builtin" "Cisco Catalyst 9500-40X")
+set_tests_properties(larctl_sheet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/larctl.dir/larctl.cpp.o"
+  "CMakeFiles/larctl.dir/larctl.cpp.o.d"
+  "larctl"
+  "larctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/larctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
