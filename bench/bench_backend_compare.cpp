@@ -67,21 +67,21 @@ int main() {
         bool agree = true;
         if (q.optimizeQuery) {
             util::Stopwatch t1;
-            const auto a = reason::Engine(q.problem, smt::BackendKind::Cdcl).optimize();
+            const auto a = reason::Engine(q.problem, reason::withBackend(smt::BackendKind::Cdcl)).optimize();
             cdclMs = t1.millis();
             util::Stopwatch t2;
-            const auto b = reason::Engine(q.problem, smt::BackendKind::Z3).optimize();
+            const auto b = reason::Engine(q.problem, reason::withBackend(smt::BackendKind::Z3)).optimize();
             z3Ms = t2.millis();
             agree = a.has_value() == b.has_value() &&
                     (!a.has_value() || a->objectiveCosts == b->objectiveCosts);
         } else {
             util::Stopwatch t1;
             const auto a =
-                reason::Engine(q.problem, smt::BackendKind::Cdcl).checkFeasible();
+                reason::Engine(q.problem, reason::withBackend(smt::BackendKind::Cdcl)).checkFeasible();
             cdclMs = t1.millis();
             util::Stopwatch t2;
             const auto b =
-                reason::Engine(q.problem, smt::BackendKind::Z3).checkFeasible();
+                reason::Engine(q.problem, reason::withBackend(smt::BackendKind::Z3)).checkFeasible();
             z3Ms = t2.millis();
             agree = a.feasible == b.feasible &&
                     (a.feasible || (!a.conflictingRules.empty() &&

@@ -99,13 +99,13 @@ int main() {
     const reason::RetentionReport retention =
         reason::analyzeRetention(base, "Sonata");
     verdict(retention.keeping.has_value(), "cannot deploy Sonata at all");
-    verdict(retention.free_.has_value(), "free optimization infeasible");
-    if (retention.keeping && retention.free_) {
+    verdict(retention.unpinned.has_value(), "free optimization infeasible");
+    if (retention.keeping && retention.unpinned) {
         std::printf("objective costs keeping Sonata:");
         for (const auto c : retention.keeping->objectiveCosts)
             std::printf(" %lld", static_cast<long long>(c));
         std::printf("\nobjective costs free choice:  ");
-        for (const auto c : retention.free_->objectiveCosts)
+        for (const auto c : retention.unpinned->objectiveCosts)
             std::printf(" %lld", static_cast<long long>(c));
         std::printf("\nextra hardware cost of keeping Sonata: $%.0f\n",
                     retention.extraHardwareCostUsd);

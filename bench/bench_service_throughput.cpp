@@ -1,0 +1,159 @@
+// SVC1 — concurrent query service throughput and compilation-cache payoff.
+//
+// The service answers bursts of mixed queries (feasibility, synthesis,
+// optimization) over a handful of distinct problems. This bench measures
+// batch QPS at 1/2/4/8 worker threads, checks that the thread pool never
+// changes an answer (every batch must match the sequential run bit-for-bit),
+// and reports the compile-time split between cache misses and hits (a hit
+// must skip compilation entirely: compile_ms == 0).
+//
+// The ≥2.5× 1→8-thread scaling gate only applies on machines with at least
+// 8 hardware threads; below that the scaling row is informational and the
+// verdict rests on the correctness checks.
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/service.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+using reason::QueryKind;
+
+namespace {
+
+std::string designKey(const std::optional<reason::Design>& d) {
+    if (!d.has_value()) return "(infeasible)";
+    std::ostringstream out;
+    out << d->toString();
+    for (const std::int64_t c : d->objectiveCosts) out << ' ' << c;
+    return out.str();
+}
+
+std::string resultKey(const reason::QueryResult& r) {
+    std::ostringstream out;
+    out << r.id << '|' << (r.feasible ? "sat" : "unsat") << '|'
+        << designKey(r.design) << '|' << r.designs.size();
+    for (const reason::Design& d : r.designs) out << '|' << d.toString();
+    for (const std::string& rule : r.conflictingRules) out << '|' << rule;
+    return out.str();
+}
+
+/// The burst: kDistinctProblems problem variants (distinct fingerprints,
+/// varying server/NIC counts) × kRepeats passes, cycling the query kind.
+std::vector<reason::QueryRequest> makeBurst(const kb::KnowledgeBase& kb) {
+    constexpr int kDistinctProblems = 6;
+    constexpr int kRepeats = 6;
+    const QueryKind kinds[] = {QueryKind::Optimize, QueryKind::Feasibility,
+                               QueryKind::Synthesize};
+    std::vector<reason::QueryRequest> burst;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        for (int v = 0; v < kDistinctProblems; ++v) {
+            reason::QueryRequest q;
+            q.problem = reason::makeDefaultProblem(kb);
+            q.problem.hardware[kb::HardwareClass::Server].count = 40 + 8 * v;
+            q.problem.hardware[kb::HardwareClass::Switch].count = 8;
+            q.problem.hardware[kb::HardwareClass::Nic].count = 40 + 8 * v;
+            q.problem.workloads = {catalog::makeInferenceWorkload()};
+            q.problem.requiredCapabilities = {catalog::kCapDetectQueueLength};
+            q.kind = kinds[(rep * kDistinctProblems + v) % 3];
+            q.id = std::to_string(rep) + "/" + std::to_string(v);
+            burst.push_back(std::move(q));
+        }
+    }
+    return burst;
+}
+
+} // namespace
+
+int main() {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    const std::vector<reason::QueryRequest> burst = makeBurst(kb);
+
+    // Sequential reference: one worker, fresh cache.
+    reason::ServiceOptions seqOptions;
+    seqOptions.workers = 1;
+    reason::Service sequential(seqOptions);
+    util::Stopwatch seqTimer;
+    const std::vector<reason::QueryResult> reference =
+        sequential.runBatch(burst);
+    const double seqMs = seqTimer.millis();
+
+    // Compile-time split from the reference traces.
+    double missCompileMs = 0.0, hitCompileMs = 0.0;
+    int missCount = 0, hitCount = 0;
+    for (const reason::QueryResult& r : reference) {
+        if (r.trace.cacheHit) {
+            hitCompileMs += r.trace.compileMs;
+            ++hitCount;
+        } else {
+            missCompileMs += r.trace.compileMs;
+            ++missCount;
+        }
+    }
+
+    bench::printHeader("service throughput (mixed burst, fresh cache per run)");
+    bench::printRow({"threads", "queries", "total", "QPS", "matches seq"});
+    bench::printRule();
+
+    std::printf("%-34s%12s%12s%12s%12s\n", "1 (reference)",
+                bench::num(static_cast<long long>(burst.size())).c_str(),
+                bench::ms(seqMs).c_str(),
+                bench::num(static_cast<long long>(burst.size() * 1000.0 /
+                                                  seqMs)).c_str(),
+                "-");
+
+    bool allMatch = true;
+    double qps1 = burst.size() * 1000.0 / seqMs, qps8 = qps1;
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        reason::ServiceOptions options;
+        options.workers = threads;
+        reason::Service service(options);
+        util::Stopwatch timer;
+        const std::vector<reason::QueryResult> results =
+            service.runBatch(burst);
+        const double millis = timer.millis();
+        bool match = results.size() == reference.size();
+        for (std::size_t i = 0; match && i < results.size(); ++i)
+            match = resultKey(results[i]) == resultKey(reference[i]);
+        allMatch = allMatch && match;
+        const double qps = burst.size() * 1000.0 / millis;
+        if (threads == 8) qps8 = qps;
+        bench::printRow({std::to_string(threads),
+                         bench::num(static_cast<long long>(burst.size())),
+                         bench::ms(millis),
+                         bench::num(static_cast<long long>(qps)),
+                         match ? "yes" : "NO"});
+    }
+
+    bench::printHeader("compilation cache payoff (reference run)");
+    bench::printRow({"outcome", "queries", "avg compile"});
+    bench::printRule();
+    bench::printRow({"miss (compiled)", bench::num(missCount),
+                     bench::ms(missCount ? missCompileMs / missCount : 0.0)});
+    bench::printRow({"hit (cached)", bench::num(hitCount),
+                     bench::ms(hitCount ? hitCompileMs / hitCount : 0.0)});
+    const bool hitsFree = hitCount > 0 && hitCompileMs == 0.0;
+    std::printf("\ncache hits skip compilation: %s (%d hits, %d misses)\n",
+                hitsFree ? "yes" : "NO", hitCount, missCount);
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    const double scaling = qps8 / qps1;
+    std::printf("1→8 thread scaling: %.2fx on %u hardware thread(s)%s\n",
+                scaling, cores,
+                cores >= 8 ? "" : " — gate waived (<8 hardware threads)");
+
+    const bool scalingOk = cores < 8 || scaling >= 2.5;
+    const bool ok = allMatch && hitsFree && scalingOk;
+    std::printf("SVC1: %s\n",
+                ok ? "batches match sequential, cache hits compile-free"
+                   : "FAILED");
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -55,7 +55,7 @@ int main() {
     std::printf("\n=== keep Sonata unless there are huge benefits ===\n");
     const reason::RetentionReport retention =
         reason::analyzeRetention(caseStudy(knowledge), "Sonata");
-    if (retention.keeping && retention.free_) {
+    if (retention.keeping && retention.unpinned) {
         std::printf("extra per-objective cost of keeping Sonata:");
         for (const auto d : retention.extraCostPerObjective)
             std::printf(" %+lld", static_cast<long long>(d));

@@ -1,5 +1,6 @@
 #include "kb/kb.hpp"
 
+#include <atomic>
 #include <functional>
 #include <set>
 
@@ -7,11 +8,36 @@
 
 namespace lar::kb {
 
+std::uint64_t KnowledgeBase::nextInstanceId() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+KnowledgeBase::KnowledgeBase(const KnowledgeBase& other)
+    : systems_(other.systems_),
+      hardware_(other.hardware_),
+      orderings_(other.orderings_),
+      systemIndex_(other.systemIndex_),
+      hardwareIndex_(other.hardwareIndex_),
+      instanceId_(nextInstanceId()) {}
+
+KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
+    if (this == &other) return *this;
+    systems_ = other.systems_;
+    hardware_ = other.hardware_;
+    orderings_ = other.orderings_;
+    systemIndex_ = other.systemIndex_;
+    hardwareIndex_ = other.hardwareIndex_;
+    ++mutations_; // keep our instance id; the content changed
+    return *this;
+}
+
 void KnowledgeBase::addSystem(System system) {
     if (systemIndex_.count(system.name) > 0)
         throw EncodingError("duplicate system encoding: " + system.name);
     systemIndex_.emplace(system.name, systems_.size());
     systems_.push_back(std::move(system));
+    ++mutations_;
 }
 
 void KnowledgeBase::addHardware(HardwareSpec spec) {
@@ -19,10 +45,12 @@ void KnowledgeBase::addHardware(HardwareSpec spec) {
         throw EncodingError("duplicate hardware encoding: " + spec.model);
     hardwareIndex_.emplace(spec.model, hardware_.size());
     hardware_.push_back(std::move(spec));
+    ++mutations_;
 }
 
 void KnowledgeBase::addOrdering(Ordering ordering) {
     orderings_.push_back(std::move(ordering));
+    ++mutations_;
 }
 
 void KnowledgeBase::replaceSystem(System system) {
@@ -30,6 +58,7 @@ void KnowledgeBase::replaceSystem(System system) {
     if (it == systemIndex_.end())
         throw EncodingError("replaceSystem: unknown system " + system.name);
     systems_[it->second] = std::move(system);
+    ++mutations_;
 }
 
 std::size_t KnowledgeBase::removeSystem(const std::string& name) {
@@ -45,6 +74,7 @@ std::size_t KnowledgeBase::removeSystem(const std::string& name) {
     std::erase_if(orderings_, [&name](const Ordering& o) {
         return o.better == name || o.worse == name;
     });
+    ++mutations_;
     return before - orderings_.size();
 }
 

@@ -6,6 +6,7 @@
 // kb/serialize.hpp) so encodings can be crowd-sourced, diffed, and checked.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -26,6 +27,24 @@ struct ValidationIssue {
 
 class KnowledgeBase {
 public:
+    KnowledgeBase() : instanceId_(nextInstanceId()) {}
+    // Copies are distinct KBs: they get a fresh instance id so their
+    // revision tokens never collide with the original's.
+    KnowledgeBase(const KnowledgeBase& other);
+    KnowledgeBase& operator=(const KnowledgeBase& other);
+    KnowledgeBase(KnowledgeBase&&) = default;
+    KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+    /// Opaque change token: compares equal iff taken from the same KB object
+    /// with no mutating call in between. The reason::Service mixes it into
+    /// compilation-cache keys so any KB edit invalidates cached entries.
+    struct Revision {
+        std::uint64_t instance = 0;
+        std::uint64_t mutations = 0;
+        [[nodiscard]] bool operator==(const Revision&) const = default;
+    };
+    [[nodiscard]] Revision revision() const { return {instanceId_, mutations_}; }
+
     // -- population -----------------------------------------------------------
     /// Adds a system; throws EncodingError on duplicate names.
     void addSystem(System system);
@@ -57,7 +76,11 @@ public:
         return orderings_;
     }
     /// Mutable access for annotation workflows (disputes, source updates).
-    [[nodiscard]] std::vector<Ordering>& mutableOrderings() { return orderings_; }
+    /// Conservatively counts as a mutation for revision() purposes.
+    [[nodiscard]] std::vector<Ordering>& mutableOrderings() {
+        ++mutations_;
+        return orderings_;
+    }
 
     /// Systems in a category, in insertion order.
     [[nodiscard]] std::vector<const System*> byCategory(Category category) const;
@@ -80,11 +103,15 @@ public:
     [[nodiscard]] std::size_t encodingLength() const;
 
 private:
+    [[nodiscard]] static std::uint64_t nextInstanceId();
+
     std::vector<System> systems_;
     std::vector<HardwareSpec> hardware_;
     std::vector<Ordering> orderings_;
     std::map<std::string, std::size_t> systemIndex_;
     std::map<std::string, std::size_t> hardwareIndex_;
+    std::uint64_t instanceId_ = 0;
+    std::uint64_t mutations_ = 0;
 };
 
 } // namespace lar::kb

@@ -53,10 +53,8 @@ constexpr ObjectiveCategoryHint kObjectiveHints[] = {
 
 } // namespace
 
-Compilation::Compilation(const Problem& problem, smt::BackendKind kind)
-    : problem_(&problem) {
-    expects(problem.kb != nullptr, "Compilation: problem has no knowledge base");
-    backend_ = smt::makeBackend(kind, store_);
+Compilation::Compilation(const Problem& problem) : problem_(problem) {
+    expects(problem_.kb != nullptr, "Compilation: problem has no knowledge base");
     collectFactsAndOptions();
     buildHardwareVars();
     buildSystemVars();
@@ -79,7 +77,11 @@ int Compilation::track(std::string description) {
 }
 
 void Compilation::assertTracked(smt::NodeId formula, std::string description) {
-    backend_->addHard(formula, track(std::move(description)));
+    hards_.push_back({formula, track(std::move(description))});
+}
+
+void Compilation::assertUntracked(smt::NodeId formula) {
+    hards_.push_back({formula, -1});
 }
 
 std::vector<std::string> Compilation::describeTracks(
@@ -97,7 +99,7 @@ std::vector<std::string> Compilation::describeTracks(
 // ---------------------------------------------------------------------------
 
 void Compilation::collectFactsAndOptions() {
-    const kb::KnowledgeBase& kb = *problem_->kb;
+    const kb::KnowledgeBase& kb = *problem_.kb;
     std::set<std::string> facts;
     std::set<std::string> options;
     for (const kb::System& s : kb.systems()) {
@@ -117,14 +119,14 @@ void Compilation::collectFactsAndOptions() {
         o.condition.collectOptionRefs(refs);
         options.insert(refs.begin(), refs.end());
     }
-    for (const auto& [name, value] : problem_->pinnedFacts) facts.insert(name);
-    for (const auto& [name, value] : problem_->pinnedOptions) options.insert(name);
+    for (const auto& [name, value] : problem_.pinnedFacts) facts.insert(name);
+    for (const auto& [name, value] : problem_.pinnedOptions) options.insert(name);
     {
         std::vector<std::string> refs;
-        problem_->extraConstraint.collectFactRefs(refs);
+        problem_.extraConstraint.collectFactRefs(refs);
         facts.insert(refs.begin(), refs.end());
         refs.clear();
-        problem_->extraConstraint.collectOptionRefs(refs);
+        problem_.extraConstraint.collectOptionRefs(refs);
         options.insert(refs.begin(), refs.end());
     }
     for (const std::string& f : facts) factVars_.emplace(f, store_.var("fact/" + f));
@@ -133,8 +135,8 @@ void Compilation::collectFactsAndOptions() {
 }
 
 void Compilation::buildHardwareVars() {
-    const kb::KnowledgeBase& kb = *problem_->kb;
-    for (const auto& [cls, choice] : problem_->hardware) {
+    const kb::KnowledgeBase& kb = *problem_.kb;
+    for (const auto& [cls, choice] : problem_.hardware) {
         std::vector<std::string> candidates = choice.candidateModels;
         if (candidates.empty())
             for (const kb::HardwareSpec* h : kb.byClass(cls))
@@ -164,22 +166,22 @@ void Compilation::buildHardwareVars() {
 }
 
 void Compilation::buildSystemVars() {
-    for (const kb::System& s : problem_->kb->systems())
+    for (const kb::System& s : problem_.kb->systems())
         systemVars_.emplace(s.name, store_.var("sys/" + s.name));
 }
 
 void Compilation::defineFacts() {
-    const kb::KnowledgeBase& kb = *problem_->kb;
+    const kb::KnowledgeBase& kb = *problem_.kb;
     for (const auto& [fact, var] : factVars_) {
         std::vector<smt::NodeId> providers;
         for (const kb::System& s : kb.systems())
             if (s.providesFact(fact)) providers.push_back(systemVars_.at(s.name));
-        const auto pin = problem_->pinnedFacts.find(fact);
-        if (pin != problem_->pinnedFacts.end() && pin->second)
+        const auto pin = problem_.pinnedFacts.find(fact);
+        if (pin != problem_.pinnedFacts.end() && pin->second)
             providers.push_back(store_.constant(true));
         // fact ⇔ OR(providers): definitional, untracked.
-        backend_->addHard(store_.mkIff(var, store_.mkOr(std::move(providers))));
-        if (pin != problem_->pinnedFacts.end() && !pin->second)
+        assertUntracked(store_.mkIff(var, store_.mkOr(std::move(providers))));
+        if (pin != problem_.pinnedFacts.end() && !pin->second)
             assertTracked(store_.mkNot(var), "pinned fact: " + fact + " must not hold");
     }
 }
@@ -189,19 +191,19 @@ void Compilation::defineFacts() {
 // ---------------------------------------------------------------------------
 
 void Compilation::buildCategoryRules() {
-    const kb::KnowledgeBase& kb = *problem_->kb;
+    const kb::KnowledgeBase& kb = *problem_.kb;
     for (const kb::Category category : kb::kAllCategories) {
         std::vector<smt::NodeId> vars;
         for (const kb::System* s : kb.byCategory(category))
             vars.push_back(systemVars_.at(s->name));
-        const bool required = problem_->requiredCategories.count(category) > 0 &&
-                              problem_->commonSenseRules;
-        const bool allowed = problem_->requiredCategories.count(category) > 0 ||
-                             problem_->optionalCategories.count(category) > 0;
+        const bool required = problem_.requiredCategories.count(category) > 0 &&
+                              problem_.commonSenseRules;
+        const bool allowed = problem_.requiredCategories.count(category) > 0 ||
+                             problem_.optionalCategories.count(category) > 0;
         if (vars.empty()) continue;
         if (!allowed) {
             for (const smt::NodeId v : vars)
-                backend_->addHard(store_.mkNot(v)); // untracked exclusion
+                assertUntracked(store_.mkNot(v)); // untracked exclusion
             continue;
         }
         assertTracked(store_.mkAtMost(vars, 1),
@@ -238,7 +240,7 @@ smt::NodeId Compilation::compileRequirement(const kb::Requirement& r) {
             if (clsIt == hardwareVars_.end()) return store_.constant(false);
             std::vector<smt::NodeId> satisfying;
             for (const auto& [model, var] : clsIt->second) {
-                const kb::HardwareSpec& spec = problem_->kb->hardware(model);
+                const kb::HardwareSpec& spec = problem_.kb->hardware(model);
                 bool ok = false;
                 if (r.kind() == Kind::HardwareHas) {
                     ok = spec.boolAttr(r.key()).value_or(false);
@@ -267,7 +269,7 @@ smt::NodeId Compilation::compileRequirement(const kb::Requirement& r) {
         }
         case Kind::WorkloadHas: {
             const bool has = std::any_of(
-                problem_->workloads.begin(), problem_->workloads.end(),
+                problem_.workloads.begin(), problem_.workloads.end(),
                 [&r](const kb::Workload& w) { return w.hasProperty(r.key()); });
             return store_.constant(has);
         }
@@ -276,7 +278,7 @@ smt::NodeId Compilation::compileRequirement(const kb::Requirement& r) {
 }
 
 void Compilation::buildSystemRules() {
-    for (const kb::System& s : problem_->kb->systems()) {
+    for (const kb::System& s : problem_.kb->systems()) {
         const smt::NodeId sysVar = systemVars_.at(s.name);
         if (!s.constraints.isTrivial()) {
             assertTracked(
@@ -288,16 +290,16 @@ void Compilation::buildSystemRules() {
             if (other == systemVars_.end()) continue;
             // Only emit once per unordered pair.
             if (conflict < s.name &&
-                problem_->kb->system(conflict).conflicts.end() !=
-                    std::find(problem_->kb->system(conflict).conflicts.begin(),
-                              problem_->kb->system(conflict).conflicts.end(),
+                problem_.kb->system(conflict).conflicts.end() !=
+                    std::find(problem_.kb->system(conflict).conflicts.begin(),
+                              problem_.kb->system(conflict).conflicts.end(),
                               s.name))
                 continue;
             assertTracked(
                 store_.mkOr(store_.mkNot(sysVar), store_.mkNot(other->second)),
                 "conflict: " + s.name + " cannot coexist with " + conflict);
         }
-        if (problem_->forbidResearchGrade && s.researchGrade) {
+        if (problem_.forbidResearchGrade && s.researchGrade) {
             assertTracked(store_.mkNot(sysVar),
                           "deadline rule: research prototype " + s.name +
                               " is not deployable");
@@ -306,9 +308,9 @@ void Compilation::buildSystemRules() {
 }
 
 void Compilation::buildCapabilityRules() {
-    for (const std::string& capability : problem_->requiredCapabilities) {
+    for (const std::string& capability : problem_.requiredCapabilities) {
         std::vector<smt::NodeId> providers;
-        for (const kb::System* s : problem_->kb->solving(capability))
+        for (const kb::System* s : problem_.kb->solving(capability))
             providers.push_back(systemVars_.at(s->name));
         assertTracked(store_.mkOr(std::move(providers)),
                       "goal: some chosen system must solve '" + capability + "'");
@@ -316,8 +318,8 @@ void Compilation::buildCapabilityRules() {
 }
 
 void Compilation::buildResourceRules() {
-    const kb::KnowledgeBase& kb = *problem_->kb;
-    const WorkloadAggregates agg = aggregateWorkloads(problem_->workloads);
+    const kb::KnowledgeBase& kb = *problem_.kb;
+    const WorkloadAggregates agg = aggregateWorkloads(problem_.workloads);
 
     // Which resources does any system demand?
     std::set<std::string> resources;
@@ -352,8 +354,8 @@ void Compilation::buildResourceRules() {
             resource == kb::kResCores ? agg.totalPeakCores : 0;
         if (terms.empty() && workloadDemand == 0) continue;
 
-        const auto hwChoice = problem_->hardware.find(rule->cls);
-        const int count = hwChoice == problem_->hardware.end()
+        const auto hwChoice = problem_.hardware.find(rule->cls);
+        const int count = hwChoice == problem_.hardware.end()
                               ? 1
                               : hwChoice->second.count;
         for (const auto& [model, hwVar] : clsIt->second) {
@@ -386,7 +388,7 @@ smt::NodeId Compilation::betterFormula(const std::string& objective,
                                        const std::string& to) {
     // Enumerate simple paths from→to over the objective's orderings; the
     // per-category graphs are tiny (≤ ~12 nodes), so exhaustive DFS is fine.
-    const kb::KnowledgeBase& kb = *problem_->kb;
+    const kb::KnowledgeBase& kb = *problem_.kb;
     std::vector<const kb::Ordering*> edges = kb.orderingsFor(objective);
 
     std::vector<smt::NodeId> pathFormulas;
@@ -416,16 +418,16 @@ smt::NodeId Compilation::betterFormula(const std::string& objective,
 }
 
 void Compilation::buildBandwidthRules() {
-    if (!problem_->commonSenseRules) return;
-    const kb::KnowledgeBase& kb = *problem_->kb;
-    const WorkloadAggregates agg = aggregateWorkloads(problem_->workloads);
+    if (!problem_.commonSenseRules) return;
+    const kb::KnowledgeBase& kb = *problem_.kb;
+    const WorkloadAggregates agg = aggregateWorkloads(problem_.workloads);
 
     // Aggregate NIC bandwidth must cover the workloads' peak bandwidth.
     const auto nicIt = hardwareVars_.find(kb::HardwareClass::Nic);
     if (nicIt != hardwareVars_.end() && agg.totalGbps > 0) {
-        const auto hwChoice = problem_->hardware.find(kb::HardwareClass::Nic);
+        const auto hwChoice = problem_.hardware.find(kb::HardwareClass::Nic);
         const int count =
-            hwChoice == problem_->hardware.end() ? 1 : hwChoice->second.count;
+            hwChoice == problem_.hardware.end() ? 1 : hwChoice->second.count;
         for (const auto& [model, var] : nicIt->second) {
             const double bw =
                 kb.hardware(model).numAttr(kb::kAttrPortBandwidthGbps).value_or(0);
@@ -462,8 +464,8 @@ void Compilation::buildBandwidthRules() {
 }
 
 void Compilation::buildPerformanceBounds() {
-    const kb::KnowledgeBase& kb = *problem_->kb;
-    for (const kb::Workload& w : problem_->workloads) {
+    const kb::KnowledgeBase& kb = *problem_.kb;
+    for (const kb::Workload& w : problem_.workloads) {
         for (const kb::PerformanceBound& bound : w.bounds) {
             const kb::System* baseline = kb.findSystem(bound.betterThanSystem);
             if (baseline == nullptr) {
@@ -503,7 +505,7 @@ void Compilation::buildPerformanceBounds() {
 }
 
 void Compilation::buildPins() {
-    for (const auto& [name, include] : problem_->pinnedSystems) {
+    for (const auto& [name, include] : problem_.pinnedSystems) {
         const auto it = systemVars_.find(name);
         expects(it != systemVars_.end(), "Compilation: pinned unknown system " + name);
         if (include)
@@ -512,7 +514,7 @@ void Compilation::buildPins() {
             assertTracked(store_.mkNot(it->second),
                           "pinned: " + name + " must not be deployed");
     }
-    for (const auto& [name, enabled] : problem_->pinnedOptions) {
+    for (const auto& [name, enabled] : problem_.pinnedOptions) {
         const smt::NodeId v = optionVars_.at(name);
         assertTracked(enabled ? v : store_.mkNot(v),
                       std::string("pinned option: ") + name + " = " +
@@ -521,15 +523,15 @@ void Compilation::buildPins() {
 }
 
 void Compilation::buildBudgets() {
-    const kb::KnowledgeBase& kb = *problem_->kb;
+    const kb::KnowledgeBase& kb = *problem_.kb;
     const auto addBudget = [&](double limit, bool isCost) {
         // Models within a class are exactly-one: tag terms with the class as
         // their exclusivity group so the counting encoding stays linear.
         std::vector<smt::LinTerm> terms;
         for (const auto& [cls, models] : hardwareVars_) {
-            const auto hwChoice = problem_->hardware.find(cls);
+            const auto hwChoice = problem_.hardware.find(cls);
             const int count =
-                hwChoice == problem_->hardware.end() ? 1 : hwChoice->second.count;
+                hwChoice == problem_.hardware.end() ? 1 : hwChoice->second.count;
             for (const auto& [model, var] : models) {
                 const kb::HardwareSpec& spec = kb.hardware(model);
                 const double per = isCost ? spec.unitCostUsd : spec.maxPowerW;
@@ -545,20 +547,20 @@ void Compilation::buildBudgets() {
                           (isCost ? "cost" : "power") + " must not exceed " +
                           std::to_string(bound) + (isCost ? " USD" : " W"));
     };
-    if (problem_->maxHardwareCostUsd.has_value())
-        addBudget(*problem_->maxHardwareCostUsd, /*isCost=*/true);
-    if (problem_->maxPowerW.has_value()) addBudget(*problem_->maxPowerW, false);
+    if (problem_.maxHardwareCostUsd.has_value())
+        addBudget(*problem_.maxHardwareCostUsd, /*isCost=*/true);
+    if (problem_.maxPowerW.has_value()) addBudget(*problem_.maxPowerW, false);
 }
 
 void Compilation::buildExtraConstraint() {
-    if (problem_->extraConstraint.isTrivial()) return;
-    assertTracked(compileRequirement(problem_->extraConstraint),
-                  "architect rule: " + problem_->extraConstraint.toString());
+    if (problem_.extraConstraint.isTrivial()) return;
+    assertTracked(compileRequirement(problem_.extraConstraint),
+                  "architect rule: " + problem_.extraConstraint.toString());
 }
 
 void Compilation::buildObjectives() {
-    const kb::KnowledgeBase& kb = *problem_->kb;
-    for (const std::string& objective : problem_->objectivePriority) {
+    const kb::KnowledgeBase& kb = *problem_.kb;
+    for (const std::string& objective : problem_.objectivePriority) {
         smt::ObjectiveSpec spec;
         spec.name = objective;
 
@@ -568,8 +570,8 @@ void Compilation::buildObjectives() {
             // exclusive (exactly-one), so the penalties share a group and the
             // objective counter stays linear in the model count.
             for (const auto& [cls, models] : hardwareVars_) {
-                const auto hwChoice = problem_->hardware.find(cls);
-                const int count = hwChoice == problem_->hardware.end()
+                const auto hwChoice = problem_.hardware.find(cls);
+                const int count = hwChoice == problem_.hardware.end()
                                       ? 1
                                       : hwChoice->second.count;
                 for (const auto& [model, var] : models) {
@@ -615,7 +617,7 @@ void Compilation::buildObjectives() {
         objectives_.push_back(std::move(spec));
     }
 
-    if (problem_->preferMinimalDesign) {
+    if (problem_.preferMinimalDesign) {
         // Implicit lowest-priority level: pay 1 per deployed system, so a
         // system only appears when a higher objective or a hard rule wants
         // it. Systems within a category are exactly-one-exclusive.
@@ -650,31 +652,31 @@ smt::NodeId Compilation::optionVar(const std::string& name) const {
     return it == optionVars_.end() ? smt::kInvalidNode : it->second;
 }
 
-Design Compilation::extractDesign() const {
-    const kb::KnowledgeBase& kb = *problem_->kb;
+Design Compilation::extractDesign(const smt::Backend& backend) const {
+    const kb::KnowledgeBase& kb = *problem_.kb;
     Design design;
     for (const kb::System& s : kb.systems())
-        if (backend_->modelValue(systemVars_.at(s.name)))
+        if (backend.modelValue(systemVars_.at(s.name)))
             design.chosen[s.category] = s.name;
     for (const auto& [cls, models] : hardwareVars_) {
         for (const auto& [model, var] : models) {
-            if (!backend_->modelValue(var)) continue;
+            if (!backend.modelValue(var)) continue;
             design.hardwareModel[cls] = model;
-            const auto hwChoice = problem_->hardware.find(cls);
+            const auto hwChoice = problem_.hardware.find(cls);
             const int count =
-                hwChoice == problem_->hardware.end() ? 1 : hwChoice->second.count;
+                hwChoice == problem_.hardware.end() ? 1 : hwChoice->second.count;
             const kb::HardwareSpec& spec = kb.hardware(model);
             design.hardwareCostUsd += spec.unitCostUsd * count;
             design.powerW += spec.maxPowerW * count;
         }
     }
     for (const auto& [name, var] : optionVars_)
-        if (backend_->modelValue(var)) design.enabledOptions.insert(name);
+        if (backend.modelValue(var)) design.enabledOptions.insert(name);
     for (const auto& [name, var] : factVars_)
-        if (backend_->modelValue(var)) design.activeFacts.insert(name);
+        if (backend.modelValue(var)) design.activeFacts.insert(name);
 
     // Resource accounting.
-    const WorkloadAggregates agg = aggregateWorkloads(problem_->workloads);
+    const WorkloadAggregates agg = aggregateWorkloads(problem_.workloads);
     for (const kb::System& s : kb.systems()) {
         if (!design.uses(s.name)) continue;
         for (const kb::ResourceDemand& d : s.demands)
@@ -686,9 +688,9 @@ Design Compilation::extractDesign() const {
     for (const ResourceRule& rule : kResourceRules) {
         const auto modelIt = design.hardwareModel.find(rule.cls);
         if (modelIt == design.hardwareModel.end()) continue;
-        const auto hwChoice = problem_->hardware.find(rule.cls);
+        const auto hwChoice = problem_.hardware.find(rule.cls);
         const int count =
-            hwChoice == problem_->hardware.end() ? 1 : hwChoice->second.count;
+            hwChoice == problem_.hardware.end() ? 1 : hwChoice->second.count;
         const double attr =
             kb.hardware(modelIt->second).numAttr(rule.attr).value_or(0.0);
         design.resourceCapacity[rule.resource] =
@@ -697,15 +699,33 @@ Design Compilation::extractDesign() const {
     return design;
 }
 
-void Compilation::blockCurrentDesign() {
+smt::NodeId Compilation::blockingClause(const smt::Backend& backend,
+                                        smt::FormulaStore& store) const {
     // Negate the projection of the current model onto systems + hardware.
     std::vector<smt::NodeId> flips;
     for (const auto& [name, var] : systemVars_)
-        flips.push_back(backend_->modelValue(var) ? store_.mkNot(var) : var);
+        flips.push_back(backend.modelValue(var) ? store.mkNot(var) : var);
     for (const auto& [cls, models] : hardwareVars_)
         for (const auto& [model, var] : models)
-            flips.push_back(backend_->modelValue(var) ? store_.mkNot(var) : var);
-    backend_->addHard(store_.mkOr(std::move(flips)));
+            flips.push_back(backend.modelValue(var) ? store.mkNot(var) : var);
+    return store.mkOr(std::move(flips));
+}
+
+// ---------------------------------------------------------------------------
+// SolverSession
+// ---------------------------------------------------------------------------
+
+SolverSession::SolverSession(std::shared_ptr<const Compilation> compilation,
+                             const QueryOptions& options)
+    : compilation_(std::move(compilation)), store_(compilation_->store()) {
+    expects(compilation_ != nullptr, "SolverSession: null compilation");
+    backend_ = smt::makeBackend(options.backend, store_, options.backendConfig());
+    for (const Compilation::HardAssertion& hard : compilation_->hardAssertions())
+        backend_->addHard(hard.formula, hard.track);
+}
+
+void SolverSession::blockCurrentDesign() {
+    backend_->addHard(compilation_->blockingClause(*backend_, store_));
 }
 
 } // namespace lar::reason

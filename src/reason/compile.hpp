@@ -6,7 +6,15 @@
 //   fact/<name>       — derived fact holds (defined as OR of providers + pin)
 //   opt/<name>        — free deployment option switched on
 //
-// Every hard rule asserted into the backend carries a track id whose
+// A Compilation is built once per (Problem, KB revision) and is immutable
+// afterwards: it owns the formula store, the recorded hard assertions, the
+// objective stack, and the variable maps, but **no solver**. Queries bind a
+// SolverSession to it, which copies the store (node ids are preserved, so
+// the compilation's variable maps stay valid), replays the hard assertions
+// into a fresh backend, and owns all mutable solve state. This is what lets
+// the Service cache compilations and share one across concurrent queries.
+//
+// Every hard rule asserted into a backend carries a track id whose
 // human-readable description is kept in trackedRules(); unsat cores map back
 // through it to produce the §6-style explanations ("which of your
 // requirements are in conflict").
@@ -19,17 +27,29 @@
 
 #include "reason/design.hpp"
 #include "reason/problem.hpp"
+#include "reason/query_options.hpp"
 #include "smt/backend.hpp"
 
 namespace lar::reason {
 
 class Compilation {
 public:
-    Compilation(const Problem& problem, smt::BackendKind kind);
+    /// Compiles `problem` into formulas. The problem is copied; the
+    /// knowledge base it references must outlive the compilation.
+    explicit Compilation(const Problem& problem);
 
-    [[nodiscard]] smt::Backend& backend() { return *backend_; }
-    [[nodiscard]] smt::FormulaStore& store() { return store_; }
-    [[nodiscard]] const Problem& problem() const { return *problem_; }
+    /// One recorded hard constraint; track < 0 means untracked
+    /// (definitional — never part of an explanation).
+    struct HardAssertion {
+        smt::NodeId formula = smt::kInvalidNode;
+        int track = -1;
+    };
+
+    [[nodiscard]] const smt::FormulaStore& store() const { return store_; }
+    [[nodiscard]] const Problem& problem() const { return problem_; }
+    [[nodiscard]] const std::vector<HardAssertion>& hardAssertions() const {
+        return hards_;
+    }
 
     /// Description of tracked rule `track` (index into trackedRules()).
     [[nodiscard]] const std::vector<std::string>& trackedRules() const {
@@ -49,13 +69,15 @@ public:
                                           const std::string& model) const;
     [[nodiscard]] smt::NodeId optionVar(const std::string& name) const;
 
-    /// Reads the backend's current model into a Design (resource accounting
+    /// Reads `backend`'s current model into a Design (resource accounting
     /// and cost computed from the chosen hardware).
-    [[nodiscard]] Design extractDesign() const;
+    [[nodiscard]] Design extractDesign(const smt::Backend& backend) const;
 
-    /// Blocks the current projected design (chosen systems + hardware) so
+    /// Builds (in `store` — a session's copy) the clause that blocks
+    /// `backend`'s current projected design (chosen systems + hardware), so
     /// the next check produces a different equivalence-class representative.
-    void blockCurrentDesign();
+    [[nodiscard]] smt::NodeId blockingClause(const smt::Backend& backend,
+                                             smt::FormulaStore& store) const;
 
 private:
     // -- construction passes --------------------------------------------------
@@ -83,10 +105,11 @@ private:
 
     int track(std::string description);
     void assertTracked(smt::NodeId formula, std::string description);
+    void assertUntracked(smt::NodeId formula);
 
-    const Problem* problem_;
+    Problem problem_;
     smt::FormulaStore store_;
-    std::unique_ptr<smt::Backend> backend_;
+    std::vector<HardAssertion> hards_;
 
     std::map<std::string, smt::NodeId> systemVars_;
     std::map<kb::HardwareClass, std::map<std::string, smt::NodeId>> hardwareVars_;
@@ -95,6 +118,41 @@ private:
 
     std::vector<std::string> ruleDescriptions_;
     std::vector<smt::ObjectiveSpec> objectives_;
+};
+
+/// A query's mutable solver state over an immutable (possibly shared,
+/// possibly cached) Compilation: a private copy of the formula store plus a
+/// fresh backend with the hard assertions replayed. Everything a query
+/// locks in — optimization bounds, blocking clauses, learned clauses —
+/// stays inside the session and dies with it.
+class SolverSession {
+public:
+    explicit SolverSession(std::shared_ptr<const Compilation> compilation,
+                           const QueryOptions& options = {});
+
+    // The backend holds a pointer to store_, so the session must stay put
+    // (guaranteed copy elision still allows returning a prvalue).
+    SolverSession(const SolverSession&) = delete;
+    SolverSession& operator=(const SolverSession&) = delete;
+
+    [[nodiscard]] smt::Backend& backend() { return *backend_; }
+    [[nodiscard]] const smt::Backend& backend() const { return *backend_; }
+    /// The session's private store copy (mutable: what-if assumptions and
+    /// blocking clauses build new nodes here; compilation node ids are
+    /// preserved by the copy).
+    [[nodiscard]] smt::FormulaStore& store() { return store_; }
+    [[nodiscard]] const Compilation& compilation() const { return *compilation_; }
+
+    [[nodiscard]] Design extractDesign() const {
+        return compilation_->extractDesign(*backend_);
+    }
+    /// Asserts the clause blocking the backend's current projected design.
+    void blockCurrentDesign();
+
+private:
+    std::shared_ptr<const Compilation> compilation_;
+    smt::FormulaStore store_;
+    std::unique_ptr<smt::Backend> backend_;
 };
 
 } // namespace lar::reason

@@ -81,4 +81,29 @@ std::string Design::toString() const {
     return out.str();
 }
 
+json::Value toJson(const Design& design) {
+    json::Value v;
+    json::Object systems;
+    for (const auto& [category, name] : design.chosen)
+        systems[kb::toString(category)] = name;
+    v["systems"] = json::Value(std::move(systems));
+    json::Object hardware;
+    for (const auto& [cls, model] : design.hardwareModel)
+        hardware[kb::toString(cls)] = model;
+    v["hardware"] = json::Value(std::move(hardware));
+    json::Array options;
+    for (const std::string& o : design.enabledOptions) options.emplace_back(o);
+    v["options"] = json::Value(std::move(options));
+    json::Array facts;
+    for (const std::string& f : design.activeFacts) facts.emplace_back(f);
+    v["facts"] = json::Value(std::move(facts));
+    v["hardware_cost_usd"] = design.hardwareCostUsd;
+    v["power_w"] = design.powerW;
+    json::Array costs;
+    for (const std::int64_t c : design.objectiveCosts)
+        costs.emplace_back(static_cast<std::int64_t>(c));
+    v["objective_costs"] = json::Value(std::move(costs));
+    return v;
+}
+
 } // namespace lar::reason

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "json/value.hpp"
 #include "kb/hardware.hpp"
 #include "kb/system.hpp"
 
@@ -46,5 +47,8 @@ struct Design {
     /// Multi-line report.
     [[nodiscard]] std::string toString() const;
 };
+
+/// JSON view of a design (used by `larctl batch` and trace export).
+[[nodiscard]] json::Value toJson(const Design& design);
 
 } // namespace lar::reason

@@ -7,27 +7,46 @@
 
 namespace lar::reason {
 
-Engine::Engine(const Problem& problem, smt::BackendKind kind)
-    : problem_(problem) {
-    compilation_ = std::make_unique<Compilation>(problem_, kind);
+Engine::Engine(const Problem& problem, const QueryOptions& options)
+    : compilation_(std::make_shared<const Compilation>(problem)),
+      options_(options) {}
+
+Engine::Engine(std::shared_ptr<const Compilation> compilation,
+               const QueryOptions& options)
+    : compilation_(std::move(compilation)), options_(options) {
+    expects(compilation_ != nullptr, "Engine: null compilation");
 }
+
+Engine::Engine(const Problem& problem, smt::BackendKind kind)
+    : Engine(problem, withBackend(kind)) {}
 
 FeasibilityReport Engine::checkFeasible() {
     FeasibilityReport report;
-    const smt::CheckStatus status = compilation_->backend().check();
+    SolverSession session = newSession();
+    const smt::CheckStatus status = session.backend().check();
     report.feasible = status == smt::CheckStatus::Sat;
+    report.timedOut = status == smt::CheckStatus::Unknown;
     if (status == smt::CheckStatus::Unsat) {
         report.conflictingRules =
-            compilation_->describeTracks(compilation_->backend().unsatCore().tracks);
+            compilation_->describeTracks(session.backend().unsatCore().tracks);
     }
+    lastStats_ = session.backend().stats();
     return report;
 }
 
 FeasibilityReport Engine::explainMinimalConflict() {
     FeasibilityReport report;
-    smt::Backend& backend = compilation_->backend();
-    if (backend.check() == smt::CheckStatus::Sat) {
+    SolverSession session = newSession();
+    smt::Backend& backend = session.backend();
+    const smt::CheckStatus first = backend.check();
+    if (first == smt::CheckStatus::Sat) {
         report.feasible = true;
+        lastStats_ = backend.stats();
+        return report;
+    }
+    if (first == smt::CheckStatus::Unknown) {
+        report.timedOut = true;
+        lastStats_ = backend.stats();
         return report;
     }
     std::vector<int> core = backend.unsatCore().tracks;
@@ -47,68 +66,90 @@ FeasibilityReport Engine::explainMinimalConflict() {
         }
     }
     report.conflictingRules = compilation_->describeTracks(core);
+    lastStats_ = backend.stats();
     return report;
 }
 
 std::optional<Design> Engine::synthesize() {
-    if (compilation_->backend().check() != smt::CheckStatus::Sat)
-        return std::nullopt;
-    return compilation_->extractDesign();
+    SolverSession session = newSession();
+    const smt::CheckStatus status = session.backend().check();
+    lastStats_ = session.backend().stats();
+    if (status != smt::CheckStatus::Sat) return std::nullopt;
+    return session.extractDesign();
 }
 
 std::optional<Design> Engine::optimize() {
+    SolverSession session = newSession();
     const smt::OptimizeResult result =
-        compilation_->backend().optimize(compilation_->objectives());
+        session.backend().optimize(compilation_->objectives());
+    lastStats_ = session.backend().stats();
     if (!result.feasible) return std::nullopt;
-    Design design = compilation_->extractDesign();
+    Design design = session.extractDesign();
     design.objectiveCosts = result.costs;
     return design;
 }
 
 std::vector<Design> Engine::enumerateDesigns(int maxDesigns, bool optimizeFirst) {
     std::vector<Design> designs;
+    SolverSession session = newSession();
     if (optimizeFirst) {
         // Lock in the optimal objective costs, then enumerate within them.
-        if (!optimize().has_value()) return designs;
+        const smt::OptimizeResult result =
+            session.backend().optimize(compilation_->objectives());
+        if (!result.feasible) {
+            lastStats_ = session.backend().stats();
+            return designs;
+        }
     }
     while (static_cast<int>(designs.size()) < maxDesigns) {
-        if (compilation_->backend().check() != smt::CheckStatus::Sat) break;
-        designs.push_back(compilation_->extractDesign());
-        compilation_->blockCurrentDesign();
+        if (session.backend().check() != smt::CheckStatus::Sat) break;
+        designs.push_back(session.extractDesign());
+        session.blockCurrentDesign();
     }
+    lastStats_ = session.backend().stats();
     return designs;
 }
 
 ScenarioComparison compareScenarios(const Problem& a, const Problem& b,
-                                    smt::BackendKind kind) {
+                                    const QueryOptions& options) {
     ScenarioComparison cmp;
-    cmp.a = Engine(a, kind).optimize();
-    cmp.b = Engine(b, kind).optimize();
+    cmp.a = Engine(a, options).optimize();
+    cmp.b = Engine(b, options).optimize();
     if (cmp.a.has_value() && cmp.b.has_value()) cmp.changes = cmp.a->diff(*cmp.b);
     return cmp;
 }
 
+ScenarioComparison compareScenarios(const Problem& a, const Problem& b,
+                                    smt::BackendKind kind) {
+    return compareScenarios(a, b, withBackend(kind));
+}
+
 RetentionReport analyzeRetention(const Problem& problem, const std::string& system,
-                                 smt::BackendKind kind) {
+                                 const QueryOptions& options) {
     RetentionReport report;
     Problem keeping = problem;
     keeping.pinnedSystems[system] = true;
-    report.keeping = Engine(keeping, kind).optimize();
-    report.free_ = Engine(problem, kind).optimize();
-    if (report.keeping.has_value() && report.free_.has_value()) {
+    report.keeping = Engine(keeping, options).optimize();
+    report.unpinned = Engine(problem, options).optimize();
+    if (report.keeping.has_value() && report.unpinned.has_value()) {
         const auto& kc = report.keeping->objectiveCosts;
-        const auto& fc = report.free_->objectiveCosts;
+        const auto& fc = report.unpinned->objectiveCosts;
         for (std::size_t i = 0; i < kc.size() && i < fc.size(); ++i)
             report.extraCostPerObjective.push_back(kc[i] - fc[i]);
         report.extraHardwareCostUsd =
-            report.keeping->hardwareCostUsd - report.free_->hardwareCostUsd;
+            report.keeping->hardwareCostUsd - report.unpinned->hardwareCostUsd;
     }
     return report;
 }
 
+RetentionReport analyzeRetention(const Problem& problem, const std::string& system,
+                                 smt::BackendKind kind) {
+    return analyzeRetention(problem, system, withBackend(kind));
+}
+
 bool RetentionReport::worthSwitching(std::int64_t threshold) const {
     if (!keeping.has_value()) return true; // cannot keep it at all
-    if (!free_.has_value()) return false;
+    if (!unpinned.has_value()) return false;
     for (const std::int64_t delta : extraCostPerObjective) {
         if (delta > threshold) return true; // keeping costs too much here
         if (delta < 0) return false;        // keeping actually wins earlier level
@@ -117,8 +158,8 @@ bool RetentionReport::worthSwitching(std::int64_t threshold) const {
 }
 
 std::vector<DisambiguationSuggestion> suggestDisambiguation(
-    const Problem& problem, int sampleDesigns, smt::BackendKind kind) {
-    Engine engine(problem, kind);
+    const Problem& problem, int sampleDesigns, const QueryOptions& options) {
+    Engine engine(problem, options);
     const std::vector<Design> designs =
         engine.enumerateDesigns(sampleDesigns, /*optimizeFirst=*/true);
     std::vector<DisambiguationSuggestion> suggestions;
@@ -152,6 +193,11 @@ std::vector<DisambiguationSuggestion> suggestDisambiguation(
     return suggestions;
 }
 
+std::vector<DisambiguationSuggestion> suggestDisambiguation(
+    const Problem& problem, int sampleDesigns, smt::BackendKind kind) {
+    return suggestDisambiguation(problem, sampleDesigns, withBackend(kind));
+}
+
 std::vector<RefinementHint> suggestRefinements(const Problem& problem,
                                                const Design& design) {
     expects(problem.kb != nullptr, "suggestRefinements: problem has no KB");
@@ -181,7 +227,7 @@ InformationValue valueOfInformation(const Problem& problem,
                                     const std::string& objective,
                                     const std::string& systemA,
                                     const std::string& systemB,
-                                    smt::BackendKind kind) {
+                                    const QueryOptions& options) {
     expects(problem.kb != nullptr, "valueOfInformation: problem has no KB");
     InformationValue result;
 
@@ -190,14 +236,14 @@ InformationValue valueOfInformation(const Problem& problem,
                      "hypothetical measurement", {}});
     Problem pa = problem;
     pa.kb = &kbA;
-    result.ifABetter = Engine(pa, kind).optimize();
+    result.ifABetter = Engine(pa, options).optimize();
 
     kb::KnowledgeBase kbB = *problem.kb;
     kbB.addOrdering({systemB, systemA, objective, kb::Requirement::alwaysTrue(),
                      "hypothetical measurement", {}});
     Problem pb = problem;
     pb.kb = &kbB;
-    result.ifBBetter = Engine(pb, kind).optimize();
+    result.ifBBetter = Engine(pb, options).optimize();
 
     if (result.ifABetter.has_value() != result.ifBBetter.has_value()) {
         result.changesDesign = true;
@@ -205,6 +251,15 @@ InformationValue valueOfInformation(const Problem& problem,
         result.changesDesign = !result.ifABetter->diff(*result.ifBBetter).empty();
     }
     return result;
+}
+
+InformationValue valueOfInformation(const Problem& problem,
+                                    const std::string& objective,
+                                    const std::string& systemA,
+                                    const std::string& systemB,
+                                    smt::BackendKind kind) {
+    return valueOfInformation(problem, objective, systemA, systemB,
+                              withBackend(kind));
 }
 
 } // namespace lar::reason

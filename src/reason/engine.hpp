@@ -1,11 +1,18 @@
 // The reasoning engine — the paper's §5.1 prototype, as a library.
 //
-// An Engine owns one compiled problem instance and answers the architect's
-// queries on it: feasibility with rule-level conflict explanations (§6
+// An Engine binds a compiled problem instance (owned or shared, e.g. from
+// the Service's compilation cache) and answers the architect's queries on
+// it: feasibility with rule-level conflict explanations (§6
 // "Explainability"), synthesis, lexicographic optimization (Listing 3 line
-// 10), and equivalence-class enumeration. Queries mutate solver state
-// monotonically (optimization locks bounds), so use one Engine per logical
-// query, or the free helper functions below which do that for you.
+// 10), and equivalence-class enumeration.
+//
+// Reentrancy contract: every query method acquires a fresh SolverSession
+// from the compilation, so queries are independent — optimize() followed by
+// synthesize() on the same Engine no longer sees locked optimization
+// bounds, and the same Engine can be reused for any number of queries. The
+// Engine itself is not thread-safe (lastSolveStats() is per-engine mutable
+// state); to run queries concurrently, give each thread its own Engine over
+// the same shared Compilation — that is exactly what reason::Service does.
 #pragma once
 
 #include <memory>
@@ -16,11 +23,15 @@
 #include "reason/compile.hpp"
 #include "reason/design.hpp"
 #include "reason/problem.hpp"
+#include "reason/query_options.hpp"
 
 namespace lar::reason {
 
 struct FeasibilityReport {
     bool feasible = false;
+    /// The solver gave up (QueryOptions::timeoutMs exhausted) before
+    /// reaching a verdict; `feasible` is false but means "unknown".
+    bool timedOut = false;
     /// When infeasible: human-readable descriptions of the clashing rules
     /// (from the backend's unsat core).
     std::vector<std::string> conflictingRules;
@@ -28,8 +39,16 @@ struct FeasibilityReport {
 
 class Engine {
 public:
-    explicit Engine(const Problem& problem,
-                    smt::BackendKind kind = smt::BackendKind::Cdcl);
+    /// Compiles `problem` and binds the engine to it.
+    explicit Engine(const Problem& problem, const QueryOptions& options = {});
+
+    /// Binds the engine to an already-compiled (possibly cached, possibly
+    /// shared across engines) problem instance.
+    explicit Engine(std::shared_ptr<const Compilation> compilation,
+                    const QueryOptions& options = {});
+
+    [[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
+    Engine(const Problem& problem, smt::BackendKind kind);
 
     /// Is any compliant design possible? On failure, names the conflict.
     [[nodiscard]] FeasibilityReport checkFeasible();
@@ -54,15 +73,34 @@ public:
     [[nodiscard]] std::vector<Design> enumerateDesigns(int maxDesigns,
                                                        bool optimizeFirst = false);
 
+    /// Backend statistics accumulated by the most recent query method call
+    /// (conflicts/decisions/propagations; exact for CDCL, best-effort for
+    /// Z3). Zeroed stats before the first query.
+    [[nodiscard]] const sat::SolverStats& lastSolveStats() const {
+        return lastStats_;
+    }
+
+    [[nodiscard]] const QueryOptions& options() const { return options_; }
     [[nodiscard]] const Compilation& compilation() const { return *compilation_; }
-    [[nodiscard]] const Problem& problem() const { return problem_; }
+    /// The compilation as a shareable handle (e.g. to seed another Engine).
+    [[nodiscard]] std::shared_ptr<const Compilation> sharedCompilation() const {
+        return compilation_;
+    }
+    [[nodiscard]] const Problem& problem() const {
+        return compilation_->problem();
+    }
 
 private:
-    Problem problem_;
-    std::unique_ptr<Compilation> compilation_;
+    [[nodiscard]] SolverSession newSession() const {
+        return SolverSession(compilation_, options_);
+    }
+
+    std::shared_ptr<const Compilation> compilation_;
+    QueryOptions options_;
+    sat::SolverStats lastStats_;
 };
 
-// -- §5.1-style query helpers (fresh engine per call) -------------------------
+// -- §5.1-style query helpers (compile + solve per call) ----------------------
 
 /// Compares the optimal designs of two scenarios (e.g. with/without CXL
 /// servers, or before/after adding workloads).
@@ -72,25 +110,33 @@ struct ScenarioComparison {
     /// Ripple-effect change list (empty when either side is infeasible).
     std::vector<std::string> changes;
 };
-[[nodiscard]] ScenarioComparison compareScenarios(
-    const Problem& a, const Problem& b,
-    smt::BackendKind kind = smt::BackendKind::Cdcl);
+[[nodiscard]] ScenarioComparison compareScenarios(const Problem& a,
+                                                  const Problem& b,
+                                                  const QueryOptions& options = {});
+[[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
+[[nodiscard]] ScenarioComparison compareScenarios(const Problem& a,
+                                                  const Problem& b,
+                                                  smt::BackendKind kind);
 
 /// §5.1 query 2 ("keep Sonata unless there are huge benefits"): optimal
-/// design with `system` pinned vs left free, with per-objective cost deltas
-/// (positive delta = keeping the system costs that much more).
+/// design with `system` pinned vs left unpinned, with per-objective cost
+/// deltas (positive delta = keeping the system costs that much more).
 struct RetentionReport {
     std::optional<Design> keeping;
-    std::optional<Design> free_;
+    std::optional<Design> unpinned;
     std::vector<std::int64_t> extraCostPerObjective;
     double extraHardwareCostUsd = 0.0;
     /// True when switching away wins by more than `threshold` at some
     /// objective level (checked most-important first).
     [[nodiscard]] bool worthSwitching(std::int64_t threshold) const;
 };
-[[nodiscard]] RetentionReport analyzeRetention(
-    const Problem& problem, const std::string& system,
-    smt::BackendKind kind = smt::BackendKind::Cdcl);
+[[nodiscard]] RetentionReport analyzeRetention(const Problem& problem,
+                                               const std::string& system,
+                                               const QueryOptions& options = {});
+[[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
+[[nodiscard]] RetentionReport analyzeRetention(const Problem& problem,
+                                               const std::string& system,
+                                               smt::BackendKind kind);
 
 /// §3.1 value-of-information: would learning how `systemA` compares to
 /// `systemB` on `objective` change the optimal design? If not, the
@@ -103,7 +149,12 @@ struct InformationValue {
 [[nodiscard]] InformationValue valueOfInformation(
     const Problem& problem, const std::string& objective,
     const std::string& systemA, const std::string& systemB,
-    smt::BackendKind kind = smt::BackendKind::Cdcl);
+    const QueryOptions& options = {});
+[[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
+[[nodiscard]] InformationValue valueOfInformation(
+    const Problem& problem, const std::string& objective,
+    const std::string& systemA, const std::string& systemB,
+    smt::BackendKind kind);
 
 /// §6: when the problem is under-specified, several designs tie at the
 /// optimum. Each suggestion names a category whose choice is not pinned
@@ -117,7 +168,10 @@ struct DisambiguationSuggestion {
 };
 [[nodiscard]] std::vector<DisambiguationSuggestion> suggestDisambiguation(
     const Problem& problem, int sampleDesigns = 8,
-    smt::BackendKind kind = smt::BackendKind::Cdcl);
+    const QueryOptions& options = {});
+[[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
+[[nodiscard]] std::vector<DisambiguationSuggestion> suggestDisambiguation(
+    const Problem& problem, int sampleDesigns, smt::BackendKind kind);
 
 /// §3.1 breadth-first granularity refinement: encode coarsely first, refine
 /// only where it matters. A refinement hint names a system the optimal

@@ -1,0 +1,46 @@
+// Unified per-query knobs for the reasoning layer.
+//
+// Every entry point that answers an architect query — Engine, WhatIfSession,
+// the free §5.1 helpers, and the concurrent Service — takes a QueryOptions
+// instead of a bare smt::BackendKind, so new knobs (seeds, timeouts, trace
+// collection) reach the whole stack without another round of signature
+// churn. The old trailing-BackendKind overloads remain for one release as
+// [[deprecated]] shims.
+#pragma once
+
+#include <cstdint>
+
+#include "smt/backend.hpp"
+
+namespace lar::reason {
+
+struct QueryOptions {
+    /// Solver backend answering the query.
+    smt::BackendKind backend = smt::BackendKind::Cdcl;
+    /// Nonzero: seed for randomized search aspects (initial CDCL phases,
+    /// Z3 random_seed). 0 keeps the deterministic default; either way a
+    /// fixed seed reproduces the identical answer.
+    std::uint64_t seed = 0;
+    /// Wall-clock budget per solver call in milliseconds; 0 = unlimited.
+    /// On exhaustion feasibility reports carry timedOut and optimization
+    /// returns nullopt.
+    int timeoutMs = 0;
+    /// Collect a QueryTrace (times, solver statistics, cache outcome) for
+    /// the query. Service honours this per request; Engine always keeps the
+    /// cheap lastSolveStats() regardless.
+    bool collectTrace = true;
+
+    /// The smt-layer view of these options.
+    [[nodiscard]] smt::BackendConfig backendConfig() const {
+        return smt::BackendConfig{seed, timeoutMs};
+    }
+};
+
+/// Convenience: options for a specific backend, other knobs defaulted.
+[[nodiscard]] inline QueryOptions withBackend(smt::BackendKind kind) {
+    QueryOptions options;
+    options.backend = kind;
+    return options;
+}
+
+} // namespace lar::reason

@@ -1,0 +1,194 @@
+#include "reason/service.hpp"
+
+#include <utility>
+
+#include "reason/problem_io.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lar::reason {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::size_t Service::CacheKeyHash::operator()(const CacheKey& k) const {
+    // splitmix64-style mix of the three words.
+    std::uint64_t h = k.problemHash;
+    for (const std::uint64_t w : {k.kbInstance, k.kbMutations}) {
+        h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        h *= 0xbf58476d1ce4e5b9ULL;
+        h ^= h >> 31;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+Service::CacheKey Service::fingerprint(const Problem& problem) {
+    expects(problem.kb != nullptr, "Service: problem has no knowledge base");
+    // problemToText covers every problem field; the KB contributes through
+    // its revision token, not its content — cheaper than hashing the whole
+    // catalog, and exact as long as mutation goes through the KB's API.
+    const kb::KnowledgeBase::Revision rev = problem.kb->revision();
+    return CacheKey{fnv1a64(problemToText(problem)), rev.instance,
+                    rev.mutations};
+}
+
+Service::Service(const ServiceOptions& options)
+    : options_(options), pool_(options.workers) {
+    expects(options_.cacheCapacity > 0, "Service: cacheCapacity must be > 0");
+}
+
+std::shared_ptr<const Compilation> Service::obtain(const Problem& problem,
+                                                   bool& cacheHit,
+                                                   double& compileMs) {
+    const CacheKey key = fingerprint(problem);
+    {
+        const std::lock_guard<std::mutex> lock(cacheMutex_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second); // bump to front
+            ++hits_;
+            cacheHit = true;
+            compileMs = 0.0;
+            return it->second->second;
+        }
+        ++misses_;
+    }
+    // Compile outside the lock: concurrent misses on *different* problems
+    // proceed in parallel. Two threads missing the same key both compile;
+    // the loser adopts the winner's (identical) entry.
+    util::Stopwatch compileTimer;
+    auto compiled = std::make_shared<const Compilation>(problem);
+    compileMs = compileTimer.millis();
+    cacheHit = false;
+
+    const std::lock_guard<std::mutex> lock(cacheMutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) return it->second->second;
+    lru_.emplace_front(key, std::move(compiled));
+    index_.emplace(key, lru_.begin());
+    while (lru_.size() > options_.cacheCapacity) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+    return lru_.front().second;
+}
+
+std::shared_ptr<const Compilation> Service::compilationFor(
+    const Problem& problem) {
+    bool hit = false;
+    double ms = 0.0;
+    return obtain(problem, hit, ms);
+}
+
+QueryResult Service::run(const QueryRequest& request) {
+    util::Stopwatch totalTimer;
+    QueryResult result;
+    result.id = request.id;
+    result.kind = request.kind;
+
+    bool cacheHit = false;
+    double compileMs = 0.0;
+    const std::shared_ptr<const Compilation> compilation =
+        obtain(request.problem, cacheHit, compileMs);
+
+    Engine engine(compilation, request.options);
+    util::Stopwatch solveTimer;
+    std::string verdict;
+    switch (request.kind) {
+        case QueryKind::Feasibility: {
+            const FeasibilityReport report = engine.checkFeasible();
+            result.feasible = report.feasible;
+            result.timedOut = report.timedOut;
+            result.conflictingRules = report.conflictingRules;
+            verdict = report.timedOut ? "unknown"
+                                      : (report.feasible ? "sat" : "unsat");
+            break;
+        }
+        case QueryKind::Explain: {
+            const FeasibilityReport report = engine.explainMinimalConflict();
+            result.feasible = report.feasible;
+            result.timedOut = report.timedOut;
+            result.conflictingRules = report.conflictingRules;
+            verdict = report.timedOut ? "unknown"
+                                      : (report.feasible ? "sat" : "unsat");
+            break;
+        }
+        case QueryKind::Synthesize: {
+            result.design = engine.synthesize();
+            result.feasible = result.design.has_value();
+            verdict = result.feasible ? "sat" : "unsat";
+            break;
+        }
+        case QueryKind::Optimize: {
+            result.design = engine.optimize();
+            result.feasible = result.design.has_value();
+            verdict = result.feasible ? "sat" : "unsat";
+            break;
+        }
+        case QueryKind::Enumerate: {
+            result.designs =
+                engine.enumerateDesigns(request.maxDesigns, /*optimizeFirst=*/true);
+            result.feasible = !result.designs.empty();
+            verdict = std::to_string(result.designs.size()) + " designs";
+            break;
+        }
+    }
+    const double solveMs = solveTimer.millis();
+
+    if (request.options.collectTrace) {
+        QueryTrace& trace = result.trace;
+        trace.id = request.id;
+        trace.kind = request.kind;
+        trace.backend = request.options.backend;
+        trace.cacheHit = cacheHit;
+        trace.compileMs = compileMs;
+        trace.solveMs = solveMs;
+        trace.totalMs = totalTimer.millis();
+        trace.verdict = std::move(verdict);
+        trace.stats = engine.lastSolveStats();
+    }
+    return result;
+}
+
+std::vector<QueryResult> Service::runBatch(
+    const std::vector<QueryRequest>& requests) {
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const QueryRequest& request = requests[i];
+        futures.push_back(pool_.submit([this, &request]() { return run(request); }));
+    }
+    std::vector<QueryResult> results;
+    results.reserve(futures.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        results.push_back(futures[i].get());
+        if (results.back().id.empty()) {
+            results.back().id = std::to_string(i);
+            results.back().trace.id = results.back().id;
+        }
+    }
+    return results;
+}
+
+CacheStats Service::cacheStats() const {
+    const std::lock_guard<std::mutex> lock(cacheMutex_);
+    return CacheStats{hits_, misses_, lru_.size(), options_.cacheCapacity};
+}
+
+void Service::clearCache() {
+    const std::lock_guard<std::mutex> lock(cacheMutex_);
+    lru_.clear();
+    index_.clear();
+}
+
+} // namespace lar::reason

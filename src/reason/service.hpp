@@ -1,0 +1,130 @@
+// Concurrent query service with compilation caching.
+//
+// The paper's workflow is interactive: an architect (or a fleet of CI jobs)
+// fires bursts of queries, most of which share a problem — the same spec
+// checked for feasibility, optimized, and enumerated; or many seeds of the
+// same optimization. Service makes that burst cheap and concurrent:
+//
+//  * a fingerprint-keyed LRU cache of Compilation objects (hash of the
+//    problem spec ⊕ the knowledge base's revision token), so repeated
+//    queries skip the problem → formulas translation entirely;
+//  * a fixed thread pool running batch queries concurrently — each query
+//    gets its own Engine (own backend instance) over the shared immutable
+//    Compilation, so backends stay single-threaded;
+//  * a QueryTrace per query (compile/solve split, cache outcome, search
+//    counters) for observability.
+//
+// Batch results are bit-identical to running the same requests
+// sequentially: queries share nothing mutable, and every randomized aspect
+// is governed by the request's QueryOptions::seed.
+//
+// Lifetime: cached Compilations reference the knowledge bases behind the
+// problems they were compiled from (same rule as Engine). Keep every KB
+// passed in alive for the Service's lifetime, or clearCache() after
+// dropping one. Mutating a KB is safe — its revision token changes, so
+// stale entries can never be served (they only age out of the LRU).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "reason/compile.hpp"
+#include "reason/engine.hpp"
+#include "reason/query_options.hpp"
+#include "reason/trace.hpp"
+#include "util/threadpool.hpp"
+
+namespace lar::reason {
+
+struct ServiceOptions {
+    /// Max cached compilations; least-recently-used entries are evicted.
+    std::size_t cacheCapacity = 32;
+    /// Worker threads for runBatch(); 0 = hardware concurrency.
+    unsigned workers = 0;
+};
+
+/// One query in a batch.
+struct QueryRequest {
+    std::string id; ///< echoed in the result/trace; "" → position index
+    QueryKind kind = QueryKind::Optimize;
+    Problem problem;
+    int maxDesigns = 4; ///< QueryKind::Enumerate only
+    QueryOptions options;
+};
+
+/// Outcome of one query; which fields are filled depends on the kind.
+struct QueryResult {
+    std::string id;
+    QueryKind kind = QueryKind::Optimize;
+    bool feasible = false;
+    bool timedOut = false;
+    std::optional<Design> design;              ///< Synthesize/Optimize
+    std::vector<Design> designs;               ///< Enumerate
+    std::vector<std::string> conflictingRules; ///< Feasibility/Explain
+    /// Populated when the request's QueryOptions::collectTrace is set.
+    QueryTrace trace;
+};
+
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+};
+
+class Service {
+public:
+    explicit Service(const ServiceOptions& options = {});
+
+    /// Answers one query on the calling thread (cache shared with batches).
+    [[nodiscard]] QueryResult run(const QueryRequest& request);
+
+    /// Answers every request concurrently on the pool; results come back in
+    /// request order and match a sequential run bit-for-bit.
+    [[nodiscard]] std::vector<QueryResult> runBatch(
+        const std::vector<QueryRequest>& requests);
+
+    [[nodiscard]] CacheStats cacheStats() const;
+    void clearCache();
+    [[nodiscard]] unsigned workerCount() const { return pool_.workerCount(); }
+
+    /// The compilation the cache would serve for `problem` (compiling and
+    /// inserting on miss). Exposed so callers can pre-warm or share it with
+    /// their own Engines/WhatIfSessions.
+    [[nodiscard]] std::shared_ptr<const Compilation> compilationFor(
+        const Problem& problem);
+
+private:
+    struct CacheKey {
+        std::uint64_t problemHash = 0;
+        std::uint64_t kbInstance = 0;
+        std::uint64_t kbMutations = 0;
+        [[nodiscard]] bool operator==(const CacheKey&) const = default;
+    };
+    struct CacheKeyHash {
+        [[nodiscard]] std::size_t operator()(const CacheKey& k) const;
+    };
+    using LruList =
+        std::list<std::pair<CacheKey, std::shared_ptr<const Compilation>>>;
+
+    [[nodiscard]] static CacheKey fingerprint(const Problem& problem);
+    [[nodiscard]] std::shared_ptr<const Compilation> obtain(
+        const Problem& problem, bool& cacheHit, double& compileMs);
+
+    ServiceOptions options_;
+    util::ThreadPool pool_;
+
+    mutable std::mutex cacheMutex_;
+    LruList lru_; ///< front = most recently used
+    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace lar::reason

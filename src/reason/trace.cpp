@@ -1,0 +1,54 @@
+#include "reason/trace.hpp"
+
+#include "util/error.hpp"
+
+namespace lar::reason {
+
+std::string toString(QueryKind kind) {
+    switch (kind) {
+        case QueryKind::Feasibility: return "feasible";
+        case QueryKind::Explain: return "explain";
+        case QueryKind::Synthesize: return "synthesize";
+        case QueryKind::Optimize: return "optimize";
+        case QueryKind::Enumerate: return "enumerate";
+    }
+    return "unknown";
+}
+
+QueryKind queryKindFromString(const std::string& s) {
+    if (s == "feasible" || s == "feasibility") return QueryKind::Feasibility;
+    if (s == "explain") return QueryKind::Explain;
+    if (s == "synthesize") return QueryKind::Synthesize;
+    if (s == "optimize") return QueryKind::Optimize;
+    if (s == "enumerate") return QueryKind::Enumerate;
+    throw ParseError("unknown query kind: '" + s + "'");
+}
+
+json::Value toJson(const QueryTrace& trace) {
+    json::Value v;
+    v["id"] = trace.id;
+    v["kind"] = toString(trace.kind);
+    v["backend"] = trace.backend == smt::BackendKind::Z3 ? "z3" : "cdcl";
+    v["cache_hit"] = trace.cacheHit;
+    v["compile_ms"] = trace.compileMs;
+    v["solve_ms"] = trace.solveMs;
+    v["total_ms"] = trace.totalMs;
+    v["verdict"] = trace.verdict;
+    json::Value stats;
+    stats["decisions"] = static_cast<std::int64_t>(trace.stats.decisions);
+    stats["propagations"] = static_cast<std::int64_t>(trace.stats.propagations);
+    stats["conflicts"] = static_cast<std::int64_t>(trace.stats.conflicts);
+    stats["restarts"] = static_cast<std::int64_t>(trace.stats.restarts);
+    stats["solves"] = static_cast<std::int64_t>(trace.stats.solves);
+    v["stats"] = std::move(stats);
+    return v;
+}
+
+json::Value toJson(const std::vector<QueryTrace>& traces) {
+    json::Array arr;
+    arr.reserve(traces.size());
+    for (const QueryTrace& t : traces) arr.push_back(toJson(t));
+    return json::Value(std::move(arr));
+}
+
+} // namespace lar::reason

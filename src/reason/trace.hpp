@@ -1,0 +1,43 @@
+// Per-query observability records.
+//
+// Every query the Service answers produces a QueryTrace: what was asked,
+// which backend answered, whether the compilation cache hit, how the time
+// split between compile and solve, and the solver's search counters. Traces
+// serialize to JSON so `larctl batch` output and bench logs can be fed to
+// whatever dashboards a deployment already has.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/value.hpp"
+#include "sat/solver.hpp"
+#include "smt/backend.hpp"
+
+namespace lar::reason {
+
+/// The query shapes the Service answers (Engine methods, by name).
+enum class QueryKind { Feasibility, Explain, Synthesize, Optimize, Enumerate };
+
+[[nodiscard]] std::string toString(QueryKind kind);
+/// Parses "feasible"/"explain"/"synthesize"/"optimize"/"enumerate".
+/// Throws ParseError on anything else.
+[[nodiscard]] QueryKind queryKindFromString(const std::string& s);
+
+struct QueryTrace {
+    std::string id;                              ///< caller-supplied query id
+    QueryKind kind = QueryKind::Optimize;
+    smt::BackendKind backend = smt::BackendKind::Cdcl;
+    bool cacheHit = false;  ///< compilation served from the Service cache
+    double compileMs = 0.0; ///< problem → formulas (0 ≈ cache hit)
+    double solveMs = 0.0;   ///< backend construction + search
+    double totalMs = 0.0;
+    std::string verdict; ///< "sat" / "unsat" / "unknown" / "N designs"
+    sat::SolverStats stats; ///< search counters (exact CDCL, best-effort Z3)
+};
+
+[[nodiscard]] json::Value toJson(const QueryTrace& trace);
+/// JSON array of toJson(trace) records.
+[[nodiscard]] json::Value toJson(const std::vector<QueryTrace>& traces);
+
+} // namespace lar::reason

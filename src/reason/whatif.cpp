@@ -4,48 +4,55 @@
 
 namespace lar::reason {
 
+WhatIfSession::WhatIfSession(const Problem& problem, const QueryOptions& options)
+    : session_(std::make_shared<const Compilation>(problem), options) {}
+
+WhatIfSession::WhatIfSession(std::shared_ptr<const Compilation> compilation,
+                             const QueryOptions& options)
+    : session_(std::move(compilation), options) {}
+
 WhatIfSession::WhatIfSession(const Problem& problem, smt::BackendKind kind)
-    : problem_(problem) {
-    compilation_ = std::make_unique<Compilation>(problem_, kind);
-}
+    : WhatIfSession(problem, withBackend(kind)) {}
 
 WhatIfAnswer WhatIfSession::ask(const Variation& variation) {
     ++queries_;
-    smt::FormulaStore& store = compilation_->store();
+    const Compilation& compilation = session_.compilation();
+    smt::FormulaStore& store = session_.store();
     std::vector<smt::NodeId> assumptions;
 
     for (const auto& [name, include] : variation.systems) {
-        const smt::NodeId var = compilation_->systemVar(name);
+        const smt::NodeId var = compilation.systemVar(name);
         expects(var != smt::kInvalidNode,
                 "WhatIfSession: unknown system " + name);
         assumptions.push_back(include ? var : store.mkNot(var));
     }
     for (const auto& [cls, model] : variation.hardwareModels) {
-        const smt::NodeId var = compilation_->hardwareVar(cls, model);
+        const smt::NodeId var = compilation.hardwareVar(cls, model);
         expects(var != smt::kInvalidNode,
                 "WhatIfSession: model " + model + " not a candidate for " +
                     toString(cls));
         assumptions.push_back(var);
     }
     for (const auto& [name, enabled] : variation.options) {
-        const smt::NodeId var = compilation_->optionVar(name);
+        const smt::NodeId var = compilation.optionVar(name);
         expects(var != smt::kInvalidNode,
                 "WhatIfSession: unknown option " + name);
         assumptions.push_back(enabled ? var : store.mkNot(var));
     }
 
     WhatIfAnswer answer;
-    switch (compilation_->backend().check(assumptions)) {
+    switch (session_.backend().check(assumptions)) {
         case smt::CheckStatus::Sat:
             answer.feasible = true;
-            answer.design = compilation_->extractDesign();
+            answer.design = session_.extractDesign();
             break;
         case smt::CheckStatus::Unsat:
-            answer.conflictingRules = compilation_->describeTracks(
-                compilation_->backend().unsatCore().tracks);
+            answer.conflictingRules = compilation.describeTracks(
+                session_.backend().unsatCore().tracks);
             break;
         case smt::CheckStatus::Unknown:
-            throw LogicError("WhatIfSession: solver returned unknown");
+            answer.timedOut = true;
+            break;
     }
     return answer;
 }

@@ -3,8 +3,9 @@
 // An architect's exploration (§5.1) is a burst of small variations on one
 // problem: pin this system, forbid that one, freeze a hardware model, try
 // again. Engine answers each by recompiling; a WhatIfSession compiles once
-// and answers every variation through solver assumptions, exploiting the
-// CDCL backend's incrementality (learned clauses persist across queries).
+// (or binds a cached Compilation) and answers every variation through
+// solver assumptions, exploiting the CDCL backend's incrementality (learned
+// clauses persist across queries).
 //
 // Only pin-style variations are expressible this way — anything that
 // changes rules (new workloads, different budgets) needs a fresh Engine.
@@ -18,6 +19,7 @@
 #include "reason/compile.hpp"
 #include "reason/design.hpp"
 #include "reason/problem.hpp"
+#include "reason/query_options.hpp"
 
 namespace lar::reason {
 
@@ -33,14 +35,23 @@ struct Variation {
 
 struct WhatIfAnswer {
     bool feasible = false;
+    /// Solver gave up (QueryOptions::timeoutMs) before a verdict.
+    bool timedOut = false;
     std::optional<Design> design;              ///< present when feasible
-    std::vector<std::string> conflictingRules; ///< present when not
+    std::vector<std::string> conflictingRules; ///< present when infeasible
 };
 
 class WhatIfSession {
 public:
     explicit WhatIfSession(const Problem& problem,
-                           smt::BackendKind kind = smt::BackendKind::Cdcl);
+                           const QueryOptions& options = {});
+
+    /// Binds the session to an already-compiled (possibly cached) problem.
+    explicit WhatIfSession(std::shared_ptr<const Compilation> compilation,
+                           const QueryOptions& options = {});
+
+    [[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
+    WhatIfSession(const Problem& problem, smt::BackendKind kind);
 
     /// Answers a variation without recompiling. Repeated calls are
     /// independent: assumptions do not accumulate.
@@ -49,9 +60,12 @@ public:
     /// Number of variations answered so far (for reporting).
     [[nodiscard]] int queriesAnswered() const { return queries_; }
 
+    [[nodiscard]] const Compilation& compilation() const {
+        return session_.compilation();
+    }
+
 private:
-    Problem problem_;
-    std::unique_ptr<Compilation> compilation_;
+    SolverSession session_;
     int queries_ = 0;
 };
 

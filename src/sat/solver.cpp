@@ -16,7 +16,18 @@ Var Solver::newVar() {
     const Var v = static_cast<Var>(assigns_.size());
     assigns_.push_back(lbool::Undef);
     varData_.push_back({});
-    polarity_.push_back(1); // default phase: assign false first
+    if (opts_.randomSeed == 0) {
+        polarity_.push_back(1); // default phase: assign false first
+    } else {
+        // Deterministic per-(seed, var) phase: splitmix64 of the pair.
+        std::uint64_t state =
+            opts_.randomSeed ^ (static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL);
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        polarity_.push_back(static_cast<char>((z ^ (z >> 31)) & 1));
+    }
     activity_.push_back(0.0);
     heapIndex_.push_back(-1);
     seen_.push_back(0);
@@ -521,11 +532,19 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
     restartCount_ = 0;
     restartLimit_ = opts_.restartBase * luby(restartCount_);
     conflictsSinceRestart_ = 0;
+    hasDeadline_ = opts_.timeBudgetMs >= 0;
+    if (hasDeadline_)
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(opts_.timeBudgetMs);
 
     const SolveResult result = search();
     if (result == SolveResult::Sat) model_ = assigns_;
     backtrackTo(0);
     return result;
+}
+
+bool Solver::deadlineExpired() const {
+    return hasDeadline_ && std::chrono::steady_clock::now() >= deadline_;
 }
 
 SolveResult Solver::search() {
@@ -542,6 +561,10 @@ SolveResult Solver::search() {
             ++conflictsSinceRestart_;
             if (conflictLimit >= 0 &&
                 static_cast<std::int64_t>(stats_.conflicts) >= conflictLimit) {
+                backtrackTo(0);
+                return SolveResult::Unknown;
+            }
+            if (deadlineExpired()) {
                 backtrackTo(0);
                 return SolveResult::Unknown;
             }
@@ -614,6 +637,10 @@ SolveResult Solver::search() {
             continue;
         }
 
+        if ((stats_.decisions & 1023) == 0 && deadlineExpired()) {
+            backtrackTo(0);
+            return SolveResult::Unknown;
+        }
         const Lit next = pickBranchLit();
         if (!next.isDefined()) return SolveResult::Sat;
         ++stats_.decisions;

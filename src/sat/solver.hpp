@@ -17,6 +17,7 @@
 // flips the deepest unflipped decision on conflict.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -64,6 +65,14 @@ struct SolverOptions {
     double clauseDecay = 0.999;
     int restartBase = 100;          ///< conflicts per Luby unit
     std::int64_t conflictBudget = -1; ///< -1 = unlimited; else Unknown on exhaustion
+    /// Wall-clock budget per solve() call in milliseconds; -1 = unlimited.
+    /// Checked at conflicts and periodically at decisions, so exhaustion
+    /// returns Unknown within a few propagation batches of the deadline.
+    std::int64_t timeBudgetMs = -1;
+    /// Nonzero: initial phase of each variable is drawn deterministically
+    /// from this seed instead of the all-false default. The search stays
+    /// reproducible for a fixed seed; 0 keeps the classic polarity.
+    std::uint64_t randomSeed = 0;
 };
 
 class Solver {
@@ -187,6 +196,7 @@ private:
     }
 
     static std::int64_t luby(std::int64_t i);
+    [[nodiscard]] bool deadlineExpired() const;
 
     // -- data ---------------------------------------------------------------
     SolverOptions opts_;
@@ -225,6 +235,8 @@ private:
     std::int64_t conflictsSinceRestart_ = 0;
     std::int64_t restartLimit_ = 0;
     int restartCount_ = 0;
+    std::chrono::steady_clock::time_point deadline_{};
+    bool hasDeadline_ = false;
 };
 
 } // namespace lar::sat

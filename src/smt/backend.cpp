@@ -17,13 +17,15 @@ bool haveZ3() {
 #endif
 }
 
-std::unique_ptr<Backend> makeBackend(BackendKind kind, const FormulaStore& store) {
+std::unique_ptr<Backend> makeBackend(BackendKind kind, const FormulaStore& store,
+                                     const BackendConfig& config) {
     switch (kind) {
-        case BackendKind::Cdcl: return std::make_unique<CdclBackend>(store);
+        case BackendKind::Cdcl: return std::make_unique<CdclBackend>(store, config);
         case BackendKind::Z3:
 #if defined(LAR_HAVE_Z3)
-            return std::make_unique<Z3Backend>(store);
+            return std::make_unique<Z3Backend>(store, config);
 #else
+            (void)config;
             throw LogicError("Z3 backend requested but the build has no libz3");
 #endif
     }

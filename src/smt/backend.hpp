@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sat/solver.hpp"
 #include "smt/formula.hpp"
 
 namespace lar::smt {
@@ -79,11 +80,29 @@ public:
     virtual OptimizeResult optimize(std::span<const ObjectiveSpec> objectives,
                                     std::span<const NodeId> assumptions = {}) = 0;
 
+    /// Cumulative search statistics for this backend instance (the engine
+    /// uses one instance per query, so these read as per-query figures).
+    /// The CDCL backend reports exact counters; Z3 maps what its statistics
+    /// API exposes (best effort — unknown counters stay zero).
+    [[nodiscard]] virtual sat::SolverStats stats() const = 0;
+
     [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// Kinds of backends available in this build.
 enum class BackendKind { Cdcl, Z3 };
+
+/// Per-instance knobs shared by all backends, mapped from
+/// reason::QueryOptions by the reasoning layer.
+struct BackendConfig {
+    /// Nonzero: seed for randomized search aspects (initial phases for the
+    /// CDCL backend, random_seed for Z3). 0 keeps the deterministic default.
+    std::uint64_t seed = 0;
+    /// Wall-clock budget per check/optimize call in milliseconds; 0 = none.
+    /// On exhaustion checks return CheckStatus::Unknown and optimize()
+    /// reports infeasible=false.
+    int timeoutMs = 0;
+};
 
 /// True when the library was built with Z3 support.
 [[nodiscard]] bool haveZ3();
@@ -91,6 +110,7 @@ enum class BackendKind { Cdcl, Z3 };
 /// Creates a backend over `store`. Throws LogicError for BackendKind::Z3
 /// when the library was built without Z3.
 [[nodiscard]] std::unique_ptr<Backend> makeBackend(BackendKind kind,
-                                                   const FormulaStore& store);
+                                                   const FormulaStore& store,
+                                                   const BackendConfig& config = {});
 
 } // namespace lar::smt

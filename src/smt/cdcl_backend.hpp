@@ -12,7 +12,12 @@ namespace lar::smt {
 
 class CdclBackend final : public Backend {
 public:
-    explicit CdclBackend(const FormulaStore& store) : store_(&store) {}
+    explicit CdclBackend(const FormulaStore& store, const BackendConfig& config = {})
+        : store_(&store) {
+        sat::SolverOptions& opts = solver_.mutableOptions();
+        opts.randomSeed = config.seed;
+        opts.timeBudgetMs = config.timeoutMs > 0 ? config.timeoutMs : -1;
+    }
 
     void addHard(NodeId formula, int track = -1) override;
     CheckStatus check(std::span<const NodeId> assumptions = {}) override;
@@ -23,9 +28,7 @@ public:
     OptimizeResult optimize(std::span<const ObjectiveSpec> objectives,
                             std::span<const NodeId> assumptions = {}) override;
     [[nodiscard]] std::string name() const override { return "cdcl"; }
-
-    /// Access to solver statistics for benches.
-    [[nodiscard]] const sat::SolverStats& stats() const { return solver_.stats(); }
+    [[nodiscard]] sat::SolverStats stats() const override { return solver_.stats(); }
 
 private:
     /// Polarity bits for occurrence analysis of LinLeq atoms.

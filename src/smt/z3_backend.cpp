@@ -8,8 +8,43 @@
 
 namespace lar::smt {
 
-Z3Backend::Z3Backend(const FormulaStore& store)
-    : store_(&store), solver_(ctx_) {}
+Z3Backend::Z3Backend(const FormulaStore& store, const BackendConfig& config)
+    : store_(&store), config_(config), solver_(ctx_) {
+    if (config_.timeoutMs > 0 || config_.seed != 0) {
+        z3::params params(ctx_);
+        if (config_.timeoutMs > 0)
+            params.set("timeout", static_cast<unsigned>(config_.timeoutMs));
+        if (config_.seed != 0)
+            params.set("random_seed",
+                       static_cast<unsigned>(config_.seed & 0xFFFFFFFFu));
+        solver_.set(params);
+    }
+}
+
+void Z3Backend::collectStats(const z3::stats& st) {
+    // Z3 key names vary per tactic ("conflicts", "sat conflicts", ...): match
+    // by substring and take the maximum seen, since the same quantity can be
+    // reported under several keys.
+    const auto value = [&st](unsigned i) -> std::uint64_t {
+        return st.is_uint(i) ? st.uint_value(i)
+                             : static_cast<std::uint64_t>(st.double_value(i));
+    };
+    sat::SolverStats out = collected_;
+    for (unsigned i = 0; i < st.size(); ++i) {
+        const std::string key = st.key(i);
+        if (key.find("conflict") != std::string::npos)
+            out.conflicts = std::max(out.conflicts, collected_.conflicts + value(i));
+        else if (key.find("decision") != std::string::npos)
+            out.decisions = std::max(out.decisions, collected_.decisions + value(i));
+        else if (key.find("propagation") != std::string::npos)
+            out.propagations =
+                std::max(out.propagations, collected_.propagations + value(i));
+        else if (key.find("restart") != std::string::npos)
+            out.restarts = std::max(out.restarts, collected_.restarts + value(i));
+    }
+    out.solves = collected_.solves + 1;
+    collected_ = out;
+}
 
 z3::expr Z3Backend::varExpr(NodeId id) {
     const auto it = exprIndex_.find(id);
@@ -98,7 +133,9 @@ CheckStatus Z3Backend::checkWithTracks(std::span<const int> activeTracks,
             assume.push_back(selector);
     }
     for (const NodeId a : assumptions) assume.push_back(toExpr(a));
-    switch (solver_.check(assume)) {
+    const z3::check_result verdict = solver_.check(assume);
+    collectStats(solver_.statistics());
+    switch (verdict) {
         case z3::sat:
             model_ = std::make_unique<z3::model>(solver_.get_model());
             return CheckStatus::Sat;
@@ -114,7 +151,9 @@ CheckStatus Z3Backend::check(std::span<const NodeId> assumptions) {
     z3::expr_vector assume(ctx_);
     for (const auto& [track, selector] : selectors_) assume.push_back(selector);
     for (const NodeId a : assumptions) assume.push_back(toExpr(a));
-    switch (solver_.check(assume)) {
+    const z3::check_result verdict = solver_.check(assume);
+    collectStats(solver_.statistics());
+    switch (verdict) {
         case z3::sat:
             model_ = std::make_unique<z3::model>(solver_.get_model());
             return CheckStatus::Sat;
@@ -141,6 +180,8 @@ OptimizeResult Z3Backend::optimize(std::span<const ObjectiveSpec> objectives,
     z3::optimize opt(ctx_);
     z3::params params(ctx_);
     params.set("priority", ctx_.str_symbol("lex"));
+    if (config_.timeoutMs > 0)
+        params.set("timeout", static_cast<unsigned>(config_.timeoutMs));
     opt.set(params);
 
     for (const auto& [formula, track] : hardForOptimize_) opt.add(toExpr(formula));
@@ -158,7 +199,9 @@ OptimizeResult Z3Backend::optimize(std::span<const ObjectiveSpec> objectives,
     }
 
     OptimizeResult result;
-    if (opt.check() != z3::sat) return result;
+    const z3::check_result verdict = opt.check();
+    collectStats(opt.statistics());
+    if (verdict != z3::sat) return result;
     model_ = std::make_unique<z3::model>(opt.get_model());
     result.feasible = true;
     // Recompute per-level costs from the model (backend-independent metric).

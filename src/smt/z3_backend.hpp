@@ -15,7 +15,7 @@ namespace lar::smt {
 
 class Z3Backend final : public Backend {
 public:
-    explicit Z3Backend(const FormulaStore& store);
+    explicit Z3Backend(const FormulaStore& store, const BackendConfig& config = {});
 
     void addHard(NodeId formula, int track = -1) override;
     CheckStatus check(std::span<const NodeId> assumptions = {}) override;
@@ -26,14 +26,19 @@ public:
     OptimizeResult optimize(std::span<const ObjectiveSpec> objectives,
                             std::span<const NodeId> assumptions = {}) override;
     [[nodiscard]] std::string name() const override { return "z3"; }
+    [[nodiscard]] sat::SolverStats stats() const override { return collected_; }
 
 private:
     z3::expr toExpr(NodeId id);
     z3::expr varExpr(NodeId id);
     void captureCore(const z3::expr_vector& core,
                      std::span<const NodeId> assumptions);
+    /// Folds a z3::stats dump into collected_ (conflicts/decisions/...).
+    void collectStats(const z3::stats& st);
 
     const FormulaStore* store_;
+    BackendConfig config_;
+    sat::SolverStats collected_;
     z3::context ctx_;
     z3::solver solver_;
     std::unordered_map<NodeId, unsigned> exprIndex_; ///< NodeId -> exprs_ slot

@@ -1,0 +1,37 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+
+namespace lar::util {
+
+ThreadPool::ThreadPool(unsigned workers) {
+    if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::workerLoop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return; // stopping, queue drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+} // namespace lar::util

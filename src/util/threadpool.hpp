@@ -1,0 +1,60 @@
+// A small fixed-size thread pool for embarrassingly-parallel query batches.
+//
+// Deliberately minimal: submit() returns a std::future, tasks may not
+// submit further tasks (no work stealing, no dependencies), and the pool
+// joins on destruction. With one worker the pool degenerates to an ordered
+// background executor, which keeps batch semantics identical on single-core
+// hosts — results never depend on the worker count.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lar::util {
+
+class ThreadPool {
+public:
+    /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency()
+    /// (at least 1).
+    explicit ThreadPool(unsigned workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] unsigned workerCount() const {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+    /// by the task surface from future::get().
+    template <typename Fn>
+    [[nodiscard]] std::future<std::invoke_result_t<Fn>> submit(Fn fn) {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(std::move(fn));
+        std::future<Result> result = task->get_future();
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace([task]() { (*task)(); });
+        }
+        wake_.notify_one();
+        return result;
+    }
+
+private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+} // namespace lar::util

@@ -217,9 +217,13 @@ TEST_P(FuzzTest, BackendsAgreeOnFeasibility) {
         const kb::KnowledgeBase kb = randomKb(rng);
         const reason::Problem p = randomProblem(rng, kb);
         const bool cdcl =
-            reason::Engine(p, smt::BackendKind::Cdcl).checkFeasible().feasible;
+            reason::Engine(p, reason::withBackend(smt::BackendKind::Cdcl))
+                .checkFeasible()
+                .feasible;
         const bool z3 =
-            reason::Engine(p, smt::BackendKind::Z3).checkFeasible().feasible;
+            reason::Engine(p, reason::withBackend(smt::BackendKind::Z3))
+                .checkFeasible()
+                .feasible;
         EXPECT_EQ(cdcl, z3) << "seed " << GetParam() << " round " << round;
     }
 }

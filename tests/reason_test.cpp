@@ -313,7 +313,7 @@ TEST_F(ReasonTest, RetentionAnalysisSonata) {
     Problem p = caseStudyProblem();
     const RetentionReport report = analyzeRetention(p, "Sonata");
     ASSERT_TRUE(report.keeping.has_value());
-    ASSERT_TRUE(report.free_.has_value());
+    ASSERT_TRUE(report.unpinned.has_value());
     EXPECT_TRUE(report.keeping->uses("Sonata"));
     ASSERT_FALSE(report.extraCostPerObjective.empty());
     // Keeping a feasible system can never *improve* the free optimum.
@@ -403,12 +403,12 @@ TEST_P(ReasonBackendTest, OptimalCostsAgreeAcrossBackends) {
     p.hardware[HardwareClass::Server].count = 40;
     p.workloads = {catalog::makeInferenceWorkload()};
     p.objectivePriority = {kb::kObjLatency, kb::kObjMonitoring};
-    Engine engine(p, GetParam());
+    Engine engine(p, withBackend(GetParam()));
     const auto design = engine.optimize();
     ASSERT_TRUE(design.has_value());
     EXPECT_TRUE(validateDesign(p, *design).empty());
     // The cdcl backend's result is the reference; both must agree on costs.
-    Engine reference(p, smt::BackendKind::Cdcl);
+    Engine reference(p, withBackend(smt::BackendKind::Cdcl));
     const auto refDesign = reference.optimize();
     ASSERT_TRUE(refDesign.has_value());
     EXPECT_EQ(design->objectiveCosts, refDesign->objectiveCosts);

@@ -10,6 +10,8 @@
 //                                          (prints a minimal conflict if not)
 //   larctl optimize <kb.json> <prob.json>  lexicographically optimal design
 //   larctl enumerate <kb.json> <prob.json> [N]   distinct optimal designs
+//   larctl batch <kb.json> <batch.json> [threads]  run a query batch through
+//                                          the caching service; JSON out
 //   larctl suggest  <kb.json> <prob.json>  disambiguation suggestions (§6)
 //   larctl ordering <kb.json> <objective>  Graphviz of the partial order
 //   larctl sheet    <kb.json> <model>      render a vendor spec sheet
@@ -23,11 +25,14 @@
 
 #include "catalog/catalog.hpp"
 #include "extract/specgen.hpp"
+#include "json/parse.hpp"
+#include "json/write.hpp"
 #include "kb/diff.hpp"
 #include "kb/serialize.hpp"
 #include "order/poset.hpp"
 #include "reason/engine.hpp"
 #include "reason/problem_io.hpp"
+#include "reason/service.hpp"
 #include "reason/validate.hpp"
 #include "util/error.hpp"
 #include "util/file.hpp"
@@ -44,6 +49,7 @@ int usage() {
                  "  feasible  <kb.json> <problem.json>\n"
                  "  optimize  <kb.json> <problem.json>\n"
                  "  enumerate <kb.json> <problem.json> [maxDesigns]\n"
+                 "  batch     <kb.json> <batch.json> [threads]\n"
                  "  suggest   <kb.json> <problem.json>\n"
                  "  ordering  <kb.json> <objective>\n"
                  "  sheet     <kb.json> <model name>\n"
@@ -135,6 +141,106 @@ int cmdEnumerate(const std::string& kbPath, const std::string& problemPath,
     return designs.empty() ? 1 : 0;
 }
 
+// Batch file format: either a bare JSON array of query objects, or
+// {"options": {...}, "queries": [...]} where "options" sets defaults every
+// query may override. A query object:
+//   {"id": "q1", "kind": "optimize", "problem": {...problem spec...},
+//    "max_designs": 4, "backend": "cdcl", "seed": 7, "timeout_ms": 0,
+//    "trace": true}
+reason::QueryOptions queryOptionsFromJson(const json::Value& v,
+                                          reason::QueryOptions defaults) {
+    const json::Object& obj = v.asObject();
+    if (obj.contains("backend")) {
+        const std::string& name = obj.at("backend").asString();
+        if (name == "cdcl") defaults.backend = smt::BackendKind::Cdcl;
+        else if (name == "z3") defaults.backend = smt::BackendKind::Z3;
+        else throw ParseError("batch: unknown backend '" + name + "'");
+    }
+    if (obj.contains("seed"))
+        defaults.seed = static_cast<std::uint64_t>(obj.at("seed").asInt());
+    if (obj.contains("timeout_ms"))
+        defaults.timeoutMs = static_cast<int>(obj.at("timeout_ms").asInt());
+    if (obj.contains("trace")) defaults.collectTrace = obj.at("trace").asBool();
+    return defaults;
+}
+
+int cmdBatch(const std::string& kbPath, const std::string& batchPath,
+             unsigned threads) {
+    const kb::KnowledgeBase kb = loadKb(kbPath);
+    const json::Value doc = json::parse(util::readFile(batchPath));
+
+    reason::QueryOptions defaults;
+    const json::Array* queries = nullptr;
+    if (doc.isArray()) {
+        queries = &doc.asArray();
+    } else {
+        if (doc.asObject().contains("options"))
+            defaults = queryOptionsFromJson(doc.at("options"), defaults);
+        queries = &doc.at("queries").asArray();
+    }
+
+    std::vector<reason::QueryRequest> requests;
+    requests.reserve(queries->size());
+    for (std::size_t i = 0; i < queries->size(); ++i) {
+        const json::Value& q = (*queries)[i];
+        reason::QueryRequest request;
+        request.id = q.asObject().contains("id") ? q.at("id").asString()
+                                                 : std::to_string(i);
+        request.kind = q.asObject().contains("kind")
+                           ? reason::queryKindFromString(q.at("kind").asString())
+                           : reason::QueryKind::Optimize;
+        request.problem = reason::problemFromJson(q.at("problem"), kb);
+        if (q.asObject().contains("max_designs"))
+            request.maxDesigns = static_cast<int>(q.at("max_designs").asInt());
+        request.options = queryOptionsFromJson(q, defaults);
+        requests.push_back(std::move(request));
+    }
+
+    reason::ServiceOptions serviceOptions;
+    serviceOptions.workers = threads;
+    reason::Service service(serviceOptions);
+    const std::vector<reason::QueryResult> results = service.runBatch(requests);
+
+    json::Array out;
+    bool anyInfeasible = false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const reason::QueryResult& r = results[i];
+        json::Value v;
+        v["id"] = r.id;
+        v["kind"] = reason::toString(r.kind);
+        v["feasible"] = r.feasible;
+        if (r.timedOut) v["timed_out"] = true;
+        if (r.design.has_value()) v["design"] = reason::toJson(*r.design);
+        if (!r.designs.empty()) {
+            json::Array designs;
+            for (const reason::Design& d : r.designs)
+                designs.push_back(reason::toJson(d));
+            v["designs"] = json::Value(std::move(designs));
+        }
+        if (!r.conflictingRules.empty()) {
+            json::Array rules;
+            for (const std::string& rule : r.conflictingRules)
+                rules.emplace_back(rule);
+            v["conflicting_rules"] = json::Value(std::move(rules));
+        }
+        if (requests[i].options.collectTrace) v["trace"] = reason::toJson(r.trace);
+        out.push_back(std::move(v));
+        if (!r.feasible && !r.timedOut) anyInfeasible = true;
+    }
+
+    const reason::CacheStats cache = service.cacheStats();
+    json::Value report;
+    report["results"] = json::Value(std::move(out));
+    json::Value cacheJson;
+    cacheJson["hits"] = static_cast<std::int64_t>(cache.hits);
+    cacheJson["misses"] = static_cast<std::int64_t>(cache.misses);
+    cacheJson["entries"] = static_cast<std::int64_t>(cache.entries);
+    report["cache"] = std::move(cacheJson);
+    report["workers"] = static_cast<std::int64_t>(service.workerCount());
+    std::printf("%s\n", json::writePretty(report).c_str());
+    return anyInfeasible ? 1 : 0;
+}
+
 int cmdSuggest(const std::string& kbPath, const std::string& problemPath) {
     const kb::KnowledgeBase kb = loadKb(kbPath);
     const reason::Problem problem =
@@ -200,6 +306,17 @@ int main(int argc, char** argv) {
         if (command == "enumerate" && (argc == 4 || argc == 5))
             return cmdEnumerate(argv[2], argv[3],
                                 argc == 5 ? std::atoi(argv[4]) : 4);
+        if (command == "batch" && (argc == 4 || argc == 5)) {
+            const int threads = argc == 5 ? std::atoi(argv[4]) : 0;
+            if (threads < 0) {
+                std::fprintf(stderr,
+                             "larctl: thread count must be >= 0 (0 = one per "
+                             "hardware thread), got '%s'\n",
+                             argv[4]);
+                return 1;
+            }
+            return cmdBatch(argv[2], argv[3], static_cast<unsigned>(threads));
+        }
         if (command == "suggest" && argc == 4)
             return cmdSuggest(argv[2], argv[3]);
         if (command == "ordering" && argc == 4)
