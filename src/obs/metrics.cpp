@@ -1,0 +1,314 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace lar::obs {
+
+namespace {
+
+bool validMetricName(std::string_view name) {
+    if (name.empty()) return false;
+    const auto head = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    };
+    if (!head(name.front())) return false;
+    return std::all_of(name.begin() + 1, name.end(), [&head](char c) {
+        return head(c) || std::isdigit(static_cast<unsigned char>(c));
+    });
+}
+
+bool validLabelName(std::string_view name) {
+    return validMetricName(name) && name.find(':') == std::string_view::npos;
+}
+
+std::string escapeLabelValue(std::string_view v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        if (c == '\\') out += "\\\\";
+        else if (c == '"') out += "\\\"";
+        else if (c == '\n') out += "\\n";
+        else out += c;
+    }
+    return out;
+}
+
+std::string renderLabels(const Labels& labels) {
+    std::string out;
+    for (const auto& [key, value] : labels) {
+        if (!out.empty()) out += ',';
+        out += key;
+        out += "=\"";
+        out += escapeLabelValue(value);
+        out += '"';
+    }
+    return out;
+}
+
+std::string formatDouble(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+}
+
+/// `name{labels}` or `name{labels,extra}` — empty braces are omitted.
+std::string seriesLine(std::string_view name, const std::string& labelText,
+                       const std::string& extra = {}) {
+    std::string out(name);
+    std::string inner = labelText;
+    if (!extra.empty()) {
+        if (!inner.empty()) inner += ',';
+        inner += extra;
+    }
+    if (!inner.empty()) {
+        out += '{';
+        out += inner;
+        out += '}';
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Gauge / Histogram
+// ---------------------------------------------------------------------------
+
+void Gauge::set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) {
+    if (!enabled()) return;
+    std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (true) {
+        const double next = std::bit_cast<double>(expected) + delta;
+        if (bits_.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(next),
+                                        std::memory_order_relaxed))
+            return;
+    }
+}
+
+double Gauge::value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    std::sort(bounds_.begin(), bounds_.end());
+    bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+    expects(!bounds_.empty(), "Histogram: at least one bucket bound required");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+    if (!enabled()) return;
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t expected = sumBits_.load(std::memory_order_relaxed);
+    while (true) {
+        const double next = std::bit_cast<double>(expected) + v;
+        if (sumBits_.compare_exchange_weak(expected,
+                                           std::bit_cast<std::uint64_t>(next),
+                                           std::memory_order_relaxed))
+            return;
+    }
+}
+
+std::uint64_t Histogram::bucketCount(std::size_t i) const {
+    expects(i <= bounds_.size(), "Histogram::bucketCount: bucket out of range");
+    return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+    return std::bit_cast<double>(sumBits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sumBits_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::global() {
+    static Registry instance;
+    return instance;
+}
+
+Registry::Series& Registry::intern(std::string_view name, std::string_view help,
+                                   Kind kind, const Labels& labels,
+                                   const std::vector<double>* bounds) {
+    expects(validMetricName(name), "Registry: invalid metric name");
+    for (const auto& [key, value] : labels)
+        expects(validLabelName(key), "Registry: invalid label name");
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto familyIt = families_.find(name);
+    if (familyIt == families_.end()) {
+        Family family;
+        family.kind = kind;
+        family.help = std::string(help);
+        if (bounds != nullptr) family.bounds = *bounds;
+        familyIt = families_.emplace(std::string(name), std::move(family)).first;
+    }
+    Family& family = familyIt->second;
+    expects(family.kind == kind,
+            "Registry: metric re-registered with a different type");
+    if (kind == Kind::Histogram)
+        expects(family.bounds == *bounds,
+                "Registry: histogram re-registered with different buckets");
+
+    for (const auto& series : family.series)
+        if (series->labels == labels) return *series;
+
+    auto series = std::make_unique<Series>();
+    series->labels = labels;
+    series->labelText = renderLabels(labels);
+    switch (kind) {
+        case Kind::Counter: series->counter = std::make_unique<Counter>(); break;
+        case Kind::Gauge: series->gauge = std::make_unique<Gauge>(); break;
+        case Kind::Histogram:
+            series->histogram = std::make_unique<Histogram>(family.bounds);
+            break;
+    }
+    family.series.push_back(std::move(series));
+    return *family.series.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           const Labels& labels) {
+    return *intern(name, help, Kind::Counter, labels, nullptr).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       const Labels& labels) {
+    return *intern(name, help, Kind::Gauge, labels, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds, const Labels& labels) {
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    return *intern(name, help, Kind::Histogram, labels, &bounds).histogram;
+}
+
+std::string Registry::renderPrometheus() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto& [name, family] : families_) {
+        if (!family.help.empty())
+            out += "# HELP " + name + " " + family.help + "\n";
+        const char* type = family.kind == Kind::Counter ? "counter"
+                           : family.kind == Kind::Gauge ? "gauge"
+                                                        : "histogram";
+        out += "# TYPE " + name + " " + type + "\n";
+        for (const auto& series : family.series) {
+            switch (family.kind) {
+                case Kind::Counter:
+                    out += seriesLine(name, series->labelText) + " " +
+                           std::to_string(series->counter->value()) + "\n";
+                    break;
+                case Kind::Gauge:
+                    out += seriesLine(name, series->labelText) + " " +
+                           formatDouble(series->gauge->value()) + "\n";
+                    break;
+                case Kind::Histogram: {
+                    const Histogram& h = *series->histogram;
+                    std::uint64_t cumulative = 0;
+                    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                        cumulative += h.bucketCount(i);
+                        out += seriesLine(name + std::string("_bucket"),
+                                          series->labelText,
+                                          "le=\"" + formatDouble(h.bounds()[i]) +
+                                              "\"") +
+                               " " + std::to_string(cumulative) + "\n";
+                    }
+                    out += seriesLine(name + std::string("_bucket"),
+                                      series->labelText, "le=\"+Inf\"") +
+                           " " + std::to_string(h.count()) + "\n";
+                    out += seriesLine(name + std::string("_sum"),
+                                      series->labelText) +
+                           " " + formatDouble(h.sum()) + "\n";
+                    out += seriesLine(name + std::string("_count"),
+                                      series->labelText) +
+                           " " + std::to_string(h.count()) + "\n";
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+json::Value Registry::toJson() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    json::Value out;
+    for (const auto& [name, family] : families_) {
+        json::Value familyJson;
+        familyJson["type"] = family.kind == Kind::Counter ? "counter"
+                             : family.kind == Kind::Gauge ? "gauge"
+                                                          : "histogram";
+        familyJson["help"] = family.help;
+        json::Array seriesArray;
+        for (const auto& series : family.series) {
+            json::Value s;
+            json::Value labels{json::Object{}}; // {} even when unlabeled
+            for (const auto& [key, value] : series->labels) labels[key] = value;
+            s["labels"] = std::move(labels);
+            switch (family.kind) {
+                case Kind::Counter:
+                    s["value"] = static_cast<std::int64_t>(series->counter->value());
+                    break;
+                case Kind::Gauge: s["value"] = series->gauge->value(); break;
+                case Kind::Histogram: {
+                    const Histogram& h = *series->histogram;
+                    s["count"] = static_cast<std::int64_t>(h.count());
+                    s["sum"] = h.sum();
+                    json::Array buckets;
+                    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                        json::Value b;
+                        b["le"] = h.bounds()[i];
+                        b["count"] = static_cast<std::int64_t>(h.bucketCount(i));
+                        buckets.push_back(std::move(b));
+                    }
+                    json::Value inf;
+                    inf["le"] = "+Inf";
+                    inf["count"] =
+                        static_cast<std::int64_t>(h.bucketCount(h.bounds().size()));
+                    buckets.push_back(std::move(inf));
+                    s["buckets"] = json::Value(std::move(buckets));
+                    break;
+                }
+            }
+            seriesArray.push_back(std::move(s));
+        }
+        familyJson["series"] = json::Value(std::move(seriesArray));
+        out[name] = std::move(familyJson);
+    }
+    return out;
+}
+
+void Registry::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, family] : families_) {
+        for (auto& series : family.series) {
+            if (series->counter) series->counter->reset();
+            if (series->gauge) series->gauge->reset();
+            if (series->histogram) series->histogram->reset();
+        }
+    }
+}
+
+} // namespace lar::obs

@@ -1,0 +1,150 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket histograms.
+//
+// A Registry interns metric series once (name + label set, under a mutex)
+// and hands out stable references; after that every update is a lock-free
+// std::atomic operation, so the hot path — a Service answering a concurrent
+// batch — never serializes on the registry. Two exporters cover the two
+// consumers a deployment has: Prometheus text exposition for scrapers
+// (`larctl metrics`) and json::Value for the same dashboards QueryTrace
+// already feeds.
+//
+// Instrumentation can be switched off globally (obs::setEnabled(false)):
+// updates become a relaxed load + branch, which is what bench_obs_overhead
+// uses as its "instrumentation disabled" baseline. Span collection (span.hpp)
+// honours the same flag.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "json/value.hpp"
+
+namespace lar::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+} // namespace detail
+
+/// Global instrumentation switch (metrics updates and span collection).
+[[nodiscard]] inline bool enabled() {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void setEnabled(bool on) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) {
+        if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depths, cache entries).
+class Gauge {
+public:
+    void set(double v);
+    void add(double delta); ///< atomic CAS loop; negative deltas allowed
+    [[nodiscard]] double value() const;
+    void reset() { set(0.0); }
+
+private:
+    std::atomic<std::uint64_t> bits_{0}; ///< bit-cast double
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: buckets are cumulative in
+/// the exposition, `le` is an inclusive upper bound, +Inf is implicit).
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    /// Ascending upper bounds, without the implicit +Inf bucket.
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+    /// Non-cumulative count of bucket `i` (i == bounds().size() → +Inf).
+    [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const;
+    [[nodiscard]] std::uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const;
+    void reset();
+
+private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_; ///< size+1 slots
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumBits_{0}; ///< bit-cast double
+};
+
+/// Label set attached to one series, e.g. {{"kind", "optimize"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Named metric families, each with one series per label set. Registration
+/// interns the series (same name + labels → same reference, forever valid);
+/// a name registered as one type cannot be re-registered as another, and a
+/// histogram family's buckets are fixed by its first registration.
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// The process-wide registry every subsystem records into.
+    [[nodiscard]] static Registry& global();
+
+    Counter& counter(std::string_view name, std::string_view help,
+                     const Labels& labels = {});
+    Gauge& gauge(std::string_view name, std::string_view help,
+                 const Labels& labels = {});
+    Histogram& histogram(std::string_view name, std::string_view help,
+                         std::vector<double> bounds, const Labels& labels = {});
+
+    /// Prometheus text exposition format, version 0.0.4: one `# HELP` +
+    /// `# TYPE` block per family, series sorted, no duplicates.
+    [[nodiscard]] std::string renderPrometheus() const;
+    [[nodiscard]] json::Value toJson() const;
+
+    /// Zeroes every series; handles stay valid. For tests and benches.
+    void reset();
+
+private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Series {
+        Labels labels;
+        std::string labelText; ///< rendered `k="v",...` (may be empty)
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+    struct Family {
+        Kind kind = Kind::Counter;
+        std::string help;
+        std::vector<double> bounds; ///< histograms only
+        std::vector<std::unique_ptr<Series>> series;
+    };
+
+    Series& intern(std::string_view name, std::string_view help, Kind kind,
+                   const Labels& labels, const std::vector<double>* bounds);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Family, std::less<>> families_;
+};
+
+} // namespace lar::obs

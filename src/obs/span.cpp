@@ -1,0 +1,203 @@
+#include "obs/span.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace lar::obs {
+
+namespace {
+
+thread_local Context t_context;
+
+/// Fixed point on the steady clock all traces measure against, so several
+/// traces from one process land on one consistent Chrome timeline.
+std::chrono::steady_clock::time_point processEpoch() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// SpanNode / Trace
+// ---------------------------------------------------------------------------
+
+const SpanNode* SpanNode::child(std::string_view childName) const {
+    for (const auto& c : children)
+        if (c->name == childName) return c.get();
+    return nullptr;
+}
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {
+    epochUs_ =
+        std::chrono::duration<double, std::micro>(epoch_ - processEpoch()).count();
+}
+
+double Trace::nowMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+const SpanNode* Trace::root() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return top_.children.empty() ? nullptr : top_.children.front().get();
+}
+
+namespace {
+
+json::Value spanToJson(const SpanNode& node) {
+    json::Value v;
+    v["name"] = node.name;
+    v["start_ms"] = node.startMs;
+    v["dur_ms"] = node.durationMs();
+    if (!node.samples.empty()) {
+        json::Array samples;
+        for (const SpanSample& s : node.samples) {
+            json::Value sv;
+            sv["name"] = s.name;
+            sv["at_ms"] = s.atMs;
+            for (const auto& [key, value] : s.values) sv[key] = value;
+            samples.push_back(std::move(sv));
+        }
+        v["samples"] = json::Value(std::move(samples));
+    }
+    if (!node.children.empty()) {
+        json::Array children;
+        for (const auto& c : node.children) children.push_back(spanToJson(*c));
+        v["children"] = json::Value(std::move(children));
+    }
+    return v;
+}
+
+void appendChromeEvents(const SpanNode& node, double epochUs, int tid,
+                        json::Array& out) {
+    json::Value event;
+    event["name"] = node.name;
+    event["ph"] = "X";
+    event["ts"] = epochUs + node.startMs * 1000.0;
+    event["dur"] = node.durationMs() * 1000.0;
+    event["pid"] = 1;
+    event["tid"] = tid;
+    out.push_back(std::move(event));
+    for (const SpanSample& s : node.samples) {
+        json::Value instant;
+        instant["name"] = s.name;
+        instant["ph"] = "i";
+        instant["s"] = "t"; // thread-scoped instant
+        instant["ts"] = epochUs + s.atMs * 1000.0;
+        instant["pid"] = 1;
+        instant["tid"] = tid;
+        json::Value args{json::Object{}};
+        for (const auto& [key, value] : s.values) args[key] = value;
+        instant["args"] = std::move(args);
+        out.push_back(std::move(instant));
+    }
+    for (const auto& c : node.children)
+        appendChromeEvents(*c, epochUs, tid, out);
+}
+
+} // namespace
+
+json::Value Trace::toJson() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    json::Array spans;
+    for (const auto& c : top_.children) spans.push_back(spanToJson(*c));
+    return json::Value(std::move(spans));
+}
+
+json::Value Trace::chromeEvents(int tid) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    json::Array events;
+    for (const auto& c : top_.children)
+        appendChromeEvents(*c, epochUs_, tid, events);
+    return json::Value(std::move(events));
+}
+
+// ---------------------------------------------------------------------------
+// Context installation
+// ---------------------------------------------------------------------------
+
+Context currentContext() { return t_context; }
+
+ScopedTrace::ScopedTrace(Trace& trace) : saved_(t_context) {
+    t_context = Context{&trace, &trace.top_};
+}
+
+ScopedTrace::~ScopedTrace() { t_context = saved_; }
+
+ScopedContext::ScopedContext(const Context& context) : saved_(t_context) {
+    t_context = context;
+}
+
+ScopedContext::~ScopedContext() { t_context = saved_; }
+
+// ---------------------------------------------------------------------------
+// Span / sample
+// ---------------------------------------------------------------------------
+
+Span::Span(std::string name) {
+    const Context context = t_context;
+    if (context.trace == nullptr || !enabled()) return;
+    trace_ = context.trace;
+    saved_ = context;
+    const std::lock_guard<std::mutex> lock(trace_->mutex_);
+    auto node = std::make_unique<SpanNode>();
+    node->name = std::move(name);
+    node->startMs = trace_->nowMs();
+    node_ = node.get();
+    context.span->children.push_back(std::move(node));
+    t_context = Context{trace_, node_};
+}
+
+Span::~Span() {
+    if (node_ == nullptr) return;
+    {
+        const std::lock_guard<std::mutex> lock(trace_->mutex_);
+        node_->endMs = trace_->nowMs();
+    }
+    t_context = saved_;
+}
+
+void sample(std::string name,
+            std::initializer_list<std::pair<const char*, double>> values) {
+    const Context context = t_context;
+    if (context.trace == nullptr || !enabled()) return;
+    const std::lock_guard<std::mutex> lock(context.trace->mutex_);
+    SpanSample s;
+    s.atMs = context.trace->nowMs();
+    s.name = std::move(name);
+    s.values.reserve(values.size());
+    for (const auto& [key, value] : values) s.values.emplace_back(key, value);
+    context.span->samples.push_back(std::move(s));
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace assembly
+// ---------------------------------------------------------------------------
+
+json::Value chromeTraceDocument(
+    const std::vector<std::pair<std::string, const Trace*>>& traces) {
+    json::Array events;
+    int tid = 0;
+    for (const auto& [label, trace] : traces) {
+        ++tid;
+        json::Value meta;
+        meta["name"] = "thread_name";
+        meta["ph"] = "M";
+        meta["pid"] = 1;
+        meta["tid"] = tid;
+        json::Value args;
+        args["name"] = label;
+        meta["args"] = std::move(args);
+        events.push_back(std::move(meta));
+        json::Value spanEvents = trace->chromeEvents(tid);
+        for (json::Value& e : spanEvents.asArray())
+            events.push_back(std::move(e));
+    }
+    json::Value doc;
+    doc["displayTimeUnit"] = "ms";
+    doc["traceEvents"] = json::Value(std::move(events));
+    return doc;
+}
+
+} // namespace lar::obs

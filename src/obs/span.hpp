@@ -1,0 +1,152 @@
+// Hierarchical spans: where a query's wall-clock time goes.
+//
+// A Trace is a per-query collector; installing it on a thread (ScopedTrace)
+// makes every RAII Span constructed on that thread a child of the innermost
+// open span, so the Service → Engine → compile → backend → solver call chain
+// yields a span tree without any plumbing through signatures. Periodic
+// observations (solver progress probes) attach to the innermost open span as
+// timestamped samples.
+//
+// Crossing a thread-pool boundary is explicit: capture currentContext() on
+// the submitting thread and install it in the task with ScopedContext — the
+// task's spans then nest under the submitter's open span. Concurrent tasks
+// may share a parent; all structural mutation locks the Trace's mutex (spans
+// are coarse — per query phase — so the lock is uncontended in practice).
+//
+// Without an installed trace (or with obs::setEnabled(false)) spans are
+// inert: construction is a thread-local read and a branch.
+//
+// Export: json::Value (nested, attached to reason::QueryTrace) and Chrome
+// trace_event JSON loadable in chrome://tracing or Perfetto
+// (chromeTraceDocument). Read accessors (root/toJson/chromeEvents) are meant
+// for after the trace's spans have completed.
+#pragma once
+
+#include <chrono>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "json/value.hpp"
+
+namespace lar::obs {
+
+/// A timestamped observation attached to a span (e.g. one solver progress
+/// probe: conflicts so far, propagations/s, ...).
+struct SpanSample {
+    double atMs = 0.0; ///< relative to the trace epoch
+    std::string name;
+    std::vector<std::pair<std::string, double>> values;
+};
+
+struct SpanNode {
+    std::string name;
+    double startMs = 0.0; ///< relative to the trace epoch
+    double endMs = 0.0;
+    std::vector<std::unique_ptr<SpanNode>> children;
+    std::vector<SpanSample> samples;
+
+    [[nodiscard]] double durationMs() const { return endMs - startMs; }
+    /// First direct child with this name, or nullptr.
+    [[nodiscard]] const SpanNode* child(std::string_view childName) const;
+};
+
+/// Collector for one span tree (one per traced query).
+class Trace {
+public:
+    Trace();
+    Trace(const Trace&) = delete;
+    Trace& operator=(const Trace&) = delete;
+
+    /// The first top-level span, or nullptr when nothing was recorded.
+    [[nodiscard]] const SpanNode* root() const;
+    /// Array of top-level span objects:
+    /// {name, start_ms, dur_ms, samples: [...], children: [...]}.
+    [[nodiscard]] json::Value toJson() const;
+    /// Flat Chrome trace_event array for this trace ("X" duration events,
+    /// "i" instant events for samples), all on thread id `tid`.
+    [[nodiscard]] json::Value chromeEvents(int tid) const;
+    /// Trace epoch on the process-wide timeline, in microseconds — traces
+    /// from one process merge onto one consistent Chrome timeline.
+    [[nodiscard]] double epochUs() const { return epochUs_; }
+
+private:
+    friend class Span;
+    friend class ScopedTrace;
+    friend void sample(std::string,
+                       std::initializer_list<std::pair<const char*, double>>);
+
+    [[nodiscard]] double nowMs() const;
+
+    mutable std::mutex mutex_;
+    std::chrono::steady_clock::time_point epoch_;
+    double epochUs_ = 0.0;
+    SpanNode top_; ///< synthetic container; its children are the root spans
+};
+
+/// The (trace, innermost open span) pair a thread records into.
+struct Context {
+    Trace* trace = nullptr;
+    SpanNode* span = nullptr;
+};
+
+/// This thread's current context (for hand-off across pool boundaries).
+[[nodiscard]] Context currentContext();
+
+/// Installs `trace` as this thread's collector for the enclosing scope.
+class ScopedTrace {
+public:
+    explicit ScopedTrace(Trace& trace);
+    ~ScopedTrace();
+    ScopedTrace(const ScopedTrace&) = delete;
+    ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+private:
+    Context saved_;
+};
+
+/// Re-installs a captured Context (typically inside a thread-pool task, so
+/// the task's spans nest under the submitter's open span).
+class ScopedContext {
+public:
+    explicit ScopedContext(const Context& context);
+    ~ScopedContext();
+    ScopedContext(const ScopedContext&) = delete;
+    ScopedContext& operator=(const ScopedContext&) = delete;
+
+private:
+    Context saved_;
+};
+
+/// RAII span: child of the thread's innermost open span; inert when no
+/// trace is installed or instrumentation is disabled.
+class Span {
+public:
+    explicit Span(std::string name);
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    Trace* trace_ = nullptr;
+    SpanNode* node_ = nullptr;
+    Context saved_;
+};
+
+/// Attaches a timestamped sample to the innermost open span (no-op without
+/// an active trace).
+void sample(std::string name,
+            std::initializer_list<std::pair<const char*, double>> values);
+
+/// Assembles {"traceEvents": [...], "displayTimeUnit": "ms"} from several
+/// traces — one Chrome thread lane per (label, trace) pair, labelled via
+/// thread_name metadata events. This is the file `larctl batch --trace-out`
+/// writes and chrome://tracing / Perfetto load.
+[[nodiscard]] json::Value chromeTraceDocument(
+    const std::vector<std::pair<std::string, const Trace*>>& traces);
+
+} // namespace lar::obs

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "kb/objectives.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -54,6 +56,7 @@ constexpr ObjectiveCategoryHint kObjectiveHints[] = {
 } // namespace
 
 Compilation::Compilation(const Problem& problem) : problem_(problem) {
+    const obs::Span span("compile");
     expects(problem_.kb != nullptr, "Compilation: problem has no knowledge base");
     collectFactsAndOptions();
     buildHardwareVars();
@@ -715,11 +718,48 @@ smt::NodeId Compilation::blockingClause(const smt::Backend& backend,
 // SolverSession
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Feeds one CDCL progress probe into the active obs span (a timestamped
+/// sample under the backend's "check"/"optimize" span) and the global solver
+/// histograms. Runs on the solving thread every progressEveryConflicts
+/// conflicts, so it must stay allocation-light.
+void recordSolverProgress(const sat::SolverProgress& p) {
+    obs::sample("solver_progress",
+                {{"conflicts", static_cast<double>(p.conflicts)},
+                 {"propagations_per_sec", p.propagationsPerSec},
+                 {"decision_level", static_cast<double>(p.decisionLevel)},
+                 {"learnt_clauses", static_cast<double>(p.learntClauses)},
+                 {"restarts", static_cast<double>(p.restarts)},
+                 {"elapsed_ms", p.elapsedMs}});
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Histogram& propRate = reg.histogram(
+        "lar_solver_propagations_per_sec",
+        "CDCL propagation rate sampled at progress probes",
+        {1e4, 1e5, 1e6, 3e6, 1e7, 3e7, 1e8});
+    static obs::Histogram& level = reg.histogram(
+        "lar_solver_decision_level",
+        "Decision level at progress probes",
+        {5, 10, 20, 50, 100, 200, 500});
+    static obs::Histogram& learnt = reg.histogram(
+        "lar_solver_learnt_clauses",
+        "Learnt-clause DB size at progress probes",
+        {100, 300, 1000, 3000, 10000, 30000, 100000});
+    propRate.observe(p.propagationsPerSec);
+    level.observe(static_cast<double>(p.decisionLevel));
+    learnt.observe(static_cast<double>(p.learntClauses));
+}
+
+} // namespace
+
 SolverSession::SolverSession(std::shared_ptr<const Compilation> compilation,
                              const QueryOptions& options)
     : compilation_(std::move(compilation)), store_(compilation_->store()) {
     expects(compilation_ != nullptr, "SolverSession: null compilation");
-    backend_ = smt::makeBackend(options.backend, store_, options.backendConfig());
+    smt::BackendConfig config = options.backendConfig();
+    if (config.progressEveryConflicts > 0) config.progressFn = &recordSolverProgress;
+    backend_ = smt::makeBackend(options.backend, store_, config);
+    const obs::Span span("encode");
     for (const Compilation::HardAssertion& hard : compilation_->hardAssertions())
         backend_->addHard(hard.formula, hard.track);
 }

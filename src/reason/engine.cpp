@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace lar::reason {
@@ -21,6 +22,7 @@ Engine::Engine(const Problem& problem, smt::BackendKind kind)
     : Engine(problem, withBackend(kind)) {}
 
 FeasibilityReport Engine::checkFeasible() {
+    const obs::Span span("solve");
     FeasibilityReport report;
     SolverSession session = newSession();
     const smt::CheckStatus status = session.backend().check();
@@ -35,6 +37,7 @@ FeasibilityReport Engine::checkFeasible() {
 }
 
 FeasibilityReport Engine::explainMinimalConflict() {
+    const obs::Span span("solve");
     FeasibilityReport report;
     SolverSession session = newSession();
     smt::Backend& backend = session.backend();
@@ -71,6 +74,7 @@ FeasibilityReport Engine::explainMinimalConflict() {
 }
 
 std::optional<Design> Engine::synthesize() {
+    const obs::Span span("solve");
     SolverSession session = newSession();
     const smt::CheckStatus status = session.backend().check();
     lastStats_ = session.backend().stats();
@@ -79,6 +83,7 @@ std::optional<Design> Engine::synthesize() {
 }
 
 std::optional<Design> Engine::optimize() {
+    const obs::Span span("solve");
     SolverSession session = newSession();
     const smt::OptimizeResult result =
         session.backend().optimize(compilation_->objectives());
@@ -90,6 +95,7 @@ std::optional<Design> Engine::optimize() {
 }
 
 std::vector<Design> Engine::enumerateDesigns(int maxDesigns, bool optimizeFirst) {
+    const obs::Span span("solve");
     std::vector<Design> designs;
     SolverSession session = newSession();
     if (optimizeFirst) {

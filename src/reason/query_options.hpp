@@ -29,10 +29,20 @@ struct QueryOptions {
     /// the query. Service honours this per request; Engine always keeps the
     /// cheap lastSolveStats() regardless.
     bool collectTrace = true;
+    /// Sample CDCL search progress every this many conflicts (0 = never).
+    /// Samples land on the active obs span and the global solver histograms;
+    /// they cannot change verdicts. Z3 has no such hook and ignores this.
+    int progressEveryConflicts = 256;
 
-    /// The smt-layer view of these options.
+    /// The smt-layer view of these options. Progress plumbing (the obs-layer
+    /// callback) is attached by SolverSession, not here, to keep this header
+    /// obs-free.
     [[nodiscard]] smt::BackendConfig backendConfig() const {
-        return smt::BackendConfig{seed, timeoutMs};
+        smt::BackendConfig config;
+        config.seed = seed;
+        config.timeoutMs = timeoutMs;
+        config.progressEveryConflicts = progressEveryConflicts;
+        return config;
     }
 };
 

@@ -1,9 +1,14 @@
 #include "reason/service.hpp"
 
+#include <chrono>
+#include <optional>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "reason/problem_io.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace lar::reason {
@@ -18,6 +23,49 @@ std::uint64_t fnv1a64(const std::string& s) {
     }
     return h;
 }
+
+/// Pre-interned handles into the global registry: interning locks once at
+/// first use, after which every query updates plain atomics.
+struct ServiceMetrics {
+    obs::Counter& cacheHits;
+    obs::Counter& cacheMisses;
+    obs::Histogram& queryLatencyMs;
+    obs::Histogram& compileMs;
+    obs::Histogram& queueWaitMs;
+    obs::Counter* queriesByKind[5];
+
+    [[nodiscard]] obs::Counter& queries(QueryKind kind) {
+        return *queriesByKind[static_cast<int>(kind)];
+    }
+
+    static ServiceMetrics& get() {
+        static ServiceMetrics m = [] {
+            obs::Registry& reg = obs::Registry::global();
+            const std::vector<double> msBounds = {0.5,  1,   2,   5,   10,  20,
+                                                  50,  100, 200, 500, 1000, 5000};
+            ServiceMetrics built{
+                reg.counter("lar_cache_hits_total",
+                            "Compilation cache hits in Service::obtain"),
+                reg.counter("lar_cache_misses_total",
+                            "Compilation cache misses in Service::obtain"),
+                reg.histogram("lar_query_latency_ms",
+                              "End-to-end per-query latency in Service", msBounds),
+                reg.histogram("lar_compile_ms",
+                              "Problem compilation time on cache misses", msBounds),
+                reg.histogram("lar_queue_wait_ms",
+                              "Submit-to-start wait of batch queries", msBounds),
+                {}};
+            for (const QueryKind kind :
+                 {QueryKind::Feasibility, QueryKind::Explain, QueryKind::Synthesize,
+                  QueryKind::Optimize, QueryKind::Enumerate})
+                built.queriesByKind[static_cast<int>(kind)] =
+                    &reg.counter("lar_queries_total", "Queries answered, by kind",
+                                 {{"kind", toString(kind)}});
+            return built;
+        }();
+        return m;
+    }
+};
 
 } // namespace
 
@@ -57,11 +105,13 @@ std::shared_ptr<const Compilation> Service::obtain(const Problem& problem,
         if (it != index_.end()) {
             lru_.splice(lru_.begin(), lru_, it->second); // bump to front
             ++hits_;
+            ServiceMetrics::get().cacheHits.inc();
             cacheHit = true;
             compileMs = 0.0;
             return it->second->second;
         }
         ++misses_;
+        ServiceMetrics::get().cacheMisses.inc();
     }
     // Compile outside the lock: concurrent misses on *different* problems
     // proceed in parallel. Two threads missing the same key both compile;
@@ -69,6 +119,7 @@ std::shared_ptr<const Compilation> Service::obtain(const Problem& problem,
     util::Stopwatch compileTimer;
     auto compiled = std::make_shared<const Compilation>(problem);
     compileMs = compileTimer.millis();
+    ServiceMetrics::get().compileMs.observe(compileMs);
     cacheHit = false;
 
     const std::lock_guard<std::mutex> lock(cacheMutex_);
@@ -91,10 +142,26 @@ std::shared_ptr<const Compilation> Service::compilationFor(
 }
 
 QueryResult Service::run(const QueryRequest& request) {
+    return runTimed(request, /*queueWaitMs=*/0.0);
+}
+
+QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs) {
     util::Stopwatch totalTimer;
     QueryResult result;
     result.id = request.id;
     result.kind = request.kind;
+
+    // Span collection per query: install a fresh Trace on this thread so
+    // everything below — Compilation ctor ("compile"), Engine ("solve"),
+    // backend checks and their progress samples — nests under "query".
+    std::shared_ptr<obs::Trace> spanTrace;
+    std::optional<obs::ScopedTrace> scopedTrace;
+    std::optional<obs::Span> querySpan;
+    if (request.options.collectTrace && obs::enabled()) {
+        spanTrace = std::make_shared<obs::Trace>();
+        scopedTrace.emplace(*spanTrace);
+        querySpan.emplace("query");
+    }
 
     bool cacheHit = false;
     double compileMs = 0.0;
@@ -144,6 +211,22 @@ QueryResult Service::run(const QueryRequest& request) {
         }
     }
     const double solveMs = solveTimer.millis();
+    querySpan.reset(); // close "query" before exporting the tree
+    scopedTrace.reset();
+    const double totalMs = totalTimer.millis();
+
+    ServiceMetrics& metrics = ServiceMetrics::get();
+    metrics.queries(request.kind).inc();
+    metrics.queryLatencyMs.observe(totalMs);
+    if (queueWaitMs > 0.0) metrics.queueWaitMs.observe(queueWaitMs);
+
+    util::logLineJson(util::LogLevel::Info, "query_done",
+                      {{"id", result.id},
+                       {"kind", toString(request.kind)},
+                       {"cache", cacheHit ? "hit" : "miss"},
+                       {"verdict", verdict},
+                       {"total_ms", totalMs},
+                       {"queue_wait_ms", queueWaitMs}});
 
     if (request.options.collectTrace) {
         QueryTrace& trace = result.trace;
@@ -153,9 +236,10 @@ QueryResult Service::run(const QueryRequest& request) {
         trace.cacheHit = cacheHit;
         trace.compileMs = compileMs;
         trace.solveMs = solveMs;
-        trace.totalMs = totalTimer.millis();
+        trace.totalMs = totalMs;
         trace.verdict = std::move(verdict);
         trace.stats = engine.lastSolveStats();
+        trace.spans = std::move(spanTrace);
     }
     return result;
 }
@@ -164,9 +248,20 @@ std::vector<QueryResult> Service::runBatch(
     const std::vector<QueryRequest>& requests) {
     std::vector<std::future<QueryResult>> futures;
     futures.reserve(requests.size());
+    // Hand the submitter's obs context to the workers so task spans nest
+    // under any span open here; capture submit time for queue-wait metrics.
+    const obs::Context context = obs::currentContext();
+    const auto submitted = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const QueryRequest& request = requests[i];
-        futures.push_back(pool_.submit([this, &request]() { return run(request); }));
+        futures.push_back(pool_.submit([this, &request, context, submitted]() {
+            const obs::ScopedContext scoped(context);
+            const double waitMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - submitted)
+                    .count();
+            return runTimed(request, waitMs);
+        }));
     }
     std::vector<QueryResult> results;
     results.reserve(futures.size());

@@ -12,7 +12,12 @@
 //    gets its own Engine (own backend instance) over the shared immutable
 //    Compilation, so backends stay single-threaded;
 //  * a QueryTrace per query (compile/solve split, cache outcome, search
-//    counters) for observability.
+//    counters, hierarchical span tree) for observability.
+//
+// Every query also feeds the process-wide obs::Registry (cache hit/miss
+// counters, per-kind query counts, latency/compile/queue-wait histograms —
+// all `lar_`-prefixed) and emits a structured "query_done" log line at Info
+// level (invisible under the default Warn threshold).
 //
 // Batch results are bit-identical to running the same requests
 // sequentially: queries share nothing mutable, and every randomized aspect
@@ -116,6 +121,9 @@ private:
     [[nodiscard]] static CacheKey fingerprint(const Problem& problem);
     [[nodiscard]] std::shared_ptr<const Compilation> obtain(
         const Problem& problem, bool& cacheHit, double& compileMs);
+    /// run() with a known queue wait (runBatch measures submit → start).
+    [[nodiscard]] QueryResult runTimed(const QueryRequest& request,
+                                       double queueWaitMs);
 
     ServiceOptions options_;
     util::ThreadPool pool_;

@@ -26,6 +26,7 @@ QueryKind queryKindFromString(const std::string& s) {
 
 json::Value toJson(const QueryTrace& trace) {
     json::Value v;
+    v["schema"] = static_cast<std::int64_t>(kQueryTraceSchemaVersion);
     v["id"] = trace.id;
     v["kind"] = toString(trace.kind);
     v["backend"] = trace.backend == smt::BackendKind::Z3 ? "z3" : "cdcl";
@@ -40,7 +41,12 @@ json::Value toJson(const QueryTrace& trace) {
     stats["conflicts"] = static_cast<std::int64_t>(trace.stats.conflicts);
     stats["restarts"] = static_cast<std::int64_t>(trace.stats.restarts);
     stats["solves"] = static_cast<std::int64_t>(trace.stats.solves);
+    stats["max_decision_level"] =
+        static_cast<std::int64_t>(trace.stats.maxDecisionLevel);
+    stats["binary_clauses"] = static_cast<std::int64_t>(trace.stats.binaryClauses);
+    stats["lbd_sum"] = static_cast<std::int64_t>(trace.stats.lbdSum);
     v["stats"] = std::move(stats);
+    if (trace.spans) v["spans"] = trace.spans->toJson();
     return v;
 }
 

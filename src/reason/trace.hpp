@@ -7,14 +7,21 @@
 // whatever dashboards a deployment already has.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "json/value.hpp"
+#include "obs/span.hpp"
 #include "sat/solver.hpp"
 #include "smt/backend.hpp"
 
 namespace lar::reason {
+
+/// Version of the toJson(QueryTrace) schema, emitted as "schema". Bump on
+/// any incompatible change; additive fields keep the version. The full
+/// schema is documented in DESIGN.md ("QueryTrace JSON schema").
+inline constexpr int kQueryTraceSchemaVersion = 2;
 
 /// The query shapes the Service answers (Engine methods, by name).
 enum class QueryKind { Feasibility, Explain, Synthesize, Optimize, Enumerate };
@@ -34,6 +41,10 @@ struct QueryTrace {
     double totalMs = 0.0;
     std::string verdict; ///< "sat" / "unsat" / "unknown" / "N designs"
     sat::SolverStats stats; ///< search counters (exact CDCL, best-effort Z3)
+    /// Hierarchical span tree for the query (query → compile/solve → backend
+    /// checks, with solver progress samples). Null when span collection was
+    /// off; shared so traces stay cheap to copy.
+    std::shared_ptr<const obs::Trace> spans;
 };
 
 [[nodiscard]] json::Value toJson(const QueryTrace& trace);

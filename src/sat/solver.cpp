@@ -71,6 +71,7 @@ bool Solver::addClause(std::vector<Lit> lits) {
         return ok_;
     }
 
+    if (out.size() == 2) ++stats_.binaryClauses;
     auto clause = std::make_unique<Clause>();
     clause->lits = std::move(out);
     attachClause(*clause);
@@ -112,6 +113,8 @@ bool Solver::enqueue(Lit l, Clause* from) {
 void Solver::newDecisionLevel(Lit decision) {
     trailLim_.push_back(static_cast<int>(trail_.size()));
     frames_.push_back({decision, false});
+    stats_.maxDecisionLevel = std::max(
+        stats_.maxDecisionLevel, static_cast<std::uint64_t>(decisionLevel()));
 }
 
 void Solver::backtrackTo(int level) {
@@ -265,6 +268,8 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt, int& backtrackL
     }
     lbd = computeLbd(learnt);
     stats_.learntLiterals += learnt.size();
+    stats_.lbdSum += static_cast<std::uint64_t>(lbd);
+    if (learnt.size() == 2) ++stats_.binaryClauses;
 }
 
 bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
@@ -533,9 +538,10 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
     restartLimit_ = opts_.restartBase * luby(restartCount_);
     conflictsSinceRestart_ = 0;
     hasDeadline_ = opts_.timeBudgetMs >= 0;
+    solveStart_ = std::chrono::steady_clock::now();
+    propagationsAtSolveStart_ = stats_.propagations;
     if (hasDeadline_)
-        deadline_ = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(opts_.timeBudgetMs);
+        deadline_ = solveStart_ + std::chrono::milliseconds(opts_.timeBudgetMs);
 
     const SolveResult result = search();
     if (result == SolveResult::Sat) model_ = assigns_;
@@ -545,6 +551,25 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
 
 bool Solver::deadlineExpired() const {
     return hasDeadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+void Solver::reportProgress() {
+    SolverProgress progress;
+    progress.conflicts = stats_.conflicts;
+    progress.propagations = stats_.propagations;
+    progress.decisions = stats_.decisions;
+    progress.restarts = stats_.restarts;
+    progress.decisionLevel = decisionLevel();
+    progress.learntClauses = learnts_.size();
+    progress.elapsedMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - solveStart_)
+                             .count();
+    const double seconds = progress.elapsedMs / 1e3;
+    if (seconds > 0.0)
+        progress.propagationsPerSec =
+            static_cast<double>(stats_.propagations - propagationsAtSolveStart_) /
+            seconds;
+    opts_.progressFn(progress);
 }
 
 SolveResult Solver::search() {
@@ -559,6 +584,11 @@ SolveResult Solver::search() {
         if (conflict != nullptr) {
             ++stats_.conflicts;
             ++conflictsSinceRestart_;
+            if (opts_.progressEvery > 0 && opts_.progressFn &&
+                stats_.conflicts %
+                        static_cast<std::uint64_t>(opts_.progressEvery) ==
+                    0)
+                reportProgress();
             if (conflictLimit >= 0 &&
                 static_cast<std::int64_t>(stats_.conflicts) >= conflictLimit) {
                 backtrackTo(0);

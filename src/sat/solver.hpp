@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -52,6 +53,23 @@ struct SolverStats {
     std::uint64_t learntLiterals = 0;
     std::uint64_t removedClauses = 0;
     std::uint64_t solves = 0;
+    std::uint64_t maxDecisionLevel = 0; ///< deepest decision level reached
+    std::uint64_t binaryClauses = 0;    ///< binary clauses created (problem + learnt)
+    std::uint64_t lbdSum = 0; ///< Σ LBD over learned clauses (avg = lbdSum/conflicts)
+};
+
+/// Snapshot handed to SolverOptions::progressFn every `progressEvery`
+/// conflicts while search() runs — the raw feed for progress dashboards and
+/// stall/timeout early warning.
+struct SolverProgress {
+    std::uint64_t conflicts = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t restarts = 0;
+    int decisionLevel = 0;          ///< at the probed conflict
+    std::size_t learntClauses = 0;  ///< learnt-DB size
+    double elapsedMs = 0.0;         ///< since the enclosing solve() began
+    double propagationsPerSec = 0.0; ///< over the current solve() call
 };
 
 /// Feature switches; defaults are the full CDCL configuration.
@@ -73,6 +91,11 @@ struct SolverOptions {
     /// from this seed instead of the all-false default. The search stays
     /// reproducible for a fixed seed; 0 keeps the classic polarity.
     std::uint64_t randomSeed = 0;
+    /// Fire `progressFn` every this many conflicts (0 = never). Observation
+    /// only — the callback cannot influence the search, so verdicts and
+    /// models are identical with probes on or off.
+    std::int64_t progressEvery = 0;
+    std::function<void(const SolverProgress&)> progressFn;
 };
 
 class Solver {
@@ -197,6 +220,7 @@ private:
 
     static std::int64_t luby(std::int64_t i);
     [[nodiscard]] bool deadlineExpired() const;
+    void reportProgress();
 
     // -- data ---------------------------------------------------------------
     SolverOptions opts_;
@@ -237,6 +261,8 @@ private:
     int restartCount_ = 0;
     std::chrono::steady_clock::time_point deadline_{};
     bool hasDeadline_ = false;
+    std::chrono::steady_clock::time_point solveStart_{};
+    std::uint64_t propagationsAtSolveStart_ = 0;
 };
 
 } // namespace lar::sat

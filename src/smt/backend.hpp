@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -102,6 +103,13 @@ struct BackendConfig {
     /// On exhaustion checks return CheckStatus::Unknown and optimize()
     /// reports infeasible=false.
     int timeoutMs = 0;
+    /// Fire `progressFn` every this many conflicts during CDCL search
+    /// (0 = never). Observation only: verdicts, models, and costs are
+    /// identical with probes on or off. Z3 exposes no equivalent hook, so
+    /// the Z3 backend ignores both fields and reports search counters only
+    /// through stats().
+    int progressEveryConflicts = 0;
+    std::function<void(const sat::SolverProgress&)> progressFn;
 };
 
 /// True when the library was built with Z3 support.

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "encode/pb.hpp"
+#include "obs/span.hpp"
 #include "opt/maxsat.hpp"
 #include "util/error.hpp"
 
@@ -181,6 +182,7 @@ void CdclBackend::captureCore(std::span<const NodeId> assumptions) {
 }
 
 CheckStatus CdclBackend::check(std::span<const NodeId> assumptions) {
+    const obs::Span span("check");
     const std::vector<sat::Lit> lits = buildAssumptionLits(assumptions);
     switch (solver_.solve(lits)) {
         case sat::SolveResult::Sat: return CheckStatus::Sat;
@@ -194,6 +196,7 @@ CheckStatus CdclBackend::check(std::span<const NodeId> assumptions) {
 
 CheckStatus CdclBackend::checkWithTracks(std::span<const int> activeTracks,
                                          std::span<const NodeId> assumptions) {
+    const obs::Span span("check");
     std::vector<sat::Lit> lits;
     lits.reserve(activeTracks.size() + assumptions.size());
     for (const auto& [track, selector] : selectors_) {
@@ -222,6 +225,7 @@ bool CdclBackend::modelValue(NodeId var) const {
 
 OptimizeResult CdclBackend::optimize(std::span<const ObjectiveSpec> objectives,
                                      std::span<const NodeId> assumptions) {
+    const obs::Span span("optimize");
     const std::vector<sat::Lit> assume = buildAssumptionLits(assumptions);
 
     std::vector<opt::Objective> levels;

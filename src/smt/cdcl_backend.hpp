@@ -17,6 +17,8 @@ public:
         sat::SolverOptions& opts = solver_.mutableOptions();
         opts.randomSeed = config.seed;
         opts.timeBudgetMs = config.timeoutMs > 0 ? config.timeoutMs : -1;
+        opts.progressEvery = config.progressEveryConflicts;
+        opts.progressFn = config.progressFn;
     }
 
     void addHard(NodeId formula, int track = -1) override;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace lar::smt {
@@ -41,6 +42,9 @@ void Z3Backend::collectStats(const z3::stats& st) {
                 std::max(out.propagations, collected_.propagations + value(i));
         else if (key.find("restart") != std::string::npos)
             out.restarts = std::max(out.restarts, collected_.restarts + value(i));
+        else if (key.find("binary") != std::string::npos)
+            out.binaryClauses =
+                std::max(out.binaryClauses, collected_.binaryClauses + value(i));
     }
     out.solves = collected_.solves + 1;
     collected_ = out;
@@ -126,6 +130,7 @@ void Z3Backend::captureCore(const z3::expr_vector& core,
 
 CheckStatus Z3Backend::checkWithTracks(std::span<const int> activeTracks,
                                        std::span<const NodeId> assumptions) {
+    const obs::Span span("check");
     z3::expr_vector assume(ctx_);
     for (const auto& [track, selector] : selectors_) {
         if (std::find(activeTracks.begin(), activeTracks.end(), track) !=
@@ -148,6 +153,7 @@ CheckStatus Z3Backend::checkWithTracks(std::span<const int> activeTracks,
 }
 
 CheckStatus Z3Backend::check(std::span<const NodeId> assumptions) {
+    const obs::Span span("check");
     z3::expr_vector assume(ctx_);
     for (const auto& [track, selector] : selectors_) assume.push_back(selector);
     for (const NodeId a : assumptions) assume.push_back(toExpr(a));
@@ -177,6 +183,7 @@ bool Z3Backend::modelValue(NodeId var) const {
 
 OptimizeResult Z3Backend::optimize(std::span<const ObjectiveSpec> objectives,
                                    std::span<const NodeId> assumptions) {
+    const obs::Span span("optimize");
     z3::optimize opt(ctx_);
     z3::params params(ctx_);
     params.set("priority", ctx_.str_symbol("lex"));

@@ -1,6 +1,8 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 
 namespace lar::util {
@@ -18,7 +20,66 @@ const char* levelName(LogLevel level) {
     }
     return "?";
 }
+
+const char* levelNameLower(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "debug";
+        case LogLevel::Info: return "info";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Error: return "error";
+        case LogLevel::Off: return "off";
+    }
+    return "?";
+}
+
+std::string jsonQuote(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned char>(c));
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
 } // namespace
+
+LogField::LogField(std::string_view k, std::string_view value)
+    : key(k), rendered(jsonQuote(value)) {}
+
+LogField::LogField(std::string_view k, double value) : key(k) {
+    if (std::isfinite(value)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        rendered = buf;
+    } else {
+        rendered = "null"; // JSON has no Inf/NaN
+    }
+}
+
+LogField::LogField(std::string_view k, std::int64_t value)
+    : key(k), rendered(std::to_string(value)) {}
+
+LogField::LogField(std::string_view k, std::uint64_t value)
+    : key(k), rendered(std::to_string(value)) {}
+
+LogField::LogField(std::string_view k, bool value)
+    : key(k), rendered(value ? "true" : "false") {}
 
 void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
@@ -27,6 +88,31 @@ LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 void logLine(LogLevel level, const std::string& message) {
     if (level < logLevel()) return;
     std::fprintf(stderr, "[lar:%s] %s\n", levelName(level), message.c_str());
+}
+
+void logLineJson(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+    if (level < logLevel()) return;
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    const auto tsMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+    std::string line;
+    line.reserve(128);
+    line += "{\"ts_ms\":";
+    line += std::to_string(tsMs);
+    line += ",\"level\":\"";
+    line += levelNameLower(level);
+    line += "\",\"event\":";
+    line += jsonQuote(event);
+    for (const LogField& f : fields) {
+        line += ',';
+        line += jsonQuote(f.key);
+        line += ':';
+        line += f.rendered;
+    }
+    line += '}';
+    // One write call so concurrent loggers interleave at line granularity.
+    std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 } // namespace lar::util

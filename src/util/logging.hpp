@@ -1,11 +1,16 @@
 // Minimal leveled logger.
 //
 // The reasoning engine logs compilation and search statistics at Debug level;
-// benches raise the level to Warn to keep tables clean.
+// benches raise the level to Warn to keep tables clean. Two line formats
+// share the level threshold: logAt/logLine for humans, logLineJson for log
+// pipelines (one JSON object per line).
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace lar::util {
 
@@ -35,5 +40,32 @@ void logAt(LogLevel level, const Args&... args) {
     detail::append(os, args...);
     logLine(level, os.str());
 }
+
+/// One key/value pair of a structured log line. The value is pre-rendered to
+/// a JSON scalar at the call site (strings escaped, numbers/bools verbatim).
+struct LogField {
+    LogField(std::string_view key, std::string_view value);
+    LogField(std::string_view key, const char* value)
+        : LogField(key, std::string_view(value)) {}
+    LogField(std::string_view key, const std::string& value)
+        : LogField(key, std::string_view(value)) {}
+    LogField(std::string_view key, double value);
+    LogField(std::string_view key, std::int64_t value);
+    LogField(std::string_view key, std::uint64_t value);
+    LogField(std::string_view key, int value)
+        : LogField(key, static_cast<std::int64_t>(value)) {}
+    LogField(std::string_view key, bool value);
+
+    std::string key;
+    std::string rendered; ///< value as a JSON scalar
+};
+
+/// Structured logging: emits one JSON object per line to stderr when `level`
+/// passes the threshold, e.g.
+///   {"ts_ms":…,"level":"info","event":"query_done","id":"q1","total_ms":3.2}
+/// ts_ms is milliseconds since the Unix epoch. Keys "ts_ms"/"level"/"event"
+/// are reserved; fields appear after them in call order.
+void logLineJson(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields);
 
 } // namespace lar::util

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/write.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/error.hpp"
+#include "util/threadpool.hpp"
+
+namespace lar::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+    Histogram h({1.0, 2.0, 5.0});
+    for (const double v : {0.5, 1.0, 1.5, 2.0, 5.0, 7.0}) h.observe(v);
+    EXPECT_EQ(h.bucketCount(0), 2u); // 0.5, 1.0 (le=1 inclusive)
+    EXPECT_EQ(h.bucketCount(1), 2u); // 1.5, 2.0
+    EXPECT_EQ(h.bucketCount(2), 1u); // 5.0
+    EXPECT_EQ(h.bucketCount(3), 1u); // 7.0 → +Inf
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.sum(), 17.0);
+}
+
+TEST(Histogram, BoundsAreSortedAndDeduplicated) {
+    Histogram h({5.0, 1.0, 5.0, 2.0});
+    ASSERT_EQ(h.bounds().size(), 3u);
+    EXPECT_TRUE(std::is_sorted(h.bounds().begin(), h.bounds().end()));
+}
+
+TEST(Registry, InterningReturnsTheSameSeries) {
+    Registry reg;
+    Counter& a = reg.counter("lar_test_total", "help", {{"kind", "x"}});
+    Counter& b = reg.counter("lar_test_total", "help", {{"kind", "x"}});
+    Counter& other = reg.counter("lar_test_total", "help", {{"kind", "y"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &other);
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(Registry, TypeMismatchThrows) {
+    Registry reg;
+    (void)reg.counter("lar_mismatch", "help");
+    EXPECT_THROW((void)reg.gauge("lar_mismatch", "help"), LogicError);
+    (void)reg.histogram("lar_hist", "help", {1.0});
+    EXPECT_THROW((void)reg.histogram("lar_hist", "help", {2.0}), LogicError);
+}
+
+TEST(Registry, InvalidNamesThrow) {
+    Registry reg;
+    EXPECT_THROW((void)reg.counter("2bad", "help"), LogicError);
+    EXPECT_THROW((void)reg.counter("ok", "help", {{"bad-label", "v"}}),
+                 LogicError);
+}
+
+TEST(Registry, ConcurrentIncrementsAreExact) {
+    Registry reg;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 20000;
+    Counter& counter = reg.counter("lar_conc_total", "help");
+    Histogram& hist = reg.histogram("lar_conc_ms", "help", {10.0, 100.0});
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter, &hist, &reg, t] {
+            // Interning from several threads concurrently must be safe too.
+            Counter& mine =
+                reg.counter("lar_conc_total_by_thread", "help",
+                            {{"thread", std::to_string(t)}});
+            for (int i = 0; i < kIters; ++i) {
+                counter.inc();
+                mine.inc();
+                hist.observe(static_cast<double>(i % 3));
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(hist.bucketCount(0), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Registry, PrometheusExpositionShape) {
+    Registry reg;
+    reg.counter("lar_q_total", "queries", {{"kind", "optimize"}}).inc(2);
+    reg.counter("lar_q_total", "queries", {{"kind", "feasible"}}).inc();
+    reg.gauge("lar_depth", "queue depth").set(1.5);
+    Histogram& h = reg.histogram("lar_lat_ms", "latency", {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(4.0);
+    h.observe(40.0);
+    const std::string text = reg.renderPrometheus();
+
+    EXPECT_NE(text.find("# TYPE lar_q_total counter\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE lar_depth gauge\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE lar_lat_ms histogram\n"), std::string::npos);
+    EXPECT_NE(text.find("lar_q_total{kind=\"optimize\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("lar_q_total{kind=\"feasible\"} 1\n"), std::string::npos);
+    // Buckets are cumulative and end in +Inf, with _sum and _count.
+    EXPECT_NE(text.find("lar_lat_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("lar_lat_ms_bucket{le=\"10\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("lar_lat_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+    EXPECT_NE(text.find("lar_lat_ms_sum 44.5\n"), std::string::npos);
+    EXPECT_NE(text.find("lar_lat_ms_count 3\n"), std::string::npos);
+
+    // No duplicate series lines (same name + label set twice).
+    std::set<std::string> seen;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const std::string series = line.substr(0, line.rfind(' '));
+        EXPECT_TRUE(seen.insert(series).second) << "duplicate series: " << series;
+    }
+}
+
+TEST(Registry, JsonExport) {
+    Registry reg;
+    reg.counter("lar_j_total", "help", {{"kind", "a"}}).inc(5);
+    reg.histogram("lar_j_ms", "help", {1.0}).observe(0.5);
+    const json::Value v = reg.toJson();
+    EXPECT_EQ(v.at("lar_j_total").at("type").asString(), "counter");
+    const json::Value& series = v.at("lar_j_total").at("series").asArray().at(0);
+    EXPECT_EQ(series.at("labels").at("kind").asString(), "a");
+    EXPECT_EQ(series.at("value").asInt(), 5);
+    const json::Value& hist = v.at("lar_j_ms").at("series").asArray().at(0);
+    EXPECT_EQ(hist.at("count").asInt(), 1);
+    EXPECT_EQ(hist.at("buckets").asArray().size(), 2u); // le=1 and +Inf
+}
+
+TEST(Registry, DisabledDropsUpdates) {
+    Registry reg;
+    Counter& c = reg.counter("lar_off_total", "help");
+    Histogram& h = reg.histogram("lar_off_ms", "help", {1.0});
+    setEnabled(false);
+    c.inc();
+    h.observe(0.5);
+    setEnabled(true);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+    c.inc();
+    EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Registry, ResetZeroesButKeepsHandles) {
+    Registry reg;
+    Counter& c = reg.counter("lar_r_total", "help");
+    c.inc(7);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    EXPECT_EQ(c.value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+TEST(Span, NestingBuildsATree) {
+    Trace trace;
+    {
+        const ScopedTrace scoped(trace);
+        const Span query("query");
+        {
+            const Span compile("compile");
+        }
+        {
+            const Span solve("solve");
+            const Span check("check");
+            sample("solver_progress", {{"conflicts", 12.0}});
+        }
+    }
+    const SpanNode* root = trace.root();
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->name, "query");
+    ASSERT_EQ(root->children.size(), 2u);
+    EXPECT_NE(root->child("compile"), nullptr);
+    const SpanNode* solve = root->child("solve");
+    ASSERT_NE(solve, nullptr);
+    const SpanNode* check = solve->child("check");
+    ASSERT_NE(check, nullptr);
+    ASSERT_EQ(check->samples.size(), 1u);
+    EXPECT_EQ(check->samples[0].name, "solver_progress");
+    ASSERT_EQ(check->samples[0].values.size(), 1u);
+    EXPECT_EQ(check->samples[0].values[0].first, "conflicts");
+    EXPECT_DOUBLE_EQ(check->samples[0].values[0].second, 12.0);
+    EXPECT_GE(root->durationMs(), solve->durationMs());
+    EXPECT_GE(solve->startMs, root->startMs);
+}
+
+TEST(Span, InertWithoutATrace) {
+    const Span span("orphan"); // must not crash or leak
+    sample("orphan_sample", {{"x", 1.0}});
+}
+
+TEST(Span, DisabledCollectsNothing) {
+    Trace trace;
+    setEnabled(false);
+    {
+        const ScopedTrace scoped(trace);
+        const Span span("query");
+    }
+    setEnabled(true);
+    EXPECT_EQ(trace.root(), nullptr);
+}
+
+TEST(Span, CrossesThreadPoolBoundaryViaContext) {
+    Trace trace;
+    util::ThreadPool pool(4);
+    {
+        const ScopedTrace scoped(trace);
+        const Span root("query");
+        const Context context = currentContext();
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 8; ++i) {
+            futures.push_back(pool.submit([context, i] {
+                const ScopedContext scopedContext(context);
+                const Span task("task" + std::to_string(i % 2));
+                sample("tick", {{"i", static_cast<double>(i)}});
+            }));
+        }
+        for (auto& f : futures) f.get();
+    }
+    const SpanNode* root = trace.root();
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->children.size(), 8u); // all tasks nested under "query"
+    for (const auto& child : root->children) {
+        EXPECT_TRUE(child->name == "task0" || child->name == "task1");
+        EXPECT_EQ(child->samples.size(), 1u);
+    }
+}
+
+TEST(Span, ChromeTraceDocumentShape) {
+    Trace trace;
+    {
+        const ScopedTrace scoped(trace);
+        const Span query("query");
+        const Span solve("solve");
+        sample("solver_progress", {{"conflicts", 1.0}});
+    }
+    const json::Value doc = chromeTraceDocument({{"q1", &trace}});
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    const json::Array& events = doc.at("traceEvents").asArray();
+    // thread_name metadata + 2 "X" spans + 1 "i" instant.
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].at("ph").asString(), "M");
+    EXPECT_EQ(events[0].at("args").at("name").asString(), "q1");
+    int durations = 0;
+    int instants = 0;
+    for (const json::Value& e : events) {
+        const std::string ph = e.at("ph").asString();
+        if (ph == "X") {
+            ++durations;
+            EXPECT_GE(e.at("dur").asDouble(), 0.0);
+        } else if (ph == "i") {
+            ++instants;
+            EXPECT_DOUBLE_EQ(e.at("args").at("conflicts").asDouble(), 1.0);
+        }
+    }
+    EXPECT_EQ(durations, 2);
+    EXPECT_EQ(instants, 1);
+}
+
+TEST(Span, TraceJsonShape) {
+    Trace trace;
+    {
+        const ScopedTrace scoped(trace);
+        const Span query("query");
+        const Span solve("solve");
+    }
+    const json::Value v = trace.toJson();
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.asArray().size(), 1u);
+    const json::Value& root = v.asArray()[0];
+    EXPECT_EQ(root.at("name").asString(), "query");
+    EXPECT_EQ(root.at("children").asArray().at(0).at("name").asString(), "solve");
+}
+
+} // namespace
+} // namespace lar::obs

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
 #include "catalog/catalog.hpp"
@@ -283,6 +284,74 @@ TEST_F(ServiceTest, CollectTraceOffLeavesTraceEmpty) {
     EXPECT_TRUE(result.feasible);
     EXPECT_EQ(result.trace.totalMs, 0.0);
     EXPECT_TRUE(result.trace.verdict.empty());
+}
+
+TEST_F(ServiceTest, ColdQuerySpanTreeHasCompileAndSolve) {
+    Service service;
+    QueryRequest r = request(QueryKind::Optimize, caseStudyProblem(), "cold");
+    r.options.progressEveryConflicts = 1; // sample at every conflict
+    const QueryResult result = service.run(r);
+    ASSERT_TRUE(result.feasible);
+
+    ASSERT_NE(result.trace.spans, nullptr);
+    const obs::SpanNode* root = result.trace.spans->root();
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->name, "query");
+    EXPECT_NE(root->child("compile"), nullptr); // cold → compiled in-query
+    const obs::SpanNode* solve = root->child("solve");
+    ASSERT_NE(solve, nullptr);
+    // The backend's optimize runs under "solve"; with per-conflict probes
+    // any search that conflicts at all leaves samples in the solve subtree.
+    const obs::SpanNode* optimize = solve->child("optimize");
+    ASSERT_NE(optimize, nullptr);
+    if (result.trace.stats.conflicts > 0) {
+        std::size_t samples = 0;
+        const std::function<void(const obs::SpanNode&)> count =
+            [&](const obs::SpanNode& node) {
+                samples += node.samples.size();
+                for (const auto& c : node.children) count(*c);
+            };
+        count(*solve);
+        EXPECT_GT(samples, 0u);
+    }
+
+    // The JSON export is versioned and carries the span tree.
+    const json::Value v = toJson(result.trace);
+    EXPECT_EQ(v.at("schema").asInt(), kQueryTraceSchemaVersion);
+    EXPECT_FALSE(v.at("spans").asArray().empty());
+    EXPECT_GE(v.at("stats").at("max_decision_level").asInt(), 0);
+}
+
+TEST_F(ServiceTest, CachedQuerySpanTreeHasNoCompileSpan) {
+    Service service;
+    const Problem p = caseStudyProblem();
+    (void)service.run(request(QueryKind::Feasibility, p, "warm-up"));
+    const QueryResult cached =
+        service.run(request(QueryKind::Feasibility, p, "cached"));
+    ASSERT_TRUE(cached.trace.cacheHit);
+    ASSERT_NE(cached.trace.spans, nullptr);
+    const obs::SpanNode* root = cached.trace.spans->root();
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->child("compile"), nullptr); // served from cache
+    EXPECT_NE(root->child("solve"), nullptr);
+}
+
+TEST_F(ServiceTest, BatchQueriesGetTheirOwnSpanTrees) {
+    ServiceOptions options;
+    options.workers = 4;
+    Service service(options);
+    const Problem p = caseStudyProblem();
+    std::vector<QueryRequest> requests;
+    for (int i = 0; i < 4; ++i)
+        requests.push_back(request(QueryKind::Feasibility, p));
+    const std::vector<QueryResult> results = service.runBatch(requests);
+    for (const QueryResult& r : results) {
+        ASSERT_NE(r.trace.spans, nullptr);
+        const obs::SpanNode* root = r.trace.spans->root();
+        ASSERT_NE(root, nullptr);
+        EXPECT_EQ(root->name, "query");
+        EXPECT_NE(root->child("solve"), nullptr);
+    }
 }
 
 TEST_F(ServiceTest, TimeoutReportsUnknownNotWrongAnswer) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -37,6 +38,15 @@ TEST(Strings, TrimBothEnds) {
 }
 
 TEST(Strings, ToLower) { EXPECT_EQ(toLower("AbC-42"), "abc-42"); }
+
+TEST(Logging, LogFieldRendersJsonScalars) {
+    EXPECT_EQ(LogField("k", "plain").rendered, "\"plain\"");
+    EXPECT_EQ(LogField("k", "quo\"te\n").rendered, "\"quo\\\"te\\n\"");
+    EXPECT_EQ(LogField("k", std::int64_t{-7}).rendered, "-7");
+    EXPECT_EQ(LogField("k", 3.5).rendered, "3.5");
+    EXPECT_EQ(LogField("k", true).rendered, "true");
+    EXPECT_EQ(LogField("k", false).rendered, "false");
+}
 
 TEST(Strings, StartsEndsWith) {
     EXPECT_TRUE(startsWith("hello world", "hello"));

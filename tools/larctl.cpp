@@ -10,8 +10,17 @@
 //                                          (prints a minimal conflict if not)
 //   larctl optimize <kb.json> <prob.json>  lexicographically optimal design
 //   larctl enumerate <kb.json> <prob.json> [N]   distinct optimal designs
-//   larctl batch <kb.json> <batch.json> [threads]  run a query batch through
-//                                          the caching service; JSON out
+//   larctl batch <kb.json> <batch.json> [threads] [--trace-out <dir>]
+//                                          run a query batch through the
+//                                          caching service; JSON out, plus a
+//                                          Chrome trace_event file (load in
+//                                          chrome://tracing or Perfetto) when
+//                                          --trace-out is given
+//   larctl metrics [--json] [<kb.json> <batch.json> [threads]]
+//                                          dump the process metrics registry
+//                                          (Prometheus text exposition, or
+//                                          JSON with --json), optionally after
+//                                          running a batch to populate it
 //   larctl suggest  <kb.json> <prob.json>  disambiguation suggestions (§6)
 //   larctl ordering <kb.json> <objective>  Graphviz of the partial order
 //   larctl sheet    <kb.json> <model>      render a vendor spec sheet
@@ -21,7 +30,9 @@
 // catalog (56 systems / 208 hardware specs).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.hpp"
 #include "extract/specgen.hpp"
@@ -29,6 +40,8 @@
 #include "json/write.hpp"
 #include "kb/diff.hpp"
 #include "kb/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "order/poset.hpp"
 #include "reason/engine.hpp"
 #include "reason/problem_io.hpp"
@@ -49,7 +62,8 @@ int usage() {
                  "  feasible  <kb.json> <problem.json>\n"
                  "  optimize  <kb.json> <problem.json>\n"
                  "  enumerate <kb.json> <problem.json> [maxDesigns]\n"
-                 "  batch     <kb.json> <batch.json> [threads]\n"
+                 "  batch     <kb.json> <batch.json> [threads] [--trace-out <dir>]\n"
+                 "  metrics   [--json] [<kb.json> <batch.json> [threads]]\n"
                  "  suggest   <kb.json> <problem.json>\n"
                  "  ordering  <kb.json> <objective>\n"
                  "  sheet     <kb.json> <model name>\n"
@@ -146,7 +160,7 @@ int cmdEnumerate(const std::string& kbPath, const std::string& problemPath,
 // query may override. A query object:
 //   {"id": "q1", "kind": "optimize", "problem": {...problem spec...},
 //    "max_designs": 4, "backend": "cdcl", "seed": 7, "timeout_ms": 0,
-//    "trace": true}
+//    "trace": true, "progress_every_conflicts": 256}
 reason::QueryOptions queryOptionsFromJson(const json::Value& v,
                                           reason::QueryOptions defaults) {
     const json::Object& obj = v.asObject();
@@ -161,11 +175,15 @@ reason::QueryOptions queryOptionsFromJson(const json::Value& v,
     if (obj.contains("timeout_ms"))
         defaults.timeoutMs = static_cast<int>(obj.at("timeout_ms").asInt());
     if (obj.contains("trace")) defaults.collectTrace = obj.at("trace").asBool();
+    if (obj.contains("progress_every_conflicts"))
+        defaults.progressEveryConflicts =
+            static_cast<int>(obj.at("progress_every_conflicts").asInt());
     return defaults;
 }
 
 int cmdBatch(const std::string& kbPath, const std::string& batchPath,
-             unsigned threads) {
+             unsigned threads, const std::string& traceOut = {},
+             bool quiet = false) {
     const kb::KnowledgeBase kb = loadKb(kbPath);
     const json::Value doc = json::parse(util::readFile(batchPath));
 
@@ -237,8 +255,33 @@ int cmdBatch(const std::string& kbPath, const std::string& batchPath,
     cacheJson["entries"] = static_cast<std::int64_t>(cache.entries);
     report["cache"] = std::move(cacheJson);
     report["workers"] = static_cast<std::int64_t>(service.workerCount());
-    std::printf("%s\n", json::writePretty(report).c_str());
+    if (!quiet) std::printf("%s\n", json::writePretty(report).c_str());
+
+    if (!traceOut.empty()) {
+        std::vector<std::pair<std::string, const obs::Trace*>> traces;
+        for (const reason::QueryResult& r : results)
+            if (r.trace.spans)
+                traces.emplace_back("query " + r.id, r.trace.spans.get());
+        std::filesystem::create_directories(traceOut);
+        const std::string path = traceOut + "/trace.json";
+        util::writeFile(path, json::write(obs::chromeTraceDocument(traces)));
+        std::fprintf(stderr, "wrote %zu trace lane(s) to %s\n", traces.size(),
+                     path.c_str());
+    }
     return anyInfeasible ? 1 : 0;
+}
+
+int cmdMetrics(bool asJson, const std::string& kbPath,
+               const std::string& batchPath, unsigned threads) {
+    // Optionally run a batch first so the dump shows a populated registry
+    // (the registry is per-process; a fresh larctl starts empty).
+    if (!kbPath.empty()) (void)cmdBatch(kbPath, batchPath, threads, {}, true);
+    obs::Registry& registry = obs::Registry::global();
+    if (asJson)
+        std::printf("%s\n", json::writePretty(registry.toJson()).c_str());
+    else
+        std::fputs(registry.renderPrometheus().c_str(), stdout);
+    return 0;
 }
 
 int cmdSuggest(const std::string& kbPath, const std::string& problemPath) {
@@ -306,16 +349,46 @@ int main(int argc, char** argv) {
         if (command == "enumerate" && (argc == 4 || argc == 5))
             return cmdEnumerate(argv[2], argv[3],
                                 argc == 5 ? std::atoi(argv[4]) : 4);
-        if (command == "batch" && (argc == 4 || argc == 5)) {
-            const int threads = argc == 5 ? std::atoi(argv[4]) : 0;
-            if (threads < 0) {
-                std::fprintf(stderr,
-                             "larctl: thread count must be >= 0 (0 = one per "
-                             "hardware thread), got '%s'\n",
-                             argv[4]);
-                return 1;
+        if (command == "batch" || command == "metrics") {
+            bool asJson = false;
+            std::string traceOut;
+            std::vector<std::string> positional;
+            for (int i = 2; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--trace-out") == 0) {
+                    if (i + 1 >= argc) {
+                        std::fprintf(stderr,
+                                     "larctl: --trace-out needs a directory\n");
+                        return 1;
+                    }
+                    traceOut = argv[++i];
+                } else if (std::strcmp(argv[i], "--json") == 0) {
+                    asJson = true;
+                } else {
+                    positional.emplace_back(argv[i]);
+                }
             }
-            return cmdBatch(argv[2], argv[3], static_cast<unsigned>(threads));
+            const bool isMetrics = command == "metrics";
+            if (!isMetrics && positional.size() < 2) return usage();
+            if (isMetrics && positional.size() == 1) return usage();
+            if (positional.size() > 3) return usage();
+            int threads = 0;
+            if (positional.size() == 3) {
+                threads = std::atoi(positional[2].c_str());
+                if (threads < 0) {
+                    std::fprintf(stderr,
+                                 "larctl: thread count must be >= 0 (0 = one per "
+                                 "hardware thread), got '%s'\n",
+                                 positional[2].c_str());
+                    return 1;
+                }
+            }
+            if (isMetrics)
+                return cmdMetrics(asJson,
+                                  positional.empty() ? "" : positional[0],
+                                  positional.empty() ? "" : positional[1],
+                                  static_cast<unsigned>(threads));
+            return cmdBatch(positional[0], positional[1],
+                            static_cast<unsigned>(threads), traceOut);
         }
         if (command == "suggest" && argc == 4)
             return cmdSuggest(argv[2], argv[3]);
