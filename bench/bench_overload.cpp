@@ -1,0 +1,137 @@
+// SVC2 — overload behaviour: latency under 4× oversubscription, with and
+// without admission control.
+//
+// A burst of 4× more queries than the pool can absorb is thrown at the
+// service twice: once unbounded (every query queues, the tail latency grows
+// with queue depth) and once with a bounded queue (excess is shed at
+// submission). The gate: with shedding on, the p99 end-to-end latency of the
+// *answered* queries must stay below the unbounded run's p99 — overload
+// degrades capacity (some queries shed, all of them reported), never
+// latency — and no query may vanish: answered + shed must cover the burst.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "reason/service.hpp"
+
+using namespace lar;
+using reason::QueryKind;
+
+namespace {
+
+constexpr unsigned kWorkers = 2;
+constexpr std::size_t kQueueDepth = 2 * kWorkers;
+constexpr int kOversubscription = 4;
+constexpr int kBurst = static_cast<int>(kWorkers) * kOversubscription * 6;
+
+std::vector<reason::QueryRequest> makeBurst(const kb::KnowledgeBase& kb) {
+    std::vector<reason::QueryRequest> burst;
+    for (int i = 0; i < kBurst; ++i) {
+        reason::QueryRequest q;
+        q.problem = reason::makeDefaultProblem(kb);
+        q.problem.hardware[kb::HardwareClass::Server].count = 60;
+        q.problem.hardware[kb::HardwareClass::Switch].count = 8;
+        q.problem.hardware[kb::HardwareClass::Nic].count = 60;
+        q.problem.workloads = {catalog::makeInferenceWorkload()};
+        q.problem.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost};
+        q.kind = i % 3 == 0 ? QueryKind::Optimize : QueryKind::Feasibility;
+        q.id = std::to_string(i);
+        burst.push_back(std::move(q));
+    }
+    return burst;
+}
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        std::max(0.0, p * static_cast<double>(values.size()) - 1.0));
+    return values[std::min(idx, values.size() - 1)];
+}
+
+struct RunStats {
+    std::vector<double> latenciesMs; ///< answered queries, queue wait included
+    int answered = 0;
+    int shed = 0;
+    int errored = 0;
+};
+
+RunStats runOnce(const kb::KnowledgeBase& kb, bool shedding) {
+    reason::ServiceOptions options;
+    options.workers = kWorkers;
+    options.maxQueueDepth = shedding ? kQueueDepth : 0;
+    options.shedPolicy = reason::ShedPolicy::RejectNew;
+    reason::Service service(options);
+    // Pre-warm the compilation cache so both runs measure solve + queue
+    // latency, not one giant first-query compile.
+    std::vector<reason::QueryRequest> burst = makeBurst(kb);
+    (void)service.compilationFor(burst.front().problem);
+
+    const std::vector<reason::QueryResult> results = service.runBatch(burst);
+    RunStats stats;
+    for (const reason::QueryResult& r : results) {
+        if (r.shed) {
+            ++stats.shed;
+        } else if (!r.error.ok) {
+            ++stats.errored;
+        } else {
+            ++stats.answered;
+            stats.latenciesMs.push_back(r.trace.queueWaitMs + r.trace.totalMs);
+        }
+    }
+    return stats;
+}
+
+} // namespace
+
+int main() {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+
+    bench::printHeader("overload: " + std::to_string(kBurst) + " queries, " +
+                       std::to_string(kWorkers) + " workers (" +
+                       std::to_string(kOversubscription) +
+                       "x oversubscription)");
+    bench::printRow({"shedding", "answered", "shed", "p50", "p99"});
+    bench::printRule();
+
+    const RunStats off = runOnce(kb, /*shedding=*/false);
+    const double p50Off = percentile(off.latenciesMs, 0.50);
+    const double p99Off = percentile(off.latenciesMs, 0.99);
+    bench::printRow({"off (unbounded queue)", bench::num(off.answered),
+                     bench::num(off.shed), bench::ms(p50Off),
+                     bench::ms(p99Off)});
+
+    const RunStats on = runOnce(kb, /*shedding=*/true);
+    const double p50On = percentile(on.latenciesMs, 0.50);
+    const double p99On = percentile(on.latenciesMs, 0.99);
+    bench::printRow({"on  (depth " + std::to_string(kQueueDepth) + ")",
+                     bench::num(on.answered), bench::num(on.shed),
+                     bench::ms(p50On), bench::ms(p99On)});
+
+    // Accounting: nothing may vanish under overload.
+    const bool offComplete =
+        off.answered + off.shed + off.errored == kBurst && off.shed == 0;
+    const bool onComplete = on.answered + on.shed + on.errored == kBurst;
+    const bool somethingShed = on.shed > 0;
+    const bool noErrors = off.errored == 0 && on.errored == 0;
+    // The gate: bounding the queue must bound the tail.
+    const bool tailBounded = p99On <= p99Off;
+
+    std::printf("\nanswered+shed covers the burst: %s / %s\n",
+                offComplete ? "yes" : "NO", onComplete ? "yes" : "NO");
+    std::printf("shedding engaged at saturation: %s (%d shed)\n",
+                somethingShed ? "yes" : "NO", on.shed);
+    std::printf("p99 bounded by shedding: %s (%.1f ms vs %.1f ms unbounded)\n",
+                tailBounded ? "yes" : "NO", p99On, p99Off);
+
+    const bool ok =
+        offComplete && onComplete && somethingShed && noErrors && tailBounded;
+    std::printf("SVC2: %s\n", ok ? "overload sheds load, latency stays bounded"
+                                 : "FAILED");
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

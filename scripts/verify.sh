@@ -1,0 +1,48 @@
+#!/bin/sh
+# Repository verification: the tier-1 suite plus a sanitizer leg.
+#
+#   scripts/verify.sh            run both legs
+#   scripts/verify.sh tier1      plain build + ctest only
+#   scripts/verify.sh sanitize   ASan/UBSan build + ctest only
+#
+# The tier-1 leg uses the regular build/ tree (shared with development, so
+# incremental rebuilds are cheap). The sanitize leg configures a separate
+# build-asan/ tree with -DLAR_SANITIZE=address,undefined; the per-test TSan
+# variants are skipped there automatically (tests/CMakeLists.txt) because
+# the whole tree is already instrumented.
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=${VERIFY_JOBS:-2}
+leg=${1:-all}
+
+run_tier1() {
+    echo "== tier-1: plain build + ctest =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j"$jobs"
+    (cd "$root/build" && ctest --output-on-failure -j"$jobs")
+}
+
+run_sanitize() {
+    echo "== sanitize: LAR_SANITIZE=address,undefined build + ctest =="
+    cmake -B "$root/build-asan" -S "$root" -DLAR_SANITIZE=address,undefined
+    cmake --build "$root/build-asan" -j"$jobs"
+    # detect_leaks=0: LeakSanitizer needs ptrace, which most CI containers
+    # deny; ASan's use-after-free / overflow checks are the point here.
+    (cd "$root/build-asan" &&
+         ASAN_OPTIONS=detect_leaks=0 ctest --output-on-failure -j"$jobs")
+}
+
+case "$leg" in
+    tier1) run_tier1 ;;
+    sanitize) run_sanitize ;;
+    all)
+        run_tier1
+        run_sanitize
+        ;;
+    *)
+        echo "usage: scripts/verify.sh [tier1|sanitize|all]" >&2
+        exit 2
+        ;;
+esac
+echo "verify: all requested legs passed"

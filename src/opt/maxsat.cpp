@@ -9,8 +9,12 @@ namespace lar::opt {
 
 std::optional<std::int64_t> minimizeAndLock(encode::CnfBuilder& builder,
                                             std::span<const SoftConstraint> softs,
-                                            std::span<const sat::Lit> assumptions) {
+                                            std::span<const sat::Lit> assumptions,
+                                            bool* unknown) {
     sat::Solver& solver = builder.solver();
+    const auto flagUnknown = [unknown] {
+        if (unknown != nullptr) *unknown = true;
+    };
 
     // Penalty terms: weight is paid when the soft literal is FALSE. Group
     // them by exclusiveGroup so the counter can use one leaf per group.
@@ -31,7 +35,13 @@ std::optional<std::int64_t> minimizeAndLock(encode::CnfBuilder& builder,
     for (auto& [id, members] : groupIndex) groups.push_back(std::move(members));
 
     std::vector<sat::Lit> assume(assumptions.begin(), assumptions.end());
-    if (solver.solve(assume) != sat::SolveResult::Sat) return std::nullopt;
+    const sat::SolveResult first = solver.solve(assume);
+    if (first == sat::SolveResult::Unknown) {
+        // Interrupted before any model: feasibility itself is unproven.
+        flagUnknown();
+        return std::nullopt;
+    }
+    if (first != sat::SolveResult::Sat) return std::nullopt;
     std::int64_t cost = encode::evalPb(solver, penalties);
     if (cost == 0 || penalties.empty()) return cost;
 
@@ -42,7 +52,14 @@ std::optional<std::int64_t> minimizeAndLock(encode::CnfBuilder& builder,
     while (cost > 0) {
         assume.assign(assumptions.begin(), assumptions.end());
         assume.push_back(counter.atMostLit(builder, cost - 1));
-        if (solver.solve(assume) != sat::SolveResult::Sat) break;
+        const sat::SolveResult step = solver.solve(assume);
+        if (step == sat::SolveResult::Unknown) {
+            // Budget exhausted mid-descent: keep the best bound found so far
+            // (anytime behaviour). The caller sees it via *unknown.
+            flagUnknown();
+            break;
+        }
+        if (step != sat::SolveResult::Sat) break;
         const std::int64_t improved = encode::evalPb(solver, penalties);
         ensures(improved < cost, "minimizeAndLock: cost failed to decrease");
         cost = improved;
@@ -53,6 +70,12 @@ std::optional<std::int64_t> minimizeAndLock(encode::CnfBuilder& builder,
     builder.assertLit(counter.atMostLit(builder, cost));
     assume.assign(assumptions.begin(), assumptions.end());
     const sat::SolveResult final = solver.solve(assume);
+    if (final == sat::SolveResult::Unknown) {
+        // The lock-in re-solve was interrupted; the last Sat model (which
+        // attains `cost`) is still loaded, so callers can read it.
+        flagUnknown();
+        return cost;
+    }
     ensures(final == sat::SolveResult::Sat,
             "minimizeAndLock: formula infeasible after locking optimum");
     return cost;
@@ -63,17 +86,30 @@ LexResult optimizeLex(encode::CnfBuilder& builder,
                       std::span<const sat::Lit> assumptions) {
     LexResult result;
     for (const Objective& objective : objectives) {
-        const auto cost = minimizeAndLock(builder, objective.softs, assumptions);
-        if (!cost.has_value()) return result; // infeasible: costs empty/partial
+        bool unknown = false;
+        const auto cost =
+            minimizeAndLock(builder, objective.softs, assumptions, &unknown);
+        if (!cost.has_value()) {
+            // infeasible (or interrupted before a model): costs empty/partial
+            result.unknown = unknown;
+            return result;
+        }
         util::logAt(util::LogLevel::Debug, "lex: objective '", objective.name,
                     "' optimal cost ", *cost);
         result.costs.push_back(*cost);
+        if (unknown) {
+            // Best-effort bound at this level; deeper levels would optimize
+            // against an unproven lock, so stop here with what we have.
+            result.unknown = true;
+            break;
+        }
     }
     result.feasible = true;
     // When there are no objectives at all, still report hard feasibility.
     if (objectives.empty()) {
-        result.feasible =
-            builder.solver().solve(assumptions) == sat::SolveResult::Sat;
+        const sat::SolveResult r = builder.solver().solve(assumptions);
+        result.feasible = r == sat::SolveResult::Sat;
+        result.unknown = r == sat::SolveResult::Unknown;
     }
     return result;
 }

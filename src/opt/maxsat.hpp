@@ -39,8 +39,14 @@ struct Objective {
 };
 
 /// Costs per level (same order as the objectives); empty when infeasible.
+/// `unknown` is set when a solver budget/deadline/cancellation interrupted
+/// the search: either nothing is proven (feasible == false) or the reported
+/// costs are a best-effort bound rather than a proven optimum (anytime
+/// behaviour — the model for the best bound found so far stays loaded, and
+/// remaining objective levels are skipped).
 struct LexResult {
     bool feasible = false;
+    bool unknown = false;
     std::vector<std::int64_t> costs;
 };
 
@@ -49,9 +55,15 @@ struct LexResult {
 /// unsatisfiable; otherwise the optimal cost, with the optimal model loaded
 /// in the solver and the bound locked in as a hard constraint (so later
 /// optimization levels preserve it).
+///
+/// When the solver returns Unknown (budget, deadline, or cancellation),
+/// `*unknown` is set (if provided) and the search degrades gracefully:
+/// Unknown before any model → std::nullopt (feasibility unproven); Unknown
+/// mid-improvement → the best cost found so far, locked as usual.
 std::optional<std::int64_t> minimizeAndLock(encode::CnfBuilder& builder,
                                             std::span<const SoftConstraint> softs,
-                                            std::span<const sat::Lit> assumptions = {});
+                                            std::span<const sat::Lit> assumptions = {},
+                                            bool* unknown = nullptr);
 
 /// Runs minimizeAndLock for each objective in order.
 LexResult optimizeLex(encode::CnfBuilder& builder,

@@ -33,6 +33,7 @@ FeasibilityReport Engine::checkFeasible() {
             compilation_->describeTracks(session.backend().unsatCore().tracks);
     }
     lastStats_ = session.backend().stats();
+    lastUnknown_ = report.timedOut;
     return report;
 }
 
@@ -41,6 +42,7 @@ FeasibilityReport Engine::explainMinimalConflict() {
     FeasibilityReport report;
     SolverSession session = newSession();
     smt::Backend& backend = session.backend();
+    lastUnknown_ = false;
     const smt::CheckStatus first = backend.check();
     if (first == smt::CheckStatus::Sat) {
         report.feasible = true;
@@ -50,6 +52,7 @@ FeasibilityReport Engine::explainMinimalConflict() {
     if (first == smt::CheckStatus::Unknown) {
         report.timedOut = true;
         lastStats_ = backend.stats();
+        lastUnknown_ = true;
         return report;
     }
     std::vector<int> core = backend.unsatCore().tracks;
@@ -78,6 +81,7 @@ std::optional<Design> Engine::synthesize() {
     SolverSession session = newSession();
     const smt::CheckStatus status = session.backend().check();
     lastStats_ = session.backend().stats();
+    lastUnknown_ = status == smt::CheckStatus::Unknown;
     if (status != smt::CheckStatus::Sat) return std::nullopt;
     return session.extractDesign();
 }
@@ -88,6 +92,9 @@ std::optional<Design> Engine::optimize() {
     const smt::OptimizeResult result =
         session.backend().optimize(compilation_->objectives());
     lastStats_ = session.backend().stats();
+    // An interrupted optimize that still found a model returns that
+    // best-effort design; only "interrupted with nothing" counts as unknown.
+    lastUnknown_ = result.unknown && !result.feasible;
     if (!result.feasible) return std::nullopt;
     Design design = session.extractDesign();
     design.objectiveCosts = result.costs;
@@ -104,15 +111,21 @@ std::vector<Design> Engine::enumerateDesigns(int maxDesigns, bool optimizeFirst)
             session.backend().optimize(compilation_->objectives());
         if (!result.feasible) {
             lastStats_ = session.backend().stats();
+            lastUnknown_ = result.unknown;
             return designs;
         }
     }
+    smt::CheckStatus status = smt::CheckStatus::Sat;
     while (static_cast<int>(designs.size()) < maxDesigns) {
-        if (session.backend().check() != smt::CheckStatus::Sat) break;
+        status = session.backend().check();
+        if (status != smt::CheckStatus::Sat) break;
         designs.push_back(session.extractDesign());
         session.blockCurrentDesign();
     }
     lastStats_ = session.backend().stats();
+    // A partial enumeration is still an answer; only "interrupted before
+    // the first design" is unknown.
+    lastUnknown_ = designs.empty() && status == smt::CheckStatus::Unknown;
     return designs;
 }
 

@@ -80,6 +80,14 @@ public:
         return lastStats_;
     }
 
+    /// True when the most recent query method returned without an answer
+    /// because the solver gave up (deadline, conflict/propagation/memory
+    /// budget, or cancellation) — i.e. "no design" meant Unknown, not a
+    /// proven verdict. Results that did produce an answer (possibly
+    /// best-effort, e.g. an interrupted optimize() that found a model)
+    /// leave this false. The Service retry policy keys off this.
+    [[nodiscard]] bool lastQueryUnknown() const { return lastUnknown_; }
+
     [[nodiscard]] const QueryOptions& options() const { return options_; }
     [[nodiscard]] const Compilation& compilation() const { return *compilation_; }
     /// The compilation as a shareable handle (e.g. to seed another Engine).
@@ -98,6 +106,7 @@ private:
     std::shared_ptr<const Compilation> compilation_;
     QueryOptions options_;
     sat::SolverStats lastStats_;
+    bool lastUnknown_ = false;
 };
 
 // -- §5.1-style query helpers (compile + solve per call) ----------------------

@@ -8,6 +8,7 @@
 // [[deprecated]] shims.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "smt/backend.hpp"
@@ -21,10 +22,29 @@ struct QueryOptions {
     /// Z3 random_seed). 0 keeps the deterministic default; either way a
     /// fixed seed reproduces the identical answer.
     std::uint64_t seed = 0;
-    /// Wall-clock budget per solver call in milliseconds; 0 = unlimited.
+    /// Wall-clock budget in milliseconds; 0 = unlimited. Under the Service
+    /// this is an END-TO-END deadline measured from submission: queue wait
+    /// and compilation are deducted before the solver starts, and a request
+    /// that expires while still queued returns timedOut without solving.
+    /// Used directly (Engine, WhatIfSession) it bounds each solver call.
     /// On exhaustion feasibility reports carry timedOut and optimization
     /// returns nullopt.
     int timeoutMs = 0;
+    /// Conflict budget per solver call; -1 = unlimited. Exhaustion surfaces
+    /// like a timeout (timedOut / nullopt), and under the Service retry
+    /// policy triggers a reseeded re-solve.
+    std::int64_t conflictBudget = -1;
+    /// Propagation budget per solver call; -1 = unlimited (CDCL only).
+    std::int64_t propagationBudget = -1;
+    /// Learnt-clause arena cap in MiB; -1 = unlimited. The CDCL solver
+    /// reduces its database first and only gives up when everything left is
+    /// glue or locked; Z3 maps to max_memory where supported.
+    std::int64_t memoryBudgetMb = -1;
+    /// Cooperative cancellation: when non-null, flipping the flag (from any
+    /// thread) makes the query return Unknown/timedOut within a few solver
+    /// polling intervals. The flag is owned by the caller and must outlive
+    /// the query. Cancelled Service queries carry QueryResult::cancelled.
+    std::atomic<bool>* cancelFlag = nullptr;
     /// Collect a QueryTrace (times, solver statistics, cache outcome) for
     /// the query. Service honours this per request; Engine always keeps the
     /// cheap lastSolveStats() regardless.
@@ -41,6 +61,10 @@ struct QueryOptions {
         smt::BackendConfig config;
         config.seed = seed;
         config.timeoutMs = timeoutMs;
+        config.conflictBudget = conflictBudget;
+        config.propagationBudget = propagationBudget;
+        config.memoryBudgetMb = memoryBudgetMb;
+        config.cancelFlag = cancelFlag;
         config.progressEveryConflicts = progressEveryConflicts;
         return config;
     }

@@ -1,6 +1,8 @@
 #include "reason/service.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <optional>
 #include <utility>
 
@@ -8,7 +10,9 @@
 #include "obs/span.hpp"
 #include "reason/problem_io.hpp"
 #include "util/error.hpp"
+#include "util/fault_injector.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace lar::reason {
@@ -24,11 +28,31 @@ std::uint64_t fnv1a64(const std::string& s) {
     return h;
 }
 
+/// Maps an exception to the QueryError::errorKind vocabulary. Order matters:
+/// most-derived classes first (FaultInjectedError is a lar::Error).
+const char* errorKindOf(const std::exception& e) {
+    if (dynamic_cast<const util::FaultInjectedError*>(&e) != nullptr)
+        return "fault_injected";
+    if (dynamic_cast<const ParseError*>(&e) != nullptr) return "parse_error";
+    if (dynamic_cast<const EncodingError*>(&e) != nullptr)
+        return "encoding_error";
+    if (dynamic_cast<const LogicError*>(&e) != nullptr) return "logic_error";
+    if (dynamic_cast<const Error*>(&e) != nullptr) return "error";
+    return "exception";
+}
+
 /// Pre-interned handles into the global registry: interning locks once at
 /// first use, after which every query updates plain atomics.
 struct ServiceMetrics {
     obs::Counter& cacheHits;
     obs::Counter& cacheMisses;
+    obs::Counter& cacheEvictions;
+    obs::Counter& shed;
+    obs::Counter& cancelled;
+    obs::Counter& failed;
+    obs::Counter& retries;
+    obs::Counter& fallbacks;
+    obs::Counter& deadlineExpired;
     obs::Histogram& queryLatencyMs;
     obs::Histogram& compileMs;
     obs::Histogram& queueWaitMs;
@@ -48,6 +72,21 @@ struct ServiceMetrics {
                             "Compilation cache hits in Service::obtain"),
                 reg.counter("lar_cache_misses_total",
                             "Compilation cache misses in Service::obtain"),
+                reg.counter("lar_service_cache_evictions_total",
+                            "Compilations evicted from the Service LRU cache"),
+                reg.counter("lar_queries_shed_total",
+                            "Queries rejected or dropped by admission control"),
+                reg.counter("lar_queries_cancelled_total",
+                            "Queries stopped by their cancellation flag"),
+                reg.counter("lar_queries_failed_total",
+                            "Queries that ended with QueryResult::error"),
+                reg.counter("lar_query_retries_total",
+                            "Reseeded re-solves after an Unknown verdict"),
+                reg.counter("lar_backend_fallbacks_total",
+                            "Queries answered by CDCL after a Z3 failure"),
+                reg.counter("lar_queries_deadline_expired_total",
+                            "Queries whose end-to-end deadline expired before "
+                            "solving"),
                 reg.histogram("lar_query_latency_ms",
                               "End-to-end per-query latency in Service", msBounds),
                 reg.histogram("lar_compile_ms",
@@ -66,6 +105,26 @@ struct ServiceMetrics {
         return m;
     }
 };
+
+/// Milliseconds from now until `deadline` (negative when already past).
+double millisUntil(const std::chrono::steady_clock::time_point deadline) {
+    return std::chrono::duration<double, std::milli>(
+               deadline - std::chrono::steady_clock::now())
+        .count();
+}
+
+bool cancelRequested(const QueryOptions& options) {
+    return options.cancelFlag != nullptr &&
+           options.cancelFlag->load(std::memory_order_relaxed);
+}
+
+/// Attempt `n` (2, 3, …) of a query gets a derived, necessarily different
+/// seed so the re-solve explores another phase assignment.
+std::uint64_t deriveSeed(std::uint64_t base, int attempt) {
+    std::uint64_t state = base + static_cast<std::uint64_t>(attempt);
+    const std::uint64_t derived = util::splitmix64(state);
+    return derived == 0 ? 1 : derived;
+}
 
 } // namespace
 
@@ -93,6 +152,8 @@ Service::CacheKey Service::fingerprint(const Problem& problem) {
 Service::Service(const ServiceOptions& options)
     : options_(options), pool_(options.workers) {
     expects(options_.cacheCapacity > 0, "Service: cacheCapacity must be > 0");
+    expects(options_.retry.maxAttempts >= 1,
+            "Service: retry.maxAttempts must be >= 1");
 }
 
 std::shared_ptr<const Compilation> Service::obtain(const Problem& problem,
@@ -116,6 +177,7 @@ std::shared_ptr<const Compilation> Service::obtain(const Problem& problem,
     // Compile outside the lock: concurrent misses on *different* problems
     // proceed in parallel. Two threads missing the same key both compile;
     // the loser adopts the winner's (identical) entry.
+    util::FaultInjector::global().maybeFault("service.compile");
     util::Stopwatch compileTimer;
     auto compiled = std::make_shared<const Compilation>(problem);
     compileMs = compileTimer.millis();
@@ -125,11 +187,13 @@ std::shared_ptr<const Compilation> Service::obtain(const Problem& problem,
     const std::lock_guard<std::mutex> lock(cacheMutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) return it->second->second;
+    util::FaultInjector::global().maybeFault("service.cache_insert");
     lru_.emplace_front(key, std::move(compiled));
     index_.emplace(key, lru_.begin());
     while (lru_.size() > options_.cacheCapacity) {
         index_.erase(lru_.back().first);
         lru_.pop_back();
+        ServiceMetrics::get().cacheEvictions.inc();
     }
     return lru_.front().second;
 }
@@ -142,10 +206,137 @@ std::shared_ptr<const Compilation> Service::compilationFor(
 }
 
 QueryResult Service::run(const QueryRequest& request) {
-    return runTimed(request, /*queueWaitMs=*/0.0);
+    std::optional<Clock::time_point> deadline;
+    if (request.options.timeoutMs > 0)
+        deadline = Clock::now() +
+                   std::chrono::milliseconds(request.options.timeoutMs);
+    return runTimed(request, /*queueWaitMs=*/0.0, deadline);
 }
 
-QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs) {
+QueryResult Service::makeShedResult(const QueryRequest& request) {
+    QueryResult result;
+    result.id = request.id;
+    result.kind = request.kind;
+    result.shed = true;
+    ServiceMetrics::get().shed.inc();
+    util::logLineJson(util::LogLevel::Info, "query_done",
+                      {{"id", result.id},
+                       {"kind", toString(request.kind)},
+                       {"verdict", "shed"}});
+    if (request.options.collectTrace) {
+        result.trace.id = request.id;
+        result.trace.kind = request.kind;
+        result.trace.backend = request.options.backend;
+        result.trace.shed = true;
+        result.trace.verdict = "shed";
+    }
+    return result;
+}
+
+void Service::solveWithPolicy(const QueryRequest& request,
+                              std::shared_ptr<const Compilation> compilation,
+                              const std::optional<Clock::time_point>& deadline,
+                              QueryResult& result, std::string& verdict) {
+    ServiceMetrics& metrics = ServiceMetrics::get();
+    QueryOptions effective = request.options;
+    bool fellBack = false;
+    int attempt = 0;
+    while (true) {
+        ++attempt;
+        if (deadline.has_value()) {
+            // timeoutMs is end-to-end: each attempt only gets what is left.
+            const double left = millisUntil(*deadline);
+            if (left <= 0.0) {
+                result.timedOut = true;
+                verdict = "unknown";
+                metrics.deadlineExpired.inc();
+                return;
+            }
+            effective.timeoutMs =
+                std::max(1, static_cast<int>(std::ceil(left)));
+        }
+        try {
+            util::FaultInjector::global().maybeFault("service.solve");
+            Engine engine(compilation, effective);
+            switch (request.kind) {
+                case QueryKind::Feasibility: {
+                    const FeasibilityReport report = engine.checkFeasible();
+                    result.feasible = report.feasible;
+                    result.timedOut = report.timedOut;
+                    result.conflictingRules = report.conflictingRules;
+                    verdict = report.timedOut
+                                  ? "unknown"
+                                  : (report.feasible ? "sat" : "unsat");
+                    break;
+                }
+                case QueryKind::Explain: {
+                    const FeasibilityReport report =
+                        engine.explainMinimalConflict();
+                    result.feasible = report.feasible;
+                    result.timedOut = report.timedOut;
+                    result.conflictingRules = report.conflictingRules;
+                    verdict = report.timedOut
+                                  ? "unknown"
+                                  : (report.feasible ? "sat" : "unsat");
+                    break;
+                }
+                case QueryKind::Synthesize: {
+                    result.design = engine.synthesize();
+                    result.feasible = result.design.has_value();
+                    verdict = result.feasible ? "sat" : "unsat";
+                    break;
+                }
+                case QueryKind::Optimize: {
+                    result.design = engine.optimize();
+                    result.feasible = result.design.has_value();
+                    verdict = result.feasible ? "sat" : "unsat";
+                    break;
+                }
+                case QueryKind::Enumerate: {
+                    result.designs = engine.enumerateDesigns(
+                        request.maxDesigns, /*optimizeFirst=*/true);
+                    result.feasible = !result.designs.empty();
+                    verdict = std::to_string(result.designs.size()) + " designs";
+                    break;
+                }
+            }
+            result.trace.stats = engine.lastSolveStats();
+            if (!engine.lastQueryUnknown()) return;
+            result.timedOut = true;
+            verdict = "unknown";
+            if (cancelRequested(effective)) {
+                result.cancelled = true;
+                verdict = "cancelled";
+                metrics.cancelled.inc();
+                return;
+            }
+            if (deadline.has_value() && millisUntil(*deadline) <= 0.0)
+                return; // the end-to-end budget is spent; no point retrying
+            if (!options_.retry.reseedOnUnknown ||
+                attempt >= options_.retry.maxAttempts)
+                return;
+            effective.seed = deriveSeed(request.options.seed, attempt);
+            ++result.retries;
+            metrics.retries.inc();
+        } catch (const std::exception&) {
+            // Graceful degradation: a Z3 query whose backend is unavailable
+            // or faults is re-answered by the built-in CDCL stack, once.
+            if (options_.retry.fallbackToCdcl &&
+                effective.backend == smt::BackendKind::Z3 && !fellBack) {
+                fellBack = true;
+                result.backendFellBack = true;
+                metrics.fallbacks.inc();
+                effective.backend = smt::BackendKind::Cdcl;
+                --attempt; // the fallback re-solve is not a retry attempt
+                continue;
+            }
+            throw;
+        }
+    }
+}
+
+QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
+                              std::optional<Clock::time_point> deadline) {
     util::Stopwatch totalTimer;
     QueryResult result;
     result.id = request.id;
@@ -163,59 +354,46 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs) {
         querySpan.emplace("query");
     }
 
+    ServiceMetrics& metrics = ServiceMetrics::get();
     bool cacheHit = false;
     double compileMs = 0.0;
-    const std::shared_ptr<const Compilation> compilation =
-        obtain(request.problem, cacheHit, compileMs);
-
-    Engine engine(compilation, request.options);
-    util::Stopwatch solveTimer;
+    double solveMs = 0.0;
     std::string verdict;
-    switch (request.kind) {
-        case QueryKind::Feasibility: {
-            const FeasibilityReport report = engine.checkFeasible();
-            result.feasible = report.feasible;
-            result.timedOut = report.timedOut;
-            result.conflictingRules = report.conflictingRules;
-            verdict = report.timedOut ? "unknown"
-                                      : (report.feasible ? "sat" : "unsat");
-            break;
+
+    try {
+        if (cancelRequested(request.options)) {
+            // Cancelled while queued: report without doing any work.
+            result.cancelled = true;
+            result.timedOut = true;
+            verdict = "cancelled";
+            metrics.cancelled.inc();
+        } else if (deadline.has_value() && millisUntil(*deadline) <= 0.0) {
+            // Expired while queued: timedOut without solving.
+            result.timedOut = true;
+            verdict = "unknown";
+            metrics.deadlineExpired.inc();
+        } else {
+            const std::shared_ptr<const Compilation> compilation =
+                obtain(request.problem, cacheHit, compileMs);
+            util::Stopwatch solveTimer;
+            // solveWithPolicy re-checks the deadline, so compile time is
+            // deducted from the solver's budget automatically.
+            solveWithPolicy(request, compilation, deadline, result, verdict);
+            solveMs = solveTimer.millis();
         }
-        case QueryKind::Explain: {
-            const FeasibilityReport report = engine.explainMinimalConflict();
-            result.feasible = report.feasible;
-            result.timedOut = report.timedOut;
-            result.conflictingRules = report.conflictingRules;
-            verdict = report.timedOut ? "unknown"
-                                      : (report.feasible ? "sat" : "unsat");
-            break;
-        }
-        case QueryKind::Synthesize: {
-            result.design = engine.synthesize();
-            result.feasible = result.design.has_value();
-            verdict = result.feasible ? "sat" : "unsat";
-            break;
-        }
-        case QueryKind::Optimize: {
-            result.design = engine.optimize();
-            result.feasible = result.design.has_value();
-            verdict = result.feasible ? "sat" : "unsat";
-            break;
-        }
-        case QueryKind::Enumerate: {
-            result.designs =
-                engine.enumerateDesigns(request.maxDesigns, /*optimizeFirst=*/true);
-            result.feasible = !result.designs.empty();
-            verdict = std::to_string(result.designs.size()) + " designs";
-            break;
-        }
+    } catch (const std::exception& e) {
+        // Failure isolation: no query ever throws out of the Service.
+        result.error.ok = false;
+        result.error.errorKind = errorKindOf(e);
+        result.error.message = e.what();
+        verdict = "error";
+        metrics.failed.inc();
     }
-    const double solveMs = solveTimer.millis();
+
     querySpan.reset(); // close "query" before exporting the tree
     scopedTrace.reset();
     const double totalMs = totalTimer.millis();
 
-    ServiceMetrics& metrics = ServiceMetrics::get();
     metrics.queries(request.kind).inc();
     metrics.queryLatencyMs.observe(totalMs);
     if (queueWaitMs > 0.0) metrics.queueWaitMs.observe(queueWaitMs);
@@ -226,7 +404,11 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs) {
                        {"cache", cacheHit ? "hit" : "miss"},
                        {"verdict", verdict},
                        {"total_ms", totalMs},
-                       {"queue_wait_ms", queueWaitMs}});
+                       {"queue_wait_ms", queueWaitMs},
+                       {"retries", result.retries},
+                       {"cancelled", result.cancelled},
+                       {"backend_fallback", result.backendFellBack},
+                       {"error", result.error.errorKind}});
 
     if (request.options.collectTrace) {
         QueryTrace& trace = result.trace;
@@ -238,7 +420,12 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs) {
         trace.solveMs = solveMs;
         trace.totalMs = totalMs;
         trace.verdict = std::move(verdict);
-        trace.stats = engine.lastSolveStats();
+        trace.queueWaitMs = queueWaitMs;
+        trace.cancelled = result.cancelled;
+        trace.retries = result.retries;
+        trace.backendFellBack = result.backendFellBack;
+        trace.errorKind = result.error.errorKind;
+        trace.errorMessage = result.error.message;
         trace.spans = std::move(spanTrace);
     }
     return result;
@@ -249,18 +436,86 @@ std::vector<QueryResult> Service::runBatch(
     std::vector<std::future<QueryResult>> futures;
     futures.reserve(requests.size());
     // Hand the submitter's obs context to the workers so task spans nest
-    // under any span open here; capture submit time for queue-wait metrics.
+    // under any span open here; capture submit time for queue-wait metrics
+    // and for the per-request end-to-end deadlines.
     const obs::Context context = obs::currentContext();
-    const auto submitted = std::chrono::steady_clock::now();
+    const auto submitted = Clock::now();
+
+    // Admission control: one slot per request, claimed by the worker
+    // (Queued → Running) or by the shedder (Queued → Shed). runBatch joins
+    // every future before returning, so the worker lambdas may safely hold
+    // references to these locals and to `requests`.
+    constexpr int kQueued = 0, kRunning = 1, kShed = 2;
+    struct Slot {
+        std::atomic<int> state{0};
+    };
+    std::vector<Slot> slots(requests.size());
+    std::atomic<std::size_t> queued{0};
+
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const QueryRequest& request = requests[i];
-        futures.push_back(pool_.submit([this, &request, context, submitted]() {
-            const obs::ScopedContext scoped(context);
-            const double waitMs =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - submitted)
-                    .count();
-            return runTimed(request, waitMs);
+        std::optional<Clock::time_point> deadline;
+        if (request.options.timeoutMs > 0)
+            deadline = submitted +
+                       std::chrono::milliseconds(request.options.timeoutMs);
+
+        if (options_.maxQueueDepth > 0 &&
+            queued.load(std::memory_order_acquire) >= options_.maxQueueDepth) {
+            if (options_.shedPolicy == ShedPolicy::RejectNew) {
+                slots[i].state.store(kShed, std::memory_order_release);
+                std::promise<QueryResult> ready;
+                ready.set_value(makeShedResult(request));
+                futures.push_back(ready.get_future());
+                continue;
+            }
+            // DropOldest: shed the longest-queued request that has not
+            // started yet; when everything already runs, admit anyway.
+            for (std::size_t j = 0; j < i; ++j) {
+                int expected = kQueued;
+                if (slots[j].state.compare_exchange_strong(
+                        expected, kShed, std::memory_order_acq_rel)) {
+                    queued.fetch_sub(1, std::memory_order_acq_rel);
+                    break;
+                }
+            }
+        }
+
+        queued.fetch_add(1, std::memory_order_acq_rel);
+        futures.push_back(pool_.submit([this, &request, &slots, &queued, i,
+                                        context, submitted, deadline]() {
+            try {
+                // Latency-injection point (tests saturate the queue with
+                // it); fires while the task still counts as queued, so a
+                // delayed task remains eligible for DropOldest shedding.
+                util::FaultInjector::global().maybeFault("service.task_start");
+                int expected = kQueued;
+                if (!slots[i].state.compare_exchange_strong(
+                        expected, kRunning, std::memory_order_acq_rel)) {
+                    // Shed while waiting: report it, never drop silently.
+                    return makeShedResult(request);
+                }
+                queued.fetch_sub(1, std::memory_order_acq_rel);
+                const obs::ScopedContext scoped(context);
+                const double waitMs =
+                    std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              submitted)
+                        .count();
+                return runTimed(request, waitMs, deadline);
+            } catch (const std::exception& e) {
+                // Only pre-claim faults land here (runTimed never throws).
+                int expected = kQueued;
+                if (slots[i].state.compare_exchange_strong(
+                        expected, kRunning, std::memory_order_acq_rel))
+                    queued.fetch_sub(1, std::memory_order_acq_rel);
+                QueryResult result;
+                result.id = request.id;
+                result.kind = request.kind;
+                result.error.ok = false;
+                result.error.errorKind = errorKindOf(e);
+                result.error.message = e.what();
+                ServiceMetrics::get().failed.inc();
+                return result;
+            }
         }));
     }
     std::vector<QueryResult> results;

@@ -30,6 +30,7 @@
 // stale entries can never be served (they only age out of the LRU).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -47,11 +48,41 @@
 
 namespace lar::reason {
 
+/// What to do with new work when the batch queue is full (see
+/// ServiceOptions::maxQueueDepth).
+enum class ShedPolicy {
+    RejectNew,  ///< refuse the incoming request (it comes back `shed`)
+    DropOldest, ///< drop the longest-queued not-yet-started request instead
+};
+
+/// Bounded retry/degradation policy applied per query by the Service.
+struct RetryPolicy {
+    /// Total solve attempts per query (1 = no retry). Further attempts run
+    /// only when the previous one returned Unknown through a non-deadline
+    /// budget — retrying after the end-to-end deadline or a cancellation
+    /// would be pointless.
+    int maxAttempts = 1;
+    /// Re-solve Unknown verdicts with a derived (different) seed, the
+    /// portfolio trick: another phase assignment often escapes the region
+    /// that exhausted the budget.
+    bool reseedOnUnknown = true;
+    /// When the Z3 backend is unavailable or throws, answer with the
+    /// built-in CDCL backend instead (QueryResult::backendFellBack is set).
+    bool fallbackToCdcl = true;
+};
+
 struct ServiceOptions {
     /// Max cached compilations; least-recently-used entries are evicted.
     std::size_t cacheCapacity = 32;
     /// Worker threads for runBatch(); 0 = hardware concurrency.
     unsigned workers = 0;
+    /// Admission control for runBatch(): max requests waiting to start
+    /// (0 = unbounded). At saturation `shedPolicy` decides who is shed;
+    /// shed queries come back with QueryResult::shed set — never silently
+    /// dropped.
+    std::size_t maxQueueDepth = 0;
+    ShedPolicy shedPolicy = ShedPolicy::RejectNew;
+    RetryPolicy retry;
 };
 
 /// One query in a batch.
@@ -63,12 +94,29 @@ struct QueryRequest {
     QueryOptions options;
 };
 
+/// Per-query failure record. Queries never throw out of run()/runBatch():
+/// any exception (organic or injected) is caught into this struct so one
+/// poisoned problem cannot kill a batch.
+struct QueryError {
+    bool ok = true;          ///< false when the query failed with an exception
+    std::string errorKind;   ///< "parse_error" / "encoding_error" /
+                             ///< "logic_error" / "fault_injected" / ...
+    std::string message;     ///< the exception's what()
+};
+
 /// Outcome of one query; which fields are filled depends on the kind.
 struct QueryResult {
     std::string id;
     QueryKind kind = QueryKind::Optimize;
     bool feasible = false;
     bool timedOut = false;
+    /// Failure isolation: error.ok is false when this query threw (the
+    /// other verdict fields are then meaningless).
+    QueryError error;
+    bool shed = false;      ///< rejected/dropped by admission control
+    bool cancelled = false; ///< QueryOptions::cancelFlag observed
+    int retries = 0;        ///< reseeded re-solves performed after Unknown
+    bool backendFellBack = false; ///< Z3 failed → CDCL answered instead
     std::optional<Design> design;              ///< Synthesize/Optimize
     std::vector<Design> designs;               ///< Enumerate
     std::vector<std::string> conflictingRules; ///< Feasibility/Explain
@@ -118,12 +166,27 @@ private:
     using LruList =
         std::list<std::pair<CacheKey, std::shared_ptr<const Compilation>>>;
 
+    using Clock = std::chrono::steady_clock;
+
     [[nodiscard]] static CacheKey fingerprint(const Problem& problem);
     [[nodiscard]] std::shared_ptr<const Compilation> obtain(
         const Problem& problem, bool& cacheHit, double& compileMs);
-    /// run() with a known queue wait (runBatch measures submit → start).
+    /// run() with a known queue wait (runBatch measures submit → start) and
+    /// the end-to-end deadline fixed at submission time. Never throws:
+    /// exceptions land in QueryResult::error.
     [[nodiscard]] QueryResult runTimed(const QueryRequest& request,
-                                       double queueWaitMs);
+                                       double queueWaitMs,
+                                       std::optional<Clock::time_point> deadline);
+    /// The solve attempt loop: retries on Unknown per RetryPolicy, falls
+    /// back Z3 → CDCL on backend failure. Fills the verdict-dependent
+    /// fields of `result` (and trace.stats). Throws on unrecoverable error.
+    void solveWithPolicy(const QueryRequest& request,
+                         std::shared_ptr<const Compilation> compilation,
+                         const std::optional<Clock::time_point>& deadline,
+                         QueryResult& result, std::string& verdict);
+    /// A `shed` result for a request rejected/dropped by admission control;
+    /// counts, logs, and fills the trace so shedding is never silent.
+    [[nodiscard]] static QueryResult makeShedResult(const QueryRequest& request);
 
     ServiceOptions options_;
     util::ThreadPool pool_;

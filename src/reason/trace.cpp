@@ -35,6 +35,17 @@ json::Value toJson(const QueryTrace& trace) {
     v["solve_ms"] = trace.solveMs;
     v["total_ms"] = trace.totalMs;
     v["verdict"] = trace.verdict;
+    v["queue_wait_ms"] = trace.queueWaitMs;
+    v["shed"] = trace.shed;
+    v["cancelled"] = trace.cancelled;
+    v["retries"] = static_cast<std::int64_t>(trace.retries);
+    v["backend_fallback"] = trace.backendFellBack;
+    if (!trace.errorKind.empty()) {
+        json::Value error;
+        error["kind"] = trace.errorKind;
+        error["message"] = trace.errorMessage;
+        v["error"] = std::move(error);
+    }
     json::Value stats;
     stats["decisions"] = static_cast<std::int64_t>(trace.stats.decisions);
     stats["propagations"] = static_cast<std::int64_t>(trace.stats.propagations);

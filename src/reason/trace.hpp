@@ -21,7 +21,9 @@ namespace lar::reason {
 /// Version of the toJson(QueryTrace) schema, emitted as "schema". Bump on
 /// any incompatible change; additive fields keep the version. The full
 /// schema is documented in DESIGN.md ("QueryTrace JSON schema").
-inline constexpr int kQueryTraceSchemaVersion = 2;
+/// v3 adds the robustness fields: queue_wait_ms, shed, cancelled, retries,
+/// backend_fallback, and the error object.
+inline constexpr int kQueryTraceSchemaVersion = 3;
 
 /// The query shapes the Service answers (Engine methods, by name).
 enum class QueryKind { Feasibility, Explain, Synthesize, Optimize, Enumerate };
@@ -39,7 +41,15 @@ struct QueryTrace {
     double compileMs = 0.0; ///< problem → formulas (0 ≈ cache hit)
     double solveMs = 0.0;   ///< backend construction + search
     double totalMs = 0.0;
-    std::string verdict; ///< "sat" / "unsat" / "unknown" / "N designs"
+    std::string verdict; ///< "sat" / "unsat" / "unknown" / "cancelled" /
+                         ///< "shed" / "error" / "N designs"
+    double queueWaitMs = 0.0; ///< submit → worker pickup (batch queries)
+    bool shed = false;        ///< rejected/dropped by admission control
+    bool cancelled = false;   ///< cancellation flag observed mid-query
+    int retries = 0;          ///< reseeded re-solves after Unknown
+    bool backendFellBack = false; ///< Z3 unavailable/faulted → CDCL answered
+    std::string errorKind;    ///< empty when the query succeeded
+    std::string errorMessage; ///< empty when the query succeeded
     sat::SolverStats stats; ///< search counters (exact CDCL, best-effort Z3)
     /// Hierarchical span tree for the query (query → compile/solve → backend
     /// checks, with solver progress samples). Null when span collection was

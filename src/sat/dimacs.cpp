@@ -8,6 +8,25 @@
 
 namespace lar::sat {
 
+namespace {
+
+// std::stoi throws std::invalid_argument / std::out_of_range; callers of
+// parseDimacs expect every malformed input to surface as ParseError.
+int parseIntToken(const std::string& tok, const char* what) {
+    std::size_t used = 0;
+    int value = 0;
+    try {
+        value = std::stoi(tok, &used);
+    } catch (const std::exception&) {
+        throw ParseError(std::string("dimacs: ") + what + " is not an integer: " + tok);
+    }
+    if (used != tok.size())
+        throw ParseError(std::string("dimacs: ") + what + " has trailing garbage: " + tok);
+    return value;
+}
+
+} // namespace
+
 Cnf parseDimacs(const std::string& text) {
     Cnf cnf;
     bool sawHeader = false;
@@ -23,14 +42,16 @@ Cnf parseDimacs(const std::string& text) {
             const auto fields = util::splitWhitespace(trimmed);
             if (fields.size() != 4 || fields[1] != "cnf")
                 throw ParseError("dimacs: malformed problem line: " + line);
-            cnf.numVars = std::stoi(fields[2]);
-            declaredClauses = std::stoi(fields[3]);
+            cnf.numVars = parseIntToken(fields[2], "variable count");
+            declaredClauses = parseIntToken(fields[3], "clause count");
+            if (cnf.numVars < 0 || declaredClauses < 0)
+                throw ParseError("dimacs: negative count in problem line: " + line);
             sawHeader = true;
             continue;
         }
         if (!sawHeader) throw ParseError("dimacs: clause before problem line");
         for (const std::string& tok : util::splitWhitespace(trimmed)) {
-            const int v = std::stoi(tok);
+            const int v = parseIntToken(tok, "literal");
             if (v == 0) {
                 cnf.clauses.push_back(current);
                 current.clear();

@@ -8,6 +8,18 @@
 
 namespace lar::sat {
 
+const char* toString(StopReason reason) {
+    switch (reason) {
+    case StopReason::None: return "none";
+    case StopReason::ConflictBudget: return "conflict_budget";
+    case StopReason::PropagationBudget: return "propagation_budget";
+    case StopReason::MemoryBudget: return "memory_budget";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::Cancelled: return "cancelled";
+    }
+    return "none";
+}
+
 // ---------------------------------------------------------------------------
 // Variable / clause creation
 // ---------------------------------------------------------------------------
@@ -144,6 +156,20 @@ Clause* Solver::propagate() {
     while (qhead_ < trail_.size()) {
         const Lit p = trail_[qhead_++];
         ++stats_.propagations;
+        // Long propagation streaks between decisions/conflicts must still
+        // honour budgets, the deadline, and cancellation: poll every 1024
+        // propagations (and exactly at the propagation budget) and let
+        // search() unwind via pendingStop_.
+        if ((propagationLimit_ >= 0 &&
+             static_cast<std::int64_t>(stats_.propagations) >=
+                 propagationLimit_) ||
+            (stats_.propagations & 1023U) == 0) {
+            const StopReason stop = limitExceeded();
+            if (stop != StopReason::None) {
+                pendingStop_ = stop;
+                return nullptr;
+            }
+        }
         auto& list = watches_[static_cast<std::size_t>(p.index())];
         std::size_t keep = 0;
         std::size_t i = 0;
@@ -437,6 +463,16 @@ void Solver::reduceLearntDb() {
         return toRemove.count(c.get()) > 0;
     });
     stats_.removedClauses += toRemove.size();
+    recomputeLearntBytes();
+}
+
+std::size_t Solver::clauseBytes(const Clause& c) {
+    return sizeof(Clause) + c.lits.capacity() * sizeof(Lit);
+}
+
+void Solver::recomputeLearntBytes() {
+    learntBytes_ = 0;
+    for (const auto& c : learnts_) learntBytes_ += clauseBytes(*c);
 }
 
 void Solver::removeSatisfiedAtLevelZero() {
@@ -452,6 +488,7 @@ void Solver::removeSatisfiedAtLevelZero() {
             return true;
         });
     }
+    recomputeLearntBytes();
 }
 
 // ---------------------------------------------------------------------------
@@ -543,6 +580,25 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
     if (hasDeadline_)
         deadline_ = solveStart_ + std::chrono::milliseconds(opts_.timeBudgetMs);
 
+    // Budgets are per-solve: convert relative budgets into absolute caps
+    // against the cumulative counters.
+    stopReason_ = StopReason::None;
+    pendingStop_ = StopReason::None;
+    conflictLimit_ =
+        opts_.conflictBudget < 0
+            ? -1
+            : static_cast<std::int64_t>(stats_.conflicts) + opts_.conflictBudget;
+    propagationLimit_ = opts_.propagationBudget < 0
+                            ? -1
+                            : static_cast<std::int64_t>(stats_.propagations) +
+                                  opts_.propagationBudget;
+    memoryBudgetBytes_ =
+        opts_.memoryBudgetMb < 0 ? -1 : opts_.memoryBudgetMb * 1024 * 1024;
+    if (opts_.cancelFlag && opts_.cancelFlag->load(std::memory_order_relaxed)) {
+        stopReason_ = StopReason::Cancelled;
+        return SolveResult::Unknown;
+    }
+
     const SolveResult result = search();
     if (result == SolveResult::Sat) model_ = assigns_;
     backtrackTo(0);
@@ -551,6 +607,19 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
 
 bool Solver::deadlineExpired() const {
     return hasDeadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+StopReason Solver::limitExceeded() const {
+    if (opts_.cancelFlag && opts_.cancelFlag->load(std::memory_order_relaxed))
+        return StopReason::Cancelled;
+    if (deadlineExpired()) return StopReason::Deadline;
+    if (conflictLimit_ >= 0 &&
+        static_cast<std::int64_t>(stats_.conflicts) >= conflictLimit_)
+        return StopReason::ConflictBudget;
+    if (propagationLimit_ >= 0 &&
+        static_cast<std::int64_t>(stats_.propagations) >= propagationLimit_)
+        return StopReason::PropagationBudget;
+    return StopReason::None;
 }
 
 void Solver::reportProgress() {
@@ -573,14 +642,18 @@ void Solver::reportProgress() {
 }
 
 SolveResult Solver::search() {
-    const std::int64_t conflictLimit =
-        opts_.conflictBudget < 0
-            ? -1
-            : static_cast<std::int64_t>(stats_.conflicts) + opts_.conflictBudget;
     std::vector<Lit> learnt;
 
     while (true) {
         Clause* conflict = propagate();
+        if (pendingStop_ != StopReason::None) {
+            // A limit tripped mid-propagation; the queue is left partially
+            // processed (the next solve() resumes it from qhead_).
+            stopReason_ = pendingStop_;
+            pendingStop_ = StopReason::None;
+            backtrackTo(0);
+            return SolveResult::Unknown;
+        }
         if (conflict != nullptr) {
             ++stats_.conflicts;
             ++conflictsSinceRestart_;
@@ -589,12 +662,11 @@ SolveResult Solver::search() {
                         static_cast<std::uint64_t>(opts_.progressEvery) ==
                     0)
                 reportProgress();
-            if (conflictLimit >= 0 &&
-                static_cast<std::int64_t>(stats_.conflicts) >= conflictLimit) {
-                backtrackTo(0);
-                return SolveResult::Unknown;
-            }
-            if (deadlineExpired()) {
+            // Every conflict polls every limit: budgets, deadline, and the
+            // cancellation flag share one cadence.
+            if (const StopReason stop = limitExceeded();
+                stop != StopReason::None) {
+                stopReason_ = stop;
                 backtrackTo(0);
                 return SolveResult::Unknown;
             }
@@ -628,11 +700,25 @@ SolveResult Solver::search() {
                 Clause* raw = clause.get();
                 attachClause(*raw);
                 clauseBumpActivity(*raw);
+                learntBytes_ += clauseBytes(*raw);
                 learnts_.push_back(std::move(clause));
                 enqueue(learnt[0], raw);
             }
             varDecayActivity();
             clauseDecayActivity();
+
+            if (memoryBudgetBytes_ >= 0 &&
+                static_cast<std::int64_t>(learntBytes_) > memoryBudgetBytes_) {
+                // Over the learnt-arena cap: reclaim first; if everything
+                // left is glue or locked, give up rather than grow further.
+                reduceLearntDb();
+                if (static_cast<std::int64_t>(learntBytes_) >
+                    memoryBudgetBytes_) {
+                    stopReason_ = StopReason::MemoryBudget;
+                    backtrackTo(0);
+                    return SolveResult::Unknown;
+                }
+            }
 
             if (opts_.useRestarts && conflictsSinceRestart_ >= restartLimit_) {
                 ++stats_.restarts;
@@ -667,9 +753,13 @@ SolveResult Solver::search() {
             continue;
         }
 
-        if ((stats_.decisions & 1023) == 0 && deadlineExpired()) {
-            backtrackTo(0);
-            return SolveResult::Unknown;
+        if ((stats_.decisions & 255) == 0) {
+            if (const StopReason stop = limitExceeded();
+                stop != StopReason::None) {
+                stopReason_ = stop;
+                backtrackTo(0);
+                return SolveResult::Unknown;
+            }
         }
         const Lit next = pickBranchLit();
         if (!next.isDefined()) return SolveResult::Sat;

@@ -17,6 +17,7 @@
 // flips the deepest unflipped decision on conflict.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -29,8 +30,22 @@
 
 namespace lar::sat {
 
-/// Outcome of a solve() call. Unknown is only returned when a budget is set.
+/// Outcome of a solve() call. Unknown is only returned when a budget,
+/// deadline, or cancellation flag is set (see Solver::stopReason()).
 enum class SolveResult { Sat, Unsat, Unknown };
+
+/// Why the last solve() returned Unknown (None after Sat/Unsat).
+enum class StopReason {
+    None,
+    ConflictBudget,
+    PropagationBudget,
+    MemoryBudget,
+    Deadline,
+    Cancelled,
+};
+
+/// Human-readable StopReason name ("conflict_budget", "deadline", …).
+[[nodiscard]] const char* toString(StopReason reason);
 
 /// A clause; learned clauses carry an LBD score and activity for DB reduction.
 struct Clause {
@@ -83,10 +98,23 @@ struct SolverOptions {
     double clauseDecay = 0.999;
     int restartBase = 100;          ///< conflicts per Luby unit
     std::int64_t conflictBudget = -1; ///< -1 = unlimited; else Unknown on exhaustion
+    /// Propagation budget per solve() call; -1 = unlimited. Bounds work even
+    /// on instances that propagate heavily without conflicting or deciding.
+    std::int64_t propagationBudget = -1;
+    /// Cap on the learnt-clause arena in MiB; -1 = unlimited. When learning
+    /// pushes past the cap the solver first forces a database reduction and,
+    /// if still over (everything left is glue/locked), stops with Unknown.
+    std::int64_t memoryBudgetMb = -1;
     /// Wall-clock budget per solve() call in milliseconds; -1 = unlimited.
     /// Checked at conflicts and periodically at decisions, so exhaustion
     /// returns Unknown within a few propagation batches of the deadline.
     std::int64_t timeBudgetMs = -1;
+    /// Cooperative cancellation: when non-null, the solver polls this flag on
+    /// the same cadence as the deadline (every conflict, every 256 decisions,
+    /// and periodically inside long propagation streaks) and returns Unknown
+    /// with StopReason::Cancelled shortly after it becomes true. The flag is
+    /// owned by the caller and may be flipped from any thread.
+    const std::atomic<bool>* cancelFlag = nullptr;
     /// Nonzero: initial phase of each variable is drawn deterministically
     /// from this seed instead of the all-false default. The search stays
     /// reproducible for a fixed seed; 0 keeps the classic polarity.
@@ -143,6 +171,10 @@ public:
     [[nodiscard]] bool inconsistent() const { return !ok_; }
 
     [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+    /// Why the most recent solve() returned Unknown; None after Sat/Unsat.
+    [[nodiscard]] StopReason stopReason() const { return stopReason_; }
+
     [[nodiscard]] const SolverOptions& options() const { return opts_; }
     SolverOptions& mutableOptions() { return opts_; }
 
@@ -220,6 +252,11 @@ private:
 
     static std::int64_t luby(std::int64_t i);
     [[nodiscard]] bool deadlineExpired() const;
+    /// Checks every stop condition (cancellation, deadline, conflict and
+    /// propagation budgets); returns the first that tripped, else None.
+    [[nodiscard]] StopReason limitExceeded() const;
+    static std::size_t clauseBytes(const Clause& c);
+    void recomputeLearntBytes();
     void reportProgress();
 
     // -- data ---------------------------------------------------------------
@@ -256,6 +293,12 @@ private:
     std::vector<lbool> model_;
 
     double maxLearnts_ = 0;
+    StopReason stopReason_ = StopReason::None;
+    StopReason pendingStop_ = StopReason::None; ///< set mid-propagate
+    std::int64_t conflictLimit_ = -1;     ///< absolute stats_.conflicts cap
+    std::int64_t propagationLimit_ = -1;  ///< absolute stats_.propagations cap
+    std::int64_t memoryBudgetBytes_ = -1; ///< learnt-arena cap in bytes
+    std::size_t learntBytes_ = 0;         ///< current learnt-arena footprint
     std::int64_t conflictsSinceRestart_ = 0;
     std::int64_t restartLimit_ = 0;
     int restartCount_ = 0;

@@ -2,6 +2,7 @@
 
 #include "smt/cdcl_backend.hpp"
 #include "util/error.hpp"
+#include "util/fault_injector.hpp"
 
 #if defined(LAR_HAVE_Z3)
 #include "smt/z3_backend.hpp"
@@ -19,6 +20,7 @@ bool haveZ3() {
 
 std::unique_ptr<Backend> makeBackend(BackendKind kind, const FormulaStore& store,
                                      const BackendConfig& config) {
+    util::FaultInjector::global().maybeFault("backend.construct");
     switch (kind) {
         case BackendKind::Cdcl: return std::make_unique<CdclBackend>(store, config);
         case BackendKind::Z3:

@@ -6,6 +6,7 @@
 // suite cross-checks their verdicts on random formulas.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -38,8 +39,13 @@ struct ObjectiveSpec {
 };
 
 /// Result of an optimize() call: per-level violation costs, in order.
+/// `unknown` is set when a budget/deadline/cancellation interrupted the
+/// search — either nothing is proven (feasible == false) or the costs are a
+/// best-effort bound with the matching model loaded (CDCL backend only; Z3
+/// reports interrupted optimization as infeasible+unknown).
 struct OptimizeResult {
     bool feasible = false;
+    bool unknown = false;
     std::vector<std::int64_t> costs;
 };
 
@@ -103,6 +109,19 @@ struct BackendConfig {
     /// On exhaustion checks return CheckStatus::Unknown and optimize()
     /// reports infeasible=false.
     int timeoutMs = 0;
+    /// Conflict budget per solver call; -1 = unlimited. CDCL maps this to
+    /// SolverOptions::conflictBudget; Z3 to max_conflicts where the linked
+    /// libz3 supports it (best effort).
+    std::int64_t conflictBudget = -1;
+    /// Propagation budget per solver call; -1 = unlimited (CDCL only).
+    std::int64_t propagationBudget = -1;
+    /// Learnt-clause arena cap in MiB; -1 = unlimited. CDCL enforces it via
+    /// SolverOptions::memoryBudgetMb; Z3 maps to max_memory (best effort).
+    std::int64_t memoryBudgetMb = -1;
+    /// Cooperative cancellation flag, polled on the deadline cadence by the
+    /// CDCL solver. The Z3 backend checks it at call entry only (coarse).
+    /// Owned by the caller; may be flipped from any thread.
+    const std::atomic<bool>* cancelFlag = nullptr;
     /// Fire `progressFn` every this many conflicts during CDCL search
     /// (0 = never). Observation only: verdicts, models, and costs are
     /// identical with probes on or off. Z3 exposes no equivalent hook, so

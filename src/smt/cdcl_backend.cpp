@@ -245,8 +245,10 @@ OptimizeResult CdclBackend::optimize(std::span<const ObjectiveSpec> objectives,
     const opt::LexResult lex = opt::optimizeLex(builder_, levels, assume);
     OptimizeResult result;
     result.feasible = lex.feasible;
+    result.unknown = lex.unknown;
     result.costs = lex.costs;
-    if (!lex.feasible) captureCore(assumptions);
+    // Interrupted searches proved nothing, so there is no core to capture.
+    if (!lex.feasible && !lex.unknown) captureCore(assumptions);
     return result;
 }
 

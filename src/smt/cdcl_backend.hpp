@@ -17,6 +17,10 @@ public:
         sat::SolverOptions& opts = solver_.mutableOptions();
         opts.randomSeed = config.seed;
         opts.timeBudgetMs = config.timeoutMs > 0 ? config.timeoutMs : -1;
+        opts.conflictBudget = config.conflictBudget;
+        opts.propagationBudget = config.propagationBudget;
+        opts.memoryBudgetMb = config.memoryBudgetMb;
+        opts.cancelFlag = config.cancelFlag;
         opts.progressEvery = config.progressEveryConflicts;
         opts.progressFn = config.progressFn;
     }

@@ -20,6 +20,29 @@ Z3Backend::Z3Backend(const FormulaStore& store, const BackendConfig& config)
                        static_cast<unsigned>(config_.seed & 0xFFFFFFFFu));
         solver_.set(params);
     }
+    // Resource budgets are applied one param at a time so an unsupported
+    // name in the linked libz3 degrades to "unlimited" instead of discarding
+    // the whole parameter set.
+    if (config_.conflictBudget >= 0) {
+        try {
+            z3::params params(ctx_);
+            params.set("max_conflicts",
+                       static_cast<unsigned>(std::min<std::int64_t>(
+                           config_.conflictBudget, 0xFFFFFFFFLL)));
+            solver_.set(params);
+        } catch (const z3::exception&) {
+        }
+    }
+    if (config_.memoryBudgetMb > 0) {
+        try {
+            z3::params params(ctx_);
+            params.set("max_memory",
+                       static_cast<unsigned>(std::min<std::int64_t>(
+                           config_.memoryBudgetMb, 0xFFFFFFFFLL)));
+            solver_.set(params);
+        } catch (const z3::exception&) {
+        }
+    }
 }
 
 void Z3Backend::collectStats(const z3::stats& st) {
@@ -131,6 +154,7 @@ void Z3Backend::captureCore(const z3::expr_vector& core,
 CheckStatus Z3Backend::checkWithTracks(std::span<const int> activeTracks,
                                        std::span<const NodeId> assumptions) {
     const obs::Span span("check");
+    if (cancelled()) return CheckStatus::Unknown;
     z3::expr_vector assume(ctx_);
     for (const auto& [track, selector] : selectors_) {
         if (std::find(activeTracks.begin(), activeTracks.end(), track) !=
@@ -154,6 +178,7 @@ CheckStatus Z3Backend::checkWithTracks(std::span<const int> activeTracks,
 
 CheckStatus Z3Backend::check(std::span<const NodeId> assumptions) {
     const obs::Span span("check");
+    if (cancelled()) return CheckStatus::Unknown;
     z3::expr_vector assume(ctx_);
     for (const auto& [track, selector] : selectors_) assume.push_back(selector);
     for (const NodeId a : assumptions) assume.push_back(toExpr(a));
@@ -184,6 +209,11 @@ bool Z3Backend::modelValue(NodeId var) const {
 OptimizeResult Z3Backend::optimize(std::span<const ObjectiveSpec> objectives,
                                    std::span<const NodeId> assumptions) {
     const obs::Span span("optimize");
+    if (cancelled()) {
+        OptimizeResult result;
+        result.unknown = true;
+        return result;
+    }
     z3::optimize opt(ctx_);
     z3::params params(ctx_);
     params.set("priority", ctx_.str_symbol("lex"));
@@ -208,6 +238,7 @@ OptimizeResult Z3Backend::optimize(std::span<const ObjectiveSpec> objectives,
     OptimizeResult result;
     const z3::check_result verdict = opt.check();
     collectStats(opt.statistics());
+    result.unknown = verdict == z3::unknown;
     if (verdict != z3::sat) return result;
     model_ = std::make_unique<z3::model>(opt.get_model());
     result.feasible = true;

@@ -29,6 +29,13 @@ public:
     [[nodiscard]] sat::SolverStats stats() const override { return collected_; }
 
 private:
+    /// Coarse cancellation: checked at check/optimize entry only (Z3 offers
+    /// no safe mid-search poll through the params API we rely on).
+    [[nodiscard]] bool cancelled() const {
+        return config_.cancelFlag != nullptr &&
+               config_.cancelFlag->load(std::memory_order_relaxed);
+    }
+
     z3::expr toExpr(NodeId id);
     z3::expr varExpr(NodeId id);
     void captureCore(const z3::expr_vector& core,

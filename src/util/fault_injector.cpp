@@ -1,0 +1,118 @@
+#include "util/fault_injector.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace lar::util {
+
+FaultInjector& FaultInjector::global() {
+    static FaultInjector injector;
+    return injector;
+}
+
+FaultInjector::Site& FaultInjector::entry(std::string_view site) {
+    const auto it = sites_.find(site);
+    if (it != sites_.end()) return it->second;
+    return sites_.emplace(std::string(site), Site{}).first->second;
+}
+
+void FaultInjector::recount() {
+    int armed = 0;
+    for (const auto& [name, site] : sites_)
+        if (site.armed) ++armed;
+    armedSites_.store(armed, std::memory_order_relaxed);
+}
+
+void FaultInjector::armProbability(std::string_view site, double probability,
+                                   std::uint64_t seed) {
+    expects(probability >= 0.0 && probability <= 1.0,
+            "FaultInjector: probability must be in [0, 1]");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Site& s = entry(site);
+    s.armed = true;
+    s.probability = probability;
+    s.rngState = seed;
+    s.nth = 0;
+    s.delayMs = 0;
+    recount();
+}
+
+void FaultInjector::armNthHit(std::string_view site, std::uint64_t nth) {
+    expects(nth > 0, "FaultInjector: nth is 1-based and must be positive");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Site& s = entry(site);
+    s.armed = true;
+    s.probability = 0.0;
+    s.nth = nth;
+    s.delayMs = 0;
+    recount();
+}
+
+void FaultInjector::armDelayMs(std::string_view site, int delayMs) {
+    expects(delayMs >= 0, "FaultInjector: delay must be non-negative");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Site& s = entry(site);
+    s.armed = true;
+    s.probability = 0.0;
+    s.nth = 0;
+    s.delayMs = delayMs;
+    recount();
+}
+
+void FaultInjector::disarm(std::string_view site) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) return;
+    it->second.armed = false;
+    recount();
+}
+
+void FaultInjector::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sites_.clear();
+    armedSites_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hitCount;
+}
+
+void FaultInjector::maybeFault(std::string_view site) {
+    if (armedSites_.load(std::memory_order_relaxed) == 0) return;
+
+    bool fire = false;
+    int delayMs = 0;
+    std::uint64_t hit = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = sites_.find(site);
+        if (it == sites_.end() || !it->second.armed) return;
+        Site& s = it->second;
+        hit = ++s.hitCount;
+        if (s.nth > 0 && hit == s.nth) {
+            fire = true;
+            s.armed = false; // Nth-hit sites fire once
+            recount();
+        } else if (s.probability > 0.0) {
+            // splitmix64 output folded to [0, 1), same scaling as Rng::uniform.
+            const std::uint64_t draw = splitmix64(s.rngState);
+            fire = static_cast<double>(draw >> 11) *
+                       (1.0 / 9007199254740992.0) <
+                   s.probability;
+        }
+        delayMs = s.delayMs;
+    }
+    // Sleep and throw outside the lock so a slow or throwing site never
+    // blocks other sites (or the same site on other threads).
+    if (delayMs > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+    if (fire)
+        throw FaultInjectedError("fault injected at " + std::string(site) +
+                                 " (hit " + std::to_string(hit) + ")");
+}
+
+} // namespace lar::util

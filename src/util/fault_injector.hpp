@@ -1,0 +1,94 @@
+// Deterministic fault injection for failure-path testing.
+//
+// Production code sprinkles named injection sites (`maybeFault("service.compile")`)
+// at the places most likely to fail in the wild: compilation, cache insertion,
+// backend construction, and solving. The injector is compiled in but default-off;
+// the fast path of an un-armed process is a single relaxed atomic load, so the
+// sites cost nothing when tests are not driving them.
+//
+// Tests arm sites in one of three modes:
+//   * probability — every hit draws from a seeded per-site RNG stream, so a
+//     given (seed, hit-sequence) always faults at the same hits;
+//   * Nth-hit — the site throws exactly once, on its Nth consultation, then
+//     disarms itself (for "1 of N queries fails" batch-isolation tests);
+//   * delay — the site sleeps for a fixed duration on every hit (latency
+//     injection, used to saturate queues deterministically).
+//
+// Injected faults throw FaultInjectedError, a lar::Error subclass, so they
+// exercise exactly the catch paths real errors take.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace lar::util {
+
+/// Thrown by an armed injection site. Derives lar::Error so fault-injection
+/// tests exercise the same handling as organic failures.
+class FaultInjectedError : public Error {
+public:
+    explicit FaultInjectedError(const std::string& what) : Error(what) {}
+};
+
+/// Process-wide registry of injection sites. Thread-safe; see file comment.
+class FaultInjector {
+public:
+    /// The process-wide injector consulted by every `maybeFault` site.
+    static FaultInjector& global();
+
+    /// Arms `site` to throw with probability `probability` per hit, drawn
+    /// from a deterministic stream seeded by `seed`.
+    void armProbability(std::string_view site, double probability,
+                        std::uint64_t seed);
+
+    /// Arms `site` to throw exactly once, on its `nth` hit (1-based), then
+    /// stay silent.
+    void armNthHit(std::string_view site, std::uint64_t nth);
+
+    /// Arms `site` to sleep `delayMs` milliseconds on every hit.
+    void armDelayMs(std::string_view site, int delayMs);
+
+    /// Disarms one site (its hit counter is kept until reset()).
+    void disarm(std::string_view site);
+
+    /// Disarms every site and clears all hit counters.
+    void reset();
+
+    /// Number of times `site` has been consulted since it was first armed.
+    [[nodiscard]] std::uint64_t hits(std::string_view site) const;
+
+    /// True when at least one site is armed.
+    [[nodiscard]] bool anyArmed() const {
+        return armedSites_.load(std::memory_order_relaxed) > 0;
+    }
+
+    /// Injection point. No-op (one relaxed load) while nothing is armed;
+    /// otherwise counts the hit and applies the site's armed behaviour.
+    /// Throws FaultInjectedError when the site fires.
+    void maybeFault(std::string_view site);
+
+private:
+    struct Site {
+        bool armed = false;
+        double probability = 0.0;    ///< per-hit fault probability (0 = off)
+        std::uint64_t rngState = 0;  ///< splitmix64 stream for `probability`
+        std::uint64_t nth = 0;       ///< 1-based trigger hit (0 = off)
+        int delayMs = 0;             ///< sleep per hit (0 = off)
+        std::uint64_t hitCount = 0;
+    };
+
+    Site& entry(std::string_view site);
+    void recount();
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Site, std::less<>> sites_;
+    std::atomic<int> armedSites_{0};
+};
+
+} // namespace lar::util

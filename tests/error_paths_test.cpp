@@ -1,0 +1,137 @@
+// Error-path coverage: malformed inputs and precondition violations must
+// throw the *typed* lar::Error subclass the API documents, with messages
+// specific enough to act on — not a bare std::exception or a crash.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "catalog/catalog.hpp"
+#include "reason/engine.hpp"
+#include "reason/problem_io.hpp"
+#include "reason/service.hpp"
+#include "sat/dimacs.hpp"
+#include "util/error.hpp"
+
+namespace lar {
+namespace {
+
+// Asserts `fn()` throws exactly `E` (not a broader base) and that the
+// message mentions `needle` — a useless "error" message is a bug too.
+template <typename E, typename Fn>
+void expectThrowsWith(Fn&& fn, const std::string& needle) {
+    try {
+        fn();
+        FAIL() << "expected an exception mentioning '" << needle << "'";
+    } catch (const E& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "unhelpful message: " << e.what();
+    } catch (const std::exception& e) {
+        FAIL() << "wrong exception type: " << typeid(e).name() << " — "
+               << e.what();
+    }
+}
+
+// ------------------------------------------------------------- DIMACS
+
+TEST(ErrorPaths, DimacsMissingHeaderIsParseError) {
+    expectThrowsWith<ParseError>([] { (void)sat::parseDimacs("1 2 0\n"); },
+                                 "problem line");
+}
+
+TEST(ErrorPaths, DimacsGarbageTokenIsParseError) {
+    EXPECT_THROW((void)sat::parseDimacs("p cnf 2 1\n1 x 0\n"), ParseError);
+}
+
+TEST(ErrorPaths, DimacsVariableOutOfRangeIsParseError) {
+    EXPECT_THROW((void)sat::parseDimacs("p cnf 2 1\n1 7 0\n"), ParseError);
+}
+
+TEST(ErrorPaths, DimacsValidInputStillParses) {
+    const sat::Cnf cnf = sat::parseDimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+    EXPECT_EQ(cnf.numVars, 3);
+    EXPECT_EQ(cnf.clauses.size(), 2u);
+}
+
+// --------------------------------------------------- dangling KB references
+
+TEST(ErrorPaths, UnknownSystemLookupIsEncodingError) {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    expectThrowsWith<EncodingError>([&] { (void)kb.system("NoSuchSystem"); },
+                                    "NoSuchSystem");
+}
+
+TEST(ErrorPaths, UnknownHardwareLookupIsEncodingError) {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    expectThrowsWith<EncodingError>(
+        [&] { (void)kb.hardware("NoSuchModel 9000"); }, "NoSuchModel 9000");
+}
+
+TEST(ErrorPaths, ProblemPinningUnknownSystemIsEncodingError) {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    expectThrowsWith<EncodingError>(
+        [&] {
+            (void)reason::problemFromText(
+                R"({"hardware": {"server": {"count": 4}},
+                    "pinned_systems": {"NoSuchSystem": true}})",
+                kb);
+        },
+        "NoSuchSystem");
+}
+
+TEST(ErrorPaths, ProblemPinningUnknownModelIsEncodingError) {
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    expectThrowsWith<EncodingError>(
+        [&] {
+            (void)reason::problemFromText(
+                R"({"hardware": {"switch": {"count": 2,
+                                           "pinned_model": "Ghost Switch"}}})",
+                kb);
+        },
+        "Ghost Switch");
+}
+
+// ----------------------------------------------- precondition violations
+
+TEST(ErrorPaths, NullCompilationIsLogicError) {
+    expectThrowsWith<LogicError>(
+        [] { reason::Engine engine(std::shared_ptr<const reason::Compilation>{}); },
+        "compilation");
+}
+
+TEST(ErrorPaths, ProblemWithoutKbIsLogicError) {
+    reason::Problem p; // p.kb deliberately null
+    reason::Service service;
+    reason::QueryRequest r;
+    r.problem = p;
+    // The Service catches it (failure isolation) and reports the kind.
+    const reason::QueryResult result = service.run(r);
+    EXPECT_FALSE(result.error.ok);
+    EXPECT_EQ(result.error.errorKind, "logic_error");
+    EXPECT_NE(result.error.message.find("knowledge base"), std::string::npos);
+}
+
+TEST(ErrorPaths, ZeroCacheCapacityIsLogicError) {
+    reason::ServiceOptions options;
+    options.cacheCapacity = 0;
+    expectThrowsWith<LogicError>([&] { reason::Service service(options); },
+                                 "cacheCapacity");
+}
+
+TEST(ErrorPaths, NonPositiveRetryAttemptsIsLogicError) {
+    reason::ServiceOptions options;
+    options.retry.maxAttempts = 0;
+    expectThrowsWith<LogicError>([&] { reason::Service service(options); },
+                                 "maxAttempts");
+}
+
+TEST(ErrorPaths, TypedErrorsRemainCatchableAsLarError) {
+    // The whole hierarchy funnels into lar::Error — the contract larctl and
+    // the Service's errorKind mapping rely on.
+    EXPECT_THROW((void)sat::parseDimacs("nope"), Error);
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    EXPECT_THROW((void)kb.system("missing"), Error);
+    EXPECT_THROW(expects(false, "precondition"), Error);
+}
+
+} // namespace
+} // namespace lar

@@ -1,0 +1,455 @@
+// Robustness suite: resource budgets, cooperative cancellation, failure
+// isolation, admission control (shedding), bounded retry, and backend
+// fallback — driven deterministically through util::FaultInjector.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "catalog/catalog.hpp"
+#include "kb/objectives.hpp"
+#include "obs/metrics.hpp"
+#include "reason/service.hpp"
+#include "sat/solver.hpp"
+#include "testsupport.hpp"
+#include "util/fault_injector.hpp"
+#include "util/rng.hpp"
+
+namespace lar::reason {
+namespace {
+
+using kb::HardwareClass;
+using Clock = std::chrono::steady_clock;
+
+double msSince(const Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+using sat::loadCnf;
+
+class ServiceFaultTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        kb_ = new kb::KnowledgeBase(catalog::buildKnowledgeBase());
+    }
+    static void TearDownTestSuite() {
+        delete kb_;
+        kb_ = nullptr;
+    }
+    void SetUp() override { util::FaultInjector::global().reset(); }
+    void TearDown() override { util::FaultInjector::global().reset(); }
+
+    Problem caseStudyProblem() const {
+        Problem p = makeDefaultProblem(*kb_);
+        p.hardware[HardwareClass::Server].count = 60;
+        p.hardware[HardwareClass::Switch].count = 8;
+        p.hardware[HardwareClass::Nic].count = 60;
+        p.workloads = {catalog::makeInferenceWorkload()};
+        p.objectivePriority = {kb::kObjLatency, kb::kObjHardwareCost,
+                               kb::kObjMonitoring};
+        return p;
+    }
+
+    QueryRequest request(QueryKind kind, Problem problem,
+                         const std::string& id = "") const {
+        QueryRequest r;
+        r.id = id;
+        r.kind = kind;
+        r.problem = std::move(problem);
+        return r;
+    }
+
+    static kb::KnowledgeBase* kb_;
+};
+
+kb::KnowledgeBase* ServiceFaultTest::kb_ = nullptr;
+
+// ---------------------------------------------------------------- budgets
+
+TEST(SolverBudgets, ConflictBudgetStopsWithUnknown) {
+    // A near-phase-transition instance conflicts early; a 2-conflict budget
+    // must stop the search with the right StopReason, never a verdict.
+    util::Rng rng(7);
+    const sat::Cnf cnf = test::randomKSat(rng, 120, 516, 3);
+    sat::SolverOptions opts;
+    opts.conflictBudget = 2;
+    sat::Solver s(opts);
+    loadCnf(s, cnf);
+    const sat::SolveResult result = s.solve();
+    ASSERT_EQ(result, sat::SolveResult::Unknown);
+    EXPECT_EQ(s.stopReason(), sat::StopReason::ConflictBudget);
+    EXPECT_LE(s.stats().conflicts, 3u);
+
+    // The solver stays usable: lifting the budget finishes the instance.
+    s.mutableOptions().conflictBudget = -1;
+    EXPECT_NE(s.solve(), sat::SolveResult::Unknown);
+    EXPECT_EQ(s.stopReason(), sat::StopReason::None);
+}
+
+TEST(SolverBudgets, PropagationBudgetStopsWithUnknown) {
+    util::Rng rng(11);
+    const sat::Cnf cnf = test::randomKSat(rng, 150, 645, 3);
+    sat::SolverOptions opts;
+    opts.propagationBudget = 40;
+    sat::Solver s(opts);
+    loadCnf(s, cnf);
+    ASSERT_EQ(s.solve(), sat::SolveResult::Unknown);
+    EXPECT_EQ(s.stopReason(), sat::StopReason::PropagationBudget);
+    EXPECT_GE(s.stats().propagations, 40u);
+}
+
+TEST(SolverBudgets, MemoryBudgetForcesReductionThenStops) {
+    // A 0 MiB learnt-clause cap: the first learnt clause exceeds it, the
+    // forced reduction cannot get under it (recent learnts are protected),
+    // so the solver stops with MemoryBudget rather than thrash.
+    util::Rng rng(13);
+    const sat::Cnf cnf = test::randomKSat(rng, 120, 516, 3);
+    sat::SolverOptions opts;
+    opts.memoryBudgetMb = 0;
+    sat::Solver s(opts);
+    loadCnf(s, cnf);
+    const sat::SolveResult result = s.solve();
+    if (result == sat::SolveResult::Unknown)
+        EXPECT_EQ(s.stopReason(), sat::StopReason::MemoryBudget);
+    else // solved before the first learnt clause mattered
+        EXPECT_EQ(s.stopReason(), sat::StopReason::None);
+}
+
+TEST(SolverBudgets, BudgetsOffByDefault) {
+    util::Rng rng(17);
+    const sat::Cnf cnf = test::randomKSat(rng, 80, 340, 3);
+    sat::Solver s;
+    loadCnf(s, cnf);
+    EXPECT_NE(s.solve(), sat::SolveResult::Unknown);
+}
+
+// ----------------------------------------------------------- cancellation
+
+TEST(SolverCancellation, FlagStopsSolveWithinPollingLatency) {
+    // The acceptance bar: once the flag flips, the solver must return
+    // within 50 ms (it polls every conflict, every 256 decisions, and every
+    // 1024 propagations). Solve hard instances in a loop so the worker is
+    // guaranteed to be mid-search whenever the flip lands.
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> sawCancelled{false};
+    std::atomic<double> returnDelayMs{-1.0};
+    Clock::time_point flippedAt{};
+
+    std::thread worker([&] {
+        util::Rng rng(23);
+        sat::SolverOptions opts;
+        opts.cancelFlag = &cancel;
+        for (int round = 0; round < 1000000; ++round) {
+            const sat::Cnf cnf = test::randomKSat(rng, 220, 946, 3);
+            sat::Solver s(opts);
+            loadCnf(s, cnf);
+            const sat::SolveResult result = s.solve();
+            if (result == sat::SolveResult::Unknown &&
+                s.stopReason() == sat::StopReason::Cancelled) {
+                sawCancelled.store(true);
+                return;
+            }
+            if (cancel.load()) return; // flipped between solves
+        }
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    flippedAt = Clock::now();
+    cancel.store(true);
+    worker.join();
+    returnDelayMs.store(msSince(flippedAt));
+
+    EXPECT_TRUE(sawCancelled.load())
+        << "worker never observed the cancellation mid-solve";
+    EXPECT_LT(returnDelayMs.load(), 50.0)
+        << "cancellation latency exceeded the 50 ms budget";
+}
+
+TEST_F(ServiceFaultTest, CancelledBeforeStartSkipsSolving) {
+    std::atomic<bool> cancel{true}; // already cancelled at submission
+    Service service;
+    QueryRequest r = request(QueryKind::Optimize, caseStudyProblem(), "c");
+    r.options.cancelFlag = &cancel;
+    const QueryResult result = service.run(r);
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_TRUE(result.timedOut);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_TRUE(result.error.ok);
+    EXPECT_EQ(result.trace.verdict, "cancelled");
+    EXPECT_EQ(result.trace.solveMs, 0.0); // never reached a backend
+    EXPECT_EQ(result.trace.stats.decisions, 0u);
+}
+
+// ------------------------------------------------------ failure isolation
+
+TEST_F(ServiceFaultTest, OneInjectedFaultDoesNotPoisonTheBatch) {
+    // 1-of-N determinism: with a single worker the Nth consultation of the
+    // solve site is exactly the 3rd query. N results must come back,
+    // N−1 answered and 1 carrying the error.
+    util::FaultInjector::global().armNthHit("service.solve", 3);
+    ServiceOptions options;
+    options.workers = 1;
+    Service service(options);
+    const Problem p = caseStudyProblem();
+    std::vector<QueryRequest> requests;
+    for (int i = 0; i < 6; ++i)
+        requests.push_back(request(QueryKind::Feasibility, p,
+                                   "q" + std::to_string(i)));
+    const std::vector<QueryResult> results = service.runBatch(requests);
+    ASSERT_EQ(results.size(), 6u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i == 2) {
+            EXPECT_FALSE(results[i].error.ok);
+            EXPECT_EQ(results[i].error.errorKind, "fault_injected");
+            EXPECT_FALSE(results[i].error.message.empty());
+            EXPECT_EQ(results[i].trace.verdict, "error");
+            EXPECT_EQ(results[i].trace.errorKind, "fault_injected");
+        } else {
+            EXPECT_TRUE(results[i].error.ok) << results[i].error.message;
+            EXPECT_TRUE(results[i].feasible) << results[i].id;
+        }
+    }
+}
+
+TEST_F(ServiceFaultTest, CompileFaultIsIsolatedAndServiceRecovers) {
+    util::FaultInjector::global().armNthHit("service.compile", 1);
+    Service service;
+    const Problem p = caseStudyProblem();
+    const QueryResult broken = service.run(request(QueryKind::Feasibility, p));
+    EXPECT_FALSE(broken.error.ok);
+    EXPECT_EQ(broken.error.errorKind, "fault_injected");
+    // The site disarmed itself after firing: the same service answers now.
+    const QueryResult healthy = service.run(request(QueryKind::Feasibility, p));
+    EXPECT_TRUE(healthy.error.ok);
+    EXPECT_TRUE(healthy.feasible);
+}
+
+TEST_F(ServiceFaultTest, ErrorTraceJsonCarriesTheErrorObject) {
+    util::FaultInjector::global().armNthHit("service.compile", 1);
+    Service service;
+    const QueryResult broken =
+        service.run(request(QueryKind::Feasibility, caseStudyProblem(), "e"));
+    ASSERT_FALSE(broken.error.ok);
+    const json::Value v = toJson(broken.trace);
+    EXPECT_EQ(v.at("schema").asInt(), kQueryTraceSchemaVersion);
+    EXPECT_EQ(v.at("verdict").asString(), "error");
+    EXPECT_EQ(v.at("error").at("kind").asString(), "fault_injected");
+    EXPECT_FALSE(v.at("error").at("message").asString().empty());
+}
+
+// ------------------------------------------------------ admission control
+
+TEST_F(ServiceFaultTest, RejectNewShedsExcessQueriesDeterministically) {
+    // One worker asleep at task start (latency injection) while all six
+    // requests are submitted: the first two fill the queue, the rest are
+    // rejected at submission. Every shed query is reported, never dropped.
+    util::FaultInjector::global().armDelayMs("service.task_start", 60);
+    ServiceOptions options;
+    options.workers = 1;
+    options.maxQueueDepth = 2;
+    options.shedPolicy = ShedPolicy::RejectNew;
+    obs::Counter& shedCounter = obs::Registry::global().counter(
+        "lar_queries_shed_total",
+        "Queries rejected or dropped by admission control");
+    const std::uint64_t shedBefore = shedCounter.value();
+
+    Service service(options);
+    const Problem p = caseStudyProblem();
+    std::vector<QueryRequest> requests;
+    for (int i = 0; i < 6; ++i)
+        requests.push_back(request(QueryKind::Feasibility, p,
+                                   "q" + std::to_string(i)));
+    const std::vector<QueryResult> results = service.runBatch(requests);
+    ASSERT_EQ(results.size(), 6u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i < 2) {
+            EXPECT_FALSE(results[i].shed) << results[i].id;
+            EXPECT_TRUE(results[i].feasible) << results[i].id;
+        } else {
+            EXPECT_TRUE(results[i].shed) << results[i].id;
+            EXPECT_FALSE(results[i].feasible);
+            EXPECT_TRUE(results[i].error.ok); // shed is not an error
+            EXPECT_EQ(results[i].trace.verdict, "shed");
+        }
+    }
+    EXPECT_EQ(shedCounter.value() - shedBefore, 4u);
+}
+
+TEST_F(ServiceFaultTest, DropOldestShedsLongestQueuedQueries) {
+    // Same saturation, DropOldest: each arrival past the depth sheds the
+    // longest-queued not-yet-started request, so the *latest* two answer.
+    util::FaultInjector::global().armDelayMs("service.task_start", 60);
+    ServiceOptions options;
+    options.workers = 1;
+    options.maxQueueDepth = 2;
+    options.shedPolicy = ShedPolicy::DropOldest;
+    Service service(options);
+    const Problem p = caseStudyProblem();
+    std::vector<QueryRequest> requests;
+    for (int i = 0; i < 6; ++i)
+        requests.push_back(request(QueryKind::Feasibility, p,
+                                   "q" + std::to_string(i)));
+    const std::vector<QueryResult> results = service.runBatch(requests);
+    ASSERT_EQ(results.size(), 6u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i < 4) {
+            EXPECT_TRUE(results[i].shed) << results[i].id;
+        } else {
+            EXPECT_FALSE(results[i].shed) << results[i].id;
+            EXPECT_TRUE(results[i].feasible) << results[i].id;
+        }
+    }
+}
+
+TEST_F(ServiceFaultTest, DeadlineExpiredInQueueReturnsWithoutSolving) {
+    // The end-to-end deadline covers queue wait: a query stuck behind the
+    // injected latency longer than its budget comes back timedOut with no
+    // solver work at all.
+    util::FaultInjector::global().armDelayMs("service.task_start", 80);
+    ServiceOptions options;
+    options.workers = 1;
+    Service service(options);
+    QueryRequest r = request(QueryKind::Feasibility, caseStudyProblem(), "d");
+    r.options.timeoutMs = 20;
+    const std::vector<QueryResult> results = service.runBatch({r});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].timedOut);
+    EXPECT_FALSE(results[0].feasible);
+    EXPECT_TRUE(results[0].error.ok);
+    EXPECT_EQ(results[0].trace.verdict, "unknown");
+    EXPECT_EQ(results[0].trace.solveMs, 0.0);
+    EXPECT_GE(results[0].trace.queueWaitMs, 20.0);
+}
+
+// -------------------------------------------------- retry and degradation
+
+TEST_F(ServiceFaultTest, UnknownVerdictIsRetriedWithFreshSeeds) {
+    // A 0-conflict budget keeps every attempt Unknown on the case study, so
+    // a 3-attempt policy performs exactly 2 reseeded retries and reports
+    // honestly that it still has no answer.
+    ServiceOptions options;
+    options.retry.maxAttempts = 3;
+    Service service(options);
+    QueryRequest r = request(QueryKind::Feasibility, caseStudyProblem(), "r");
+    r.options.conflictBudget = 0;
+    const QueryResult result = service.run(r);
+    EXPECT_TRUE(result.timedOut);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_EQ(result.retries, 2);
+    EXPECT_EQ(result.trace.verdict, "unknown");
+    EXPECT_TRUE(result.error.ok);
+}
+
+TEST_F(ServiceFaultTest, RetryDisabledKeepsSingleAttempt) {
+    ServiceOptions options;
+    options.retry.maxAttempts = 3;
+    options.retry.reseedOnUnknown = false;
+    Service service(options);
+    QueryRequest r = request(QueryKind::Feasibility, caseStudyProblem());
+    r.options.conflictBudget = 0;
+    const QueryResult result = service.run(r);
+    EXPECT_TRUE(result.timedOut);
+    EXPECT_EQ(result.retries, 0);
+}
+
+TEST_F(ServiceFaultTest, BackendFailureFallsBackToCdcl) {
+    // The Z3 construction path fails (injected — which also covers builds
+    // without libz3, where construction throws organically): the query is
+    // re-answered by the CDCL backend instead of erroring out.
+    util::FaultInjector::global().armNthHit("backend.construct", 1);
+    Service service;
+    QueryRequest r = request(QueryKind::Optimize, caseStudyProblem(), "fb");
+    r.options.backend = smt::BackendKind::Z3;
+    const QueryResult result = service.run(r);
+    EXPECT_TRUE(result.error.ok) << result.error.message;
+    EXPECT_TRUE(result.feasible);
+    EXPECT_TRUE(result.backendFellBack);
+    EXPECT_EQ(result.trace.verdict, "sat");
+}
+
+TEST_F(ServiceFaultTest, FallbackDisabledSurfacesTheBackendError) {
+    util::FaultInjector::global().armNthHit("backend.construct", 1);
+    ServiceOptions options;
+    options.retry.fallbackToCdcl = false;
+    Service service(options);
+    QueryRequest r = request(QueryKind::Optimize, caseStudyProblem());
+    r.options.backend = smt::BackendKind::Z3;
+    const QueryResult result = service.run(r);
+    EXPECT_FALSE(result.error.ok);
+    EXPECT_EQ(result.error.errorKind, "fault_injected");
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST_F(ServiceFaultTest, CacheEvictionsAreCounted) {
+    obs::Counter& evictions = obs::Registry::global().counter(
+        "lar_service_cache_evictions_total",
+        "Compilations evicted from the Service LRU cache");
+    const std::uint64_t before = evictions.value();
+    ServiceOptions options;
+    options.cacheCapacity = 1;
+    Service service(options);
+    Problem a = caseStudyProblem();
+    Problem b = a;
+    b.maxHardwareCostUsd = 800000;
+    (void)service.run(request(QueryKind::Feasibility, a));
+    (void)service.run(request(QueryKind::Feasibility, b)); // evicts a
+    EXPECT_EQ(evictions.value() - before, 1u);
+}
+
+// ------------------------------------------------------- injector itself
+
+TEST(FaultInjector, ProbabilityStreamIsDeterministic) {
+    util::FaultInjector& injector = util::FaultInjector::global();
+    injector.reset();
+    const auto firesAt = [&](std::uint64_t seed) {
+        injector.armProbability("test.site", 0.3, seed);
+        std::vector<int> fired;
+        for (int i = 0; i < 64; ++i) {
+            try {
+                injector.maybeFault("test.site");
+            } catch (const util::FaultInjectedError&) {
+                fired.push_back(i);
+            }
+        }
+        injector.reset();
+        return fired;
+    };
+    const std::vector<int> a = firesAt(42);
+    const std::vector<int> b = firesAt(42);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "same seed must fire at the same hits";
+    EXPECT_NE(firesAt(43), a) << "different seed should differ";
+}
+
+TEST(FaultInjector, NthHitFiresExactlyOnce) {
+    util::FaultInjector& injector = util::FaultInjector::global();
+    injector.reset();
+    injector.armNthHit("test.once", 3);
+    int fired = 0;
+    for (int i = 0; i < 10; ++i) {
+        try {
+            injector.maybeFault("test.once");
+        } catch (const util::FaultInjectedError& e) {
+            ++fired;
+            EXPECT_NE(std::string(e.what()).find("test.once"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(injector.hits("test.once"), 3u); // disarmed after firing
+    injector.reset();
+}
+
+TEST(FaultInjector, UnarmedSitesAreFreeAndSilent) {
+    util::FaultInjector& injector = util::FaultInjector::global();
+    injector.reset();
+    EXPECT_FALSE(injector.anyArmed());
+    EXPECT_NO_THROW(injector.maybeFault("test.unarmed"));
+    EXPECT_EQ(injector.hits("test.unarmed"), 0u); // fast path: not counted
+}
+
+} // namespace
+} // namespace lar::reason

@@ -11,11 +11,21 @@
 //   larctl optimize <kb.json> <prob.json>  lexicographically optimal design
 //   larctl enumerate <kb.json> <prob.json> [N]   distinct optimal designs
 //   larctl batch <kb.json> <batch.json> [threads] [--trace-out <dir>]
+//                [--deadline-ms <n>] [--max-queue <n>]
 //                                          run a query batch through the
 //                                          caching service; JSON out, plus a
 //                                          Chrome trace_event file (load in
 //                                          chrome://tracing or Perfetto) when
-//                                          --trace-out is given
+//                                          --trace-out is given.
+//                                          --deadline-ms sets an end-to-end
+//                                          deadline on every query (queue wait
+//                                          and compile both count against it);
+//                                          --max-queue bounds the batch queue
+//                                          (overload is shed, never hung).
+//                                          Exit codes: 0 all answered, 1 some
+//                                          infeasible or errored, 2 malformed
+//                                          batch file (one-line JSON error on
+//                                          stdout).
 //   larctl metrics [--json] [<kb.json> <batch.json> [threads]]
 //                                          dump the process metrics registry
 //                                          (Prometheus text exposition, or
@@ -63,6 +73,7 @@ int usage() {
                  "  optimize  <kb.json> <problem.json>\n"
                  "  enumerate <kb.json> <problem.json> [maxDesigns]\n"
                  "  batch     <kb.json> <batch.json> [threads] [--trace-out <dir>]\n"
+                 "            [--deadline-ms <n>] [--max-queue <n>]\n"
                  "  metrics   [--json] [<kb.json> <batch.json> [threads]]\n"
                  "  suggest   <kb.json> <problem.json>\n"
                  "  ordering  <kb.json> <objective>\n"
@@ -174,6 +185,12 @@ reason::QueryOptions queryOptionsFromJson(const json::Value& v,
         defaults.seed = static_cast<std::uint64_t>(obj.at("seed").asInt());
     if (obj.contains("timeout_ms"))
         defaults.timeoutMs = static_cast<int>(obj.at("timeout_ms").asInt());
+    if (obj.contains("conflict_budget"))
+        defaults.conflictBudget = obj.at("conflict_budget").asInt();
+    if (obj.contains("propagation_budget"))
+        defaults.propagationBudget = obj.at("propagation_budget").asInt();
+    if (obj.contains("memory_budget_mb"))
+        defaults.memoryBudgetMb = obj.at("memory_budget_mb").asInt();
     if (obj.contains("trace")) defaults.collectTrace = obj.at("trace").asBool();
     if (obj.contains("progress_every_conflicts"))
         defaults.progressEveryConflicts =
@@ -183,39 +200,80 @@ reason::QueryOptions queryOptionsFromJson(const json::Value& v,
 
 int cmdBatch(const std::string& kbPath, const std::string& batchPath,
              unsigned threads, const std::string& traceOut = {},
-             bool quiet = false) {
+             bool quiet = false, int deadlineMs = -1, long maxQueue = -1) {
     const kb::KnowledgeBase kb = loadKb(kbPath);
-    const json::Value doc = json::parse(util::readFile(batchPath));
-
-    reason::QueryOptions defaults;
-    const json::Array* queries = nullptr;
-    if (doc.isArray()) {
-        queries = &doc.asArray();
-    } else {
-        if (doc.asObject().contains("options"))
-            defaults = queryOptionsFromJson(doc.at("options"), defaults);
-        queries = &doc.at("queries").asArray();
-    }
-
-    std::vector<reason::QueryRequest> requests;
-    requests.reserve(queries->size());
-    for (std::size_t i = 0; i < queries->size(); ++i) {
-        const json::Value& q = (*queries)[i];
-        reason::QueryRequest request;
-        request.id = q.asObject().contains("id") ? q.at("id").asString()
-                                                 : std::to_string(i);
-        request.kind = q.asObject().contains("kind")
-                           ? reason::queryKindFromString(q.at("kind").asString())
-                           : reason::QueryKind::Optimize;
-        request.problem = reason::problemFromJson(q.at("problem"), kb);
-        if (q.asObject().contains("max_designs"))
-            request.maxDesigns = static_cast<int>(q.at("max_designs").asInt());
-        request.options = queryOptionsFromJson(q, defaults);
-        requests.push_back(std::move(request));
-    }
 
     reason::ServiceOptions serviceOptions;
     serviceOptions.workers = threads;
+    std::vector<reason::QueryRequest> requests;
+    // A malformed batch file is a protocol error, not a query failure:
+    // report it as one machine-readable line on stdout and exit 2, so
+    // scripts driving larctl can tell "bad input" from "infeasible".
+    try {
+        const json::Value doc = json::parse(util::readFile(batchPath));
+
+        reason::QueryOptions defaults;
+        const json::Array* queries = nullptr;
+        if (doc.isArray()) {
+            queries = &doc.asArray();
+        } else {
+            if (doc.asObject().contains("options"))
+                defaults = queryOptionsFromJson(doc.at("options"), defaults);
+            if (doc.asObject().contains("service")) {
+                const json::Object& svc = doc.at("service").asObject();
+                if (svc.contains("max_queue_depth"))
+                    serviceOptions.maxQueueDepth = static_cast<std::size_t>(
+                        svc.at("max_queue_depth").asInt());
+                if (svc.contains("shed_policy")) {
+                    const std::string& policy = svc.at("shed_policy").asString();
+                    if (policy == "reject_new")
+                        serviceOptions.shedPolicy = reason::ShedPolicy::RejectNew;
+                    else if (policy == "drop_oldest")
+                        serviceOptions.shedPolicy = reason::ShedPolicy::DropOldest;
+                    else
+                        throw ParseError("batch: unknown shed_policy '" + policy +
+                                         "' (want reject_new or drop_oldest)");
+                }
+                if (svc.contains("max_attempts"))
+                    serviceOptions.retry.maxAttempts =
+                        static_cast<int>(svc.at("max_attempts").asInt());
+            }
+            queries = &doc.at("queries").asArray();
+        }
+
+        requests.reserve(queries->size());
+        for (std::size_t i = 0; i < queries->size(); ++i) {
+            const json::Value& q = (*queries)[i];
+            reason::QueryRequest request;
+            request.id = q.asObject().contains("id") ? q.at("id").asString()
+                                                     : std::to_string(i);
+            request.kind =
+                q.asObject().contains("kind")
+                    ? reason::queryKindFromString(q.at("kind").asString())
+                    : reason::QueryKind::Optimize;
+            request.problem = reason::problemFromJson(q.at("problem"), kb);
+            if (q.asObject().contains("max_designs"))
+                request.maxDesigns = static_cast<int>(q.at("max_designs").asInt());
+            request.options = queryOptionsFromJson(q, defaults);
+            requests.push_back(std::move(request));
+        }
+    } catch (const std::exception& e) {
+        json::Value detail;
+        detail["kind"] =
+            dynamic_cast<const ParseError*>(&e) != nullptr ? "parse_error"
+                                                           : "error";
+        detail["message"] = std::string(e.what());
+        json::Value err;
+        err["error"] = std::move(detail);
+        std::printf("%s\n", json::write(err).c_str());
+        return 2;
+    }
+
+    if (deadlineMs >= 0)
+        for (reason::QueryRequest& r : requests) r.options.timeoutMs = deadlineMs;
+    if (maxQueue >= 0)
+        serviceOptions.maxQueueDepth = static_cast<std::size_t>(maxQueue);
+
     reason::Service service(serviceOptions);
     const std::vector<reason::QueryResult> results = service.runBatch(requests);
 
@@ -228,6 +286,16 @@ int cmdBatch(const std::string& kbPath, const std::string& batchPath,
         v["kind"] = reason::toString(r.kind);
         v["feasible"] = r.feasible;
         if (r.timedOut) v["timed_out"] = true;
+        if (r.shed) v["shed"] = true;
+        if (r.cancelled) v["cancelled"] = true;
+        if (r.retries > 0) v["retries"] = static_cast<std::int64_t>(r.retries);
+        if (r.backendFellBack) v["backend_fallback"] = true;
+        if (!r.error.ok) {
+            json::Value detail;
+            detail["kind"] = r.error.errorKind;
+            detail["message"] = r.error.message;
+            v["error"] = std::move(detail);
+        }
         if (r.design.has_value()) v["design"] = reason::toJson(*r.design);
         if (!r.designs.empty()) {
             json::Array designs;
@@ -243,7 +311,10 @@ int cmdBatch(const std::string& kbPath, const std::string& batchPath,
         }
         if (requests[i].options.collectTrace) v["trace"] = reason::toJson(r.trace);
         out.push_back(std::move(v));
-        if (!r.feasible && !r.timedOut) anyInfeasible = true;
+        // Shed and cancelled queries are reported but do not fail the batch
+        // — the caller opted into admission control / cancellation.
+        if (!r.error.ok || (!r.feasible && !r.timedOut && !r.shed))
+            anyInfeasible = true;
     }
 
     const reason::CacheStats cache = service.cacheStats();
@@ -352,6 +423,8 @@ int main(int argc, char** argv) {
         if (command == "batch" || command == "metrics") {
             bool asJson = false;
             std::string traceOut;
+            int deadlineMs = -1;
+            long maxQueue = -1;
             std::vector<std::string> positional;
             for (int i = 2; i < argc; ++i) {
                 if (std::strcmp(argv[i], "--trace-out") == 0) {
@@ -361,6 +434,34 @@ int main(int argc, char** argv) {
                         return 1;
                     }
                     traceOut = argv[++i];
+                } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+                    if (i + 1 >= argc) {
+                        std::fprintf(stderr,
+                                     "larctl: --deadline-ms needs a number\n");
+                        return 1;
+                    }
+                    deadlineMs = std::atoi(argv[++i]);
+                    if (deadlineMs < 0) {
+                        std::fprintf(stderr,
+                                     "larctl: --deadline-ms must be >= 0, got "
+                                     "'%s'\n",
+                                     argv[i]);
+                        return 1;
+                    }
+                } else if (std::strcmp(argv[i], "--max-queue") == 0) {
+                    if (i + 1 >= argc) {
+                        std::fprintf(stderr,
+                                     "larctl: --max-queue needs a number\n");
+                        return 1;
+                    }
+                    maxQueue = std::atol(argv[++i]);
+                    if (maxQueue < 0) {
+                        std::fprintf(stderr,
+                                     "larctl: --max-queue must be >= 0 (0 = "
+                                     "unbounded), got '%s'\n",
+                                     argv[i]);
+                        return 1;
+                    }
                 } else if (std::strcmp(argv[i], "--json") == 0) {
                     asJson = true;
                 } else {
@@ -388,7 +489,8 @@ int main(int argc, char** argv) {
                                   positional.empty() ? "" : positional[1],
                                   static_cast<unsigned>(threads));
             return cmdBatch(positional[0], positional[1],
-                            static_cast<unsigned>(threads), traceOut);
+                            static_cast<unsigned>(threads), traceOut,
+                            /*quiet=*/false, deadlineMs, maxQueue);
         }
         if (command == "suggest" && argc == 4)
             return cmdSuggest(argv[2], argv[3]);
