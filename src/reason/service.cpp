@@ -444,13 +444,14 @@ std::vector<QueryResult> Service::runBatch(
     // Admission control: one slot per request, claimed by the worker
     // (Queued → Running) or by the shedder (Queued → Shed). runBatch joins
     // every future before returning, so the worker lambdas may safely hold
-    // references to these locals and to `requests`.
+    // references to these locals and to `requests`. The depth itself lives
+    // in queuedDepth_ so maxQueueDepth bounds concurrent runBatch calls
+    // together; DropOldest can only shed victims from this batch's slots.
     constexpr int kQueued = 0, kRunning = 1, kShed = 2;
     struct Slot {
         std::atomic<int> state{0};
     };
     std::vector<Slot> slots(requests.size());
-    std::atomic<std::size_t> queued{0};
 
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const QueryRequest& request = requests[i];
@@ -460,7 +461,7 @@ std::vector<QueryResult> Service::runBatch(
                        std::chrono::milliseconds(request.options.timeoutMs);
 
         if (options_.maxQueueDepth > 0 &&
-            queued.load(std::memory_order_acquire) >= options_.maxQueueDepth) {
+            queuedDepth_.load(std::memory_order_acquire) >= options_.maxQueueDepth) {
             if (options_.shedPolicy == ShedPolicy::RejectNew) {
                 slots[i].state.store(kShed, std::memory_order_release);
                 std::promise<QueryResult> ready;
@@ -474,14 +475,14 @@ std::vector<QueryResult> Service::runBatch(
                 int expected = kQueued;
                 if (slots[j].state.compare_exchange_strong(
                         expected, kShed, std::memory_order_acq_rel)) {
-                    queued.fetch_sub(1, std::memory_order_acq_rel);
+                    queuedDepth_.fetch_sub(1, std::memory_order_acq_rel);
                     break;
                 }
             }
         }
 
-        queued.fetch_add(1, std::memory_order_acq_rel);
-        futures.push_back(pool_.submit([this, &request, &slots, &queued, i,
+        queuedDepth_.fetch_add(1, std::memory_order_acq_rel);
+        futures.push_back(pool_.submit([this, &request, &slots, i,
                                         context, submitted, deadline]() {
             try {
                 // Latency-injection point (tests saturate the queue with
@@ -494,7 +495,7 @@ std::vector<QueryResult> Service::runBatch(
                     // Shed while waiting: report it, never drop silently.
                     return makeShedResult(request);
                 }
-                queued.fetch_sub(1, std::memory_order_acq_rel);
+                queuedDepth_.fetch_sub(1, std::memory_order_acq_rel);
                 const obs::ScopedContext scoped(context);
                 const double waitMs =
                     std::chrono::duration<double, std::milli>(Clock::now() -
@@ -506,7 +507,7 @@ std::vector<QueryResult> Service::runBatch(
                 int expected = kQueued;
                 if (slots[i].state.compare_exchange_strong(
                         expected, kRunning, std::memory_order_acq_rel))
-                    queued.fetch_sub(1, std::memory_order_acq_rel);
+                    queuedDepth_.fetch_sub(1, std::memory_order_acq_rel);
                 QueryResult result;
                 result.id = request.id;
                 result.kind = request.kind;

@@ -30,6 +30,7 @@
 // stale entries can never be served (they only age out of the LRU).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <list>
@@ -77,7 +78,9 @@ struct ServiceOptions {
     /// Worker threads for runBatch(); 0 = hardware concurrency.
     unsigned workers = 0;
     /// Admission control for runBatch(): max requests waiting to start
-    /// (0 = unbounded). At saturation `shedPolicy` decides who is shed;
+    /// (0 = unbounded). The depth is counted service-wide, so concurrent
+    /// runBatch() calls share one bound. At saturation `shedPolicy` decides
+    /// who is shed (DropOldest picks its victim from the submitting batch);
     /// shed queries come back with QueryResult::shed set — never silently
     /// dropped.
     std::size_t maxQueueDepth = 0;
@@ -190,6 +193,9 @@ private:
 
     ServiceOptions options_;
     util::ThreadPool pool_;
+    /// Requests submitted to the pool but not yet started. Service-wide so
+    /// ServiceOptions::maxQueueDepth holds across concurrent runBatch calls.
+    std::atomic<std::size_t> queuedDepth_{0};
 
     mutable std::mutex cacheMutex_;
     LruList lru_; ///< front = most recently used

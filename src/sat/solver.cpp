@@ -154,12 +154,15 @@ void Solver::backtrackTo(int level) {
 Clause* Solver::propagate() {
     Clause* conflict = nullptr;
     while (qhead_ < trail_.size()) {
-        const Lit p = trail_[qhead_++];
-        ++stats_.propagations;
         // Long propagation streaks between decisions/conflicts must still
         // honour budgets, the deadline, and cancellation: poll every 1024
         // propagations (and exactly at the propagation budget) and let
-        // search() unwind via pendingStop_.
+        // search() unwind via pendingStop_. The poll runs BEFORE the literal
+        // is dequeued so an interrupted propagation keeps its queue position:
+        // at decision level 0 backtrackTo(0) cannot rewind qhead_, so a
+        // literal dequeued-but-unprocessed here would never have its watchers
+        // examined again, and an incremental re-solve (the anytime paths)
+        // could report Sat against an unpropagated clause.
         if ((propagationLimit_ >= 0 &&
              static_cast<std::int64_t>(stats_.propagations) >=
                  propagationLimit_) ||
@@ -170,6 +173,8 @@ Clause* Solver::propagate() {
                 return nullptr;
             }
         }
+        const Lit p = trail_[qhead_++];
+        ++stats_.propagations;
         auto& list = watches_[static_cast<std::size_t>(p.index())];
         std::size_t keep = 0;
         std::size_t i = 0;

@@ -33,7 +33,7 @@ Z3Backend::Z3Backend(const FormulaStore& store, const BackendConfig& config)
         } catch (const z3::exception&) {
         }
     }
-    if (config_.memoryBudgetMb > 0) {
+    if (config_.memoryBudgetMb >= 0) {
         try {
             z3::params params(ctx_);
             params.set("max_memory",

@@ -185,6 +185,42 @@ TEST(Solver, ConflictBudgetReturnsUnknown) {
     EXPECT_EQ(s.solve(), SolveResult::Unknown);
 }
 
+TEST(Solver, BudgetInterruptedResolveStaysSound) {
+    // Regression for the mid-propagation budget stop: the interrupted
+    // literal must keep its queue position. It used to be dequeued before
+    // the limit check, so a learnt-unit cascade interrupted at decision
+    // level 0 left that literal's watchers unexamined by every later
+    // incremental solve() on the same Solver (backtrackTo(0) cannot rewind
+    // qhead_ below the level-0 trail). Drive many budget-starved re-solves
+    // and require any decided verdict — and any model — to agree with the
+    // brute-force oracle. A budget too tight to ever converge is fine; a
+    // wrong verdict is not.
+    util::Rng rng(20240807);
+    for (int round = 0; round < 6; ++round) {
+        const Cnf cnf = randomKSat(rng, 10, 44, 3);
+        const std::optional<std::vector<bool>> expected = bruteForceSat(cnf);
+        for (const std::int64_t budget : {2, 3, 7, 33}) {
+            SolverOptions opts;
+            opts.propagationBudget = budget;
+            Solver s(opts);
+            loadCnf(s, cnf);
+            SolveResult result = SolveResult::Unknown;
+            for (int i = 0; i < 20000 && result == SolveResult::Unknown; ++i)
+                result = s.solve();
+            if (result == SolveResult::Unknown) continue;
+            EXPECT_EQ(result == SolveResult::Sat, expected.has_value())
+                << "round " << round << " budget " << budget;
+            if (result == SolveResult::Sat) {
+                std::vector<bool> model(static_cast<std::size_t>(cnf.numVars));
+                for (Var v = 0; v < cnf.numVars; ++v)
+                    model[static_cast<std::size_t>(v)] = s.modelValue(v);
+                EXPECT_TRUE(satisfies(cnf, model))
+                    << "round " << round << " budget " << budget;
+            }
+        }
+    }
+}
+
 TEST(Solver, ManyConflictsTriggerRestartsWithoutHanging) {
     // Regression: instances crossing the restart threshold (100 conflicts by
     // default) must keep making progress through the Luby sequence. A

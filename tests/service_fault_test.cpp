@@ -303,6 +303,53 @@ TEST_F(ServiceFaultTest, DropOldestShedsLongestQueuedQueries) {
     }
 }
 
+TEST_F(ServiceFaultTest, QueueBoundIsSharedAcrossConcurrentBatches) {
+    // maxQueueDepth is a service-wide bound (Service::queuedDepth_), not a
+    // per-runBatch one: saturate it from a first batch (worker parked 200 ms
+    // at task start), then submit a second batch while the first still holds
+    // both slots — every request of the second batch must be shed. With a
+    // per-batch counter the second batch would admit two more, exceeding
+    // the documented bound.
+    util::FaultInjector::global().armDelayMs("service.task_start", 200);
+    ServiceOptions options;
+    options.workers = 1;
+    options.maxQueueDepth = 2;
+    options.shedPolicy = ShedPolicy::RejectNew;
+    Service service(options);
+    const Problem p = caseStudyProblem();
+
+    std::vector<QueryRequest> first, second;
+    for (int i = 0; i < 4; ++i) {
+        first.push_back(request(QueryKind::Feasibility, p,
+                                "a" + std::to_string(i)));
+        second.push_back(request(QueryKind::Feasibility, p,
+                                 "b" + std::to_string(i)));
+    }
+    std::vector<QueryResult> firstResults;
+    std::thread submitter(
+        [&] { firstResults = service.runBatch(first); });
+    // The first batch's submission loop finishes in microseconds; by 50 ms
+    // its two admitted requests are parked at the injected delay and keep
+    // the shared depth at the bound for another ~150 ms.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const std::vector<QueryResult> secondResults = service.runBatch(second);
+    submitter.join();
+
+    ASSERT_EQ(firstResults.size(), 4u);
+    ASSERT_EQ(secondResults.size(), 4u);
+    for (const QueryResult& r : secondResults) {
+        EXPECT_TRUE(r.shed) << r.id;
+        EXPECT_EQ(r.trace.verdict, "shed") << r.id;
+    }
+    int answered = 0;
+    for (const QueryResult& r : firstResults)
+        if (!r.shed) {
+            ++answered;
+            EXPECT_TRUE(r.feasible) << r.id;
+        }
+    EXPECT_EQ(answered, 2) << "first batch should admit exactly the bound";
+}
+
 TEST_F(ServiceFaultTest, DeadlineExpiredInQueueReturnsWithoutSolving) {
     // The end-to-end deadline covers queue wait: a query stuck behind the
     // injected latency longer than its budget comes back timedOut with no

@@ -38,7 +38,9 @@
 //
 // Pass the literal name "builtin" instead of <kb.json> to use the compiled-in
 // catalog (56 systems / 208 hardware specs).
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -63,6 +65,18 @@
 using namespace lar;
 
 namespace {
+
+// atoi/atol turn non-numeric input into 0 silently, which for the limit
+// flags below means "unlimited" — the opposite of what the user asked for.
+// Require the whole token to parse, like the DIMACS reader does.
+bool parseLongArg(const char* tok, long& out) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(tok, &end, 10);
+    if (end == tok || *end != '\0' || errno == ERANGE) return false;
+    out = value;
+    return true;
+}
 
 int usage() {
     std::fprintf(stderr,
@@ -440,25 +454,25 @@ int main(int argc, char** argv) {
                                      "larctl: --deadline-ms needs a number\n");
                         return 1;
                     }
-                    deadlineMs = std::atoi(argv[++i]);
-                    if (deadlineMs < 0) {
+                    long value = 0;
+                    if (!parseLongArg(argv[++i], value) || value < 0) {
                         std::fprintf(stderr,
-                                     "larctl: --deadline-ms must be >= 0, got "
-                                     "'%s'\n",
+                                     "larctl: --deadline-ms must be a number "
+                                     ">= 0, got '%s'\n",
                                      argv[i]);
                         return 1;
                     }
+                    deadlineMs = static_cast<int>(value);
                 } else if (std::strcmp(argv[i], "--max-queue") == 0) {
                     if (i + 1 >= argc) {
                         std::fprintf(stderr,
                                      "larctl: --max-queue needs a number\n");
                         return 1;
                     }
-                    maxQueue = std::atol(argv[++i]);
-                    if (maxQueue < 0) {
+                    if (!parseLongArg(argv[++i], maxQueue) || maxQueue < 0) {
                         std::fprintf(stderr,
-                                     "larctl: --max-queue must be >= 0 (0 = "
-                                     "unbounded), got '%s'\n",
+                                     "larctl: --max-queue must be a number "
+                                     ">= 0 (0 = unbounded), got '%s'\n",
                                      argv[i]);
                         return 1;
                     }
@@ -472,16 +486,15 @@ int main(int argc, char** argv) {
             if (!isMetrics && positional.size() < 2) return usage();
             if (isMetrics && positional.size() == 1) return usage();
             if (positional.size() > 3) return usage();
-            int threads = 0;
-            if (positional.size() == 3) {
-                threads = std::atoi(positional[2].c_str());
-                if (threads < 0) {
-                    std::fprintf(stderr,
-                                 "larctl: thread count must be >= 0 (0 = one per "
-                                 "hardware thread), got '%s'\n",
-                                 positional[2].c_str());
-                    return 1;
-                }
+            long threads = 0;
+            if (positional.size() == 3 &&
+                (!parseLongArg(positional[2].c_str(), threads) ||
+                 threads < 0)) {
+                std::fprintf(stderr,
+                             "larctl: thread count must be a number >= 0 (0 = "
+                             "one per hardware thread), got '%s'\n",
+                             positional[2].c_str());
+                return 1;
             }
             if (isMetrics)
                 return cmdMetrics(asJson,
