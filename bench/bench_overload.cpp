@@ -75,9 +75,9 @@ RunStats runOnce(const kb::KnowledgeBase& kb, bool shedding) {
     const std::vector<reason::QueryResult> results = service.runBatch(burst);
     RunStats stats;
     for (const reason::QueryResult& r : results) {
-        if (r.shed) {
+        if (r.shed()) {
             ++stats.shed;
-        } else if (!r.error.ok) {
+        } else if (!r.ok()) {
             ++stats.errored;
         } else {
             ++stats.answered;

@@ -1,0 +1,141 @@
+// PORT1 — portfolio speedup: K diverse CDCL workers racing one formula.
+//
+// A corpus of hard random 3-SAT instances (phase-transition ratio 4.26) is
+// solved twice per instance: single solver vs a 4-wide portfolio with
+// clause sharing. Two gates:
+//   * verdict agreement on the whole corpus — the portfolio may only change
+//     how fast the answer arrives, never the answer (this gate always runs);
+//   * median wall-clock speedup ≥ 1.5× — only enforced when the host has at
+//     least 4 hardware threads (racing 4 workers on fewer cores measures
+//     scheduler fairness, not the portfolio), otherwise report-only.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "smt/backend.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+namespace {
+
+constexpr int kInstances = 9;
+constexpr int kVars = 150;
+constexpr double kClauseRatio = 4.26; // the 3-SAT phase transition
+constexpr int kPortfolioWidth = 4;
+constexpr double kSpeedupGate = 1.5;
+
+struct Instance {
+    std::vector<std::vector<int>> clauses; ///< DIMACS-style literals
+};
+
+Instance randomInstance(util::Rng& rng) {
+    Instance out;
+    const int numClauses = static_cast<int>(kVars * kClauseRatio);
+    for (int c = 0; c < numClauses; ++c) {
+        std::vector<int> clause;
+        while (clause.size() < 3) {
+            const int v = static_cast<int>(rng.below(kVars)) + 1;
+            bool dup = false;
+            for (const int lit : clause) dup = dup || std::abs(lit) == v;
+            if (!dup) clause.push_back(rng.chance(0.5) ? v : -v);
+        }
+        out.clauses.push_back(std::move(clause));
+    }
+    return out;
+}
+
+/// Asserts `instance` into a fresh backend of the given width and times the
+/// check() call.
+smt::CheckStatus solveTimed(const Instance& instance, int width, double& outMs) {
+    smt::FormulaStore store;
+    std::vector<smt::NodeId> vars;
+    vars.reserve(kVars);
+    for (int v = 1; v <= kVars; ++v) vars.push_back(store.var("v" + std::to_string(v)));
+
+    smt::BackendConfig config;
+    config.portfolioWorkers = width;
+    const auto backend = smt::makeBackend(smt::BackendKind::Cdcl, store, config);
+    for (const std::vector<int>& clause : instance.clauses) {
+        std::vector<smt::NodeId> lits;
+        for (const int lit : clause) {
+            const smt::NodeId var = vars[static_cast<std::size_t>(std::abs(lit) - 1)];
+            lits.push_back(lit < 0 ? store.mkNot(var) : var);
+        }
+        backend->addHard(store.mkOr(std::move(lits)));
+    }
+    const util::Stopwatch timer;
+    const smt::CheckStatus status = backend->check();
+    outMs = timer.millis();
+    return status;
+}
+
+const char* statusName(smt::CheckStatus status) {
+    switch (status) {
+        case smt::CheckStatus::Sat: return "sat";
+        case smt::CheckStatus::Unsat: return "unsat";
+        default: return "unknown";
+    }
+}
+
+} // namespace
+
+int main() {
+    bench::printHeader("PORT1: portfolio speedup on hard random 3-SAT");
+    std::printf("corpus: %d instances, %d vars, ratio %.2f; portfolio width %d\n",
+                kInstances, kVars, kClauseRatio, kPortfolioWidth);
+    bench::printRule();
+    bench::printRow({"instance", "verdict", "single", "portfolio", "speedup"});
+    bench::printRule();
+
+    util::Rng rng(20260807);
+    bool verdictsAgree = true;
+    bool allDefinitive = true;
+    std::vector<double> speedups;
+    for (int i = 0; i < kInstances; ++i) {
+        const Instance instance = randomInstance(rng);
+        double singleMs = 0.0;
+        double racedMs = 0.0;
+        const smt::CheckStatus single = solveTimed(instance, 1, singleMs);
+        const smt::CheckStatus raced = solveTimed(instance, kPortfolioWidth, racedMs);
+        verdictsAgree = verdictsAgree && single == raced;
+        allDefinitive = allDefinitive && single != smt::CheckStatus::Unknown &&
+                        raced != smt::CheckStatus::Unknown;
+        const double speedup = racedMs > 0.0 ? singleMs / racedMs : 1.0;
+        speedups.push_back(speedup);
+        char ratio[16];
+        std::snprintf(ratio, sizeof ratio, "%.2fx", speedup);
+        bench::printRow({"#" + std::to_string(i) +
+                             (single != raced ? "  VERDICT MISMATCH" : ""),
+                         statusName(single), bench::ms(singleMs),
+                         bench::ms(racedMs), ratio});
+    }
+    bench::printRule();
+
+    std::sort(speedups.begin(), speedups.end());
+    const double median = speedups[speedups.size() / 2];
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("median speedup %.2fx on %u hardware thread(s)\n", median, cores);
+
+    bool pass = verdictsAgree && allDefinitive;
+    std::printf("gate: verdict agreement on the whole corpus ... %s\n",
+                verdictsAgree ? "yes" : "NO");
+    std::printf("gate: every verdict definitive ............... %s\n",
+                allDefinitive ? "yes" : "NO");
+    if (cores >= static_cast<unsigned>(kPortfolioWidth)) {
+        const bool fast = median >= kSpeedupGate;
+        std::printf("gate: median speedup >= %.1fx ................. %s\n",
+                    kSpeedupGate, fast ? "yes" : "NO");
+        pass = pass && fast;
+    } else {
+        std::printf("gate: median speedup >= %.1fx ................. skipped "
+                    "(%u < %d hardware threads)\n",
+                    kSpeedupGate, cores, kPortfolioWidth);
+    }
+    std::printf("%s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

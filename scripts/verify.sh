@@ -1,9 +1,10 @@
 #!/bin/sh
 # Repository verification: the tier-1 suite plus a sanitizer leg.
 #
-#   scripts/verify.sh            run both legs
+#   scripts/verify.sh            run all legs
 #   scripts/verify.sh tier1      plain build + ctest only
 #   scripts/verify.sh sanitize   ASan/UBSan build + ctest only
+#   scripts/verify.sh portfolio  TSan portfolio suite only
 #
 # The tier-1 leg uses the regular build/ tree (shared with development, so
 # incremental rebuilds are cheap). The sanitize leg configures a separate
@@ -23,6 +24,16 @@ run_tier1() {
     (cd "$root/build" && ctest --output-on-failure -j"$jobs")
 }
 
+run_portfolio() {
+    # The portfolio backend and its clause exchange are the most aggressively
+    # lock-free code in the tree; run their suite under ThreadSanitizer
+    # (built in the plain tree — the TSan test variants are per-executable).
+    echo "== portfolio: TSan clause-sharing/race suite =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j"$jobs" --target portfolio_test_tsan
+    (cd "$root/build" && ctest --output-on-failure -R '^portfolio_tsan$')
+}
+
 run_sanitize() {
     echo "== sanitize: LAR_SANITIZE=address,undefined build + ctest =="
     cmake -B "$root/build-asan" -S "$root" -DLAR_SANITIZE=address,undefined
@@ -36,12 +47,14 @@ run_sanitize() {
 case "$leg" in
     tier1) run_tier1 ;;
     sanitize) run_sanitize ;;
+    portfolio) run_portfolio ;;
     all)
         run_tier1
+        run_portfolio
         run_sanitize
         ;;
     *)
-        echo "usage: scripts/verify.sh [tier1|sanitize|all]" >&2
+        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|all]" >&2
         exit 2
         ;;
 esac

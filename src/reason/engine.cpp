@@ -18,8 +18,6 @@ Engine::Engine(std::shared_ptr<const Compilation> compilation,
     expects(compilation_ != nullptr, "Engine: null compilation");
 }
 
-Engine::Engine(const Problem& problem, smt::BackendKind kind)
-    : Engine(problem, withBackend(kind)) {}
 
 FeasibilityReport Engine::checkFeasible() {
     const obs::Span span("solve");
@@ -33,6 +31,7 @@ FeasibilityReport Engine::checkFeasible() {
             compilation_->describeTracks(session.backend().unsatCore().tracks);
     }
     lastStats_ = session.backend().stats();
+    lastPortfolio_ = session.backend().portfolioStats();
     lastUnknown_ = report.timedOut;
     return report;
 }
@@ -47,11 +46,13 @@ FeasibilityReport Engine::explainMinimalConflict() {
     if (first == smt::CheckStatus::Sat) {
         report.feasible = true;
         lastStats_ = backend.stats();
+        lastPortfolio_ = backend.portfolioStats();
         return report;
     }
     if (first == smt::CheckStatus::Unknown) {
         report.timedOut = true;
         lastStats_ = backend.stats();
+        lastPortfolio_ = backend.portfolioStats();
         lastUnknown_ = true;
         return report;
     }
@@ -73,6 +74,7 @@ FeasibilityReport Engine::explainMinimalConflict() {
     }
     report.conflictingRules = compilation_->describeTracks(core);
     lastStats_ = backend.stats();
+    lastPortfolio_ = backend.portfolioStats();
     return report;
 }
 
@@ -81,6 +83,7 @@ std::optional<Design> Engine::synthesize() {
     SolverSession session = newSession();
     const smt::CheckStatus status = session.backend().check();
     lastStats_ = session.backend().stats();
+    lastPortfolio_ = session.backend().portfolioStats();
     lastUnknown_ = status == smt::CheckStatus::Unknown;
     if (status != smt::CheckStatus::Sat) return std::nullopt;
     return session.extractDesign();
@@ -92,6 +95,7 @@ std::optional<Design> Engine::optimize() {
     const smt::OptimizeResult result =
         session.backend().optimize(compilation_->objectives());
     lastStats_ = session.backend().stats();
+    lastPortfolio_ = session.backend().portfolioStats();
     // An interrupted optimize that still found a model returns that
     // best-effort design; only "interrupted with nothing" counts as unknown.
     lastUnknown_ = result.unknown && !result.feasible;
@@ -111,6 +115,7 @@ std::vector<Design> Engine::enumerateDesigns(int maxDesigns, bool optimizeFirst)
             session.backend().optimize(compilation_->objectives());
         if (!result.feasible) {
             lastStats_ = session.backend().stats();
+    lastPortfolio_ = session.backend().portfolioStats();
             lastUnknown_ = result.unknown;
             return designs;
         }
@@ -123,6 +128,7 @@ std::vector<Design> Engine::enumerateDesigns(int maxDesigns, bool optimizeFirst)
         session.blockCurrentDesign();
     }
     lastStats_ = session.backend().stats();
+    lastPortfolio_ = session.backend().portfolioStats();
     // A partial enumeration is still an answer; only "interrupted before
     // the first design" is unknown.
     lastUnknown_ = designs.empty() && status == smt::CheckStatus::Unknown;
@@ -138,10 +144,6 @@ ScenarioComparison compareScenarios(const Problem& a, const Problem& b,
     return cmp;
 }
 
-ScenarioComparison compareScenarios(const Problem& a, const Problem& b,
-                                    smt::BackendKind kind) {
-    return compareScenarios(a, b, withBackend(kind));
-}
 
 RetentionReport analyzeRetention(const Problem& problem, const std::string& system,
                                  const QueryOptions& options) {
@@ -161,10 +163,6 @@ RetentionReport analyzeRetention(const Problem& problem, const std::string& syst
     return report;
 }
 
-RetentionReport analyzeRetention(const Problem& problem, const std::string& system,
-                                 smt::BackendKind kind) {
-    return analyzeRetention(problem, system, withBackend(kind));
-}
 
 bool RetentionReport::worthSwitching(std::int64_t threshold) const {
     if (!keeping.has_value()) return true; // cannot keep it at all
@@ -212,10 +210,6 @@ std::vector<DisambiguationSuggestion> suggestDisambiguation(
     return suggestions;
 }
 
-std::vector<DisambiguationSuggestion> suggestDisambiguation(
-    const Problem& problem, int sampleDesigns, smt::BackendKind kind) {
-    return suggestDisambiguation(problem, sampleDesigns, withBackend(kind));
-}
 
 std::vector<RefinementHint> suggestRefinements(const Problem& problem,
                                                const Design& design) {
@@ -272,13 +266,5 @@ InformationValue valueOfInformation(const Problem& problem,
     return result;
 }
 
-InformationValue valueOfInformation(const Problem& problem,
-                                    const std::string& objective,
-                                    const std::string& systemA,
-                                    const std::string& systemB,
-                                    smt::BackendKind kind) {
-    return valueOfInformation(problem, objective, systemA, systemB,
-                              withBackend(kind));
-}
 
 } // namespace lar::reason

@@ -47,8 +47,6 @@ public:
     explicit Engine(std::shared_ptr<const Compilation> compilation,
                     const QueryOptions& options = {});
 
-    [[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
-    Engine(const Problem& problem, smt::BackendKind kind);
 
     /// Is any compliant design possible? On failure, names the conflict.
     [[nodiscard]] FeasibilityReport checkFeasible();
@@ -88,6 +86,14 @@ public:
     /// leave this false. The Service retry policy keys off this.
     [[nodiscard]] bool lastQueryUnknown() const { return lastUnknown_; }
 
+    /// Portfolio race figures of the most recent query method call, when the
+    /// query ran with QueryOptions::portfolioWorkers > 1 on the CDCL
+    /// backend; std::nullopt for single-worker queries.
+    [[nodiscard]] const std::optional<smt::PortfolioStats>& lastPortfolioStats()
+        const {
+        return lastPortfolio_;
+    }
+
     [[nodiscard]] const QueryOptions& options() const { return options_; }
     [[nodiscard]] const Compilation& compilation() const { return *compilation_; }
     /// The compilation as a shareable handle (e.g. to seed another Engine).
@@ -107,6 +113,7 @@ private:
     QueryOptions options_;
     sat::SolverStats lastStats_;
     bool lastUnknown_ = false;
+    std::optional<smt::PortfolioStats> lastPortfolio_;
 };
 
 // -- §5.1-style query helpers (compile + solve per call) ----------------------
@@ -122,11 +129,6 @@ struct ScenarioComparison {
 [[nodiscard]] ScenarioComparison compareScenarios(const Problem& a,
                                                   const Problem& b,
                                                   const QueryOptions& options = {});
-[[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
-[[nodiscard]] ScenarioComparison compareScenarios(const Problem& a,
-                                                  const Problem& b,
-                                                  smt::BackendKind kind);
-
 /// §5.1 query 2 ("keep Sonata unless there are huge benefits"): optimal
 /// design with `system` pinned vs left unpinned, with per-objective cost
 /// deltas (positive delta = keeping the system costs that much more).
@@ -142,11 +144,6 @@ struct RetentionReport {
 [[nodiscard]] RetentionReport analyzeRetention(const Problem& problem,
                                                const std::string& system,
                                                const QueryOptions& options = {});
-[[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
-[[nodiscard]] RetentionReport analyzeRetention(const Problem& problem,
-                                               const std::string& system,
-                                               smt::BackendKind kind);
-
 /// §3.1 value-of-information: would learning how `systemA` compares to
 /// `systemB` on `objective` change the optimal design? If not, the
 /// measurement is not worth running.
@@ -159,12 +156,6 @@ struct InformationValue {
     const Problem& problem, const std::string& objective,
     const std::string& systemA, const std::string& systemB,
     const QueryOptions& options = {});
-[[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
-[[nodiscard]] InformationValue valueOfInformation(
-    const Problem& problem, const std::string& objective,
-    const std::string& systemA, const std::string& systemB,
-    smt::BackendKind kind);
-
 /// §6: when the problem is under-specified, several designs tie at the
 /// optimum. Each suggestion names a category whose choice is not pinned
 /// down by the current knowledge + goals, with the tied contenders — the
@@ -178,10 +169,6 @@ struct DisambiguationSuggestion {
 [[nodiscard]] std::vector<DisambiguationSuggestion> suggestDisambiguation(
     const Problem& problem, int sampleDesigns = 8,
     const QueryOptions& options = {});
-[[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
-[[nodiscard]] std::vector<DisambiguationSuggestion> suggestDisambiguation(
-    const Problem& problem, int sampleDesigns, smt::BackendKind kind);
-
 /// §3.1 breadth-first granularity refinement: encode coarsely first, refine
 /// only where it matters. A refinement hint names a system the optimal
 /// design *relies on* whose encoding is thin — no requirements, no resource

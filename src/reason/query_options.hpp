@@ -3,9 +3,9 @@
 // Every entry point that answers an architect query — Engine, WhatIfSession,
 // the free §5.1 helpers, and the concurrent Service — takes a QueryOptions
 // instead of a bare smt::BackendKind, so new knobs (seeds, timeouts, trace
-// collection) reach the whole stack without another round of signature
-// churn. The old trailing-BackendKind overloads remain for one release as
-// [[deprecated]] shims.
+// collection, portfolio width) reach the whole stack without another round
+// of signature churn. QueryOptions is the sole entry point: the deprecated
+// trailing-BackendKind shims of the first release have been removed.
 #pragma once
 
 #include <atomic>
@@ -53,6 +53,14 @@ struct QueryOptions {
     /// Samples land on the active obs span and the global solver histograms;
     /// they cannot change verdicts. Z3 has no such hook and ignores this.
     int progressEveryConflicts = 256;
+    /// Portfolio width: ≤ 1 solves single-threaded (the default); N > 1
+    /// races N diverse CDCL configurations per solver call, first definitive
+    /// verdict wins, the rest are cancelled, and short learnt clauses are
+    /// shared between workers (see smt::PortfolioBackend). Z3 ignores this.
+    /// Under the Service the width is budgeted against the worker pool, so a
+    /// loaded batch may grant fewer workers than requested (the trace's
+    /// portfolio.workers records the width actually used).
+    int portfolioWorkers = 1;
 
     /// The smt-layer view of these options. Progress plumbing (the obs-layer
     /// callback) is attached by SolverSession, not here, to keep this header
@@ -66,6 +74,7 @@ struct QueryOptions {
         config.memoryBudgetMb = memoryBudgetMb;
         config.cancelFlag = cancelFlag;
         config.progressEveryConflicts = progressEveryConflicts;
+        config.portfolioWorkers = portfolioWorkers;
         return config;
     }
 };

@@ -56,10 +56,25 @@ struct ServiceMetrics {
     obs::Histogram& queryLatencyMs;
     obs::Histogram& compileMs;
     obs::Histogram& queueWaitMs;
+    obs::Counter& portfolioQueries;
+    obs::Counter& portfolioShared;
+    obs::Counter& portfolioImported;
+    obs::Counter& portfolioLost;
+    obs::Histogram& portfolioCancelMs;
+    obs::Histogram& portfolioWidth;
     obs::Counter* queriesByKind[5];
 
     [[nodiscard]] obs::Counter& queries(QueryKind kind) {
         return *queriesByKind[static_cast<int>(kind)];
+    }
+
+    /// Wins per diversity profile ("config" label). Interning locks only on
+    /// a profile's first win; the handful of profile names keeps the series
+    /// set tiny.
+    [[nodiscard]] static obs::Counter& portfolioWins(const std::string& config) {
+        return obs::Registry::global().counter(
+            "lar_portfolio_wins_total", "Portfolio races won, by configuration",
+            {{"config", config}});
     }
 
     static ServiceMetrics& get() {
@@ -93,6 +108,22 @@ struct ServiceMetrics {
                               "Problem compilation time on cache misses", msBounds),
                 reg.histogram("lar_queue_wait_ms",
                               "Submit-to-start wait of batch queries", msBounds),
+                reg.counter("lar_portfolio_queries_total",
+                            "Queries solved by a portfolio race (width > 1)"),
+                reg.counter("lar_portfolio_clauses_shared_total",
+                            "Learnt clauses published into portfolio exchanges"),
+                reg.counter("lar_portfolio_clauses_imported_total",
+                            "Learnt-clause copies integrated by portfolio "
+                            "workers"),
+                reg.counter("lar_portfolio_clauses_lost_total",
+                            "Exchange clauses overwritten or over-long, never "
+                            "imported"),
+                reg.histogram("lar_portfolio_cancel_latency_ms",
+                              "Winner verdict to all-workers-stopped latency",
+                              {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500}),
+                reg.histogram("lar_portfolio_width",
+                              "Portfolio width actually granted per query",
+                              {1, 2, 4, 8, 16}),
                 {}};
             for (const QueryKind kind :
                  {QueryKind::Feasibility, QueryKind::Explain, QueryKind::Synthesize,
@@ -217,7 +248,7 @@ QueryResult Service::makeShedResult(const QueryRequest& request) {
     QueryResult result;
     result.id = request.id;
     result.kind = request.kind;
-    result.shed = true;
+    result.verdict = Verdict::Shed;
     ServiceMetrics::get().shed.inc();
     util::logLineJson(util::LogLevel::Info, "query_done",
                       {{"id", result.id},
@@ -227,18 +258,59 @@ QueryResult Service::makeShedResult(const QueryRequest& request) {
         result.trace.id = request.id;
         result.trace.kind = request.kind;
         result.trace.backend = request.options.backend;
-        result.trace.shed = true;
-        result.trace.verdict = "shed";
+        result.trace.verdict = Verdict::Shed;
     }
     return result;
+}
+
+unsigned Service::claimSolveThreads(int requested) {
+    unsigned claimed = 1; // the query's own thread always solves
+    threadsInUse_.fetch_add(1, std::memory_order_acq_rel);
+    if (requested > 1) {
+        const unsigned budget = std::max(workerCount(), 1u);
+        const unsigned want = static_cast<unsigned>(requested) - 1;
+        unsigned current = threadsInUse_.load(std::memory_order_relaxed);
+        while (true) {
+            const unsigned avail = budget > current ? budget - current : 0;
+            const unsigned grant = std::min(want, avail);
+            if (grant == 0) break;
+            if (threadsInUse_.compare_exchange_weak(current, current + grant,
+                                                    std::memory_order_acq_rel)) {
+                claimed += grant;
+                break;
+            }
+        }
+    }
+    return claimed;
+}
+
+void Service::releaseSolveThreads(unsigned claimed) {
+    threadsInUse_.fetch_sub(claimed, std::memory_order_acq_rel);
 }
 
 void Service::solveWithPolicy(const QueryRequest& request,
                               std::shared_ptr<const Compilation> compilation,
                               const std::optional<Clock::time_point>& deadline,
-                              QueryResult& result, std::string& verdict) {
+                              QueryResult& result, std::string& detail) {
     ServiceMetrics& metrics = ServiceMetrics::get();
     QueryOptions effective = request.options;
+
+    // Budget intra-query parallelism against the pool: a portfolio request
+    // only fans out while the concurrently-solving queries leave headroom.
+    const bool portfolioRequested =
+        effective.backend == smt::BackendKind::Cdcl &&
+        effective.portfolioWorkers > 1;
+    const unsigned claimed =
+        claimSolveThreads(portfolioRequested ? effective.portfolioWorkers : 1);
+    struct ThreadsRelease {
+        Service& service;
+        unsigned claimed;
+        ~ThreadsRelease() { service.releaseSolveThreads(claimed); }
+    } threadsRelease{*this, claimed};
+    effective.portfolioWorkers = static_cast<int>(claimed);
+    result.trace.portfolioWorkers = static_cast<int>(claimed);
+    if (portfolioRequested) metrics.portfolioWidth.observe(claimed);
+
     bool fellBack = false;
     int attempt = 0;
     while (true) {
@@ -247,8 +319,7 @@ void Service::solveWithPolicy(const QueryRequest& request,
             // timeoutMs is end-to-end: each attempt only gets what is left.
             const double left = millisUntil(*deadline);
             if (left <= 0.0) {
-                result.timedOut = true;
-                verdict = "unknown";
+                result.verdict = Verdict::TimedOut;
                 metrics.deadlineExpired.inc();
                 return;
             }
@@ -261,56 +332,71 @@ void Service::solveWithPolicy(const QueryRequest& request,
             switch (request.kind) {
                 case QueryKind::Feasibility: {
                     const FeasibilityReport report = engine.checkFeasible();
-                    result.feasible = report.feasible;
-                    result.timedOut = report.timedOut;
                     result.conflictingRules = report.conflictingRules;
-                    verdict = report.timedOut
-                                  ? "unknown"
-                                  : (report.feasible ? "sat" : "unsat");
+                    result.verdict =
+                        report.feasible ? Verdict::Sat : Verdict::Unsat;
                     break;
                 }
                 case QueryKind::Explain: {
                     const FeasibilityReport report =
                         engine.explainMinimalConflict();
-                    result.feasible = report.feasible;
-                    result.timedOut = report.timedOut;
                     result.conflictingRules = report.conflictingRules;
-                    verdict = report.timedOut
-                                  ? "unknown"
-                                  : (report.feasible ? "sat" : "unsat");
+                    result.verdict =
+                        report.feasible ? Verdict::Sat : Verdict::Unsat;
                     break;
                 }
                 case QueryKind::Synthesize: {
                     result.design = engine.synthesize();
-                    result.feasible = result.design.has_value();
-                    verdict = result.feasible ? "sat" : "unsat";
+                    result.verdict =
+                        result.design.has_value() ? Verdict::Sat : Verdict::Unsat;
                     break;
                 }
                 case QueryKind::Optimize: {
                     result.design = engine.optimize();
-                    result.feasible = result.design.has_value();
-                    verdict = result.feasible ? "sat" : "unsat";
+                    result.verdict =
+                        result.design.has_value() ? Verdict::Sat : Verdict::Unsat;
                     break;
                 }
                 case QueryKind::Enumerate: {
                     result.designs = engine.enumerateDesigns(
                         request.maxDesigns, /*optimizeFirst=*/true);
-                    result.feasible = !result.designs.empty();
-                    verdict = std::to_string(result.designs.size()) + " designs";
+                    result.verdict =
+                        result.designs.empty() ? Verdict::Unsat : Verdict::Sat;
+                    detail = std::to_string(result.designs.size()) + " designs";
                     break;
                 }
             }
             result.trace.stats = engine.lastSolveStats();
+            if (const std::optional<smt::PortfolioStats>& portfolio =
+                    engine.lastPortfolioStats();
+                portfolio.has_value()) {
+                metrics.portfolioQueries.inc();
+                metrics.portfolioShared.inc(portfolio->clausesShared);
+                metrics.portfolioImported.inc(portfolio->clausesImported);
+                metrics.portfolioLost.inc(portfolio->clausesLost);
+                if (portfolio->winner >= 0) {
+                    ServiceMetrics::portfolioWins(portfolio->winnerConfig).inc();
+                    metrics.portfolioCancelMs.observe(portfolio->cancelLatencyMs);
+                }
+                result.trace.portfolioWinner = portfolio->winnerConfig;
+                result.trace.portfolioShared = portfolio->clausesShared;
+                result.trace.portfolioImported = portfolio->clausesImported;
+                result.trace.portfolioLost = portfolio->clausesLost;
+                result.trace.portfolioCancelMs = portfolio->cancelLatencyMs;
+            }
             if (!engine.lastQueryUnknown()) return;
-            result.timedOut = true;
-            verdict = "unknown";
             if (cancelRequested(effective)) {
-                result.cancelled = true;
-                verdict = "cancelled";
+                result.verdict = Verdict::Cancelled;
                 metrics.cancelled.inc();
                 return;
             }
-            if (deadline.has_value() && millisUntil(*deadline) <= 0.0)
+            const bool deadlineSpent =
+                deadline.has_value() && millisUntil(*deadline) <= 0.0;
+            // The deadline expiring mid-solve is a timeout; any other budget
+            // giving out (conflicts/propagations/memory, retries included)
+            // stays Unknown.
+            result.verdict = deadlineSpent ? Verdict::TimedOut : Verdict::Unknown;
+            if (deadlineSpent)
                 return; // the end-to-end budget is spent; no point retrying
             if (!options_.retry.reseedOnUnknown ||
                 attempt >= options_.retry.maxAttempts)
@@ -358,19 +444,16 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
     bool cacheHit = false;
     double compileMs = 0.0;
     double solveMs = 0.0;
-    std::string verdict;
+    std::string detail;
 
     try {
         if (cancelRequested(request.options)) {
             // Cancelled while queued: report without doing any work.
-            result.cancelled = true;
-            result.timedOut = true;
-            verdict = "cancelled";
+            result.verdict = Verdict::Cancelled;
             metrics.cancelled.inc();
         } else if (deadline.has_value() && millisUntil(*deadline) <= 0.0) {
-            // Expired while queued: timedOut without solving.
-            result.timedOut = true;
-            verdict = "unknown";
+            // Expired while queued: timed out without solving.
+            result.verdict = Verdict::TimedOut;
             metrics.deadlineExpired.inc();
         } else {
             const std::shared_ptr<const Compilation> compilation =
@@ -378,15 +461,14 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
             util::Stopwatch solveTimer;
             // solveWithPolicy re-checks the deadline, so compile time is
             // deducted from the solver's budget automatically.
-            solveWithPolicy(request, compilation, deadline, result, verdict);
+            solveWithPolicy(request, compilation, deadline, result, detail);
             solveMs = solveTimer.millis();
         }
     } catch (const std::exception& e) {
         // Failure isolation: no query ever throws out of the Service.
-        result.error.ok = false;
+        result.verdict = Verdict::Error;
         result.error.errorKind = errorKindOf(e);
         result.error.message = e.what();
-        verdict = "error";
         metrics.failed.inc();
     }
 
@@ -402,11 +484,11 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
                       {{"id", result.id},
                        {"kind", toString(request.kind)},
                        {"cache", cacheHit ? "hit" : "miss"},
-                       {"verdict", verdict},
+                       {"verdict", verdictName(result.verdict)},
                        {"total_ms", totalMs},
                        {"queue_wait_ms", queueWaitMs},
                        {"retries", result.retries},
-                       {"cancelled", result.cancelled},
+                       {"cancelled", result.cancelled()},
                        {"backend_fallback", result.backendFellBack},
                        {"error", result.error.errorKind}});
 
@@ -419,9 +501,9 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
         trace.compileMs = compileMs;
         trace.solveMs = solveMs;
         trace.totalMs = totalMs;
-        trace.verdict = std::move(verdict);
+        trace.verdict = result.verdict;
+        trace.verdictDetail = std::move(detail);
         trace.queueWaitMs = queueWaitMs;
-        trace.cancelled = result.cancelled;
         trace.retries = result.retries;
         trace.backendFellBack = result.backendFellBack;
         trace.errorKind = result.error.errorKind;
@@ -511,7 +593,7 @@ std::vector<QueryResult> Service::runBatch(
                 QueryResult result;
                 result.id = request.id;
                 result.kind = request.kind;
-                result.error.ok = false;
+                result.verdict = Verdict::Error;
                 result.error.errorKind = errorKindOf(e);
                 result.error.message = e.what();
                 ServiceMetrics::get().failed.inc();

@@ -75,7 +75,11 @@ struct RetryPolicy {
 struct ServiceOptions {
     /// Max cached compilations; least-recently-used entries are evicted.
     std::size_t cacheCapacity = 32;
-    /// Worker threads for runBatch(); 0 = hardware concurrency.
+    /// Worker threads for runBatch(); 0 = hardware concurrency. Also the
+    /// budget for intra-query portfolio parallelism: a query asking for
+    /// QueryOptions::portfolioWorkers > 1 is granted extra solver threads
+    /// only while the concurrently-solving queries plus their extras stay
+    /// within this count.
     unsigned workers = 0;
     /// Admission control for runBatch(): max requests waiting to start
     /// (0 = unbounded). The depth is counted service-wide, so concurrent
@@ -99,25 +103,24 @@ struct QueryRequest {
 
 /// Per-query failure record. Queries never throw out of run()/runBatch():
 /// any exception (organic or injected) is caught into this struct so one
-/// poisoned problem cannot kill a batch.
+/// poisoned problem cannot kill a batch. Filled exactly when the result's
+/// verdict is Verdict::Error.
 struct QueryError {
-    bool ok = true;          ///< false when the query failed with an exception
     std::string errorKind;   ///< "parse_error" / "encoding_error" /
                              ///< "logic_error" / "fault_injected" / ...
     std::string message;     ///< the exception's what()
 };
 
 /// Outcome of one query; which fields are filled depends on the kind.
+/// `verdict` is the one authoritative outcome (see reason::Verdict); the
+/// historic boolean fields survive one release as accessors derived from it.
 struct QueryResult {
     std::string id;
     QueryKind kind = QueryKind::Optimize;
-    bool feasible = false;
-    bool timedOut = false;
-    /// Failure isolation: error.ok is false when this query threw (the
-    /// other verdict fields are then meaningless).
+    Verdict verdict = Verdict::Unknown; ///< the authoritative outcome
+    /// Failure isolation: filled when verdict == Verdict::Error (the other
+    /// payload fields are then meaningless).
     QueryError error;
-    bool shed = false;      ///< rejected/dropped by admission control
-    bool cancelled = false; ///< QueryOptions::cancelFlag observed
     int retries = 0;        ///< reseeded re-solves performed after Unknown
     bool backendFellBack = false; ///< Z3 failed → CDCL answered instead
     std::optional<Design> design;              ///< Synthesize/Optimize
@@ -125,6 +128,19 @@ struct QueryResult {
     std::vector<std::string> conflictingRules; ///< Feasibility/Explain
     /// Populated when the request's QueryOptions::collectTrace is set.
     QueryTrace trace;
+
+    // -- legacy views of `verdict` (kept for one release) -------------------
+    [[nodiscard]] bool feasible() const { return verdict == Verdict::Sat; }
+    /// Historic `timedOut` meant "gave up without a proven verdict" — it
+    /// covered deadline expiry, budget exhaustion, and cancellation alike.
+    [[nodiscard]] bool timedOut() const {
+        return verdict == Verdict::TimedOut || verdict == Verdict::Unknown ||
+               verdict == Verdict::Cancelled;
+    }
+    [[nodiscard]] bool shed() const { return verdict == Verdict::Shed; }
+    [[nodiscard]] bool cancelled() const { return verdict == Verdict::Cancelled; }
+    /// Historic error.ok: true unless the query failed with an exception.
+    [[nodiscard]] bool ok() const { return verdict != Verdict::Error; }
 };
 
 struct CacheStats {
@@ -181,12 +197,20 @@ private:
                                        double queueWaitMs,
                                        std::optional<Clock::time_point> deadline);
     /// The solve attempt loop: retries on Unknown per RetryPolicy, falls
-    /// back Z3 → CDCL on backend failure. Fills the verdict-dependent
-    /// fields of `result` (and trace.stats). Throws on unrecoverable error.
+    /// back Z3 → CDCL on backend failure. Fills result.verdict and the
+    /// verdict-dependent fields (and trace.stats / trace portfolio fields);
+    /// `detail` gets a human extra such as "3 designs" when one exists.
+    /// Throws on unrecoverable error.
     void solveWithPolicy(const QueryRequest& request,
                          std::shared_ptr<const Compilation> compilation,
                          const std::optional<Clock::time_point>& deadline,
-                         QueryResult& result, std::string& verdict);
+                         QueryResult& result, std::string& detail);
+    /// Claims solver threads for one query against the pool-wide budget:
+    /// always the query's own thread, plus up to `requested - 1` portfolio
+    /// extras while the budget (workerCount()) has headroom. Returns the
+    /// total claimed (= the portfolio width to run with).
+    [[nodiscard]] unsigned claimSolveThreads(int requested);
+    void releaseSolveThreads(unsigned claimed);
     /// A `shed` result for a request rejected/dropped by admission control;
     /// counts, logs, and fills the trace so shedding is never silent.
     [[nodiscard]] static QueryResult makeShedResult(const QueryRequest& request);
@@ -196,6 +220,10 @@ private:
     /// Requests submitted to the pool but not yet started. Service-wide so
     /// ServiceOptions::maxQueueDepth holds across concurrent runBatch calls.
     std::atomic<std::size_t> queuedDepth_{0};
+    /// Solver threads currently in use (one per actively-solving query plus
+    /// its granted portfolio extras). Intra-query parallelism and batch
+    /// concurrency share the workerCount() budget through this counter.
+    std::atomic<unsigned> threadsInUse_{0};
 
     mutable std::mutex cacheMutex_;
     LruList lru_; ///< front = most recently used

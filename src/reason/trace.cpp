@@ -24,6 +24,19 @@ QueryKind queryKindFromString(const std::string& s) {
     throw ParseError("unknown query kind: '" + s + "'");
 }
 
+const char* verdictName(Verdict verdict) {
+    switch (verdict) {
+        case Verdict::Sat: return "sat";
+        case Verdict::Unsat: return "unsat";
+        case Verdict::Unknown: return "unknown";
+        case Verdict::TimedOut: return "timed_out";
+        case Verdict::Cancelled: return "cancelled";
+        case Verdict::Shed: return "shed";
+        case Verdict::Error: return "error";
+    }
+    return "unknown";
+}
+
 json::Value toJson(const QueryTrace& trace) {
     json::Value v;
     v["schema"] = static_cast<std::int64_t>(kQueryTraceSchemaVersion);
@@ -34,12 +47,27 @@ json::Value toJson(const QueryTrace& trace) {
     v["compile_ms"] = trace.compileMs;
     v["solve_ms"] = trace.solveMs;
     v["total_ms"] = trace.totalMs;
-    v["verdict"] = trace.verdict;
+    v["verdict"] = std::string(verdictName(trace.verdict));
+    if (!trace.verdictDetail.empty()) v["verdict_detail"] = trace.verdictDetail;
+    // Legacy v3 booleans, derived from the verdict (kept for one release).
+    v["timed_out"] = trace.verdict == Verdict::TimedOut ||
+                     trace.verdict == Verdict::Unknown ||
+                     trace.verdict == Verdict::Cancelled;
     v["queue_wait_ms"] = trace.queueWaitMs;
-    v["shed"] = trace.shed;
-    v["cancelled"] = trace.cancelled;
+    v["shed"] = trace.verdict == Verdict::Shed;
+    v["cancelled"] = trace.verdict == Verdict::Cancelled;
     v["retries"] = static_cast<std::int64_t>(trace.retries);
     v["backend_fallback"] = trace.backendFellBack;
+    if (trace.portfolioWorkers > 1) {
+        json::Value portfolio;
+        portfolio["workers"] = static_cast<std::int64_t>(trace.portfolioWorkers);
+        portfolio["winner"] = trace.portfolioWinner;
+        portfolio["shared"] = static_cast<std::int64_t>(trace.portfolioShared);
+        portfolio["imported"] = static_cast<std::int64_t>(trace.portfolioImported);
+        portfolio["lost"] = static_cast<std::int64_t>(trace.portfolioLost);
+        portfolio["cancel_ms"] = trace.portfolioCancelMs;
+        v["portfolio"] = std::move(portfolio);
+    }
     if (!trace.errorKind.empty()) {
         json::Value error;
         error["kind"] = trace.errorKind;

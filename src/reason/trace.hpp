@@ -7,6 +7,7 @@
 // whatever dashboards a deployment already has.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,7 +24,11 @@ namespace lar::reason {
 /// schema is documented in DESIGN.md ("QueryTrace JSON schema").
 /// v3 adds the robustness fields: queue_wait_ms, shed, cancelled, retries,
 /// backend_fallback, and the error object.
-inline constexpr int kQueryTraceSchemaVersion = 3;
+/// v4 unifies the outcome into one "verdict" enum string (plus
+/// "verdict_detail"), keeps the legacy booleans ("timed_out", "shed",
+/// "cancelled") derived from it for one release, and adds the "portfolio"
+/// object when the query raced more than one solver configuration.
+inline constexpr int kQueryTraceSchemaVersion = 4;
 
 /// The query shapes the Service answers (Engine methods, by name).
 enum class QueryKind { Feasibility, Explain, Synthesize, Optimize, Enumerate };
@@ -33,6 +38,22 @@ enum class QueryKind { Feasibility, Explain, Synthesize, Optimize, Enumerate };
 /// Throws ParseError on anything else.
 [[nodiscard]] QueryKind queryKindFromString(const std::string& s);
 
+/// The single authoritative outcome of a query (QueryResult::verdict,
+/// QueryTrace::verdict). Exactly one holds per query:
+///  * Sat       — a model/design/optimum was found;
+///  * Unsat     — proven infeasible (conflictingRules/cores may be filled);
+///  * Unknown   — a non-deadline budget (conflicts/propagations/memory)
+///                gave out, retries included;
+///  * TimedOut  — the end-to-end deadline (QueryOptions::timeoutMs) expired;
+///  * Cancelled — QueryOptions::cancelFlag was observed;
+///  * Shed      — rejected/dropped by admission control, never solved;
+///  * Error     — the query threw (see QueryError / trace error object).
+enum class Verdict { Sat, Unsat, Unknown, TimedOut, Cancelled, Shed, Error };
+
+/// Stable lowercase name: "sat", "unsat", "unknown", "timed_out",
+/// "cancelled", "shed", "error".
+[[nodiscard]] const char* verdictName(Verdict verdict);
+
 struct QueryTrace {
     std::string id;                              ///< caller-supplied query id
     QueryKind kind = QueryKind::Optimize;
@@ -41,16 +62,23 @@ struct QueryTrace {
     double compileMs = 0.0; ///< problem → formulas (0 ≈ cache hit)
     double solveMs = 0.0;   ///< backend construction + search
     double totalMs = 0.0;
-    std::string verdict; ///< "sat" / "unsat" / "unknown" / "cancelled" /
-                         ///< "shed" / "error" / "N designs"
+    Verdict verdict = Verdict::Unknown; ///< the authoritative outcome
+    std::string verdictDetail; ///< human extra, e.g. "3 designs" ("" = none)
     double queueWaitMs = 0.0; ///< submit → worker pickup (batch queries)
-    bool shed = false;        ///< rejected/dropped by admission control
-    bool cancelled = false;   ///< cancellation flag observed mid-query
     int retries = 0;          ///< reseeded re-solves after Unknown
     bool backendFellBack = false; ///< Z3 unavailable/faulted → CDCL answered
     std::string errorKind;    ///< empty when the query succeeded
     std::string errorMessage; ///< empty when the query succeeded
     sat::SolverStats stats; ///< search counters (exact CDCL, best-effort Z3)
+    /// Portfolio figures (meaningful when portfolioWorkers > 1): how wide
+    /// the race actually ran after Service thread budgeting, who won, and
+    /// the clause-exchange volume.
+    int portfolioWorkers = 1;
+    std::string portfolioWinner;          ///< winning diversity profile ("")
+    std::uint64_t portfolioShared = 0;    ///< clauses published for sharing
+    std::uint64_t portfolioImported = 0;  ///< clause copies integrated
+    std::uint64_t portfolioLost = 0;      ///< overwritten/over-long, dropped
+    double portfolioCancelMs = 0.0;       ///< verdict → all workers stopped
     /// Hierarchical span tree for the query (query → compile/solve → backend
     /// checks, with solver progress samples). Null when span collection was
     /// off; shared so traces stay cheap to copy.

@@ -11,8 +11,6 @@ WhatIfSession::WhatIfSession(std::shared_ptr<const Compilation> compilation,
                              const QueryOptions& options)
     : session_(std::move(compilation), options) {}
 
-WhatIfSession::WhatIfSession(const Problem& problem, smt::BackendKind kind)
-    : WhatIfSession(problem, withBackend(kind)) {}
 
 WhatIfAnswer WhatIfSession::ask(const Variation& variation) {
     ++queries_;

@@ -50,8 +50,6 @@ public:
     explicit WhatIfSession(std::shared_ptr<const Compilation> compilation,
                            const QueryOptions& options = {});
 
-    [[deprecated("pass reason::QueryOptions instead of a bare BackendKind")]]
-    WhatIfSession(const Problem& problem, smt::BackendKind kind);
 
     /// Answers a variation without recompiling. Repeated calls are
     /// independent: assumptions do not accumulate.

@@ -496,6 +496,64 @@ void Solver::removeSatisfiedAtLevelZero() {
     recomputeLearntBytes();
 }
 
+bool Solver::importSharedClauses() {
+    expects(decisionLevel() == 0, "importSharedClauses: requires level 0");
+    if (!ok_) return false;
+    importScratch_.clear();
+    opts_.importClausesFn(importScratch_);
+    std::vector<Lit> out;
+    for (ImportedClause& imp : importScratch_) {
+        // Same simplification as addClause, but a rejected clause (satisfied,
+        // tautological, or from a diverged variable space) is just skipped.
+        std::sort(imp.lits.begin(), imp.lits.end());
+        out.clear();
+        bool skip = imp.lits.empty();
+        Lit prev = kUndefLit;
+        for (const Lit l : imp.lits) {
+            if (l.var() < 0 || l.var() >= numVars()) {
+                skip = true;
+                break;
+            }
+            if (l == prev) continue;
+            if (prev.isDefined() && l == ~prev) { // tautology: x ∨ ¬x
+                skip = true;
+                break;
+            }
+            const lbool v = value(l);
+            if (v == lbool::True) { // already satisfied at level 0
+                skip = true;
+                break;
+            }
+            if (v == lbool::False) continue; // falsified at level 0: drop
+            out.push_back(l);
+            prev = l;
+        }
+        if (skip) continue;
+        ++stats_.importedClauses;
+        if (out.empty()) { // empty under the level-0 assignment: Unsat
+            ok_ = false;
+            return false;
+        }
+        if (out.size() == 1) {
+            if (!enqueue(out[0], nullptr)) {
+                ok_ = false;
+                return false;
+            }
+            continue; // propagated by the next propagate() call
+        }
+        if (out.size() == 2) ++stats_.binaryClauses;
+        auto clause = std::make_unique<Clause>();
+        clause->lits = out;
+        clause->learnt = true;
+        clause->lbd = std::clamp(imp.lbd, 2, static_cast<int>(out.size()));
+        Clause* raw = clause.get();
+        attachClause(*raw);
+        learntBytes_ += clauseBytes(*raw);
+        learnts_.push_back(std::move(clause));
+    }
+    return true;
+}
+
 // ---------------------------------------------------------------------------
 // Branching
 // ---------------------------------------------------------------------------
@@ -567,6 +625,14 @@ std::int64_t Solver::luby(std::int64_t i) {
 }
 
 SolveResult Solver::solve(std::span<const Lit> assumptions) {
+    // Threading contract (see SolverOptions): one solve() at a time.
+    expects(!solveActive_.exchange(true, std::memory_order_acq_rel),
+            "solve: concurrent solve() on one Solver instance");
+    struct ActiveGuard {
+        std::atomic<bool>& flag;
+        ~ActiveGuard() { flag.store(false, std::memory_order_release); }
+    } activeGuard{solveActive_};
+
     ++stats_.solves;
     core_.clear();
     if (!ok_) return SolveResult::Unsat;
@@ -575,6 +641,7 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
         expects(a.var() >= 0 && a.var() < numVars(), "solve: unknown assumption var");
 
     removeSatisfiedAtLevelZero();
+    if (opts_.importClausesFn && !importSharedClauses()) return SolveResult::Unsat;
     maxLearnts_ = std::max(1000.0, static_cast<double>(clauses_.size()) * 0.3);
     restartCount_ = 0;
     restartLimit_ = opts_.restartBase * luby(restartCount_);
@@ -694,6 +761,15 @@ SolveResult Solver::search() {
             int backtrackLevel = 0;
             int lbd = 0;
             analyze(conflict, learnt, backtrackLevel, lbd);
+            // Learnt clauses are implied by the clause database alone (never
+            // by the assumptions), so sharing them with a portfolio sibling
+            // built from the same database is sound.
+            if (opts_.exportClauseFn &&
+                (lbd <= opts_.shareLbdMax ||
+                 static_cast<int>(learnt.size()) <= opts_.shareSizeMax)) {
+                opts_.exportClauseFn(learnt, lbd);
+                ++stats_.exportedClauses;
+            }
             backtrackTo(backtrackLevel);
             if (learnt.size() == 1) {
                 enqueue(learnt[0], nullptr);
@@ -731,6 +807,8 @@ SolveResult Solver::search() {
                 restartLimit_ = opts_.restartBase * luby(restartCount_);
                 conflictsSinceRestart_ = 0;
                 backtrackTo(0);
+                if (opts_.importClausesFn && !importSharedClauses())
+                    return SolveResult::Unsat;
             }
             if (opts_.reduceDb &&
                 static_cast<double>(learnts_.size()) >= maxLearnts_) {

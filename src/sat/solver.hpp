@@ -71,6 +71,17 @@ struct SolverStats {
     std::uint64_t maxDecisionLevel = 0; ///< deepest decision level reached
     std::uint64_t binaryClauses = 0;    ///< binary clauses created (problem + learnt)
     std::uint64_t lbdSum = 0; ///< Σ LBD over learned clauses (avg = lbdSum/conflicts)
+    std::uint64_t exportedClauses = 0; ///< learnt clauses offered via exportClauseFn
+    std::uint64_t importedClauses = 0; ///< foreign clauses integrated via importClausesFn
+};
+
+/// A learnt clause received from another solver in a portfolio (see
+/// SolverOptions::importClausesFn). Literals use this solver's variable
+/// numbering — sharing is only sound between solvers built from the
+/// identical clause database (same variables, same addClause sequence).
+struct ImportedClause {
+    std::vector<Lit> lits;
+    int lbd = 0;
 };
 
 /// Snapshot handed to SolverOptions::progressFn every `progressEvery`
@@ -124,6 +135,33 @@ struct SolverOptions {
     /// models are identical with probes on or off.
     std::int64_t progressEvery = 0;
     std::function<void(const SolverProgress&)> progressFn;
+
+    // -- portfolio clause sharing (see smt::PortfolioBackend) ---------------
+    //
+    // Threading contract: a Solver is strictly single-threaded. solve() must
+    // never run concurrently on one instance (asserted), options must not be
+    // mutated while a solve() is in flight, and every callback — progressFn,
+    // exportClauseFn, importClausesFn — is invoked on the thread that called
+    // solve(). The only member safely touched from other threads during a
+    // solve is the atomic behind `cancelFlag`. Cross-thread clause exchange
+    // therefore happens inside the callbacks (e.g. through a lock-free
+    // sat::ClauseExchange), never by poking the solver directly.
+
+    /// Called (on the solving thread) for each learnt clause that passes the
+    /// sharing filter `lbd <= shareLbdMax || size <= shareSizeMax`. The span
+    /// is only valid for the duration of the call.
+    std::function<void(std::span<const Lit>, int)> exportClauseFn;
+    /// Called (on the solving thread) at solve() start and at every restart
+    /// boundary, always at decision level 0. Appends foreign learnt clauses;
+    /// each is checked against the current level-0 assignment before being
+    /// attached (satisfied → skipped, falsified literals → dropped, empty
+    /// remainder → Unsat, unit → enqueued at level 0).
+    std::function<void(std::vector<ImportedClause>&)> importClausesFn;
+    /// Sharing filter: export learnt clauses with LBD at most this…
+    int shareLbdMax = 4;
+    /// …or with at most this many literals (short clauses prune a lot even
+    /// when their LBD is poor).
+    int shareSizeMax = 2;
 };
 
 class Solver {
@@ -156,7 +194,9 @@ public:
 
     /// Solves the formula under the given assumptions (may be empty). The
     /// solver stays usable afterwards: more clauses/vars can be added and
-    /// solve() called again (incremental use).
+    /// solve() called again (incremental use). Strictly single-threaded:
+    /// concurrent solve() calls on one instance are rejected (LogicError) —
+    /// see the threading contract above the sharing hooks in SolverOptions.
     SolveResult solve(std::span<const Lit> assumptions = {});
 
     /// Model access after Sat: value assigned to `v` in the last model.
@@ -228,6 +268,9 @@ private:
     }
     void attachClause(Clause& c);
     void detachClause(Clause& c);
+    /// Drains importClausesFn at decision level 0; false → formula became
+    /// Unsat (an imported clause is empty under the level-0 assignment).
+    bool importSharedClauses();
     void removeSatisfiedAtLevelZero();
     void reduceLearntDb();
     int computeLbd(const std::vector<Lit>& lits);
@@ -306,6 +349,8 @@ private:
     bool hasDeadline_ = false;
     std::chrono::steady_clock::time_point solveStart_{};
     std::uint64_t propagationsAtSolveStart_ = 0;
+    std::vector<ImportedClause> importScratch_; ///< importSharedClauses buffer
+    std::atomic<bool> solveActive_{false}; ///< guards the single-thread contract
 };
 
 } // namespace lar::sat

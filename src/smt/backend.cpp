@@ -1,6 +1,7 @@
 #include "smt/backend.hpp"
 
 #include "smt/cdcl_backend.hpp"
+#include "smt/portfolio_backend.hpp"
 #include "util/error.hpp"
 #include "util/fault_injector.hpp"
 
@@ -22,7 +23,10 @@ std::unique_ptr<Backend> makeBackend(BackendKind kind, const FormulaStore& store
                                      const BackendConfig& config) {
     util::FaultInjector::global().maybeFault("backend.construct");
     switch (kind) {
-        case BackendKind::Cdcl: return std::make_unique<CdclBackend>(store, config);
+        case BackendKind::Cdcl:
+            if (config.portfolioWorkers > 1)
+                return std::make_unique<PortfolioBackend>(store, config);
+            return std::make_unique<CdclBackend>(store, config);
         case BackendKind::Z3:
 #if defined(LAR_HAVE_Z3)
             return std::make_unique<Z3Backend>(store, config);

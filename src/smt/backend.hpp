@@ -55,6 +55,20 @@ struct CoreResult {
     std::vector<NodeId> assumptions;    ///< failing members of the assumption set
 };
 
+/// Cumulative portfolio figures for a backend that races several workers
+/// (see PortfolioBackend); single-worker backends report std::nullopt from
+/// Backend::portfolioStats().
+struct PortfolioStats {
+    int workers = 1;              ///< racing solver configurations
+    int races = 0;                ///< check/optimize calls fanned out so far
+    int winner = -1;              ///< worker index that won the last race
+    std::string winnerConfig;     ///< diversity-profile name of that worker
+    std::uint64_t clausesShared = 0;   ///< published into the exchange
+    std::uint64_t clausesImported = 0; ///< integrated by importing workers
+    std::uint64_t clausesLost = 0;     ///< overwritten/over-long, never imported
+    double cancelLatencyMs = 0.0; ///< last race: verdict → all workers stopped
+};
+
 class Backend {
 public:
     virtual ~Backend() = default;
@@ -93,6 +107,11 @@ public:
     /// API exposes (best effort — unknown counters stay zero).
     [[nodiscard]] virtual sat::SolverStats stats() const = 0;
 
+    /// Portfolio race figures; std::nullopt for single-worker backends.
+    [[nodiscard]] virtual std::optional<PortfolioStats> portfolioStats() const {
+        return std::nullopt;
+    }
+
     [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -129,6 +148,12 @@ struct BackendConfig {
     /// through stats().
     int progressEveryConflicts = 0;
     std::function<void(const sat::SolverProgress&)> progressFn;
+    /// Portfolio width: number of diverse CDCL workers racing each
+    /// check/optimize call, first definitive verdict wins (≤ 1 = classic
+    /// single-threaded solving). Honoured by the CDCL backend only — Z3
+    /// ignores it. makeBackend(BackendKind::Cdcl, …) returns a
+    /// PortfolioBackend when this exceeds 1.
+    int portfolioWorkers = 1;
 };
 
 /// True when the library was built with Z3 support.

@@ -36,6 +36,13 @@ public:
     [[nodiscard]] std::string name() const override { return "cdcl"; }
     [[nodiscard]] sat::SolverStats stats() const override { return solver_.stats(); }
 
+    /// Underlying solver knobs (diversity profile, clause-sharing hooks).
+    /// Portfolio plumbing only — mutate strictly between solver calls; the
+    /// solver's threading contract (solver.hpp) applies.
+    [[nodiscard]] sat::SolverOptions& solverOptions() {
+        return solver_.mutableOptions();
+    }
+
 private:
     /// Polarity bits for occurrence analysis of LinLeq atoms.
     enum : int { kPos = 1, kNeg = 2 };

@@ -1,0 +1,276 @@
+#include "smt/portfolio_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "obs/span.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lar::smt {
+
+namespace {
+
+/// Search-diversity profiles, cycled over the workers. Worker 0 keeps the
+/// stock configuration (and the caller's seed), so a portfolio degenerates
+/// to the plain CDCL backend when every sibling is strictly slower.
+struct Profile {
+    const char* name;
+    double varDecay;
+    int restartBase;
+    bool usePhaseSaving;
+};
+
+constexpr Profile kProfiles[] = {
+    {"base", 0.95, 100, true},
+    {"rapid-restarts", 0.95, 32, true},
+    {"slow-decay", 0.99, 100, true},
+    {"fast-decay", 0.85, 100, true},
+    {"no-phase-saving", 0.95, 100, false},
+    {"rapid-slow-decay", 0.99, 32, true},
+    {"steady-restarts", 0.95, 512, true},
+    {"fast-decay-rapid", 0.85, 32, false},
+};
+constexpr int kProfileCount = static_cast<int>(std::size(kProfiles));
+
+} // namespace
+
+const char* PortfolioBackend::profileName(int i) {
+    return kProfiles[static_cast<std::size_t>(i % kProfileCount)].name;
+}
+
+PortfolioBackend::PortfolioBackend(const FormulaStore& store,
+                                   const BackendConfig& config)
+    : callerCancel_(config.cancelFlag) {
+    const int n = std::clamp(config.portfolioWorkers, 2, kMaxWorkers);
+    exchange_ = std::make_unique<sat::ClauseExchange>(n);
+    // Seeds diverge per worker but stay a pure function of the caller's
+    // seed, so portfolio runs are reproducible modulo race timing.
+    std::uint64_t seedState = config.seed ^ 0xb5297a4d3f84d5a1ULL;
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        BackendConfig workerConfig = config;
+        workerConfig.cancelFlag = &raceCancel_;
+        if (i > 0) {
+            workerConfig.seed = util::splitmix64(seedState);
+            // Progress probes observe the canonical search only: sibling
+            // workers stay silent so the feed is one coherent stream.
+            workerConfig.progressEveryConflicts = 0;
+            workerConfig.progressFn = nullptr;
+        }
+        auto worker = std::make_unique<CdclBackend>(store, workerConfig);
+        const Profile& profile =
+            kProfiles[static_cast<std::size_t>(i % kProfileCount)];
+        sat::SolverOptions& opts = worker->solverOptions();
+        opts.varDecay = profile.varDecay;
+        opts.restartBase = profile.restartBase;
+        opts.usePhaseSaving = profile.usePhaseSaving;
+        opts.exportClauseFn = [this, i](std::span<const sat::Lit> lits, int lbd) {
+            exchange_->publish(i, lits, lbd);
+        };
+        opts.importClausesFn = [this, i](std::vector<sat::ImportedClause>& out) {
+            exchange_->collect(i, out);
+        };
+        workers_.push_back(std::move(worker));
+    }
+    pstats_.workers = n;
+}
+
+void PortfolioBackend::disableSharing() {
+    if (!sharingEnabled_) return;
+    sharingEnabled_ = false;
+    for (auto& worker : workers_) {
+        worker->solverOptions().exportClauseFn = nullptr;
+        worker->solverOptions().importClausesFn = nullptr;
+    }
+}
+
+void PortfolioBackend::addHard(NodeId formula, int track) {
+    if (active_ >= 0) {
+        workers_[static_cast<std::size_t>(active_)]->addHard(formula, track);
+        return;
+    }
+    // Same assertion into every worker keeps the clause databases identical
+    // — the invariant that makes clause sharing sound.
+    for (auto& worker : workers_) worker->addHard(formula, track);
+}
+
+int PortfolioBackend::race(const std::function<bool(CdclBackend&, int)>& attempt) {
+    // Reset the previous race's cancellation — but a call that arrives
+    // already cancelled starts cancelled, so workers stop at their first
+    // poll instead of getting a relay-interval head start.
+    raceCancel_.store(callerCancel_ != nullptr &&
+                          callerCancel_->load(std::memory_order_relaxed),
+                      std::memory_order_release);
+    const std::size_t n = workers_.size();
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    int winner = -1;
+    double winnerAtMs = -1.0;
+    std::vector<std::exception_ptr> errors(n);
+    const util::Stopwatch timer;
+    // Worker 0 inherits the caller's observability context (its spans are
+    // the canonical ones); siblings run context-free so the trace tree has
+    // a single writer.
+    const obs::Context obsContext = obs::currentContext();
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        threads.emplace_back([&, i] {
+            bool definitive = false;
+            try {
+                if (i == 0) {
+                    const obs::ScopedContext scoped(obsContext);
+                    definitive = attempt(*workers_[i], static_cast<int>(i));
+                } else {
+                    definitive = attempt(*workers_[i], static_cast<int>(i));
+                }
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            bool won = false;
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                if (definitive && winner < 0) {
+                    winner = static_cast<int>(i);
+                    winnerAtMs = timer.millis();
+                    won = true;
+                }
+                ++done;
+            }
+            if (won) raceCancel_.store(true, std::memory_order_release);
+            cv.notify_all();
+        });
+    }
+
+    {
+        // Relay the caller's cancellation into the race while waiting.
+        std::unique_lock<std::mutex> lock(mutex);
+        while (done < n) {
+            cv.wait_for(lock, std::chrono::milliseconds(2));
+            if (callerCancel_ != nullptr &&
+                callerCancel_->load(std::memory_order_relaxed))
+                raceCancel_.store(true, std::memory_order_release);
+        }
+    }
+    for (auto& thread : threads) thread.join();
+    const double allDoneMs = timer.millis();
+
+    ++pstats_.races;
+    if (winner >= 0) {
+        statsWorker_ = winner;
+        pstats_.winner = winner;
+        pstats_.winnerConfig = profileName(winner);
+        pstats_.cancelLatencyMs = std::max(0.0, allDoneMs - winnerAtMs);
+        return winner;
+    }
+    // Nobody answered: surface a worker failure if one occurred (a winner
+    // would have masked it — portfolio failure isolation).
+    for (auto& error : errors)
+        if (error) std::rethrow_exception(error);
+    return -1;
+}
+
+CheckStatus PortfolioBackend::check(std::span<const NodeId> assumptions) {
+    if (active_ >= 0)
+        return workers_[static_cast<std::size_t>(active_)]->check(assumptions);
+    std::vector<CheckStatus> statuses(workers_.size(), CheckStatus::Unknown);
+    const int winner = race([&](CdclBackend& backend, int i) {
+        const CheckStatus status = backend.check(assumptions);
+        statuses[static_cast<std::size_t>(i)] = status;
+        return status != CheckStatus::Unknown;
+    });
+    return winner >= 0 ? statuses[static_cast<std::size_t>(winner)]
+                       : CheckStatus::Unknown;
+}
+
+CheckStatus PortfolioBackend::checkWithTracks(std::span<const int> activeTracks,
+                                              std::span<const NodeId> assumptions) {
+    if (active_ >= 0)
+        return workers_[static_cast<std::size_t>(active_)]->checkWithTracks(
+            activeTracks, assumptions);
+    std::vector<CheckStatus> statuses(workers_.size(), CheckStatus::Unknown);
+    const int winner = race([&](CdclBackend& backend, int i) {
+        const CheckStatus status = backend.checkWithTracks(activeTracks, assumptions);
+        statuses[static_cast<std::size_t>(i)] = status;
+        return status != CheckStatus::Unknown;
+    });
+    return winner >= 0 ? statuses[static_cast<std::size_t>(winner)]
+                       : CheckStatus::Unknown;
+}
+
+OptimizeResult PortfolioBackend::optimize(std::span<const ObjectiveSpec> objectives,
+                                          std::span<const NodeId> assumptions) {
+    if (active_ >= 0)
+        return workers_[static_cast<std::size_t>(active_)]->optimize(objectives,
+                                                                     assumptions);
+    // Optimizing workers add divergent bound clauses, which would break the
+    // identical-database invariant sharing relies on — sharing ends here.
+    disableSharing();
+    std::vector<OptimizeResult> results(workers_.size());
+    const int winner = race([&](CdclBackend& backend, int i) {
+        results[static_cast<std::size_t>(i)] = backend.optimize(objectives,
+                                                                assumptions);
+        // Definitive = proven optimum or proven infeasible; an interrupted
+        // best-effort bound must not preempt a sibling's proof.
+        return !results[static_cast<std::size_t>(i)].unknown;
+    });
+    // Each worker now holds its own bound clauses; only one can serve all
+    // later calls (the Backend contract leaves the optimum locked in).
+    if (winner >= 0) {
+        becomeSoleWorker(winner);
+        return results[static_cast<std::size_t>(winner)];
+    }
+    // No proven result: keep the best anytime bound (feasible beats not;
+    // then lexicographically smaller costs).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        const OptimizeResult& a = results[i];
+        const OptimizeResult& b = results[best];
+        if (a.feasible != b.feasible ? a.feasible : (a.feasible && a.costs < b.costs))
+            best = i;
+    }
+    becomeSoleWorker(static_cast<int>(best));
+    return results[best];
+}
+
+void PortfolioBackend::becomeSoleWorker(int worker) {
+    active_ = worker;
+    statsWorker_ = worker;
+    // Forwarded calls no longer pass through race(), which is what resets
+    // the race-cancel flag — left alone, the winner's own cancellation of
+    // its siblings would instantly cancel every later call. Poll the
+    // caller's flag (possibly none) directly instead.
+    workers_[static_cast<std::size_t>(worker)]->solverOptions().cancelFlag =
+        callerCancel_;
+}
+
+bool PortfolioBackend::modelValue(NodeId var) const {
+    return workers_[static_cast<std::size_t>(statsWorker_)]->modelValue(var);
+}
+
+CoreResult PortfolioBackend::unsatCore() const {
+    return workers_[static_cast<std::size_t>(statsWorker_)]->unsatCore();
+}
+
+sat::SolverStats PortfolioBackend::stats() const {
+    return workers_[static_cast<std::size_t>(statsWorker_)]->stats();
+}
+
+std::optional<PortfolioStats> PortfolioBackend::portfolioStats() const {
+    PortfolioStats stats = pstats_;
+    const sat::ClauseExchange::Stats exchange = exchange_->stats();
+    stats.clausesShared = exchange.published;
+    stats.clausesImported = exchange.collected;
+    stats.clausesLost = exchange.lost + exchange.rejected;
+    return stats;
+}
+
+} // namespace lar::smt

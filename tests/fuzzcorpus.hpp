@@ -1,0 +1,183 @@
+// Random knowledge-base / problem generators shared by the fuzz suites.
+//
+// Factored out of fuzz_test.cpp so other suites (e.g. the portfolio
+// verdict-agreement tests) can draw from the same corpus: a seed uniquely
+// determines the KB and problem, so a failure report of "seed S round R"
+// reproduces identically in any suite using these generators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kb/kb.hpp"
+#include "kb/objectives.hpp"
+#include "reason/problem.hpp"
+#include "util/rng.hpp"
+
+namespace lar::fuzz {
+
+/// Pools the generator draws from.
+inline constexpr const char* kFacts[] = {"fact_a", "fact_b", "fact_c"};
+inline constexpr const char* kOptions[] = {"opt_a", "opt_b"};
+inline constexpr const char* kProps[] = {"prop_a", "prop_b", "prop_c"};
+inline constexpr const char* kCapabilities[] = {"cap_a", "cap_b"};
+inline constexpr const char* kBoolAttrs[] = {
+    kb::kAttrEcnSupported, kb::kAttrP4Supported, kb::kAttrNicTimestamps,
+    kb::kAttrSmartNic, kb::kAttrSrIov};
+
+inline kb::Requirement randomLeaf(util::Rng& rng) {
+    using kb::CmpOp;
+    using kb::HardwareClass;
+    using kb::Requirement;
+    switch (rng.below(6)) {
+        case 0:
+            return Requirement::hardwareHas(
+                rng.chance(0.5) ? HardwareClass::Switch : HardwareClass::Nic,
+                kBoolAttrs[rng.below(std::size(kBoolAttrs))]);
+        case 1:
+            return Requirement::hardwareCmp(
+                HardwareClass::Server, kb::kAttrCores, CmpOp::Ge,
+                static_cast<double>(rng.range(8, 64)));
+        case 2: return Requirement::fact(kFacts[rng.below(std::size(kFacts))]);
+        case 3:
+            return Requirement::option(kOptions[rng.below(std::size(kOptions))]);
+        case 4:
+            return Requirement::workloadHas(kProps[rng.below(std::size(kProps))]);
+        default:
+            return Requirement::hardwareCmp(
+                HardwareClass::Nic, kb::kAttrPortBandwidthGbps, CmpOp::Ge,
+                static_cast<double>(rng.range(10, 100)));
+    }
+}
+
+inline kb::Requirement randomRequirement(util::Rng& rng, int depth) {
+    using kb::Requirement;
+    if (depth == 0 || rng.chance(0.45)) return randomLeaf(rng);
+    std::vector<Requirement> kids;
+    const int n = static_cast<int>(rng.range(1, 3));
+    for (int i = 0; i < n; ++i) kids.push_back(randomRequirement(rng, depth - 1));
+    switch (rng.below(3)) {
+        case 0: return Requirement::allOf(std::move(kids));
+        case 1: return Requirement::anyOf(std::move(kids));
+        default: return Requirement::negate(std::move(kids[0]));
+    }
+}
+
+inline kb::KnowledgeBase randomKb(util::Rng& rng) {
+    using kb::Category;
+    using kb::HardwareClass;
+    kb::KnowledgeBase out;
+    // Systems: 2-4 per required category, a few optional ones.
+    std::vector<std::string> names;
+    int counter = 0;
+    const auto addSystems = [&](Category category, int count) {
+        for (int i = 0; i < count; ++i) {
+            kb::System s;
+            s.name = "sys" + std::to_string(counter++);
+            s.category = category;
+            s.source = "fuzz";
+            if (rng.chance(0.6)) s.constraints = randomRequirement(rng, 2);
+            if (rng.chance(0.4))
+                s.provides.push_back(kFacts[rng.below(std::size(kFacts))]);
+            if (rng.chance(0.5))
+                s.solves.push_back(kCapabilities[rng.below(std::size(kCapabilities))]);
+            if (rng.chance(0.3))
+                s.demands.push_back({kb::kResCores,
+                                     static_cast<double>(rng.range(1, 8)), 0, 0});
+            if (rng.chance(0.2) && !names.empty())
+                s.conflicts.push_back(names[rng.below(names.size())]);
+            if (rng.chance(0.15)) s.researchGrade = true;
+            names.push_back(s.name);
+            out.addSystem(std::move(s));
+        }
+    };
+    addSystems(Category::NetworkStack, static_cast<int>(rng.range(2, 4)));
+    addSystems(Category::CongestionControl, static_cast<int>(rng.range(2, 4)));
+    addSystems(Category::Monitoring, static_cast<int>(rng.range(1, 3)));
+    addSystems(Category::LoadBalancer, static_cast<int>(rng.range(1, 3)));
+
+    // Hardware: a handful per class with random attributes.
+    const auto addHardware = [&](HardwareClass cls, int count) {
+        for (int i = 0; i < count; ++i) {
+            kb::HardwareSpec h;
+            h.model = toString(cls) + std::to_string(i);
+            h.vendor = "fuzz";
+            h.cls = cls;
+            h.unitCostUsd = static_cast<double>(rng.range(10, 500)) * 10.0;
+            h.maxPowerW = static_cast<double>(rng.range(50, 900));
+            for (const char* attr : kBoolAttrs)
+                h.attrs[attr] = rng.chance(0.5);
+            h.attrs[kb::kAttrPortBandwidthGbps] =
+                static_cast<double>(rng.range(1, 10) * 10);
+            if (cls == HardwareClass::Server)
+                h.attrs[kb::kAttrCores] = static_cast<double>(rng.range(8, 96));
+            out.addHardware(std::move(h));
+        }
+    };
+    addHardware(HardwareClass::Switch, static_cast<int>(rng.range(2, 4)));
+    addHardware(HardwareClass::Nic, static_cast<int>(rng.range(2, 4)));
+    addHardware(HardwareClass::Server, static_cast<int>(rng.range(2, 4)));
+
+    // Orderings: edges from lower to higher system index only, so the
+    // unconditional graph stays acyclic per objective.
+    const char* objectives[] = {kb::kObjLatency, kb::kObjThroughput,
+                                kb::kObjMonitoring};
+    for (int e = 0; e < 8; ++e) {
+        const std::size_t a = rng.below(names.size());
+        const std::size_t b = rng.below(names.size());
+        if (a == b) continue;
+        const std::size_t hi = std::max(a, b);
+        const std::size_t lo = std::min(a, b);
+        if (out.system(names[hi]).category != out.system(names[lo]).category)
+            continue;
+        kb::Ordering o;
+        o.better = names[lo];
+        o.worse = names[hi];
+        o.objective = objectives[rng.below(std::size(objectives))];
+        if (rng.chance(0.4)) o.condition = randomLeaf(rng);
+        o.source = "fuzz";
+        out.addOrdering(o);
+    }
+    return out;
+}
+
+/// The KB must outlive the returned problem (Problem::kb points into it).
+inline reason::Problem randomProblem(util::Rng& rng,
+                                     const kb::KnowledgeBase& kb) {
+    using kb::Category;
+    using kb::HardwareClass;
+    reason::Problem p;
+    p.kb = &kb;
+    p.requiredCategories = {Category::NetworkStack, Category::CongestionControl};
+    p.optionalCategories = {Category::Monitoring, Category::LoadBalancer};
+    p.hardware[HardwareClass::Switch].count = static_cast<int>(rng.range(1, 4));
+    p.hardware[HardwareClass::Nic].count = static_cast<int>(rng.range(4, 20));
+    p.hardware[HardwareClass::Server].count = static_cast<int>(rng.range(4, 20));
+    if (rng.chance(0.7)) {
+        kb::Workload w;
+        w.name = "fuzz_app";
+        for (const char* prop : kProps)
+            if (rng.chance(0.5)) w.properties.push_back(prop);
+        w.peakCores = rng.range(10, 200);
+        w.peakBandwidthGbps = static_cast<double>(rng.range(1, 40));
+        w.numFlows = rng.range(100, 5000);
+        p.workloads.push_back(std::move(w));
+    }
+    if (rng.chance(0.5)) p.objectivePriority.push_back(kb::kObjLatency);
+    if (rng.chance(0.3)) p.objectivePriority.push_back(kb::kObjHardwareCost);
+    if (rng.chance(0.4))
+        p.requiredCapabilities.push_back(
+            kCapabilities[rng.below(std::size(kCapabilities))]);
+    if (rng.chance(0.3))
+        p.pinnedFacts[kFacts[rng.below(std::size(kFacts))]] = rng.chance(0.5);
+    if (rng.chance(0.3))
+        p.pinnedOptions[kOptions[rng.below(std::size(kOptions))]] = rng.chance(0.5);
+    if (rng.chance(0.25)) p.maxHardwareCostUsd = static_cast<double>(
+        rng.range(2, 40)) * 10000.0;
+    if (rng.chance(0.2)) p.forbidResearchGrade = true;
+    return p;
+}
+
+} // namespace lar::fuzz

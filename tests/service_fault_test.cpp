@@ -173,11 +173,11 @@ TEST_F(ServiceFaultTest, CancelledBeforeStartSkipsSolving) {
     QueryRequest r = request(QueryKind::Optimize, caseStudyProblem(), "c");
     r.options.cancelFlag = &cancel;
     const QueryResult result = service.run(r);
-    EXPECT_TRUE(result.cancelled);
-    EXPECT_TRUE(result.timedOut);
-    EXPECT_FALSE(result.feasible);
-    EXPECT_TRUE(result.error.ok);
-    EXPECT_EQ(result.trace.verdict, "cancelled");
+    EXPECT_TRUE(result.cancelled());
+    EXPECT_TRUE(result.timedOut());
+    EXPECT_FALSE(result.feasible());
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.trace.verdict, Verdict::Cancelled);
     EXPECT_EQ(result.trace.solveMs, 0.0); // never reached a backend
     EXPECT_EQ(result.trace.stats.decisions, 0u);
 }
@@ -201,14 +201,14 @@ TEST_F(ServiceFaultTest, OneInjectedFaultDoesNotPoisonTheBatch) {
     ASSERT_EQ(results.size(), 6u);
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i == 2) {
-            EXPECT_FALSE(results[i].error.ok);
+            EXPECT_FALSE(results[i].ok());
             EXPECT_EQ(results[i].error.errorKind, "fault_injected");
             EXPECT_FALSE(results[i].error.message.empty());
-            EXPECT_EQ(results[i].trace.verdict, "error");
+            EXPECT_EQ(results[i].trace.verdict, Verdict::Error);
             EXPECT_EQ(results[i].trace.errorKind, "fault_injected");
         } else {
-            EXPECT_TRUE(results[i].error.ok) << results[i].error.message;
-            EXPECT_TRUE(results[i].feasible) << results[i].id;
+            EXPECT_TRUE(results[i].ok()) << results[i].error.message;
+            EXPECT_TRUE(results[i].feasible()) << results[i].id;
         }
     }
 }
@@ -218,12 +218,12 @@ TEST_F(ServiceFaultTest, CompileFaultIsIsolatedAndServiceRecovers) {
     Service service;
     const Problem p = caseStudyProblem();
     const QueryResult broken = service.run(request(QueryKind::Feasibility, p));
-    EXPECT_FALSE(broken.error.ok);
+    EXPECT_FALSE(broken.ok());
     EXPECT_EQ(broken.error.errorKind, "fault_injected");
     // The site disarmed itself after firing: the same service answers now.
     const QueryResult healthy = service.run(request(QueryKind::Feasibility, p));
-    EXPECT_TRUE(healthy.error.ok);
-    EXPECT_TRUE(healthy.feasible);
+    EXPECT_TRUE(healthy.ok());
+    EXPECT_TRUE(healthy.feasible());
 }
 
 TEST_F(ServiceFaultTest, ErrorTraceJsonCarriesTheErrorObject) {
@@ -231,7 +231,7 @@ TEST_F(ServiceFaultTest, ErrorTraceJsonCarriesTheErrorObject) {
     Service service;
     const QueryResult broken =
         service.run(request(QueryKind::Feasibility, caseStudyProblem(), "e"));
-    ASSERT_FALSE(broken.error.ok);
+    ASSERT_FALSE(broken.ok());
     const json::Value v = toJson(broken.trace);
     EXPECT_EQ(v.at("schema").asInt(), kQueryTraceSchemaVersion);
     EXPECT_EQ(v.at("verdict").asString(), "error");
@@ -265,13 +265,13 @@ TEST_F(ServiceFaultTest, RejectNewShedsExcessQueriesDeterministically) {
     ASSERT_EQ(results.size(), 6u);
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i < 2) {
-            EXPECT_FALSE(results[i].shed) << results[i].id;
-            EXPECT_TRUE(results[i].feasible) << results[i].id;
+            EXPECT_FALSE(results[i].shed()) << results[i].id;
+            EXPECT_TRUE(results[i].feasible()) << results[i].id;
         } else {
-            EXPECT_TRUE(results[i].shed) << results[i].id;
-            EXPECT_FALSE(results[i].feasible);
-            EXPECT_TRUE(results[i].error.ok); // shed is not an error
-            EXPECT_EQ(results[i].trace.verdict, "shed");
+            EXPECT_TRUE(results[i].shed()) << results[i].id;
+            EXPECT_FALSE(results[i].feasible());
+            EXPECT_TRUE(results[i].ok()); // shed is not an error
+            EXPECT_EQ(results[i].trace.verdict, Verdict::Shed);
         }
     }
     EXPECT_EQ(shedCounter.value() - shedBefore, 4u);
@@ -295,10 +295,10 @@ TEST_F(ServiceFaultTest, DropOldestShedsLongestQueuedQueries) {
     ASSERT_EQ(results.size(), 6u);
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i < 4) {
-            EXPECT_TRUE(results[i].shed) << results[i].id;
+            EXPECT_TRUE(results[i].shed()) << results[i].id;
         } else {
-            EXPECT_FALSE(results[i].shed) << results[i].id;
-            EXPECT_TRUE(results[i].feasible) << results[i].id;
+            EXPECT_FALSE(results[i].shed()) << results[i].id;
+            EXPECT_TRUE(results[i].feasible()) << results[i].id;
         }
     }
 }
@@ -338,14 +338,14 @@ TEST_F(ServiceFaultTest, QueueBoundIsSharedAcrossConcurrentBatches) {
     ASSERT_EQ(firstResults.size(), 4u);
     ASSERT_EQ(secondResults.size(), 4u);
     for (const QueryResult& r : secondResults) {
-        EXPECT_TRUE(r.shed) << r.id;
-        EXPECT_EQ(r.trace.verdict, "shed") << r.id;
+        EXPECT_TRUE(r.shed()) << r.id;
+        EXPECT_EQ(r.trace.verdict, Verdict::Shed) << r.id;
     }
     int answered = 0;
     for (const QueryResult& r : firstResults)
-        if (!r.shed) {
+        if (!r.shed()) {
             ++answered;
-            EXPECT_TRUE(r.feasible) << r.id;
+            EXPECT_TRUE(r.feasible()) << r.id;
         }
     EXPECT_EQ(answered, 2) << "first batch should admit exactly the bound";
 }
@@ -362,10 +362,11 @@ TEST_F(ServiceFaultTest, DeadlineExpiredInQueueReturnsWithoutSolving) {
     r.options.timeoutMs = 20;
     const std::vector<QueryResult> results = service.runBatch({r});
     ASSERT_EQ(results.size(), 1u);
-    EXPECT_TRUE(results[0].timedOut);
-    EXPECT_FALSE(results[0].feasible);
-    EXPECT_TRUE(results[0].error.ok);
-    EXPECT_EQ(results[0].trace.verdict, "unknown");
+    EXPECT_TRUE(results[0].timedOut());
+    EXPECT_FALSE(results[0].feasible());
+    EXPECT_TRUE(results[0].ok());
+    // v4 traces distinguish deadline expiry from budget exhaustion.
+    EXPECT_EQ(results[0].trace.verdict, Verdict::TimedOut);
     EXPECT_EQ(results[0].trace.solveMs, 0.0);
     EXPECT_GE(results[0].trace.queueWaitMs, 20.0);
 }
@@ -382,11 +383,11 @@ TEST_F(ServiceFaultTest, UnknownVerdictIsRetriedWithFreshSeeds) {
     QueryRequest r = request(QueryKind::Feasibility, caseStudyProblem(), "r");
     r.options.conflictBudget = 0;
     const QueryResult result = service.run(r);
-    EXPECT_TRUE(result.timedOut);
-    EXPECT_FALSE(result.feasible);
+    EXPECT_TRUE(result.timedOut());
+    EXPECT_FALSE(result.feasible());
     EXPECT_EQ(result.retries, 2);
-    EXPECT_EQ(result.trace.verdict, "unknown");
-    EXPECT_TRUE(result.error.ok);
+    EXPECT_EQ(result.trace.verdict, Verdict::Unknown);
+    EXPECT_TRUE(result.ok());
 }
 
 TEST_F(ServiceFaultTest, RetryDisabledKeepsSingleAttempt) {
@@ -397,7 +398,7 @@ TEST_F(ServiceFaultTest, RetryDisabledKeepsSingleAttempt) {
     QueryRequest r = request(QueryKind::Feasibility, caseStudyProblem());
     r.options.conflictBudget = 0;
     const QueryResult result = service.run(r);
-    EXPECT_TRUE(result.timedOut);
+    EXPECT_TRUE(result.timedOut());
     EXPECT_EQ(result.retries, 0);
 }
 
@@ -410,10 +411,10 @@ TEST_F(ServiceFaultTest, BackendFailureFallsBackToCdcl) {
     QueryRequest r = request(QueryKind::Optimize, caseStudyProblem(), "fb");
     r.options.backend = smt::BackendKind::Z3;
     const QueryResult result = service.run(r);
-    EXPECT_TRUE(result.error.ok) << result.error.message;
-    EXPECT_TRUE(result.feasible);
+    EXPECT_TRUE(result.ok()) << result.error.message;
+    EXPECT_TRUE(result.feasible());
     EXPECT_TRUE(result.backendFellBack);
-    EXPECT_EQ(result.trace.verdict, "sat");
+    EXPECT_EQ(result.trace.verdict, Verdict::Sat);
 }
 
 TEST_F(ServiceFaultTest, FallbackDisabledSurfacesTheBackendError) {
@@ -424,7 +425,7 @@ TEST_F(ServiceFaultTest, FallbackDisabledSurfacesTheBackendError) {
     QueryRequest r = request(QueryKind::Optimize, caseStudyProblem());
     r.options.backend = smt::BackendKind::Z3;
     const QueryResult result = service.run(r);
-    EXPECT_FALSE(result.error.ok);
+    EXPECT_FALSE(result.ok());
     EXPECT_EQ(result.error.errorKind, "fault_injected");
 }
 

@@ -11,7 +11,7 @@
 //   larctl optimize <kb.json> <prob.json>  lexicographically optimal design
 //   larctl enumerate <kb.json> <prob.json> [N]   distinct optimal designs
 //   larctl batch <kb.json> <batch.json> [threads] [--trace-out <dir>]
-//                [--deadline-ms <n>] [--max-queue <n>]
+//                [--deadline-ms <n>] [--max-queue <n>] [--portfolio <n>]
 //                                          run a query batch through the
 //                                          caching service; JSON out, plus a
 //                                          Chrome trace_event file (load in
@@ -21,7 +21,10 @@
 //                                          deadline on every query (queue wait
 //                                          and compile both count against it);
 //                                          --max-queue bounds the batch queue
-//                                          (overload is shed, never hung).
+//                                          (overload is shed, never hung);
+//                                          --portfolio races N diverse CDCL
+//                                          solvers per query (budgeted
+//                                          against the thread pool).
 //                                          Exit codes: 0 all answered, 1 some
 //                                          infeasible or errored, 2 malformed
 //                                          batch file (one-line JSON error on
@@ -87,7 +90,7 @@ int usage() {
                  "  optimize  <kb.json> <problem.json>\n"
                  "  enumerate <kb.json> <problem.json> [maxDesigns]\n"
                  "  batch     <kb.json> <batch.json> [threads] [--trace-out <dir>]\n"
-                 "            [--deadline-ms <n>] [--max-queue <n>]\n"
+                 "            [--deadline-ms <n>] [--max-queue <n>] [--portfolio <n>]\n"
                  "  metrics   [--json] [<kb.json> <batch.json> [threads]]\n"
                  "  suggest   <kb.json> <problem.json>\n"
                  "  ordering  <kb.json> <objective>\n"
@@ -185,7 +188,7 @@ int cmdEnumerate(const std::string& kbPath, const std::string& problemPath,
 // query may override. A query object:
 //   {"id": "q1", "kind": "optimize", "problem": {...problem spec...},
 //    "max_designs": 4, "backend": "cdcl", "seed": 7, "timeout_ms": 0,
-//    "trace": true, "progress_every_conflicts": 256}
+//    "trace": true, "progress_every_conflicts": 256, "portfolio_workers": 1}
 reason::QueryOptions queryOptionsFromJson(const json::Value& v,
                                           reason::QueryOptions defaults) {
     const json::Object& obj = v.asObject();
@@ -209,12 +212,16 @@ reason::QueryOptions queryOptionsFromJson(const json::Value& v,
     if (obj.contains("progress_every_conflicts"))
         defaults.progressEveryConflicts =
             static_cast<int>(obj.at("progress_every_conflicts").asInt());
+    if (obj.contains("portfolio_workers"))
+        defaults.portfolioWorkers =
+            static_cast<int>(obj.at("portfolio_workers").asInt());
     return defaults;
 }
 
 int cmdBatch(const std::string& kbPath, const std::string& batchPath,
              unsigned threads, const std::string& traceOut = {},
-             bool quiet = false, int deadlineMs = -1, long maxQueue = -1) {
+             bool quiet = false, int deadlineMs = -1, long maxQueue = -1,
+             int portfolio = 0) {
     const kb::KnowledgeBase kb = loadKb(kbPath);
 
     reason::ServiceOptions serviceOptions;
@@ -285,6 +292,9 @@ int cmdBatch(const std::string& kbPath, const std::string& batchPath,
 
     if (deadlineMs >= 0)
         for (reason::QueryRequest& r : requests) r.options.timeoutMs = deadlineMs;
+    if (portfolio > 0)
+        for (reason::QueryRequest& r : requests)
+            r.options.portfolioWorkers = portfolio;
     if (maxQueue >= 0)
         serviceOptions.maxQueueDepth = static_cast<std::size_t>(maxQueue);
 
@@ -298,13 +308,14 @@ int cmdBatch(const std::string& kbPath, const std::string& batchPath,
         json::Value v;
         v["id"] = r.id;
         v["kind"] = reason::toString(r.kind);
-        v["feasible"] = r.feasible;
-        if (r.timedOut) v["timed_out"] = true;
-        if (r.shed) v["shed"] = true;
-        if (r.cancelled) v["cancelled"] = true;
+        v["verdict"] = std::string(reason::verdictName(r.verdict));
+        v["feasible"] = r.feasible();
+        if (r.timedOut()) v["timed_out"] = true;
+        if (r.shed()) v["shed"] = true;
+        if (r.cancelled()) v["cancelled"] = true;
         if (r.retries > 0) v["retries"] = static_cast<std::int64_t>(r.retries);
         if (r.backendFellBack) v["backend_fallback"] = true;
-        if (!r.error.ok) {
+        if (!r.ok()) {
             json::Value detail;
             detail["kind"] = r.error.errorKind;
             detail["message"] = r.error.message;
@@ -327,7 +338,7 @@ int cmdBatch(const std::string& kbPath, const std::string& batchPath,
         out.push_back(std::move(v));
         // Shed and cancelled queries are reported but do not fail the batch
         // — the caller opted into admission control / cancellation.
-        if (!r.error.ok || (!r.feasible && !r.timedOut && !r.shed))
+        if (!r.ok() || (!r.feasible() && !r.timedOut() && !r.shed()))
             anyInfeasible = true;
     }
 
@@ -357,10 +368,12 @@ int cmdBatch(const std::string& kbPath, const std::string& batchPath,
 }
 
 int cmdMetrics(bool asJson, const std::string& kbPath,
-               const std::string& batchPath, unsigned threads) {
+               const std::string& batchPath, unsigned threads,
+               int portfolio = 0) {
     // Optionally run a batch first so the dump shows a populated registry
     // (the registry is per-process; a fresh larctl starts empty).
-    if (!kbPath.empty()) (void)cmdBatch(kbPath, batchPath, threads, {}, true);
+    if (!kbPath.empty())
+        (void)cmdBatch(kbPath, batchPath, threads, {}, true, -1, -1, portfolio);
     obs::Registry& registry = obs::Registry::global();
     if (asJson)
         std::printf("%s\n", json::writePretty(registry.toJson()).c_str());
@@ -439,6 +452,7 @@ int main(int argc, char** argv) {
             std::string traceOut;
             int deadlineMs = -1;
             long maxQueue = -1;
+            int portfolio = 0;
             std::vector<std::string> positional;
             for (int i = 2; i < argc; ++i) {
                 if (std::strcmp(argv[i], "--trace-out") == 0) {
@@ -476,6 +490,23 @@ int main(int argc, char** argv) {
                                      argv[i]);
                         return 1;
                     }
+                } else if (std::strcmp(argv[i], "--portfolio") == 0) {
+                    if (i + 1 >= argc) {
+                        std::fprintf(stderr,
+                                     "larctl: --portfolio needs a worker "
+                                     "count\n");
+                        return 1;
+                    }
+                    long value = 0;
+                    if (!parseLongArg(argv[++i], value) || value < 1 ||
+                        value > 16) {
+                        std::fprintf(stderr,
+                                     "larctl: --portfolio must be a number in "
+                                     "1..16 (1 = single solver), got '%s'\n",
+                                     argv[i]);
+                        return 1;
+                    }
+                    portfolio = static_cast<int>(value);
                 } else if (std::strcmp(argv[i], "--json") == 0) {
                     asJson = true;
                 } else {
@@ -500,10 +531,10 @@ int main(int argc, char** argv) {
                 return cmdMetrics(asJson,
                                   positional.empty() ? "" : positional[0],
                                   positional.empty() ? "" : positional[1],
-                                  static_cast<unsigned>(threads));
+                                  static_cast<unsigned>(threads), portfolio);
             return cmdBatch(positional[0], positional[1],
                             static_cast<unsigned>(threads), traceOut,
-                            /*quiet=*/false, deadlineMs, maxQueue);
+                            /*quiet=*/false, deadlineMs, maxQueue, portfolio);
         }
         if (command == "suggest" && argc == 4)
             return cmdSuggest(argv[2], argv[3]);
