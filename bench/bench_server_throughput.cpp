@@ -1,0 +1,310 @@
+// SRV1 — HTTP serving layer: throughput, overload behaviour, drain safety.
+//
+// Four in-process experiments against net::HttpServer on loopback:
+//
+//  1. HTTP layer capacity: 4 client threads hammer a minimal handler.
+//     Gates: ≥1000 QPS and p99 < 100 ms — the serving machinery (epoll
+//     loops, handler pool, keep-alive) must never be the bottleneck in
+//     front of the reasoning service.
+//  2. /v1/query end-to-end: the same wire path larserved serves, backed by
+//     a real reason::Service on a cache-warm problem (informational —
+//     solver time dominates and varies by machine).
+//  3. 4× oversubscription: far more concurrent clients than the inflight
+//     cap. Gate: requests shed with 503 + Retry-After, everything else
+//     answered 200 — never a malformed response, never unbounded queueing.
+//  4. Drain mid-load: drainAndStop while clients hammer. Gate: every
+//     request either gets a complete response or a clean connection close
+//     — zero crashed/garbled connections.
+//
+// Writes machine-readable results to BENCH_server.json (override the path
+// with argv[1]).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "json/parse.hpp"
+#include "json/value.hpp"
+#include "json/write.hpp"
+#include "net/http_client.hpp"
+#include "net/server.hpp"
+#include "reason/service.hpp"
+#include "reason/service_io.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+namespace {
+
+double percentile(std::vector<double> samples, double q) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+struct LoadResult {
+    double qps = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    long long answered = 0;
+    long long errors = 0; ///< transport-level failures (throw from the client)
+};
+
+/// `threads` clients, each its own keep-alive connection, `perThread`
+/// POSTs of `body` to `path`; per-request latency collected client-side.
+LoadResult runLoad(std::uint16_t port, const std::string& path,
+                   const std::string& body, int threads, int perThread) {
+    std::mutex mergeMutex;
+    std::vector<double> latencies;
+    std::atomic<long long> answered{0};
+    std::atomic<long long> errors{0};
+
+    util::Stopwatch wall;
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&] {
+            std::vector<double> local;
+            local.reserve(static_cast<std::size_t>(perThread));
+            try {
+                net::HttpClient client("127.0.0.1", port);
+                for (int i = 0; i < perThread; ++i) {
+                    util::Stopwatch timer;
+                    const net::ClientResponse resp = client.post(path, body);
+                    local.push_back(timer.millis());
+                    if (resp.status == 200) answered.fetch_add(1);
+                }
+            } catch (const Error&) {
+                errors.fetch_add(1);
+            }
+            const std::lock_guard<std::mutex> lock(mergeMutex);
+            latencies.insert(latencies.end(), local.begin(), local.end());
+        });
+    }
+    for (std::thread& t : clients) t.join();
+    const double wallMs = wall.millis();
+
+    LoadResult r;
+    r.answered = answered.load();
+    r.errors = errors.load();
+    r.qps = wallMs > 0.0 ? static_cast<double>(latencies.size()) * 1000.0 /
+                               wallMs
+                         : 0.0;
+    r.p50Ms = percentile(latencies, 0.50);
+    r.p99Ms = percentile(latencies, 0.99);
+    return r;
+}
+
+std::string queryBody(const kb::KnowledgeBase& kb) {
+    // Same shape larctl --url sends; small enough to solve in milliseconds
+    // and identical every time, so the Service's compilation cache is warm
+    // after the first request.
+    (void)kb;
+    return R"({"kind":"feasible","problem":{"hardware":{)"
+           R"("server":{"count":60},"switch":{"count":8},"nic":{"count":60}},)"
+           R"("objective_priority":["latency"]}})";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::string outPath = argc > 1 ? argv[1] : "BENCH_server.json";
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    json::Value report;
+
+    // ---- 1. HTTP layer capacity (gated) --------------------------------
+    bench::printHeader("HTTP layer capacity (minimal handler, 4 clients)");
+    LoadResult http;
+    {
+        net::ServerOptions options;
+        options.accessLog = false;
+        net::HttpServer server(options);
+        server.route("POST", "/echo", [](const net::HttpRequest& req) {
+            return net::HttpResponse::text(200, req.body);
+        });
+        server.start();
+        // Warm-up: first connections pay thread/epoll start-up costs.
+        (void)runLoad(server.port(), "/echo", "ping", 2, 50);
+        http = runLoad(server.port(), "/echo", "ping", 4, 1500);
+        server.stop();
+    }
+    bench::printRow({"metric", "value"});
+    bench::printRule();
+    bench::printRow({"QPS", bench::num(static_cast<long long>(http.qps))});
+    bench::printRow({"p50", bench::ms(http.p50Ms)});
+    bench::printRow({"p99", bench::ms(http.p99Ms)});
+    bench::printRow({"transport errors", bench::num(http.errors)});
+    const bool httpOk =
+        http.qps >= 1000.0 && http.p99Ms < 100.0 && http.errors == 0;
+    report["http_qps"] = http.qps;
+    report["http_p50_ms"] = http.p50Ms;
+    report["http_p99_ms"] = http.p99Ms;
+
+    // ---- 2. /v1/query end-to-end (informational) -----------------------
+    bench::printHeader("/v1/query end-to-end (real service, warm cache)");
+    LoadResult query;
+    {
+        reason::Service service;
+        net::ServerOptions options;
+        options.accessLog = false;
+        net::HttpServer server(options);
+        server.route("POST", "/v1/query", [&](const net::HttpRequest& req) {
+            const json::Value doc = json::parse(req.body);
+            const reason::QueryRequest request = reason::queryRequestFromJson(
+                doc, kb, reason::QueryOptions{}, /*index=*/0);
+            const reason::QueryResult result = service.run(request);
+            net::HttpResponse resp;
+            resp.body = json::write(reason::resultToJson(result, false));
+            return resp;
+        });
+        server.start();
+        const std::string body = queryBody(kb);
+        (void)runLoad(server.port(), "/v1/query", body, 1, 3); // warm cache
+        query = runLoad(server.port(), "/v1/query", body, 4, 50);
+        server.stop();
+    }
+    bench::printRow({"metric", "value"});
+    bench::printRule();
+    bench::printRow({"QPS", bench::num(static_cast<long long>(query.qps))});
+    bench::printRow({"p50", bench::ms(query.p50Ms)});
+    bench::printRow({"p99", bench::ms(query.p99Ms)});
+    report["query_qps"] = query.qps;
+    report["query_p50_ms"] = query.p50Ms;
+    report["query_p99_ms"] = query.p99Ms;
+
+    // ---- 3. 4x oversubscription (gated) --------------------------------
+    bench::printHeader("4x oversubscription (inflight cap 4, 16 clients)");
+    std::atomic<long long> served{0}, shed{0}, other{0};
+    std::atomic<long long> oversubErrors{0};
+    {
+        net::ServerOptions options;
+        options.accessLog = false;
+        options.maxInflight = 4;
+        net::HttpServer server(options);
+        server.route("POST", "/work", [](const net::HttpRequest& req) {
+            // A few ms of "solving" keeps the inflight slots occupied so
+            // the surplus clients actually hit the cap.
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return net::HttpResponse::text(200, req.body);
+        });
+        server.start();
+        std::vector<std::thread> clients;
+        for (int t = 0; t < 16; ++t) {
+            clients.emplace_back([&, port = server.port()] {
+                try {
+                    net::HttpClient client("127.0.0.1", port);
+                    for (int i = 0; i < 25; ++i) {
+                        const net::ClientResponse resp =
+                            client.post("/work", "x");
+                        if (resp.status == 200) served.fetch_add(1);
+                        else if (resp.status == 503 &&
+                                 resp.header("Retry-After") != nullptr)
+                            shed.fetch_add(1);
+                        else other.fetch_add(1);
+                    }
+                } catch (const Error&) {
+                    oversubErrors.fetch_add(1);
+                }
+            });
+        }
+        for (std::thread& t : clients) t.join();
+        server.stop();
+    }
+    bench::printRow({"outcome", "count"});
+    bench::printRule();
+    bench::printRow({"200 served", bench::num(served.load())});
+    bench::printRow({"503 shed (Retry-After)", bench::num(shed.load())});
+    bench::printRow({"other status", bench::num(other.load())});
+    bench::printRow({"transport errors", bench::num(oversubErrors.load())});
+    const bool oversubOk = shed.load() > 0 && other.load() == 0 &&
+                           oversubErrors.load() == 0 &&
+                           served.load() + shed.load() == 16 * 25;
+    report["oversub_served"] = static_cast<std::int64_t>(served.load());
+    report["oversub_shed"] = static_cast<std::int64_t>(shed.load());
+
+    // ---- 4. drain mid-load (gated) -------------------------------------
+    bench::printHeader("drain mid-load (4 clients, drainAndStop underneath)");
+    std::atomic<long long> drainServed{0};
+    std::atomic<long long> drainClosed{0}; ///< clean close after drain began
+    std::atomic<long long> drainBad{0};    ///< garbled response / early close
+    {
+        net::ServerOptions options;
+        options.accessLog = false;
+        net::HttpServer server(options);
+        server.route("POST", "/echo", [](const net::HttpRequest& req) {
+            return net::HttpResponse::text(200, req.body);
+        });
+        server.start();
+        std::atomic<bool> drainStarted{false};
+        std::vector<std::thread> clients;
+        for (int t = 0; t < 4; ++t) {
+            clients.emplace_back([&, port = server.port()] {
+                for (int i = 0; i < 500; ++i) {
+                    try {
+                        net::HttpClient client("127.0.0.1", port);
+                        const net::ClientResponse resp =
+                            client.post("/echo", "d");
+                        if (resp.status == 200 && resp.body == "d")
+                            drainServed.fetch_add(1);
+                        else
+                            drainBad.fetch_add(1);
+                    } catch (const Error&) {
+                        // Refused/closed connections are the drain contract —
+                        // but only once the drain has actually begun.
+                        if (drainStarted.load()) {
+                            drainClosed.fetch_add(1);
+                            return;
+                        }
+                        drainBad.fetch_add(1);
+                    }
+                }
+            });
+        }
+        while (drainServed.load() < 50) std::this_thread::yield();
+        drainStarted.store(true);
+        server.drainAndStop(/*graceMs=*/2000);
+        for (std::thread& t : clients) t.join();
+    }
+    bench::printRow({"outcome", "count"});
+    bench::printRule();
+    bench::printRow({"200 served", bench::num(drainServed.load())});
+    bench::printRow({"clean close after drain", bench::num(drainClosed.load())});
+    bench::printRow({"crashed/garbled", bench::num(drainBad.load())});
+    const bool drainOk = drainServed.load() >= 50 && drainBad.load() == 0;
+    report["drain_served"] = static_cast<std::int64_t>(drainServed.load());
+    report["drain_bad_connections"] = static_cast<std::int64_t>(drainBad.load());
+
+    // ---- verdict + machine-readable report -----------------------------
+    const bool ok = httpOk && oversubOk && drainOk;
+    report["pass"] = ok;
+    if (std::FILE* f = std::fopen(outPath.c_str(), "w")) {
+        const std::string text = json::write(report);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", outPath.c_str());
+    } else {
+        std::printf("\ncould not write %s\n", outPath.c_str());
+        return EXIT_FAILURE;
+    }
+    std::printf("SRV1: %s\n",
+                ok ? "serving layer fast, sheds under overload, drains clean"
+                   : "FAILED");
+    if (!httpOk)
+        std::printf("  gate: HTTP layer %s\n",
+                    http.errors != 0 ? "had transport errors"
+                                     : "below 1000 QPS / p99 over 100 ms");
+    if (!oversubOk) std::printf("  gate: oversubscription behaviour wrong\n");
+    if (!drainOk) std::printf("  gate: drain lost or garbled connections\n");
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -5,6 +5,7 @@
 #   scripts/verify.sh tier1      plain build + ctest only
 #   scripts/verify.sh sanitize   ASan/UBSan build + ctest only
 #   scripts/verify.sh portfolio  TSan portfolio suite only
+#   scripts/verify.sh server     HTTP server: unit + TSan + live smoke + bench
 #
 # The tier-1 leg uses the regular build/ tree (shared with development, so
 # incremental rebuilds are cheap). The sanitize leg configures a separate
@@ -34,6 +35,43 @@ run_portfolio() {
     (cd "$root/build" && ctest --output-on-failure -R '^portfolio_tsan$')
 }
 
+run_server() {
+    # The network subsystem end to end: parser/server unit suites, the same
+    # suites under ThreadSanitizer, a live larserved round-trip driven by
+    # larctl --url, and the throughput/overload/drain bench with its gates.
+    echo "== server: HTTP unit + TSan + live smoke + bench =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j"$jobs" --target \
+        http_test server_test server_test_tsan larserved larctl \
+        bench_server_throughput
+    (cd "$root/build" && ctest --output-on-failure -R \
+        '^(HttpParser|HttpServer|HttpClient)|^server_tsan$')
+
+    echo "-- live smoke: larserved + larctl --url --"
+    smoke="$root/build/server_smoke"
+    rm -rf "$smoke" && mkdir -p "$smoke"
+    "$root/build/tools/larserved" --port 0 --port-file "$smoke/port" \
+        --drain-grace-ms 2000 &
+    served_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$smoke/port" ] && break
+        sleep 0.1
+    done
+    [ -s "$smoke/port" ] || { echo "larserved never wrote its port"; exit 1; }
+    url="http://127.0.0.1:$(cat "$smoke/port")"
+    echo '{"hardware":{"server":{"count":60},"switch":{"count":8},"nic":{"count":60}},"objective_priority":["latency"]}' \
+        > "$smoke/prob.json"
+    "$root/build/tools/larctl" --url "$url" feasible "$smoke/prob.json" \
+        > "$smoke/feasible.json"
+    grep -q '"feasible"' "$smoke/feasible.json"
+    "$root/build/tools/larctl" --url "$url" metrics | grep -q lar_http_requests_total
+    kill -TERM "$served_pid"
+    wait "$served_pid" || { echo "larserved did not drain cleanly"; exit 1; }
+
+    echo "-- bench: throughput / overload / drain gates --"
+    (cd "$root/build" && ./bench/bench_server_throughput)
+}
+
 run_sanitize() {
     echo "== sanitize: LAR_SANITIZE=address,undefined build + ctest =="
     cmake -B "$root/build-asan" -S "$root" -DLAR_SANITIZE=address,undefined
@@ -48,13 +86,15 @@ case "$leg" in
     tier1) run_tier1 ;;
     sanitize) run_sanitize ;;
     portfolio) run_portfolio ;;
+    server) run_server ;;
     all)
         run_tier1
         run_portfolio
+        run_server
         run_sanitize
         ;;
     *)
-        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|all]" >&2
+        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|server|all]" >&2
         exit 2
         ;;
 esac

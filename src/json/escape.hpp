@@ -1,0 +1,62 @@
+// The one JSON string escaper.
+//
+// Three code paths used to carry their own copy — json::write, the
+// structured logger's jsonQuote, and (almost) the HTTP response writer —
+// each with slightly different coverage of the control range. They now all
+// route through here. Header-only on purpose: lar_util sits below lar_json
+// in the link order, so util::logLineJson can include this without creating
+// a dependency cycle.
+//
+// Escaping rules (RFC 8259 §7): `"` and `\` get a backslash, the common
+// control characters use their two-character forms (\b \f \n \r \t), every
+// other byte below 0x20 becomes \u00XX. Bytes >= 0x20 — including DEL and
+// arbitrary (possibly invalid) UTF-8 — pass through untouched; producing
+// well-formed JSON framing is this function's job, transcoding is not.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lar::json {
+
+/// Appends the escaped form of `s` to `out` WITHOUT surrounding quotes.
+inline void appendEscaped(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned char>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+/// Appends `"escaped(s)"` — the escaped form inside double quotes.
+inline void appendQuoted(std::string& out, std::string_view s) {
+    out += '"';
+    appendEscaped(out, s);
+    out += '"';
+}
+
+/// Returns `"escaped(s)"` as a fresh string.
+[[nodiscard]] inline std::string quoted(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    appendQuoted(out, s);
+    return out;
+}
+
+} // namespace lar::json

@@ -1,0 +1,454 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "json/escape.hpp"
+#include "util/error.hpp"
+
+namespace lar::net {
+
+namespace {
+
+bool isTokenChar(char c) {
+    // RFC 7230 token: visible ASCII minus separators.
+    static constexpr std::string_view kExtra = "!#$%&'*+-.^_`|~";
+    const auto u = static_cast<unsigned char>(c);
+    return std::isalnum(u) != 0 || kExtra.find(c) != std::string_view::npos;
+}
+
+bool isVisible(char c) {
+    const auto u = static_cast<unsigned char>(c);
+    return u > 0x20 && u != 0x7f;
+}
+
+std::string_view trimmed(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+} // namespace
+
+bool caseEquals(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+const std::string* HttpRequest::header(std::string_view name) const {
+    for (const HttpHeader& h : headers)
+        if (caseEquals(h.name, name)) return &h.value;
+    return nullptr;
+}
+
+std::string_view HttpRequest::path() const {
+    const std::string_view t = target;
+    const std::size_t q = t.find('?');
+    return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+HttpParser::HttpParser(const HttpLimits& limits) : limits_(limits) {}
+
+void HttpParser::fail(int status, std::string reason) {
+    state_ = State::Failed;
+    errorStatus_ = status;
+    errorReason_ = std::move(reason);
+}
+
+void HttpParser::reset() {
+    request_.method.clear();
+    request_.target.clear();
+    request_.versionMinor = 1;
+    request_.headers.clear();
+    request_.body.clear();
+    request_.keepAlive = true;
+    request_.expectContinue = false;
+    state_ = State::RequestLine;
+    line_.clear();
+    sawCr_ = false;
+    begun_ = false;
+    headerBytes_ = 0;
+    bodyRemaining_ = 0;
+    errorStatus_ = 0;
+    errorReason_.clear();
+}
+
+bool HttpParser::takeLine(std::string_view data, std::size_t& used,
+                          std::size_t cap, int overflowStatus,
+                          const char* overflowReason) {
+    // A CR seen at the end of the previous feed must be followed by LF.
+    if (sawCr_) {
+        if (used >= data.size()) return false;
+        if (data[used] != '\n') {
+            fail(400, "bare CR in line");
+            return false;
+        }
+        ++used;
+        sawCr_ = false;
+        return true;
+    }
+    while (used < data.size()) {
+        const char c = data[used];
+        ++used;
+        if (c == '\n') {
+            // Accept both CRLF and bare LF (curl/netcat friendliness).
+            if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+            return true;
+        }
+        if (c == '\r') {
+            // Defer: the LF may be in the next feed. Store the CR so the
+            // length check below still counts it.
+            if (used < data.size()) {
+                if (data[used] == '\n') {
+                    ++used;
+                    return true;
+                }
+                fail(400, "bare CR in line");
+                return false;
+            }
+            sawCr_ = true;
+            return false;
+        }
+        line_ += c;
+        if (line_.size() > cap) {
+            fail(overflowStatus, overflowReason);
+            return false;
+        }
+    }
+    return false;
+}
+
+bool HttpParser::parseRequestLine() {
+    // Robustness (RFC 7230 §3.5): ignore blank line(s) before the request.
+    if (line_.empty()) return true;
+
+    const std::string_view line = line_;
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+        fail(400, "malformed request line");
+        return false;
+    }
+    const std::string_view method = line.substr(0, sp1);
+    const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+
+    if (method.empty() ||
+        !std::all_of(method.begin(), method.end(), isTokenChar)) {
+        fail(400, "malformed method");
+        return false;
+    }
+    if (target.empty() ||
+        !std::all_of(target.begin(), target.end(), isVisible)) {
+        fail(400, "malformed request target");
+        return false;
+    }
+    if (version == "HTTP/1.1") {
+        request_.versionMinor = 1;
+    } else if (version == "HTTP/1.0") {
+        request_.versionMinor = 0;
+    } else {
+        fail(505, "unsupported HTTP version");
+        return false;
+    }
+    request_.method.assign(method);
+    request_.target.assign(target);
+    state_ = State::Headers;
+    return true;
+}
+
+bool HttpParser::parseHeaderLine() {
+    if (line_.empty()) return finishHeaders();
+    if (line_.front() == ' ' || line_.front() == '\t') {
+        fail(400, "obsolete header folding");
+        return false;
+    }
+    if (request_.headers.size() >= limits_.maxHeaders) {
+        fail(431, "too many headers");
+        return false;
+    }
+    const std::string_view line = line_;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+        fail(400, "malformed header line");
+        return false;
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(), isTokenChar)) {
+        fail(400, "malformed header name");
+        return false;
+    }
+    const std::string_view value = trimmed(line.substr(colon + 1));
+    for (const char c : value) {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20 && c != '\t') {
+            fail(400, "control character in header value");
+            return false;
+        }
+    }
+    request_.headers.push_back(
+        HttpHeader{std::string(name), std::string(value)});
+    return true;
+}
+
+bool HttpParser::finishHeaders() {
+    // Keep-alive: 1.1 defaults on, 1.0 defaults off; Connection overrides.
+    request_.keepAlive = request_.versionMinor >= 1;
+    if (const std::string* connection = request_.header("Connection")) {
+        if (caseEquals(*connection, "close")) request_.keepAlive = false;
+        else if (caseEquals(*connection, "keep-alive"))
+            request_.keepAlive = true;
+    }
+    if (const std::string* expect = request_.header("Expect")) {
+        if (caseEquals(*expect, "100-continue")) request_.expectContinue = true;
+    }
+
+    const std::string* te = request_.header("Transfer-Encoding");
+    const std::string* cl = nullptr;
+    for (const HttpHeader& h : request_.headers) {
+        if (!caseEquals(h.name, "Content-Length")) continue;
+        if (cl != nullptr) {
+            // RFC 7230 §3.3.2 allows identical duplicates, but they are a
+            // smuggling vector — reject them all.
+            fail(400, "multiple Content-Length headers");
+            return false;
+        }
+        cl = &h.value;
+    }
+    if (te != nullptr) {
+        if (!caseEquals(trimmed(*te), "chunked")) {
+            fail(501, "unsupported transfer coding");
+            return false;
+        }
+        if (cl != nullptr) {
+            // RFC 7230 §3.3.3: reject the smuggling-prone combination.
+            fail(400, "both Transfer-Encoding and Content-Length");
+            return false;
+        }
+        state_ = State::ChunkSize;
+        return true;
+    }
+    if (cl != nullptr) {
+        const std::string_view text = *cl;
+        if (text.empty() ||
+            !std::all_of(text.begin(), text.end(), [](char c) {
+                return std::isdigit(static_cast<unsigned char>(c)) != 0;
+            }) ||
+            text.size() > 19) {
+            fail(400, "malformed Content-Length");
+            return false;
+        }
+        std::uint64_t length = 0;
+        for (const char c : text) length = length * 10 + (c - '0');
+        if (length > limits_.maxBodyBytes) {
+            fail(413, "request body too large");
+            return false;
+        }
+        if (length == 0) {
+            state_ = State::Complete;
+            return true;
+        }
+        bodyRemaining_ = static_cast<std::size_t>(length);
+        request_.body.reserve(bodyRemaining_);
+        state_ = State::FixedBody;
+        return true;
+    }
+    state_ = State::Complete;
+    return true;
+}
+
+HttpParser::Status HttpParser::consume(std::string_view data,
+                                       std::size_t& used) {
+    expects(state_ != State::Complete && state_ != State::Failed,
+            "HttpParser::consume: reset() required after Complete/Failed");
+    used = 0;
+    if (!data.empty()) begun_ = true;
+    while (used < data.size() || state_ == State::Complete) {
+        switch (state_) {
+            case State::RequestLine: {
+                if (!takeLine(data, used, limits_.maxRequestLineBytes, 431,
+                              "request line too long"))
+                    break;
+                const bool ok = parseRequestLine();
+                line_.clear();
+                if (!ok) break;
+                continue;
+            }
+            case State::Headers:
+            case State::Trailers: {
+                const std::size_t before = line_.size();
+                const bool complete =
+                    takeLine(data, used, limits_.maxHeaderBytes, 431,
+                             "header block too large");
+                headerBytes_ += line_.size() - before;
+                if (headerBytes_ > limits_.maxHeaderBytes) {
+                    fail(431, "header block too large");
+                    break;
+                }
+                if (!complete) break;
+                bool ok = true;
+                if (state_ == State::Headers) {
+                    ok = parseHeaderLine();
+                } else if (line_.empty()) {
+                    state_ = State::Complete; // end of trailer block
+                }
+                // Trailer fields themselves are skipped: the server does not
+                // use any, and they already count against maxHeaderBytes.
+                line_.clear();
+                if (!ok) break;
+                continue;
+            }
+            case State::FixedBody: {
+                const std::size_t take =
+                    std::min(bodyRemaining_, data.size() - used);
+                request_.body.append(data.substr(used, take));
+                used += take;
+                bodyRemaining_ -= take;
+                if (bodyRemaining_ == 0) state_ = State::Complete;
+                continue;
+            }
+            case State::ChunkSize: {
+                if (!takeLine(data, used, /*cap=*/1024, 400,
+                              "chunk-size line too long"))
+                    break;
+                // chunk-size [;extensions] — extensions are ignored.
+                std::string_view text = line_;
+                const std::size_t semi = text.find(';');
+                if (semi != std::string_view::npos)
+                    text = trimmed(text.substr(0, semi));
+                if (text.empty() || text.size() > 16 ||
+                    !std::all_of(text.begin(), text.end(), [](char c) {
+                        return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+                    })) {
+                    fail(400, "malformed chunk size");
+                    line_.clear();
+                    break;
+                }
+                std::uint64_t size = 0;
+                for (const char c : text) {
+                    const auto u = static_cast<unsigned char>(c);
+                    size = size * 16 +
+                           static_cast<std::uint64_t>(
+                               std::isdigit(u) != 0
+                                   ? c - '0'
+                                   : std::tolower(u) - 'a' + 10);
+                }
+                line_.clear();
+                if (size == 0) {
+                    state_ = State::Trailers;
+                    continue;
+                }
+                if (request_.body.size() + size > limits_.maxBodyBytes) {
+                    fail(413, "request body too large");
+                    break;
+                }
+                bodyRemaining_ = static_cast<std::size_t>(size);
+                state_ = State::ChunkData;
+                continue;
+            }
+            case State::ChunkData: {
+                const std::size_t take =
+                    std::min(bodyRemaining_, data.size() - used);
+                request_.body.append(data.substr(used, take));
+                used += take;
+                bodyRemaining_ -= take;
+                if (bodyRemaining_ == 0) state_ = State::ChunkDataEnd;
+                continue;
+            }
+            case State::ChunkDataEnd: {
+                if (!takeLine(data, used, /*cap=*/2, 400,
+                              "missing CRLF after chunk"))
+                    break;
+                const bool ok = line_.empty();
+                line_.clear();
+                if (!ok) {
+                    fail(400, "missing CRLF after chunk");
+                    break;
+                }
+                state_ = State::ChunkSize;
+                continue;
+            }
+            case State::Complete:
+                return Status::Complete;
+            case State::Failed:
+                return Status::Failed;
+        }
+        // A `break` out of the switch means either NeedMore (line pending)
+        // or a parse failure.
+        if (state_ == State::Failed) return Status::Failed;
+        if (used >= data.size()) break;
+    }
+    return state_ == State::Complete ? Status::Complete : Status::NeedMore;
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.contentType = "text/plain; charset=utf-8";
+    r.body = std::move(body);
+    return r;
+}
+
+HttpResponse HttpResponse::errorJson(int status, std::string_view kind,
+                                     std::string_view message) {
+    HttpResponse r;
+    r.status = status;
+    r.body += "{\"error\":{\"kind\":";
+    json::appendQuoted(r.body, kind);
+    r.body += ",\"message\":";
+    json::appendQuoted(r.body, message);
+    r.body += "}}";
+    return r;
+}
+
+const char* reasonPhrase(int status) {
+    switch (status) {
+        case 100: return "Continue";
+        case 200: return "OK";
+        case 204: return "No Content";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 408: return "Request Timeout";
+        case 413: return "Payload Too Large";
+        case 429: return "Too Many Requests";
+        case 431: return "Request Header Fields Too Large";
+        case 500: return "Internal Server Error";
+        case 501: return "Not Implemented";
+        case 503: return "Service Unavailable";
+        case 505: return "HTTP Version Not Supported";
+        default: return status < 400 ? "OK" : "Error";
+    }
+}
+
+void serializeResponse(const HttpResponse& response, bool keepAlive,
+                       std::string& out) {
+    out += "HTTP/1.1 ";
+    out += std::to_string(response.status);
+    out += ' ';
+    out += reasonPhrase(response.status);
+    out += "\r\nContent-Type: ";
+    out += response.contentType;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(response.body.size());
+    out += keepAlive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+    for (const HttpHeader& h : response.extraHeaders) {
+        out += "\r\n";
+        out += h.name;
+        out += ": ";
+        out += h.value;
+    }
+    out += "\r\n\r\n";
+    out += response.body;
+}
+
+} // namespace lar::net

@@ -1,0 +1,164 @@
+// HTTP/1.1 message types and an incremental request parser.
+//
+// The parser is the security boundary of larserved: every byte a client
+// sends passes through it before any reasoning code runs. It is therefore
+// (a) incremental — feed it whatever the socket produced, it consumes what
+// it can and remembers where it stopped, so a slow or adversarial client
+// can never force buffering beyond the configured limits; (b) allocation-
+// light — it appends into reused buffers, no per-token strings; and (c)
+// strict about limits — request-line length, header count and total size,
+// and body size (Content-Length and chunked alike) each map to a precise
+// 4xx status instead of unbounded growth.
+//
+// Supported: HTTP/1.0 and 1.1, Content-Length and chunked request bodies,
+// keep-alive negotiation, Expect: 100-continue detection. Deliberately not
+// supported: other transfer codings (501), HTTP/2 (505), multiline header
+// folding (400, per RFC 7230 §3.2.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lar::net {
+
+/// Hard limits enforced while parsing. Exceeding one fails the request with
+/// the listed status; the connection is then closed (the parse position is
+/// unrecoverable).
+struct HttpLimits {
+    std::size_t maxRequestLineBytes = 8 * 1024; ///< exceeded → 431
+    std::size_t maxHeaderBytes = 64 * 1024;     ///< all header lines → 431
+    std::size_t maxHeaders = 128;               ///< exceeded → 431
+    std::size_t maxBodyBytes = 16 * 1024 * 1024; ///< exceeded → 413
+};
+
+struct HttpHeader {
+    std::string name;  ///< as received (use caseEquals to compare)
+    std::string value; ///< leading/trailing whitespace stripped
+};
+
+/// ASCII case-insensitive comparison (header names, token values).
+[[nodiscard]] bool caseEquals(std::string_view a, std::string_view b);
+
+/// One parsed request.
+struct HttpRequest {
+    std::string method;  ///< e.g. "GET" (token chars only, case preserved)
+    std::string target;  ///< origin-form as sent, e.g. "/v1/query?x=1"
+    int versionMinor = 1; ///< HTTP/1.<versionMinor>
+    std::vector<HttpHeader> headers;
+    std::string body;
+    bool keepAlive = true;       ///< negotiated (version + Connection header)
+    bool expectContinue = false; ///< client sent Expect: 100-continue
+
+    /// First header named `name` (case-insensitive), or nullptr.
+    [[nodiscard]] const std::string* header(std::string_view name) const;
+    /// `target` up to but excluding the query string.
+    [[nodiscard]] std::string_view path() const;
+};
+
+/// Incremental request parser; see file comment. Reusable across the
+/// requests of one keep-alive connection via reset().
+class HttpParser {
+public:
+    enum class Status {
+        NeedMore, ///< consumed everything offered; feed more bytes
+        Complete, ///< request() holds a full request; unconsumed bytes (a
+                  ///< pipelined next request) are reported via `used`
+        Failed,   ///< malformed; see errorStatus()/errorReason()
+    };
+
+    explicit HttpParser(const HttpLimits& limits = {});
+
+    /// Consumes up to data.size() bytes; `used` reports how many were taken
+    /// (always data.size() for NeedMore). Calling after Complete/Failed
+    /// without reset() is a LogicError.
+    Status consume(std::string_view data, std::size_t& used);
+
+    /// The request under construction (fully valid once Complete).
+    [[nodiscard]] const HttpRequest& request() const { return request_; }
+    [[nodiscard]] HttpRequest& request() { return request_; }
+
+    /// True once any byte of the current request has been consumed (used by
+    /// the server to tell idle keep-alive connections from half-received
+    /// requests when draining).
+    [[nodiscard]] bool begun() const { return begun_; }
+
+    /// True from the end of the header block onward (the point where the
+    /// server answers Expect: 100-continue).
+    [[nodiscard]] bool headersComplete() const {
+        return state_ > State::Headers;
+    }
+
+    /// The 4xx/5xx status a Failed parse maps to: 400 (syntax), 413 (body
+    /// too large), 431 (request line / headers too large), 501 (unsupported
+    /// transfer coding), 505 (unsupported HTTP version).
+    [[nodiscard]] int errorStatus() const { return errorStatus_; }
+    [[nodiscard]] const std::string& errorReason() const { return errorReason_; }
+
+    /// Ready for the next request (limits kept, buffers reused).
+    void reset();
+
+private:
+    enum class State {
+        RequestLine,
+        Headers,
+        FixedBody,
+        ChunkSize,
+        ChunkData,
+        ChunkDataEnd,
+        Trailers,
+        Complete,
+        Failed,
+    };
+
+    /// Accumulates one CRLF (or bare LF) terminated line into line_.
+    /// Returns true when the terminator arrived; strips it.
+    bool takeLine(std::string_view data, std::size_t& used, std::size_t cap,
+                  int overflowStatus, const char* overflowReason);
+    bool parseRequestLine();
+    bool parseHeaderLine();
+    /// Validates the header block, fixes body framing; may move straight to
+    /// Complete for bodiless requests.
+    bool finishHeaders();
+    void fail(int status, std::string reason);
+
+    HttpLimits limits_;
+    HttpRequest request_;
+    State state_ = State::RequestLine;
+    std::string line_;          ///< current partial line
+    bool sawCr_ = false;        ///< line_ ended with a CR awaiting its LF
+    bool begun_ = false;
+    std::size_t headerBytes_ = 0;
+    std::size_t bodyRemaining_ = 0; ///< FixedBody/ChunkData bytes outstanding
+    int errorStatus_ = 0;
+    std::string errorReason_;
+};
+
+/// One response. Content-Length, Connection, and Date are emitted by
+/// serializeResponse — handlers only fill status/type/body plus any extra
+/// headers.
+struct HttpResponse {
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+    std::vector<HttpHeader> extraHeaders;
+
+    [[nodiscard]] static HttpResponse text(int status, std::string body);
+    /// `{"error":{"kind":kind,"message":message}}` — the same error object
+    /// shape larctl batch prints on malformed input.
+    [[nodiscard]] static HttpResponse errorJson(int status,
+                                               std::string_view kind,
+                                               std::string_view message);
+};
+
+/// Standard reason phrase ("OK", "Too Many Requests", ...).
+[[nodiscard]] const char* reasonPhrase(int status);
+
+/// Appends the full wire form of `response` (status line, headers, body) to
+/// `out`. `keepAlive` chooses the Connection header.
+void serializeResponse(const HttpResponse& response, bool keepAlive,
+                       std::string& out);
+
+} // namespace lar::net

@@ -1,0 +1,335 @@
+#include "net/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace lar::net {
+namespace {
+
+constexpr std::size_t kMaxResponseHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxResponseBodyBytes = 256 * 1024 * 1024;
+
+[[noreturn]] void throwErrno(const std::string& what) {
+    throw Error(what + ": " + std::strerror(errno));
+}
+
+std::string_view trimView(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+} // namespace
+
+HttpUrl parseHttpUrl(std::string_view url) {
+    constexpr std::string_view scheme = "http://";
+    if (url.substr(0, scheme.size()) != scheme) {
+        throw ParseError("URL must start with http:// : " + std::string(url));
+    }
+    std::string_view rest = url.substr(scheme.size());
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) rest = rest.substr(0, slash);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+        throw ParseError("URL must be http://host:port : " + std::string(url));
+    }
+    HttpUrl out;
+    out.host = std::string(rest.substr(0, colon));
+    const std::string portText(rest.substr(colon + 1));
+    char* end = nullptr;
+    const long port = std::strtol(portText.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+        throw ParseError("bad port in URL: " + std::string(url));
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    return out;
+}
+
+const std::string* ClientResponse::header(std::string_view name) const {
+    for (const HttpHeader& h : headers) {
+        if (caseEquals(h.name, name)) return &h.value;
+    }
+    return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, int timeoutMs)
+    : host_(std::move(host)), port_(port), timeoutMs_(timeoutMs) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::disconnect() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    leftover_.clear();
+}
+
+void HttpClient::connect() {
+    disconnect();
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* result = nullptr;
+    const std::string portText = std::to_string(port_);
+    const int rc = ::getaddrinfo(host_.c_str(), portText.c_str(), &hints,
+                                 &result);
+    if (rc != 0) {
+        throw Error("resolve " + host_ + ": " + ::gai_strerror(rc));
+    }
+    int lastErrno = ECONNREFUSED;
+    for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        timeval tv{};
+        tv.tv_sec = timeoutMs_ / 1000;
+        tv.tv_usec = (timeoutMs_ % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            fd_ = fd;
+            break;
+        }
+        lastErrno = errno;
+        ::close(fd);
+    }
+    ::freeaddrinfo(result);
+    if (fd_ < 0) {
+        errno = lastErrno;
+        throwErrno("connect " + host_ + ":" + portText);
+    }
+}
+
+bool HttpClient::sendAll(std::string_view data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+    }
+    return true;
+}
+
+ClientResponse HttpClient::get(const std::string& path) {
+    return roundTrip("GET", path, "", "");
+}
+
+ClientResponse HttpClient::post(const std::string& path, std::string body,
+                                const std::string& contentType) {
+    return roundTrip("POST", path, body, contentType);
+}
+
+ClientResponse HttpClient::roundTrip(const std::string& method,
+                                     const std::string& path,
+                                     const std::string& body,
+                                     const std::string& contentType) {
+    std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host_ +
+                          ":" + std::to_string(port_) + "\r\n";
+    if (!body.empty() || method == "POST") {
+        if (!contentType.empty()) {
+            request += "Content-Type: " + contentType + "\r\n";
+        }
+        request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    request += "\r\n";
+    request += body;
+
+    // A kept-alive connection may have been closed by the server (idle
+    // timeout, drain); retry the whole exchange once on a fresh dial, but
+    // only if we could not even send — once bytes went out, a second send
+    // could execute the request twice.
+    bool retried = false;
+    while (true) {
+        if (fd_ < 0) connect();
+        if (!sendAll(request)) {
+            if (retried) throwErrno("send " + host_);
+            retried = true;
+            disconnect();
+            continue;
+        }
+        break;
+    }
+
+    ClientResponse response;
+    std::string buf = std::move(leftover_);
+    leftover_.clear();
+
+    // Headers: accumulate until the blank line.
+    std::size_t headerEnd = std::string::npos;
+    while (true) {
+        headerEnd = buf.find("\r\n\r\n");
+        if (headerEnd != std::string::npos) break;
+        if (buf.size() > kMaxResponseHeaderBytes) {
+            disconnect();
+            throw Error("response header block too large");
+        }
+        char chunk[8192];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n > 0) {
+            buf.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        disconnect();
+        if (n == 0) throw Error("connection closed mid-response");
+        throwErrno("recv " + host_);
+    }
+
+    const std::string_view head(buf.data(), headerEnd);
+    std::size_t lineEnd = head.find("\r\n");
+    if (lineEnd == std::string_view::npos) lineEnd = head.size();
+    const std::string_view statusLine = head.substr(0, lineEnd);
+    if (statusLine.size() < 12 || statusLine.substr(0, 5) != "HTTP/") {
+        disconnect();
+        throw Error("malformed status line: " + std::string(statusLine));
+    }
+    response.status = (statusLine[9] - '0') * 100 + (statusLine[10] - '0') * 10 +
+                      (statusLine[11] - '0');
+    if (response.status < 100 || response.status > 599) {
+        disconnect();
+        throw Error("malformed status code: " + std::string(statusLine));
+    }
+
+    std::size_t pos = lineEnd == head.size() ? head.size() : lineEnd + 2;
+    while (pos < head.size()) {
+        std::size_t next = head.find("\r\n", pos);
+        if (next == std::string_view::npos) next = head.size();
+        const std::string_view line = head.substr(pos, next - pos);
+        pos = next + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) continue;
+        response.headers.push_back(
+            {std::string(line.substr(0, colon)),
+             std::string(trimView(line.substr(colon + 1)))});
+    }
+    buf.erase(0, headerEnd + 4);
+
+    const auto recvMore = [&](const char* what) {
+        char chunk[16384];
+        while (true) {
+            const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+            if (n > 0) {
+                buf.append(chunk, static_cast<std::size_t>(n));
+                return;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            disconnect();
+            if (n == 0) throw Error(std::string(what) + ": connection closed");
+            throwErrno(what);
+        }
+    };
+
+    bool closeAfter = false;
+    if (const std::string* connection = response.header("Connection")) {
+        closeAfter = caseEquals(*connection, "close");
+    }
+
+    const std::string* te = response.header("Transfer-Encoding");
+    if (te != nullptr && caseEquals(*te, "chunked")) {
+        while (true) {
+            const std::size_t nl = buf.find("\r\n");
+            if (nl == std::string::npos) {
+                recvMore("recv chunk size");
+                continue;
+            }
+            std::string sizeText = buf.substr(0, nl);
+            const std::size_t semi = sizeText.find(';');
+            if (semi != std::string::npos) sizeText.resize(semi);
+            char* end = nullptr;
+            const unsigned long long size =
+                std::strtoull(sizeText.c_str(), &end, 16);
+            if (end == sizeText.c_str()) {
+                disconnect();
+                throw Error("malformed chunk size: " + sizeText);
+            }
+            if (size == 0) {
+                // Trailer section: lines until a blank one.
+                buf.erase(0, nl + 2);
+                while (true) {
+                    const std::size_t tn = buf.find("\r\n");
+                    if (tn == std::string::npos) {
+                        recvMore("recv trailers");
+                        continue;
+                    }
+                    const bool blank = tn == 0;
+                    buf.erase(0, tn + 2);
+                    if (blank) break;
+                }
+                break;
+            }
+            while (buf.size() < nl + 2 + size + 2) recvMore("recv chunk");
+            response.body.append(buf, nl + 2, size);
+            if (response.body.size() > kMaxResponseBodyBytes) {
+                disconnect();
+                throw Error("response body too large");
+            }
+            buf.erase(0, nl + 2 + size + 2);
+        }
+    } else if (const std::string* cl = response.header("Content-Length")) {
+        char* end = nullptr;
+        const unsigned long long length = std::strtoull(cl->c_str(), &end, 10);
+        if (end == cl->c_str() || *end != '\0' ||
+            length > kMaxResponseBodyBytes) {
+            disconnect();
+            throw Error("malformed Content-Length: " + *cl);
+        }
+        while (buf.size() < length) recvMore("recv body");
+        response.body = buf.substr(0, length);
+        buf.erase(0, length);
+    } else if (closeAfter) {
+        // Read-to-EOF body.
+        while (true) {
+            char chunk[16384];
+            const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+            if (n > 0) {
+                buf.append(chunk, static_cast<std::size_t>(n));
+                if (buf.size() > kMaxResponseBodyBytes) {
+                    disconnect();
+                    throw Error("response body too large");
+                }
+                continue;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            if (n == 0) break;
+            disconnect();
+            throwErrno("recv body");
+        }
+        response.body = std::move(buf);
+        buf.clear();
+    }
+    // else: no framing headers and keep-alive — bodiless response.
+
+    if (closeAfter) {
+        disconnect();
+    } else {
+        leftover_ = std::move(buf);
+    }
+    return response;
+}
+
+} // namespace lar::net

@@ -1,0 +1,68 @@
+// A minimal blocking HTTP/1.1 client for larctl --url, tests, and benches.
+//
+// One HttpClient owns one keep-alive connection to one host:port and issues
+// requests sequentially. Responses are parsed with the same strictness tier
+// as the server (Content-Length or chunked, bounded header block). Failures
+// — refused connection, timeout, malformed response — throw lar::Error; a
+// dropped keep-alive connection is transparently re-dialed once per request.
+// Not thread-safe; give each thread its own client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace lar::net {
+
+/// Parsed form of "http://host:port" (path suffix allowed and ignored).
+/// Throws lar::ParseError on anything else (https, missing port, ...).
+struct HttpUrl {
+    std::string host;
+    std::uint16_t port = 0;
+};
+[[nodiscard]] HttpUrl parseHttpUrl(std::string_view url);
+
+struct ClientResponse {
+    int status = 0;
+    std::vector<HttpHeader> headers;
+    std::string body;
+
+    [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+class HttpClient {
+public:
+    /// Does not connect yet; the first request dials.
+    HttpClient(std::string host, std::uint16_t port, int timeoutMs = 30'000);
+    ~HttpClient();
+
+    HttpClient(const HttpClient&) = delete;
+    HttpClient& operator=(const HttpClient&) = delete;
+
+    /// Issues one request and blocks for the full response (throws
+    /// lar::Error on connect/send/receive failure or timeout).
+    ClientResponse get(const std::string& path);
+    ClientResponse post(const std::string& path, std::string body,
+                        const std::string& contentType = "application/json");
+
+    /// Drops the kept-alive connection (next request re-dials).
+    void disconnect();
+
+private:
+    ClientResponse roundTrip(const std::string& method, const std::string& path,
+                             const std::string& body,
+                             const std::string& contentType);
+    bool sendAll(std::string_view data);
+    void connect();
+
+    std::string host_;
+    std::uint16_t port_;
+    int timeoutMs_;
+    int fd_ = -1;
+    std::string leftover_; ///< bytes past the previous response
+};
+
+} // namespace lar::net

@@ -9,6 +9,12 @@
 
 namespace lar::obs {
 
+const std::vector<double>& latencyBucketsMs() {
+    static const std::vector<double> bounds = {0.5, 1,   2,   5,    10,  20,
+                                               50,  100, 200, 500, 1000, 5000};
+    return bounds;
+}
+
 namespace {
 
 bool validMetricName(std::string_view name) {

@@ -95,6 +95,11 @@ private:
 /// Label set attached to one series, e.g. {{"kind", "optimize"}}.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// The standard millisecond latency buckets every lar_ latency histogram
+/// uses (Service query latency, HTTP request latency, queue waits): 0.5 ms
+/// to 5 s. Shared so dashboards can overlay the families bucket-for-bucket.
+[[nodiscard]] const std::vector<double>& latencyBucketsMs();
+
 /// Named metric families, each with one series per label set. Registration
 /// interns the series (same name + labels → same reference, forever valid);
 /// a name registered as one type cannot be re-registered as another, and a

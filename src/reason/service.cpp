@@ -80,8 +80,7 @@ struct ServiceMetrics {
     static ServiceMetrics& get() {
         static ServiceMetrics m = [] {
             obs::Registry& reg = obs::Registry::global();
-            const std::vector<double> msBounds = {0.5,  1,   2,   5,   10,  20,
-                                                  50,  100, 200, 500, 1000, 5000};
+            const std::vector<double>& msBounds = obs::latencyBucketsMs();
             ServiceMetrics built{
                 reg.counter("lar_cache_hits_total",
                             "Compilation cache hits in Service::obtain"),
@@ -288,12 +287,54 @@ void Service::releaseSolveThreads(unsigned claimed) {
     threadsInUse_.fetch_sub(claimed, std::memory_order_acq_rel);
 }
 
+void Service::beginDrain() {
+    const std::lock_guard<std::mutex> lock(drainMutex_);
+    if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+    util::logLineJson(util::LogLevel::Info, "service_drain",
+                      {{"active_queries",
+                        static_cast<std::uint64_t>(activeCancelFlags_.size())}});
+}
+
+void Service::cancelActive() {
+    const std::lock_guard<std::mutex> lock(drainMutex_);
+    for (std::atomic<bool>* flag : activeCancelFlags_)
+        flag->store(true, std::memory_order_release);
+}
+
+std::size_t Service::activeQueries() const {
+    const std::lock_guard<std::mutex> lock(drainMutex_);
+    return activeCancelFlags_.size();
+}
+
+bool Service::registerActive(std::atomic<bool>* flag) {
+    const std::lock_guard<std::mutex> lock(drainMutex_);
+    if (draining_.load(std::memory_order_relaxed)) return false;
+    activeCancelFlags_.push_back(flag);
+    return true;
+}
+
+void Service::unregisterActive(std::atomic<bool>* flag) {
+    const std::lock_guard<std::mutex> lock(drainMutex_);
+    // Erase one instance only: concurrent queries may legally share one
+    // caller-owned flag.
+    for (auto it = activeCancelFlags_.begin(); it != activeCancelFlags_.end();
+         ++it) {
+        if (*it == flag) {
+            *it = activeCancelFlags_.back();
+            activeCancelFlags_.pop_back();
+            return;
+        }
+    }
+}
+
 void Service::solveWithPolicy(const QueryRequest& request,
                               std::shared_ptr<const Compilation> compilation,
                               const std::optional<Clock::time_point>& deadline,
+                              std::atomic<bool>* cancelFlag,
                               QueryResult& result, std::string& detail) {
     ServiceMetrics& metrics = ServiceMetrics::get();
     QueryOptions effective = request.options;
+    effective.cancelFlag = cancelFlag;
 
     // Budget intra-query parallelism against the pool: a portfolio request
     // only fans out while the concurrently-solving queries leave headroom.
@@ -446,6 +487,14 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
     double solveMs = 0.0;
     std::string detail;
 
+    // Drain/cancel plumbing: every admitted query solves under a cancel
+    // flag the Service can reach — the caller's when one was supplied, this
+    // stack slot otherwise (safe: the query is synchronous on this thread).
+    std::atomic<bool> localCancel{false};
+    std::atomic<bool>* cancelFlag = request.options.cancelFlag != nullptr
+                                        ? request.options.cancelFlag
+                                        : &localCancel;
+
     try {
         if (cancelRequested(request.options)) {
             // Cancelled while queued: report without doing any work.
@@ -455,13 +504,24 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
             // Expired while queued: timed out without solving.
             result.verdict = Verdict::TimedOut;
             metrics.deadlineExpired.inc();
+        } else if (!registerActive(cancelFlag)) {
+            // The service began draining before this query started: shed,
+            // exactly like admission control (the work was never attempted).
+            result.verdict = Verdict::Shed;
+            metrics.shed.inc();
         } else {
+            struct ActiveGuard {
+                Service& service;
+                std::atomic<bool>* flag;
+                ~ActiveGuard() { service.unregisterActive(flag); }
+            } activeGuard{*this, cancelFlag};
             const std::shared_ptr<const Compilation> compilation =
                 obtain(request.problem, cacheHit, compileMs);
             util::Stopwatch solveTimer;
             // solveWithPolicy re-checks the deadline, so compile time is
             // deducted from the solver's budget automatically.
-            solveWithPolicy(request, compilation, deadline, result, detail);
+            solveWithPolicy(request, compilation, deadline, cancelFlag, result,
+                            detail);
             solveMs = solveTimer.millis();
         }
     } catch (const std::exception& e) {

@@ -166,6 +166,26 @@ public:
     void clearCache();
     [[nodiscard]] unsigned workerCount() const { return pool_.workerCount(); }
 
+    // -- graceful drain (used by larserved on SIGTERM) ----------------------
+    /// Stops admitting work: every request that has not started solving when
+    /// this returns — new run()/runBatch() submissions and queued batch work
+    /// alike — comes back Verdict::Shed. In-flight queries are left to
+    /// finish; use cancelActive() to interrupt them. One-way; there is no
+    /// un-drain (tear the Service down and build a new one instead).
+    void beginDrain();
+    [[nodiscard]] bool draining() const {
+        return draining_.load(std::memory_order_acquire);
+    }
+    /// Flips the cancellation flag of every in-flight query (the caller's
+    /// QueryOptions::cancelFlag when one was supplied, a per-query internal
+    /// flag otherwise), so each returns Verdict::Cancelled — never Error —
+    /// within a few solver polling intervals. Typically called when a drain
+    /// grace period expires.
+    void cancelActive();
+    /// Queries currently between admission and completion (solving or
+    /// compiling). Drain is complete when this reaches zero.
+    [[nodiscard]] std::size_t activeQueries() const;
+
     /// The compilation the cache would serve for `problem` (compiling and
     /// inserting on miss). Exposed so callers can pre-warm or share it with
     /// their own Engines/WhatIfSessions.
@@ -200,11 +220,19 @@ private:
     /// back Z3 → CDCL on backend failure. Fills result.verdict and the
     /// verdict-dependent fields (and trace.stats / trace portfolio fields);
     /// `detail` gets a human extra such as "3 designs" when one exists.
-    /// Throws on unrecoverable error.
+    /// `cancelFlag` (never null) overrides the request's own flag — it is
+    /// the drain-registered flag runTimed chose. Throws on unrecoverable
+    /// error.
     void solveWithPolicy(const QueryRequest& request,
                          std::shared_ptr<const Compilation> compilation,
                          const std::optional<Clock::time_point>& deadline,
-                         QueryResult& result, std::string& detail);
+                         std::atomic<bool>* cancelFlag, QueryResult& result,
+                         std::string& detail);
+    /// Registers an in-flight query's cancellation flag so cancelActive()
+    /// can reach it. Returns false when the service is already draining —
+    /// the query must report Shed instead of starting.
+    [[nodiscard]] bool registerActive(std::atomic<bool>* flag);
+    void unregisterActive(std::atomic<bool>* flag);
     /// Claims solver threads for one query against the pool-wide budget:
     /// always the query's own thread, plus up to `requested - 1` portfolio
     /// extras while the budget (workerCount()) has headroom. Returns the
@@ -217,6 +245,12 @@ private:
 
     ServiceOptions options_;
     util::ThreadPool pool_;
+    /// Set once by beginDrain(); guarded by drainMutex_ together with the
+    /// active-flag list so a query either registers before the drain flips
+    /// flags or observes draining_ and sheds — never neither.
+    std::atomic<bool> draining_{false};
+    mutable std::mutex drainMutex_;
+    std::vector<std::atomic<bool>*> activeCancelFlags_;
     /// Requests submitted to the pool but not yet started. Service-wide so
     /// ServiceOptions::maxQueueDepth holds across concurrent runBatch calls.
     std::atomic<std::size_t> queuedDepth_{0};

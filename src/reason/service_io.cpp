@@ -1,0 +1,168 @@
+#include "reason/service_io.hpp"
+
+#include <string>
+#include <utility>
+
+#include "reason/design.hpp"
+#include "reason/problem_io.hpp"
+#include "util/error.hpp"
+
+namespace lar::reason {
+
+QueryOptions queryOptionsFromJson(const json::Value& v,
+                                  QueryOptions defaults) {
+    const json::Object& obj = v.asObject();
+    if (obj.contains("backend")) {
+        const std::string& name = obj.at("backend").asString();
+        if (name == "cdcl") defaults.backend = smt::BackendKind::Cdcl;
+        else if (name == "z3") defaults.backend = smt::BackendKind::Z3;
+        else throw ParseError("batch: unknown backend '" + name + "'");
+    }
+    if (obj.contains("seed"))
+        defaults.seed = static_cast<std::uint64_t>(obj.at("seed").asInt());
+    if (obj.contains("timeout_ms"))
+        defaults.timeoutMs = static_cast<int>(obj.at("timeout_ms").asInt());
+    if (obj.contains("conflict_budget"))
+        defaults.conflictBudget = obj.at("conflict_budget").asInt();
+    if (obj.contains("propagation_budget"))
+        defaults.propagationBudget = obj.at("propagation_budget").asInt();
+    if (obj.contains("memory_budget_mb"))
+        defaults.memoryBudgetMb = obj.at("memory_budget_mb").asInt();
+    if (obj.contains("trace")) defaults.collectTrace = obj.at("trace").asBool();
+    if (obj.contains("progress_every_conflicts"))
+        defaults.progressEveryConflicts =
+            static_cast<int>(obj.at("progress_every_conflicts").asInt());
+    if (obj.contains("portfolio_workers"))
+        defaults.portfolioWorkers =
+            static_cast<int>(obj.at("portfolio_workers").asInt());
+    return defaults;
+}
+
+QueryRequest queryRequestFromJson(const json::Value& v,
+                                  const kb::KnowledgeBase& kb,
+                                  const QueryOptions& defaults,
+                                  std::size_t index) {
+    const json::Object& obj = v.asObject();
+    QueryRequest request;
+    request.id = obj.contains("id") ? v.at("id").asString()
+                                    : std::to_string(index);
+    request.kind = obj.contains("kind")
+                       ? queryKindFromString(v.at("kind").asString())
+                       : QueryKind::Optimize;
+    request.problem = problemFromJson(v.at("problem"), kb);
+    if (obj.contains("max_designs"))
+        request.maxDesigns = static_cast<int>(v.at("max_designs").asInt());
+    request.options = queryOptionsFromJson(v, defaults);
+    return request;
+}
+
+std::vector<QueryRequest> batchRequestsFromJson(const json::Value& doc,
+                                                const kb::KnowledgeBase& kb,
+                                                ServiceOptions* serviceOptions) {
+    QueryOptions defaults;
+    const json::Array* queries = nullptr;
+    if (doc.isArray()) {
+        queries = &doc.asArray();
+    } else {
+        if (doc.asObject().contains("options"))
+            defaults = queryOptionsFromJson(doc.at("options"), defaults);
+        if (doc.asObject().contains("service")) {
+            if (serviceOptions == nullptr)
+                throw ParseError(
+                    "batch: a \"service\" block cannot reconfigure a running "
+                    "server (set admission control on larserved's command "
+                    "line instead)");
+            const json::Object& svc = doc.at("service").asObject();
+            if (svc.contains("max_queue_depth"))
+                serviceOptions->maxQueueDepth = static_cast<std::size_t>(
+                    svc.at("max_queue_depth").asInt());
+            if (svc.contains("shed_policy")) {
+                const std::string& policy = svc.at("shed_policy").asString();
+                if (policy == "reject_new")
+                    serviceOptions->shedPolicy = ShedPolicy::RejectNew;
+                else if (policy == "drop_oldest")
+                    serviceOptions->shedPolicy = ShedPolicy::DropOldest;
+                else
+                    throw ParseError("batch: unknown shed_policy '" + policy +
+                                     "' (want reject_new or drop_oldest)");
+            }
+            if (svc.contains("max_attempts"))
+                serviceOptions->retry.maxAttempts =
+                    static_cast<int>(svc.at("max_attempts").asInt());
+        }
+        queries = &doc.at("queries").asArray();
+    }
+
+    std::vector<QueryRequest> requests;
+    requests.reserve(queries->size());
+    for (std::size_t i = 0; i < queries->size(); ++i)
+        requests.push_back(queryRequestFromJson((*queries)[i], kb, defaults, i));
+    return requests;
+}
+
+json::Value resultToJson(const QueryResult& r, bool includeTrace) {
+    json::Value v;
+    v["id"] = r.id;
+    v["kind"] = toString(r.kind);
+    v["verdict"] = std::string(verdictName(r.verdict));
+    v["feasible"] = r.feasible();
+    if (r.timedOut()) v["timed_out"] = true;
+    if (r.shed()) v["shed"] = true;
+    if (r.cancelled()) v["cancelled"] = true;
+    if (r.retries > 0) v["retries"] = static_cast<std::int64_t>(r.retries);
+    if (r.backendFellBack) v["backend_fallback"] = true;
+    if (!r.ok()) {
+        json::Value detail;
+        detail["kind"] = r.error.errorKind;
+        detail["message"] = r.error.message;
+        v["error"] = std::move(detail);
+    }
+    if (r.design.has_value()) v["design"] = toJson(*r.design);
+    if (!r.designs.empty()) {
+        json::Array designs;
+        for (const Design& d : r.designs) designs.push_back(toJson(d));
+        v["designs"] = json::Value(std::move(designs));
+    }
+    if (!r.conflictingRules.empty()) {
+        json::Array rules;
+        for (const std::string& rule : r.conflictingRules)
+            rules.emplace_back(rule);
+        v["conflicting_rules"] = json::Value(std::move(rules));
+    }
+    if (includeTrace) v["trace"] = toJson(r.trace);
+    return v;
+}
+
+json::Value batchReportToJson(const std::vector<QueryResult>& results,
+                              const std::vector<QueryRequest>& requests,
+                              const Service& service) {
+    expects(results.size() == requests.size(),
+            "batchReportToJson: results/requests size mismatch");
+    json::Array out;
+    out.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        out.push_back(resultToJson(results[i], requests[i].options.collectTrace));
+
+    const CacheStats cache = service.cacheStats();
+    json::Value report;
+    report["results"] = json::Value(std::move(out));
+    json::Value cacheJson;
+    cacheJson["hits"] = static_cast<std::int64_t>(cache.hits);
+    cacheJson["misses"] = static_cast<std::int64_t>(cache.misses);
+    cacheJson["entries"] = static_cast<std::int64_t>(cache.entries);
+    report["cache"] = std::move(cacheJson);
+    report["workers"] = static_cast<std::int64_t>(service.workerCount());
+    return report;
+}
+
+bool anyFailedOrInfeasible(const std::vector<QueryResult>& results) {
+    for (const QueryResult& r : results) {
+        // Shed and cancelled queries are reported but do not fail the batch
+        // — the caller opted into admission control / cancellation.
+        if (!r.ok() || (!r.feasible() && !r.timedOut() && !r.shed()))
+            return true;
+    }
+    return false;
+}
+
+} // namespace lar::reason

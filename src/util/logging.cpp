@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "json/escape.hpp"
+
 namespace lar::util {
 
 namespace {
@@ -32,31 +34,9 @@ const char* levelNameLower(LogLevel level) {
     return "?";
 }
 
-std::string jsonQuote(std::string_view s) {
-    std::string out;
-    out.reserve(s.size() + 2);
-    out.push_back('"');
-    for (const char c : s) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\r': out += "\\r"; break;
-            case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof buf, "\\u%04x",
-                                  static_cast<unsigned char>(c));
-                    out += buf;
-                } else {
-                    out.push_back(c);
-                }
-        }
-    }
-    out.push_back('"');
-    return out;
-}
+// The shared escaper (json/escape.hpp is header-only, so including it here
+// does not invert the util ← json link order).
+std::string jsonQuote(std::string_view s) { return json::quoted(s); }
 } // namespace
 
 LogField::LogField(std::string_view k, std::string_view value)

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "json/escape.hpp"
 #include "json/parse.hpp"
 #include "json/value.hpp"
 #include "json/write.hpp"
@@ -172,6 +173,47 @@ TEST(JsonParse, DeeplyNestedArrays) {
 TEST(JsonRoundTrip, LargeIntegersExact) {
     const std::int64_t big = 9007199254740993LL; // not representable in double
     EXPECT_EQ(parse(write(Value(big))).asInt(), big);
+}
+
+// The consolidated escaper (json/escape.hpp) is the single string-quoting
+// path for json::write, the structured logger, and the HTTP layer.
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+    EXPECT_EQ(lar::json::quoted("say \"hi\"\\now"), "\"say \\\"hi\\\"\\\\now\"");
+}
+
+TEST(JsonEscape, ShortFormControls) {
+    EXPECT_EQ(lar::json::quoted("\b\f\n\r\t"), "\"\\b\\f\\n\\r\\t\"");
+}
+
+TEST(JsonEscape, RemainingControlsUseUnicodeForm) {
+    EXPECT_EQ(lar::json::quoted(std::string_view("\x00\x01\x1f", 3)),
+              "\"\\u0000\\u0001\\u001f\"");
+}
+
+TEST(JsonEscape, HighBytesAndDelPassThrough) {
+    // Transcoding is not the escaper's job: DEL and (possibly invalid)
+    // UTF-8 bytes pass through untouched.
+    const std::string input = "caf\xc3\xa9\x7f";
+    EXPECT_EQ(lar::json::quoted(input), "\"" + input + "\"");
+}
+
+TEST(JsonEscape, AppendVariantsCompose) {
+    std::string out = "{\"k\":";
+    appendQuoted(out, "v\n");
+    EXPECT_EQ(out, "{\"k\":\"v\\n\"");
+    std::string bare;
+    appendEscaped(bare, "a\"b");
+    EXPECT_EQ(bare, "a\\\"b");
+}
+
+TEST(JsonEscape, EscapedStringsParseBackExactly) {
+    // Round-trip through the parser: every escape the writer emits must be
+    // read back to the original bytes.
+    std::string nasty = "line1\nline2\t\"quoted\"\\slash";
+    nasty.push_back('\0');
+    nasty += "\x01tail";
+    EXPECT_EQ(parse(lar::json::quoted(nasty)).asString(), nasty);
 }
 
 } // namespace

@@ -371,6 +371,89 @@ TEST_F(ServiceFaultTest, DeadlineExpiredInQueueReturnsWithoutSolving) {
     EXPECT_GE(results[0].trace.queueWaitMs, 20.0);
 }
 
+// --------------------------------------------------------- graceful drain
+
+TEST_F(ServiceFaultTest, DrainLetsInFlightQueriesFinishAndShedsQueued) {
+    // Drain begins while the first query is parked mid-solve (injected
+    // latency at service.solve — past admission, past registerActive): the
+    // in-flight query must still complete with a real verdict, while the
+    // two queued behind the single worker observe the drain at start and
+    // come back Shed — never Error, never silently dropped.
+    util::FaultInjector::global().armDelayMs("service.solve", 100);
+    ServiceOptions options;
+    options.workers = 1;
+    Service service(options);
+    const Problem p = caseStudyProblem();
+    std::vector<QueryRequest> requests;
+    for (int i = 0; i < 3; ++i)
+        requests.push_back(request(QueryKind::Feasibility, p,
+                                   "q" + std::to_string(i)));
+
+    std::vector<QueryResult> results;
+    std::thread submitter([&] { results = service.runBatch(requests); });
+    const Clock::time_point start = Clock::now();
+    while (service.activeQueries() == 0 && msSince(start) < 5000.0)
+        std::this_thread::yield();
+    ASSERT_EQ(service.activeQueries(), 1u) << "first query never went active";
+    service.beginDrain();
+    submitter.join();
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].trace.verdict, Verdict::Sat) << results[0].id;
+    EXPECT_TRUE(results[0].ok());
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].trace.verdict, Verdict::Shed) << results[i].id;
+        EXPECT_TRUE(results[i].ok()); // shed is not an error
+    }
+    EXPECT_EQ(service.activeQueries(), 0u);
+    EXPECT_TRUE(service.draining());
+}
+
+TEST_F(ServiceFaultTest, CancelActiveDuringDrainReportsCancelledNeverError) {
+    // The grace-expired path: drain, then cancelActive() while a query is
+    // parked mid-solve. The query must come back Verdict::Cancelled — a
+    // clean, non-error outcome — within the solver's polling latency.
+    util::FaultInjector::global().armDelayMs("service.solve", 100);
+    ServiceOptions options;
+    options.workers = 1;
+    Service service(options);
+
+    QueryResult result;
+    std::thread caller([&] {
+        result = service.run(
+            request(QueryKind::Feasibility, caseStudyProblem(), "c"));
+    });
+    const Clock::time_point start = Clock::now();
+    while (service.activeQueries() == 0 && msSince(start) < 5000.0)
+        std::this_thread::yield();
+    ASSERT_EQ(service.activeQueries(), 1u);
+    service.beginDrain();
+    service.cancelActive();
+    caller.join();
+
+    EXPECT_EQ(result.trace.verdict, Verdict::Cancelled);
+    EXPECT_TRUE(result.ok()) << result.error.message;
+    EXPECT_TRUE(result.cancelled());
+    EXPECT_EQ(service.activeQueries(), 0u);
+}
+
+TEST_F(ServiceFaultTest, SubmissionsAfterDrainAreShed) {
+    // Once draining, both entry points refuse new work with Shed: run() on
+    // the calling thread and runBatch() through the pool.
+    Service service;
+    service.beginDrain();
+    const QueryResult single =
+        service.run(request(QueryKind::Feasibility, caseStudyProblem(), "s"));
+    EXPECT_EQ(single.trace.verdict, Verdict::Shed);
+    EXPECT_TRUE(single.ok());
+
+    const std::vector<QueryResult> batch = service.runBatch(
+        {request(QueryKind::Feasibility, caseStudyProblem(), "b")});
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].trace.verdict, Verdict::Shed);
+    EXPECT_TRUE(batch[0].ok());
+}
+
 // -------------------------------------------------- retry and degradation
 
 TEST_F(ServiceFaultTest, UnknownVerdictIsRetriedWithFreshSeeds) {

@@ -53,6 +53,7 @@
 #include "extract/specgen.hpp"
 #include "json/parse.hpp"
 #include "json/write.hpp"
+#include "net/http_client.hpp"
 #include "kb/diff.hpp"
 #include "kb/serialize.hpp"
 #include "obs/metrics.hpp"
@@ -61,6 +62,7 @@
 #include "reason/engine.hpp"
 #include "reason/problem_io.hpp"
 #include "reason/service.hpp"
+#include "reason/service_io.hpp"
 #include "reason/validate.hpp"
 #include "util/error.hpp"
 #include "util/file.hpp"
@@ -83,7 +85,7 @@ bool parseLongArg(const char* tok, long& out) {
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: larctl <command> [args]\n"
+                 "usage: larctl [--url http://host:port] <command> [args]\n"
                  "  export-kb <out.json>\n"
                  "  validate  <kb.json>\n"
                  "  feasible  <kb.json> <problem.json>\n"
@@ -96,7 +98,10 @@ int usage() {
                  "  ordering  <kb.json> <objective>\n"
                  "  sheet     <kb.json> <model name>\n"
                  "  diff      <old.json> <new.json>\n"
-                 "use 'builtin' as <kb.json> for the compiled-in catalog\n");
+                 "use 'builtin' as <kb.json> for the compiled-in catalog\n"
+                 "with --url, feasible/optimize/enumerate/batch/metrics run\n"
+                 "against a larserved instance (no <kb.json> argument — the\n"
+                 "server's knowledge base answers)\n");
     return 2;
 }
 
@@ -183,41 +188,7 @@ int cmdEnumerate(const std::string& kbPath, const std::string& problemPath,
     return designs.empty() ? 1 : 0;
 }
 
-// Batch file format: either a bare JSON array of query objects, or
-// {"options": {...}, "queries": [...]} where "options" sets defaults every
-// query may override. A query object:
-//   {"id": "q1", "kind": "optimize", "problem": {...problem spec...},
-//    "max_designs": 4, "backend": "cdcl", "seed": 7, "timeout_ms": 0,
-//    "trace": true, "progress_every_conflicts": 256, "portfolio_workers": 1}
-reason::QueryOptions queryOptionsFromJson(const json::Value& v,
-                                          reason::QueryOptions defaults) {
-    const json::Object& obj = v.asObject();
-    if (obj.contains("backend")) {
-        const std::string& name = obj.at("backend").asString();
-        if (name == "cdcl") defaults.backend = smt::BackendKind::Cdcl;
-        else if (name == "z3") defaults.backend = smt::BackendKind::Z3;
-        else throw ParseError("batch: unknown backend '" + name + "'");
-    }
-    if (obj.contains("seed"))
-        defaults.seed = static_cast<std::uint64_t>(obj.at("seed").asInt());
-    if (obj.contains("timeout_ms"))
-        defaults.timeoutMs = static_cast<int>(obj.at("timeout_ms").asInt());
-    if (obj.contains("conflict_budget"))
-        defaults.conflictBudget = obj.at("conflict_budget").asInt();
-    if (obj.contains("propagation_budget"))
-        defaults.propagationBudget = obj.at("propagation_budget").asInt();
-    if (obj.contains("memory_budget_mb"))
-        defaults.memoryBudgetMb = obj.at("memory_budget_mb").asInt();
-    if (obj.contains("trace")) defaults.collectTrace = obj.at("trace").asBool();
-    if (obj.contains("progress_every_conflicts"))
-        defaults.progressEveryConflicts =
-            static_cast<int>(obj.at("progress_every_conflicts").asInt());
-    if (obj.contains("portfolio_workers"))
-        defaults.portfolioWorkers =
-            static_cast<int>(obj.at("portfolio_workers").asInt());
-    return defaults;
-}
-
+// Batch file schema: see reason/service_io.hpp (shared with larserved).
 int cmdBatch(const std::string& kbPath, const std::string& batchPath,
              unsigned threads, const std::string& traceOut = {},
              bool quiet = false, int deadlineMs = -1, long maxQueue = -1,
@@ -232,52 +203,7 @@ int cmdBatch(const std::string& kbPath, const std::string& batchPath,
     // scripts driving larctl can tell "bad input" from "infeasible".
     try {
         const json::Value doc = json::parse(util::readFile(batchPath));
-
-        reason::QueryOptions defaults;
-        const json::Array* queries = nullptr;
-        if (doc.isArray()) {
-            queries = &doc.asArray();
-        } else {
-            if (doc.asObject().contains("options"))
-                defaults = queryOptionsFromJson(doc.at("options"), defaults);
-            if (doc.asObject().contains("service")) {
-                const json::Object& svc = doc.at("service").asObject();
-                if (svc.contains("max_queue_depth"))
-                    serviceOptions.maxQueueDepth = static_cast<std::size_t>(
-                        svc.at("max_queue_depth").asInt());
-                if (svc.contains("shed_policy")) {
-                    const std::string& policy = svc.at("shed_policy").asString();
-                    if (policy == "reject_new")
-                        serviceOptions.shedPolicy = reason::ShedPolicy::RejectNew;
-                    else if (policy == "drop_oldest")
-                        serviceOptions.shedPolicy = reason::ShedPolicy::DropOldest;
-                    else
-                        throw ParseError("batch: unknown shed_policy '" + policy +
-                                         "' (want reject_new or drop_oldest)");
-                }
-                if (svc.contains("max_attempts"))
-                    serviceOptions.retry.maxAttempts =
-                        static_cast<int>(svc.at("max_attempts").asInt());
-            }
-            queries = &doc.at("queries").asArray();
-        }
-
-        requests.reserve(queries->size());
-        for (std::size_t i = 0; i < queries->size(); ++i) {
-            const json::Value& q = (*queries)[i];
-            reason::QueryRequest request;
-            request.id = q.asObject().contains("id") ? q.at("id").asString()
-                                                     : std::to_string(i);
-            request.kind =
-                q.asObject().contains("kind")
-                    ? reason::queryKindFromString(q.at("kind").asString())
-                    : reason::QueryKind::Optimize;
-            request.problem = reason::problemFromJson(q.at("problem"), kb);
-            if (q.asObject().contains("max_designs"))
-                request.maxDesigns = static_cast<int>(q.at("max_designs").asInt());
-            request.options = queryOptionsFromJson(q, defaults);
-            requests.push_back(std::move(request));
-        }
+        requests = reason::batchRequestsFromJson(doc, kb, &serviceOptions);
     } catch (const std::exception& e) {
         json::Value detail;
         detail["kind"] =
@@ -300,57 +226,9 @@ int cmdBatch(const std::string& kbPath, const std::string& batchPath,
 
     reason::Service service(serviceOptions);
     const std::vector<reason::QueryResult> results = service.runBatch(requests);
-
-    json::Array out;
-    bool anyInfeasible = false;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const reason::QueryResult& r = results[i];
-        json::Value v;
-        v["id"] = r.id;
-        v["kind"] = reason::toString(r.kind);
-        v["verdict"] = std::string(reason::verdictName(r.verdict));
-        v["feasible"] = r.feasible();
-        if (r.timedOut()) v["timed_out"] = true;
-        if (r.shed()) v["shed"] = true;
-        if (r.cancelled()) v["cancelled"] = true;
-        if (r.retries > 0) v["retries"] = static_cast<std::int64_t>(r.retries);
-        if (r.backendFellBack) v["backend_fallback"] = true;
-        if (!r.ok()) {
-            json::Value detail;
-            detail["kind"] = r.error.errorKind;
-            detail["message"] = r.error.message;
-            v["error"] = std::move(detail);
-        }
-        if (r.design.has_value()) v["design"] = reason::toJson(*r.design);
-        if (!r.designs.empty()) {
-            json::Array designs;
-            for (const reason::Design& d : r.designs)
-                designs.push_back(reason::toJson(d));
-            v["designs"] = json::Value(std::move(designs));
-        }
-        if (!r.conflictingRules.empty()) {
-            json::Array rules;
-            for (const std::string& rule : r.conflictingRules)
-                rules.emplace_back(rule);
-            v["conflicting_rules"] = json::Value(std::move(rules));
-        }
-        if (requests[i].options.collectTrace) v["trace"] = reason::toJson(r.trace);
-        out.push_back(std::move(v));
-        // Shed and cancelled queries are reported but do not fail the batch
-        // — the caller opted into admission control / cancellation.
-        if (!r.ok() || (!r.feasible() && !r.timedOut() && !r.shed()))
-            anyInfeasible = true;
-    }
-
-    const reason::CacheStats cache = service.cacheStats();
-    json::Value report;
-    report["results"] = json::Value(std::move(out));
-    json::Value cacheJson;
-    cacheJson["hits"] = static_cast<std::int64_t>(cache.hits);
-    cacheJson["misses"] = static_cast<std::int64_t>(cache.misses);
-    cacheJson["entries"] = static_cast<std::int64_t>(cache.entries);
-    report["cache"] = std::move(cacheJson);
-    report["workers"] = static_cast<std::int64_t>(service.workerCount());
+    const bool anyInfeasible = reason::anyFailedOrInfeasible(results);
+    const json::Value report =
+        reason::batchReportToJson(results, requests, service);
     if (!quiet) std::printf("%s\n", json::writePretty(report).c_str());
 
     if (!traceOut.empty()) {
@@ -432,9 +310,189 @@ int cmdSheet(const std::string& kbPath, const std::string& model) {
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --url client mode: the same commands, answered by a larserved instance.
+// Exit codes mirror local runs (0 answered/feasible, 1 infeasible or errored,
+// 2 malformed input), with one addition: a shed query (HTTP 429) exits 1 like
+// a locally-shed one would.
+// ---------------------------------------------------------------------------
+
+int remoteQuery(net::HttpClient& client, const std::string& kind,
+                const std::string& problemPath, int maxDesigns) {
+    json::Value query;
+    query["kind"] = kind;
+    query["problem"] = json::parse(util::readFile(problemPath));
+    if (kind == "enumerate")
+        query["max_designs"] = static_cast<std::int64_t>(maxDesigns);
+    const net::ClientResponse resp =
+        client.post("/v1/query", json::write(query));
+    if (resp.status == 400) {
+        std::printf("%s", resp.body.c_str());
+        return 2;
+    }
+    std::printf("%s\n", json::writePretty(json::parse(resp.body)).c_str());
+    if (resp.status != 200) return 1; // 429 shed / 500 error
+    const json::Value result = json::parse(resp.body);
+    return result.at("feasible").asBool() ? 0 : 1;
+}
+
+int remoteBatch(net::HttpClient& client, const std::string& batchPath,
+                int deadlineMs, int portfolio, bool quiet = false) {
+    // A locally-unreadable batch file exits 2 with a one-line JSON error,
+    // exactly like local mode; schema errors the server detects come back
+    // as a 400 and exit 2 below.
+    json::Value doc;
+    try {
+        doc = json::parse(util::readFile(batchPath));
+    } catch (const std::exception& e) {
+        json::Value detail;
+        detail["kind"] = dynamic_cast<const ParseError*>(&e) != nullptr
+                             ? "parse_error"
+                             : "error";
+        detail["message"] = std::string(e.what());
+        json::Value err;
+        err["error"] = std::move(detail);
+        std::printf("%s\n", json::write(err).c_str());
+        return 2;
+    }
+    // Flag overrides are applied per query, matching local precedence where
+    // --deadline-ms / --portfolio rewrite every request after parsing.
+    if (deadlineMs >= 0 || portfolio > 0) {
+        json::Array* queries = nullptr;
+        if (doc.isArray()) {
+            queries = &doc.asArray();
+        } else if (doc.asObject().contains("queries")) {
+            queries = &doc["queries"].asArray();
+        }
+        if (queries != nullptr) {
+            for (json::Value& q : *queries) {
+                if (!q.isObject()) continue;
+                if (deadlineMs >= 0)
+                    q["timeout_ms"] = static_cast<std::int64_t>(deadlineMs);
+                if (portfolio > 0)
+                    q["portfolio_workers"] =
+                        static_cast<std::int64_t>(portfolio);
+            }
+        }
+    }
+    const net::ClientResponse resp = client.post("/v1/batch", json::write(doc));
+    if (resp.status == 400) {
+        std::printf("%s", resp.body.c_str());
+        return 2;
+    }
+    if (resp.status != 200) {
+        std::fprintf(stderr, "larctl: server answered %d\n%s", resp.status,
+                     resp.body.c_str());
+        return 1;
+    }
+    const json::Value report = json::parse(resp.body);
+    if (!quiet) std::printf("%s\n", json::writePretty(report).c_str());
+    return report.at("any_failed_or_infeasible").asBool() ? 1 : 0;
+}
+
+int remoteMain(const std::string& url, int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    const net::HttpUrl parsed = net::parseHttpUrl(url);
+    net::HttpClient client(parsed.host, parsed.port);
+
+    if ((command == "feasible" || command == "optimize") && argc == 3)
+        return remoteQuery(client, command, argv[2], 4);
+    if (command == "enumerate" && (argc == 3 || argc == 4)) {
+        long maxDesigns = 4;
+        if (argc == 4 && (!parseLongArg(argv[3], maxDesigns) || maxDesigns < 1)) {
+            std::fprintf(stderr,
+                         "larctl: maxDesigns must be a number >= 1, got '%s'\n",
+                         argv[3]);
+            return 1;
+        }
+        return remoteQuery(client, command, argv[2],
+                           static_cast<int>(maxDesigns));
+    }
+    if (command == "batch") {
+        std::string batchPath;
+        int deadlineMs = -1;
+        int portfolio = 0;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--deadline-ms") == 0 ||
+                std::strcmp(argv[i], "--portfolio") == 0) {
+                const bool isDeadline = argv[i][2] == 'd';
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "larctl: %s needs a number\n", argv[i]);
+                    return 1;
+                }
+                long value = 0;
+                if (!parseLongArg(argv[i + 1], value) ||
+                    (isDeadline ? value < 0 : (value < 1 || value > 16))) {
+                    std::fprintf(stderr, "larctl: bad value for %s: '%s'\n",
+                                 argv[i], argv[i + 1]);
+                    return 1;
+                }
+                if (isDeadline) deadlineMs = static_cast<int>(value);
+                else portfolio = static_cast<int>(value);
+                ++i;
+            } else if (std::strcmp(argv[i], "--max-queue") == 0 ||
+                       std::strcmp(argv[i], "--trace-out") == 0) {
+                std::fprintf(stderr,
+                             "larctl: %s is not supported with --url (set it "
+                             "on the larserved command line)\n",
+                             argv[i]);
+                return 1;
+            } else if (batchPath.empty() && argv[i][0] != '-') {
+                batchPath = argv[i];
+            } else {
+                std::fprintf(stderr, "larctl: unexpected argument '%s'\n",
+                             argv[i]);
+                return usage();
+            }
+        }
+        if (batchPath.empty()) return usage();
+        return remoteBatch(client, batchPath, deadlineMs, portfolio);
+    }
+    if (command == "metrics" && argc == 2) {
+        const net::ClientResponse resp = client.get("/metrics");
+        if (resp.status != 200) {
+            std::fprintf(stderr, "larctl: server answered %d\n", resp.status);
+            return 1;
+        }
+        std::fputs(resp.body.c_str(), stdout);
+        return 0;
+    }
+    std::fprintf(stderr, "larctl: command '%s' is not available with --url\n",
+                 command.c_str());
+    return usage();
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
+    // Peel off a --url flag anywhere before/after the command; everything
+    // else keeps its position.
+    std::string url;
+    std::vector<char*> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--url") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "larctl: --url needs an address\n");
+                return 2;
+            }
+            url = argv[++i];
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    argc = static_cast<int>(rest.size());
+    argv = rest.data();
+    if (!url.empty()) {
+        try {
+            return remoteMain(url, argc, argv);
+        } catch (const Error& e) {
+            std::fprintf(stderr, "larctl: %s\n", e.what());
+            return 1;
+        }
+    }
+
     if (argc < 2) return usage();
     const std::string command = argv[1];
     try {

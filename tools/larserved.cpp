@@ -1,0 +1,295 @@
+// larserved — HTTP front end to the reasoning service.
+//
+// Serves the same JSON wire schema as `larctl batch` (reason/service_io.hpp)
+// over a from-scratch epoll HTTP/1.1 server (net/server.hpp), so a fleet of
+// CI jobs or an interactive UI can share one warm compilation cache instead
+// of each paying cold-start per query.
+//
+//   POST /v1/query   one query object in, one result object out.
+//                    Verdict mapping: Shed → 429 (+ Retry-After), Error →
+//                    500, everything else (sat/unsat/unknown/timeout/
+//                    cancelled) → 200 with the verdict in the body.
+//   POST /v1/batch   a batch document in (same schema as larctl batch files,
+//                    except the "service" block is rejected — the service
+//                    here is long-lived), full batch report out.
+//   GET  /metrics    Prometheus text exposition of the obs registry.
+//   GET  /healthz    200 while the process is up (liveness).
+//   GET  /readyz     200 while accepting work, 503 once draining
+//                    (readiness — flip traffic away before shutdown).
+//
+// SIGTERM/SIGINT start a graceful drain: stop accepting, let in-flight
+// queries finish within the grace period, cancel stragglers (they report
+// Cancelled, not Error), then exit 0.
+//
+// Flags (strict numeric parsing; a bad value is a usage error, not a 0):
+//   --kb <path|builtin>     knowledge base to serve (default builtin)
+//   --bind <addr>           listen address (default 127.0.0.1)
+//   --port <n>              listen port; 0 = ephemeral (default 8080)
+//   --port-file <path>      write the bound port (for scripts with --port 0)
+//   --io-threads <n>        event-loop threads (default 2)
+//   --workers <n>           solver pool width; 0 = hardware (default 0)
+//   --max-inflight <n>      HTTP requests inside handlers before 503
+//   --max-queue <n>         ServiceOptions::maxQueueDepth (0 = unbounded)
+//   --drain-grace-ms <n>    per-phase drain grace (default 5000)
+//   --log-info              lower the log threshold to Info (access logs on)
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "catalog/catalog.hpp"
+#include "json/parse.hpp"
+#include "json/write.hpp"
+#include "kb/serialize.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "reason/service.hpp"
+#include "reason/service_io.hpp"
+#include "util/error.hpp"
+#include "util/file.hpp"
+#include "util/logging.hpp"
+
+using namespace lar;
+
+namespace {
+
+int g_signalPipe[2] = {-1, -1};
+
+void onSignal(int) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_signalPipe[1], &byte, 1);
+}
+
+int usage() {
+    std::fprintf(
+        stderr,
+        "usage: larserved [--kb <path|builtin>] [--bind <addr>] [--port <n>]\n"
+        "                 [--port-file <path>] [--io-threads <n>] "
+        "[--workers <n>]\n"
+        "                 [--max-inflight <n>] [--max-queue <n>]\n"
+        "                 [--drain-grace-ms <n>] [--log-info]\n");
+    return 2;
+}
+
+bool parseLongArg(const char* tok, long& out) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(tok, &end, 10);
+    if (end == tok || *end != '\0' || errno == ERANGE) return false;
+    out = value;
+    return true;
+}
+
+net::HttpResponse jsonResponse(int status, const json::Value& body) {
+    net::HttpResponse resp;
+    resp.status = status;
+    resp.body = json::write(body);
+    resp.body += '\n';
+    return resp;
+}
+
+/// ParseError/EncodingError → 400; anything else propagates (the server
+/// turns it into a 500).
+net::HttpResponse badRequest(const std::exception& e) {
+    const char* kind = dynamic_cast<const ParseError*>(&e) != nullptr
+                           ? "parse_error"
+                       : dynamic_cast<const EncodingError*>(&e) != nullptr
+                           ? "encoding_error"
+                           : "bad_request";
+    return net::HttpResponse::errorJson(400, kind, e.what());
+}
+
+int statusForVerdict(const reason::QueryResult& result) {
+    switch (result.verdict) {
+        case reason::Verdict::Shed: return 429;
+        case reason::Verdict::Error: return 500;
+        default: return 200;
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string kbPath = "builtin";
+    std::string bind = "127.0.0.1";
+    std::string portFile;
+    long port = 8080;
+    long ioThreads = 2;
+    long workers = 0;
+    long maxInflight = 0;
+    long maxQueue = 0;
+    long drainGraceMs = 5000;
+    bool logInfo = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const auto needValue = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "larserved: %s needs a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const auto numericFlag = [&](const char* flag, long& out, long min,
+                                     long max) -> bool {
+            const char* value = needValue(flag);
+            if (value == nullptr) return false;
+            if (!parseLongArg(value, out) || out < min || out > max) {
+                std::fprintf(stderr,
+                             "larserved: %s must be a number in %ld..%ld, got "
+                             "'%s'\n",
+                             flag, min, max, value);
+                return false;
+            }
+            return true;
+        };
+        if (std::strcmp(argv[i], "--kb") == 0) {
+            const char* value = needValue("--kb");
+            if (value == nullptr) return usage();
+            kbPath = value;
+        } else if (std::strcmp(argv[i], "--bind") == 0) {
+            const char* value = needValue("--bind");
+            if (value == nullptr) return usage();
+            bind = value;
+        } else if (std::strcmp(argv[i], "--port-file") == 0) {
+            const char* value = needValue("--port-file");
+            if (value == nullptr) return usage();
+            portFile = value;
+        } else if (std::strcmp(argv[i], "--port") == 0) {
+            if (!numericFlag("--port", port, 0, 65535)) return usage();
+        } else if (std::strcmp(argv[i], "--io-threads") == 0) {
+            if (!numericFlag("--io-threads", ioThreads, 1, 64)) return usage();
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            if (!numericFlag("--workers", workers, 0, 256)) return usage();
+        } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
+            if (!numericFlag("--max-inflight", maxInflight, 0, 1 << 20))
+                return usage();
+        } else if (std::strcmp(argv[i], "--max-queue") == 0) {
+            if (!numericFlag("--max-queue", maxQueue, 0, 1 << 20))
+                return usage();
+        } else if (std::strcmp(argv[i], "--drain-grace-ms") == 0) {
+            if (!numericFlag("--drain-grace-ms", drainGraceMs, 0, 3'600'000))
+                return usage();
+        } else if (std::strcmp(argv[i], "--log-info") == 0) {
+            logInfo = true;
+        } else {
+            std::fprintf(stderr, "larserved: unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (logInfo) util::setLogLevel(util::LogLevel::Info);
+
+    try {
+        const kb::KnowledgeBase kb =
+            kbPath == "builtin" ? catalog::buildKnowledgeBase()
+                                : kb::kbFromText(util::readFile(kbPath));
+
+        reason::ServiceOptions serviceOptions;
+        serviceOptions.workers = static_cast<unsigned>(workers);
+        serviceOptions.maxQueueDepth = static_cast<std::size_t>(maxQueue);
+        reason::Service service(serviceOptions);
+
+        net::ServerOptions serverOptions;
+        serverOptions.bindAddress = bind;
+        serverOptions.port = static_cast<std::uint16_t>(port);
+        serverOptions.ioThreads = static_cast<unsigned>(ioThreads);
+        serverOptions.maxInflight = static_cast<std::size_t>(maxInflight);
+        serverOptions.accessLog = logInfo;
+        net::HttpServer server(serverOptions);
+
+        server.route("POST", "/v1/query", [&](const net::HttpRequest& req) {
+            reason::QueryRequest request;
+            try {
+                const json::Value doc = json::parse(req.body);
+                request = reason::queryRequestFromJson(doc, kb,
+                                                       reason::QueryOptions{},
+                                                       /*index=*/0);
+            } catch (const Error& e) {
+                return badRequest(e);
+            }
+            const reason::QueryResult result = service.run(request);
+            net::HttpResponse resp = jsonResponse(
+                statusForVerdict(result),
+                reason::resultToJson(result, request.options.collectTrace));
+            if (resp.status == 429) {
+                resp.extraHeaders.push_back({"Retry-After", "1"});
+            }
+            return resp;
+        });
+
+        server.route("POST", "/v1/batch", [&](const net::HttpRequest& req) {
+            std::vector<reason::QueryRequest> requests;
+            try {
+                const json::Value doc = json::parse(req.body);
+                requests = reason::batchRequestsFromJson(doc, kb,
+                                                         /*serviceOptions=*/
+                                                         nullptr);
+            } catch (const Error& e) {
+                return badRequest(e);
+            }
+            const std::vector<reason::QueryResult> results =
+                service.runBatch(requests);
+            json::Value report =
+                reason::batchReportToJson(results, requests, service);
+            report["any_failed_or_infeasible"] =
+                reason::anyFailedOrInfeasible(results);
+            return jsonResponse(200, report);
+        });
+
+        server.route("GET", "/metrics", [](const net::HttpRequest&) {
+            net::HttpResponse resp;
+            resp.contentType = "text/plain; version=0.0.4";
+            resp.body = obs::Registry::global().renderPrometheus();
+            return resp;
+        });
+
+        server.route("GET", "/healthz", [](const net::HttpRequest&) {
+            return net::HttpResponse::text(200, "{\"ok\":true}\n");
+        });
+
+        server.route("GET", "/readyz", [&server](const net::HttpRequest&) {
+            if (server.draining()) {
+                return net::HttpResponse::errorJson(503, "draining",
+                                                    "shutting down");
+            }
+            return net::HttpResponse::text(200, "{\"ready\":true}\n");
+        });
+
+        server.setDrainHooks([&service] { service.beginDrain(); },
+                             [&service] { service.cancelActive(); });
+
+        if (::pipe2(g_signalPipe, O_CLOEXEC) != 0) {
+            std::fprintf(stderr, "larserved: pipe2: %s\n",
+                         std::strerror(errno));
+            return 1;
+        }
+        struct sigaction sa{};
+        sa.sa_handler = onSignal;
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::signal(SIGPIPE, SIG_IGN);
+
+        server.start();
+        std::printf("larserved listening on %s:%u\n", bind.c_str(),
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        if (!portFile.empty()) {
+            util::writeFile(portFile, std::to_string(server.port()) + "\n");
+        }
+
+        char byte = 0;
+        while (::read(g_signalPipe[0], &byte, 1) < 0 && errno == EINTR) {
+        }
+        std::fprintf(stderr, "larserved: draining (grace %ld ms)\n",
+                     drainGraceMs);
+        server.drainAndStop(static_cast<int>(drainGraceMs));
+        return 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "larserved: %s\n", e.what());
+        return 1;
+    }
+}
