@@ -1,0 +1,185 @@
+// SES1 — stateful sessions vs stateless queries over the real wire.
+//
+// The interactive workflow the session API exists for: an architect holds
+// one design problem and asks "what if I pin system X?" for many X in a
+// row. Two ways to serve that over HTTP, both measured end-to-end through
+// an in-process net::HttpServer with the production routes:
+//
+//   cold  one POST /v1/query per variation, each with the pin folded into
+//         the problem — every request is a distinct fingerprint, so the
+//         server compiles and solves from scratch each time;
+//   warm  one POST /v1/session, then one POST /v1/session/{id}/ask per
+//         variation — the compilation is held server-side and each ask is
+//         answered through solver assumptions.
+//
+// Gates: both paths agree on every feasible/infeasible verdict, and the
+// median warm ask is ≥10x faster than the median cold query. Writes
+// machine-readable results to BENCH_session.json (override with argv[1]).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "catalog/catalog.hpp"
+#include "json/parse.hpp"
+#include "json/value.hpp"
+#include "json/write.hpp"
+#include "net/http_client.hpp"
+#include "net/server.hpp"
+#include "reason/service.hpp"
+#include "reason/session.hpp"
+#include "serve/routes.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+namespace {
+
+double median(std::vector<double> samples) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+constexpr const char* kProblemJson =
+    R"({"hardware":{"server":{"count":60},"switch":{"count":8},)"
+    R"("nic":{"count":60}},"objective_priority":["latency"]})";
+
+std::string coldQueryBody(const std::string& system) {
+    return std::string(R"({"api":1,"kind":"feasible","problem":)"
+                       R"({"hardware":{"server":{"count":60},)"
+                       R"("switch":{"count":8},"nic":{"count":60}},)"
+                       R"("objective_priority":["latency"],)"
+                       R"("pinned_systems":{")") +
+           system + R"(":true}}})";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::string outPath = argc > 1 ? argv[1] : "BENCH_session.json";
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+
+    reason::ServiceOptions serviceOptions;
+    serviceOptions.warmStartCapacity = 32;
+    reason::Service service(serviceOptions);
+    reason::SessionManager sessions(service);
+
+    net::ServerOptions options;
+    options.bindAddress = "127.0.0.1";
+    options.port = 0;
+    options.accessLog = false;
+    net::HttpServer server(options);
+    serve::registerServiceRoutes(server, service, kb);
+    serve::registerSessionRoutes(server, sessions, kb);
+    server.start();
+
+    // One pin-one-system variation per catalog system.
+    std::vector<std::string> systems;
+    for (const kb::System& s : kb.systems()) systems.push_back(s.name);
+
+    net::HttpClient client("127.0.0.1", server.port());
+
+    // ---- cold: stateless /v1/query per variation -----------------------
+    std::vector<double> coldMs;
+    std::vector<bool> coldFeasible;
+    for (const std::string& name : systems) {
+        util::Stopwatch timer;
+        const net::ClientResponse resp =
+            client.post("/v1/query", coldQueryBody(name));
+        coldMs.push_back(timer.millis());
+        if (resp.status != 200) {
+            std::printf("cold query for %s failed: HTTP %d\n%s\n",
+                        name.c_str(), resp.status, resp.body.c_str());
+            return EXIT_FAILURE;
+        }
+        coldFeasible.push_back(
+            json::parse(resp.body).at("feasible").asBool());
+    }
+
+    // ---- warm: one session, one ask per variation ----------------------
+    const net::ClientResponse created = client.post(
+        "/v1/session",
+        std::string(R"({"api":1,"problem":)") + kProblemJson + "}");
+    if (created.status != 200) {
+        std::printf("session create failed: HTTP %d\n%s\n", created.status,
+                    created.body.c_str());
+        return EXIT_FAILURE;
+    }
+    const std::string sessionId =
+        json::parse(created.body).at("id").asString();
+
+    std::vector<double> warmMs;
+    std::vector<bool> warmFeasible;
+    for (const std::string& name : systems) {
+        util::Stopwatch timer;
+        const net::ClientResponse resp = client.post(
+            "/v1/session/" + sessionId + "/ask",
+            std::string(R"({"api":1,"systems":{")") + name + R"(":true}})");
+        warmMs.push_back(timer.millis());
+        if (resp.status != 200) {
+            std::printf("warm ask for %s failed: HTTP %d\n%s\n",
+                        name.c_str(), resp.status, resp.body.c_str());
+            return EXIT_FAILURE;
+        }
+        warmFeasible.push_back(
+            json::parse(resp.body).at("feasible").asBool());
+    }
+    (void)client.del("/v1/session/" + sessionId);
+    server.stop();
+
+    int disagreements = 0;
+    for (std::size_t i = 0; i < systems.size(); ++i)
+        if (coldFeasible[i] != warmFeasible[i]) ++disagreements;
+
+    const double coldMedian = median(coldMs);
+    const double warmMedian = median(warmMs);
+    const double speedup = warmMedian > 0.0 ? coldMedian / warmMedian : 0.0;
+
+    bench::printHeader("stateful session vs stateless query (per-variation "
+                       "HTTP round-trip)");
+    bench::printRow({"path", "queries", "median", "total"});
+    bench::printRule();
+    double coldTotal = 0.0, warmTotal = 0.0;
+    for (const double v : coldMs) coldTotal += v;
+    for (const double v : warmMs) warmTotal += v;
+    bench::printRow({"POST /v1/query (cold each time)",
+                     bench::num(static_cast<long long>(coldMs.size())),
+                     bench::ms(coldMedian), bench::ms(coldTotal)});
+    bench::printRow({"POST /v1/session/{id}/ask",
+                     bench::num(static_cast<long long>(warmMs.size())),
+                     bench::ms(warmMedian), bench::ms(warmTotal)});
+    std::printf("\nmedian speedup: %.1fx — verdicts agree on %zu/%zu\n",
+                speedup, systems.size() - disagreements, systems.size());
+
+    const bool ok = disagreements == 0 && speedup >= 10.0;
+    json::Value report;
+    report["cold_median_ms"] = coldMedian;
+    report["warm_median_ms"] = warmMedian;
+    report["cold_total_ms"] = coldTotal;
+    report["warm_total_ms"] = warmTotal;
+    report["speedup"] = speedup;
+    report["queries"] = static_cast<std::int64_t>(systems.size());
+    report["disagreements"] = static_cast<std::int64_t>(disagreements);
+    report["pass"] = ok;
+    if (std::FILE* f = std::fopen(outPath.c_str(), "w")) {
+        const std::string text = json::write(report);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", outPath.c_str());
+    } else {
+        std::printf("could not write %s\n", outPath.c_str());
+        return EXIT_FAILURE;
+    }
+    std::printf("SES1: %s\n",
+                ok ? "session asks ≥10x faster than stateless queries, "
+                     "verdicts agree"
+                   : "FAILED");
+    if (disagreements != 0) std::printf("  gate: verdicts disagree\n");
+    if (speedup < 10.0)
+        std::printf("  gate: speedup %.1fx below 10x\n", speedup);
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

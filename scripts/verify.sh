@@ -6,6 +6,8 @@
 #   scripts/verify.sh sanitize   ASan/UBSan build + ctest only
 #   scripts/verify.sh portfolio  TSan portfolio suite only
 #   scripts/verify.sh server     HTTP server: unit + TSan + live smoke + bench
+#   scripts/verify.sh session    sessions: unit + TSan + warm-start oracle +
+#                                live session smoke + interactive bench
 #
 # The tier-1 leg uses the regular build/ tree (shared with development, so
 # incremental rebuilds are cheap). The sanitize leg configures a separate
@@ -72,6 +74,47 @@ run_server() {
     (cd "$root/build" && ./bench/bench_server_throughput)
 }
 
+run_session() {
+    # The stateful what-if path end to end: SessionManager lifecycle/race
+    # suite (plain and under ThreadSanitizer), the warm-start soundness
+    # oracle, a live create/ask/close round-trip through larserved + larctl
+    # session mode, and the interactive bench with its >=10x speedup gate.
+    echo "== session: lifecycle + TSan + warm-start oracle + smoke + bench =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j"$jobs" --target \
+        session_test session_test_tsan warmstart_test larserved larctl \
+        bench_session_interactive
+    (cd "$root/build" && ctest --output-on-failure -R \
+        '^SessionTest|^session_tsan$|^(SolverSnapshot|WarmStartOracle|WarmStartService)')
+
+    echo "-- live smoke: larserved session workflow via larctl --"
+    smoke="$root/build/session_smoke"
+    rm -rf "$smoke" && mkdir -p "$smoke"
+    "$root/build/tools/larserved" --port 0 --port-file "$smoke/port" \
+        --drain-grace-ms 2000 &
+    served_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$smoke/port" ] && break
+        sleep 0.1
+    done
+    [ -s "$smoke/port" ] || { echo "larserved never wrote its port"; exit 1; }
+    url="http://127.0.0.1:$(cat "$smoke/port")"
+    echo '{"hardware":{"server":{"count":60},"switch":{"count":8},"nic":{"count":60}},"objective_priority":["latency"]}' \
+        > "$smoke/prob.json"
+    echo '[{}, {"systems":{"Sonata":true}}, {"options":{}}]' \
+        > "$smoke/script.json"
+    "$root/build/tools/larctl" --url "$url" session run \
+        "$smoke/prob.json" "$smoke/script.json" > "$smoke/session.json"
+    grep -q '"verdict"' "$smoke/session.json"
+    "$root/build/tools/larctl" --url "$url" metrics \
+        | grep -q lar_session_created_total
+    kill -TERM "$served_pid"
+    wait "$served_pid" || { echo "larserved did not drain cleanly"; exit 1; }
+
+    echo "-- bench: interactive session speedup gate --"
+    (cd "$root/build" && ./bench/bench_session_interactive)
+}
+
 run_sanitize() {
     echo "== sanitize: LAR_SANITIZE=address,undefined build + ctest =="
     cmake -B "$root/build-asan" -S "$root" -DLAR_SANITIZE=address,undefined
@@ -87,14 +130,16 @@ case "$leg" in
     sanitize) run_sanitize ;;
     portfolio) run_portfolio ;;
     server) run_server ;;
+    session) run_session ;;
     all)
         run_tier1
         run_portfolio
         run_server
+        run_session
         run_sanitize
         ;;
     *)
-        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|server|all]" >&2
+        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|server|session|all]" >&2
         exit 2
         ;;
 esac

@@ -144,6 +144,10 @@ ClientResponse HttpClient::post(const std::string& path, std::string body,
     return roundTrip("POST", path, body, contentType);
 }
 
+ClientResponse HttpClient::del(const std::string& path) {
+    return roundTrip("DELETE", path, "", "");
+}
+
 ClientResponse HttpClient::roundTrip(const std::string& method,
                                      const std::string& path,
                                      const std::string& body,

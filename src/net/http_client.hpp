@@ -47,6 +47,7 @@ public:
     ClientResponse get(const std::string& path);
     ClientResponse post(const std::string& path, std::string body,
                         const std::string& contentType = "application/json");
+    ClientResponse del(const std::string& path);
 
     /// Drops the kept-alive connection (next request re-dials).
     void disconnect();

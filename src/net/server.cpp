@@ -122,6 +122,42 @@ struct Completion {
     HttpResponse response;
 };
 
+/// Splits "/a/b/c" on '/' into {"a","b","c"}. The leading empty segment is
+/// dropped; a trailing slash yields a trailing empty segment, so "/a/" and
+/// "/a" stay distinct (and a `{name}` segment, which requires non-empty,
+/// never matches the trailing slash form).
+std::vector<std::string> splitPathSegments(std::string_view path) {
+    std::vector<std::string> segments;
+    if (!path.empty() && path.front() == '/') path.remove_prefix(1);
+    while (true) {
+        const std::size_t slash = path.find('/');
+        if (slash == std::string_view::npos) {
+            segments.emplace_back(path);
+            return segments;
+        }
+        segments.emplace_back(path.substr(0, slash));
+        path.remove_prefix(slash + 1);
+    }
+}
+
+/// True when `path` matches `pattern` segment-for-segment; `{name}`
+/// segments capture into `params`.
+bool matchSegments(const std::vector<std::string>& pattern,
+                   const std::vector<std::string>& path,
+                   HttpServer::RouteParams& params) {
+    if (pattern.size() != path.size()) return false;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+        const std::string& want = pattern[i];
+        if (want.size() >= 2 && want.front() == '{' && want.back() == '}') {
+            if (path[i].empty()) return false;
+            params[want.substr(1, want.size() - 2)] = path[i];
+        } else if (want != path[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace
 
 struct HttpServer::Impl {
@@ -148,8 +184,17 @@ struct HttpServer::Impl {
         }
     }
 
+    /// One pattern route: the pattern split into segments (a "{name}"
+    /// segment matches any single non-empty path segment) plus its
+    /// method→handler table.
+    struct PatternRoute {
+        std::vector<std::string> segments;
+        std::map<std::string, ParamHandler> methods;
+    };
+
     ServerOptions opts;
     std::map<std::string, std::map<std::string, Handler>> routes; // path→method
+    std::vector<PatternRoute> patternRoutes;
     std::function<void()> onDrainBegin;
     std::function<void()> onGraceExpired;
 
@@ -499,25 +544,62 @@ void HttpServer::Impl::dispatch(Loop& loop, Connection& conn) {
     conn.closeAfterWrite =
         !request.keepAlive || draining.load(std::memory_order_acquire);
 
-    const auto pathIt = routes.find(conn.path);
-    if (pathIt == routes.end()) {
-        respondNow(loop, conn,
-                   HttpResponse::errorJson(404, "not_found",
-                                           "no such endpoint: " + conn.path),
-                   false);
-        return;
-    }
-    const auto methodIt = pathIt->second.find(request.method);
-    if (methodIt == pathIt->second.end()) {
-        HttpResponse resp = HttpResponse::errorJson(
-            405, "method_not_allowed",
-            request.method + " not supported on " + conn.path);
-        std::string allow;
-        for (const auto& [m, h] : pathIt->second) {
+    // Exact routes first, then pattern routes in registration order. Either
+    // kind contributes to the Allow set when the path matches but the
+    // method does not.
+    const Handler* exact = nullptr;
+    const ParamHandler* pattern = nullptr;
+    RouteParams params;
+    std::string allow;
+    bool pathKnown = false;
+    const auto appendAllow = [&allow](const auto& methods) {
+        for (const auto& [m, h] : methods) {
             (void)h;
             if (!allow.empty()) allow += ", ";
             allow += m;
         }
+    };
+
+    const auto pathIt = routes.find(conn.path);
+    if (pathIt != routes.end()) {
+        pathKnown = true;
+        const auto methodIt = pathIt->second.find(request.method);
+        if (methodIt != pathIt->second.end()) {
+            exact = &methodIt->second;
+        } else {
+            appendAllow(pathIt->second);
+        }
+    }
+    if (exact == nullptr && !patternRoutes.empty()) {
+        const std::vector<std::string> segments =
+            splitPathSegments(conn.path);
+        for (const PatternRoute& candidate : patternRoutes) {
+            RouteParams captured;
+            if (!matchSegments(candidate.segments, segments, captured)) {
+                continue;
+            }
+            pathKnown = true;
+            const auto methodIt = candidate.methods.find(request.method);
+            if (methodIt != candidate.methods.end()) {
+                pattern = &methodIt->second;
+                params = std::move(captured);
+                break;
+            }
+            appendAllow(candidate.methods);
+        }
+    }
+    if (exact == nullptr && pattern == nullptr) {
+        if (!pathKnown) {
+            respondNow(loop, conn,
+                       HttpResponse::errorJson(404, "not_found",
+                                               "no such endpoint: " +
+                                                   conn.path),
+                       false);
+            return;
+        }
+        HttpResponse resp = HttpResponse::errorJson(
+            405, "method_not_allowed",
+            request.method + " not supported on " + conn.path);
         resp.extraHeaders.push_back({"Allow", std::move(allow)});
         respondNow(loop, conn, std::move(resp), false);
         return;
@@ -541,14 +623,24 @@ void HttpServer::Impl::dispatch(Loop& loop, Connection& conn) {
         }
     }
 
-    const Handler* handler = &methodIt->second;
+    // Bind the chosen handler (plus any captured params) into a plain
+    // Handler; the pointed-to handlers live in the route tables, which are
+    // immutable after start().
+    Handler bound;
+    if (exact != nullptr) {
+        bound = [exact](const HttpRequest& r) { return (*exact)(r); };
+    } else {
+        bound = [pattern, params = std::move(params)](const HttpRequest& r) {
+            return (*pattern)(r, params);
+        };
+    }
     Loop* loopPtr = &loop;
     const std::uint64_t connId = conn.id;
-    (void)pool->submit([this, handler, loopPtr, connId,
+    (void)pool->submit([this, bound = std::move(bound), loopPtr, connId,
                         request = std::move(request)]() mutable {
         HttpResponse response;
         try {
-            response = (*handler)(request);
+            response = bound(request);
         } catch (const std::exception& e) {
             response = HttpResponse::errorJson(500, "internal", e.what());
         } catch (...) {
@@ -721,6 +813,22 @@ HttpServer::~HttpServer() { stop(); }
 void HttpServer::route(std::string method, std::string path, Handler handler) {
     expects(!impl_->running.load(), "HttpServer::route: server already started");
     impl_->routes[std::move(path)][std::move(method)] = std::move(handler);
+}
+
+void HttpServer::route(std::string method, std::string pattern,
+                       ParamHandler handler) {
+    expects(!impl_->running.load(), "HttpServer::route: server already started");
+    std::vector<std::string> segments = splitPathSegments(pattern);
+    for (Impl::PatternRoute& existing : impl_->patternRoutes) {
+        if (existing.segments == segments) {
+            existing.methods[std::move(method)] = std::move(handler);
+            return;
+        }
+    }
+    Impl::PatternRoute fresh;
+    fresh.segments = std::move(segments);
+    fresh.methods[std::move(method)] = std::move(handler);
+    impl_->patternRoutes.push_back(std::move(fresh));
 }
 
 void HttpServer::setDrainHooks(std::function<void()> onDrainBegin,

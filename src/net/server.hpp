@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -68,6 +69,12 @@ public:
     /// exception's what() in the error body.
     using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+    /// Values captured from `{name}` segments of a pattern route, keyed by
+    /// the name inside the braces.
+    using RouteParams = std::map<std::string, std::string>;
+    using ParamHandler =
+        std::function<HttpResponse(const HttpRequest&, const RouteParams&)>;
+
     explicit HttpServer(const ServerOptions& options = {});
     ~HttpServer(); ///< stop()s if still running
 
@@ -78,6 +85,14 @@ public:
     /// unknown path answers 404; a known path with the wrong method answers
     /// 405 with an Allow header. Call before start().
     void route(std::string method, std::string path, Handler handler);
+
+    /// Registers a handler for (method, pattern) where any path segment may
+    /// be `{name}` — it matches exactly one non-empty segment, captured into
+    /// the RouteParams under `name` (e.g. "/v1/session/{id}/ask"). Exact
+    /// routes win over patterns; among patterns the first registered match
+    /// wins. A pattern match with the wrong method answers 405 just like an
+    /// exact route. Call before start().
+    void route(std::string method, std::string pattern, ParamHandler handler);
 
     /// Hooks into the application for drain: `onDrainBegin` runs inside
     /// beginDrain() (larserved: Service::beginDrain, so queued queries

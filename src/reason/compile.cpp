@@ -762,6 +762,13 @@ SolverSession::SolverSession(std::shared_ptr<const Compilation> compilation,
     const obs::Span span("encode");
     for (const Compilation::HardAssertion& hard : compilation_->hardAssertions())
         backend_->addHard(hard.formula, hard.track);
+    // The replayed hard assertions are the snapshot baseline: state exported
+    // now is sound in any other session over the same compilation.
+    backend_->markSnapshotBaseline();
+    if (options.warmStart != nullptr && !options.warmStart->empty()) {
+        warmStartImported_ = backend_->importSnapshot(*options.warmStart);
+        warmStarted_ = warmStartImported_ > 0;
+    }
 }
 
 void SolverSession::blockCurrentDesign() {

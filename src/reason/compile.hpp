@@ -149,10 +149,28 @@ public:
     /// Asserts the clause blocking the backend's current projected design.
     void blockCurrentDesign();
 
+    /// Clauses integrated from QueryOptions::warmStart (0 = cold start or
+    /// the backend refused the snapshot).
+    [[nodiscard]] std::size_t warmStartImported() const {
+        return warmStartImported_;
+    }
+    /// True when a warm-start snapshot was requested AND the backend
+    /// accepted it.
+    [[nodiscard]] bool warmStarted() const { return warmStarted_; }
+    /// Exports the session's learnt heuristic state for a later session over
+    /// the same compilation; empty when the backend doesn't support it or
+    /// the clause DB grew past the replay baseline (optimization bounds,
+    /// blocking clauses).
+    [[nodiscard]] sat::SolverSnapshot exportSnapshot() const {
+        return backend_->exportSnapshot();
+    }
+
 private:
     std::shared_ptr<const Compilation> compilation_;
     smt::FormulaStore store_;
     std::unique_ptr<smt::Backend> backend_;
+    std::size_t warmStartImported_ = 0;
+    bool warmStarted_ = false;
 };
 
 } // namespace lar::reason

@@ -19,6 +19,19 @@ Engine::Engine(std::shared_ptr<const Compilation> compilation,
 }
 
 
+
+void Engine::captureSessionTelemetry(const SolverSession& session) {
+    lastStopReason_ = session.backend().lastStopReason();
+    lastWarmStartImported_ = session.warmStartImported();
+    lastSnapshot_.reset();
+    if (options_.captureSnapshot) {
+        sat::SolverSnapshot snap = session.exportSnapshot();
+        if (!snap.empty())
+            lastSnapshot_ =
+                std::make_shared<const sat::SolverSnapshot>(std::move(snap));
+    }
+}
+
 FeasibilityReport Engine::checkFeasible() {
     const obs::Span span("solve");
     FeasibilityReport report;
@@ -33,6 +46,7 @@ FeasibilityReport Engine::checkFeasible() {
     lastStats_ = session.backend().stats();
     lastPortfolio_ = session.backend().portfolioStats();
     lastUnknown_ = report.timedOut;
+    captureSessionTelemetry(session);
     return report;
 }
 
@@ -47,6 +61,7 @@ FeasibilityReport Engine::explainMinimalConflict() {
         report.feasible = true;
         lastStats_ = backend.stats();
         lastPortfolio_ = backend.portfolioStats();
+        captureSessionTelemetry(session);
         return report;
     }
     if (first == smt::CheckStatus::Unknown) {
@@ -54,6 +69,7 @@ FeasibilityReport Engine::explainMinimalConflict() {
         lastStats_ = backend.stats();
         lastPortfolio_ = backend.portfolioStats();
         lastUnknown_ = true;
+        captureSessionTelemetry(session);
         return report;
     }
     std::vector<int> core = backend.unsatCore().tracks;
@@ -75,6 +91,7 @@ FeasibilityReport Engine::explainMinimalConflict() {
     report.conflictingRules = compilation_->describeTracks(core);
     lastStats_ = backend.stats();
     lastPortfolio_ = backend.portfolioStats();
+    captureSessionTelemetry(session);
     return report;
 }
 
@@ -85,6 +102,7 @@ std::optional<Design> Engine::synthesize() {
     lastStats_ = session.backend().stats();
     lastPortfolio_ = session.backend().portfolioStats();
     lastUnknown_ = status == smt::CheckStatus::Unknown;
+    captureSessionTelemetry(session);
     if (status != smt::CheckStatus::Sat) return std::nullopt;
     return session.extractDesign();
 }
@@ -99,6 +117,7 @@ std::optional<Design> Engine::optimize() {
     // An interrupted optimize that still found a model returns that
     // best-effort design; only "interrupted with nothing" counts as unknown.
     lastUnknown_ = result.unknown && !result.feasible;
+    captureSessionTelemetry(session);
     if (!result.feasible) return std::nullopt;
     Design design = session.extractDesign();
     design.objectiveCosts = result.costs;
@@ -115,8 +134,9 @@ std::vector<Design> Engine::enumerateDesigns(int maxDesigns, bool optimizeFirst)
             session.backend().optimize(compilation_->objectives());
         if (!result.feasible) {
             lastStats_ = session.backend().stats();
-    lastPortfolio_ = session.backend().portfolioStats();
+            lastPortfolio_ = session.backend().portfolioStats();
             lastUnknown_ = result.unknown;
+            captureSessionTelemetry(session);
             return designs;
         }
     }
@@ -132,6 +152,7 @@ std::vector<Design> Engine::enumerateDesigns(int maxDesigns, bool optimizeFirst)
     // A partial enumeration is still an answer; only "interrupted before
     // the first design" is unknown.
     lastUnknown_ = designs.empty() && status == smt::CheckStatus::Unknown;
+    captureSessionTelemetry(session);
     return designs;
 }
 

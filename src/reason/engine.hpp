@@ -94,6 +94,30 @@ public:
         return lastPortfolio_;
     }
 
+    /// Why the most recent query stopped without a definitive verdict
+    /// (StopReason::None when lastQueryUnknown() is false): distinguishes
+    /// deadline expiry from conflict/propagation/memory budgets and
+    /// cancellation.
+    [[nodiscard]] sat::StopReason lastStopReason() const {
+        return lastStopReason_;
+    }
+
+    /// Warm-start snapshot exported from the most recent query's session —
+    /// only when QueryOptions::captureSnapshot was set AND the session's
+    /// clause DB still equalled the replay baseline (check/core queries
+    /// qualify; optimize/enumerate grow clauses and refuse). nullptr
+    /// otherwise.
+    [[nodiscard]] const std::shared_ptr<const sat::SolverSnapshot>&
+    lastSnapshot() const {
+        return lastSnapshot_;
+    }
+
+    /// Clauses the most recent query's session integrated from
+    /// QueryOptions::warmStart (0 = cold start or refused import).
+    [[nodiscard]] std::size_t lastWarmStartImported() const {
+        return lastWarmStartImported_;
+    }
+
     [[nodiscard]] const QueryOptions& options() const { return options_; }
     [[nodiscard]] const Compilation& compilation() const { return *compilation_; }
     /// The compilation as a shareable handle (e.g. to seed another Engine).
@@ -108,12 +132,19 @@ private:
     [[nodiscard]] SolverSession newSession() const {
         return SolverSession(compilation_, options_);
     }
+    /// Reads per-session telemetry (stop reason, warm-start figures, the
+    /// optional exported snapshot) into the last* members. Called by every
+    /// query method after its final backend call.
+    void captureSessionTelemetry(const SolverSession& session);
 
     std::shared_ptr<const Compilation> compilation_;
     QueryOptions options_;
     sat::SolverStats lastStats_;
     bool lastUnknown_ = false;
     std::optional<smt::PortfolioStats> lastPortfolio_;
+    sat::StopReason lastStopReason_ = sat::StopReason::None;
+    std::shared_ptr<const sat::SolverSnapshot> lastSnapshot_;
+    std::size_t lastWarmStartImported_ = 0;
 };
 
 // -- §5.1-style query helpers (compile + solve per call) ----------------------

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "smt/backend.hpp"
 
@@ -61,6 +62,21 @@ struct QueryOptions {
     /// loaded batch may grant fewer workers than requested (the trace's
     /// portfolio.workers records the width actually used).
     int portfolioWorkers = 1;
+    /// Warm-start snapshot imported into the session's solver right after
+    /// the hard assertions are replayed (heuristic phases/activities plus
+    /// short learnt clauses — see sat::SolverSnapshot for why this cannot
+    /// change verdicts). Only sound when the snapshot was exported from a
+    /// session over the IDENTICAL compilation (same fingerprint); the solver
+    /// refuses on any shape mismatch. Honoured by the single-worker CDCL
+    /// backend; Z3 and portfolio backends ignore it. nullptr = cold start.
+    std::shared_ptr<const sat::SolverSnapshot> warmStart;
+    /// Export a warm-start snapshot from the query's solver session when the
+    /// query ends (surfaced via Engine::lastSnapshot()). Off by default —
+    /// exporting copies the short learnt clauses — and a no-op for queries
+    /// whose session grew the clause DB (optimize bounds, enumeration
+    /// blocking clauses) or for backends without snapshot support. The
+    /// Service turns this on to feed its fingerprint-keyed warm-start cache.
+    bool captureSnapshot = false;
 
     /// The smt-layer view of these options. Progress plumbing (the obs-layer
     /// callback) is attached by SolverSession, not here, to keep this header

@@ -62,6 +62,11 @@ struct ServiceMetrics {
     obs::Counter& portfolioLost;
     obs::Histogram& portfolioCancelMs;
     obs::Histogram& portfolioWidth;
+    obs::Counter& warmHits;
+    obs::Counter& warmMisses;
+    obs::Counter& warmImportedClauses;
+    obs::Counter& warmStored;
+    obs::Counter& warmEvictions;
     obs::Counter* queriesByKind[5];
 
     [[nodiscard]] obs::Counter& queries(QueryKind kind) {
@@ -123,6 +128,20 @@ struct ServiceMetrics {
                 reg.histogram("lar_portfolio_width",
                               "Portfolio width actually granted per query",
                               {1, 2, 4, 8, 16}),
+                reg.counter("lar_warmstart_hits_total",
+                            "Queries that found a warm-start snapshot for "
+                            "their fingerprint"),
+                reg.counter("lar_warmstart_misses_total",
+                            "Warm-start-eligible queries with no cached "
+                            "snapshot"),
+                reg.counter("lar_warmstart_clauses_imported_total",
+                            "Learnt clauses integrated from warm-start "
+                            "snapshots"),
+                reg.counter("lar_warmstart_snapshots_stored_total",
+                            "Warm-start snapshots stored/refreshed in the "
+                            "cache"),
+                reg.counter("lar_warmstart_evictions_total",
+                            "Warm-start snapshots evicted from the LRU"),
                 {}};
             for (const QueryKind kind :
                  {QueryKind::Feasibility, QueryKind::Explain, QueryKind::Synthesize,
@@ -233,6 +252,49 @@ std::shared_ptr<const Compilation> Service::compilationFor(
     bool hit = false;
     double ms = 0.0;
     return obtain(problem, hit, ms);
+}
+
+std::shared_ptr<const Compilation> Service::compilationFor(
+    const Problem& problem, bool& cacheHit, double& compileMs) {
+    return obtain(problem, cacheHit, compileMs);
+}
+
+std::shared_ptr<const sat::SolverSnapshot> Service::snapshotFor(
+    const Problem& problem) {
+    if (options_.warmStartCapacity == 0) return nullptr;
+    const CacheKey key = fingerprint(problem);
+    const std::lock_guard<std::mutex> lock(cacheMutex_);
+    const auto it = snapIndex_.find(key);
+    if (it == snapIndex_.end()) {
+        ServiceMetrics::get().warmMisses.inc();
+        return nullptr;
+    }
+    snapLru_.splice(snapLru_.begin(), snapLru_, it->second); // bump to front
+    ServiceMetrics::get().warmHits.inc();
+    return it->second->second;
+}
+
+void Service::storeSnapshot(
+    const Problem& problem,
+    std::shared_ptr<const sat::SolverSnapshot> snapshot) {
+    if (options_.warmStartCapacity == 0 || snapshot == nullptr ||
+        snapshot->empty())
+        return;
+    const CacheKey key = fingerprint(problem);
+    const std::lock_guard<std::mutex> lock(cacheMutex_);
+    ServiceMetrics::get().warmStored.inc();
+    if (const auto it = snapIndex_.find(key); it != snapIndex_.end()) {
+        it->second->second = std::move(snapshot); // refresh in place
+        snapLru_.splice(snapLru_.begin(), snapLru_, it->second);
+        return;
+    }
+    snapLru_.emplace_front(key, std::move(snapshot));
+    snapIndex_.emplace(key, snapLru_.begin());
+    while (snapLru_.size() > options_.warmStartCapacity) {
+        snapIndex_.erase(snapLru_.back().first);
+        snapLru_.pop_back();
+        ServiceMetrics::get().warmEvictions.inc();
+    }
 }
 
 QueryResult Service::run(const QueryRequest& request) {
@@ -352,6 +414,18 @@ void Service::solveWithPolicy(const QueryRequest& request,
     result.trace.portfolioWorkers = static_cast<int>(claimed);
     if (portfolioRequested) metrics.portfolioWidth.observe(claimed);
 
+    // Warm-start reuse: single-worker CDCL queries on a recently-seen
+    // fingerprint start from that fingerprint's cached snapshot instead of
+    // cold, and leave an updated snapshot behind. Portfolio races are
+    // excluded (their workers diverge from the replay baseline) and the
+    // request's own warmStart, if any, wins.
+    if (options_.warmStartCapacity > 0 &&
+        effective.backend == smt::BackendKind::Cdcl && claimed == 1) {
+        if (effective.warmStart == nullptr)
+            effective.warmStart = snapshotFor(request.problem);
+        effective.captureSnapshot = true;
+    }
+
     bool fellBack = false;
     int attempt = 0;
     while (true) {
@@ -424,6 +498,17 @@ void Service::solveWithPolicy(const QueryRequest& request,
                 result.trace.portfolioImported = portfolio->clausesImported;
                 result.trace.portfolioLost = portfolio->clausesLost;
                 result.trace.portfolioCancelMs = portfolio->cancelLatencyMs;
+            }
+            result.trace.stopReason = engine.lastStopReason();
+            if (effective.captureSnapshot) {
+                result.trace.warmStartAttempted =
+                    effective.warmStart != nullptr;
+                result.trace.warmStartClauses = engine.lastWarmStartImported();
+                if (engine.lastWarmStartImported() > 0)
+                    metrics.warmImportedClauses.inc(
+                        engine.lastWarmStartImported());
+                if (engine.lastSnapshot() != nullptr)
+                    storeSnapshot(request.problem, engine.lastSnapshot());
             }
             if (!engine.lastQueryUnknown()) return;
             if (cancelRequested(effective)) {

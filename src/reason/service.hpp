@@ -90,6 +90,16 @@ struct ServiceOptions {
     std::size_t maxQueueDepth = 0;
     ShedPolicy shedPolicy = ShedPolicy::RejectNew;
     RetryPolicy retry;
+    /// Warm-start snapshot cache: max snapshots kept (LRU, keyed by the same
+    /// compilation fingerprint as the compilation cache); 0 disables warm
+    /// starting entirely (the default). When enabled, single-worker CDCL
+    /// queries import the cached snapshot for their fingerprint (phases,
+    /// activities, short learnt clauses) and export an updated one when they
+    /// finish. Verdicts are provably unaffected (see sat::SolverSnapshot),
+    /// but a warm query may find a *different equally-valid model* than a
+    /// cold one — leave this off where bit-identical designs across service
+    /// instances matter more than latency.
+    std::size_t warmStartCapacity = 0;
 };
 
 /// One query in a batch.
@@ -191,6 +201,22 @@ public:
     /// their own Engines/WhatIfSessions.
     [[nodiscard]] std::shared_ptr<const Compilation> compilationFor(
         const Problem& problem);
+    /// Like compilationFor(), reporting whether the cache hit and the
+    /// compile time paid on a miss.
+    [[nodiscard]] std::shared_ptr<const Compilation> compilationFor(
+        const Problem& problem, bool& cacheHit, double& compileMs);
+
+    /// The cached warm-start snapshot for `problem`'s fingerprint, or
+    /// nullptr (miss / warm starting disabled). Exposed so session owners
+    /// (reason::SessionManager) can seed their WhatIfSessions from the same
+    /// cache the query path feeds.
+    [[nodiscard]] std::shared_ptr<const sat::SolverSnapshot> snapshotFor(
+        const Problem& problem);
+    /// Stores/refreshes the snapshot for `problem`'s fingerprint (LRU,
+    /// bounded by ServiceOptions::warmStartCapacity; no-op when disabled or
+    /// `snapshot` is null/empty).
+    void storeSnapshot(const Problem& problem,
+                       std::shared_ptr<const sat::SolverSnapshot> snapshot);
 
 private:
     struct CacheKey {
@@ -264,6 +290,13 @@ private:
     std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+
+    /// Warm-start snapshot LRU, same key space as the compilation cache and
+    /// guarded by the same cacheMutex_ (both are touched once per query).
+    using SnapList =
+        std::list<std::pair<CacheKey, std::shared_ptr<const sat::SolverSnapshot>>>;
+    SnapList snapLru_; ///< front = most recently used
+    std::unordered_map<CacheKey, SnapList::iterator, CacheKeyHash> snapIndex_;
 };
 
 } // namespace lar::reason

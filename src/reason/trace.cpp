@@ -58,6 +58,14 @@ json::Value toJson(const QueryTrace& trace) {
     v["cancelled"] = trace.verdict == Verdict::Cancelled;
     v["retries"] = static_cast<std::int64_t>(trace.retries);
     v["backend_fallback"] = trace.backendFellBack;
+    if (trace.stopReason != sat::StopReason::None)
+        v["stop_reason"] = std::string(sat::toString(trace.stopReason));
+    if (trace.warmStartAttempted) {
+        json::Value warm;
+        warm["used"] = trace.warmStartClauses > 0;
+        warm["clauses"] = static_cast<std::int64_t>(trace.warmStartClauses);
+        v["warm_start"] = std::move(warm);
+    }
     if (trace.portfolioWorkers > 1) {
         json::Value portfolio;
         portfolio["workers"] = static_cast<std::int64_t>(trace.portfolioWorkers);

@@ -28,7 +28,9 @@ namespace lar::reason {
 /// "verdict_detail"), keeps the legacy booleans ("timed_out", "shed",
 /// "cancelled") derived from it for one release, and adds the "portfolio"
 /// object when the query raced more than one solver configuration.
-inline constexpr int kQueryTraceSchemaVersion = 4;
+/// v5 adds the "warm_start" object (present when a snapshot import was
+/// attempted) and "stop_reason" (why a non-definitive query stopped).
+inline constexpr int kQueryTraceSchemaVersion = 5;
 
 /// The query shapes the Service answers (Engine methods, by name).
 enum class QueryKind { Feasibility, Explain, Synthesize, Optimize, Enumerate };
@@ -79,6 +81,14 @@ struct QueryTrace {
     std::uint64_t portfolioImported = 0;  ///< clause copies integrated
     std::uint64_t portfolioLost = 0;      ///< overwritten/over-long, dropped
     double portfolioCancelMs = 0.0;       ///< verdict → all workers stopped
+    /// Why the solver stopped without a definitive verdict (None when the
+    /// query was definitive). Distinguishes budget-interrupted (conflicts/
+    /// propagations/memory) from deadline expiry and cancellation.
+    sat::StopReason stopReason = sat::StopReason::None;
+    /// Warm-start figures: whether a snapshot import was attempted for this
+    /// query and how many clauses the solver integrated (0 = refused).
+    bool warmStartAttempted = false;
+    std::size_t warmStartClauses = 0;
     /// Hierarchical span tree for the query (query → compile/solve → backend
     /// checks, with solver progress samples). Null when span collection was
     /// off; shared so traces stay cheap to copy.

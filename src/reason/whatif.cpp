@@ -1,7 +1,5 @@
 #include "reason/whatif.hpp"
 
-#include "util/error.hpp"
-
 namespace lar::reason {
 
 WhatIfSession::WhatIfSession(const Problem& problem, const QueryOptions& options)
@@ -17,39 +15,62 @@ WhatIfAnswer WhatIfSession::ask(const Variation& variation) {
     const Compilation& compilation = session_.compilation();
     smt::FormulaStore& store = session_.store();
     std::vector<smt::NodeId> assumptions;
+    WhatIfAnswer answer;
 
+    // Unknown names are a structured error, not an exception and not a
+    // silent no-op: an assumption that maps to nothing would make the ask
+    // vacuously feasible, which is the worst possible answer to a typo.
     for (const auto& [name, include] : variation.systems) {
         const smt::NodeId var = compilation.systemVar(name);
-        expects(var != smt::kInvalidNode,
-                "WhatIfSession: unknown system " + name);
+        if (var == smt::kInvalidNode) {
+            answer.unknownNames.push_back("system/" + name);
+            continue;
+        }
         assumptions.push_back(include ? var : store.mkNot(var));
     }
     for (const auto& [cls, model] : variation.hardwareModels) {
         const smt::NodeId var = compilation.hardwareVar(cls, model);
-        expects(var != smt::kInvalidNode,
-                "WhatIfSession: model " + model + " not a candidate for " +
-                    toString(cls));
+        if (var == smt::kInvalidNode) {
+            answer.unknownNames.push_back("hardware/" + toString(cls) + "/" +
+                                          model);
+            continue;
+        }
         assumptions.push_back(var);
     }
     for (const auto& [name, enabled] : variation.options) {
         const smt::NodeId var = compilation.optionVar(name);
-        expects(var != smt::kInvalidNode,
-                "WhatIfSession: unknown option " + name);
+        if (var == smt::kInvalidNode) {
+            answer.unknownNames.push_back("option/" + name);
+            continue;
+        }
         assumptions.push_back(enabled ? var : store.mkNot(var));
     }
+    if (!answer.unknownNames.empty()) {
+        answer.verdict = Verdict::Error;
+        return answer;
+    }
 
-    WhatIfAnswer answer;
     switch (session_.backend().check(assumptions)) {
         case smt::CheckStatus::Sat:
-            answer.feasible = true;
+            answer.verdict = Verdict::Sat;
             answer.design = session_.extractDesign();
             break;
         case smt::CheckStatus::Unsat:
+            answer.verdict = Verdict::Unsat;
             answer.conflictingRules = compilation.describeTracks(
                 session_.backend().unsatCore().tracks);
             break;
         case smt::CheckStatus::Unknown:
-            answer.timedOut = true;
+            answer.stopReason = session_.backend().lastStopReason();
+            switch (answer.stopReason) {
+                case sat::StopReason::Deadline:
+                    answer.verdict = Verdict::TimedOut;
+                    break;
+                case sat::StopReason::Cancelled:
+                    answer.verdict = Verdict::Cancelled;
+                    break;
+                default: answer.verdict = Verdict::Unknown; break;
+            }
             break;
     }
     return answer;

@@ -20,6 +20,7 @@
 #include "reason/design.hpp"
 #include "reason/problem.hpp"
 #include "reason/query_options.hpp"
+#include "reason/trace.hpp"
 
 namespace lar::reason {
 
@@ -33,12 +34,36 @@ struct Variation {
     std::map<std::string, bool> options;
 };
 
+/// Answer to one variation, unified on the Verdict enum (the same
+/// authoritative outcome QueryResult/QueryTrace carry):
+///  * Sat       — feasible; `design` holds a witness;
+///  * Unsat     — infeasible; `conflictingRules` explains why;
+///  * TimedOut  — the deadline expired before a verdict;
+///  * Cancelled — the cancel flag was observed;
+///  * Unknown   — a non-deadline budget (conflicts/propagations/memory)
+///                gave out (`stopReason` carries the exact one);
+///  * Error     — the variation named entities the compilation doesn't know
+///                (`unknownNames` lists them); nothing was solved.
 struct WhatIfAnswer {
-    bool feasible = false;
-    /// Solver gave up (QueryOptions::timeoutMs) before a verdict.
-    bool timedOut = false;
-    std::optional<Design> design;              ///< present when feasible
-    std::vector<std::string> conflictingRules; ///< present when infeasible
+    Verdict verdict = Verdict::Unknown;
+    /// Why a non-definitive ask stopped (None for Sat/Unsat/Error):
+    /// distinguishes budget-interrupted from deadline expiry.
+    sat::StopReason stopReason = sat::StopReason::None;
+    std::optional<Design> design;              ///< present when verdict == Sat
+    std::vector<std::string> conflictingRules; ///< present when verdict == Unsat
+    /// Entities the variation named that don't exist in the compilation
+    /// ("system/<name>", "hardware/<class>/<model>", "option/<name>");
+    /// non-empty exactly when verdict == Error.
+    std::vector<std::string> unknownNames;
+
+    // Legacy accessors, derived from the verdict (the bool fields they
+    // replace were removed in the Verdict unification; prefer `verdict`).
+    [[nodiscard]] bool feasible() const { return verdict == Verdict::Sat; }
+    [[nodiscard]] bool timedOut() const {
+        return verdict == Verdict::TimedOut || verdict == Verdict::Unknown ||
+               verdict == Verdict::Cancelled;
+    }
+    [[nodiscard]] bool ok() const { return verdict != Verdict::Error; }
 };
 
 class WhatIfSession {
@@ -52,7 +77,11 @@ public:
 
 
     /// Answers a variation without recompiling. Repeated calls are
-    /// independent: assumptions do not accumulate.
+    /// independent: assumptions do not accumulate. A variation naming
+    /// unknown systems/models/options returns Verdict::Error with the
+    /// offending names listed — it never reaches the solver (an unknown
+    /// name would otherwise map to no assumption and the ask would succeed
+    /// vacuously).
     [[nodiscard]] WhatIfAnswer ask(const Variation& variation);
 
     /// Number of variations answered so far (for reporting).
@@ -60,6 +89,25 @@ public:
 
     [[nodiscard]] const Compilation& compilation() const {
         return session_.compilation();
+    }
+
+    /// Cumulative search counters of the session's backend (asks share one
+    /// backend instance, so these grow across asks).
+    [[nodiscard]] sat::SolverStats solveStats() const {
+        return session_.backend().stats();
+    }
+
+    /// True when the session started from an accepted warm-start snapshot.
+    [[nodiscard]] bool warmStarted() const { return session_.warmStarted(); }
+    /// Clauses integrated from the warm-start snapshot (0 = cold).
+    [[nodiscard]] std::size_t warmStartImported() const {
+        return session_.warmStartImported();
+    }
+    /// Exports the solver's learnt heuristic state for a later session over
+    /// the same compilation fingerprint (empty when nothing exportable —
+    /// asks only add assumptions, never clauses, so this normally succeeds).
+    [[nodiscard]] sat::SolverSnapshot exportSnapshot() const {
+        return session_.exportSnapshot();
     }
 
 private:

@@ -51,6 +51,7 @@ Var Solver::newVar() {
 
 bool Solver::addClause(std::vector<Lit> lits) {
     expects(decisionLevel() == 0, "addClause: only valid at decision level 0");
+    ++addClauseCalls_;
     if (!ok_) return false;
 
     // Simplify: sort, drop duplicates and false literals, detect tautologies
@@ -552,6 +553,145 @@ bool Solver::importSharedClauses() {
         learnts_.push_back(std::move(clause));
     }
     return true;
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start snapshots
+// ---------------------------------------------------------------------------
+
+void Solver::markSnapshotBaseline() {
+    baselineVars_ = numVars();
+    baselineClauseCalls_ = addClauseCalls_;
+}
+
+SolverSnapshot Solver::exportSnapshot(std::size_t maxClauses) const {
+    SolverSnapshot snap;
+    // Refuse when no baseline was marked, when any addClause() happened after
+    // it (the invocation counter also catches unit and satisfied clauses that
+    // never reach clauses_, e.g. optimization bound assertions), or when the
+    // solver is already Unsat at level 0.
+    if (baselineVars_ < 0 || addClauseCalls_ != baselineClauseCalls_ || !ok_)
+        return snap;
+
+    const auto baseline = static_cast<std::size_t>(baselineVars_);
+    snap.numVars = static_cast<int>(baseline);
+    snap.polarity.assign(polarity_.begin(),
+                         polarity_.begin() + static_cast<std::ptrdiff_t>(
+                                                 std::min(baseline, polarity_.size())));
+    snap.polarity.resize(baseline, 0);
+
+    // Normalize activities so the importer is immune to this solver's rescale
+    // epoch (varInc_ grows geometrically and is rescaled at 1e100).
+    snap.activity.resize(baseline, 0.0);
+    double maxActivity = 0.0;
+    for (std::size_t v = 0; v < baseline && v < activity_.size(); ++v)
+        maxActivity = std::max(maxActivity, activity_[v]);
+    if (maxActivity > 0.0) {
+        for (std::size_t v = 0; v < baseline && v < activity_.size(); ++v)
+            snap.activity[v] = activity_[v] / maxActivity;
+    }
+
+    // Level-0 trail literals are facts derived from the problem clauses alone
+    // (assumptions only ever sit at levels >= 1) — export them as units.
+    const std::size_t levelZeroEnd =
+        trailLim_.empty() ? trail_.size()
+                          : static_cast<std::size_t>(trailLim_[0]);
+    for (std::size_t i = 0; i < levelZeroEnd; ++i) {
+        const Lit l = trail_[i];
+        if (static_cast<std::size_t>(l.var()) >= baseline) continue;
+        if (snap.clauses.size() >= maxClauses) return snap;
+        snap.clauses.push_back(ImportedClause{{l}, 1});
+    }
+
+    // Short learnt clauses, same quality filter as portfolio exchange. Learnt
+    // clauses can mention assumption-compilation variables created after the
+    // baseline; those are meaningless in a fresh replay, so skip them.
+    for (const auto& c : learnts_) {
+        if (snap.clauses.size() >= maxClauses) break;
+        if (c->lbd > opts_.shareLbdMax &&
+            static_cast<int>(c->size()) > opts_.shareSizeMax)
+            continue;
+        const bool inBaseline =
+            std::all_of(c->lits.begin(), c->lits.end(), [&](Lit l) {
+                return static_cast<std::size_t>(l.var()) < baseline;
+            });
+        if (!inBaseline) continue;
+        snap.clauses.push_back(ImportedClause{c->lits, c->lbd});
+    }
+    return snap;
+}
+
+std::size_t Solver::importSnapshot(const SolverSnapshot& snapshot) {
+    expects(decisionLevel() == 0, "importSnapshot: requires level 0");
+    // Refuse on any shape mismatch: warm-start is only sound into a solver
+    // built from the identical newVar()/addClause() replay.
+    if (snapshot.empty() || snapshot.numVars != numVars() || !ok_) return 0;
+
+    // Heuristic state first: saved phases and normalized activities.
+    const auto baseline = static_cast<std::size_t>(snapshot.numVars);
+    for (std::size_t v = 0; v < baseline && v < polarity_.size(); ++v)
+        polarity_[v] = v < snapshot.polarity.size() ? snapshot.polarity[v] : 0;
+    for (std::size_t v = 0; v < baseline && v < activity_.size(); ++v)
+        activity_[v] = v < snapshot.activity.size() ? snapshot.activity[v] : 0.0;
+    varInc_ = 1.0;
+    // Activities changed under the heap wholesale; rebuild with a bottom-up
+    // heapify (heapUpdate only sifts up, which is wrong for decreased keys).
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) heapSiftDown(i);
+
+    // Clauses: the same validation as importSharedClauses — skip anything
+    // tautological, out of range, or already satisfied at level 0.
+    std::size_t integrated = 0;
+    std::vector<Lit> out;
+    for (const ImportedClause& imp : snapshot.clauses) {
+        std::vector<Lit> lits = imp.lits;
+        std::sort(lits.begin(), lits.end());
+        out.clear();
+        bool skip = lits.empty();
+        Lit prev = kUndefLit;
+        for (const Lit l : lits) {
+            if (l.var() < 0 || l.var() >= numVars()) {
+                skip = true;
+                break;
+            }
+            if (l == prev) continue;
+            if (prev.isDefined() && l == ~prev) { // tautology: x ∨ ¬x
+                skip = true;
+                break;
+            }
+            const lbool v = value(l);
+            if (v == lbool::True) { // already satisfied at level 0
+                skip = true;
+                break;
+            }
+            if (v == lbool::False) continue; // falsified at level 0: drop
+            out.push_back(l);
+            prev = l;
+        }
+        if (skip) continue;
+        ++stats_.importedClauses;
+        ++integrated;
+        if (out.empty()) { // empty under the level-0 assignment: Unsat
+            ok_ = false;
+            return integrated;
+        }
+        if (out.size() == 1) {
+            if (!enqueue(out[0], nullptr)) {
+                ok_ = false;
+                return integrated;
+            }
+            continue; // propagated by the next propagate() call
+        }
+        if (out.size() == 2) ++stats_.binaryClauses;
+        auto clause = std::make_unique<Clause>();
+        clause->lits = out;
+        clause->learnt = true;
+        clause->lbd = std::clamp(imp.lbd, 2, static_cast<int>(out.size()));
+        Clause* raw = clause.get();
+        attachClause(*raw);
+        learntBytes_ += clauseBytes(*raw);
+        learnts_.push_back(std::move(clause));
+    }
+    return integrated;
 }
 
 // ---------------------------------------------------------------------------

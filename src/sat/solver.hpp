@@ -84,6 +84,30 @@ struct ImportedClause {
     int lbd = 0;
 };
 
+/// Warm-start state exported from one solver and importable into another
+/// built from the IDENTICAL clause database (the same newVar()/addClause()
+/// sequence — e.g. a deterministic replay of the same compilation, which is
+/// exactly what a fingerprint-keyed compilation cache guarantees). The
+/// soundness argument mirrors portfolio clause exchange: learnt clauses are
+/// derived by resolution over the clause database alone — assumption
+/// literals may appear in them but never condition them — so they are
+/// implied by the problem clauses and preserve every verdict when replayed
+/// into an identically-built solver. Phase polarity and branching activity
+/// are pure heuristic state and can never change semantics. Snapshots are
+/// only exportable while the clause database still equals the baseline
+/// (see Solver::markSnapshotBaseline); a solver that grew clauses past it
+/// (optimization counters, bound assertions, blocking clauses) refuses.
+struct SolverSnapshot {
+    int numVars = 0;                     ///< variable count at the baseline
+    std::vector<ImportedClause> clauses; ///< short learnt clauses + level-0 units
+    std::vector<char> polarity;          ///< saved phases, one per baseline var
+    std::vector<double> activity;        ///< activities normalized to max 1.0
+
+    /// An empty snapshot means "nothing to warm-start from" (export refused
+    /// or the solver had learnt nothing exportable).
+    [[nodiscard]] bool empty() const { return numVars == 0; }
+};
+
 /// Snapshot handed to SolverOptions::progressFn every `progressEvery`
 /// conflicts while search() runs — the raw feed for progress dashboards and
 /// stall/timeout early warning.
@@ -218,6 +242,36 @@ public:
     [[nodiscard]] const SolverOptions& options() const { return opts_; }
     SolverOptions& mutableOptions() { return opts_; }
 
+    // -- warm-start snapshots ----------------------------------------------
+
+    /// Marks the current formula as the snapshot baseline: exportSnapshot()
+    /// only succeeds while no addClause() has happened past this point.
+    /// Clauses added later (PB counters, optimization bound assertions,
+    /// blocking clauses) would make subsequently-learnt clauses conditional
+    /// on them, so exporting then would be unsound for a solver that only
+    /// replays the baseline. Call it right after the initial encoding.
+    void markSnapshotBaseline();
+
+    /// Exports warm-start state for a solver built from the identical clause
+    /// database. Returns an empty snapshot when no baseline was marked, the
+    /// clause database grew past the baseline, or the formula is already
+    /// inconsistent. Exported learnt clauses pass the sharing filter
+    /// (shareLbdMax/shareSizeMax), mention baseline variables only, and are
+    /// capped at `maxClauses`; level-0 implied literals are exported as unit
+    /// clauses (they are consequences of the clause set — assumptions only
+    /// ever sit at decision levels >= 1).
+    [[nodiscard]] SolverSnapshot exportSnapshot(std::size_t maxClauses = 4096) const;
+
+    /// Imports warm-start state at decision level 0, before solving starts.
+    /// Clauses are validated exactly like portfolio imports (unknown vars
+    /// skip the clause, tautologies and satisfied clauses are skipped,
+    /// falsified literals are dropped, units enqueue at level 0, an empty
+    /// remainder makes the formula Unsat); polarity/activity prefixes are
+    /// adopted and the branching heap is rebuilt. A snapshot from a
+    /// different variable space (numVars mismatch) is refused. Returns the
+    /// number of clauses integrated (0 on refusal).
+    std::size_t importSnapshot(const SolverSnapshot& snapshot);
+
     /// Current value of a variable/literal in the solver trail (Undef when
     /// unassigned). Exposed for encoder-level propagation checks in tests.
     [[nodiscard]] lbool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
@@ -351,6 +405,13 @@ private:
     std::uint64_t propagationsAtSolveStart_ = 0;
     std::vector<ImportedClause> importScratch_; ///< importSharedClauses buffer
     std::atomic<bool> solveActive_{false}; ///< guards the single-thread contract
+
+    // Snapshot baseline: addClause() invocations are counted (not stored
+    // clauses — unit and satisfied clauses never reach clauses_) so any
+    // post-baseline growth is detected, including pure-unit additions.
+    std::uint64_t addClauseCalls_ = 0;
+    std::int64_t baselineVars_ = -1;        ///< -1 = no baseline marked
+    std::uint64_t baselineClauseCalls_ = 0;
 };
 
 } // namespace lar::sat

@@ -1,0 +1,64 @@
+#include "serve/api.hpp"
+
+#include <string>
+
+#include "json/write.hpp"
+#include "util/error.hpp"
+
+namespace lar::serve {
+
+std::optional<net::HttpResponse> rejectApiMismatch(const json::Value& doc) {
+    if (!doc.isObject() || !doc.asObject().contains("api")) {
+        return std::nullopt;
+    }
+    const json::Value& api = doc.at("api");
+    if (!api.isInt()) {
+        return apiError(400, "api_version",
+                        "\"api\" must be an integer major version");
+    }
+    if (api.asInt() != kApiVersion) {
+        return apiError(400, "api_version",
+                        "unsupported api version " +
+                            std::to_string(api.asInt()) + "; this server speaks " +
+                            std::to_string(kApiVersion));
+    }
+    return std::nullopt;
+}
+
+net::HttpResponse apiResponse(int status, json::Value body) {
+    if (body.isObject() && !body.asObject().contains("api")) {
+        // Prepend: rebuild with "api" first so the stamp leads the wire form.
+        json::Value stamped;
+        stamped["api"] = kApiVersion;
+        for (const auto& [key, value] : body.asObject().entries()) {
+            stamped[key] = value;
+        }
+        body = std::move(stamped);
+    }
+    net::HttpResponse resp;
+    resp.status = status;
+    resp.body = json::write(body);
+    resp.body += '\n';
+    return resp;
+}
+
+net::HttpResponse apiError(int status, std::string_view kind,
+                           std::string_view message) {
+    json::Value detail;
+    detail["kind"] = kind;
+    detail["message"] = message;
+    json::Value body;
+    body["error"] = std::move(detail);
+    return apiResponse(status, std::move(body));
+}
+
+net::HttpResponse apiBadRequest(const std::exception& e) {
+    const char* kind = dynamic_cast<const ParseError*>(&e) != nullptr
+                           ? "parse_error"
+                       : dynamic_cast<const EncodingError*>(&e) != nullptr
+                           ? "encoding_error"
+                           : "bad_request";
+    return apiError(400, kind, e.what());
+}
+
+} // namespace lar::serve

@@ -1,0 +1,48 @@
+// Versioned JSON envelope of the larserved HTTP API.
+//
+// Every /v1/* body — request and response — carries an "api" field naming
+// the schema major version. The rules, shared by every route:
+//
+//  * requests MAY omit "api"; absence means "whatever v1 of the endpoint
+//    speaks" (this grandfathers pre-versioning clients);
+//  * a request whose "api" is present but not the served major is rejected
+//    with 400 and a structured `api_version` error before any parsing of
+//    the rest of the body — the client is speaking a schema this server
+//    does not implement, and guessing would mis-read it;
+//  * every JSON response is stamped with the served "api" so clients can
+//    pin what they actually got.
+//
+// Additive, backward-compatible fields do NOT bump the major; only a
+// breaking reshape of existing fields does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "json/value.hpp"
+#include "net/http.hpp"
+
+namespace lar::serve {
+
+/// The JSON schema major this build serves on /v1/*.
+inline constexpr std::int64_t kApiVersion = 1;
+
+/// Checks the "api" field of a request body. Returns a ready-to-send 400
+/// when the client pinned a major this server does not speak (or sent a
+/// non-integer "api"); nullopt when the request is acceptable. Non-object
+/// bodies are left for the endpoint's own parser to reject.
+[[nodiscard]] std::optional<net::HttpResponse> rejectApiMismatch(
+    const json::Value& doc);
+
+/// Builds a JSON response with the "api" stamp added to `body`.
+[[nodiscard]] net::HttpResponse apiResponse(int status, json::Value body);
+
+/// `errorJson` with the "api" stamp: {"api":1,"error":{"kind","message"}}.
+[[nodiscard]] net::HttpResponse apiError(int status, std::string_view kind,
+                                         std::string_view message);
+
+/// Maps a parse-layer exception to 400 (ParseError → parse_error,
+/// EncodingError → encoding_error, anything else → bad_request).
+[[nodiscard]] net::HttpResponse apiBadRequest(const std::exception& e);
+
+} // namespace lar::serve

@@ -1,0 +1,217 @@
+#include "serve/routes.hpp"
+
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json/parse.hpp"
+#include "obs/metrics.hpp"
+#include "reason/problem_io.hpp"
+#include "reason/service_io.hpp"
+#include "serve/api.hpp"
+#include "serve/session_io.hpp"
+#include "util/error.hpp"
+
+namespace lar::serve {
+
+namespace {
+
+int statusForVerdict(const reason::QueryResult& result) {
+    switch (result.verdict) {
+        case reason::Verdict::Shed: return 429;
+        case reason::Verdict::Error: return 500;
+        default: return 200;
+    }
+}
+
+/// Parses the request body (empty body → null) and applies the "api"
+/// envelope check. On failure `error` holds the ready 400 response.
+std::optional<json::Value> parseBody(const net::HttpRequest& req,
+                                     net::HttpResponse& error) {
+    json::Value doc;
+    if (!req.body.empty()) {
+        try {
+            doc = json::parse(req.body);
+        } catch (const Error& e) {
+            error = apiBadRequest(e);
+            return std::nullopt;
+        }
+    }
+    if (std::optional<net::HttpResponse> mismatch = rejectApiMismatch(doc)) {
+        error = std::move(*mismatch);
+        return std::nullopt;
+    }
+    return doc;
+}
+
+} // namespace
+
+void registerServiceRoutes(net::HttpServer& server, reason::Service& service,
+                           const kb::KnowledgeBase& kb) {
+    server.route("POST", "/v1/query", [&service,
+                                       &kb](const net::HttpRequest& req) {
+        net::HttpResponse error;
+        const std::optional<json::Value> doc = parseBody(req, error);
+        if (!doc.has_value()) return error;
+        reason::QueryRequest request;
+        try {
+            request = reason::queryRequestFromJson(*doc, kb,
+                                                   reason::QueryOptions{},
+                                                   /*index=*/0);
+        } catch (const Error& e) {
+            return apiBadRequest(e);
+        }
+        const reason::QueryResult result = service.run(request);
+        net::HttpResponse resp = apiResponse(
+            statusForVerdict(result),
+            reason::resultToJson(result, request.options.collectTrace));
+        if (resp.status == 429) {
+            resp.extraHeaders.push_back({"Retry-After", "1"});
+        }
+        return resp;
+    });
+
+    server.route("POST", "/v1/batch", [&service,
+                                       &kb](const net::HttpRequest& req) {
+        net::HttpResponse error;
+        const std::optional<json::Value> doc = parseBody(req, error);
+        if (!doc.has_value()) return error;
+        std::vector<reason::QueryRequest> requests;
+        try {
+            requests = reason::batchRequestsFromJson(*doc, kb,
+                                                     /*serviceOptions=*/
+                                                     nullptr);
+        } catch (const Error& e) {
+            return apiBadRequest(e);
+        }
+        const std::vector<reason::QueryResult> results =
+            service.runBatch(requests);
+        json::Value report =
+            reason::batchReportToJson(results, requests, service);
+        report["any_failed_or_infeasible"] =
+            reason::anyFailedOrInfeasible(results);
+        return apiResponse(200, std::move(report));
+    });
+
+    server.route("GET", "/metrics", [](const net::HttpRequest&) {
+        net::HttpResponse resp;
+        resp.contentType = "text/plain; version=0.0.4";
+        resp.body = obs::Registry::global().renderPrometheus();
+        return resp;
+    });
+
+    server.route("GET", "/healthz", [](const net::HttpRequest&) {
+        return net::HttpResponse::text(200, "{\"ok\":true}\n");
+    });
+
+    server.route("GET", "/readyz", [&server](const net::HttpRequest&) {
+        if (server.draining()) {
+            return net::HttpResponse::errorJson(503, "draining",
+                                                "shutting down");
+        }
+        return net::HttpResponse::text(200, "{\"ready\":true}\n");
+    });
+}
+
+void registerSessionRoutes(net::HttpServer& server,
+                           reason::SessionManager& sessions,
+                           const kb::KnowledgeBase& kb) {
+    server.route("POST", "/v1/session", [&sessions,
+                                         &kb](const net::HttpRequest& req) {
+        net::HttpResponse error;
+        const std::optional<json::Value> doc = parseBody(req, error);
+        if (!doc.has_value()) return error;
+        reason::Problem problem;
+        try {
+            if (!doc->isObject() || !doc->asObject().contains("problem")) {
+                throw ParseError("session create needs a \"problem\" object");
+            }
+            problem = reason::problemFromJson(doc->at("problem"), kb);
+        } catch (const Error& e) {
+            return apiBadRequest(e);
+        }
+        const reason::SessionManager::CreateResult created =
+            sessions.create(problem);
+        if (created.shed) {
+            net::HttpResponse resp = apiError(
+                429, "shed", "session capacity reached or server draining");
+            resp.extraHeaders.push_back({"Retry-After", "1"});
+            return resp;
+        }
+        json::Value body;
+        body["id"] = created.id;
+        body["lease_ttl_ms"] = created.leaseTtlMs;
+        body["warm_started"] = created.warmStarted;
+        body["warm_start_clauses"] =
+            static_cast<std::int64_t>(created.warmStartClauses);
+        body["cache_hit"] = created.cacheHit;
+        body["compile_ms"] = created.compileMs;
+        return apiResponse(200, std::move(body));
+    });
+
+    server.route(
+        "POST", "/v1/session/{id}/ask",
+        [&sessions](const net::HttpRequest& req,
+                    const net::HttpServer::RouteParams& params) {
+            net::HttpResponse error;
+            const std::optional<json::Value> doc = parseBody(req, error);
+            if (!doc.has_value()) return error;
+            reason::Variation variation;
+            try {
+                variation = variationFromJson(*doc);
+            } catch (const Error& e) {
+                return apiBadRequest(e);
+            }
+            const std::string& id = params.at("id");
+            std::optional<reason::SessionManager::AskOutcome> outcome =
+                sessions.ask(id, variation);
+            if (!outcome.has_value()) {
+                return apiError(404, "unknown_session",
+                                "no session '" + id +
+                                    "' (never created, expired, or closed)");
+            }
+            // Verdict::Error here means the variation named entities the
+            // compilation does not know — a client mistake, not a server
+            // failure, so 400 with the offending names in the body.
+            const int status =
+                outcome->answer.verdict == reason::Verdict::Error ? 400 : 200;
+            return apiResponse(
+                status, answerToJson(outcome->answer, &outcome->trace));
+        });
+
+    server.route(
+        "POST", "/v1/session/{id}/renew",
+        [&sessions](const net::HttpRequest& req,
+                    const net::HttpServer::RouteParams& params) {
+            net::HttpResponse error;
+            const std::optional<json::Value> doc = parseBody(req, error);
+            if (!doc.has_value()) return error;
+            const std::string& id = params.at("id");
+            if (!sessions.renew(id)) {
+                return apiError(404, "unknown_session",
+                                "no session '" + id + "' to renew");
+            }
+            json::Value body;
+            body["renewed"] = true;
+            body["lease_ttl_ms"] = static_cast<std::int64_t>(
+                sessions.options().leaseTtl.count());
+            return apiResponse(200, std::move(body));
+        });
+
+    server.route("DELETE", "/v1/session/{id}",
+                 [&sessions](const net::HttpRequest&,
+                             const net::HttpServer::RouteParams& params) {
+                     const std::string& id = params.at("id");
+                     if (!sessions.close(id)) {
+                         return apiError(404, "unknown_session",
+                                         "no session '" + id + "' to close");
+                     }
+                     json::Value body;
+                     body["closed"] = true;
+                     return apiResponse(200, std::move(body));
+                 });
+}
+
+} // namespace lar::serve

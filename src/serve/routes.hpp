@@ -1,0 +1,47 @@
+// larserved's HTTP routes, as a library.
+//
+// The endpoint handlers live here rather than in the daemon's main() so
+// tests and benches can stand up a full in-process server (real sockets,
+// real routing, real JSON) without forking the binary. larserved itself is
+// flag parsing + signal handling around these two calls.
+//
+// Service routes (registerServiceRoutes):
+//   POST /v1/query    one query object in, one result object out.
+//   POST /v1/batch    batch document in, full batch report out.
+//   GET  /metrics     Prometheus text exposition of the obs registry.
+//   GET  /healthz     liveness; 200 while the process is up.
+//   GET  /readyz      readiness; 503 once draining.
+//
+// Session routes (registerSessionRoutes) — the stateful what-if workflow:
+//   POST   /v1/session             {"problem": {...}} → {"id", "lease_ttl_ms",
+//                                  "warm_started", ...}; 429 + Retry-After
+//                                  when shed (draining or at the session cap).
+//   POST   /v1/session/{id}/ask    variation in, answer out (session_io.hpp);
+//                                  404 unknown/expired id; 400 when the
+//                                  variation names unknown entities.
+//   POST   /v1/session/{id}/renew  extends the lease; 404 unknown id.
+//   DELETE /v1/session/{id}        closes the session (its learnt solver
+//                                  state feeds the warm-start cache).
+//
+// Every JSON body in and out follows the "api" envelope rules in api.hpp.
+#pragma once
+
+#include "kb/kb.hpp"
+#include "net/server.hpp"
+#include "reason/service.hpp"
+#include "reason/session.hpp"
+
+namespace lar::serve {
+
+/// Registers the stateless query/observability routes. `service` and `kb`
+/// must outlive the server. Call before HttpServer::start().
+void registerServiceRoutes(net::HttpServer& server, reason::Service& service,
+                           const kb::KnowledgeBase& kb);
+
+/// Registers the stateful session routes. `sessions` and `kb` must outlive
+/// the server. Call before HttpServer::start().
+void registerSessionRoutes(net::HttpServer& server,
+                           reason::SessionManager& sessions,
+                           const kb::KnowledgeBase& kb);
+
+} // namespace lar::serve

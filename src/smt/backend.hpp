@@ -112,6 +112,35 @@ public:
         return std::nullopt;
     }
 
+    /// Why the last check/optimize stopped without a definitive verdict
+    /// (deadline vs. budget vs. cancellation). StopReason::None when the last
+    /// call was definitive, or for backends that don't track it (Z3).
+    [[nodiscard]] virtual sat::StopReason lastStopReason() const {
+        return sat::StopReason::None;
+    }
+
+    // -- warm-start snapshots (CDCL single-worker backend only) --------------
+    // Defaults make snapshots a no-op: Z3 has no exportable learnt state and
+    // the portfolio backend's workers diverge from the replay baseline, so
+    // only CdclBackend overrides these (see sat::SolverSnapshot for the
+    // soundness argument).
+
+    /// Records the current clause database as the snapshot baseline. Called
+    /// by the reasoning layer right after replaying a compilation's hard
+    /// assertions, before any query-specific clauses.
+    virtual void markSnapshotBaseline() {}
+
+    /// Exports heuristic state + short learnt clauses, or an empty snapshot
+    /// when the backend doesn't support it / the clause DB grew past the
+    /// baseline.
+    [[nodiscard]] virtual sat::SolverSnapshot exportSnapshot() const {
+        return {};
+    }
+
+    /// Imports a snapshot exported from an identically-built backend;
+    /// returns the number of clauses integrated (0 = refused/unsupported).
+    virtual std::size_t importSnapshot(const sat::SolverSnapshot&) { return 0; }
+
     [[nodiscard]] virtual std::string name() const = 0;
 };
 

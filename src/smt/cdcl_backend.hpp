@@ -35,6 +35,16 @@ public:
                             std::span<const NodeId> assumptions = {}) override;
     [[nodiscard]] std::string name() const override { return "cdcl"; }
     [[nodiscard]] sat::SolverStats stats() const override { return solver_.stats(); }
+    [[nodiscard]] sat::StopReason lastStopReason() const override {
+        return solver_.stopReason();
+    }
+    void markSnapshotBaseline() override { solver_.markSnapshotBaseline(); }
+    [[nodiscard]] sat::SolverSnapshot exportSnapshot() const override {
+        return solver_.exportSnapshot();
+    }
+    std::size_t importSnapshot(const sat::SolverSnapshot& snapshot) override {
+        return solver_.importSnapshot(snapshot);
+    }
 
     /// Underlying solver knobs (diversity profile, clause-sharing hooks).
     /// Portfolio plumbing only — mutate strictly between solver calls; the

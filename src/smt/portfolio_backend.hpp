@@ -61,6 +61,12 @@ public:
     /// portfolio-wide aggregate lives in portfolioStats().
     [[nodiscard]] sat::SolverStats stats() const override;
     [[nodiscard]] std::optional<PortfolioStats> portfolioStats() const override;
+    /// The stats worker's stop reason: after a race without a definitive
+    /// verdict every worker stopped for the same class of reason (shared
+    /// deadline/cancel flag), so one worker's answer stands in for all.
+    [[nodiscard]] sat::StopReason lastStopReason() const override {
+        return workers_[static_cast<std::size_t>(statsWorker_)]->lastStopReason();
+    }
     [[nodiscard]] std::string name() const override { return "cdcl-portfolio"; }
 
     /// Diversity-profile name applied to worker `i` ("base" for worker 0,

@@ -417,7 +417,7 @@ TEST_F(PortfolioServiceTest, SingleWorkerPoolDegradesToPlainSolve) {
     EXPECT_TRUE(result.trace.portfolioWinner.empty());
 }
 
-TEST_F(PortfolioServiceTest, TraceV4CarriesVerdictAndPortfolioFigures) {
+TEST_F(PortfolioServiceTest, TraceV5CarriesVerdictAndPortfolioFigures) {
     reason::ServiceOptions options;
     options.workers = 4;
     reason::Service service(options);
@@ -427,7 +427,7 @@ TEST_F(PortfolioServiceTest, TraceV4CarriesVerdictAndPortfolioFigures) {
     ASSERT_EQ(result.verdict, reason::Verdict::Sat);
 
     const json::Value v = reason::toJson(result.trace);
-    EXPECT_EQ(v.at("schema").asInt(), 4);
+    EXPECT_EQ(v.at("schema").asInt(), reason::kQueryTraceSchemaVersion);
     EXPECT_EQ(v.at("verdict").asString(), "sat");
     // Legacy booleans are still emitted, derived from the verdict.
     EXPECT_FALSE(v.at("timed_out").asBool());

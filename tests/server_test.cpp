@@ -170,6 +170,61 @@ TEST(HttpServerTest, NotFoundAndMethodNotAllowed) {
     EXPECT_EQ(*resp.header("Allow"), "GET");
 }
 
+TEST(HttpServerTest, PatternRoutesCaptureParams) {
+    ServerOptions options;
+    options.bindAddress = "127.0.0.1";
+    options.port = 0;
+    HttpServer server(options);
+    server.route("POST", "/v1/session/{id}/ask",
+                 [](const HttpRequest&, const HttpServer::RouteParams& p) {
+                     return HttpResponse::text(200, "ask:" + p.at("id"));
+                 });
+    server.route("DELETE", "/v1/session/{id}",
+                 [](const HttpRequest&, const HttpServer::RouteParams& p) {
+                     return HttpResponse::text(200, "del:" + p.at("id"));
+                 });
+    // Exact route on a path the pattern also matches: exact must win.
+    server.route("DELETE", "/v1/session/special", [](const HttpRequest&) {
+        return HttpResponse::text(200, "exact");
+    });
+    server.start();
+    HttpClient client("127.0.0.1", server.port());
+
+    EXPECT_EQ(client.post("/v1/session/s-42/ask", "{}").body, "ask:s-42");
+    EXPECT_EQ(client.del("/v1/session/s-42").body, "del:s-42");
+    EXPECT_EQ(client.del("/v1/session/special").body, "exact");
+
+    // {id} must match exactly one non-empty segment.
+    EXPECT_EQ(client.post("/v1/session//ask", "{}").status, 404);
+    EXPECT_EQ(client.post("/v1/session/a/b/ask", "{}").status, 404);
+    EXPECT_EQ(client.post("/v1/session/s-42", "{}").status, 405);
+    server.stop();
+}
+
+TEST(HttpServerTest, PatternRouteMethodNotAllowedListsAllMethods) {
+    ServerOptions options;
+    options.bindAddress = "127.0.0.1";
+    options.port = 0;
+    HttpServer server(options);
+    // Two registrations on the same pattern merge into one route entry.
+    server.route("POST", "/v1/session/{id}",
+                 [](const HttpRequest&, const HttpServer::RouteParams&) {
+                     return HttpResponse::text(200, "post");
+                 });
+    server.route("DELETE", "/v1/session/{id}",
+                 [](const HttpRequest&, const HttpServer::RouteParams&) {
+                     return HttpResponse::text(200, "delete");
+                 });
+    server.start();
+    HttpClient client("127.0.0.1", server.port());
+
+    const net::ClientResponse resp = client.get("/v1/session/s-1");
+    EXPECT_EQ(resp.status, 405);
+    ASSERT_NE(resp.header("Allow"), nullptr);
+    EXPECT_EQ(*resp.header("Allow"), "DELETE, POST");
+    server.stop();
+}
+
 TEST(HttpServerTest, HandlerExceptionBecomes500) {
     TestServer ts;
     ts.start();

@@ -245,7 +245,7 @@ TEST_F(ServiceTest, SharedCompilationServesEngineAndWhatIf) {
     Variation variation;
     variation.systems["Sonata"] = true;
     const WhatIfAnswer answer = whatIf.ask(variation);
-    EXPECT_TRUE(answer.feasible);
+    EXPECT_TRUE(answer.feasible());
     ASSERT_TRUE(answer.design.has_value());
     EXPECT_TRUE(answer.design->uses("Sonata"));
 }

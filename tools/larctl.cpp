@@ -34,6 +34,11 @@
 //                                          (Prometheus text exposition, or
 //                                          JSON with --json), optionally after
 //                                          running a batch to populate it
+//   larctl session <verb> ...              (--url only) stateful what-if
+//                                          sessions against larserved: create /
+//                                          ask / renew / close, or `run` to
+//                                          drive a whole variation script over
+//                                          one warm session.
 //   larctl suggest  <kb.json> <prob.json>  disambiguation suggestions (§6)
 //   larctl ordering <kb.json> <objective>  Graphviz of the partial order
 //   larctl sheet    <kb.json> <model>      render a vendor spec sheet
@@ -98,9 +103,12 @@ int usage() {
                  "  ordering  <kb.json> <objective>\n"
                  "  sheet     <kb.json> <model name>\n"
                  "  diff      <old.json> <new.json>\n"
+                 "  session   create <problem.json> | ask <id> <var.json|-> |\n"
+                 "            renew <id> | close <id> |\n"
+                 "            run <problem.json> [script.json]   (--url only)\n"
                  "use 'builtin' as <kb.json> for the compiled-in catalog\n"
-                 "with --url, feasible/optimize/enumerate/batch/metrics run\n"
-                 "against a larserved instance (no <kb.json> argument — the\n"
+                 "with --url, feasible/optimize/enumerate/batch/metrics/session\n"
+                 "run against a larserved instance (no <kb.json> argument — the\n"
                  "server's knowledge base answers)\n");
     return 2;
 }
@@ -390,6 +398,117 @@ int remoteBatch(net::HttpClient& client, const std::string& batchPath,
     return report.at("any_failed_or_infeasible").asBool() ? 1 : 0;
 }
 
+// ---------------------------------------------------------------------------
+// session client mode: the stateful what-if workflow over larserved.
+//
+//   larctl --url U session create <problem.json>      open; prints {"id",...}
+//   larctl --url U session ask    <id> <variation.json|->  one variation
+//                                                      ('-' reads stdin)
+//   larctl --url U session renew  <id>                 extend the lease
+//   larctl --url U session close  <id>                 close it
+//   larctl --url U session run    <problem.json> [script.json]
+//       create → ask every variation in the script (a JSON array; when
+//       omitted, one variation object per stdin line) → close. Exit 0 when
+//       every ask was answered, 1 when any was infeasible or failed, 2 on
+//       malformed input.
+// ---------------------------------------------------------------------------
+
+/// Posts one variation; prints the answer. Returns 0 feasible, 1 not
+/// (infeasible/timeout/cancelled), 2 client mistake (bad body, unknown id).
+int sessionAsk(net::HttpClient& client, const std::string& id,
+               const std::string& variationText) {
+    const net::ClientResponse resp = client.post(
+        "/v1/session/" + id + "/ask", variationText.empty() ? "{}"
+                                                            : variationText);
+    std::printf("%s\n", json::writePretty(json::parse(resp.body)).c_str());
+    if (resp.status == 400 || resp.status == 404) return 2;
+    if (resp.status != 200) return 1;
+    return json::parse(resp.body).at("feasible").asBool() ? 0 : 1;
+}
+
+std::string readStreamAll(std::FILE* stream) {
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, stream)) > 0) text.append(buf, n);
+    return text;
+}
+
+int remoteSession(net::HttpClient& client, int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string verb = argv[2];
+
+    if (verb == "create" && argc == 4) {
+        json::Value body;
+        body["problem"] = json::parse(util::readFile(argv[3]));
+        const net::ClientResponse resp =
+            client.post("/v1/session", json::write(body));
+        std::printf("%s\n", json::writePretty(json::parse(resp.body)).c_str());
+        if (resp.status == 400) return 2;
+        return resp.status == 200 ? 0 : 1;
+    }
+    if (verb == "ask" && argc == 5) {
+        const std::string variation = std::strcmp(argv[4], "-") == 0
+                                          ? readStreamAll(stdin)
+                                          : util::readFile(argv[4]);
+        return sessionAsk(client, argv[3], variation);
+    }
+    if (verb == "renew" && argc == 4) {
+        const net::ClientResponse resp =
+            client.post("/v1/session/" + std::string(argv[3]) + "/renew", "{}");
+        std::printf("%s\n", json::writePretty(json::parse(resp.body)).c_str());
+        return resp.status == 200 ? 0 : 1;
+    }
+    if (verb == "close" && argc == 4) {
+        const net::ClientResponse resp =
+            client.del("/v1/session/" + std::string(argv[3]));
+        std::printf("%s\n", json::writePretty(json::parse(resp.body)).c_str());
+        return resp.status == 200 ? 0 : 1;
+    }
+    if (verb == "run" && (argc == 4 || argc == 5)) {
+        json::Value body;
+        body["problem"] = json::parse(util::readFile(argv[3]));
+        const net::ClientResponse created =
+            client.post("/v1/session", json::write(body));
+        std::printf("%s\n",
+                    json::writePretty(json::parse(created.body)).c_str());
+        if (created.status == 400) return 2;
+        if (created.status != 200) return 1;
+        const std::string id = json::parse(created.body).at("id").asString();
+
+        int worst = 0;
+        if (argc == 5) {
+            const json::Value script = json::parse(util::readFile(argv[4]));
+            for (const json::Value& variation : script.asArray()) {
+                const int rc = sessionAsk(client, id, json::write(variation));
+                if (rc > worst) worst = rc;
+            }
+        } else {
+            // One variation object per stdin line; blank lines are skipped.
+            std::string line;
+            int ch = 0;
+            while ((ch = std::fgetc(stdin)) != EOF) {
+                if (ch != '\n') {
+                    line.push_back(static_cast<char>(ch));
+                    continue;
+                }
+                if (!line.empty()) {
+                    const int rc = sessionAsk(client, id, line);
+                    if (rc > worst) worst = rc;
+                }
+                line.clear();
+            }
+            if (!line.empty()) {
+                const int rc = sessionAsk(client, id, line);
+                if (rc > worst) worst = rc;
+            }
+        }
+        (void)client.del("/v1/session/" + id);
+        return worst;
+    }
+    return usage();
+}
+
 int remoteMain(const std::string& url, int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
@@ -449,6 +568,7 @@ int remoteMain(const std::string& url, int argc, char** argv) {
         if (batchPath.empty()) return usage();
         return remoteBatch(client, batchPath, deadlineMs, portfolio);
     }
+    if (command == "session") return remoteSession(client, argc, argv);
     if (command == "metrics" && argc == 2) {
         const net::ClientResponse resp = client.get("/metrics");
         if (resp.status != 200) {

@@ -3,23 +3,33 @@
 // Serves the same JSON wire schema as `larctl batch` (reason/service_io.hpp)
 // over a from-scratch epoll HTTP/1.1 server (net/server.hpp), so a fleet of
 // CI jobs or an interactive UI can share one warm compilation cache instead
-// of each paying cold-start per query.
+// of each paying cold-start per query. The routes themselves live in
+// serve/routes.hpp (shared with tests and benches); this binary is flag
+// parsing and signal handling around them.
 //
-//   POST /v1/query   one query object in, one result object out.
-//                    Verdict mapping: Shed → 429 (+ Retry-After), Error →
-//                    500, everything else (sat/unsat/unknown/timeout/
-//                    cancelled) → 200 with the verdict in the body.
-//   POST /v1/batch   a batch document in (same schema as larctl batch files,
-//                    except the "service" block is rejected — the service
-//                    here is long-lived), full batch report out.
-//   GET  /metrics    Prometheus text exposition of the obs registry.
-//   GET  /healthz    200 while the process is up (liveness).
-//   GET  /readyz     200 while accepting work, 503 once draining
-//                    (readiness — flip traffic away before shutdown).
+//   POST   /v1/query             one query object in, one result object out.
+//                                Verdict mapping: Shed → 429 (+ Retry-After),
+//                                Error → 500, everything else → 200 with the
+//                                verdict in the body.
+//   POST   /v1/batch             a batch document in (same schema as larctl
+//                                batch files, except the "service" block is
+//                                rejected), full batch report out.
+//   POST   /v1/session           open a stateful what-if session over a
+//                                problem; later asks reuse its warm solver.
+//   POST   /v1/session/{id}/ask  answer one variation on the session.
+//   POST   /v1/session/{id}/renew  extend the session lease.
+//   DELETE /v1/session/{id}      close the session.
+//   GET    /metrics              Prometheus text exposition.
+//   GET    /healthz              200 while the process is up (liveness).
+//   GET    /readyz               200 while accepting work, 503 once draining.
 //
-// SIGTERM/SIGINT start a graceful drain: stop accepting, let in-flight
-// queries finish within the grace period, cancel stragglers (they report
-// Cancelled, not Error), then exit 0.
+// All /v1/* JSON bodies follow the versioned "api" envelope (serve/api.hpp):
+// requests may pin {"api": 1}; an unknown major is rejected with 400.
+//
+// SIGTERM/SIGINT start a graceful drain: stop accepting, cancel and evict
+// live sessions (exporting their learnt state to the warm-start cache), let
+// in-flight queries finish within the grace period, cancel stragglers (they
+// report Cancelled, not Error), then exit 0.
 //
 // Flags (strict numeric parsing; a bad value is a usage error, not a 0):
 //   --kb <path|builtin>     knowledge base to serve (default builtin)
@@ -30,6 +40,10 @@
 //   --workers <n>           solver pool width; 0 = hardware (default 0)
 //   --max-inflight <n>      HTTP requests inside handlers before 503
 //   --max-queue <n>         ServiceOptions::maxQueueDepth (0 = unbounded)
+//   --max-sessions <n>      live what-if sessions before 429 (default 64)
+//   --lease-ttl-ms <n>      session lease; asks/renews extend it (default 60s)
+//   --warm-start-cap <n>    solver snapshots kept for warm starts (default 32,
+//                           0 disables warm starting entirely)
 //   --drain-grace-ms <n>    per-phase drain grace (default 5000)
 //   --log-info              lower the log threshold to Info (access logs on)
 #include <fcntl.h>
@@ -37,19 +51,18 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "catalog/catalog.hpp"
-#include "json/parse.hpp"
-#include "json/write.hpp"
 #include "kb/serialize.hpp"
 #include "net/server.hpp"
-#include "obs/metrics.hpp"
 #include "reason/service.hpp"
-#include "reason/service_io.hpp"
+#include "reason/session.hpp"
+#include "serve/routes.hpp"
 #include "util/error.hpp"
 #include "util/file.hpp"
 #include "util/logging.hpp"
@@ -72,7 +85,9 @@ int usage() {
         "                 [--port-file <path>] [--io-threads <n>] "
         "[--workers <n>]\n"
         "                 [--max-inflight <n>] [--max-queue <n>]\n"
-        "                 [--drain-grace-ms <n>] [--log-info]\n");
+        "                 [--max-sessions <n>] [--lease-ttl-ms <n>]\n"
+        "                 [--warm-start-cap <n>] [--drain-grace-ms <n>]\n"
+        "                 [--log-info]\n");
     return 2;
 }
 
@@ -83,33 +98,6 @@ bool parseLongArg(const char* tok, long& out) {
     if (end == tok || *end != '\0' || errno == ERANGE) return false;
     out = value;
     return true;
-}
-
-net::HttpResponse jsonResponse(int status, const json::Value& body) {
-    net::HttpResponse resp;
-    resp.status = status;
-    resp.body = json::write(body);
-    resp.body += '\n';
-    return resp;
-}
-
-/// ParseError/EncodingError → 400; anything else propagates (the server
-/// turns it into a 500).
-net::HttpResponse badRequest(const std::exception& e) {
-    const char* kind = dynamic_cast<const ParseError*>(&e) != nullptr
-                           ? "parse_error"
-                       : dynamic_cast<const EncodingError*>(&e) != nullptr
-                           ? "encoding_error"
-                           : "bad_request";
-    return net::HttpResponse::errorJson(400, kind, e.what());
-}
-
-int statusForVerdict(const reason::QueryResult& result) {
-    switch (result.verdict) {
-        case reason::Verdict::Shed: return 429;
-        case reason::Verdict::Error: return 500;
-        default: return 200;
-    }
 }
 
 } // namespace
@@ -123,6 +111,9 @@ int main(int argc, char** argv) {
     long workers = 0;
     long maxInflight = 0;
     long maxQueue = 0;
+    long maxSessions = 64;
+    long leaseTtlMs = 60'000;
+    long warmStartCap = 32;
     long drainGraceMs = 5000;
     bool logInfo = false;
 
@@ -171,6 +162,15 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--max-queue") == 0) {
             if (!numericFlag("--max-queue", maxQueue, 0, 1 << 20))
                 return usage();
+        } else if (std::strcmp(argv[i], "--max-sessions") == 0) {
+            if (!numericFlag("--max-sessions", maxSessions, 0, 1 << 20))
+                return usage();
+        } else if (std::strcmp(argv[i], "--lease-ttl-ms") == 0) {
+            if (!numericFlag("--lease-ttl-ms", leaseTtlMs, 1, 86'400'000))
+                return usage();
+        } else if (std::strcmp(argv[i], "--warm-start-cap") == 0) {
+            if (!numericFlag("--warm-start-cap", warmStartCap, 0, 1 << 20))
+                return usage();
         } else if (std::strcmp(argv[i], "--drain-grace-ms") == 0) {
             if (!numericFlag("--drain-grace-ms", drainGraceMs, 0, 3'600'000))
                 return usage();
@@ -191,7 +191,14 @@ int main(int argc, char** argv) {
         reason::ServiceOptions serviceOptions;
         serviceOptions.workers = static_cast<unsigned>(workers);
         serviceOptions.maxQueueDepth = static_cast<std::size_t>(maxQueue);
+        serviceOptions.warmStartCapacity =
+            static_cast<std::size_t>(warmStartCap);
         reason::Service service(serviceOptions);
+
+        reason::SessionOptions sessionOptions;
+        sessionOptions.leaseTtl = std::chrono::milliseconds(leaseTtlMs);
+        sessionOptions.maxSessions = static_cast<std::size_t>(maxSessions);
+        reason::SessionManager sessions(service, sessionOptions);
 
         net::ServerOptions serverOptions;
         serverOptions.bindAddress = bind;
@@ -201,66 +208,18 @@ int main(int argc, char** argv) {
         serverOptions.accessLog = logInfo;
         net::HttpServer server(serverOptions);
 
-        server.route("POST", "/v1/query", [&](const net::HttpRequest& req) {
-            reason::QueryRequest request;
-            try {
-                const json::Value doc = json::parse(req.body);
-                request = reason::queryRequestFromJson(doc, kb,
-                                                       reason::QueryOptions{},
-                                                       /*index=*/0);
-            } catch (const Error& e) {
-                return badRequest(e);
-            }
-            const reason::QueryResult result = service.run(request);
-            net::HttpResponse resp = jsonResponse(
-                statusForVerdict(result),
-                reason::resultToJson(result, request.options.collectTrace));
-            if (resp.status == 429) {
-                resp.extraHeaders.push_back({"Retry-After", "1"});
-            }
-            return resp;
-        });
+        serve::registerServiceRoutes(server, service, kb);
+        serve::registerSessionRoutes(server, sessions, kb);
 
-        server.route("POST", "/v1/batch", [&](const net::HttpRequest& req) {
-            std::vector<reason::QueryRequest> requests;
-            try {
-                const json::Value doc = json::parse(req.body);
-                requests = reason::batchRequestsFromJson(doc, kb,
-                                                         /*serviceOptions=*/
-                                                         nullptr);
-            } catch (const Error& e) {
-                return badRequest(e);
-            }
-            const std::vector<reason::QueryResult> results =
-                service.runBatch(requests);
-            json::Value report =
-                reason::batchReportToJson(results, requests, service);
-            report["any_failed_or_infeasible"] =
-                reason::anyFailedOrInfeasible(results);
-            return jsonResponse(200, report);
-        });
-
-        server.route("GET", "/metrics", [](const net::HttpRequest&) {
-            net::HttpResponse resp;
-            resp.contentType = "text/plain; version=0.0.4";
-            resp.body = obs::Registry::global().renderPrometheus();
-            return resp;
-        });
-
-        server.route("GET", "/healthz", [](const net::HttpRequest&) {
-            return net::HttpResponse::text(200, "{\"ok\":true}\n");
-        });
-
-        server.route("GET", "/readyz", [&server](const net::HttpRequest&) {
-            if (server.draining()) {
-                return net::HttpResponse::errorJson(503, "draining",
-                                                    "shutting down");
-            }
-            return net::HttpResponse::text(200, "{\"ready\":true}\n");
-        });
-
-        server.setDrainHooks([&service] { service.beginDrain(); },
-                             [&service] { service.cancelActive(); });
+        // Drain order: evict sessions first (their in-flight asks observe
+        // the cancel flag and the learnt solver state is exported), then
+        // shed the stateless query queue.
+        server.setDrainHooks(
+            [&service, &sessions] {
+                sessions.drain();
+                service.beginDrain();
+            },
+            [&service] { service.cancelActive(); });
 
         if (::pipe2(g_signalPipe, O_CLOEXEC) != 0) {
             std::fprintf(stderr, "larserved: pipe2: %s\n",
