@@ -54,11 +54,15 @@ double percentile(std::vector<double> values, double p) {
     return values[std::min(idx, values.size() - 1)];
 }
 
+constexpr std::size_t kRecorderCap = 16; // << kBurst: forces eviction pressure
+
 struct RunStats {
     std::vector<double> latenciesMs; ///< answered queries, queue wait included
     int answered = 0;
     int shed = 0;
     int errored = 0;
+    std::size_t recorderSize = 0;      ///< flight-recorder occupancy after the burst
+    std::size_t recorderShedHeld = 0;  ///< shed traces the recorder retained
 };
 
 RunStats runOnce(const kb::KnowledgeBase& kb, bool shedding) {
@@ -66,6 +70,7 @@ RunStats runOnce(const kb::KnowledgeBase& kb, bool shedding) {
     options.workers = kWorkers;
     options.maxQueueDepth = shedding ? kQueueDepth : 0;
     options.shedPolicy = reason::ShedPolicy::RejectNew;
+    options.flightRecorderCapacity = kRecorderCap;
     reason::Service service(options);
     // Pre-warm the compilation cache so both runs measure solve + queue
     // latency, not one giant first-query compile.
@@ -84,6 +89,11 @@ RunStats runOnce(const kb::KnowledgeBase& kb, bool shedding) {
             stats.latenciesMs.push_back(r.trace.queueWaitMs + r.trace.totalMs);
         }
     }
+    stats.recorderSize = service.flightRecorder().size();
+    stats.recorderShedHeld =
+        service.flightRecorder()
+            .traces(0, 0.0, reason::Verdict::Shed)
+            .size();
     return stats;
 }
 
@@ -121,6 +131,11 @@ int main() {
     const bool noErrors = off.errored == 0 && on.errored == 0;
     // The gate: bounding the queue must bound the tail.
     const bool tailBounded = p99On <= p99Off;
+    // The flight recorder rode through the same burst: it must stay bounded
+    // while still holding shed traces (failures are pinned, not sampled away).
+    const bool recorderBounded = off.recorderSize <= kRecorderCap &&
+                                 on.recorderSize <= kRecorderCap;
+    const bool recorderKeptShed = on.recorderShedHeld > 0;
 
     std::printf("\nanswered+shed covers the burst: %s / %s\n",
                 offComplete ? "yes" : "NO", onComplete ? "yes" : "NO");
@@ -128,9 +143,13 @@ int main() {
                 somethingShed ? "yes" : "NO", on.shed);
     std::printf("p99 bounded by shedding: %s (%.1f ms vs %.1f ms unbounded)\n",
                 tailBounded ? "yes" : "NO", p99On, p99Off);
+    std::printf("flight recorder bounded: %s (%zu/%zu held, %zu shed traces "
+                "retained)\n",
+                recorderBounded && recorderKeptShed ? "yes" : "NO",
+                on.recorderSize, kRecorderCap, on.recorderShedHeld);
 
-    const bool ok =
-        offComplete && onComplete && somethingShed && noErrors && tailBounded;
+    const bool ok = offComplete && onComplete && somethingShed && noErrors &&
+                    tailBounded && recorderBounded && recorderKeptShed;
     std::printf("SVC2: %s\n", ok ? "overload sheds load, latency stays bounded"
                                  : "FAILED");
     return ok ? EXIT_SUCCESS : EXIT_FAILURE;

@@ -8,6 +8,8 @@
 #   scripts/verify.sh server     HTTP server: unit + TSan + live smoke + bench
 #   scripts/verify.sh session    sessions: unit + TSan + warm-start oracle +
 #                                live session smoke + interactive bench
+#   scripts/verify.sh obs        observability: flight-recorder unit + TSan +
+#                                live /v1/debug + /statusz smoke
 #
 # The tier-1 leg uses the regular build/ tree (shared with development, so
 # incremental rebuilds are cheap). The sanitize leg configures a separate
@@ -115,6 +117,53 @@ run_session() {
     (cd "$root/build" && ./bench/bench_session_interactive)
 }
 
+run_obs() {
+    # The observability surface end to end: the flight-recorder retention /
+    # in-flight-registry suite (plain and under ThreadSanitizer, since the
+    # recorder is written by solver workers while debug endpoints scan it),
+    # then a live larserved smoke: a traced query submitted with a
+    # client-supplied X-Lar-Trace-Id must be retrievable by that exact ID
+    # from /v1/debug/traces/{id}, and the introspection endpoints
+    # (/v1/debug/*, /statusz, /version) must all answer.
+    echo "== obs: flight recorder unit + TSan + live introspection smoke =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j"$jobs" --target \
+        flight_recorder_test flight_recorder_test_tsan larserved larctl
+    (cd "$root/build" && ctest --output-on-failure -R \
+        '^FlightRecorder|^flight_recorder_tsan$')
+
+    echo "-- live smoke: trace-id round trip + debug endpoints --"
+    smoke="$root/build/obs_smoke"
+    rm -rf "$smoke" && mkdir -p "$smoke"
+    "$root/build/tools/larserved" --port 0 --port-file "$smoke/port" \
+        --drain-grace-ms 2000 &
+    served_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$smoke/port" ] && break
+        sleep 0.1
+    done
+    [ -s "$smoke/port" ] || { echo "larserved never wrote its port"; exit 1; }
+    url="http://127.0.0.1:$(cat "$smoke/port")"
+    echo '{"hardware":{"server":{"count":60},"switch":{"count":8},"nic":{"count":60}},"objective_priority":["latency"]}' \
+        > "$smoke/prob.json"
+    tid="verifysh-trace-0001"
+    "$root/build/tools/larctl" --url "$url" --trace-id "$tid" \
+        feasible "$smoke/prob.json" > "$smoke/feasible.json"
+    grep -q "\"trace_id\": \"$tid\"" "$smoke/feasible.json"
+    "$root/build/tools/larctl" --url "$url" trace "$tid" > "$smoke/trace.json"
+    grep -q "\"trace_id\": \"$tid\"" "$smoke/trace.json"
+    grep -q '"spans"' "$smoke/trace.json"
+    "$root/build/tools/larctl" --url "$url" trace "$tid" --chrome \
+        > "$smoke/trace_chrome.json"
+    grep -q '"traceEvents"' "$smoke/trace_chrome.json"
+    "$root/build/tools/larctl" --url "$url" top > "$smoke/statusz.txt"
+    grep -q 'flight recorder' "$smoke/statusz.txt"
+    "$root/build/tools/larctl" --url "$url" version > "$smoke/version.json"
+    grep -q '"trace_schema"' "$smoke/version.json"
+    kill -TERM "$served_pid"
+    wait "$served_pid" || { echo "larserved did not drain cleanly"; exit 1; }
+}
+
 run_sanitize() {
     echo "== sanitize: LAR_SANITIZE=address,undefined build + ctest =="
     cmake -B "$root/build-asan" -S "$root" -DLAR_SANITIZE=address,undefined
@@ -131,15 +180,17 @@ case "$leg" in
     portfolio) run_portfolio ;;
     server) run_server ;;
     session) run_session ;;
+    obs) run_obs ;;
     all)
         run_tier1
         run_portfolio
         run_server
         run_session
+        run_obs
         run_sanitize
         ;;
     *)
-        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|server|session|all]" >&2
+        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|server|session|obs|all]" >&2
         exit 2
         ;;
 esac

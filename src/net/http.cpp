@@ -54,6 +54,28 @@ std::string_view HttpRequest::path() const {
     return q == std::string_view::npos ? t : t.substr(0, q);
 }
 
+std::string HttpRequest::queryParam(std::string_view name) const {
+    const std::string_view t = target;
+    const std::size_t q = t.find('?');
+    if (q == std::string_view::npos) return "";
+    std::string_view rest = t.substr(q + 1);
+    while (!rest.empty()) {
+        const std::size_t amp = rest.find('&');
+        const std::string_view pair =
+            amp == std::string_view::npos ? rest : rest.substr(0, amp);
+        rest = amp == std::string_view::npos ? std::string_view()
+                                             : rest.substr(amp + 1);
+        const std::size_t eq = pair.find('=');
+        const std::string_view key =
+            eq == std::string_view::npos ? pair : pair.substr(0, eq);
+        if (key == name)
+            return eq == std::string_view::npos
+                       ? ""
+                       : std::string(pair.substr(eq + 1));
+    }
+    return "";
+}
+
 HttpParser::HttpParser(const HttpLimits& limits) : limits_(limits) {}
 
 void HttpParser::fail(int status, std::string reason) {

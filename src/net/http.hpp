@@ -51,11 +51,18 @@ struct HttpRequest {
     std::string body;
     bool keepAlive = true;       ///< negotiated (version + Connection header)
     bool expectContinue = false; ///< client sent Expect: 100-continue
+    /// End-to-end trace identity: filled by HttpServer (the client's valid
+    /// X-Lar-Trace-Id, or a freshly minted one) before the handler runs.
+    /// Not a parser field — raw HttpParser output leaves it empty.
+    std::string traceId;
 
     /// First header named `name` (case-insensitive), or nullptr.
     [[nodiscard]] const std::string* header(std::string_view name) const;
     /// `target` up to but excluding the query string.
     [[nodiscard]] std::string_view path() const;
+    /// Value of query parameter `name` ("" when absent or valueless). No
+    /// percent-decoding — the debug endpoints take plain tokens and numbers.
+    [[nodiscard]] std::string queryParam(std::string_view name) const;
 };
 
 /// Incremental request parser; see file comment. Reusable across the

@@ -80,6 +80,20 @@ void HttpClient::disconnect() {
     leftover_.clear();
 }
 
+void HttpClient::setHeader(std::string_view name, std::string_view value) {
+    for (auto it = defaultHeaders_.begin(); it != defaultHeaders_.end(); ++it) {
+        if (caseEquals(it->name, name)) {
+            if (value.empty())
+                defaultHeaders_.erase(it);
+            else
+                it->value = std::string(value);
+            return;
+        }
+    }
+    if (!value.empty())
+        defaultHeaders_.push_back({std::string(name), std::string(value)});
+}
+
 void HttpClient::connect() {
     disconnect();
     addrinfo hints{};
@@ -154,6 +168,8 @@ ClientResponse HttpClient::roundTrip(const std::string& method,
                                      const std::string& contentType) {
     std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host_ +
                           ":" + std::to_string(port_) + "\r\n";
+    for (const HttpHeader& h : defaultHeaders_)
+        request += h.name + ": " + h.value + "\r\n";
     if (!body.empty() || method == "POST") {
         if (!contentType.empty()) {
             request += "Content-Type: " + contentType + "\r\n";

@@ -52,6 +52,11 @@ public:
     /// Drops the kept-alive connection (next request re-dials).
     void disconnect();
 
+    /// Adds a header to every subsequent request (e.g. X-Lar-Trace-Id so a
+    /// client-chosen trace identity follows the request through the server).
+    /// Setting a name again replaces the previous value; "" removes it.
+    void setHeader(std::string_view name, std::string_view value);
+
 private:
     ClientResponse roundTrip(const std::string& method, const std::string& path,
                              const std::string& body,
@@ -64,6 +69,7 @@ private:
     int timeoutMs_;
     int fd_ = -1;
     std::string leftover_; ///< bytes past the previous response
+    std::vector<HttpHeader> defaultHeaders_; ///< sent with every request
 };
 
 } // namespace lar::net

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_id.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -110,6 +111,8 @@ struct Connection {
     Clock::time_point requestStart;
     std::string method;
     std::string path;
+    std::string traceId;            ///< request trace identity ("" pre-dispatch)
+    std::size_t responseBytes = 0;  ///< serialized response size (wire bytes)
     int status = 0;
 
     explicit Connection(const HttpLimits& limits) : parser(limits) {}
@@ -541,6 +544,14 @@ void HttpServer::Impl::dispatch(Loop& loop, Connection& conn) {
     }
     conn.method = request.method;
     conn.path = std::string(request.path());
+    // Trace identity: adopt the client's X-Lar-Trace-Id when it is sane,
+    // mint otherwise. Set before any response path so even 404/405/503
+    // answers echo an id the client can quote.
+    const std::string* suppliedId = request.header("X-Lar-Trace-Id");
+    request.traceId = suppliedId != nullptr && obs::validTraceId(*suppliedId)
+                          ? *suppliedId
+                          : obs::mintTraceId();
+    conn.traceId = request.traceId;
     conn.closeAfterWrite =
         !request.keepAlive || draining.load(std::memory_order_acquire);
 
@@ -640,6 +651,9 @@ void HttpServer::Impl::dispatch(Loop& loop, Connection& conn) {
                         request = std::move(request)]() mutable {
         HttpResponse response;
         try {
+            // Every log line the handler (and the reasoning stack below it)
+            // emits on this thread carries the request's trace id.
+            const util::ScopedLogTraceId logScope(request.traceId);
             response = bound(request);
         } catch (const std::exception& e) {
             response = HttpResponse::errorJson(500, "internal", e.what());
@@ -687,7 +701,13 @@ void HttpServer::Impl::queueResponse(Loop& loop, Connection& conn,
     // live instance rather than hold a socket into a stopping one.
     if (draining.load(std::memory_order_acquire)) conn.closeAfterWrite = true;
     conn.status = response.status;
+    // Echo the trace id so clients (and any proxy in between) can join their
+    // view of the request to server logs and the flight recorder.
+    if (!conn.traceId.empty())
+        response.extraHeaders.push_back({"X-Lar-Trace-Id", conn.traceId});
+    const std::size_t outBefore = conn.outBuf.size();
     serializeResponse(response, !conn.closeAfterWrite, conn.outBuf);
+    conn.responseBytes = conn.outBuf.size() - outBefore;
     conn.state = Connection::St::Writing;
     writeSome(loop, conn);
 }
@@ -733,7 +753,10 @@ void HttpServer::Impl::finishResponse(Loop& loop, Connection& conn) {
                            {"method", conn.method},
                            {"path", conn.path},
                            {"status", conn.status},
-                           {"ms", ms}});
+                           {"bytes", static_cast<std::uint64_t>(
+                                         conn.responseBytes)},
+                           {"ms", ms},
+                           {"trace_id", conn.traceId}});
     }
     if (conn.closeAfterWrite) {
         closeConn(loop, conn);
@@ -744,6 +767,8 @@ void HttpServer::Impl::finishResponse(Loop& loop, Connection& conn) {
     conn.requestStart = Clock::time_point{};
     conn.method.clear();
     conn.path.clear();
+    conn.traceId.clear();
+    conn.responseBytes = 0;
     conn.status = 0;
     conn.lastActivity = now;
     processInput(loop, conn); // pipelined next request may already be buffered

@@ -27,9 +27,20 @@ const SpanNode* SpanNode::child(std::string_view childName) const {
     return nullptr;
 }
 
-Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {
+Trace::Trace(std::size_t maxSpans)
+    : epoch_(std::chrono::steady_clock::now()), maxSpans_(maxSpans) {
     epochUs_ =
         std::chrono::duration<double, std::micro>(epoch_ - processEpoch()).count();
+}
+
+bool Trace::truncated() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return truncated_;
+}
+
+std::size_t Trace::spanCount() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return spanCount_;
 }
 
 double Trace::nowMs() const {
@@ -141,6 +152,15 @@ Span::Span(std::string name) {
     trace_ = context.trace;
     saved_ = context;
     const std::lock_guard<std::mutex> lock(trace_->mutex_);
+    if (trace_->spanCount_ >= trace_->maxSpans_) {
+        // Budget spent: drop the span (and, because t_context is left
+        // untouched, everything that would have nested under it) but flag
+        // the loss so consumers can tell a short trace from a clipped one.
+        trace_->truncated_ = true;
+        trace_ = nullptr;
+        return;
+    }
+    ++trace_->spanCount_;
     auto node = std::make_unique<SpanNode>();
     node->name = std::move(name);
     node->startMs = trace_->nowMs();

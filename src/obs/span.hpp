@@ -55,15 +55,27 @@ struct SpanNode {
     [[nodiscard]] const SpanNode* child(std::string_view childName) const;
 };
 
+/// Default Trace span budget; see Trace::Trace(maxSpans).
+inline constexpr std::size_t kDefaultMaxSpansPerTrace = 4096;
+
 /// Collector for one span tree (one per traced query).
 class Trace {
 public:
-    Trace();
+    /// `maxSpans` bounds the number of spans the trace retains — a pathological
+    /// query (deep retry loops, runaway enumeration) must not grow an
+    /// unbounded tree inside the flight recorder. Once the budget is spent
+    /// further spans are dropped and truncated() flips; the loss is flagged,
+    /// never silent ("spans_truncated" in the QueryTrace JSON).
+    explicit Trace(std::size_t maxSpans = kDefaultMaxSpansPerTrace);
     Trace(const Trace&) = delete;
     Trace& operator=(const Trace&) = delete;
 
     /// The first top-level span, or nullptr when nothing was recorded.
     [[nodiscard]] const SpanNode* root() const;
+    /// Whether the span budget was exhausted and spans were dropped.
+    [[nodiscard]] bool truncated() const;
+    /// Spans recorded so far (excludes dropped ones).
+    [[nodiscard]] std::size_t spanCount() const;
     /// Array of top-level span objects:
     /// {name, start_ms, dur_ms, samples: [...], children: [...]}.
     [[nodiscard]] json::Value toJson() const;
@@ -85,6 +97,9 @@ private:
     mutable std::mutex mutex_;
     std::chrono::steady_clock::time_point epoch_;
     double epochUs_ = 0.0;
+    std::size_t maxSpans_ = kDefaultMaxSpansPerTrace;
+    std::size_t spanCount_ = 0; ///< guarded by mutex_
+    bool truncated_ = false;    ///< guarded by mutex_
     SpanNode top_; ///< synthetic container; its children are the root spans
 };
 

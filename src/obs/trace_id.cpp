@@ -1,0 +1,56 @@
+#include "obs/trace_id.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+
+#include "util/rng.hpp"
+
+namespace lar::obs {
+
+namespace {
+
+/// One PRNG per thread so minting never contends. Seeded from the OS entropy
+/// source, the wall clock, and a process-wide counter — any one of the three
+/// failing to vary still leaves the others to separate two threads/processes.
+util::Rng& threadRng() {
+    static std::atomic<std::uint64_t> counter{0};
+    thread_local util::Rng rng = [] {
+        std::random_device rd;
+        std::uint64_t seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+        seed ^= static_cast<std::uint64_t>(
+            std::chrono::system_clock::now().time_since_epoch().count());
+        seed ^= counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                                  std::memory_order_relaxed);
+        return util::Rng(seed);
+    }();
+    return rng;
+}
+
+} // namespace
+
+std::string mintTraceId() {
+    util::Rng& rng = threadRng();
+    const std::uint64_t hi = rng.next();
+    const std::uint64_t lo = rng.next();
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return std::string(buf, 32);
+}
+
+bool validTraceId(std::string_view id) {
+    if (id.size() < 8 || id.size() > 64) return false;
+    for (const char c : id) {
+        const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') || c == '_' || c == '.' ||
+                        c == '-';
+        if (!ok) return false;
+    }
+    return true;
+}
+
+} // namespace lar::obs

@@ -1,0 +1,28 @@
+// Request-scoped trace identity.
+//
+// Every request entering the serving stack carries a 128-bit trace ID —
+// minted here, or accepted from the client's X-Lar-Trace-Id header — that is
+// stamped into the QueryTrace, every structured log line emitted while the
+// request is live, and the response envelope. One grep over the access log,
+// the query log, and a flight-recorder dump joins on this one string, and it
+// survives process hops (the planned sharded tier forwards it verbatim).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace lar::obs {
+
+/// Mints a fresh 128-bit trace ID as 32 lowercase hex characters. IDs are
+/// unique across threads and processes with overwhelming probability (each
+/// thread runs an independently seeded PRNG mixed from the clock, the
+/// OS entropy source, and a process-wide counter).
+[[nodiscard]] std::string mintTraceId();
+
+/// Whether a client-supplied trace ID is acceptable to propagate: 8–64
+/// characters of [0-9a-zA-Z_.-]. Anything else (too short to be useful, too
+/// long, or containing characters that would need escaping in logs/headers)
+/// is rejected and the server mints its own.
+[[nodiscard]] bool validTraceId(std::string_view id);
+
+} // namespace lar::obs

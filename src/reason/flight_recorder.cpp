@@ -1,0 +1,208 @@
+#include "reason/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace lar::reason {
+
+const char* queryPhaseName(QueryPhase phase) {
+    switch (phase) {
+        case QueryPhase::Queued: return "queued";
+        case QueryPhase::Compile: return "compile";
+        case QueryPhase::Solve: return "solve";
+    }
+    return "?";
+}
+
+double InflightQuery::elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - admitted)
+        .count();
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, int sampleEvery)
+    : capacity_(capacity), sampleEvery_(sampleEvery < 1 ? 1 : sampleEvery) {
+    entries_.reserve(capacity_);
+}
+
+// ---------------------------------------------------------------------------
+// In-flight registry
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<InflightQuery> FlightRecorder::admit(std::string id,
+                                                     std::string traceId,
+                                                     std::string sessionId,
+                                                     QueryKind kind) {
+    auto entry = std::make_shared<InflightQuery>();
+    entry->id = std::move(id);
+    entry->traceId = std::move(traceId);
+    entry->sessionId = std::move(sessionId);
+    entry->kind = kind;
+    entry->admitted = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> lock(inflightMutex_);
+    inflight_.push_back(entry);
+    return entry;
+}
+
+void FlightRecorder::finish(const std::shared_ptr<InflightQuery>& entry) {
+    if (!entry) return;
+    const std::lock_guard<std::mutex> lock(inflightMutex_);
+    inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), entry),
+                    inflight_.end());
+}
+
+std::vector<InflightSnapshot> FlightRecorder::inflight() const {
+    const std::lock_guard<std::mutex> lock(inflightMutex_);
+    std::vector<InflightSnapshot> out;
+    out.reserve(inflight_.size());
+    for (const auto& q : inflight_) {
+        InflightSnapshot s;
+        s.id = q->id;
+        s.traceId = q->traceId;
+        s.sessionId = q->sessionId;
+        s.kind = q->kind;
+        s.phase = q->phase.load(std::memory_order_relaxed);
+        s.elapsedMs = q->elapsedMs();
+        s.workers = q->workers.load(std::memory_order_relaxed);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Completed-trace retention
+// ---------------------------------------------------------------------------
+
+FlightRecorder::Class FlightRecorder::classify(const QueryTrace& trace) const {
+    switch (trace.verdict) {
+        case Verdict::Error:
+        case Verdict::TimedOut:
+        case Verdict::Cancelled:
+        case Verdict::Shed: return Class::Pinned;
+        default: break;
+    }
+    // The threshold only means something once the window has seen enough
+    // healthy queries to rank against; before that everything is normal.
+    // Strictly above: in a uniform workload (every query ~p95) nothing is
+    // slow, rather than everything.
+    if (durationCount_ >= 20 && trace.totalMs > p95Ms_) return Class::Slow;
+    return Class::Normal;
+}
+
+double FlightRecorder::observeDuration(double totalMs) {
+    durations_[durationNext_] = totalMs;
+    durationNext_ = (durationNext_ + 1) % kDurationWindow;
+    if (durationCount_ < kDurationWindow) ++durationCount_;
+    double scratch[kDurationWindow];
+    std::copy(durations_, durations_ + durationCount_, scratch);
+    const std::size_t rank = (durationCount_ * 95) / 100;
+    std::nth_element(scratch, scratch + rank, scratch + durationCount_);
+    p95Ms_ = scratch[rank];
+    return p95Ms_;
+}
+
+bool FlightRecorder::evictFor(Class incoming) {
+    // Victim: lowest retention class present (never above the incoming
+    // trace's own class), oldest within it — so failures displace samples,
+    // never the other way round.
+    std::size_t victim = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (static_cast<int>(entries_[i].cls) > static_cast<int>(incoming))
+            continue;
+        if (victim == entries_.size() ||
+            static_cast<int>(entries_[i].cls) <
+                static_cast<int>(entries_[victim].cls) ||
+            (entries_[i].cls == entries_[victim].cls &&
+             entries_[i].seq < entries_[victim].seq))
+            victim = i;
+    }
+    if (victim == entries_.size()) return false;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++evicted_;
+    return true;
+}
+
+void FlightRecorder::record(QueryTrace trace) {
+    if (capacity_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++recorded_;
+    // Shed queries never ran, so their ~0ms "duration" would drag the p95
+    // threshold toward zero during overload — exactly when it matters.
+    if (trace.verdict != Verdict::Shed) observeDuration(trace.totalMs);
+    const Class cls = classify(trace);
+    if (entries_.size() >= capacity_) {
+        if (cls == Class::Normal) {
+            // The healthy majority is sampled once the ring is full: admit
+            // one in sampleEvery_, drop the rest (they are the least
+            // interesting and the most numerous).
+            if (sampleCountdown_ > 0) {
+                --sampleCountdown_;
+                ++sampledOut_;
+                return;
+            }
+            sampleCountdown_ = sampleEvery_ - 1;
+        }
+        if (!evictFor(cls)) return; // ring full of higher-class traces
+    }
+    Entry entry;
+    entry.trace = std::move(trace);
+    entry.cls = cls;
+    entry.seq = nextSeq_++;
+    entries_.push_back(std::move(entry));
+}
+
+std::optional<QueryTrace> FlightRecorder::find(std::string_view id) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* best = nullptr;
+    for (const Entry& e : entries_) {
+        const bool match = (!e.trace.traceId.empty() && e.trace.traceId == id) ||
+                           e.trace.id == id;
+        if (match && (best == nullptr || e.seq > best->seq)) best = &e;
+    }
+    if (best == nullptr) return std::nullopt;
+    return best->trace;
+}
+
+std::vector<QueryTrace> FlightRecorder::traces(
+    std::size_t limit, double minDurationMs,
+    const std::optional<Verdict>& verdict) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const Entry*> ordered;
+    ordered.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+        if (e.trace.totalMs < minDurationMs) continue;
+        if (verdict && e.trace.verdict != *verdict) continue;
+        ordered.push_back(&e);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry* a, const Entry* b) { return a->seq > b->seq; });
+    if (limit != 0 && ordered.size() > limit) ordered.resize(limit);
+    std::vector<QueryTrace> out;
+    out.reserve(ordered.size());
+    for (const Entry* e : ordered) out.push_back(e->trace);
+    return out;
+}
+
+std::size_t FlightRecorder::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+FlightRecorder::Stats FlightRecorder::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.recorded = recorded_;
+    s.sampledOut = sampledOut_;
+    s.evicted = evicted_;
+    for (const Entry& e : entries_) {
+        if (e.cls == Class::Pinned)
+            ++s.pinned;
+        else if (e.cls == Class::Slow)
+            ++s.slow;
+        else
+            ++s.normal;
+    }
+    s.p95Ms = p95Ms_;
+    return s;
+}
+
+} // namespace lar::reason

@@ -1,0 +1,161 @@
+// Query flight recorder: the last N interesting QueryTraces plus a live
+// registry of in-flight queries.
+//
+// /metrics aggregates individuals away and spans used to die with the
+// QueryResult that carried them; the flight recorder is the middle ground an
+// operator actually debugs from. Every query the Service completes lands
+// here (whether or not the client asked for a trace in its response), is
+// retained under a biased policy — failures are always kept, slow queries
+// are kept, the healthy majority is sampled — and is retrievable by trace ID
+// through GET /v1/debug/traces/{id} until it ages out. While a query runs it
+// is visible in the in-flight registry (GET /v1/debug/inflight, larctl top):
+// elapsed, phase, session, portfolio width.
+//
+// Lock discipline: one mutex over the completed ring, one over the in-flight
+// list, both held only for short bounded scans (capacity defaults to 256
+// entries). Per-entry live fields (phase, workers) are atomics so workers
+// never take a recorder lock mid-solve.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reason/trace.hpp"
+
+namespace lar::reason {
+
+/// Where an in-flight query currently is. Coarse on purpose — the span tree
+/// carries the fine structure; this is what `larctl top` shows per row.
+enum class QueryPhase { Queued, Compile, Solve };
+
+/// Stable lowercase name: "queued", "compile", "solve".
+[[nodiscard]] const char* queryPhaseName(QueryPhase phase);
+
+/// One live query. The registry and the executing worker share ownership;
+/// the worker mutates `phase`/`workers` without locks as the query advances.
+struct InflightQuery {
+    std::string id;        ///< caller-supplied query id
+    std::string traceId;   ///< request trace identity ("" when none)
+    std::string sessionId; ///< owning what-if session ("" for plain queries)
+    QueryKind kind = QueryKind::Optimize;
+    std::chrono::steady_clock::time_point admitted;
+    std::atomic<QueryPhase> phase{QueryPhase::Queued};
+    std::atomic<int> workers{1}; ///< portfolio width actually granted
+
+    [[nodiscard]] double elapsedMs() const;
+};
+
+/// Point-in-time copy of one in-flight entry (what the endpoints serialize).
+struct InflightSnapshot {
+    std::string id;
+    std::string traceId;
+    std::string sessionId;
+    QueryKind kind = QueryKind::Optimize;
+    QueryPhase phase = QueryPhase::Queued;
+    double elapsedMs = 0.0;
+    int workers = 1;
+};
+
+class FlightRecorder {
+public:
+    /// `capacity` bounds the completed-trace ring (0 disables retention but
+    /// keeps the in-flight registry working). `sampleEvery` is the healthy-
+    /// query admission rate once the ring is full: 1 keeps every normal
+    /// trace (evicting the oldest normal), k keeps one in k.
+    explicit FlightRecorder(std::size_t capacity = 256, int sampleEvery = 4);
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    // -- in-flight registry ---------------------------------------------
+
+    /// Registers a query at admission; the returned entry stays listed until
+    /// finish(). Callers keep the pointer and update phase/workers directly.
+    [[nodiscard]] std::shared_ptr<InflightQuery> admit(std::string id,
+                                                       std::string traceId,
+                                                       std::string sessionId,
+                                                       QueryKind kind);
+    /// Removes the entry from the registry (idempotent).
+    void finish(const std::shared_ptr<InflightQuery>& entry);
+
+    /// All currently in-flight queries, oldest first.
+    [[nodiscard]] std::vector<InflightSnapshot> inflight() const;
+
+    // -- completed-trace retention --------------------------------------
+
+    /// Retains a completed trace under the biased policy. Failure verdicts
+    /// (Error/TimedOut/Cancelled/Shed) are pinned — they evict only each
+    /// other; traces strictly above the sliding p95 duration form the slow
+    /// set; the rest are sampled. Total retained never exceeds capacity().
+    void record(QueryTrace trace);
+
+    /// The trace whose traceId — or, failing that, whose query id — equals
+    /// `id`. Most-recent match wins when ids collide.
+    [[nodiscard]] std::optional<QueryTrace> find(std::string_view id) const;
+
+    /// Retained traces, newest first. `minDurationMs` and `verdict` filter;
+    /// `limit` 0 means all.
+    [[nodiscard]] std::vector<QueryTrace> traces(
+        std::size_t limit = 0, double minDurationMs = 0.0,
+        const std::optional<Verdict>& verdict = std::nullopt) const;
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::size_t size() const;
+
+    /// Counters for /statusz and tests.
+    struct Stats {
+        std::uint64_t recorded = 0;      ///< record() calls
+        std::uint64_t sampledOut = 0;    ///< healthy traces dropped by sampling
+        std::uint64_t evicted = 0;       ///< retained entries displaced
+        std::size_t pinned = 0;          ///< failure traces currently held
+        std::size_t slow = 0;            ///< p95-slow traces currently held
+        std::size_t normal = 0;          ///< sampled healthy traces held
+        double p95Ms = 0.0;              ///< current slow-set threshold
+    };
+    [[nodiscard]] Stats stats() const;
+
+private:
+    enum class Class { Normal = 0, Slow = 1, Pinned = 2 };
+
+    [[nodiscard]] Class classify(const QueryTrace& trace) const;
+    /// Updates the duration window and returns the fresh p95 threshold.
+    double observeDuration(double totalMs);
+    /// Evicts one entry of class ≤ `incoming`, preferring the lowest class,
+    /// oldest first. Returns false when nothing evictable exists.
+    bool evictFor(Class incoming);
+
+    struct Entry {
+        QueryTrace trace;
+        Class cls = Class::Normal;
+        std::uint64_t seq = 0;
+    };
+
+    const std::size_t capacity_;
+    const int sampleEvery_;
+
+    mutable std::mutex mutex_; ///< guards everything below
+    std::vector<Entry> entries_;
+    std::uint64_t nextSeq_ = 0;
+    int sampleCountdown_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t sampledOut_ = 0;
+    std::uint64_t evicted_ = 0;
+    /// Sliding window of recent total_ms values feeding the p95 threshold.
+    static constexpr std::size_t kDurationWindow = 256;
+    double durations_[kDurationWindow] = {};
+    std::size_t durationCount_ = 0;
+    std::size_t durationNext_ = 0;
+    double p95Ms_ = 0.0;
+
+    mutable std::mutex inflightMutex_;
+    std::vector<std::shared_ptr<InflightQuery>> inflight_;
+};
+
+} // namespace lar::reason

@@ -199,7 +199,8 @@ Service::CacheKey Service::fingerprint(const Problem& problem) {
 }
 
 Service::Service(const ServiceOptions& options)
-    : options_(options), pool_(options.workers) {
+    : options_(options), pool_(options.workers),
+      recorder_(options.flightRecorderCapacity) {
     expects(options_.cacheCapacity > 0, "Service: cacheCapacity must be > 0");
     expects(options_.retry.maxAttempts >= 1,
             "Service: retry.maxAttempts must be >= 1");
@@ -311,16 +312,20 @@ QueryResult Service::makeShedResult(const QueryRequest& request) {
     result.kind = request.kind;
     result.verdict = Verdict::Shed;
     ServiceMetrics::get().shed.inc();
+    std::optional<util::ScopedLogTraceId> logScope;
+    if (!request.traceId.empty()) logScope.emplace(request.traceId);
     util::logLineJson(util::LogLevel::Info, "query_done",
                       {{"id", result.id},
                        {"kind", toString(request.kind)},
                        {"verdict", "shed"}});
-    if (request.options.collectTrace) {
-        result.trace.id = request.id;
-        result.trace.kind = request.kind;
-        result.trace.backend = request.options.backend;
-        result.trace.verdict = Verdict::Shed;
-    }
+    result.trace.id = request.id;
+    result.trace.traceId = request.traceId;
+    result.trace.kind = request.kind;
+    result.trace.backend = request.options.backend;
+    result.trace.verdict = Verdict::Shed;
+    // Shed queries are exactly what an overloaded operator greps for: they
+    // land in the flight recorder (pinned class) like every other outcome.
+    recorder_.record(result.trace);
     return result;
 }
 
@@ -393,7 +398,8 @@ void Service::solveWithPolicy(const QueryRequest& request,
                               std::shared_ptr<const Compilation> compilation,
                               const std::optional<Clock::time_point>& deadline,
                               std::atomic<bool>* cancelFlag,
-                              QueryResult& result, std::string& detail) {
+                              QueryResult& result, std::string& detail,
+                              InflightQuery* inflight) {
     ServiceMetrics& metrics = ServiceMetrics::get();
     QueryOptions effective = request.options;
     effective.cancelFlag = cancelFlag;
@@ -412,6 +418,9 @@ void Service::solveWithPolicy(const QueryRequest& request,
     } threadsRelease{*this, claimed};
     effective.portfolioWorkers = static_cast<int>(claimed);
     result.trace.portfolioWorkers = static_cast<int>(claimed);
+    if (inflight != nullptr)
+        inflight->workers.store(static_cast<int>(claimed),
+                                std::memory_order_relaxed);
     if (portfolioRequested) metrics.portfolioWidth.observe(claimed);
 
     // Warm-start reuse: single-worker CDCL queries on a recently-seen
@@ -548,21 +557,45 @@ void Service::solveWithPolicy(const QueryRequest& request,
 }
 
 QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
-                              std::optional<Clock::time_point> deadline) {
+                              std::optional<Clock::time_point> deadline,
+                              std::shared_ptr<InflightQuery> inflight) {
     util::Stopwatch totalTimer;
     QueryResult result;
     result.id = request.id;
     result.kind = request.kind;
 
-    // Span collection per query: install a fresh Trace on this thread so
-    // everything below — Compilation ctor ("compile"), Engine ("solve"),
-    // backend checks and their progress samples — nests under "query".
-    std::shared_ptr<obs::Trace> spanTrace;
+    // The request's trace id becomes this thread's ambient log identity for
+    // the query's whole execution — query_done and every line below it join
+    // the server's http_request line on one grep.
+    std::optional<util::ScopedLogTraceId> logScope;
+    if (!request.traceId.empty()) logScope.emplace(request.traceId);
+
+    // In-flight registry: run() admits here; runBatch admits at submission
+    // (so queue wait is visible as the "queued" phase) and passes the entry.
+    if (inflight == nullptr)
+        inflight = recorder_.admit(request.id, request.traceId,
+                                   /*sessionId=*/"", request.kind);
+    struct InflightGuard {
+        FlightRecorder& recorder;
+        const std::shared_ptr<InflightQuery>& entry;
+        ~InflightGuard() { recorder.finish(entry); }
+    } inflightGuard{recorder_, inflight};
+
+    // Span collection per query: always-on while instrumentation is enabled
+    // (the flight recorder wants spans whether or not the client asked for a
+    // trace in its response). The query joins the request's externally-owned
+    // trace when the HTTP layer supplied one — nesting under its open "http"
+    // span when that context is already installed on this thread — and
+    // otherwise installs a fresh Trace, so everything below — Compilation
+    // ctor ("compile"), Engine ("solve"), backend checks and their progress
+    // samples — nests under "query".
+    std::shared_ptr<obs::Trace> spanTrace = request.requestTrace;
     std::optional<obs::ScopedTrace> scopedTrace;
     std::optional<obs::Span> querySpan;
-    if (request.options.collectTrace && obs::enabled()) {
-        spanTrace = std::make_shared<obs::Trace>();
-        scopedTrace.emplace(*spanTrace);
+    if (obs::enabled()) {
+        if (spanTrace == nullptr) spanTrace = std::make_shared<obs::Trace>();
+        if (obs::currentContext().trace != spanTrace.get())
+            scopedTrace.emplace(*spanTrace);
         querySpan.emplace("query");
     }
 
@@ -600,13 +633,16 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
                 std::atomic<bool>* flag;
                 ~ActiveGuard() { service.unregisterActive(flag); }
             } activeGuard{*this, cancelFlag};
+            inflight->phase.store(QueryPhase::Compile,
+                                  std::memory_order_relaxed);
             const std::shared_ptr<const Compilation> compilation =
                 obtain(request.problem, cacheHit, compileMs);
+            inflight->phase.store(QueryPhase::Solve, std::memory_order_relaxed);
             util::Stopwatch solveTimer;
             // solveWithPolicy re-checks the deadline, so compile time is
             // deducted from the solver's budget automatically.
             solveWithPolicy(request, compilation, deadline, cancelFlag, result,
-                            detail);
+                            detail, inflight.get());
             solveMs = solveTimer.millis();
         }
     } catch (const std::exception& e) {
@@ -637,24 +673,30 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
                        {"backend_fallback", result.backendFellBack},
                        {"error", result.error.errorKind}});
 
-    if (request.options.collectTrace) {
-        QueryTrace& trace = result.trace;
-        trace.id = request.id;
-        trace.kind = request.kind;
-        trace.backend = request.options.backend;
-        trace.cacheHit = cacheHit;
-        trace.compileMs = compileMs;
-        trace.solveMs = solveMs;
-        trace.totalMs = totalMs;
-        trace.verdict = result.verdict;
-        trace.verdictDetail = std::move(detail);
-        trace.queueWaitMs = queueWaitMs;
-        trace.retries = result.retries;
-        trace.backendFellBack = result.backendFellBack;
-        trace.errorKind = result.error.errorKind;
-        trace.errorMessage = result.error.message;
-        trace.spans = std::move(spanTrace);
-    }
+    // The trace is filled whether or not the client asked for it in the
+    // response: the flight recorder retains it either way. resultToJson
+    // still gates the wire payload on the request's collectTrace.
+    QueryTrace& trace = result.trace;
+    trace.id = request.id;
+    trace.traceId = request.traceId;
+    trace.kind = request.kind;
+    trace.backend = request.options.backend;
+    trace.cacheHit = cacheHit;
+    trace.compileMs = compileMs;
+    trace.solveMs = solveMs;
+    trace.totalMs = totalMs;
+    trace.verdict = result.verdict;
+    trace.verdictDetail = std::move(detail);
+    trace.queueWaitMs = queueWaitMs;
+    trace.retries = result.retries;
+    trace.backendFellBack = result.backendFellBack;
+    trace.errorKind = result.error.errorKind;
+    trace.errorMessage = result.error.message;
+    trace.spans = std::move(spanTrace);
+    recorder_.record(trace);
+    // The caller declined a trace in its result: hand back an empty one
+    // (the recorder's copy above is the surviving record).
+    if (!request.options.collectTrace) result.trace = QueryTrace{};
     return result;
 }
 
@@ -709,8 +751,13 @@ std::vector<QueryResult> Service::runBatch(
         }
 
         queuedDepth_.fetch_add(1, std::memory_order_acq_rel);
+        // Join the in-flight registry at submission: queue wait is visible
+        // to GET /v1/debug/inflight as the "queued" phase.
+        std::shared_ptr<InflightQuery> inflight = recorder_.admit(
+            request.id, request.traceId, /*sessionId=*/"", request.kind);
         futures.push_back(pool_.submit([this, &request, &slots, i,
-                                        context, submitted, deadline]() {
+                                        context, submitted, deadline,
+                                        inflight]() {
             try {
                 // Latency-injection point (tests saturate the queue with
                 // it); fires while the task still counts as queued, so a
@@ -720,6 +767,7 @@ std::vector<QueryResult> Service::runBatch(
                 if (!slots[i].state.compare_exchange_strong(
                         expected, kRunning, std::memory_order_acq_rel)) {
                     // Shed while waiting: report it, never drop silently.
+                    recorder_.finish(inflight);
                     return makeShedResult(request);
                 }
                 queuedDepth_.fetch_sub(1, std::memory_order_acq_rel);
@@ -728,9 +776,10 @@ std::vector<QueryResult> Service::runBatch(
                     std::chrono::duration<double, std::milli>(Clock::now() -
                                                               submitted)
                         .count();
-                return runTimed(request, waitMs, deadline);
+                return runTimed(request, waitMs, deadline, inflight);
             } catch (const std::exception& e) {
                 // Only pre-claim faults land here (runTimed never throws).
+                recorder_.finish(inflight);
                 int expected = kQueued;
                 if (slots[i].state.compare_exchange_strong(
                         expected, kRunning, std::memory_order_acq_rel))

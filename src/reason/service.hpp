@@ -43,6 +43,7 @@
 
 #include "reason/compile.hpp"
 #include "reason/engine.hpp"
+#include "reason/flight_recorder.hpp"
 #include "reason/query_options.hpp"
 #include "reason/trace.hpp"
 #include "util/threadpool.hpp"
@@ -100,15 +101,29 @@ struct ServiceOptions {
     /// cold one — leave this off where bit-identical designs across service
     /// instances matter more than latency.
     std::size_t warmStartCapacity = 0;
+    /// Flight-recorder ring: completed QueryTraces retained for
+    /// GET /v1/debug/traces (biased retention — failures pinned, p95-slow
+    /// kept, the healthy majority sampled). 0 disables retention; the
+    /// in-flight registry works either way.
+    std::size_t flightRecorderCapacity = 256;
 };
 
 /// One query in a batch.
 struct QueryRequest {
     std::string id; ///< echoed in the result/trace; "" → position index
+    /// End-to-end request trace identity (minted or propagated by the HTTP
+    /// layer). Stamped into the QueryTrace and every log line this query
+    /// emits; "" for direct library callers.
+    std::string traceId;
     QueryKind kind = QueryKind::Optimize;
     Problem problem;
     int maxDesigns = 4; ///< QueryKind::Enumerate only
     QueryOptions options;
+    /// When set, the query's spans join this externally-owned trace (the
+    /// HTTP layer's, whose "http" span is already open on the calling
+    /// thread) instead of a fresh per-query one — so one span tree covers
+    /// server handling, queue/compile, and solver phases.
+    std::shared_ptr<obs::Trace> requestTrace;
 };
 
 /// Per-query failure record. Queries never throw out of run()/runBatch():
@@ -176,6 +191,15 @@ public:
     void clearCache();
     [[nodiscard]] unsigned workerCount() const { return pool_.workerCount(); }
 
+    /// The flight recorder: every completed query lands here (bounded,
+    /// biased retention) and every admitted query is listed while it runs.
+    /// Session owners (reason::SessionManager) register their asks against
+    /// the same recorder so one endpoint sees the whole process.
+    [[nodiscard]] FlightRecorder& flightRecorder() { return recorder_; }
+    [[nodiscard]] const FlightRecorder& flightRecorder() const {
+        return recorder_;
+    }
+
     // -- graceful drain (used by larserved on SIGTERM) ----------------------
     /// Stops admitting work: every request that has not started solving when
     /// this returns — new run()/runBatch() submissions and queued batch work
@@ -239,9 +263,10 @@ private:
     /// run() with a known queue wait (runBatch measures submit → start) and
     /// the end-to-end deadline fixed at submission time. Never throws:
     /// exceptions land in QueryResult::error.
-    [[nodiscard]] QueryResult runTimed(const QueryRequest& request,
-                                       double queueWaitMs,
-                                       std::optional<Clock::time_point> deadline);
+    [[nodiscard]] QueryResult runTimed(
+        const QueryRequest& request, double queueWaitMs,
+        std::optional<Clock::time_point> deadline,
+        std::shared_ptr<InflightQuery> inflight = nullptr);
     /// The solve attempt loop: retries on Unknown per RetryPolicy, falls
     /// back Z3 → CDCL on backend failure. Fills result.verdict and the
     /// verdict-dependent fields (and trace.stats / trace portfolio fields);
@@ -253,7 +278,7 @@ private:
                          std::shared_ptr<const Compilation> compilation,
                          const std::optional<Clock::time_point>& deadline,
                          std::atomic<bool>* cancelFlag, QueryResult& result,
-                         std::string& detail);
+                         std::string& detail, InflightQuery* inflight);
     /// Registers an in-flight query's cancellation flag so cancelActive()
     /// can reach it. Returns false when the service is already draining —
     /// the query must report Shed instead of starting.
@@ -266,11 +291,13 @@ private:
     [[nodiscard]] unsigned claimSolveThreads(int requested);
     void releaseSolveThreads(unsigned claimed);
     /// A `shed` result for a request rejected/dropped by admission control;
-    /// counts, logs, and fills the trace so shedding is never silent.
-    [[nodiscard]] static QueryResult makeShedResult(const QueryRequest& request);
+    /// counts, logs, records into the flight recorder, and fills the trace
+    /// so shedding is never silent.
+    [[nodiscard]] QueryResult makeShedResult(const QueryRequest& request);
 
     ServiceOptions options_;
     util::ThreadPool pool_;
+    FlightRecorder recorder_;
     /// Set once by beginDrain(); guarded by drainMutex_ together with the
     /// active-flag list so a query either registers before the drain flips
     /// flags or observes draining_ and sheds — never neither.

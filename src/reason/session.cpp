@@ -152,11 +152,34 @@ std::shared_ptr<SessionManager::Session> SessionManager::find(
 }
 
 std::optional<SessionManager::AskOutcome> SessionManager::ask(
-    const std::string& id, const Variation& variation) {
+    const std::string& id, const Variation& variation,
+    const std::string& traceId, std::shared_ptr<obs::Trace> requestTrace) {
     const std::shared_ptr<Session> session = find(id);
     if (session == nullptr) return std::nullopt;
 
     SessionMetrics& metrics = SessionMetrics::get();
+    std::optional<util::ScopedLogTraceId> logScope;
+    if (!traceId.empty()) logScope.emplace(traceId);
+
+    // Session asks share the Service's flight recorder and in-flight
+    // registry with plain queries: one endpoint sees the whole process.
+    // "queued" while waiting on the per-session ask serialization.
+    const std::shared_ptr<InflightQuery> inflight =
+        service_.flightRecorder().admit(id, traceId, /*sessionId=*/id,
+                                        QueryKind::Feasibility);
+
+    // Span collection mirrors Service::runTimed: join the request's trace
+    // when the HTTP layer supplied one, otherwise a fresh collector.
+    std::shared_ptr<obs::Trace> spanTrace = std::move(requestTrace);
+    std::optional<obs::ScopedTrace> scopedTrace;
+    std::optional<obs::Span> askSpan;
+    if (obs::enabled()) {
+        if (spanTrace == nullptr) spanTrace = std::make_shared<obs::Trace>();
+        if (obs::currentContext().trace != spanTrace.get())
+            scopedTrace.emplace(*spanTrace);
+        askSpan.emplace("ask");
+    }
+
     util::Stopwatch timer;
     AskOutcome outcome;
     std::uint64_t askIndex = 0;
@@ -165,11 +188,15 @@ std::optional<SessionManager::AskOutcome> SessionManager::ask(
         // Holding askMutex (not the manager mutex) keeps asks on *other*
         // sessions fully concurrent.
         const std::lock_guard<std::mutex> askLock(session->askMutex);
-        askIndex = ++session->asks;
+        inflight->phase.store(QueryPhase::Solve, std::memory_order_relaxed);
+        askIndex = session->asks.fetch_add(1, std::memory_order_relaxed) + 1;
         outcome.answer = session->whatIf->ask(variation);
         outcome.trace.stats = session->whatIf->solveStats();
     }
     const double totalMs = timer.millis();
+    askSpan.reset(); // close "ask" before the tree is exported
+    scopedTrace.reset();
+    service_.flightRecorder().finish(inflight);
 
     {
         // Renew the lease after the ask: a long solve must not expire its
@@ -181,6 +208,7 @@ std::optional<SessionManager::AskOutcome> SessionManager::ask(
     }
 
     outcome.trace.id = id + "#" + std::to_string(askIndex);
+    outcome.trace.traceId = traceId;
     outcome.trace.kind = QueryKind::Feasibility;
     outcome.trace.backend = options_.query.backend;
     outcome.trace.cacheHit = true; // the session *is* the warm compilation
@@ -190,6 +218,8 @@ std::optional<SessionManager::AskOutcome> SessionManager::ask(
     outcome.trace.stopReason = outcome.answer.stopReason;
     outcome.trace.warmStartAttempted = session->whatIf->warmStarted();
     outcome.trace.warmStartClauses = session->whatIf->warmStartImported();
+    outcome.trace.spans = spanTrace;
+    service_.flightRecorder().record(outcome.trace);
 
     metrics.asks.inc();
     metrics.askLatencyMs.observe(totalMs);
@@ -262,6 +292,25 @@ void SessionManager::drain() {
 std::size_t SessionManager::activeSessions() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return sessions_.size();
+}
+
+std::vector<SessionManager::SessionInfo> SessionManager::list() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Clock::time_point now = Clock::now();
+    std::vector<SessionInfo> out;
+    out.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+        SessionInfo info;
+        info.id = id;
+        info.asks = session->asks.load(std::memory_order_relaxed);
+        info.leaseRemainingMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                session->leaseExpiry - now)
+                .count();
+        info.warmStarted = session->whatIf->warmStarted();
+        out.push_back(std::move(info));
+    }
+    return out;
 }
 
 void SessionManager::sweep() {

@@ -38,6 +38,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "reason/service.hpp"
 #include "reason/whatif.hpp"
@@ -90,9 +91,15 @@ public:
     [[nodiscard]] CreateResult create(const Problem& problem);
 
     /// Answers a variation on session `id`, renewing its lease. Returns
-    /// nullopt when the id is unknown or already evicted.
-    [[nodiscard]] std::optional<AskOutcome> ask(const std::string& id,
-                                                const Variation& variation);
+    /// nullopt when the id is unknown or already evicted. `traceId` is the
+    /// request's end-to-end trace identity (stamped into the trace, the log
+    /// lines, and the in-flight registry entry); `requestTrace` the HTTP
+    /// layer's span collector for the ask's spans to join — both optional
+    /// for direct library callers.
+    [[nodiscard]] std::optional<AskOutcome> ask(
+        const std::string& id, const Variation& variation,
+        const std::string& traceId = "",
+        std::shared_ptr<obs::Trace> requestTrace = nullptr);
 
     /// Extends the lease; false when the id is unknown.
     [[nodiscard]] bool renew(const std::string& id);
@@ -109,6 +116,17 @@ public:
     [[nodiscard]] std::size_t activeSessions() const;
     [[nodiscard]] const SessionOptions& options() const { return options_; }
 
+    /// One row of GET /v1/debug/sessions: what an operator needs to tell a
+    /// healthy session from a leaked one.
+    struct SessionInfo {
+        std::string id;
+        std::uint64_t asks = 0;          ///< variations answered so far
+        std::int64_t leaseRemainingMs = 0; ///< negative = past due, not swept yet
+        bool warmStarted = false;
+    };
+    /// Live sessions, unspecified order.
+    [[nodiscard]] std::vector<SessionInfo> list() const;
+
 private:
     using Clock = std::chrono::steady_clock;
 
@@ -118,7 +136,9 @@ private:
         std::mutex askMutex;             ///< serializes asks on this session
         std::atomic<bool> cancel{false}; ///< flipped by drain()
         Clock::time_point leaseExpiry;   ///< guarded by the manager mutex
-        std::uint64_t asks = 0;          ///< answered so far (under askMutex)
+        std::atomic<std::uint64_t> asks{0}; ///< answered so far (atomic: the
+                                            ///< debug listing reads it without
+                                            ///< taking askMutex)
     };
 
     [[nodiscard]] std::shared_ptr<Session> find(const std::string& id);

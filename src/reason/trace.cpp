@@ -37,10 +37,22 @@ const char* verdictName(Verdict verdict) {
     return "unknown";
 }
 
+std::optional<Verdict> verdictFromName(std::string_view name) {
+    if (name == "sat") return Verdict::Sat;
+    if (name == "unsat") return Verdict::Unsat;
+    if (name == "unknown") return Verdict::Unknown;
+    if (name == "timed_out") return Verdict::TimedOut;
+    if (name == "cancelled") return Verdict::Cancelled;
+    if (name == "shed") return Verdict::Shed;
+    if (name == "error") return Verdict::Error;
+    return std::nullopt;
+}
+
 json::Value toJson(const QueryTrace& trace) {
     json::Value v;
     v["schema"] = static_cast<std::int64_t>(kQueryTraceSchemaVersion);
     v["id"] = trace.id;
+    if (!trace.traceId.empty()) v["trace_id"] = trace.traceId;
     v["kind"] = toString(trace.kind);
     v["backend"] = trace.backend == smt::BackendKind::Z3 ? "z3" : "cdcl";
     v["cache_hit"] = trace.cacheHit;
@@ -93,7 +105,10 @@ json::Value toJson(const QueryTrace& trace) {
     stats["binary_clauses"] = static_cast<std::int64_t>(trace.stats.binaryClauses);
     stats["lbd_sum"] = static_cast<std::int64_t>(trace.stats.lbdSum);
     v["stats"] = std::move(stats);
-    if (trace.spans) v["spans"] = trace.spans->toJson();
+    if (trace.spans) {
+        v["spans"] = trace.spans->toJson();
+        if (trace.spans->truncated()) v["spans_truncated"] = true;
+    }
     return v;
 }
 

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "json/value.hpp"
@@ -30,7 +32,11 @@ namespace lar::reason {
 /// object when the query raced more than one solver configuration.
 /// v5 adds the "warm_start" object (present when a snapshot import was
 /// attempted) and "stop_reason" (why a non-definitive query stopped).
-inline constexpr int kQueryTraceSchemaVersion = 5;
+/// v6 adds "trace_id" (the request's 128-bit end-to-end trace identity,
+/// shared with the http_request/query_done log lines and the response
+/// envelope) and "spans_truncated" (the span tree hit its per-trace cap
+/// and dropped spans — present only when true).
+inline constexpr int kQueryTraceSchemaVersion = 6;
 
 /// The query shapes the Service answers (Engine methods, by name).
 enum class QueryKind { Feasibility, Explain, Synthesize, Optimize, Enumerate };
@@ -56,8 +62,17 @@ enum class Verdict { Sat, Unsat, Unknown, TimedOut, Cancelled, Shed, Error };
 /// "cancelled", "shed", "error".
 [[nodiscard]] const char* verdictName(Verdict verdict);
 
+/// Inverse of verdictName (the /v1/debug/traces?verdict= filter parses
+/// with this); nullopt for anything that is not a verdict name.
+[[nodiscard]] std::optional<Verdict> verdictFromName(std::string_view name);
+
 struct QueryTrace {
     std::string id;                              ///< caller-supplied query id
+    /// End-to-end request identity: minted by (or accepted from) the HTTP
+    /// layer, identical across the access log, every log line the request
+    /// emitted, this trace, and the response envelope. Empty for queries
+    /// submitted without an ambient request (direct library use).
+    std::string traceId;
     QueryKind kind = QueryKind::Optimize;
     smt::BackendKind backend = smt::BackendKind::Cdcl;
     bool cacheHit = false;  ///< compilation served from the Service cache

@@ -1,0 +1,41 @@
+#include "serve/build_info.hpp"
+
+#include "obs/metrics.hpp"
+#include "reason/trace.hpp"
+#include "serve/api.hpp"
+
+// Normally supplied by serve/CMakeLists.txt from `git describe`; the
+// fallback keeps non-CMake builds (and source exports) compiling.
+#ifndef LAR_GIT_DESCRIBE
+#define LAR_GIT_DESCRIBE "unknown"
+#endif
+
+namespace lar::serve {
+
+const BuildInfo& buildInfo() {
+    static const BuildInfo info{LAR_GIT_DESCRIBE,
+                                reason::kQueryTraceSchemaVersion, kApiVersion};
+    return info;
+}
+
+json::Value buildInfoJson() {
+    const BuildInfo& info = buildInfo();
+    json::Value v;
+    v["git"] = info.gitDescribe;
+    v["trace_schema"] = static_cast<std::int64_t>(info.traceSchemaVersion);
+    v["api"] = info.apiVersion;
+    return v;
+}
+
+void registerBuildInfoMetric() {
+    const BuildInfo& info = buildInfo();
+    obs::Registry::global()
+        .gauge("lar_build_info",
+               "Constant 1; the labels carry the build identity",
+               {{"api", std::to_string(info.apiVersion)},
+                {"git", info.gitDescribe},
+                {"trace_schema", std::to_string(info.traceSchemaVersion)}})
+        .set(1.0);
+}
+
+} // namespace lar::serve

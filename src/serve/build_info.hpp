@@ -1,0 +1,34 @@
+// Build identity: which binary is answering, speaking which schemas.
+//
+// Three consumers, one source of truth: GET /version (JSON for scripts),
+// /statusz (the human status page header), and the lar_build_info gauge
+// (the Prometheus idiom for build metadata — a constant-1 series whose
+// labels carry the identity, so dashboards can break any metric down by
+// deployed version). The git describe string is baked in at configure
+// time via a compile definition on build_info.cpp alone, so touching the
+// working tree does not recompile the world.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "json/value.hpp"
+
+namespace lar::serve {
+
+struct BuildInfo {
+    std::string gitDescribe;  ///< `git describe --always --dirty` ("unknown")
+    int traceSchemaVersion;   ///< reason::kQueryTraceSchemaVersion
+    std::int64_t apiVersion;  ///< serve::kApiVersion (the "api" major)
+};
+
+[[nodiscard]] const BuildInfo& buildInfo();
+
+/// The GET /version response body (before the "api" envelope stamp).
+[[nodiscard]] json::Value buildInfoJson();
+
+/// Interns the constant-1 lar_build_info gauge into the global registry.
+/// Idempotent; larserved calls it once at startup via registerDebugRoutes.
+void registerBuildInfoMetric();
+
+} // namespace lar::serve

@@ -3,7 +3,7 @@
 // The endpoint handlers live here rather than in the daemon's main() so
 // tests and benches can stand up a full in-process server (real sockets,
 // real routing, real JSON) without forking the binary. larserved itself is
-// flag parsing + signal handling around these two calls.
+// flag parsing + signal handling around these three calls.
 //
 // Service routes (registerServiceRoutes):
 //   POST /v1/query    one query object in, one result object out.
@@ -23,7 +23,24 @@
 //   DELETE /v1/session/{id}        closes the session (its learnt solver
 //                                  state feeds the warm-start cache).
 //
-// Every JSON body in and out follows the "api" envelope rules in api.hpp.
+// Debug / introspection routes (registerDebugRoutes) — read-only views of
+// the flight recorder, the in-flight registry, and the session table:
+//   GET /v1/debug/traces        retained QueryTraces, newest first, span
+//                               trees omitted; ?verdict=<name>,
+//                               ?min_duration_ms=<ms>, ?limit=<n> filter.
+//   GET /v1/debug/traces/{id}   one full trace (spans included) by trace id
+//                               or query id; ?format=chrome answers the raw
+//                               Chrome trace_event document for Perfetto.
+//   GET /v1/debug/inflight      currently executing queries: phase, elapsed,
+//                               portfolio width, owning session.
+//   GET /v1/debug/sessions      live what-if sessions: asks, lease left.
+//   GET /statusz                the same, as one human-readable text page.
+//   GET /version                build identity (git describe, trace schema
+//                               version, "api" major).
+//
+// Every JSON body in and out follows the "api" envelope rules in api.hpp;
+// responses to traced requests also carry "trace_id" (and every response
+// repeats it in the X-Lar-Trace-Id header).
 #pragma once
 
 #include "kb/kb.hpp"
@@ -43,5 +60,12 @@ void registerServiceRoutes(net::HttpServer& server, reason::Service& service,
 void registerSessionRoutes(net::HttpServer& server,
                            reason::SessionManager& sessions,
                            const kb::KnowledgeBase& kb);
+
+/// Registers the read-only introspection routes (/v1/debug/*, /statusz,
+/// /version) and interns the lar_build_info gauge. `sessions` may be null
+/// when the server runs without session support — /v1/debug/sessions and
+/// the /statusz session block then report an empty table.
+void registerDebugRoutes(net::HttpServer& server, reason::Service& service,
+                         reason::SessionManager* sessions = nullptr);
 
 } // namespace lar::serve

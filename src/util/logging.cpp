@@ -37,7 +37,18 @@ const char* levelNameLower(LogLevel level) {
 // The shared escaper (json/escape.hpp is header-only, so including it here
 // does not invert the util ← json link order).
 std::string jsonQuote(std::string_view s) { return json::quoted(s); }
+
+thread_local std::string t_traceId;
 } // namespace
+
+ScopedLogTraceId::ScopedLogTraceId(std::string_view traceId)
+    : saved_(std::move(t_traceId)) {
+    t_traceId.assign(traceId);
+}
+
+ScopedLogTraceId::~ScopedLogTraceId() { t_traceId = std::move(saved_); }
+
+const std::string& currentLogTraceId() { return t_traceId; }
 
 LogField::LogField(std::string_view k, std::string_view value)
     : key(k), rendered(jsonQuote(value)) {}
@@ -89,6 +100,10 @@ void logLineJson(LogLevel level, std::string_view event,
         line += jsonQuote(f.key);
         line += ':';
         line += f.rendered;
+    }
+    if (!t_traceId.empty()) {
+        line += ",\"trace_id\":";
+        line += jsonQuote(t_traceId);
     }
     line += '}';
     // One write call so concurrent loggers interleave at line granularity.

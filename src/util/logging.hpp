@@ -64,8 +64,32 @@ struct LogField {
 /// passes the threshold, e.g.
 ///   {"ts_ms":…,"level":"info","event":"query_done","id":"q1","total_ms":3.2}
 /// ts_ms is milliseconds since the Unix epoch. Keys "ts_ms"/"level"/"event"
-/// are reserved; fields appear after them in call order.
+/// are reserved; fields appear after them in call order. When a
+/// ScopedLogTraceId is active on the calling thread, a trailing
+/// "trace_id" field is appended automatically.
 void logLineJson(LogLevel level, std::string_view event,
                  std::initializer_list<LogField> fields);
+
+/// Installs `traceId` as this thread's ambient request identity for the
+/// enclosing scope: every logLineJson call on the thread gains a trailing
+/// "trace_id" field, so all lines a request emits — across the HTTP layer,
+/// the Service, and session asks — join on one grep. Scopes nest (a worker
+/// task restores the submitter's value on exit); an empty id is a no-op
+/// installation that still restores correctly.
+class ScopedLogTraceId {
+public:
+    explicit ScopedLogTraceId(std::string_view traceId);
+    ~ScopedLogTraceId();
+    ScopedLogTraceId(const ScopedLogTraceId&) = delete;
+    ScopedLogTraceId& operator=(const ScopedLogTraceId&) = delete;
+
+private:
+    std::string saved_;
+};
+
+/// This thread's ambient trace id ("" when none is installed). Exposed so
+/// layers below the HTTP server (Service, SessionManager) can adopt the
+/// request identity without it being plumbed through every signature.
+[[nodiscard]] const std::string& currentLogTraceId();
 
 } // namespace lar::util

@@ -1,0 +1,228 @@
+// FlightRecorder unit tests: the biased retention policy (pinned failures,
+// p95-slow set, sampled healthy majority) and the in-flight registry that
+// back GET /v1/debug/traces and GET /v1/debug/inflight.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reason/flight_recorder.hpp"
+
+namespace lar::reason {
+namespace {
+
+QueryTrace makeTrace(std::string id, Verdict verdict, double totalMs,
+                     std::string traceId = "") {
+    QueryTrace t;
+    t.id = std::move(id);
+    t.traceId = std::move(traceId);
+    t.kind = QueryKind::Feasibility;
+    t.verdict = verdict;
+    t.totalMs = totalMs;
+    return t;
+}
+
+TEST(FlightRecorder, RetainsEverythingBelowCapacity) {
+    FlightRecorder rec(/*capacity=*/8);
+    for (int i = 0; i < 5; ++i)
+        rec.record(makeTrace("q" + std::to_string(i), Verdict::Sat, 1.0));
+    EXPECT_EQ(rec.size(), 5u);
+    EXPECT_EQ(rec.stats().recorded, 5u);
+    EXPECT_EQ(rec.stats().sampledOut, 0u);
+}
+
+TEST(FlightRecorder, TracesComeBackNewestFirstWithFilters) {
+    FlightRecorder rec(/*capacity=*/8);
+    rec.record(makeTrace("old", Verdict::Sat, 1.0));
+    rec.record(makeTrace("mid", Verdict::Unsat, 5.0));
+    rec.record(makeTrace("new", Verdict::Sat, 10.0));
+
+    const std::vector<QueryTrace> all = rec.traces();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].id, "new");
+    EXPECT_EQ(all[2].id, "old");
+
+    const std::vector<QueryTrace> unsat =
+        rec.traces(0, 0.0, Verdict::Unsat);
+    ASSERT_EQ(unsat.size(), 1u);
+    EXPECT_EQ(unsat[0].id, "mid");
+
+    const std::vector<QueryTrace> slow = rec.traces(0, 4.0);
+    ASSERT_EQ(slow.size(), 2u);
+    EXPECT_EQ(slow[0].id, "new");
+
+    EXPECT_EQ(rec.traces(/*limit=*/1).size(), 1u);
+}
+
+TEST(FlightRecorder, FindMatchesTraceIdThenQueryIdNewestWins) {
+    FlightRecorder rec(/*capacity=*/8);
+    rec.record(makeTrace("q1", Verdict::Sat, 1.0, "aaaa1111"));
+    rec.record(makeTrace("q2", Verdict::Unsat, 1.0, "aaaa1111"));
+    rec.record(makeTrace("q3", Verdict::Sat, 1.0));
+
+    const auto byTrace = rec.find("aaaa1111");
+    ASSERT_TRUE(byTrace.has_value());
+    EXPECT_EQ(byTrace->id, "q2"); // two matches: the most recent wins
+
+    const auto byQueryId = rec.find("q3");
+    ASSERT_TRUE(byQueryId.has_value());
+    EXPECT_EQ(byQueryId->verdict, Verdict::Sat);
+
+    EXPECT_FALSE(rec.find("nope").has_value());
+}
+
+TEST(FlightRecorder, FailuresEvictSamplesAndSurviveOverload) {
+    FlightRecorder rec(/*capacity=*/8);
+    for (int i = 0; i < 8; ++i)
+        rec.record(makeTrace("ok" + std::to_string(i), Verdict::Sat, 1.0));
+    ASSERT_EQ(rec.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        rec.record(makeTrace("err" + std::to_string(i), Verdict::Error, 1.0));
+
+    EXPECT_EQ(rec.size(), 8u); // bounded throughout
+    const FlightRecorder::Stats stats = rec.stats();
+    EXPECT_EQ(stats.pinned, 8u); // every failure retained
+    EXPECT_EQ(rec.traces(0, 0.0, Verdict::Sat).size(), 0u);
+}
+
+TEST(FlightRecorder, HealthyTracesNeverEvictPinnedOnes) {
+    FlightRecorder rec(/*capacity=*/2);
+    rec.record(makeTrace("e1", Verdict::TimedOut, 1.0));
+    rec.record(makeTrace("e2", Verdict::Error, 1.0));
+    for (int i = 0; i < 10; ++i)
+        rec.record(makeTrace("ok" + std::to_string(i), Verdict::Sat, 1.0));
+
+    EXPECT_EQ(rec.size(), 2u);
+    EXPECT_EQ(rec.stats().pinned, 2u);
+    EXPECT_TRUE(rec.find("e1").has_value());
+    EXPECT_TRUE(rec.find("e2").has_value());
+    EXPECT_EQ(rec.traces(0, 0.0, Verdict::Sat).size(), 0u);
+}
+
+TEST(FlightRecorder, HealthyMajorityIsSampledOnceFull) {
+    FlightRecorder rec(/*capacity=*/4, /*sampleEvery=*/4);
+    for (int i = 0; i < 50; ++i)
+        rec.record(makeTrace("q" + std::to_string(i), Verdict::Sat, 1.0));
+
+    EXPECT_EQ(rec.size(), 4u);
+    const FlightRecorder::Stats stats = rec.stats();
+    EXPECT_EQ(stats.recorded, 50u);
+    // 46 post-fill records at 1-in-4: most are sampled out, some land.
+    EXPECT_GT(stats.sampledOut, 30u);
+    EXPECT_LT(stats.sampledOut, 46u);
+}
+
+TEST(FlightRecorder, OutlierDurationsJoinTheSlowSet) {
+    FlightRecorder rec(/*capacity=*/8);
+    // Warm the duration window past the 20-sample confidence floor.
+    for (int i = 0; i < 30; ++i)
+        rec.record(makeTrace("base" + std::to_string(i), Verdict::Sat, 10.0));
+    rec.record(makeTrace("spike", Verdict::Sat, 500.0));
+
+    const FlightRecorder::Stats stats = rec.stats();
+    EXPECT_GE(stats.slow, 1u);
+    EXPECT_DOUBLE_EQ(stats.p95Ms, 10.0);
+    ASSERT_TRUE(rec.find("spike").has_value());
+    // A uniform workload is not "slow": the baseline traces stay normal.
+    EXPECT_GT(stats.normal, 0u);
+}
+
+TEST(FlightRecorder, ShedTracesArePinnedButDoNotPoisonTheP95Window) {
+    FlightRecorder rec(/*capacity=*/64);
+    for (int i = 0; i < 20; ++i)
+        rec.record(makeTrace("ok" + std::to_string(i), Verdict::Sat, 10.0));
+    ASSERT_DOUBLE_EQ(rec.stats().p95Ms, 10.0);
+    // An overload burst: shed queries report ~0ms. They must be retained
+    // (pinned) without dragging the slow threshold to zero.
+    for (int i = 0; i < 30; ++i)
+        rec.record(makeTrace("shed" + std::to_string(i), Verdict::Shed, 0.0));
+    EXPECT_DOUBLE_EQ(rec.stats().p95Ms, 10.0);
+    EXPECT_EQ(rec.traces(0, 0.0, Verdict::Shed).size(), 30u);
+}
+
+TEST(FlightRecorder, CapacityZeroDisablesRetentionNotTheRegistry) {
+    FlightRecorder rec(/*capacity=*/0);
+    rec.record(makeTrace("q1", Verdict::Error, 1.0));
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_FALSE(rec.find("q1").has_value());
+
+    const auto entry = rec.admit("q2", "tttt2222", "", QueryKind::Optimize);
+    EXPECT_EQ(rec.inflight().size(), 1u);
+    rec.finish(entry);
+    EXPECT_EQ(rec.inflight().size(), 0u);
+}
+
+TEST(FlightRecorder, InflightSnapshotsCarryLiveFields) {
+    FlightRecorder rec;
+    const auto first = rec.admit("q1", "aaaa1111", "", QueryKind::Feasibility);
+    const auto second = rec.admit("q2", "bbbb2222", "s-1", QueryKind::Optimize);
+    second->phase.store(QueryPhase::Solve, std::memory_order_relaxed);
+    second->workers.store(4, std::memory_order_relaxed);
+
+    const std::vector<InflightSnapshot> snap = rec.inflight();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].id, "q1"); // oldest first
+    EXPECT_EQ(snap[0].phase, QueryPhase::Queued);
+    EXPECT_EQ(snap[1].id, "q2");
+    EXPECT_EQ(snap[1].sessionId, "s-1");
+    EXPECT_EQ(snap[1].phase, QueryPhase::Solve);
+    EXPECT_EQ(snap[1].workers, 4);
+    EXPECT_GE(snap[1].elapsedMs, 0.0);
+
+    rec.finish(first);
+    rec.finish(first); // idempotent
+    EXPECT_EQ(rec.inflight().size(), 1u);
+    rec.finish(second);
+    EXPECT_EQ(rec.inflight().size(), 0u);
+}
+
+TEST(FlightRecorder, ConcurrentRecordAndReadStaysBounded) {
+    // The serving reality: worker threads record while a debug endpoint
+    // lists and an operator polls stats. Run it raced (the TSan variant of
+    // this test is where the locking is actually proven).
+    FlightRecorder rec(/*capacity=*/16);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&rec, t] {
+            for (int i = 0; i < 500; ++i) {
+                const Verdict verdict = i % 7 == 0 ? Verdict::Error
+                                        : i % 11 == 0 ? Verdict::Shed
+                                                      : Verdict::Sat;
+                rec.record(makeTrace("w" + std::to_string(t) + "-" +
+                                         std::to_string(i),
+                                     verdict, static_cast<double>(i % 50)));
+                const auto entry =
+                    rec.admit("in" + std::to_string(i), "", "",
+                              QueryKind::Feasibility);
+                entry->phase.store(QueryPhase::Solve,
+                                   std::memory_order_relaxed);
+                rec.finish(entry);
+            }
+        });
+    }
+    std::thread reader([&rec, &stop] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            EXPECT_LE(rec.size(), 16u);
+            (void)rec.traces(8);
+            (void)rec.inflight();
+            (void)rec.stats();
+            (void)rec.find("w0-13");
+        }
+    });
+    for (std::thread& w : writers) w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_LE(rec.size(), 16u);
+    EXPECT_EQ(rec.inflight().size(), 0u);
+    EXPECT_EQ(rec.stats().recorded, 2000u);
+    // Errors were pinned: under sustained overload the ring ends up holding
+    // failures, not the healthy majority.
+    EXPECT_GT(rec.stats().pinned, 0u);
+}
+
+} // namespace
+} // namespace lar::reason

@@ -11,6 +11,7 @@
 #include "json/write.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_id.hpp"
 #include "util/error.hpp"
 #include "util/threadpool.hpp"
 
@@ -138,6 +139,24 @@ TEST(Registry, JsonExport) {
     const json::Value& hist = v.at("lar_j_ms").at("series").asArray().at(0);
     EXPECT_EQ(hist.at("count").asInt(), 1);
     EXPECT_EQ(hist.at("buckets").asArray().size(), 2u); // le=1 and +Inf
+}
+
+TEST(Registry, ZeroObservationHistogramExpositionIsWellFormed) {
+    // A histogram that never observed anything must still render a complete,
+    // parseable family: every bucket at 0 including +Inf, _sum 0, _count 0.
+    // (Scrapers interpolate rates from bucket deltas; a missing +Inf line
+    // breaks them on freshly started servers.)
+    Registry reg;
+    (void)reg.histogram("lar_empty_ms", "never observed", {1.0, 10.0});
+    const std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("# TYPE lar_empty_ms histogram\n"), std::string::npos);
+    EXPECT_NE(text.find("lar_empty_ms_bucket{le=\"1\"} 0\n"), std::string::npos);
+    EXPECT_NE(text.find("lar_empty_ms_bucket{le=\"10\"} 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("lar_empty_ms_bucket{le=\"+Inf\"} 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("lar_empty_ms_sum 0\n"), std::string::npos);
+    EXPECT_NE(text.find("lar_empty_ms_count 0\n"), std::string::npos);
 }
 
 TEST(Registry, DisabledDropsUpdates) {
@@ -273,6 +292,54 @@ TEST(Span, ChromeTraceDocumentShape) {
     EXPECT_EQ(instants, 1);
 }
 
+TEST(Span, CapDropsSpansButFlagsTruncation) {
+    // A runaway span producer (a solver sampling every conflict, a retry
+    // loop) must not grow a trace without bound — and the cap must be
+    // visible, not a silent hole in the timeline.
+    Trace trace(/*maxSpans=*/3);
+    {
+        const ScopedTrace scoped(trace);
+        for (int i = 0; i < 10; ++i) {
+            const Span span("burst" + std::to_string(i));
+        }
+    }
+    EXPECT_TRUE(trace.truncated());
+    EXPECT_EQ(trace.spanCount(), 3u);
+    const SpanNode* root = trace.root();
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->name, "burst0");
+}
+
+TEST(Span, DroppedSpanDropsItsDescendantsToo) {
+    // A span rejected at the cap must not adopt grandchildren into the
+    // wrong parent: its descendants are dropped with it.
+    Trace trace(/*maxSpans=*/1);
+    {
+        const ScopedTrace scoped(trace);
+        const Span kept("kept");
+        {
+            const Span over("over-cap");
+            const Span child("child-of-over");
+        }
+    }
+    EXPECT_TRUE(trace.truncated());
+    const SpanNode* root = trace.root();
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->name, "kept");
+    EXPECT_TRUE(root->children.empty());
+}
+
+TEST(Span, CappedTraceStillBelowLimitIsNotTruncated) {
+    Trace trace(/*maxSpans=*/8);
+    {
+        const ScopedTrace scoped(trace);
+        const Span a("a");
+        const Span b("b");
+    }
+    EXPECT_FALSE(trace.truncated());
+    EXPECT_EQ(trace.spanCount(), 2u);
+}
+
 TEST(Span, TraceJsonShape) {
     Trace trace;
     {
@@ -286,6 +353,31 @@ TEST(Span, TraceJsonShape) {
     const json::Value& root = v.asArray()[0];
     EXPECT_EQ(root.at("name").asString(), "query");
     EXPECT_EQ(root.at("children").asArray().at(0).at("name").asString(), "solve");
+}
+
+// ---------------------------------------------------------------------------
+// Trace identity
+// ---------------------------------------------------------------------------
+
+TEST(TraceId, MintedIdsAreValidAndDistinct) {
+    std::set<std::string> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::string id = mintTraceId();
+        EXPECT_EQ(id.size(), 32u);
+        EXPECT_TRUE(validTraceId(id)) << id;
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate: " << id;
+    }
+}
+
+TEST(TraceId, ValidationRejectsJunk) {
+    EXPECT_TRUE(validTraceId("deadbeef"));
+    EXPECT_TRUE(validTraceId("client-chosen.id_01"));
+    EXPECT_FALSE(validTraceId(""));
+    EXPECT_FALSE(validTraceId("short"));             // < 8 chars
+    EXPECT_FALSE(validTraceId(std::string(65, 'a'))); // > 64 chars
+    EXPECT_FALSE(validTraceId("has space"));
+    EXPECT_FALSE(validTraceId("quote\"inject"));
+    EXPECT_FALSE(validTraceId("new\nline"));
 }
 
 } // namespace

@@ -113,13 +113,16 @@ TEST_F(SessionTest, LeaseExpiryEvicts) {
 TEST_F(SessionTest, AsksKeepTheLeaseAlive) {
     Service service(lightService());
     SessionOptions options;
-    options.leaseTtl = std::chrono::milliseconds(150);
+    options.leaseTtl = std::chrono::milliseconds(300);
     options.sweepInterval = std::chrono::milliseconds(20);
     SessionManager manager(service, options);
 
     const auto created = manager.create(caseStudy());
     ASSERT_FALSE(created.shed);
-    // 10 asks ~50ms apart span several lease lifetimes; each renews.
+    // 10 asks ~50ms apart span more than a lease lifetime; each renews.
+    // The lease is deliberately several times the ask cadence: under
+    // ThreadSanitizer on a loaded single-CPU runner one slow ask must not
+    // eat the whole TTL.
     for (int i = 0; i < 10; ++i) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         ASSERT_TRUE(manager.ask(created.id, {}).has_value()) << "ask " << i;

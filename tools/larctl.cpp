@@ -34,6 +34,19 @@
 //                                          (Prometheus text exposition, or
 //                                          JSON with --json), optionally after
 //                                          running a batch to populate it
+//   larctl trace <id> [--chrome]           (--url only) fetch one retained
+//                                          trace from the server's flight
+//                                          recorder by trace id or query id;
+//                                          --chrome prints the raw Chrome
+//                                          trace_event document (redirect to
+//                                          a file, load in Perfetto).
+//   larctl top                             (--url only) the server's /statusz
+//                                          page: build, flight-recorder
+//                                          occupancy, in-flight queries, live
+//                                          sessions.
+//   larctl version                         (--url only) the server's build
+//                                          identity: git describe, trace
+//                                          schema version, api major.
 //   larctl session <verb> ...              (--url only) stateful what-if
 //                                          sessions against larserved: create /
 //                                          ask / renew / close, or `run` to
@@ -46,6 +59,11 @@
 //
 // Pass the literal name "builtin" instead of <kb.json> to use the compiled-in
 // catalog (56 systems / 208 hardware specs).
+//
+// --trace-id <id> (with --url) sends the given X-Lar-Trace-Id on every
+// request, so the server adopts the client's trace identity end to end —
+// `larctl --url U --trace-id deadbeef feasible p.json` followed by
+// `larctl --url U trace deadbeef` retrieves exactly that query's trace.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -106,10 +124,14 @@ int usage() {
                  "  session   create <problem.json> | ask <id> <var.json|-> |\n"
                  "            renew <id> | close <id> |\n"
                  "            run <problem.json> [script.json]   (--url only)\n"
+                 "  trace     <id> [--chrome]            (--url only)\n"
+                 "  top                                  (--url only)\n"
+                 "  version                              (--url only)\n"
                  "use 'builtin' as <kb.json> for the compiled-in catalog\n"
-                 "with --url, feasible/optimize/enumerate/batch/metrics/session\n"
-                 "run against a larserved instance (no <kb.json> argument — the\n"
-                 "server's knowledge base answers)\n");
+                 "with --url, feasible/optimize/enumerate/batch/metrics/session/\n"
+                 "trace/top/version run against a larserved instance (no <kb.json>\n"
+                 "argument — the server's knowledge base answers); --trace-id\n"
+                 "<id> stamps every request with that X-Lar-Trace-Id\n");
     return 2;
 }
 
@@ -509,11 +531,32 @@ int remoteSession(net::HttpClient& client, int argc, char** argv) {
     return usage();
 }
 
-int remoteMain(const std::string& url, int argc, char** argv) {
+/// Fetches one retained trace from the server's flight recorder. Exit 0
+/// found, 1 unknown id (or other server failure).
+int remoteTrace(net::HttpClient& client, const std::string& id, bool chrome) {
+    const net::ClientResponse resp = client.get(
+        "/v1/debug/traces/" + id + (chrome ? "?format=chrome" : ""));
+    if (resp.status != 200) {
+        std::fprintf(stderr, "larctl: server answered %d\n%s", resp.status,
+                     resp.body.c_str());
+        return 1;
+    }
+    if (chrome) {
+        // The raw trace_event document — keep it byte-exact for Perfetto.
+        std::fputs(resp.body.c_str(), stdout);
+        return 0;
+    }
+    std::printf("%s\n", json::writePretty(json::parse(resp.body)).c_str());
+    return 0;
+}
+
+int remoteMain(const std::string& url, const std::string& traceId, int argc,
+               char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
     const net::HttpUrl parsed = net::parseHttpUrl(url);
     net::HttpClient client(parsed.host, parsed.port);
+    if (!traceId.empty()) client.setHeader("X-Lar-Trace-Id", traceId);
 
     if ((command == "feasible" || command == "optimize") && argc == 3)
         return remoteQuery(client, command, argv[2], 4);
@@ -569,6 +612,32 @@ int remoteMain(const std::string& url, int argc, char** argv) {
         return remoteBatch(client, batchPath, deadlineMs, portfolio);
     }
     if (command == "session") return remoteSession(client, argc, argv);
+    if (command == "trace" && (argc == 3 || argc == 4)) {
+        bool chrome = false;
+        if (argc == 4) {
+            if (std::strcmp(argv[3], "--chrome") != 0) return usage();
+            chrome = true;
+        }
+        return remoteTrace(client, argv[2], chrome);
+    }
+    if (command == "top" && argc == 2) {
+        const net::ClientResponse resp = client.get("/statusz");
+        if (resp.status != 200) {
+            std::fprintf(stderr, "larctl: server answered %d\n", resp.status);
+            return 1;
+        }
+        std::fputs(resp.body.c_str(), stdout);
+        return 0;
+    }
+    if (command == "version" && argc == 2) {
+        const net::ClientResponse resp = client.get("/version");
+        if (resp.status != 200) {
+            std::fprintf(stderr, "larctl: server answered %d\n", resp.status);
+            return 1;
+        }
+        std::printf("%s\n", json::writePretty(json::parse(resp.body)).c_str());
+        return 0;
+    }
     if (command == "metrics" && argc == 2) {
         const net::ClientResponse resp = client.get("/metrics");
         if (resp.status != 200) {
@@ -586,9 +655,10 @@ int remoteMain(const std::string& url, int argc, char** argv) {
 } // namespace
 
 int main(int argc, char** argv) {
-    // Peel off a --url flag anywhere before/after the command; everything
-    // else keeps its position.
+    // Peel off the --url and --trace-id flags anywhere before/after the
+    // command; everything else keeps its position.
     std::string url;
+    std::string traceId;
     std::vector<char*> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -598,6 +668,12 @@ int main(int argc, char** argv) {
                 return 2;
             }
             url = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-id") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "larctl: --trace-id needs a value\n");
+                return 2;
+            }
+            traceId = argv[++i];
         } else {
             rest.push_back(argv[i]);
         }
@@ -606,11 +682,16 @@ int main(int argc, char** argv) {
     argv = rest.data();
     if (!url.empty()) {
         try {
-            return remoteMain(url, argc, argv);
+            return remoteMain(url, traceId, argc, argv);
         } catch (const Error& e) {
             std::fprintf(stderr, "larctl: %s\n", e.what());
             return 1;
         }
+    }
+    if (!traceId.empty()) {
+        std::fprintf(stderr, "larctl: --trace-id needs --url (the trace "
+                             "identity travels in an HTTP header)\n");
+        return 2;
     }
 
     if (argc < 2) return usage();

@@ -22,6 +22,12 @@
 //   GET    /metrics              Prometheus text exposition.
 //   GET    /healthz              200 while the process is up (liveness).
 //   GET    /readyz               200 while accepting work, 503 once draining.
+//   GET    /v1/debug/traces      flight-recorder trace list (filterable).
+//   GET    /v1/debug/traces/{id} one full trace; ?format=chrome for Perfetto.
+//   GET    /v1/debug/inflight    queries executing right now.
+//   GET    /v1/debug/sessions    live what-if sessions.
+//   GET    /statusz              the same, as a human text page.
+//   GET    /version              build identity (git, schema versions).
 //
 // All /v1/* JSON bodies follow the versioned "api" envelope (serve/api.hpp):
 // requests may pin {"api": 1}; an unknown major is rejected with 400.
@@ -44,6 +50,9 @@
 //   --lease-ttl-ms <n>      session lease; asks/renews extend it (default 60s)
 //   --warm-start-cap <n>    solver snapshots kept for warm starts (default 32,
 //                           0 disables warm starting entirely)
+//   --flight-recorder-cap <n>  completed traces the flight recorder retains
+//                           (default 256, 0 disables retention; the in-flight
+//                           registry keeps working either way)
 //   --drain-grace-ms <n>    per-phase drain grace (default 5000)
 //   --log-info              lower the log threshold to Info (access logs on)
 #include <fcntl.h>
@@ -86,8 +95,8 @@ int usage() {
         "[--workers <n>]\n"
         "                 [--max-inflight <n>] [--max-queue <n>]\n"
         "                 [--max-sessions <n>] [--lease-ttl-ms <n>]\n"
-        "                 [--warm-start-cap <n>] [--drain-grace-ms <n>]\n"
-        "                 [--log-info]\n");
+        "                 [--warm-start-cap <n>] [--flight-recorder-cap <n>]\n"
+        "                 [--drain-grace-ms <n>] [--log-info]\n");
     return 2;
 }
 
@@ -114,6 +123,7 @@ int main(int argc, char** argv) {
     long maxSessions = 64;
     long leaseTtlMs = 60'000;
     long warmStartCap = 32;
+    long flightRecorderCap = 256;
     long drainGraceMs = 5000;
     bool logInfo = false;
 
@@ -171,6 +181,10 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--warm-start-cap") == 0) {
             if (!numericFlag("--warm-start-cap", warmStartCap, 0, 1 << 20))
                 return usage();
+        } else if (std::strcmp(argv[i], "--flight-recorder-cap") == 0) {
+            if (!numericFlag("--flight-recorder-cap", flightRecorderCap, 0,
+                             1 << 20))
+                return usage();
         } else if (std::strcmp(argv[i], "--drain-grace-ms") == 0) {
             if (!numericFlag("--drain-grace-ms", drainGraceMs, 0, 3'600'000))
                 return usage();
@@ -193,6 +207,8 @@ int main(int argc, char** argv) {
         serviceOptions.maxQueueDepth = static_cast<std::size_t>(maxQueue);
         serviceOptions.warmStartCapacity =
             static_cast<std::size_t>(warmStartCap);
+        serviceOptions.flightRecorderCapacity =
+            static_cast<std::size_t>(flightRecorderCap);
         reason::Service service(serviceOptions);
 
         reason::SessionOptions sessionOptions;
@@ -210,6 +226,7 @@ int main(int argc, char** argv) {
 
         serve::registerServiceRoutes(server, service, kb);
         serve::registerSessionRoutes(server, sessions, kb);
+        serve::registerDebugRoutes(server, service, &sessions);
 
         // Drain order: evict sessions first (their in-flight asks observe
         // the cancel flag and the learnt solver state is exported), then
