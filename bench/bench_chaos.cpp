@@ -1,0 +1,338 @@
+// CHAOS1 — availability under injected network faults and hostile clients.
+//
+// Three phases against one in-process net::HttpServer on loopback, driven
+// through the resilient net::HttpClient (retries + backoff):
+//
+//  1. Baseline: 4 well-behaved clients measure a clean p99.
+//  2. Chaos: net.read / net.write / net.connect armed at 5% each, plus a
+//     misbehaving fleet (slowloris header drippers and stalled readers who
+//     never drain a large response) hammering the same server. Gates:
+//     >= 99% of the retried requests succeed and the server stays healthy.
+//  3. Recovery: faults disarmed, the same load again. Gates: every request
+//     succeeds, p99 back within 2x the baseline, and the connection table
+//     drains to zero — no leaked connections from either chaos or the
+//     misbehaving fleet.
+//
+// Surviving all three without a crash is the availability contract the
+// chaos layer exists to enforce. Writes machine-readable results to
+// BENCH_chaos.json (override the path with argv[1]).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "json/value.hpp"
+#include "json/write.hpp"
+#include "net/fault.hpp"
+#include "net/http_client.hpp"
+#include "net/server.hpp"
+#include "util/error.hpp"
+#include "util/fault_injector.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+
+namespace {
+
+double percentile(std::vector<double> samples, double q) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+struct LoadResult {
+    long long ok = 0;
+    long long failed = 0; ///< non-200 or exhausted retries (thrown)
+    double p99Ms = 0.0;
+    std::uint64_t retries = 0;
+    std::uint64_t redials = 0;
+};
+
+/// `threads` resilient clients, `perThread` GET /ping each; every client
+/// retries up to 5 attempts with small jittered backoff.
+LoadResult runLoad(std::uint16_t port, int threads, int perThread) {
+    std::mutex mergeMutex;
+    std::vector<double> latencies;
+    std::atomic<long long> ok{0}, failed{0};
+    std::atomic<std::uint64_t> retries{0}, redials{0};
+
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            std::vector<double> local;
+            local.reserve(static_cast<std::size_t>(perThread));
+            net::HttpClient client("127.0.0.1", port, /*timeoutMs=*/10'000);
+            net::RetryOptions retry;
+            retry.maxAttempts = 5;
+            retry.baseBackoffMs = 2;
+            retry.maxBackoffMs = 50;
+            retry.seed = static_cast<std::uint64_t>(t) + 1;
+            client.setRetryOptions(retry);
+            for (int i = 0; i < perThread; ++i) {
+                util::Stopwatch timer;
+                try {
+                    if (client.get("/ping").status == 200)
+                        ok.fetch_add(1);
+                    else
+                        failed.fetch_add(1);
+                } catch (const Error&) {
+                    failed.fetch_add(1);
+                }
+                local.push_back(timer.millis());
+            }
+            retries.fetch_add(client.stats().retries);
+            redials.fetch_add(client.stats().redials);
+            const std::lock_guard<std::mutex> lock(mergeMutex);
+            latencies.insert(latencies.end(), local.begin(), local.end());
+        });
+    }
+    for (std::thread& t : clients) t.join();
+
+    LoadResult r;
+    r.ok = ok.load();
+    r.failed = failed.load();
+    r.p99Ms = percentile(latencies, 0.99);
+    r.retries = retries.load();
+    r.redials = redials.load();
+    return r;
+}
+
+int rawDial(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/// Drips request headers one byte at a time, reconnecting whenever the
+/// server (correctly) kills the connection. Classic slowloris.
+void slowlorisLoop(std::uint16_t port, const std::atomic<bool>& stop,
+                   std::atomic<long long>& kills) {
+    const std::string request = "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n";
+    while (!stop.load()) {
+        const int fd = rawDial(port);
+        if (fd < 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            continue;
+        }
+        bool killed = false;
+        for (std::size_t i = 0; i < request.size() && !stop.load(); ++i) {
+            if (::send(fd, request.data() + i, 1, MSG_NOSIGNAL) != 1) {
+                killed = true;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        }
+        ::close(fd);
+        if (killed) kills.fetch_add(1);
+    }
+}
+
+/// Requests a large response and never reads it: the server's write
+/// progress timeout must reap the connection.
+void stalledReaderLoop(std::uint16_t port, const std::atomic<bool>& stop,
+                       std::atomic<long long>& kills) {
+    const std::string request =
+        "GET /big HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+    while (!stop.load()) {
+        const int fd = rawDial(port);
+        if (fd < 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            continue;
+        }
+        (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+        // Never recv. Wait for the server to give up on us (EPIPE/RST on a
+        // probe write is the signal), bounded by a local clock.
+        util::Stopwatch waited;
+        while (!stop.load() && waited.millis() < 3'000.0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            char probe = 0;
+            if (::send(fd, &probe, 0, MSG_NOSIGNAL) < 0) break;
+            // A zero recv with MSG_PEEK|MSG_DONTWAIT means the peer closed.
+            const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+            if (n == 0) break;
+            if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) break;
+        }
+        if (waited.millis() < 3'000.0) kills.fetch_add(1);
+        ::close(fd);
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::string outPath = argc > 1 ? argv[1] : "BENCH_chaos.json";
+    json::Value report;
+    util::FaultInjector& injector = util::FaultInjector::global();
+    injector.reset();
+
+    net::ServerOptions options;
+    options.bindAddress = "127.0.0.1";
+    options.port = 0;
+    options.accessLog = false;
+    // Tight self-protection windows so the misbehaving fleet is reaped
+    // many times within the chaos phase.
+    options.requestReadTimeoutMs = 500;
+    options.responseWriteTimeoutMs = 500;
+    net::HttpServer server(options);
+    server.route("GET", "/ping", [](const net::HttpRequest&) {
+        return net::HttpResponse::text(200, "pong");
+    });
+    server.route("GET", "/healthz", [](const net::HttpRequest&) {
+        return net::HttpResponse::text(200, "ok");
+    });
+    const std::string bigBody(4 * 1024 * 1024, 'b');
+    server.route("GET", "/big", [&bigBody](const net::HttpRequest&) {
+        return net::HttpResponse::text(200, bigBody);
+    });
+    server.start();
+    const std::uint16_t port = server.port();
+
+    // ---- 1. baseline (no faults) ---------------------------------------
+    bench::printHeader("baseline (4 clients, no faults)");
+    (void)runLoad(port, 2, 100); // warm-up
+    const LoadResult base = runLoad(port, 4, 400);
+    bench::printRow({"metric", "value"});
+    bench::printRule();
+    bench::printRow({"ok", bench::num(base.ok)});
+    bench::printRow({"failed", bench::num(base.failed)});
+    bench::printRow({"p99", bench::ms(base.p99Ms)});
+    report["baseline_ok"] = static_cast<std::int64_t>(base.ok);
+    report["baseline_p99_ms"] = base.p99Ms;
+
+    // ---- 2. chaos: 5% faults + misbehaving fleet -----------------------
+    bench::printHeader(
+        "chaos (net.read/net.write/net.connect at 5%, hostile clients)");
+    injector.armProbability(net::kSiteRead, 0.05, 1001);
+    injector.armProbability(net::kSiteWrite, 0.05, 1002);
+    injector.armProbability(net::kSiteConnect, 0.05, 1003);
+    std::atomic<bool> stop{false};
+    std::atomic<long long> lorisKills{0}, readerKills{0};
+    std::vector<std::thread> hostiles;
+    for (int i = 0; i < 2; ++i) {
+        hostiles.emplace_back(
+            [&] { slowlorisLoop(port, stop, lorisKills); });
+        hostiles.emplace_back(
+            [&] { stalledReaderLoop(port, stop, readerKills); });
+    }
+    const LoadResult chaos = runLoad(port, 4, 400);
+    stop.store(true);
+    for (std::thread& t : hostiles) t.join();
+    const std::uint64_t faultHits = injector.hits(net::kSiteRead) +
+                                    injector.hits(net::kSiteWrite) +
+                                    injector.hits(net::kSiteConnect);
+    injector.reset();
+
+    const long long chaosTotal = chaos.ok + chaos.failed;
+    const double successRate =
+        chaosTotal > 0
+            ? static_cast<double>(chaos.ok) / static_cast<double>(chaosTotal)
+            : 0.0;
+    bench::printRow({"metric", "value"});
+    bench::printRule();
+    bench::printRow({"ok", bench::num(chaos.ok)});
+    bench::printRow({"failed", bench::num(chaos.failed)});
+    bench::printRow({"success rate",
+                     std::to_string(100.0 * successRate).substr(0, 6) + "%"});
+    bench::printRow({"client retries", bench::num(static_cast<long long>(
+                                           chaos.retries))});
+    bench::printRow({"client re-dials", bench::num(static_cast<long long>(
+                                            chaos.redials))});
+    bench::printRow({"p99 (under chaos)", bench::ms(chaos.p99Ms)});
+    bench::printRow({"slowloris kills", bench::num(lorisKills.load())});
+    bench::printRow({"stalled-reader kills", bench::num(readerKills.load())});
+    const bool chaosOk = successRate >= 0.99 && faultHits > 0;
+    report["chaos_ok"] = static_cast<std::int64_t>(chaos.ok);
+    report["chaos_failed"] = static_cast<std::int64_t>(chaos.failed);
+    report["chaos_success_rate"] = successRate;
+    report["chaos_retries"] = static_cast<std::int64_t>(chaos.retries);
+    report["chaos_slowloris_kills"] =
+        static_cast<std::int64_t>(lorisKills.load());
+    report["chaos_stalled_reader_kills"] =
+        static_cast<std::int64_t>(readerKills.load());
+
+    // ---- 3. recovery after disarm --------------------------------------
+    bench::printHeader("recovery (faults disarmed)");
+    const LoadResult recovered = runLoad(port, 4, 400);
+    bool healthy = false;
+    try {
+        net::HttpClient probe("127.0.0.1", port);
+        healthy = probe.get("/healthz").status == 200;
+    } catch (const Error&) {
+        healthy = false;
+    }
+    // Every load client has disconnected; the connection table must drain.
+    util::Stopwatch drain;
+    while (server.activeConnections() != 0 && drain.millis() < 5'000.0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::size_t leaked = server.activeConnections();
+    server.stop();
+
+    bench::printRow({"metric", "value"});
+    bench::printRule();
+    bench::printRow({"ok", bench::num(recovered.ok)});
+    bench::printRow({"failed", bench::num(recovered.failed)});
+    bench::printRow({"p99 (recovered)", bench::ms(recovered.p99Ms)});
+    bench::printRow({"healthz after chaos", healthy ? "200" : "DOWN"});
+    bench::printRow({"leaked connections", bench::num(static_cast<long long>(
+                                               leaked))});
+    // Sub-millisecond baselines make a pure ratio gate flaky; allow the
+    // greater of 2x baseline and baseline + 1 ms.
+    const double p99Budget = std::max(2.0 * base.p99Ms, base.p99Ms + 1.0);
+    const bool recoveredOk = recovered.failed == 0 && healthy &&
+                             leaked == 0 && recovered.p99Ms <= p99Budget;
+    report["recovered_ok"] = static_cast<std::int64_t>(recovered.ok);
+    report["recovered_p99_ms"] = recovered.p99Ms;
+    report["leaked_connections"] = static_cast<std::int64_t>(leaked);
+
+    // ---- verdict + machine-readable report -----------------------------
+    const bool ok = base.failed == 0 && chaosOk && recoveredOk;
+    report["pass"] = ok;
+    if (std::FILE* f = std::fopen(outPath.c_str(), "w")) {
+        const std::string text = json::write(report);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", outPath.c_str());
+    } else {
+        std::printf("\ncould not write %s\n", outPath.c_str());
+        return EXIT_FAILURE;
+    }
+    std::printf("CHAOS1: %s\n",
+                ok ? "survives 5% socket chaos and hostile clients, "
+                     "recovers to baseline"
+                   : "FAILED");
+    if (base.failed != 0) std::printf("  gate: baseline had failures\n");
+    if (!chaosOk)
+        std::printf("  gate: %s\n", faultHits == 0
+                                        ? "fault sites never consulted"
+                                        : "success rate under chaos < 99%");
+    if (!recoveredOk)
+        std::printf("  gate: recovery failed (failed=%lld healthy=%d "
+                    "leaked=%zu p99=%.2fms budget=%.2fms)\n",
+                    recovered.failed, healthy ? 1 : 0, leaked,
+                    recovered.p99Ms, p99Budget);
+    return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

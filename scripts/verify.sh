@@ -10,6 +10,11 @@
 #                                live session smoke + interactive bench
 #   scripts/verify.sh obs        observability: flight-recorder unit + TSan +
 #                                live /v1/debug + /statusz smoke
+#   scripts/verify.sh chaos      resilience: fault-injection + chaos suites,
+#                                then the bench_chaos availability gate
+#                                (5% socket faults + hostile clients: >=99%
+#                                success with retries, no crash, no leaked
+#                                connection, p99 recovers after disarm)
 #
 # The tier-1 leg uses the regular build/ tree (shared with development, so
 # incremental rebuilds are cheap). The sanitize leg configures a separate
@@ -160,8 +165,33 @@ run_obs() {
     grep -q 'flight recorder' "$smoke/statusz.txt"
     "$root/build/tools/larctl" --url "$url" version > "$smoke/version.json"
     grep -q '"trace_schema"' "$smoke/version.json"
+    # The chaos layer's metric family must be registered (at zero) from
+    # server start, not only after the first fault/timeout event.
+    "$root/build/tools/larctl" --url "$url" metrics > "$smoke/metrics.txt"
+    grep -q 'lar_net_resets_total' "$smoke/metrics.txt"
+    grep -q 'lar_net_read_progress_timeouts_total' "$smoke/metrics.txt"
+    grep -q 'lar_net_write_progress_timeouts_total' "$smoke/metrics.txt"
     kill -TERM "$served_pid"
     wait "$served_pid" || { echo "larserved did not drain cleanly"; exit 1; }
+}
+
+run_chaos() {
+    # The network chaos layer end to end: the FaultInjector primitives, the
+    # chaos suite (retry/backoff/hedging against armed net.* sites, the
+    # re-dial deadline regression, Retry-After on shed, the fleet survival
+    # gate), the slow-client hardening cases from the server suite, then
+    # the full bench_chaos availability gate. bench_chaos exits nonzero on
+    # a crash, a sub-99% success rate under chaos, or a leaked connection.
+    echo "== chaos: fault injection + resilience suites + availability gate =="
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j"$jobs" --target \
+        chaos_test server_test service_fault_test bench_chaos
+    (cd "$root/build" && ctest --output-on-failure -R \
+        '^ChaosTest|^FaultInjector|^HttpServerTest\.(Slowloris|StalledReader)')
+
+    echo "-- bench: chaos availability gate --"
+    (cd "$root/build" && ./bench/bench_chaos)
+    grep -q '"pass":true' "$root/build/BENCH_chaos.json"
 }
 
 run_sanitize() {
@@ -181,16 +211,18 @@ case "$leg" in
     server) run_server ;;
     session) run_session ;;
     obs) run_obs ;;
+    chaos) run_chaos ;;
     all)
         run_tier1
         run_portfolio
         run_server
         run_session
         run_obs
+        run_chaos
         run_sanitize
         ;;
     *)
-        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|server|session|obs|all]" >&2
+        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|server|session|obs|chaos|all]" >&2
         exit 2
         ;;
 esac

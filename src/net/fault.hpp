@@ -1,0 +1,49 @@
+// Socket-level fault injection sites for the net layer.
+//
+// Every network failure mode the serving tier must survive — refused dials,
+// connection resets mid-read or mid-write, short reads, partial writes,
+// stalled peers — is reproducible in-process by arming these sites on
+// util::FaultInjector::global(). Unlike the service-layer sites (which throw
+// through the same catch paths organic errors take), socket sites cannot
+// unwind out of the epoll event loop, so they use the non-throwing
+// FaultInjector::fires() and the call site emulates the failure itself:
+// errno = ECONNRESET and a closed connection for kSiteRead/kSiteWrite, a
+// 1-byte transfer for the short/partial variants, an immediately-closed
+// socket for kSiteAccept, ECONNREFUSED for kSiteConnect.
+//
+// Any site can additionally be armed with armDelayMs to inject latency
+// (slow network emulation) without failing the operation.
+//
+// The checks are zero-cost while nothing is armed: one relaxed atomic load,
+// no string construction, no map lookup.
+#pragma once
+
+#include <string_view>
+
+#include "util/fault_injector.hpp"
+
+namespace lar::net {
+
+/// Server: a freshly accepted connection is closed before registration
+/// (emulates accept storms, peers vanishing inside the TCP handshake).
+inline constexpr std::string_view kSiteAccept = "net.accept";
+/// Server: recv on an established connection fails as if the peer reset.
+inline constexpr std::string_view kSiteRead = "net.read";
+/// Server: recv is truncated to 1 byte (short read — exercises the
+/// incremental parser and any caller that assumes full reads).
+inline constexpr std::string_view kSiteReadShort = "net.read.short";
+/// Server: send on an established connection fails as if the peer reset.
+inline constexpr std::string_view kSiteWrite = "net.write";
+/// Server: send is truncated to 1 byte (partial write — exercises write
+/// resumption through EPOLLOUT).
+inline constexpr std::string_view kSiteWritePartial = "net.write.partial";
+/// Client: the dial fails as if the target refused the connection.
+inline constexpr std::string_view kSiteConnect = "net.connect";
+
+/// True when `site` is armed and fires on this hit. Counts the hit and
+/// applies any armed delay either way; never throws.
+[[nodiscard]] inline bool faultFires(std::string_view site) {
+    return util::FaultInjector::global().fires(site);
+}
+
+} // namespace lar::net

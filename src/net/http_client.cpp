@@ -7,20 +7,91 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
+#include "net/fault.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace lar::net {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 constexpr std::size_t kMaxResponseHeaderBytes = 64 * 1024;
 constexpr std::size_t kMaxResponseBodyBytes = 256 * 1024 * 1024;
 
+/// Process-wide tallies of the client resilience machinery, alongside the
+/// per-instance ClientStats (a fleet of clients shares these).
+struct ClientMetrics {
+    obs::Counter& retries;
+    obs::Counter& redials;
+    obs::Counter& shedWaits;
+    obs::Counter& hedges;
+    obs::Counter& hedgeWins;
+    obs::Counter& deadlineTimeouts;
+
+    static ClientMetrics& get() {
+        static ClientMetrics m{
+            obs::Registry::global().counter(
+                "lar_net_client_retries_total",
+                "HttpClient request attempts after the first"),
+            obs::Registry::global().counter(
+                "lar_net_client_redials_total",
+                "transparent re-dials of stale keep-alive connections"),
+            obs::Registry::global().counter(
+                "lar_net_client_shed_waits_total",
+                "429/503 responses waited out (Retry-After or backoff)"),
+            obs::Registry::global().counter(
+                "lar_net_client_hedges_total",
+                "hedged GET attempts launched"),
+            obs::Registry::global().counter(
+                "lar_net_client_hedge_wins_total",
+                "hedged GETs where the hedge produced the winning response"),
+            obs::Registry::global().counter(
+                "lar_net_client_deadline_timeouts_total",
+                "requests abandoned at their end-to-end deadline"),
+        };
+        return m;
+    }
+};
+
 [[noreturn]] void throwErrno(const std::string& what) {
     throw Error(what + ": " + std::strerror(errno));
+}
+
+[[noreturn]] void throwTimeout(const std::string& what) {
+    ClientMetrics::get().deadlineTimeouts.inc();
+    throw TimeoutError(what + ": request deadline exceeded");
+}
+
+int remainingMs(Clock::time_point deadline) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    if (left <= 0) return 0;
+    return left > 1'000'000'000 ? 1'000'000'000 : static_cast<int>(left);
+}
+
+/// Clamps this socket's per-syscall timeouts to the remaining budget, so no
+/// single recv/send/connect can outlive the request deadline. Returns false
+/// when the budget is already gone.
+bool armSocketDeadline(int fd, Clock::time_point deadline) {
+    const int left = remainingMs(deadline);
+    if (left <= 0) return false;
+    timeval tv{};
+    tv.tv_sec = left / 1000;
+    tv.tv_usec = (left % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    return true;
 }
 
 std::string_view trimView(std::string_view s) {
@@ -31,6 +102,25 @@ std::string_view trimView(std::string_view s) {
         s.remove_suffix(1);
     }
     return s;
+}
+
+void closeConn(int& fd, std::string& leftover) {
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    leftover.clear();
+}
+
+/// Retry-After delta-seconds (the only form larserved emits); nullopt for
+/// absent or HTTP-date values.
+int retryAfterMs(const ClientResponse& response) {
+    const std::string* header = response.header("Retry-After");
+    if (header == nullptr) return -1;
+    char* end = nullptr;
+    const long seconds = std::strtol(header->c_str(), &end, 10);
+    if (end == header->c_str() || *end != '\0' || seconds < 0) return -1;
+    return seconds > 3'600 ? 3'600'000 : static_cast<int>(seconds) * 1000;
 }
 
 } // namespace
@@ -68,17 +158,14 @@ const std::string* ClientResponse::header(std::string_view name) const {
 }
 
 HttpClient::HttpClient(std::string host, std::uint16_t port, int timeoutMs)
-    : host_(std::move(host)), port_(port), timeoutMs_(timeoutMs) {}
+    : host_(std::move(host)),
+      port_(port),
+      timeoutMs_(timeoutMs),
+      jitterState_(retry_.seed) {}
 
 HttpClient::~HttpClient() { disconnect(); }
 
-void HttpClient::disconnect() {
-    if (fd_ >= 0) {
-        ::close(fd_);
-        fd_ = -1;
-    }
-    leftover_.clear();
-}
+void HttpClient::disconnect() { closeConn(conn_.fd, conn_.leftover); }
 
 void HttpClient::setHeader(std::string_view name, std::string_view value) {
     for (auto it = defaultHeaders_.begin(); it != defaultHeaders_.end(); ++it) {
@@ -94,8 +181,24 @@ void HttpClient::setHeader(std::string_view name, std::string_view value) {
         defaultHeaders_.push_back({std::string(name), std::string(value)});
 }
 
-void HttpClient::connect() {
-    disconnect();
+void HttpClient::setRetryOptions(const RetryOptions& options) {
+    expects(options.maxAttempts >= 1,
+            "RetryOptions: maxAttempts must be at least 1");
+    expects(options.baseBackoffMs >= 0 && options.maxBackoffMs >= 0,
+            "RetryOptions: backoff must be non-negative");
+    expects(options.hedgeDelayMs >= 0,
+            "RetryOptions: hedgeDelayMs must be non-negative");
+    retry_ = options;
+    jitterState_ = options.seed;
+}
+
+void HttpClient::dial(Conn& conn, Clock::time_point deadline) {
+    closeConn(conn.fd, conn.leftover);
+    if (remainingMs(deadline) <= 0) throwTimeout("connect " + host_);
+    if (faultFires(kSiteConnect)) {
+        errno = ECONNREFUSED;
+        throwErrno("connect " + host_ + " (injected)");
+    }
     addrinfo hints{};
     hints.ai_family = AF_INET;
     hints.ai_socktype = SOCK_STREAM;
@@ -113,40 +216,412 @@ void HttpClient::connect() {
             lastErrno = errno;
             continue;
         }
-        timeval tv{};
-        tv.tv_sec = timeoutMs_ / 1000;
-        tv.tv_usec = (timeoutMs_ % 1000) * 1000;
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        // SO_SNDTIMEO also bounds a blocking connect() on Linux, so the dial
+        // itself cannot overrun the request deadline.
+        if (!armSocketDeadline(fd, deadline)) {
+            ::close(fd);
+            ::freeaddrinfo(result);
+            throwTimeout("connect " + host_);
+        }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
         if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
-            fd_ = fd;
+            conn.fd = fd;
             break;
         }
         lastErrno = errno;
         ::close(fd);
     }
     ::freeaddrinfo(result);
-    if (fd_ < 0) {
+    if (conn.fd < 0) {
+        if ((lastErrno == EINPROGRESS || lastErrno == EAGAIN ||
+             lastErrno == EWOULDBLOCK) &&
+            remainingMs(deadline) <= 0) {
+            throwTimeout("connect " + host_);
+        }
         errno = lastErrno;
         throwErrno("connect " + host_ + ":" + portText);
     }
 }
 
-bool HttpClient::sendAll(std::string_view data) {
+bool HttpClient::sendOn(Conn& conn, std::string_view data,
+                        Clock::time_point deadline) {
     std::size_t off = 0;
     while (off < data.size()) {
-        const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+        if (!armSocketDeadline(conn.fd, deadline)) {
+            closeConn(conn.fd, conn.leftover);
+            throwTimeout("send " + host_);
+        }
+        const ssize_t n = ::send(conn.fd, data.data() + off, data.size() - off,
                                  MSG_NOSIGNAL);
         if (n > 0) {
             off += static_cast<std::size_t>(n);
             continue;
         }
         if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            closeConn(conn.fd, conn.leftover);
+            throwTimeout("send " + host_);
+        }
         return false;
     }
     return true;
+}
+
+ClientResponse HttpClient::receiveOn(Conn& conn, Clock::time_point deadline,
+                                     std::size_t& received) {
+    ClientResponse response;
+    std::string buf = std::move(conn.leftover);
+    conn.leftover.clear();
+    received = buf.size();
+
+    // One bounded recv; appends to buf and bumps `received`, returns false
+    // on EOF, throws on error or deadline.
+    const auto recvSome = [&](const char* what) -> bool {
+        char chunk[16384];
+        while (true) {
+            if (!armSocketDeadline(conn.fd, deadline)) {
+                closeConn(conn.fd, conn.leftover);
+                throwTimeout(std::string(what) + " " + host_);
+            }
+            const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+            if (n > 0) {
+                buf.append(chunk, static_cast<std::size_t>(n));
+                received += static_cast<std::size_t>(n);
+                return true;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            if (n == 0) return false;
+            closeConn(conn.fd, conn.leftover);
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                throwTimeout(std::string(what) + " " + host_);
+            }
+            throwErrno(std::string(what) + " " + host_);
+        }
+    };
+
+    // Headers: accumulate until the blank line.
+    std::size_t headerEnd = std::string::npos;
+    while (true) {
+        headerEnd = buf.find("\r\n\r\n");
+        if (headerEnd != std::string::npos) break;
+        if (buf.size() > kMaxResponseHeaderBytes) {
+            closeConn(conn.fd, conn.leftover);
+            throw Error("response header block too large");
+        }
+        if (!recvSome("recv")) {
+            closeConn(conn.fd, conn.leftover);
+            throw Error("connection closed mid-response");
+        }
+    }
+
+    const std::string_view head(buf.data(), headerEnd);
+    std::size_t lineEnd = head.find("\r\n");
+    if (lineEnd == std::string_view::npos) lineEnd = head.size();
+    const std::string_view statusLine = head.substr(0, lineEnd);
+    if (statusLine.size() < 12 || statusLine.substr(0, 5) != "HTTP/") {
+        closeConn(conn.fd, conn.leftover);
+        throw Error("malformed status line: " + std::string(statusLine));
+    }
+    response.status = (statusLine[9] - '0') * 100 + (statusLine[10] - '0') * 10 +
+                      (statusLine[11] - '0');
+    if (response.status < 100 || response.status > 599) {
+        closeConn(conn.fd, conn.leftover);
+        throw Error("malformed status code: " + std::string(statusLine));
+    }
+
+    std::size_t pos = lineEnd == head.size() ? head.size() : lineEnd + 2;
+    while (pos < head.size()) {
+        std::size_t next = head.find("\r\n", pos);
+        if (next == std::string_view::npos) next = head.size();
+        const std::string_view line = head.substr(pos, next - pos);
+        pos = next + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) continue;
+        response.headers.push_back(
+            {std::string(line.substr(0, colon)),
+             std::string(trimView(line.substr(colon + 1)))});
+    }
+    buf.erase(0, headerEnd + 4);
+
+    const auto recvMore = [&](const char* what) {
+        if (!recvSome(what)) {
+            closeConn(conn.fd, conn.leftover);
+            throw Error(std::string(what) + ": connection closed");
+        }
+    };
+
+    bool closeAfter = false;
+    if (const std::string* connection = response.header("Connection")) {
+        closeAfter = caseEquals(*connection, "close");
+    }
+
+    const std::string* te = response.header("Transfer-Encoding");
+    if (te != nullptr && caseEquals(*te, "chunked")) {
+        while (true) {
+            const std::size_t nl = buf.find("\r\n");
+            if (nl == std::string::npos) {
+                recvMore("recv chunk size");
+                continue;
+            }
+            std::string sizeText = buf.substr(0, nl);
+            const std::size_t semi = sizeText.find(';');
+            if (semi != std::string::npos) sizeText.resize(semi);
+            char* end = nullptr;
+            const unsigned long long size =
+                std::strtoull(sizeText.c_str(), &end, 16);
+            if (end == sizeText.c_str()) {
+                closeConn(conn.fd, conn.leftover);
+                throw Error("malformed chunk size: " + sizeText);
+            }
+            if (size == 0) {
+                // Trailer section: lines until a blank one.
+                buf.erase(0, nl + 2);
+                while (true) {
+                    const std::size_t tn = buf.find("\r\n");
+                    if (tn == std::string::npos) {
+                        recvMore("recv trailers");
+                        continue;
+                    }
+                    const bool blank = tn == 0;
+                    buf.erase(0, tn + 2);
+                    if (blank) break;
+                }
+                break;
+            }
+            while (buf.size() < nl + 2 + size + 2) recvMore("recv chunk");
+            response.body.append(buf, nl + 2, size);
+            if (response.body.size() > kMaxResponseBodyBytes) {
+                closeConn(conn.fd, conn.leftover);
+                throw Error("response body too large");
+            }
+            buf.erase(0, nl + 2 + size + 2);
+        }
+    } else if (const std::string* cl = response.header("Content-Length")) {
+        char* end = nullptr;
+        const unsigned long long length = std::strtoull(cl->c_str(), &end, 10);
+        if (end == cl->c_str() || *end != '\0' ||
+            length > kMaxResponseBodyBytes) {
+            closeConn(conn.fd, conn.leftover);
+            throw Error("malformed Content-Length: " + *cl);
+        }
+        while (buf.size() < length) recvMore("recv body");
+        response.body = buf.substr(0, length);
+        buf.erase(0, length);
+    } else if (closeAfter) {
+        // Read-to-EOF body.
+        while (true) {
+            if (buf.size() > kMaxResponseBodyBytes) {
+                closeConn(conn.fd, conn.leftover);
+                throw Error("response body too large");
+            }
+            if (!recvSome("recv body")) break;
+        }
+        response.body = std::move(buf);
+        buf.clear();
+    }
+    // else: no framing headers and keep-alive — bodiless response.
+
+    if (closeAfter) {
+        closeConn(conn.fd, conn.leftover);
+    } else {
+        conn.leftover = std::move(buf);
+    }
+    return response;
+}
+
+ClientResponse HttpClient::attemptOnce(const std::string& request,
+                                       Clock::time_point deadline,
+                                       bool idempotent, bool& sentAny) {
+    bool redialed = false;
+    while (true) {
+        const bool fresh = conn_.fd < 0;
+        if (fresh) dial(conn_, deadline);
+        if (!sendOn(conn_, request, deadline)) {
+            // Stale keep-alive socket (server closed between requests): the
+            // request never ran, so one transparent re-dial is always safe.
+            closeConn(conn_.fd, conn_.leftover);
+            if (fresh || redialed) throwErrno("send " + host_);
+            redialed = true;
+            ++stats_.redials;
+            ClientMetrics::get().redials.inc();
+            continue;
+        }
+        sentAny = true;
+        std::size_t received = 0;
+        try {
+            return receiveOn(conn_, deadline, received);
+        } catch (const TimeoutError&) {
+            throw;
+        } catch (const Error&) {
+            // The other face of the stale keep-alive race: the server had
+            // already closed, our bytes vanished, and the first read sees
+            // EOF. Only idempotent requests may transparently re-run — a
+            // reused connection cannot prove the request was unprocessed.
+            if (!fresh && !redialed && idempotent && received == 0) {
+                redialed = true;
+                sentAny = false;
+                ++stats_.redials;
+                ClientMetrics::get().redials.inc();
+                continue;
+            }
+            throw;
+        }
+    }
+}
+
+ClientResponse HttpClient::hedgedAttempt(const std::string& request,
+                                         Clock::time_point deadline) {
+    struct Slot {
+        HttpClient::Conn conn;
+        std::atomic<int> fd{-1}; ///< published for cross-thread shutdown
+        int redials = 0;
+        bool finished = false; ///< under mu
+        bool ok = false;       ///< under mu
+    };
+    struct Shared {
+        std::mutex mu;
+        std::condition_variable cv;
+        int done = 0;
+        int winner = -1;
+        ClientResponse winning;
+        std::exception_ptr firstError;
+        std::atomic<bool> cancelled{false};
+    };
+    Slot slots[2];
+    Shared sh;
+
+    // The primary adopts the kept-alive connection; it is restored (or
+    // replaced by the hedge's) once a winner is known.
+    slots[0].conn = conn_;
+    conn_ = Conn{};
+    slots[0].fd.store(slots[0].conn.fd, std::memory_order_relaxed);
+
+    const auto run = [&](int idx) {
+        Slot& slot = slots[idx];
+        try {
+            ClientResponse r;
+            bool redialed = false;
+            while (true) {
+                if (sh.cancelled.load()) {
+                    throw Error("hedge attempt cancelled");
+                }
+                const bool fresh = slot.conn.fd < 0;
+                if (fresh) {
+                    dial(slot.conn, deadline);
+                    slot.fd.store(slot.conn.fd);
+                    // Publish-then-check pairs with the canceller's
+                    // set-then-read: one side always observes the other, so
+                    // a loser that dialed after the shutdown sweep still
+                    // aborts instead of blocking in recv until the deadline.
+                    if (sh.cancelled.load()) {
+                        throw Error("hedge attempt cancelled");
+                    }
+                }
+                if (!sendOn(slot.conn, request, deadline)) {
+                    closeConn(slot.conn.fd, slot.conn.leftover);
+                    slot.fd.store(-1);
+                    if (fresh || redialed) throwErrno("send " + host_);
+                    redialed = true;
+                    ++slot.redials;
+                    continue;
+                }
+                std::size_t received = 0;
+                try {
+                    r = receiveOn(slot.conn, deadline, received);
+                    break;
+                } catch (const TimeoutError&) {
+                    throw;
+                } catch (const Error&) {
+                    slot.fd.store(-1);
+                    // Hedged requests are GETs: the stale keep-alive EOF
+                    // race re-dials just like the unhedged path.
+                    if (!fresh && !redialed && received == 0 &&
+                        !sh.cancelled.load()) {
+                        redialed = true;
+                        ++slot.redials;
+                        continue;
+                    }
+                    throw;
+                }
+            }
+            const std::lock_guard<std::mutex> lock(sh.mu);
+            slot.finished = true;
+            slot.ok = true;
+            ++sh.done;
+            if (sh.winner < 0) {
+                sh.winner = idx;
+                sh.winning = std::move(r);
+            } else {
+                // Both completed; only the winner's connection is kept.
+                closeConn(slot.conn.fd, slot.conn.leftover);
+                slot.fd.store(-1, std::memory_order_relaxed);
+            }
+            sh.cv.notify_all();
+        } catch (...) {
+            closeConn(slot.conn.fd, slot.conn.leftover);
+            slot.fd.store(-1, std::memory_order_relaxed);
+            const std::lock_guard<std::mutex> lock(sh.mu);
+            slot.finished = true;
+            ++sh.done;
+            if (!sh.firstError) sh.firstError = std::current_exception();
+            sh.cv.notify_all();
+        }
+    };
+
+    std::thread primary(run, 0);
+    std::thread hedge;
+    bool hedgeLaunched = false;
+    {
+        std::unique_lock<std::mutex> lock(sh.mu);
+        const auto hedgeAt =
+            Clock::now() + std::chrono::milliseconds(retry_.hedgeDelayMs);
+        sh.cv.wait_until(lock, std::min(hedgeAt, deadline),
+                         [&] { return sh.done > 0; });
+        if (sh.done == 0 && remainingMs(deadline) > 0) {
+            hedgeLaunched = true;
+            hedge = std::thread(run, 1);
+        }
+        const int launched = hedgeLaunched ? 2 : 1;
+        sh.cv.wait(lock,
+                   [&] { return sh.winner >= 0 || sh.done == launched; });
+        if (sh.winner >= 0 && sh.done < launched) {
+            // Cancel the loser: shutdown unblocks its recv/send; the loser
+            // thread owns the close.
+            sh.cancelled.store(true);
+            const int loserFd = slots[1 - sh.winner].fd.load();
+            if (loserFd >= 0) ::shutdown(loserFd, SHUT_RDWR);
+        }
+    }
+    primary.join();
+    if (hedge.joinable()) hedge.join();
+
+    stats_.redials += slots[0].redials + slots[1].redials;
+    for (int i = slots[0].redials + slots[1].redials; i > 0; --i)
+        ClientMetrics::get().redials.inc();
+    if (hedgeLaunched) {
+        ++stats_.hedges;
+        ClientMetrics::get().hedges.inc();
+    }
+    if (sh.winner < 0) {
+        std::rethrow_exception(sh.firstError);
+    }
+    if (sh.winner == 1) {
+        ++stats_.hedgeWins;
+        ClientMetrics::get().hedgeWins.inc();
+    }
+    conn_ = slots[sh.winner].conn; // keep the winner's connection alive
+    return std::move(sh.winning);
+}
+
+int HttpClient::backoffMs(int attempt) {
+    std::int64_t cap = retry_.baseBackoffMs;
+    for (int i = 0; i < attempt && cap < retry_.maxBackoffMs; ++i) cap *= 2;
+    if (cap > retry_.maxBackoffMs) cap = retry_.maxBackoffMs;
+    if (cap <= 0) return 0;
+    // Full jitter: uniform in [0, cap], deterministic per RetryOptions::seed.
+    const std::uint64_t draw = util::splitmix64(jitterState_);
+    return static_cast<int>(draw % static_cast<std::uint64_t>(cap + 1));
 }
 
 ClientResponse HttpClient::get(const std::string& path) {
@@ -179,177 +654,58 @@ ClientResponse HttpClient::roundTrip(const std::string& method,
     request += "\r\n";
     request += body;
 
-    // A kept-alive connection may have been closed by the server (idle
-    // timeout, drain); retry the whole exchange once on a fresh dial, but
-    // only if we could not even send — once bytes went out, a second send
-    // could execute the request twice.
-    bool retried = false;
-    while (true) {
-        if (fd_ < 0) connect();
-        if (!sendAll(request)) {
-            if (retried) throwErrno("send " + host_);
-            retried = true;
-            disconnect();
-            continue;
-        }
-        break;
-    }
+    const bool idempotent = method == "GET" || method == "DELETE";
+    const bool hedged = method == "GET" && retry_.hedgeDelayMs > 0;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs_);
 
-    ClientResponse response;
-    std::string buf = std::move(leftover_);
-    leftover_.clear();
-
-    // Headers: accumulate until the blank line.
-    std::size_t headerEnd = std::string::npos;
-    while (true) {
-        headerEnd = buf.find("\r\n\r\n");
-        if (headerEnd != std::string::npos) break;
-        if (buf.size() > kMaxResponseHeaderBytes) {
-            disconnect();
-            throw Error("response header block too large");
-        }
-        char chunk[8192];
-        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-        if (n > 0) {
-            buf.append(chunk, static_cast<std::size_t>(n));
-            continue;
-        }
-        if (n < 0 && errno == EINTR) continue;
-        disconnect();
-        if (n == 0) throw Error("connection closed mid-response");
-        throwErrno("recv " + host_);
-    }
-
-    const std::string_view head(buf.data(), headerEnd);
-    std::size_t lineEnd = head.find("\r\n");
-    if (lineEnd == std::string_view::npos) lineEnd = head.size();
-    const std::string_view statusLine = head.substr(0, lineEnd);
-    if (statusLine.size() < 12 || statusLine.substr(0, 5) != "HTTP/") {
-        disconnect();
-        throw Error("malformed status line: " + std::string(statusLine));
-    }
-    response.status = (statusLine[9] - '0') * 100 + (statusLine[10] - '0') * 10 +
-                      (statusLine[11] - '0');
-    if (response.status < 100 || response.status > 599) {
-        disconnect();
-        throw Error("malformed status code: " + std::string(statusLine));
-    }
-
-    std::size_t pos = lineEnd == head.size() ? head.size() : lineEnd + 2;
-    while (pos < head.size()) {
-        std::size_t next = head.find("\r\n", pos);
-        if (next == std::string_view::npos) next = head.size();
-        const std::string_view line = head.substr(pos, next - pos);
-        pos = next + 2;
-        const std::size_t colon = line.find(':');
-        if (colon == std::string_view::npos) continue;
-        response.headers.push_back(
-            {std::string(line.substr(0, colon)),
-             std::string(trimView(line.substr(colon + 1)))});
-    }
-    buf.erase(0, headerEnd + 4);
-
-    const auto recvMore = [&](const char* what) {
-        char chunk[16384];
-        while (true) {
-            const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-            if (n > 0) {
-                buf.append(chunk, static_cast<std::size_t>(n));
-                return;
-            }
-            if (n < 0 && errno == EINTR) continue;
-            disconnect();
-            if (n == 0) throw Error(std::string(what) + ": connection closed");
-            throwErrno(what);
-        }
+    // Sleeps `ms` if it fits the remaining budget; false otherwise.
+    const auto sleepWithinDeadline = [&](int ms) {
+        if (ms > remainingMs(deadline)) return false;
+        if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        return true;
     };
 
-    bool closeAfter = false;
-    if (const std::string* connection = response.header("Connection")) {
-        closeAfter = caseEquals(*connection, "close");
-    }
-
-    const std::string* te = response.header("Transfer-Encoding");
-    if (te != nullptr && caseEquals(*te, "chunked")) {
-        while (true) {
-            const std::size_t nl = buf.find("\r\n");
-            if (nl == std::string::npos) {
-                recvMore("recv chunk size");
+    int attempt = 0;
+    while (true) {
+        bool sentAny = false;
+        ClientResponse response;
+        try {
+            response = hedged
+                           ? hedgedAttempt(request, deadline)
+                           : attemptOnce(request, deadline, idempotent, sentAny);
+        } catch (const TimeoutError&) {
+            throw; // the budget is gone; retrying cannot help
+        } catch (const Error&) {
+            // Transport failure. Retry only when another attempt cannot
+            // double-execute: idempotent methods, or a request whose bytes
+            // never reached a live server.
+            if (attempt + 1 >= retry_.maxAttempts ||
+                !(idempotent || !sentAny) ||
+                !sleepWithinDeadline(backoffMs(attempt))) {
+                throw;
+            }
+            ++attempt;
+            ++stats_.retries;
+            ClientMetrics::get().retries.inc();
+            continue;
+        }
+        if ((response.status == 429 || response.status == 503) &&
+            retry_.retryOnShed && attempt + 1 < retry_.maxAttempts) {
+            // Shed by the server before execution — safe to retry for any
+            // method. Honor Retry-After when it fits the budget.
+            const int after = retryAfterMs(response);
+            if (sleepWithinDeadline(after >= 0 ? after : backoffMs(attempt))) {
+                ++attempt;
+                ++stats_.retries;
+                ++stats_.shedWaits;
+                ClientMetrics::get().retries.inc();
+                ClientMetrics::get().shedWaits.inc();
                 continue;
             }
-            std::string sizeText = buf.substr(0, nl);
-            const std::size_t semi = sizeText.find(';');
-            if (semi != std::string::npos) sizeText.resize(semi);
-            char* end = nullptr;
-            const unsigned long long size =
-                std::strtoull(sizeText.c_str(), &end, 16);
-            if (end == sizeText.c_str()) {
-                disconnect();
-                throw Error("malformed chunk size: " + sizeText);
-            }
-            if (size == 0) {
-                // Trailer section: lines until a blank one.
-                buf.erase(0, nl + 2);
-                while (true) {
-                    const std::size_t tn = buf.find("\r\n");
-                    if (tn == std::string::npos) {
-                        recvMore("recv trailers");
-                        continue;
-                    }
-                    const bool blank = tn == 0;
-                    buf.erase(0, tn + 2);
-                    if (blank) break;
-                }
-                break;
-            }
-            while (buf.size() < nl + 2 + size + 2) recvMore("recv chunk");
-            response.body.append(buf, nl + 2, size);
-            if (response.body.size() > kMaxResponseBodyBytes) {
-                disconnect();
-                throw Error("response body too large");
-            }
-            buf.erase(0, nl + 2 + size + 2);
         }
-    } else if (const std::string* cl = response.header("Content-Length")) {
-        char* end = nullptr;
-        const unsigned long long length = std::strtoull(cl->c_str(), &end, 10);
-        if (end == cl->c_str() || *end != '\0' ||
-            length > kMaxResponseBodyBytes) {
-            disconnect();
-            throw Error("malformed Content-Length: " + *cl);
-        }
-        while (buf.size() < length) recvMore("recv body");
-        response.body = buf.substr(0, length);
-        buf.erase(0, length);
-    } else if (closeAfter) {
-        // Read-to-EOF body.
-        while (true) {
-            char chunk[16384];
-            const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-            if (n > 0) {
-                buf.append(chunk, static_cast<std::size_t>(n));
-                if (buf.size() > kMaxResponseBodyBytes) {
-                    disconnect();
-                    throw Error("response body too large");
-                }
-                continue;
-            }
-            if (n < 0 && errno == EINTR) continue;
-            if (n == 0) break;
-            disconnect();
-            throwErrno("recv body");
-        }
-        response.body = std::move(buf);
-        buf.clear();
+        return response;
     }
-    // else: no framing headers and keep-alive — bodiless response.
-
-    if (closeAfter) {
-        disconnect();
-    } else {
-        leftover_ = std::move(buf);
-    }
-    return response;
 }
 
 } // namespace lar::net

@@ -1,21 +1,48 @@
-// A minimal blocking HTTP/1.1 client for larctl --url, tests, and benches.
+// A deadline-budgeted, retrying HTTP/1.1 client for larctl --url, tests,
+// benches — and the future front-line router.
 //
 // One HttpClient owns one keep-alive connection to one host:port and issues
 // requests sequentially. Responses are parsed with the same strictness tier
-// as the server (Content-Length or chunked, bounded header block). Failures
-// — refused connection, timeout, malformed response — throw lar::Error; a
-// dropped keep-alive connection is transparently re-dialed once per request.
+// as the server (Content-Length or chunked, bounded header block).
+//
+// Every request runs under one end-to-end deadline (`timeoutMs` at
+// construction): connect, send, receive, transparent re-dials, retry
+// backoff, and hedges all share that single budget — a request can never
+// block longer than its deadline plus scheduling noise, no matter how many
+// attempts it takes. Failures — refused connection, reset, deadline
+// exceeded, malformed response — throw lar::Error (TimeoutError for the
+// deadline). A stale keep-alive connection is transparently re-dialed
+// within the same budget.
+//
+// Retries are explicit policy (RetryOptions, default off — one attempt):
+// bounded attempts with exponential backoff and full jitter; 429/503
+// responses are retried honoring Retry-After when the budget allows;
+// transport errors are retried only for idempotent requests or requests
+// whose bytes never reached the wire, so a non-idempotent request can never
+// be executed twice by this client. Optionally, idempotent GETs are hedged:
+// after `hedgeDelayMs` without a response a second connection races the
+// first, first complete response wins and the loser is cancelled.
+//
 // Not thread-safe; give each thread its own client.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "net/http.hpp"
+#include "util/error.hpp"
 
 namespace lar::net {
+
+/// Thrown when a request's end-to-end deadline expires before a complete
+/// response arrived (connect + send + receive + retries share one budget).
+class TimeoutError : public Error {
+public:
+    explicit TimeoutError(const std::string& what) : Error(what) {}
+};
 
 /// Parsed form of "http://host:port" (path suffix allowed and ignored).
 /// Throws lar::ParseError on anything else (https, missing port, ...).
@@ -33,9 +60,47 @@ struct ClientResponse {
     [[nodiscard]] const std::string* header(std::string_view name) const;
 };
 
+/// Bounded retry/hedging policy, applied per request. Mirrors the semantics
+/// of reason::RetryPolicy one layer down: a fixed attempt budget, retries
+/// only when they cannot change the answer (idempotent or never-sent), and
+/// deterministic randomness via an explicit seed.
+struct RetryOptions {
+    /// Total attempts per request (1 = no retry). Further attempts run only
+    /// while the end-to-end deadline has budget left.
+    int maxAttempts = 1;
+    /// Exponential backoff with full jitter between attempts: sleep a
+    /// uniform draw from [0, min(maxBackoffMs, baseBackoffMs << attempt)].
+    int baseBackoffMs = 50;
+    int maxBackoffMs = 2'000;
+    /// Retry 429/503 responses (the server's shed path). The wait honors
+    /// the response's Retry-After header when present (else backoff); when
+    /// the wait would overrun the deadline the shed response is returned
+    /// as-is. Safe for any method — a shed response means not executed.
+    bool retryOnShed = true;
+    /// When > 0, hedge idempotent GETs: if no response arrived within this
+    /// many ms, race a second connection with the same request; the first
+    /// complete response wins and the loser is cancelled. Non-idempotent
+    /// requests never hedge. Pick a p99-ish delay.
+    int hedgeDelayMs = 0;
+    /// Seed for the jitter stream (deterministic backoff in tests).
+    std::uint64_t seed = 0;
+};
+
+/// Per-client tallies of the resilience machinery (also exported process-
+/// wide as lar_net_client_* metrics).
+struct ClientStats {
+    std::uint64_t retries = 0;    ///< attempts after the first
+    std::uint64_t redials = 0;    ///< transparent stale-connection re-dials
+    std::uint64_t shedWaits = 0;  ///< 429/503 waits (Retry-After or backoff)
+    std::uint64_t hedges = 0;     ///< hedge attempts launched
+    std::uint64_t hedgeWins = 0;  ///< responses won by the hedge attempt
+};
+
 class HttpClient {
 public:
-    /// Does not connect yet; the first request dials.
+    /// Does not connect yet; the first request dials. `timeoutMs` is the
+    /// END-TO-END deadline of each request (not per syscall): connect +
+    /// send + receive + retries + hedges together.
     HttpClient(std::string host, std::uint16_t port, int timeoutMs = 30'000);
     ~HttpClient();
 
@@ -43,7 +108,8 @@ public:
     HttpClient& operator=(const HttpClient&) = delete;
 
     /// Issues one request and blocks for the full response (throws
-    /// lar::Error on connect/send/receive failure or timeout).
+    /// lar::Error on connect/send/receive failure, TimeoutError once the
+    /// deadline expires).
     ClientResponse get(const std::string& path);
     ClientResponse post(const std::string& path, std::string body,
                         const std::string& contentType = "application/json");
@@ -57,19 +123,59 @@ public:
     /// Setting a name again replaces the previous value; "" removes it.
     void setHeader(std::string_view name, std::string_view value);
 
+    /// Replaces the retry/hedging policy for subsequent requests.
+    void setRetryOptions(const RetryOptions& options);
+    [[nodiscard]] const RetryOptions& retryOptions() const { return retry_; }
+
+    /// Running tallies since construction.
+    [[nodiscard]] const ClientStats& stats() const { return stats_; }
+
 private:
+    /// One socket plus the bytes read past its previous response.
+    struct Conn {
+        int fd = -1;
+        std::string leftover;
+    };
+
     ClientResponse roundTrip(const std::string& method, const std::string& path,
                              const std::string& body,
                              const std::string& contentType);
-    bool sendAll(std::string_view data);
-    void connect();
+    /// One attempt on the kept-alive connection: dial if needed, send,
+    /// receive — all bounded by `deadline`. Transparently re-dials once on
+    /// a stale connection (send failure, or response EOF before any bytes
+    /// on a reused connection when `idempotent`). Sets `sentAny` the moment
+    /// request bytes hit a socket that was not re-dialed away.
+    ClientResponse attemptOnce(const std::string& request,
+                               std::chrono::steady_clock::time_point deadline,
+                               bool idempotent, bool& sentAny);
+    /// The hedged variant: primary attempt races a second fresh-socket
+    /// attempt launched after retry_.hedgeDelayMs; first complete response
+    /// wins, the loser is shut down.
+    ClientResponse hedgedAttempt(const std::string& request,
+                                 std::chrono::steady_clock::time_point deadline);
+    /// Dials a fresh socket into `conn` (per-syscall timeouts clamped to the
+    /// remaining budget). Consults the net.connect fault site.
+    void dial(Conn& conn, std::chrono::steady_clock::time_point deadline);
+    /// Sends all of `data`; false on transport failure (errno set), throws
+    /// TimeoutError once the deadline expires.
+    bool sendOn(Conn& conn, std::string_view data,
+                std::chrono::steady_clock::time_point deadline);
+    /// Receives and parses one response; `received` counts response bytes
+    /// seen (0 distinguishes the stale keep-alive EOF race from a
+    /// mid-response failure).
+    ClientResponse receiveOn(Conn& conn,
+                             std::chrono::steady_clock::time_point deadline,
+                             std::size_t& received);
+    int backoffMs(int attempt);
 
     std::string host_;
     std::uint16_t port_;
     int timeoutMs_;
-    int fd_ = -1;
-    std::string leftover_; ///< bytes past the previous response
+    Conn conn_;
     std::vector<HttpHeader> defaultHeaders_; ///< sent with every request
+    RetryOptions retry_;
+    ClientStats stats_;
+    std::uint64_t jitterState_;
 };
 
 } // namespace lar::net

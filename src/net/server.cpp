@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_id.hpp"
 #include "util/error.hpp"
@@ -90,6 +91,40 @@ struct Metrics {
     }
 };
 
+/// Resilience counters (server side of the lar_net_* family; the client
+/// half lives in http_client.cpp).
+struct NetMetrics {
+    obs::Counter& resets;
+    obs::Counter& readProgressTimeouts;
+    obs::Counter& writeProgressTimeouts;
+    obs::Counter& lifetimeCloses;
+    obs::Counter& faultsInjected;
+
+    static NetMetrics& get() {
+        static NetMetrics m{
+            obs::Registry::global().counter(
+                "lar_net_resets_total",
+                "connections dropped on a transport error mid-read or "
+                "mid-write (ECONNRESET/EPIPE, organic or injected)"),
+            obs::Registry::global().counter(
+                "lar_net_read_progress_timeouts_total",
+                "requests killed with 408 because they arrived too slowly "
+                "(slowloris defense)"),
+            obs::Registry::global().counter(
+                "lar_net_write_progress_timeouts_total",
+                "responses abandoned because the peer drained too slowly "
+                "(stalled-reader defense)"),
+            obs::Registry::global().counter(
+                "lar_net_lifetime_closes_total",
+                "connections closed at the max connection lifetime"),
+            obs::Registry::global().counter(
+                "lar_net_faults_injected_total",
+                "socket faults fired by armed net.* injection sites"),
+        };
+        return m;
+    }
+};
+
 struct Connection {
     int fd = -1;
     std::uint64_t id = 0;
@@ -106,6 +141,10 @@ struct Connection {
     bool closeAfterWrite = false;
     bool continueSent = false;
     Clock::time_point lastActivity;
+    Clock::time_point acceptedAt;
+    /// Set when a response starts flushing; total-write-time clock for the
+    /// stalled-reader kill (write-idle alone is defeated by slow drains).
+    Clock::time_point writeStart;
 
     // Per-request bookkeeping for metrics and the access log.
     Clock::time_point requestStart;
@@ -275,6 +314,10 @@ void HttpServer::Impl::start() {
     ::getsockname(listenFd, reinterpret_cast<sockaddr*>(&bound), &len);
     boundPort = ntohs(bound.sin_port);
 
+    // Intern the lar_net_* family now so /metrics exposes the counters (at
+    // zero) before the first reset/timeout, not only after one happened.
+    (void)NetMetrics::get();
+
     pool = std::make_unique<util::ThreadPool>(opts.handlerThreads);
     running.store(true, std::memory_order_release);
 
@@ -430,6 +473,11 @@ void HttpServer::Impl::acceptBurst(Loop& loop) {
             ::close(fd);
             continue;
         }
+        if (faultFires(kSiteAccept)) {
+            NetMetrics::get().faultsInjected.inc();
+            ::close(fd);
+            continue;
+        }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
@@ -437,6 +485,7 @@ void HttpServer::Impl::acceptBurst(Loop& loop) {
         conn->fd = fd;
         conn->id = nextConnId.fetch_add(1, std::memory_order_relaxed);
         conn->lastActivity = Clock::now();
+        conn->acceptedAt = conn->lastActivity;
         char ip[INET_ADDRSTRLEN] = {0};
         ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
         conn->peer = std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
@@ -474,14 +523,25 @@ void HttpServer::Impl::onConnEvent(Loop& loop, Connection& conn,
 
 void HttpServer::Impl::onReadable(Loop& loop, Connection& conn) {
     while (conn.state == Connection::St::Reading) {
+        if (faultFires(kSiteRead)) { // injected ECONNRESET mid-read
+            NetMetrics::get().faultsInjected.inc();
+            NetMetrics::get().resets.inc();
+            closeConn(loop, conn);
+            return;
+        }
         char buf[kReadChunk];
-        const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+        std::size_t want = sizeof buf;
+        if (faultFires(kSiteReadShort)) { // short read: 1 byte per recv
+            NetMetrics::get().faultsInjected.inc();
+            want = 1;
+        }
+        const ssize_t n = ::recv(conn.fd, buf, want, 0);
         if (n > 0) {
             Metrics::get().bytesRead.inc(static_cast<std::uint64_t>(n));
             conn.lastActivity = Clock::now();
             conn.inBuf.append(buf, static_cast<std::size_t>(n));
             processInput(loop, conn);
-            if (static_cast<std::size_t>(n) < sizeof buf) break;
+            if (static_cast<std::size_t>(n) < want) break;
             continue;
         }
         if (n == 0) { // peer closed
@@ -490,6 +550,7 @@ void HttpServer::Impl::onReadable(Loop& loop, Connection& conn) {
         }
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        NetMetrics::get().resets.inc();
         closeConn(loop, conn);
         return;
     }
@@ -709,18 +770,37 @@ void HttpServer::Impl::queueResponse(Loop& loop, Connection& conn,
     serializeResponse(response, !conn.closeAfterWrite, conn.outBuf);
     conn.responseBytes = conn.outBuf.size() - outBefore;
     conn.state = Connection::St::Writing;
+    conn.writeStart = Clock::now();
     writeSome(loop, conn);
 }
 
 void HttpServer::Impl::writeSome(Loop& loop, Connection& conn) {
     while (conn.outPending()) {
-        const ssize_t n =
-            ::send(conn.fd, conn.outBuf.data() + conn.outOff,
-                   conn.outBuf.size() - conn.outOff, MSG_NOSIGNAL);
+        if (faultFires(kSiteWrite)) { // injected EPIPE/ECONNRESET mid-write
+            NetMetrics::get().faultsInjected.inc();
+            NetMetrics::get().resets.inc();
+            closeConn(loop, conn);
+            return;
+        }
+        std::size_t len = conn.outBuf.size() - conn.outOff;
+        bool partial = false;
+        if (len > 1 && faultFires(kSiteWritePartial)) { // 1-byte partial write
+            NetMetrics::get().faultsInjected.inc();
+            len = 1;
+            partial = true;
+        }
+        const ssize_t n = ::send(conn.fd, conn.outBuf.data() + conn.outOff,
+                                 len, MSG_NOSIGNAL);
         if (n > 0) {
             Metrics::get().bytesWritten.inc(static_cast<std::uint64_t>(n));
             conn.outOff += static_cast<std::size_t>(n);
             conn.lastActivity = Clock::now();
+            if (partial) {
+                // Resume through EPOLLOUT like a genuine partial write, so
+                // the injected fault exercises the real resumption path.
+                updateEvents(loop, conn);
+                return;
+            }
             continue;
         }
         if (n < 0 && errno == EINTR) continue;
@@ -728,6 +808,7 @@ void HttpServer::Impl::writeSome(Loop& loop, Connection& conn) {
             updateEvents(loop, conn);
             return;
         }
+        NetMetrics::get().resets.inc();
         closeConn(loop, conn); // EPIPE/ECONNRESET/...
         return;
     }
@@ -765,6 +846,7 @@ void HttpServer::Impl::finishResponse(Loop& loop, Connection& conn) {
     conn.state = Connection::St::Reading;
     conn.continueSent = false;
     conn.requestStart = Clock::time_point{};
+    conn.writeStart = Clock::time_point{};
     conn.method.clear();
     conn.path.clear();
     conn.traceId.clear();
@@ -794,16 +876,46 @@ void HttpServer::Impl::sweep(Loop& loop) {
     const Clock::time_point now = Clock::now();
     const bool drainingNow = draining.load(std::memory_order_acquire);
     std::vector<std::uint64_t> doomed;
+    std::vector<std::uint64_t> slowRequests; // answered 408, then closed
     for (auto& [id, connPtr] : loop.conns) {
         (void)id;
         Connection& conn = *connPtr;
         const double idleMs = msSince(conn.lastActivity, now);
-        if (conn.outPending() &&
-            idleMs >= static_cast<double>(opts.writeIdleTimeoutMs)) {
+        if (opts.maxConnLifetimeMs > 0 &&
+            msSince(conn.acceptedAt, now) >=
+                static_cast<double>(opts.maxConnLifetimeMs)) {
+            NetMetrics::get().lifetimeCloses.inc();
             doomed.push_back(conn.id);
             continue;
         }
+        if (conn.outPending()) {
+            // Total-write-time kill beats the idle check: a reader draining
+            // one byte per sweep keeps idleMs near zero forever.
+            if (opts.responseWriteTimeoutMs > 0 &&
+                conn.writeStart != Clock::time_point{} &&
+                msSince(conn.writeStart, now) >=
+                    static_cast<double>(opts.responseWriteTimeoutMs)) {
+                NetMetrics::get().writeProgressTimeouts.inc();
+                doomed.push_back(conn.id);
+                continue;
+            }
+            if (idleMs >= static_cast<double>(opts.writeIdleTimeoutMs)) {
+                doomed.push_back(conn.id);
+                continue;
+            }
+        }
         if (conn.state == Connection::St::Reading && !conn.outPending()) {
+            // Total-receive-time kill: a slowloris dripping header bytes
+            // refreshes lastActivity on every drip, so only the clock that
+            // started at the request's first byte can catch it.
+            if (opts.requestReadTimeoutMs > 0 && conn.parser.begun() &&
+                conn.requestStart != Clock::time_point{} &&
+                msSince(conn.requestStart, now) >=
+                    static_cast<double>(opts.requestReadTimeoutMs)) {
+                NetMetrics::get().readProgressTimeouts.inc();
+                slowRequests.push_back(conn.id);
+                continue;
+            }
             if (drainingNow && !conn.parser.begun() &&
                 idleMs >= static_cast<double>(opts.drainIdleCloseMs)) {
                 doomed.push_back(conn.id);
@@ -815,6 +927,20 @@ void HttpServer::Impl::sweep(Loop& loop) {
     for (const std::uint64_t id : doomed) {
         const auto it = loop.conns.find(id);
         if (it != loop.conns.end()) closeConn(loop, *it->second);
+    }
+    for (const std::uint64_t id : slowRequests) {
+        const auto it = loop.conns.find(id);
+        if (it == loop.conns.end()) continue;
+        Connection& conn = *it->second;
+        conn.method = conn.method.empty() ? "-" : conn.method;
+        conn.path = conn.path.empty() ? "-" : conn.path;
+        respondNow(loop, conn,
+                   HttpResponse::errorJson(408, "request_timeout",
+                                           "request not received within " +
+                                               std::to_string(
+                                                   opts.requestReadTimeoutMs) +
+                                               " ms"),
+                   /*forceClose=*/true);
     }
 }
 

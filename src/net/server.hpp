@@ -53,6 +53,19 @@ struct ServerOptions {
     int readIdleTimeoutMs = 60'000;
     /// Close a connection that has not accepted response bytes this long.
     int writeIdleTimeoutMs = 30'000;
+    /// Kill a request that has been ARRIVING longer than this, answering 408
+    /// (total receive time, first byte to complete parse). Idle timeouts
+    /// alone are defeated by a slowloris client dripping one byte per
+    /// second — every drip refreshes the idle clock; this one it cannot
+    /// refresh. 0 disables.
+    int requestReadTimeoutMs = 30'000;
+    /// Kill a response that has been FLUSHING longer than this (total write
+    /// time). The write-idle timeout alone is defeated by a reader draining
+    /// one byte per second. 0 disables.
+    int responseWriteTimeoutMs = 30'000;
+    /// Close any connection older than this regardless of activity (bounds
+    /// resource pins from well-behaved-but-eternal peers). 0 disables.
+    int maxConnLifetimeMs = 0;
     /// While draining: grace before idle keep-alive connections are closed.
     int drainIdleCloseMs = 100;
     /// Accepted-socket cap; past it new connections are closed immediately.

@@ -20,6 +20,7 @@
 #include "serve/build_info.hpp"
 #include "serve/session_io.hpp"
 #include "util/error.hpp"
+#include "util/fault_injector.hpp"
 
 namespace lar::serve {
 
@@ -159,6 +160,29 @@ std::string renderStatusz(const reason::Service& service,
         }
     } else {
         page += "\nsessions: disabled\n";
+    }
+
+    // Chaos visibility: any fault-injection site touched this process. A
+    // healthy production instance prints nothing here.
+    const std::vector<util::FaultInjector::SiteStatus> faults =
+        util::FaultInjector::global().snapshot();
+    if (!faults.empty()) {
+        page += "\nfault injection sites: " + std::to_string(faults.size()) +
+                "\n";
+        for (const util::FaultInjector::SiteStatus& f : faults) {
+            page += "  " + f.site + "  " + f.mode;
+            if (f.mode == "probability") {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "=%.3f", f.probability);
+                page += buf;
+            } else if (f.mode == "nth_hit") {
+                page += "=" + std::to_string(f.nth);
+            }
+            if (f.delayMs > 0) {
+                page += "  delay_ms=" + std::to_string(f.delayMs);
+            }
+            page += "  hits=" + std::to_string(f.hits) + "\n";
+        }
     }
     return page;
 }
@@ -479,6 +503,28 @@ void registerDebugRoutes(net::HttpServer& server, reason::Service& service,
                      body["sessions"] = json::Value(std::move(rows));
                      return apiResponse(200, std::move(body));
                  });
+
+    server.route("GET", "/v1/debug/faults", [](const net::HttpRequest&) {
+        json::Array rows;
+        for (const util::FaultInjector::SiteStatus& f :
+             util::FaultInjector::global().snapshot()) {
+            json::Value row;
+            row["site"] = f.site;
+            row["mode"] = f.mode;
+            row["armed"] = f.armed;
+            if (f.mode == "probability") row["probability"] = f.probability;
+            if (f.nth > 0) row["nth"] = static_cast<std::int64_t>(f.nth);
+            if (f.delayMs > 0) {
+                row["delay_ms"] = static_cast<std::int64_t>(f.delayMs);
+            }
+            row["hits"] = static_cast<std::int64_t>(f.hits);
+            rows.push_back(std::move(row));
+        }
+        json::Value body;
+        body["count"] = static_cast<std::int64_t>(rows.size());
+        body["faults"] = json::Value(std::move(rows));
+        return apiResponse(200, std::move(body));
+    });
 
     server.route("GET", "/statusz",
                  [&server, &service, sessions](const net::HttpRequest&) {

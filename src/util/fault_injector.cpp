@@ -1,5 +1,6 @@
 #include "util/fault_injector.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -81,18 +82,58 @@ std::uint64_t FaultInjector::hits(std::string_view site) const {
     return it == sites_.end() ? 0 : it->second.hitCount;
 }
 
+std::vector<FaultInjector::SiteStatus> FaultInjector::snapshot() const {
+    std::vector<SiteStatus> out;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(sites_.size());
+        for (const auto& [name, site] : sites_) {
+            SiteStatus status;
+            status.site = name;
+            status.armed = site.armed;
+            status.probability = site.probability;
+            status.nth = site.nth;
+            status.delayMs = site.delayMs;
+            status.hits = site.hitCount;
+            if (!site.armed) status.mode = "disarmed";
+            else if (site.nth > 0) status.mode = "nth_hit";
+            else if (site.probability > 0.0) status.mode = "probability";
+            else status.mode = "delay";
+            out.push_back(std::move(status));
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SiteStatus& a, const SiteStatus& b) {
+                         if (a.armed != b.armed) return a.armed;
+                         return a.site < b.site;
+                     });
+    return out;
+}
+
 void FaultInjector::maybeFault(std::string_view site) {
-    if (armedSites_.load(std::memory_order_relaxed) == 0) return;
+    std::uint64_t hit = 0;
+    if (fire(site, hit)) {
+        throw FaultInjectedError("fault injected at " + std::string(site) +
+                                 " (hit " + std::to_string(hit) + ")");
+    }
+}
+
+bool FaultInjector::fires(std::string_view site) {
+    std::uint64_t hit = 0;
+    return fire(site, hit);
+}
+
+bool FaultInjector::fire(std::string_view site, std::uint64_t& hitOut) {
+    if (armedSites_.load(std::memory_order_relaxed) == 0) return false;
 
     bool fire = false;
     int delayMs = 0;
-    std::uint64_t hit = 0;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         const auto it = sites_.find(site);
-        if (it == sites_.end() || !it->second.armed) return;
+        if (it == sites_.end() || !it->second.armed) return false;
         Site& s = it->second;
-        hit = ++s.hitCount;
+        const std::uint64_t hit = hitOut = ++s.hitCount;
         if (s.nth > 0 && hit == s.nth) {
             fire = true;
             s.armed = false; // Nth-hit sites fire once
@@ -106,13 +147,11 @@ void FaultInjector::maybeFault(std::string_view site) {
         }
         delayMs = s.delayMs;
     }
-    // Sleep and throw outside the lock so a slow or throwing site never
-    // blocks other sites (or the same site on other threads).
+    // Sleep outside the lock so a slow site never blocks other sites (or
+    // the same site on other threads).
     if (delayMs > 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
-    if (fire)
-        throw FaultInjectedError("fault injected at " + std::string(site) +
-                                 " (hit " + std::to_string(hit) + ")");
+    return fire;
 }
 
 } // namespace lar::util

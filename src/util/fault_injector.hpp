@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -63,6 +64,23 @@ public:
     /// Number of times `site` has been consulted since it was first armed.
     [[nodiscard]] std::uint64_t hits(std::string_view site) const;
 
+    /// Observable state of one injection site, for /statusz and
+    /// GET /v1/debug/faults: what is armed, how, and how often it was hit.
+    struct SiteStatus {
+        std::string site;
+        std::string mode; ///< "probability", "nth_hit", "delay", "disarmed"
+        double probability = 0.0;
+        std::uint64_t nth = 0;
+        int delayMs = 0;
+        std::uint64_t hits = 0;
+        bool armed = false;
+    };
+
+    /// Every site ever armed this process (armed first, then by name), with
+    /// its current mode and hit count. Disarmed sites stay listed until
+    /// reset() so a chaos run's tally survives the disarm.
+    [[nodiscard]] std::vector<SiteStatus> snapshot() const;
+
     /// True when at least one site is armed.
     [[nodiscard]] bool anyArmed() const {
         return armedSites_.load(std::memory_order_relaxed) > 0;
@@ -72,6 +90,13 @@ public:
     /// otherwise counts the hit and applies the site's armed behaviour.
     /// Throws FaultInjectedError when the site fires.
     void maybeFault(std::string_view site);
+
+    /// Non-throwing injection point for code that cannot unwind (the epoll
+    /// event loop, syscall wrappers): counts the hit, applies any armed
+    /// delay, and returns true when the site fires. The caller maps "fired"
+    /// to its own failure emulation (ECONNRESET, short read, ...). Same
+    /// zero-cost-when-disarmed fast path as maybeFault.
+    [[nodiscard]] bool fires(std::string_view site);
 
 private:
     struct Site {
@@ -85,6 +110,7 @@ private:
 
     Site& entry(std::string_view site);
     void recount();
+    bool fire(std::string_view site, std::uint64_t& hitOut);
 
     mutable std::mutex mutex_;
     std::map<std::string, Site, std::less<>> sites_;

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -54,6 +55,7 @@ public:
     }
 
     [[nodiscard]] bool connected() const { return connected_; }
+    [[nodiscard]] int fd() const { return fd_; }
 
     void send(const std::string& bytes) const {
         ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
@@ -432,6 +434,82 @@ TEST(HttpServerTest, DrainMidLoadLosesNoConnectionUncleanly) {
 TEST(HttpServerTest, StopWithoutStartIsSafe) {
     HttpServer server;
     server.stop(); // no-op
+}
+
+TEST(HttpServerTest, SlowlorisHeadersAnswered408AndClosed) {
+    // A slowloris drips header bytes forever: every drip refreshes the idle
+    // clock, so only the total-receive-time kill can catch it. The idle
+    // timeout here is deliberately huge to prove which defense fired.
+    ServerOptions options;
+    options.readIdleTimeoutMs = 60'000;
+    options.requestReadTimeoutMs = 300;
+    TestServer ts(options);
+    ts.start();
+
+    RawConn conn(ts.port());
+    ASSERT_TRUE(conn.connected());
+    conn.send("GET /ping HTTP/1.1\r\n");
+    const std::string drip = "X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+    // Drip one byte every 20 ms — far inside the 60 s idle window — for half
+    // the request-read window, then stop sending and wait for the verdict
+    // (sending into the post-kill close would RST away the buffered 408).
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t at = 0;
+    while (std::chrono::steady_clock::now() - start <
+           std::chrono::milliseconds(150)) {
+        const char byte = drip[at % drip.size()];
+        ++at;
+        if (::send(conn.fd(), &byte, 1, MSG_NOSIGNAL) <= 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    const std::string response = conn.readAll(); // until server close
+    EXPECT_NE(response.find("408"), std::string::npos) << response;
+    EXPECT_NE(response.find("request_timeout"), std::string::npos) << response;
+    const double elapsedMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(elapsedMs, 2000.0); // killed by the 300 ms window, not idle
+    // The connection itself is reaped, not just answered.
+    const auto reapDeadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (ts.server.activeConnections() != 0 &&
+           std::chrono::steady_clock::now() < reapDeadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(ts.server.activeConnections(), 0u);
+}
+
+TEST(HttpServerTest, StalledReaderOfLargeResponseIsReaped) {
+    // The mirror-image attack: request a large response and never drain it.
+    // outPending stays true forever; the write-idle clock is refreshed by
+    // whatever trickle the kernel accepts, so the total-write-time kill is
+    // what must fire. writeIdleTimeoutMs is large to prove that.
+    ServerOptions options;
+    options.bindAddress = "127.0.0.1";
+    options.port = 0;
+    options.writeIdleTimeoutMs = 60'000;
+    options.responseWriteTimeoutMs = 300;
+    HttpServer server(options);
+    const std::string big(8 * 1024 * 1024, 'x'); // >> socket buffers
+    server.route("GET", "/big", [&big](const HttpRequest&) {
+        return HttpResponse::text(200, big);
+    });
+    server.start();
+
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.connected());
+    conn.send("GET /big HTTP/1.1\r\nHost: t\r\n\r\n");
+    // Read nothing. The server must abandon the response and close within
+    // the configured window (plus sweep granularity and scheduling slack).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server.activeConnections() != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(server.activeConnections(), 0u);
+    server.stop();
 }
 
 TEST(HttpClientTest, ParsesUrls) {

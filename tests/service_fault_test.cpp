@@ -582,5 +582,94 @@ TEST(FaultInjector, UnarmedSitesAreFreeAndSilent) {
     EXPECT_EQ(injector.hits("test.unarmed"), 0u); // fast path: not counted
 }
 
+TEST(FaultInjector, FiresMirrorsNthHitWithoutThrowing) {
+    util::FaultInjector& injector = util::FaultInjector::global();
+    injector.reset();
+    EXPECT_FALSE(injector.fires("test.fires")); // unarmed: free and silent
+    EXPECT_EQ(injector.hits("test.fires"), 0u);
+
+    injector.armNthHit("test.fires", 3);
+    int fired = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (injector.fires("test.fires")) {
+            ++fired;
+            EXPECT_EQ(i, 2) << "must fire on the 3rd consultation";
+        }
+    }
+    EXPECT_EQ(fired, 1) << "nth-hit self-disarms after firing";
+    EXPECT_EQ(injector.hits("test.fires"), 3u);
+    injector.reset();
+}
+
+TEST(FaultInjector, FiresProbabilityMatchesMaybeFaultStream) {
+    util::FaultInjector& injector = util::FaultInjector::global();
+    injector.reset();
+    // Both entry points must consume the same per-site RNG stream: arming
+    // the same (probability, seed) twice and consulting once via maybeFault
+    // and once via fires must fault at the same hit indices.
+    injector.armProbability("test.stream", 0.25, 7);
+    std::vector<int> viaThrow;
+    for (int i = 0; i < 64; ++i) {
+        try {
+            injector.maybeFault("test.stream");
+        } catch (const util::FaultInjectedError&) {
+            viaThrow.push_back(i);
+        }
+    }
+    injector.reset();
+    injector.armProbability("test.stream", 0.25, 7);
+    std::vector<int> viaBool;
+    for (int i = 0; i < 64; ++i) {
+        if (injector.fires("test.stream")) viaBool.push_back(i);
+    }
+    injector.reset();
+    EXPECT_FALSE(viaThrow.empty());
+    EXPECT_EQ(viaThrow, viaBool);
+}
+
+TEST(FaultInjector, SnapshotReportsModesHitsAndOrdering) {
+    util::FaultInjector& injector = util::FaultInjector::global();
+    injector.reset();
+    EXPECT_TRUE(injector.snapshot().empty());
+
+    injector.armProbability("test.prob", 0.5, 11);
+    injector.armNthHit("test.nth", 5);
+    injector.armDelayMs("test.delay", 1);
+    injector.armNthHit("test.dead", 1);
+    (void)injector.fires("test.dead"); // fires and self-disarms
+    (void)injector.fires("test.nth"); // one consultation, does not fire
+
+    const auto snap = injector.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    // Armed sites sort before disarmed; ties break by name.
+    EXPECT_EQ(snap[0].site, "test.delay");
+    EXPECT_EQ(snap[1].site, "test.nth");
+    EXPECT_EQ(snap[2].site, "test.prob");
+    EXPECT_EQ(snap[3].site, "test.dead");
+    EXPECT_FALSE(snap[3].armed);
+    EXPECT_EQ(snap[3].hits, 1u) << "disarmed site keeps its tally";
+
+    for (const auto& s : snap) {
+        if (s.site == "test.prob") {
+            EXPECT_TRUE(s.armed);
+            EXPECT_EQ(s.mode, "probability");
+            EXPECT_DOUBLE_EQ(s.probability, 0.5);
+        } else if (s.site == "test.nth") {
+            EXPECT_TRUE(s.armed);
+            EXPECT_EQ(s.mode, "nth_hit");
+            EXPECT_EQ(s.nth, 5u);
+            EXPECT_EQ(s.hits, 1u);
+        } else if (s.site == "test.delay") {
+            EXPECT_TRUE(s.armed);
+            EXPECT_EQ(s.mode, "delay");
+            EXPECT_EQ(s.delayMs, 1);
+        } else if (s.site == "test.dead") {
+            EXPECT_EQ(s.mode, "disarmed");
+        }
+    }
+    injector.reset();
+    EXPECT_TRUE(injector.snapshot().empty()) << "reset clears the ledger";
+}
+
 } // namespace
 } // namespace lar::reason

@@ -64,6 +64,13 @@
 // request, so the server adopts the client's trace identity end to end —
 // `larctl --url U --trace-id deadbeef feasible p.json` followed by
 // `larctl --url U trace deadbeef` retrieves exactly that query's trace.
+//
+// --retries <n> (with --url) allows n retry attempts after the first try
+// (default 2): transport failures retry when safe, and a shed 429/503 is
+// waited out honoring the server's Retry-After before retrying, all within
+// the request deadline — exit codes are unchanged when retries exhaust.
+// --hedge-ms <n> additionally hedges GETs: a second connection races the
+// first after n ms without a response. --retries 0 restores fail-fast.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -131,7 +138,9 @@ int usage() {
                  "with --url, feasible/optimize/enumerate/batch/metrics/session/\n"
                  "trace/top/version run against a larserved instance (no <kb.json>\n"
                  "argument — the server's knowledge base answers); --trace-id\n"
-                 "<id> stamps every request with that X-Lar-Trace-Id\n");
+                 "<id> stamps every request with that X-Lar-Trace-Id;\n"
+                 "--retries <n> bounds retry attempts (default 2, honoring\n"
+                 "Retry-After on 429/503); --hedge-ms <n> hedges GETs after n ms\n");
     return 2;
 }
 
@@ -550,13 +559,20 @@ int remoteTrace(net::HttpClient& client, const std::string& id, bool chrome) {
     return 0;
 }
 
-int remoteMain(const std::string& url, const std::string& traceId, int argc,
-               char** argv) {
+int remoteMain(const std::string& url, const std::string& traceId,
+               long retries, long hedgeMs, int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
     const net::HttpUrl parsed = net::parseHttpUrl(url);
     net::HttpClient client(parsed.host, parsed.port);
     if (!traceId.empty()) client.setHeader("X-Lar-Trace-Id", traceId);
+    // Resilience defaults: a couple of bounded retries so one shed response
+    // (429/503 + Retry-After) or transient reset does not fail the command;
+    // exit codes are the same as ever once attempts run out.
+    net::RetryOptions retry;
+    retry.maxAttempts = static_cast<int>(retries) + 1;
+    retry.hedgeDelayMs = static_cast<int>(hedgeMs);
+    client.setRetryOptions(retry);
 
     if ((command == "feasible" || command == "optimize") && argc == 3)
         return remoteQuery(client, command, argv[2], 4);
@@ -659,6 +675,9 @@ int main(int argc, char** argv) {
     // command; everything else keeps its position.
     std::string url;
     std::string traceId;
+    long retries = 2;
+    long hedgeMs = 0;
+    bool retryFlagSeen = false;
     std::vector<char*> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -674,6 +693,24 @@ int main(int argc, char** argv) {
                 return 2;
             }
             traceId = argv[++i];
+        } else if (std::strcmp(argv[i], "--retries") == 0 ||
+                   std::strcmp(argv[i], "--hedge-ms") == 0) {
+            const bool isRetries = argv[i][2] == 'r';
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "larctl: %s needs a number\n", argv[i]);
+                return 2;
+            }
+            long value = 0;
+            if (!parseLongArg(argv[i + 1], value) || value < 0 ||
+                value > (isRetries ? 100 : 3'600'000)) {
+                std::fprintf(stderr, "larctl: bad value for %s: '%s'\n",
+                             argv[i], argv[i + 1]);
+                return 2;
+            }
+            if (isRetries) retries = value;
+            else hedgeMs = value;
+            retryFlagSeen = true;
+            ++i;
         } else {
             rest.push_back(argv[i]);
         }
@@ -682,7 +719,7 @@ int main(int argc, char** argv) {
     argv = rest.data();
     if (!url.empty()) {
         try {
-            return remoteMain(url, traceId, argc, argv);
+            return remoteMain(url, traceId, retries, hedgeMs, argc, argv);
         } catch (const Error& e) {
             std::fprintf(stderr, "larctl: %s\n", e.what());
             return 1;
@@ -691,6 +728,11 @@ int main(int argc, char** argv) {
     if (!traceId.empty()) {
         std::fprintf(stderr, "larctl: --trace-id needs --url (the trace "
                              "identity travels in an HTTP header)\n");
+        return 2;
+    }
+    if (retryFlagSeen) {
+        std::fprintf(stderr, "larctl: --retries/--hedge-ms need --url (they "
+                             "configure the HTTP client)\n");
         return 2;
     }
 

@@ -54,6 +54,14 @@
 //                           (default 256, 0 disables retention; the in-flight
 //                           registry keeps working either way)
 //   --drain-grace-ms <n>    per-phase drain grace (default 5000)
+//   --request-read-timeout-ms <n>   kill a request still arriving after n ms
+//                           with 408 (slowloris defense; 0 disables,
+//                           default 30s)
+//   --response-write-timeout-ms <n> drop a peer still draining a response
+//                           after n ms (stalled-reader defense; 0 disables,
+//                           default 30s)
+//   --max-conn-lifetime-ms <n>  close any connection older than n ms
+//                           regardless of activity (0 = off, default)
 //   --log-info              lower the log threshold to Info (access logs on)
 #include <fcntl.h>
 #include <signal.h>
@@ -96,7 +104,10 @@ int usage() {
         "                 [--max-inflight <n>] [--max-queue <n>]\n"
         "                 [--max-sessions <n>] [--lease-ttl-ms <n>]\n"
         "                 [--warm-start-cap <n>] [--flight-recorder-cap <n>]\n"
-        "                 [--drain-grace-ms <n>] [--log-info]\n");
+        "                 [--drain-grace-ms <n>] [--log-info]\n"
+        "                 [--request-read-timeout-ms <n>]\n"
+        "                 [--response-write-timeout-ms <n>]\n"
+        "                 [--max-conn-lifetime-ms <n>]\n");
     return 2;
 }
 
@@ -125,6 +136,9 @@ int main(int argc, char** argv) {
     long warmStartCap = 32;
     long flightRecorderCap = 256;
     long drainGraceMs = 5000;
+    long requestReadTimeoutMs = 30'000;
+    long responseWriteTimeoutMs = 30'000;
+    long maxConnLifetimeMs = 0;
     bool logInfo = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -188,6 +202,18 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--drain-grace-ms") == 0) {
             if (!numericFlag("--drain-grace-ms", drainGraceMs, 0, 3'600'000))
                 return usage();
+        } else if (std::strcmp(argv[i], "--request-read-timeout-ms") == 0) {
+            if (!numericFlag("--request-read-timeout-ms", requestReadTimeoutMs,
+                             0, 3'600'000))
+                return usage();
+        } else if (std::strcmp(argv[i], "--response-write-timeout-ms") == 0) {
+            if (!numericFlag("--response-write-timeout-ms",
+                             responseWriteTimeoutMs, 0, 3'600'000))
+                return usage();
+        } else if (std::strcmp(argv[i], "--max-conn-lifetime-ms") == 0) {
+            if (!numericFlag("--max-conn-lifetime-ms", maxConnLifetimeMs, 0,
+                             86'400'000))
+                return usage();
         } else if (std::strcmp(argv[i], "--log-info") == 0) {
             logInfo = true;
         } else {
@@ -221,6 +247,11 @@ int main(int argc, char** argv) {
         serverOptions.port = static_cast<std::uint16_t>(port);
         serverOptions.ioThreads = static_cast<unsigned>(ioThreads);
         serverOptions.maxInflight = static_cast<std::size_t>(maxInflight);
+        serverOptions.requestReadTimeoutMs =
+            static_cast<int>(requestReadTimeoutMs);
+        serverOptions.responseWriteTimeoutMs =
+            static_cast<int>(responseWriteTimeoutMs);
+        serverOptions.maxConnLifetimeMs = static_cast<int>(maxConnLifetimeMs);
         serverOptions.accessLog = logInfo;
         net::HttpServer server(serverOptions);
 
