@@ -38,7 +38,7 @@ int main() {
     reason::WhatIfSession session(p);
     std::vector<bool> incrementalVerdicts;
     for (const reason::Variation& v : variations)
-        incrementalVerdicts.push_back(session.ask(v).feasible());
+        incrementalVerdicts.push_back(session.ask(v).verdict == reason::Verdict::Sat);
     const double incrementalMs = incTimer.millis();
 
     // Baseline: fresh engine per query.

@@ -80,9 +80,9 @@ RunStats runOnce(const kb::KnowledgeBase& kb, bool shedding) {
     const std::vector<reason::QueryResult> results = service.runBatch(burst);
     RunStats stats;
     for (const reason::QueryResult& r : results) {
-        if (r.shed()) {
+        if (r.verdict == reason::Verdict::Shed) {
             ++stats.shed;
-        } else if (!r.ok()) {
+        } else if (r.verdict == reason::Verdict::Error) {
             ++stats.errored;
         } else {
             ++stats.answered;

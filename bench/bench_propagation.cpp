@@ -1,0 +1,433 @@
+// PROP1 — propagation throughput: clause arena + binary graph vs the old
+// pointer-chasing layout.
+//
+// Two propagation engines run the identical decision schedule over the same
+// planted-solution instances:
+//
+//   * pointer  — the pre-redesign layout: every clause heap-allocated behind
+//     a unique_ptr, watch lists of Clause*, no blocker literals, binary
+//     clauses going through the full watched-clause machinery;
+//   * arena    — the current layout: long clauses packed in sat::ClauseArena
+//     (32-bit ClauseRef watchers with blocker literals), binary clauses in a
+//     dedicated implication graph that never touches the arena.
+//
+// Each instance plants a satisfying assignment and every decision is a
+// planted literal, so unit propagation can only ever derive planted-true
+// literals: no conflicts, and both engines reach the same fixpoint with the
+// same enqueue count (checked — a mismatch fails the bench). That makes
+// props/sec a like-for-like measure of the memory layout alone.
+//
+// Gates:
+//   * both engines propagate the same literal count on every instance;
+//   * median arena/pointer throughput ratio >= 1.2x across the scaling
+//     instances.
+//
+// Writes machine-readable results to BENCH_propagation.json (override the
+// path with argv[1]).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "json/value.hpp"
+#include "json/write.hpp"
+#include "sat/arena.hpp"
+#include "sat/types.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace lar;
+using sat::ClauseRef;
+using sat::lbool;
+using sat::Lit;
+using sat::mkLit;
+using sat::Var;
+
+namespace {
+
+constexpr double kSpeedupGate = 1.2;
+constexpr int kRounds = 24;           // full assignment passes per timing run
+constexpr double kBinaryFraction = 0.45;
+constexpr int kClausesPerVar = 12;    // dense: well above the 3-SAT threshold
+
+struct Instance {
+    int numVars = 0;
+    std::vector<std::vector<Lit>> clauses;
+    std::vector<Lit> schedule; ///< planted literals in decision order
+};
+
+/// Generates a dense instance with a planted satisfying assignment and a
+/// shuffled decision schedule of exactly the planted literals. Decisions
+/// drawn from the planted model mean any literal forced by unit propagation
+/// is also planted-true, so neither engine ever hits a conflict and both
+/// compute the same propagation fixpoint.
+Instance makeInstance(util::Rng& rng, int numVars) {
+    Instance out;
+    out.numVars = numVars;
+    std::vector<bool> planted(static_cast<std::size_t>(numVars));
+    for (auto&& b : planted) b = rng.chance(0.5);
+
+    const int numClauses = numVars * kClausesPerVar;
+    std::vector<Var> vars;
+    for (int c = 0; c < numClauses; ++c) {
+        const std::size_t len =
+            rng.chance(kBinaryFraction) ? 2 : 3 + rng.below(7); // 2 or 3..9
+        vars.clear();
+        while (vars.size() < len) {
+            const Var v = static_cast<Var>(rng.below(
+                static_cast<std::uint64_t>(numVars)));
+            if (std::find(vars.begin(), vars.end(), v) == vars.end())
+                vars.push_back(v);
+        }
+        std::vector<Lit> clause;
+        clause.reserve(len);
+        for (const Var v : vars)
+            clause.push_back(mkLit(v, rng.chance(0.5)));
+        // Force one literal to agree with the planted assignment so the
+        // clause is satisfied by it.
+        const std::size_t pick = rng.below(len);
+        const Var pv = clause[pick].var();
+        clause[pick] = mkLit(pv, !planted[static_cast<std::size_t>(pv)]);
+        out.clauses.push_back(std::move(clause));
+    }
+
+    for (Var v = 0; v < numVars; ++v)
+        out.schedule.push_back(
+            mkLit(v, !planted[static_cast<std::size_t>(v)]));
+    for (std::size_t i = out.schedule.size(); i > 1; --i)
+        std::swap(out.schedule[i - 1], out.schedule[rng.below(i)]);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pointer engine: the layout the redesign replaced.
+
+struct PtrClause {
+    std::vector<Lit> lits;
+};
+
+class PtrEngine {
+public:
+    explicit PtrEngine(const Instance& instance) {
+        assigns_.assign(static_cast<std::size_t>(instance.numVars),
+                        lbool::Undef);
+        watches_.resize(static_cast<std::size_t>(instance.numVars) * 2);
+        for (const auto& lits : instance.clauses) {
+            auto clause = std::make_unique<PtrClause>(PtrClause{lits});
+            watch(~lits[0]).push_back(clause.get());
+            watch(~lits[1]).push_back(clause.get());
+            clauses_.push_back(std::move(clause));
+        }
+    }
+
+    void decide(Lit p) {
+        if (value(p) != lbool::Undef) return;
+        enqueue(p);
+        propagate();
+    }
+
+    void reset() {
+        for (const Lit p : trail_)
+            assigns_[static_cast<std::size_t>(p.var())] = lbool::Undef;
+        trail_.clear();
+        qhead_ = 0;
+    }
+
+    [[nodiscard]] std::uint64_t propagations() const { return props_; }
+
+private:
+    [[nodiscard]] lbool value(Lit p) const {
+        const lbool v = assigns_[static_cast<std::size_t>(p.var())];
+        return p.sign() ? ~v : v;
+    }
+
+    std::vector<PtrClause*>& watch(Lit p) {
+        return watches_[static_cast<std::size_t>(p.index())];
+    }
+
+    void enqueue(Lit p) {
+        assigns_[static_cast<std::size_t>(p.var())] =
+            sat::fromBool(!p.sign());
+        trail_.push_back(p);
+        ++props_;
+    }
+
+    void propagate() {
+        while (qhead_ < trail_.size()) {
+            const Lit p = trail_[qhead_++];
+            auto& ws = watch(p);
+            std::size_t i = 0;
+            std::size_t j = 0;
+            const Lit falseLit = ~p;
+            while (i < ws.size()) {
+                PtrClause* c = ws[i++];
+                auto& lits = c->lits;
+                if (lits[0] == falseLit) std::swap(lits[0], lits[1]);
+                const Lit first = lits[0];
+                if (value(first) == lbool::True) {
+                    ws[j++] = c;
+                    continue;
+                }
+                bool moved = false;
+                for (std::size_t k = 2; k < lits.size(); ++k) {
+                    if (value(lits[k]) != lbool::False) {
+                        std::swap(lits[1], lits[k]);
+                        watch(~lits[1]).push_back(c);
+                        moved = true;
+                        break;
+                    }
+                }
+                if (moved) continue;
+                ws[j++] = c;
+                if (value(first) == lbool::False) {
+                    // Unreachable on planted schedules; keep the engine
+                    // honest anyway.
+                    while (i < ws.size()) ws[j++] = ws[i++];
+                    ws.resize(j);
+                    qhead_ = trail_.size();
+                    return;
+                }
+                enqueue(first);
+            }
+            ws.resize(j);
+        }
+    }
+
+    std::vector<std::unique_ptr<PtrClause>> clauses_;
+    std::vector<std::vector<PtrClause*>> watches_;
+    std::vector<lbool> assigns_;
+    std::vector<Lit> trail_;
+    std::size_t qhead_ = 0;
+    std::uint64_t props_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Arena engine: mirrors Solver::propagate()'s current hot loop.
+
+class ArenaEngine {
+public:
+    explicit ArenaEngine(const Instance& instance) {
+        assigns_.assign(static_cast<std::size_t>(instance.numVars),
+                        lbool::Undef);
+        watches_.resize(static_cast<std::size_t>(instance.numVars) * 2);
+        binWatches_.resize(static_cast<std::size_t>(instance.numVars) * 2);
+        for (const auto& lits : instance.clauses) {
+            if (lits.size() == 2) {
+                binWatch(~lits[0]).push_back(lits[1]);
+                binWatch(~lits[1]).push_back(lits[0]);
+                continue;
+            }
+            const ClauseRef ref = arena_.alloc(lits, false, 0);
+            watch(~lits[0]).push_back({ref, lits[1]});
+            watch(~lits[1]).push_back({ref, lits[0]});
+        }
+    }
+
+    void decide(Lit p) {
+        if (value(p) != lbool::Undef) return;
+        enqueue(p);
+        propagate();
+    }
+
+    void reset() {
+        for (const Lit p : trail_)
+            assigns_[static_cast<std::size_t>(p.var())] = lbool::Undef;
+        trail_.clear();
+        qhead_ = 0;
+    }
+
+    [[nodiscard]] std::uint64_t propagations() const { return props_; }
+
+private:
+    struct Watcher {
+        ClauseRef ref;
+        Lit blocker;
+    };
+
+    [[nodiscard]] lbool value(Lit p) const {
+        const lbool v = assigns_[static_cast<std::size_t>(p.var())];
+        return p.sign() ? ~v : v;
+    }
+
+    std::vector<Watcher>& watch(Lit p) {
+        return watches_[static_cast<std::size_t>(p.index())];
+    }
+
+    std::vector<Lit>& binWatch(Lit p) {
+        return binWatches_[static_cast<std::size_t>(p.index())];
+    }
+
+    void enqueue(Lit p) {
+        assigns_[static_cast<std::size_t>(p.var())] =
+            sat::fromBool(!p.sign());
+        trail_.push_back(p);
+        ++props_;
+    }
+
+    void propagate() {
+        while (qhead_ < trail_.size()) {
+            const Lit p = trail_[qhead_++];
+
+            for (const Lit other : binWatch(p)) {
+                const lbool v = value(other);
+                if (v == lbool::Undef) enqueue(other);
+                else if (v == lbool::False) { // unreachable on planted runs
+                    qhead_ = trail_.size();
+                    return;
+                }
+            }
+
+            auto& ws = watch(p);
+            std::size_t i = 0;
+            std::size_t j = 0;
+            const Lit falseLit = ~p;
+            while (i < ws.size()) {
+                const Watcher w = ws[i++];
+                if (value(w.blocker) == lbool::True) {
+                    ws[j++] = w;
+                    continue;
+                }
+                const ClauseRef ref = w.ref;
+                if (arena_.lit(ref, 0) == falseLit) arena_.swapLits(ref, 0, 1);
+                const Lit first = arena_.lit(ref, 0);
+                if (first != w.blocker && value(first) == lbool::True) {
+                    ws[j++] = {ref, first};
+                    continue;
+                }
+                const std::uint32_t size = arena_.size(ref);
+                bool moved = false;
+                for (std::uint32_t k = 2; k < size; ++k) {
+                    const Lit lk = arena_.lit(ref, k);
+                    if (value(lk) != lbool::False) {
+                        arena_.swapLits(ref, 1, k);
+                        watch(~lk).push_back({ref, first});
+                        moved = true;
+                        break;
+                    }
+                }
+                if (moved) continue;
+                ws[j++] = {ref, first};
+                if (value(first) == lbool::False) { // unreachable, see above
+                    while (i < ws.size()) ws[j++] = ws[i++];
+                    ws.resize(j);
+                    qhead_ = trail_.size();
+                    return;
+                }
+                enqueue(first);
+            }
+            ws.resize(j);
+        }
+    }
+
+    sat::ClauseArena arena_;
+    std::vector<std::vector<Watcher>> watches_;
+    std::vector<std::vector<Lit>> binWatches_;
+    std::vector<lbool> assigns_;
+    std::vector<Lit> trail_;
+    std::size_t qhead_ = 0;
+    std::uint64_t props_ = 0;
+};
+
+/// Runs `kRounds` full assignment passes (plus one untimed warmup) and
+/// returns propagations per second.
+template <typename Engine>
+double throughput(const Instance& instance, std::uint64_t& outProps) {
+    Engine engine(instance);
+    for (const Lit p : instance.schedule) engine.decide(p); // warmup
+    engine.reset();
+    const std::uint64_t before = engine.propagations();
+    const util::Stopwatch timer;
+    for (int round = 0; round < kRounds; ++round) {
+        for (const Lit p : instance.schedule) engine.decide(p);
+        engine.reset();
+    }
+    const double seconds = timer.millis() / 1000.0;
+    outProps = engine.propagations() - before;
+    return seconds > 0.0 ? static_cast<double>(outProps) / seconds : 0.0;
+}
+
+std::string mprops(double propsPerSec) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%.1fM/s", propsPerSec / 1e6);
+    return buf;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::string outPath =
+        argc > 1 ? argv[1] : "BENCH_propagation.json";
+    bench::printHeader(
+        "PROP1: propagation throughput, arena vs pointer chasing");
+    std::printf("planted dense instances, %d clauses/var, %.0f%% binary, "
+                "%d rounds each\n",
+                kClausesPerVar, kBinaryFraction * 100.0, kRounds);
+    bench::printRule();
+    bench::printRow({"vars", "props", "pointer", "arena", "speedup"});
+    bench::printRule();
+
+    util::Rng rng(20260808);
+    json::Array rows;
+    std::vector<double> speedups;
+    bool propsAgree = true;
+    for (const int numVars : {400, 800, 1600, 3200, 6400}) {
+        const Instance instance = makeInstance(rng, numVars);
+        std::uint64_t ptrProps = 0;
+        std::uint64_t arenaProps = 0;
+        const double ptrRate = throughput<PtrEngine>(instance, ptrProps);
+        const double arenaRate = throughput<ArenaEngine>(instance, arenaProps);
+        const bool agree = ptrProps == arenaProps;
+        propsAgree = propsAgree && agree;
+        const double speedup = ptrRate > 0.0 ? arenaRate / ptrRate : 0.0;
+        speedups.push_back(speedup);
+
+        char ratio[16];
+        std::snprintf(ratio, sizeof ratio, "%.2fx", speedup);
+        bench::printRow({std::to_string(numVars) +
+                             (agree ? "" : "  PROP COUNT MISMATCH"),
+                         bench::num(static_cast<long long>(arenaProps)),
+                         mprops(ptrRate), mprops(arenaRate), ratio});
+
+        json::Value row;
+        row["vars"] = static_cast<std::int64_t>(numVars);
+        row["propagations"] = static_cast<std::int64_t>(arenaProps);
+        row["pointer_props_per_sec"] = ptrRate;
+        row["arena_props_per_sec"] = arenaRate;
+        row["speedup"] = speedup;
+        row["props_agree"] = agree;
+        rows.push_back(std::move(row));
+    }
+    bench::printRule();
+
+    std::sort(speedups.begin(), speedups.end());
+    const double median = speedups[speedups.size() / 2];
+    std::printf("median speedup %.2fx\n", median);
+
+    const bool fast = median >= kSpeedupGate;
+    std::printf("gate: identical propagation counts ........... %s\n",
+                propsAgree ? "yes" : "NO");
+    std::printf("gate: median speedup >= %.1fx ................. %s\n",
+                kSpeedupGate, fast ? "yes" : "NO");
+    const bool pass = propsAgree && fast;
+
+    json::Value report;
+    report["instances"] = json::Value(std::move(rows));
+    report["median_speedup"] = median;
+    report["props_agree"] = propsAgree;
+    report["pass"] = pass;
+    if (std::FILE* f = std::fopen(outPath.c_str(), "w")) {
+        const std::string text = json::write(report);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", outPath.c_str());
+    } else {
+        std::printf("could not write %s\n", outPath.c_str());
+        return EXIT_FAILURE;
+    }
+    std::printf("%s\n", pass ? "PASS" : "FAIL");
+    return pass ? EXIT_SUCCESS : EXIT_FAILURE;
+}

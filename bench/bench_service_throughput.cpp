@@ -39,7 +39,7 @@ std::string designKey(const std::optional<reason::Design>& d) {
 
 std::string resultKey(const reason::QueryResult& r) {
     std::ostringstream out;
-    out << r.id << '|' << (r.feasible() ? "sat" : "unsat") << '|'
+    out << r.id << '|' << (r.verdict == reason::Verdict::Sat ? "sat" : "unsat") << '|'
         << designKey(r.design) << '|' << r.designs.size();
     for (const reason::Design& d : r.designs) out << '|' << d.toString();
     for (const std::string& rule : r.conflictingRules) out << '|' << rule;

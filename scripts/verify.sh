@@ -5,6 +5,10 @@
 #   scripts/verify.sh tier1      plain build + ctest only
 #   scripts/verify.sh sanitize   ASan/UBSan build + ctest only
 #   scripts/verify.sh portfolio  TSan portfolio suite only
+#   scripts/verify.sh solver     clause-arena path: solver suite + the
+#                                portfolio/warm-start verdict-agreement
+#                                fuzz oracles under ASan/UBSan, then the
+#                                bench_propagation >=1.2x throughput gate
 #   scripts/verify.sh server     HTTP server: unit + TSan + live smoke + bench
 #   scripts/verify.sh session    sessions: unit + TSan + warm-start oracle +
 #                                live session smoke + interactive bench
@@ -42,6 +46,30 @@ run_portfolio() {
     cmake -B "$root/build" -S "$root"
     cmake --build "$root/build" -j"$jobs" --target portfolio_test_tsan
     (cd "$root/build" && ctest --output-on-failure -R '^portfolio_tsan$')
+}
+
+run_solver() {
+    # The clause-arena redesign end to end. Arena relocation and watcher
+    # forwarding are exactly the code where a stale ClauseRef turns into
+    # silent memory corruption, so the solver unit suite and the
+    # verdict-agreement fuzz oracles (portfolio corpus + warm-start
+    # replay) run under ASan/UBSan; then bench_propagation (plain tree)
+    # must show the arena + binary-graph layout beating the old
+    # pointer-chasing layout by >=1.2x median props/sec on the scaling
+    # instances.
+    echo "== solver: arena suite + fuzz oracles under ASan/UBSan + propagation gate =="
+    cmake -B "$root/build-asan" -S "$root" -DLAR_SANITIZE=address,undefined
+    cmake --build "$root/build-asan" -j"$jobs" --target \
+        sat_test portfolio_test warmstart_test
+    (cd "$root/build-asan" && ASAN_OPTIONS=detect_leaks=0 \
+        ctest --output-on-failure -R \
+        '^(Lit\.|Solver\.|Dimacs\.|SolverSnapshot\.)|SolverConfigTest|PortfolioVerdictAgreementTest|ClauseImportSoundnessTest|WarmStartOracle')
+
+    echo "-- bench: propagation throughput gate --"
+    cmake -B "$root/build" -S "$root"
+    cmake --build "$root/build" -j"$jobs" --target bench_propagation
+    (cd "$root/build" && ./bench/bench_propagation)
+    grep -q '"pass":true' "$root/build/BENCH_propagation.json"
 }
 
 run_server() {
@@ -208,6 +236,7 @@ case "$leg" in
     tier1) run_tier1 ;;
     sanitize) run_sanitize ;;
     portfolio) run_portfolio ;;
+    solver) run_solver ;;
     server) run_server ;;
     session) run_session ;;
     obs) run_obs ;;
@@ -215,6 +244,7 @@ case "$leg" in
     all)
         run_tier1
         run_portfolio
+        run_solver
         run_server
         run_session
         run_obs
@@ -222,7 +252,7 @@ case "$leg" in
         run_sanitize
         ;;
     *)
-        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|server|session|obs|chaos|all]" >&2
+        echo "usage: scripts/verify.sh [tier1|sanitize|portfolio|solver|server|session|obs|chaos|all]" >&2
         exit 2
         ;;
 esac

@@ -669,7 +669,7 @@ QueryResult Service::runTimed(const QueryRequest& request, double queueWaitMs,
                        {"total_ms", totalMs},
                        {"queue_wait_ms", queueWaitMs},
                        {"retries", result.retries},
-                       {"cancelled", result.cancelled()},
+                       {"cancelled", result.verdict == Verdict::Cancelled},
                        {"backend_fallback", result.backendFellBack},
                        {"error", result.error.errorKind}});
 

@@ -137,8 +137,10 @@ struct QueryError {
 };
 
 /// Outcome of one query; which fields are filled depends on the kind.
-/// `verdict` is the one authoritative outcome (see reason::Verdict); the
-/// historic boolean fields survive one release as accessors derived from it.
+/// `verdict` is the one authoritative outcome (see reason::Verdict). The
+/// historic boolean views (`feasible()`/`timedOut()`/`ok()`/…) are gone;
+/// the JSON wire fields of the same names are computed from the verdict at
+/// serialization time (service_io.cpp), so the wire format is unchanged.
 struct QueryResult {
     std::string id;
     QueryKind kind = QueryKind::Optimize;
@@ -153,19 +155,6 @@ struct QueryResult {
     std::vector<std::string> conflictingRules; ///< Feasibility/Explain
     /// Populated when the request's QueryOptions::collectTrace is set.
     QueryTrace trace;
-
-    // -- legacy views of `verdict` (kept for one release) -------------------
-    [[nodiscard]] bool feasible() const { return verdict == Verdict::Sat; }
-    /// Historic `timedOut` meant "gave up without a proven verdict" — it
-    /// covered deadline expiry, budget exhaustion, and cancellation alike.
-    [[nodiscard]] bool timedOut() const {
-        return verdict == Verdict::TimedOut || verdict == Verdict::Unknown ||
-               verdict == Verdict::Cancelled;
-    }
-    [[nodiscard]] bool shed() const { return verdict == Verdict::Shed; }
-    [[nodiscard]] bool cancelled() const { return verdict == Verdict::Cancelled; }
-    /// Historic error.ok: true unless the query failed with an exception.
-    [[nodiscard]] bool ok() const { return verdict != Verdict::Error; }
 };
 
 struct CacheStats {

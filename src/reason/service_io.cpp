@@ -104,14 +104,16 @@ json::Value resultToJson(const QueryResult& r, bool includeTrace) {
     json::Value v;
     v["id"] = r.id;
     v["kind"] = toString(r.kind);
+    // The historic boolean wire fields are derived from the authoritative
+    // verdict here; their names and semantics are unchanged on the wire.
     v["verdict"] = std::string(verdictName(r.verdict));
-    v["feasible"] = r.feasible();
-    if (r.timedOut()) v["timed_out"] = true;
-    if (r.shed()) v["shed"] = true;
-    if (r.cancelled()) v["cancelled"] = true;
+    v["feasible"] = r.verdict == Verdict::Sat;
+    if (gaveUp(r.verdict)) v["timed_out"] = true;
+    if (r.verdict == Verdict::Shed) v["shed"] = true;
+    if (r.verdict == Verdict::Cancelled) v["cancelled"] = true;
     if (r.retries > 0) v["retries"] = static_cast<std::int64_t>(r.retries);
     if (r.backendFellBack) v["backend_fallback"] = true;
-    if (!r.ok()) {
+    if (r.verdict == Verdict::Error) {
         json::Value detail;
         detail["kind"] = r.error.errorKind;
         detail["message"] = r.error.message;
@@ -158,8 +160,12 @@ json::Value batchReportToJson(const std::vector<QueryResult>& results,
 bool anyFailedOrInfeasible(const std::vector<QueryResult>& results) {
     for (const QueryResult& r : results) {
         // Shed and cancelled queries are reported but do not fail the batch
-        // — the caller opted into admission control / cancellation.
-        if (!r.ok() || (!r.feasible() && !r.timedOut() && !r.shed()))
+        // — the caller opted into admission control / cancellation. That
+        // leaves Error and Unsat as the failing verdicts (gaveUp covers
+        // Cancelled alongside TimedOut/Unknown).
+        if (r.verdict == Verdict::Error ||
+            (r.verdict != Verdict::Sat && !gaveUp(r.verdict) &&
+             r.verdict != Verdict::Shed))
             return true;
     }
     return false;

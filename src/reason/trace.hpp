@@ -62,6 +62,15 @@ enum class Verdict { Sat, Unsat, Unknown, TimedOut, Cancelled, Shed, Error };
 /// "cancelled", "shed", "error".
 [[nodiscard]] const char* verdictName(Verdict verdict);
 
+/// True when the query gave up without a proven verdict: deadline expiry,
+/// budget exhaustion, or cancellation. This is the exact meaning the historic
+/// `timed_out` wire field carries (serializers still emit it under that
+/// name), kept in one place instead of a three-way comparison at every site.
+[[nodiscard]] constexpr bool gaveUp(Verdict verdict) {
+    return verdict == Verdict::TimedOut || verdict == Verdict::Unknown ||
+           verdict == Verdict::Cancelled;
+}
+
 /// Inverse of verdictName (the /v1/debug/traces?verdict= filter parses
 /// with this); nullopt for anything that is not a verdict name.
 [[nodiscard]] std::optional<Verdict> verdictFromName(std::string_view name);

@@ -55,15 +55,6 @@ struct WhatIfAnswer {
     /// ("system/<name>", "hardware/<class>/<model>", "option/<name>");
     /// non-empty exactly when verdict == Error.
     std::vector<std::string> unknownNames;
-
-    // Legacy accessors, derived from the verdict (the bool fields they
-    // replace were removed in the Verdict unification; prefer `verdict`).
-    [[nodiscard]] bool feasible() const { return verdict == Verdict::Sat; }
-    [[nodiscard]] bool timedOut() const {
-        return verdict == Verdict::TimedOut || verdict == Verdict::Unknown ||
-               verdict == Verdict::Cancelled;
-    }
-    [[nodiscard]] bool ok() const { return verdict != Verdict::Error; }
 };
 
 class WhatIfSession {

@@ -1,0 +1,129 @@
+// Typed clause arena: long clauses packed into one contiguous word buffer.
+//
+// Every clause is a header plus its literals, laid out inline in a single
+// std::vector<uint32_t>; a ClauseRef is the word offset of the header. The
+// layout per clause is
+//
+//   word 0   size << 3 | learnt << 0 | deleted << 1 | reloced << 2
+//   word 1   LBD (learnt clauses), or the forwarding ClauseRef after this
+//            clause has been relocated by a compaction pass
+//   word 2   activity bits (IEEE float, learnt clauses)
+//   word 3+  literal codes (Lit::index()), one word each
+//
+// freeing a clause only flips the deleted bit and books the words as waste;
+// the space is reclaimed by relocating every live clause into a fresh arena
+// (Solver::garbageCollect), which the solver triggers once the wasted
+// fraction crosses a threshold. Allocation is bump-pointer; there is no
+// per-clause malloc, no destructor walk, and clause memory accounting is
+// exact integer arithmetic (footprintBytes).
+//
+// Literal access goes through Lit::fromIndex on the raw words, so the arena
+// never type-puns its buffer.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/clause.hpp"
+#include "sat/types.hpp"
+
+namespace lar::sat {
+
+class ClauseArena {
+public:
+    /// Words of header before the literals of every clause.
+    static constexpr std::uint32_t kHeaderWords = 3;
+
+    /// Allocates a clause; the literal order is preserved. O(size) copy,
+    /// amortized O(1) growth.
+    ClauseRef alloc(std::span<const Lit> lits, bool learnt, int lbd) {
+        const auto ref = static_cast<ClauseRef>(mem_.size());
+        mem_.push_back((static_cast<std::uint32_t>(lits.size()) << 3) |
+                       (learnt ? 1u : 0u));
+        mem_.push_back(static_cast<std::uint32_t>(lbd));
+        mem_.push_back(std::bit_cast<std::uint32_t>(0.0f));
+        for (const Lit l : lits)
+            mem_.push_back(static_cast<std::uint32_t>(l.index()));
+        return ref;
+    }
+
+    /// Marks the clause deleted and books its words as waste. The ref stays
+    /// readable (header intact) until the next compaction.
+    void free(ClauseRef ref) {
+        mem_[ref] |= 2u;
+        wastedWords_ += kHeaderWords + size(ref);
+    }
+
+    [[nodiscard]] std::uint32_t size(ClauseRef ref) const {
+        return mem_[ref] >> 3;
+    }
+    [[nodiscard]] bool learnt(ClauseRef ref) const { return (mem_[ref] & 1u) != 0; }
+    [[nodiscard]] bool deleted(ClauseRef ref) const { return (mem_[ref] & 2u) != 0; }
+
+    [[nodiscard]] int lbd(ClauseRef ref) const {
+        return static_cast<int>(mem_[ref + 1]);
+    }
+    void setLbd(ClauseRef ref, int lbd) {
+        mem_[ref + 1] = static_cast<std::uint32_t>(lbd);
+    }
+
+    [[nodiscard]] float activity(ClauseRef ref) const {
+        return std::bit_cast<float>(mem_[ref + 2]);
+    }
+    void setActivity(ClauseRef ref, float activity) {
+        mem_[ref + 2] = std::bit_cast<std::uint32_t>(activity);
+    }
+
+    [[nodiscard]] Lit lit(ClauseRef ref, std::uint32_t i) const {
+        return Lit::fromIndex(
+            static_cast<std::int32_t>(mem_[ref + kHeaderWords + i]));
+    }
+    void setLit(ClauseRef ref, std::uint32_t i, Lit l) {
+        mem_[ref + kHeaderWords + i] = static_cast<std::uint32_t>(l.index());
+    }
+    void swapLits(ClauseRef ref, std::uint32_t i, std::uint32_t j) {
+        std::swap(mem_[ref + kHeaderWords + i], mem_[ref + kHeaderWords + j]);
+    }
+
+    /// Exact footprint of one clause in bytes (header + literals).
+    [[nodiscard]] std::size_t footprintBytes(ClauseRef ref) const {
+        return (kHeaderWords + size(ref)) * sizeof(std::uint32_t);
+    }
+
+    [[nodiscard]] std::size_t totalWords() const { return mem_.size(); }
+    [[nodiscard]] std::size_t wastedWords() const { return wastedWords_; }
+    [[nodiscard]] std::size_t liveWords() const {
+        return mem_.size() - wastedWords_;
+    }
+
+    void reserveWords(std::size_t words) { mem_.reserve(words); }
+
+    // -- compaction support --------------------------------------------------
+    // relocate() moves a live clause into `to` on first call and stores a
+    // forwarding ref in the old header (reloced bit + word 1); later calls —
+    // and forward() — just follow the forwarding ref. The solver relocates
+    // its clause lists first, then rewrites watchers/reasons via forward().
+
+    ClauseRef relocate(ClauseRef ref, ClauseArena& to) {
+        if ((mem_[ref] & 4u) != 0) return mem_[ref + 1]; // already forwarded
+        const std::uint32_t sz = size(ref);
+        const auto fwd = static_cast<ClauseRef>(to.mem_.size());
+        to.mem_.insert(to.mem_.end(), mem_.begin() + ref,
+                       mem_.begin() + ref + kHeaderWords + sz);
+        mem_[ref] |= 4u;
+        mem_[ref + 1] = fwd;
+        return fwd;
+    }
+
+    [[nodiscard]] ClauseRef forward(ClauseRef ref) const {
+        return (mem_[ref] & 4u) != 0 ? mem_[ref + 1] : ref;
+    }
+
+private:
+    std::vector<std::uint32_t> mem_;
+    std::size_t wastedWords_ = 0;
+};
+
+} // namespace lar::sat

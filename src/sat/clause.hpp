@@ -1,0 +1,69 @@
+// Clause references and tagged reasons for the arena-based clause store.
+//
+// Long clauses (>= 3 literals) live in a ClauseArena (arena.hpp) and are
+// named by a 32-bit ClauseRef — the word offset of the clause header inside
+// the arena. Binary clauses never materialize as stored clauses at all: they
+// live in the solver's binary implication graph (two mirrored entries per
+// clause, one in each literal's list). A variable's reason is therefore a
+// tagged 32-bit word (Reason): either "none" (decision / level-0 fact), an
+// arena reference, or the *other* literal of the implying binary clause.
+//
+// Keeping all three in one machine word halves watcher and reason storage
+// relative to the previous Clause* representation and removes one pointer
+// indirection from every propagation step.
+#pragma once
+
+#include <cstdint>
+
+#include "sat/types.hpp"
+
+namespace lar::sat {
+
+/// Word offset of a clause inside a ClauseArena. Valid refs are even-ish
+/// dense indices < 2^31 (the Reason tag bit needs the headroom).
+using ClauseRef = std::uint32_t;
+
+constexpr ClauseRef kClauseRefUndef = 0xFFFFFFFFu;
+
+/// Tagged reason of an assigned variable:
+///   * none   — a decision, an assumption, or a level-0 fact;
+///   * clause — the arena clause that unit-propagated the variable;
+///   * binary — the variable was implied by a binary clause; the tag stores
+///              the clause's other (falsified) literal, which is the entire
+///              reason side of the resolution step.
+class Reason {
+public:
+    constexpr Reason() = default;
+
+    [[nodiscard]] static constexpr Reason none() { return Reason(); }
+    [[nodiscard]] static constexpr Reason clause(ClauseRef ref) {
+        return Reason((ref << 1) | 0u);
+    }
+    [[nodiscard]] static constexpr Reason binary(Lit other) {
+        return Reason((static_cast<std::uint32_t>(other.index()) << 1) | 1u);
+    }
+
+    [[nodiscard]] constexpr bool isNone() const { return code_ == kNone; }
+    [[nodiscard]] constexpr bool isBinary() const {
+        return code_ != kNone && (code_ & 1u) != 0;
+    }
+    [[nodiscard]] constexpr bool isClause() const {
+        return code_ != kNone && (code_ & 1u) == 0;
+    }
+
+    /// The arena reference; only meaningful when isClause().
+    [[nodiscard]] constexpr ClauseRef ref() const { return code_ >> 1; }
+    /// The binary clause's other literal; only meaningful when isBinary().
+    [[nodiscard]] constexpr Lit otherLit() const {
+        return Lit::fromIndex(static_cast<std::int32_t>(code_ >> 1));
+    }
+
+    constexpr bool operator==(const Reason&) const = default;
+
+private:
+    static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+    explicit constexpr Reason(std::uint32_t code) : code_(code) {}
+    std::uint32_t code_ = kNone;
+};
+
+} // namespace lar::sat

@@ -1,8 +1,6 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <unordered_set>
 
 #include "util/error.hpp"
 
@@ -45,6 +43,8 @@ Var Solver::newVar() {
     seen_.push_back(0);
     watches_.emplace_back();
     watches_.emplace_back();
+    binWatches_.emplace_back();
+    binWatches_.emplace_back();
     heapInsert(v);
     return v;
 }
@@ -57,8 +57,8 @@ bool Solver::addClause(std::vector<Lit> lits) {
     // Simplify: sort, drop duplicates and false literals, detect tautologies
     // and literals already true at level 0.
     std::sort(lits.begin(), lits.end());
-    std::vector<Lit> out;
-    out.reserve(lits.size());
+    std::vector<Lit>& out = simplifyScratch_;
+    out.clear();
     Lit prev = kUndefLit;
     for (const Lit l : lits) {
         expects(l.var() >= 0 && l.var() < numVars(), "addClause: unknown variable");
@@ -76,33 +76,43 @@ bool Solver::addClause(std::vector<Lit> lits) {
         return false;
     }
     if (out.size() == 1) {
-        if (!enqueue(out[0], nullptr)) {
+        if (!enqueue(out[0], Reason::none())) {
             ok_ = false;
             return false;
         }
-        ok_ = (propagate() == nullptr);
+        ok_ = !propagate().found();
         return ok_;
     }
 
-    if (out.size() == 2) ++stats_.binaryClauses;
-    auto clause = std::make_unique<Clause>();
-    clause->lits = std::move(out);
-    attachClause(*clause);
-    clauses_.push_back(std::move(clause));
+    storeClause(out, /*learnt=*/false, /*lbd=*/0);
     return true;
 }
 
-void Solver::attachClause(Clause& c) {
-    expects(c.size() >= 2, "attachClause: clause too short");
-    watches_[static_cast<std::size_t>((~c[0]).index())].push_back({&c, c[1]});
-    watches_[static_cast<std::size_t>((~c[1]).index())].push_back({&c, c[0]});
+void Solver::storeClause(std::span<const Lit> lits, bool learnt, int lbd) {
+    expects(lits.size() >= 2, "storeClause: clause too short");
+    if (lits.size() == 2) {
+        attachBinary(lits[0], lits[1], learnt);
+        return;
+    }
+    const ClauseRef ref = arena_.alloc(lits, learnt, lbd);
+    (learnt ? learnts_ : clauses_).push_back(ref);
+    attachClause(ref);
+    if (learnt) learntBytes_ += arena_.footprintBytes(ref);
 }
 
-void Solver::detachClause(Clause& c) {
-    for (const Lit w : {c[0], c[1]}) {
+void Solver::attachClause(ClauseRef ref) {
+    expects(arena_.size(ref) >= 3, "attachClause: binaries live in the graph");
+    const Lit c0 = arena_.lit(ref, 0);
+    const Lit c1 = arena_.lit(ref, 1);
+    watches_[static_cast<std::size_t>((~c0).index())].push_back({ref, c1});
+    watches_[static_cast<std::size_t>((~c1).index())].push_back({ref, c0});
+}
+
+void Solver::detachClause(ClauseRef ref) {
+    for (const Lit w : {arena_.lit(ref, 0), arena_.lit(ref, 1)}) {
         auto& list = watches_[static_cast<std::size_t>((~w).index())];
         auto it = std::find_if(list.begin(), list.end(),
-                               [&c](const Watcher& wt) { return wt.clause == &c; });
+                               [ref](const Watcher& wt) { return wt.ref == ref; });
         if (it != list.end()) {
             *it = list.back();
             list.pop_back();
@@ -110,11 +120,24 @@ void Solver::detachClause(Clause& c) {
     }
 }
 
+void Solver::attachBinary(Lit a, Lit b, bool learnt) {
+    // Clause (a ∨ b): each literal's falsification list gets the other side.
+    binWatches_[static_cast<std::size_t>((~a).index())].push_back(
+        {b, learnt ? 1u : 0u});
+    binWatches_[static_cast<std::size_t>((~b).index())].push_back(
+        {a, learnt ? 1u : 0u});
+    ++stats_.binaryClauses;
+    if (learnt)
+        learntBytes_ += kBinaryBytes;
+    else
+        ++binaryProblem_;
+}
+
 // ---------------------------------------------------------------------------
 // Trail management
 // ---------------------------------------------------------------------------
 
-bool Solver::enqueue(Lit l, Clause* from) {
+bool Solver::enqueue(Lit l, Reason from) {
     const lbool v = value(l);
     if (v != lbool::Undef) return v == lbool::True;
     assigns_[static_cast<std::size_t>(l.var())] = fromBool(!l.sign());
@@ -139,7 +162,7 @@ void Solver::backtrackTo(int level) {
             polarity_[static_cast<std::size_t>(v)] =
                 trail_[static_cast<std::size_t>(i)].sign() ? 1 : 0;
         assigns_[static_cast<std::size_t>(v)] = lbool::Undef;
-        varData_[static_cast<std::size_t>(v)].reason = nullptr;
+        varData_[static_cast<std::size_t>(v)].reason = Reason::none();
         if (heapIndex_[static_cast<std::size_t>(v)] < 0) heapInsert(v);
     }
     trail_.resize(static_cast<std::size_t>(limit));
@@ -152,8 +175,8 @@ void Solver::backtrackTo(int level) {
 // Propagation
 // ---------------------------------------------------------------------------
 
-Clause* Solver::propagate() {
-    Clause* conflict = nullptr;
+Solver::Conflict Solver::propagate() {
+    Conflict conflict;
     while (qhead_ < trail_.size()) {
         // Long propagation streaks between decisions/conflicts must still
         // honour budgets, the deadline, and cancellation: poll every 1024
@@ -171,55 +194,74 @@ Clause* Solver::propagate() {
             const StopReason stop = limitExceeded();
             if (stop != StopReason::None) {
                 pendingStop_ = stop;
-                return nullptr;
+                return conflict;
             }
         }
         const Lit p = trail_[qhead_++];
         ++stats_.propagations;
+
+        // Binary pass first: every entry here is a complete implication
+        // (clause ¬p ∨ other) — no blocker probing, no watch migration, and
+        // a false `other` is immediately a conflict.
+        for (const BinWatcher& bw :
+             binWatches_[static_cast<std::size_t>(p.index())]) {
+            const lbool v = value(bw.other);
+            if (v == lbool::True) continue;
+            if (v == lbool::False) {
+                conflict.binA = ~p;
+                conflict.binB = bw.other;
+                qhead_ = trail_.size();
+                return conflict;
+            }
+            enqueue(bw.other, Reason::binary(~p));
+        }
+
         auto& list = watches_[static_cast<std::size_t>(p.index())];
         std::size_t keep = 0;
         std::size_t i = 0;
         for (; i < list.size(); ++i) {
             const Watcher w = list[i];
-            // Fast path: blocker already true.
+            // Fast path: blocker already true — the clause is satisfied
+            // without touching its arena words.
             if (value(w.blocker) == lbool::True) {
                 list[keep++] = w;
                 continue;
             }
-            Clause& c = *w.clause;
+            const ClauseRef cr = w.ref;
             const Lit falseLit = ~p;
             // Normalize: put the falsified watch at position 1.
-            if (c[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
-            const Lit first = c[0];
+            if (arena_.lit(cr, 0) == falseLit) arena_.swapLits(cr, 0, 1);
+            const Lit first = arena_.lit(cr, 0);
             if (first != w.blocker && value(first) == lbool::True) {
-                list[keep++] = {&c, first};
+                list[keep++] = {cr, first};
                 continue;
             }
             // Look for a new literal to watch.
             bool found = false;
-            for (std::size_t k = 2; k < c.size(); ++k) {
-                if (value(c[k]) != lbool::False) {
-                    std::swap(c.lits[1], c.lits[k]);
-                    watches_[static_cast<std::size_t>((~c[1]).index())].push_back(
-                        {&c, first});
+            const std::uint32_t size = arena_.size(cr);
+            for (std::uint32_t k = 2; k < size; ++k) {
+                if (value(arena_.lit(cr, k)) != lbool::False) {
+                    arena_.swapLits(cr, 1, k);
+                    watches_[static_cast<std::size_t>((~arena_.lit(cr, 1)).index())]
+                        .push_back({cr, first});
                     found = true;
                     break;
                 }
             }
             if (found) continue;
             // Clause is unit or conflicting.
-            list[keep++] = {&c, first};
+            list[keep++] = {cr, first};
             if (value(first) == lbool::False) {
-                conflict = &c;
+                conflict.ref = cr;
                 qhead_ = trail_.size();
                 // Copy the remaining watchers and stop.
                 for (++i; i < list.size(); ++i) list[keep++] = list[i];
                 break;
             }
-            enqueue(first, &c);
+            enqueue(first, Reason::clause(cr));
         }
         list.resize(keep);
-        if (conflict != nullptr) break;
+        if (conflict.found()) break;
     }
     return conflict;
 }
@@ -238,40 +280,61 @@ int Solver::computeLbd(const std::vector<Lit>& lits) {
         std::unique(levels.begin(), levels.end()) - levels.begin());
 }
 
-void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt, int& backtrackLevel,
-                     int& lbd) {
+void Solver::analyze(const Conflict& conflict, std::vector<Lit>& learnt,
+                     int& backtrackLevel, int& lbd) {
     learnt.clear();
     learnt.push_back(kUndefLit); // slot for the asserting literal
     int counter = 0;             // literals at the current level still to resolve
     Lit p = kUndefLit;
     std::size_t trailIndex = trail_.size();
-    Clause* reason = conflict;
 
-    do {
-        expects(reason != nullptr, "analyze: missing reason clause");
-        if (reason->learnt) clauseBumpActivity(*reason);
-        const std::size_t startIdx = (p == kUndefLit) ? 0 : 1;
-        for (std::size_t i = startIdx; i < reason->size(); ++i) {
-            const Lit q = (*reason)[i];
-            const Var v = q.var();
-            if (seen_[static_cast<std::size_t>(v)] || levelOf(v) == 0) continue;
-            seen_[static_cast<std::size_t>(v)] = 1;
-            varBumpActivity(v);
-            if (levelOf(v) >= decisionLevel()) {
-                ++counter;
-            } else {
-                learnt.push_back(q);
-            }
+    const auto visit = [&](Lit q) {
+        const Var v = q.var();
+        if (seen_[static_cast<std::size_t>(v)] || levelOf(v) == 0) return;
+        seen_[static_cast<std::size_t>(v)] = 1;
+        varBumpActivity(v);
+        if (levelOf(v) >= decisionLevel()) {
+            ++counter;
+        } else {
+            learnt.push_back(q);
         }
+    };
+    // Resolve with one reason side: an arena clause (its first literal is the
+    // implied one, skipped) or the single other literal of a binary clause.
+    const auto resolveWith = [&](Reason r) {
+        if (r.isBinary()) {
+            visit(r.otherLit());
+            return;
+        }
+        expects(r.isClause(), "analyze: missing reason clause");
+        const ClauseRef cr = r.ref();
+        if (arena_.learnt(cr)) clauseBumpActivity(cr);
+        const std::uint32_t size = arena_.size(cr);
+        for (std::uint32_t i = 1; i < size; ++i) visit(arena_.lit(cr, i));
+    };
+
+    // Seed with the conflicting clause (all of its literals).
+    if (conflict.isBinary()) {
+        visit(conflict.binA);
+        visit(conflict.binB);
+    } else {
+        const ClauseRef cr = conflict.ref;
+        if (arena_.learnt(cr)) clauseBumpActivity(cr);
+        const std::uint32_t size = arena_.size(cr);
+        for (std::uint32_t i = 0; i < size; ++i) visit(arena_.lit(cr, i));
+    }
+
+    while (true) {
         // Select the next literal on the trail to resolve on.
         while (!seen_[static_cast<std::size_t>(trail_[trailIndex - 1].var())])
             --trailIndex;
         --trailIndex;
         p = trail_[trailIndex];
-        reason = reasonOf(p.var());
+        const Reason reason = reasonOf(p.var());
         seen_[static_cast<std::size_t>(p.var())] = 0;
-        --counter;
-    } while (counter > 0);
+        if (--counter == 0) break; // p is the first UIP
+        resolveWith(reason);
+    }
     learnt[0] = ~p;
 
     // Minimize: drop literals implied by the rest of the learned clause.
@@ -281,7 +344,7 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt, int& backtrackL
         abstractLevels |= abstractLevel(learnt[i].var());
     std::size_t keep = 1;
     for (std::size_t i = 1; i < learnt.size(); ++i) {
-        if (reasonOf(learnt[i].var()) == nullptr ||
+        if (reasonOf(learnt[i].var()).isNone() ||
             !litRedundant(learnt[i], abstractLevels))
             learnt[keep++] = learnt[i];
     }
@@ -301,33 +364,44 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt, int& backtrackL
     lbd = computeLbd(learnt);
     stats_.learntLiterals += learnt.size();
     stats_.lbdSum += static_cast<std::uint64_t>(lbd);
-    if (learnt.size() == 2) ++stats_.binaryClauses;
 }
 
 bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
     analyzeStack_.clear();
     analyzeStack_.push_back(l);
     const std::size_t clearTop = analyzeToClear_.size();
+    // Antecedent check shared by both reason kinds; false → not redundant.
+    const auto follow = [&](Lit q) {
+        const Var v = q.var();
+        if (seen_[static_cast<std::size_t>(v)] || levelOf(v) == 0) return true;
+        if (!reasonOf(v).isNone() && (abstractLevel(v) & abstractLevels) != 0) {
+            seen_[static_cast<std::size_t>(v)] = 1;
+            analyzeStack_.push_back(q);
+            analyzeToClear_.push_back(q);
+            return true;
+        }
+        return false;
+    };
+    const auto abort = [&] {
+        // Not redundant: undo the marks added during this call.
+        for (std::size_t j = clearTop; j < analyzeToClear_.size(); ++j)
+            seen_[static_cast<std::size_t>(analyzeToClear_[j].var())] = 0;
+        analyzeToClear_.resize(clearTop);
+        return false;
+    };
     while (!analyzeStack_.empty()) {
         const Lit cur = analyzeStack_.back();
         analyzeStack_.pop_back();
-        const Clause* reason = reasonOf(cur.var());
-        expects(reason != nullptr, "litRedundant: literal without reason");
-        for (std::size_t i = 1; i < reason->size(); ++i) {
-            const Lit q = (*reason)[i];
-            const Var v = q.var();
-            if (seen_[static_cast<std::size_t>(v)] || levelOf(v) == 0) continue;
-            if (reasonOf(v) != nullptr && (abstractLevel(v) & abstractLevels) != 0) {
-                seen_[static_cast<std::size_t>(v)] = 1;
-                analyzeStack_.push_back(q);
-                analyzeToClear_.push_back(q);
-            } else {
-                // Not redundant: undo the marks added during this call.
-                for (std::size_t j = clearTop; j < analyzeToClear_.size(); ++j)
-                    seen_[static_cast<std::size_t>(analyzeToClear_[j].var())] = 0;
-                analyzeToClear_.resize(clearTop);
-                return false;
-            }
+        const Reason reason = reasonOf(cur.var());
+        expects(!reason.isNone(), "litRedundant: literal without reason");
+        if (reason.isBinary()) {
+            if (!follow(reason.otherLit())) return abort();
+            continue;
+        }
+        const ClauseRef cr = reason.ref();
+        const std::uint32_t size = arena_.size(cr);
+        for (std::uint32_t i = 1; i < size; ++i) {
+            if (!follow(arena_.lit(cr, i))) return abort();
         }
     }
     return true;
@@ -338,20 +412,24 @@ void Solver::analyzeFinal(Lit falsifiedAssumption) {
     core_.push_back(falsifiedAssumption);
     if (decisionLevel() == 0) return;
     seen_[static_cast<std::size_t>(falsifiedAssumption.var())] = 1;
+    const auto mark = [&](Var v) {
+        if (levelOf(v) > 0) seen_[static_cast<std::size_t>(v)] = 1;
+    };
     for (int i = static_cast<int>(trail_.size()) - 1;
          i >= trailLim_[0]; --i) {
         const Var x = trail_[static_cast<std::size_t>(i)].var();
         if (!seen_[static_cast<std::size_t>(x)]) continue;
-        const Clause* reason = reasonOf(x);
-        if (reason == nullptr) {
+        const Reason reason = reasonOf(x);
+        if (reason.isNone()) {
             // A decision: under assumptions-first ordering this is an
             // assumption literal contributing to the failure.
             core_.push_back(trail_[static_cast<std::size_t>(i)]);
+        } else if (reason.isBinary()) {
+            mark(reason.otherLit().var());
         } else {
-            for (std::size_t k = 1; k < reason->size(); ++k) {
-                const Var v = (*reason)[k].var();
-                if (levelOf(v) > 0) seen_[static_cast<std::size_t>(v)] = 1;
-            }
+            const ClauseRef cr = reason.ref();
+            const std::uint32_t size = arena_.size(cr);
+            for (std::uint32_t k = 1; k < size; ++k) mark(arena_.lit(cr, k).var());
         }
         seen_[static_cast<std::size_t>(x)] = 0;
     }
@@ -374,10 +452,11 @@ void Solver::varBumpActivity(Var v) {
 
 void Solver::varDecayActivity() { varInc_ /= opts_.varDecay; }
 
-void Solver::clauseBumpActivity(Clause& c) {
-    c.activity += claInc_;
-    if (c.activity > 1e20) {
-        for (auto& learnt : learnts_) learnt->activity *= 1e-20;
+void Solver::clauseBumpActivity(ClauseRef ref) {
+    arena_.setActivity(ref, arena_.activity(ref) + static_cast<float>(claInc_));
+    if (arena_.activity(ref) > 1e20f) {
+        for (const ClauseRef l : learnts_)
+            arena_.setActivity(l, arena_.activity(l) * 1e-20f);
         claInc_ *= 1e-20;
     }
 }
@@ -440,61 +519,106 @@ void Solver::heapSiftDown(std::size_t i) {
 }
 
 // ---------------------------------------------------------------------------
-// Learned-clause database reduction
+// Learned-clause database reduction + arena compaction
 // ---------------------------------------------------------------------------
 
 void Solver::reduceLearntDb() {
-    // Sort worst-first: high LBD, then low activity.
-    std::vector<Clause*> sorted;
-    sorted.reserve(learnts_.size());
-    for (auto& c : learnts_) sorted.push_back(c.get());
-    std::sort(sorted.begin(), sorted.end(), [](const Clause* a, const Clause* b) {
-        if (a->lbd != b->lbd) return a->lbd > b->lbd;
-        return a->activity < b->activity;
+    // Sort worst-first: high LBD, then low activity. Binary learnt clauses
+    // live in the implication graph, not in learnts_, so they are never
+    // reduced — same policy as keeping glue (LBD <= 2) clauses forever.
+    std::vector<ClauseRef> sorted = learnts_;
+    std::sort(sorted.begin(), sorted.end(), [this](ClauseRef a, ClauseRef b) {
+        if (arena_.lbd(a) != arena_.lbd(b)) return arena_.lbd(a) > arena_.lbd(b);
+        return arena_.activity(a) < arena_.activity(b);
     });
 
-    const auto locked = [this](const Clause& c) {
-        return value(c[0]) == lbool::True && reasonOf(c[0].var()) == &c;
-    };
-
-    std::unordered_set<const Clause*> toRemove;
+    std::size_t removed = 0;
     const std::size_t target = learnts_.size() / 2;
-    for (Clause* c : sorted) {
-        if (toRemove.size() >= target) break;
-        if (c->size() <= 2 || c->lbd <= 2 || locked(*c)) continue;
-        detachClause(*c);
-        toRemove.insert(c);
+    for (const ClauseRef ref : sorted) {
+        if (removed >= target) break;
+        if (arena_.lbd(ref) <= 2 || lockedReason(ref)) continue;
+        detachClause(ref);
+        learntBytes_ -= arena_.footprintBytes(ref);
+        arena_.free(ref);
+        ++removed;
     }
-    std::erase_if(learnts_, [&toRemove](const std::unique_ptr<Clause>& c) {
-        return toRemove.count(c.get()) > 0;
-    });
-    stats_.removedClauses += toRemove.size();
-    recomputeLearntBytes();
+    // free() marked them; drop the refs (the words wait for compaction).
+    std::erase_if(learnts_,
+                  [this](ClauseRef ref) { return arena_.deleted(ref); });
+    stats_.removedClauses += removed;
 }
 
-std::size_t Solver::clauseBytes(const Clause& c) {
-    return sizeof(Clause) + c.lits.capacity() * sizeof(Lit);
+void Solver::garbageCollect() {
+    // Every live clause is reachable from clauses_/learnts_ (attach always
+    // registers there), so relocating those lists establishes every
+    // forwarding ref; watchers and trail reasons then rewrite via forward().
+    // Freed clauses are never a watcher (detach before free) nor a reason
+    // (reduceLearntDb skips locked clauses; removeSatisfiedAtLevelZero
+    // clears level-0 trail reasons before freeing), so nothing dangles.
+    ClauseArena to;
+    to.reserveWords(arena_.liveWords());
+    for (ClauseRef& ref : clauses_) ref = arena_.relocate(ref, to);
+    for (ClauseRef& ref : learnts_) ref = arena_.relocate(ref, to);
+    for (auto& list : watches_)
+        for (Watcher& w : list) w.ref = arena_.forward(w.ref);
+    for (const Lit l : trail_) {
+        Reason& r = varData_[static_cast<std::size_t>(l.var())].reason;
+        if (r.isClause()) r = Reason::clause(arena_.forward(r.ref()));
+    }
+    arena_ = std::move(to);
+    ++stats_.arenaGcs;
 }
 
-void Solver::recomputeLearntBytes() {
-    learntBytes_ = 0;
-    for (const auto& c : learnts_) learntBytes_ += clauseBytes(*c);
+void Solver::maybeGarbageCollect() {
+    if (arena_.wastedWords() > 0 &&
+        static_cast<double>(arena_.wastedWords()) >=
+            kGcWasteFraction * static_cast<double>(arena_.totalWords()))
+        garbageCollect();
 }
 
 void Solver::removeSatisfiedAtLevelZero() {
     expects(decisionLevel() == 0, "removeSatisfied: requires level 0");
-    const auto satisfied = [this](const Clause& c) {
-        return std::any_of(c.lits.begin(), c.lits.end(),
-                           [this](Lit l) { return value(l) == lbool::True; });
+    // The whole trail is level 0 here; level-0 facts never participate in
+    // conflict analysis again, so their reasons can be dropped. This is what
+    // makes freeing a satisfied clause safe: nothing references it anymore.
+    for (const Lit l : trail_)
+        varData_[static_cast<std::size_t>(l.var())].reason = Reason::none();
+
+    const auto satisfied = [this](ClauseRef ref) {
+        const std::uint32_t size = arena_.size(ref);
+        for (std::uint32_t i = 0; i < size; ++i)
+            if (value(arena_.lit(ref, i)) == lbool::True) return true;
+        return false;
     };
     for (auto* vec : {&clauses_, &learnts_}) {
-        std::erase_if(*vec, [&](const std::unique_ptr<Clause>& c) {
-            if (!satisfied(*c)) return false;
-            detachClause(*c);
+        std::erase_if(*vec, [&](ClauseRef ref) {
+            if (!satisfied(ref)) return false;
+            detachClause(ref);
+            if (arena_.learnt(ref)) learntBytes_ -= arena_.footprintBytes(ref);
+            arena_.free(ref);
             return true;
         });
     }
-    recomputeLearntBytes();
+
+    // Sweep the binary implication graph: entry {other} in list j belongs to
+    // the clause (¬Lit(j) ∨ other); both mirrored entries of a satisfied
+    // clause meet the same predicate, so entry counts stay even.
+    std::size_t removedProblem = 0;
+    std::size_t removedLearnt = 0;
+    for (std::size_t j = 0; j < binWatches_.size(); ++j) {
+        const Lit w = Lit::fromIndex(static_cast<std::int32_t>(j));
+        std::erase_if(binWatches_[j], [&](const BinWatcher& bw) {
+            if (value(~w) != lbool::True && value(bw.other) != lbool::True)
+                return false;
+            ++(bw.learnt != 0 ? removedLearnt : removedProblem);
+            return true;
+        });
+    }
+    stats_.binaryClauses -= (removedProblem + removedLearnt) / 2;
+    binaryProblem_ -= removedProblem / 2;
+    learntBytes_ -= (removedLearnt / 2) * kBinaryBytes;
+
+    maybeGarbageCollect();
 }
 
 bool Solver::importSharedClauses() {
@@ -502,7 +626,7 @@ bool Solver::importSharedClauses() {
     if (!ok_) return false;
     importScratch_.clear();
     opts_.importClausesFn(importScratch_);
-    std::vector<Lit> out;
+    std::vector<Lit>& out = simplifyScratch_;
     for (ImportedClause& imp : importScratch_) {
         // Same simplification as addClause, but a rejected clause (satisfied,
         // tautological, or from a diverged variable space) is just skipped.
@@ -536,21 +660,14 @@ bool Solver::importSharedClauses() {
             return false;
         }
         if (out.size() == 1) {
-            if (!enqueue(out[0], nullptr)) {
+            if (!enqueue(out[0], Reason::none())) {
                 ok_ = false;
                 return false;
             }
             continue; // propagated by the next propagate() call
         }
-        if (out.size() == 2) ++stats_.binaryClauses;
-        auto clause = std::make_unique<Clause>();
-        clause->lits = out;
-        clause->learnt = true;
-        clause->lbd = std::clamp(imp.lbd, 2, static_cast<int>(out.size()));
-        Clause* raw = clause.get();
-        attachClause(*raw);
-        learntBytes_ += clauseBytes(*raw);
-        learnts_.push_back(std::move(clause));
+        storeClause(out, /*learnt=*/true,
+                    std::clamp(imp.lbd, 2, static_cast<int>(out.size())));
     }
     return true;
 }
@@ -606,17 +723,45 @@ SolverSnapshot Solver::exportSnapshot(std::size_t maxClauses) const {
     // Short learnt clauses, same quality filter as portfolio exchange. Learnt
     // clauses can mention assumption-compilation variables created after the
     // baseline; those are meaningless in a fresh replay, so skip them.
-    for (const auto& c : learnts_) {
+    for (const ClauseRef ref : learnts_) {
         if (snap.clauses.size() >= maxClauses) break;
-        if (c->lbd > opts_.shareLbdMax &&
-            static_cast<int>(c->size()) > opts_.shareSizeMax)
+        const int lbd = arena_.lbd(ref);
+        const std::uint32_t size = arena_.size(ref);
+        if (lbd > opts_.shareLbdMax &&
+            static_cast<int>(size) > opts_.shareSizeMax)
             continue;
-        const bool inBaseline =
-            std::all_of(c->lits.begin(), c->lits.end(), [&](Lit l) {
-                return static_cast<std::size_t>(l.var()) < baseline;
-            });
+        ImportedClause imp;
+        imp.lbd = lbd;
+        imp.lits.reserve(size);
+        bool inBaseline = true;
+        for (std::uint32_t i = 0; i < size; ++i) {
+            const Lit l = arena_.lit(ref, i);
+            if (static_cast<std::size_t>(l.var()) >= baseline) {
+                inBaseline = false;
+                break;
+            }
+            imp.lits.push_back(l);
+        }
         if (!inBaseline) continue;
-        snap.clauses.push_back(ImportedClause{c->lits, c->lbd});
+        snap.clauses.push_back(std::move(imp));
+    }
+
+    // Learnt binaries export straight from the implication graph: the entry
+    // {other} in list j is the clause (¬Lit(j) ∨ other), mirrored once in
+    // each direction — emit the ordered one of the pair.
+    if (!(2 > opts_.shareLbdMax && 2 > opts_.shareSizeMax)) {
+        for (std::size_t j = 0; j < binWatches_.size(); ++j) {
+            if (snap.clauses.size() >= maxClauses) break;
+            const Lit a = ~Lit::fromIndex(static_cast<std::int32_t>(j));
+            for (const BinWatcher& bw : binWatches_[j]) {
+                if (snap.clauses.size() >= maxClauses) break;
+                if (bw.learnt == 0 || a.index() >= bw.other.index()) continue;
+                if (static_cast<std::size_t>(a.var()) >= baseline ||
+                    static_cast<std::size_t>(bw.other.var()) >= baseline)
+                    continue;
+                snap.clauses.push_back(ImportedClause{{a, bw.other}, 2});
+            }
+        }
     }
     return snap;
 }
@@ -641,7 +786,7 @@ std::size_t Solver::importSnapshot(const SolverSnapshot& snapshot) {
     // Clauses: the same validation as importSharedClauses — skip anything
     // tautological, out of range, or already satisfied at level 0.
     std::size_t integrated = 0;
-    std::vector<Lit> out;
+    std::vector<Lit>& out = simplifyScratch_;
     for (const ImportedClause& imp : snapshot.clauses) {
         std::vector<Lit> lits = imp.lits;
         std::sort(lits.begin(), lits.end());
@@ -675,21 +820,14 @@ std::size_t Solver::importSnapshot(const SolverSnapshot& snapshot) {
             return integrated;
         }
         if (out.size() == 1) {
-            if (!enqueue(out[0], nullptr)) {
+            if (!enqueue(out[0], Reason::none())) {
                 ok_ = false;
                 return integrated;
             }
             continue; // propagated by the next propagate() call
         }
-        if (out.size() == 2) ++stats_.binaryClauses;
-        auto clause = std::make_unique<Clause>();
-        clause->lits = out;
-        clause->learnt = true;
-        clause->lbd = std::clamp(imp.lbd, 2, static_cast<int>(out.size()));
-        Clause* raw = clause.get();
-        attachClause(*raw);
-        learntBytes_ += clauseBytes(*raw);
-        learnts_.push_back(std::move(clause));
+        storeClause(out, /*learnt=*/true,
+                    std::clamp(imp.lbd, 2, static_cast<int>(out.size())));
     }
     return integrated;
 }
@@ -718,7 +856,7 @@ Lit Solver::pickBranchLit() {
 // DPLL fallback (learning disabled)
 // ---------------------------------------------------------------------------
 
-bool Solver::handleConflictDpll(Clause* /*conflict*/) {
+bool Solver::handleConflictDpll() {
     // Flip the deepest unflipped non-assumption decision; fail when none.
     const int assumptionLevels = static_cast<int>(assumptions_.size());
     int flipLevel = -1;
@@ -739,7 +877,7 @@ bool Solver::handleConflictDpll(Clause* /*conflict*/) {
     backtrackTo(flipLevel - 1);
     newDecisionLevel(flipped);
     frames_.back().flipped = true;
-    enqueue(flipped, nullptr);
+    enqueue(flipped, Reason::none());
     return true;
 }
 
@@ -782,7 +920,7 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
 
     removeSatisfiedAtLevelZero();
     if (opts_.importClausesFn && !importSharedClauses()) return SolveResult::Unsat;
-    maxLearnts_ = std::max(1000.0, static_cast<double>(clauses_.size()) * 0.3);
+    maxLearnts_ = std::max(1000.0, static_cast<double>(numClauses()) * 0.3);
     restartCount_ = 0;
     restartLimit_ = opts_.restartBase * luby(restartCount_);
     conflictsSinceRestart_ = 0;
@@ -809,6 +947,19 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
     if (opts_.cancelFlag && opts_.cancelFlag->load(std::memory_order_relaxed)) {
         stopReason_ = StopReason::Cancelled;
         return SolveResult::Unknown;
+    }
+
+    // Imports (snapshot warm-start or portfolio exchange) can arrive already
+    // over the learnt-memory cap: reclaim before searching rather than carry
+    // an oversized learnt DB into the search loop.
+    if (memoryBudgetBytes_ >= 0 &&
+        static_cast<std::int64_t>(learntBytes_) > memoryBudgetBytes_) {
+        reduceLearntDb();
+        garbageCollect();
+        if (static_cast<std::int64_t>(learntBytes_) > memoryBudgetBytes_) {
+            stopReason_ = StopReason::MemoryBudget;
+            return SolveResult::Unknown;
+        }
     }
 
     const SolveResult result = search();
@@ -857,7 +1008,7 @@ SolveResult Solver::search() {
     std::vector<Lit> learnt;
 
     while (true) {
-        Clause* conflict = propagate();
+        const Conflict conflict = propagate();
         if (pendingStop_ != StopReason::None) {
             // A limit tripped mid-propagation; the queue is left partially
             // processed (the next solve() resumes it from qhead_).
@@ -866,7 +1017,7 @@ SolveResult Solver::search() {
             backtrackTo(0);
             return SolveResult::Unknown;
         }
-        if (conflict != nullptr) {
+        if (conflict.found()) {
             ++stats_.conflicts;
             ++conflictsSinceRestart_;
             if (opts_.progressEvery > 0 && opts_.progressFn &&
@@ -891,7 +1042,7 @@ SolveResult Solver::search() {
                     core_ = assumptions_;
                     return SolveResult::Unsat;
                 }
-                if (!handleConflictDpll(conflict)) return SolveResult::Unsat;
+                if (!handleConflictDpll()) return SolveResult::Unsat;
                 continue;
             }
             if (decisionLevel() == 0) {
@@ -912,27 +1063,29 @@ SolveResult Solver::search() {
             }
             backtrackTo(backtrackLevel);
             if (learnt.size() == 1) {
-                enqueue(learnt[0], nullptr);
+                enqueue(learnt[0], Reason::none());
+            } else if (learnt.size() == 2) {
+                attachBinary(learnt[0], learnt[1], /*learnt=*/true);
+                enqueue(learnt[0], Reason::binary(learnt[1]));
             } else {
-                auto clause = std::make_unique<Clause>();
-                clause->lits = learnt;
-                clause->learnt = true;
-                clause->lbd = lbd;
-                Clause* raw = clause.get();
-                attachClause(*raw);
-                clauseBumpActivity(*raw);
-                learntBytes_ += clauseBytes(*raw);
-                learnts_.push_back(std::move(clause));
-                enqueue(learnt[0], raw);
+                const ClauseRef ref = arena_.alloc(learnt, /*learnt=*/true, lbd);
+                learnts_.push_back(ref);
+                attachClause(ref);
+                clauseBumpActivity(ref);
+                learntBytes_ += arena_.footprintBytes(ref);
+                enqueue(learnt[0], Reason::clause(ref));
             }
             varDecayActivity();
             clauseDecayActivity();
 
             if (memoryBudgetBytes_ >= 0 &&
                 static_cast<std::int64_t>(learntBytes_) > memoryBudgetBytes_) {
-                // Over the learnt-arena cap: reclaim first; if everything
-                // left is glue or locked, give up rather than grow further.
+                // Over the learnt-memory cap: reduce the DB and compact the
+                // arena (the budget caps live bytes, but reclaiming the freed
+                // words is the point of capping); if everything left is glue
+                // or locked, give up rather than grow further.
                 reduceLearntDb();
+                garbageCollect();
                 if (static_cast<std::int64_t>(learntBytes_) >
                     memoryBudgetBytes_) {
                     stopReason_ = StopReason::MemoryBudget;
@@ -953,6 +1106,7 @@ SolveResult Solver::search() {
             if (opts_.reduceDb &&
                 static_cast<double>(learnts_.size()) >= maxLearnts_) {
                 reduceLearntDb();
+                maybeGarbageCollect();
                 maxLearnts_ *= 1.3;
             }
             continue;
@@ -972,7 +1126,7 @@ SolveResult Solver::search() {
             }
             ++stats_.decisions;
             newDecisionLevel(a);
-            enqueue(a, nullptr);
+            enqueue(a, Reason::none());
             continue;
         }
 
@@ -988,7 +1142,7 @@ SolveResult Solver::search() {
         if (!next.isDefined()) return SolveResult::Sat;
         ++stats_.decisions;
         newDecisionLevel(next);
-        enqueue(next, nullptr);
+        enqueue(next, Reason::none());
     }
 }
 
@@ -997,6 +1151,14 @@ bool Solver::modelValue(Var v) const {
             "modelValue: no model for variable");
     // Variables never assigned in the model are free; report false.
     return model_[static_cast<std::size_t>(v)] == lbool::True;
+}
+
+void Solver::setOptions(const SolverOptions& options) {
+    // Enforced half of the threading contract: options are immutable while a
+    // solve() is in flight (the search reads them without synchronization).
+    if (solveActive_.load(std::memory_order_acquire))
+        throw LogicError("Solver::setOptions: called while solve() is active");
+    opts_ = options;
 }
 
 } // namespace lar::sat

@@ -4,10 +4,17 @@
 // lineage, providing the substrate the paper's "shim layer over SAT solvers"
 // builds on. Features:
 //
-//   * two-watched-literal propagation with blocker literals,
-//   * first-UIP conflict analysis with learned-clause minimization,
+//   * clause storage split by length: long clauses packed in a 32-bit-ref
+//     ClauseArena with inline headers (size/LBD/activity), binary clauses in
+//     a dedicated implication graph that never touches the watch lists,
+//   * two-watched-literal propagation with blocker literals and {ClauseRef,
+//     blocker} watcher entries (8 bytes each),
+//   * first-UIP conflict analysis over tagged reasons (arena ref or binary
+//     implying literal) with learned-clause minimization,
 //   * EVSIDS variable activities on a binary heap, phase saving,
-//   * Luby restarts, LBD-based learned-clause database reduction,
+//   * Luby restarts, LBD-based learned-clause database reduction, arena
+//     compaction (garbage collection) once the freed fraction crosses a
+//     threshold, exact learnt-memory accounting for the memory budget,
 //   * incremental solving under assumptions with unsat-core extraction
 //     (failed-assumption analysis), and
 //   * ablation switches (disable learning / VSIDS / restarts / phase saving)
@@ -21,11 +28,12 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "sat/arena.hpp"
+#include "sat/clause.hpp"
 #include "sat/types.hpp"
 
 namespace lar::sat {
@@ -47,18 +55,6 @@ enum class StopReason {
 /// Human-readable StopReason name ("conflict_budget", "deadline", …).
 [[nodiscard]] const char* toString(StopReason reason);
 
-/// A clause; learned clauses carry an LBD score and activity for DB reduction.
-struct Clause {
-    std::vector<Lit> lits;
-    bool learnt = false;
-    int lbd = 0;
-    double activity = 0.0;
-
-    [[nodiscard]] std::size_t size() const { return lits.size(); }
-    Lit& operator[](std::size_t i) { return lits[i]; }
-    const Lit& operator[](std::size_t i) const { return lits[i]; }
-};
-
 /// Search statistics, reset per solver instance.
 struct SolverStats {
     std::uint64_t decisions = 0;
@@ -69,10 +65,14 @@ struct SolverStats {
     std::uint64_t removedClauses = 0;
     std::uint64_t solves = 0;
     std::uint64_t maxDecisionLevel = 0; ///< deepest decision level reached
-    std::uint64_t binaryClauses = 0;    ///< binary clauses created (problem + learnt)
+    /// LIVE binary clauses in the implication graph (problem + learnt).
+    /// Grows on attach and shrinks when level-0 simplification removes
+    /// satisfied binaries — a gauge, not the historic creation counter.
+    std::uint64_t binaryClauses = 0;
     std::uint64_t lbdSum = 0; ///< Σ LBD over learned clauses (avg = lbdSum/conflicts)
     std::uint64_t exportedClauses = 0; ///< learnt clauses offered via exportClauseFn
     std::uint64_t importedClauses = 0; ///< foreign clauses integrated via importClausesFn
+    std::uint64_t arenaGcs = 0; ///< clause-arena compaction passes performed
 };
 
 /// A learnt clause received from another solver in a portfolio (see
@@ -136,9 +136,11 @@ struct SolverOptions {
     /// Propagation budget per solve() call; -1 = unlimited. Bounds work even
     /// on instances that propagate heavily without conflicting or deciding.
     std::int64_t propagationBudget = -1;
-    /// Cap on the learnt-clause arena in MiB; -1 = unlimited. When learning
-    /// pushes past the cap the solver first forces a database reduction and,
-    /// if still over (everything left is glue/locked), stops with Unknown.
+    /// Cap on live learnt-clause memory (arena clauses + learnt binaries) in
+    /// MiB; -1 = unlimited. Accounting is exact arena arithmetic. When
+    /// learning pushes past the cap the solver forces a database reduction
+    /// and an arena compaction; if still over (everything left is glue or
+    /// locked), it stops with Unknown.
     std::int64_t memoryBudgetMb = -1;
     /// Wall-clock budget per solve() call in milliseconds; -1 = unlimited.
     /// Checked at conflicts and periodically at decisions, so exhaustion
@@ -164,12 +166,13 @@ struct SolverOptions {
     //
     // Threading contract: a Solver is strictly single-threaded. solve() must
     // never run concurrently on one instance (asserted), options must not be
-    // mutated while a solve() is in flight, and every callback — progressFn,
-    // exportClauseFn, importClausesFn — is invoked on the thread that called
-    // solve(). The only member safely touched from other threads during a
-    // solve is the atomic behind `cancelFlag`. Cross-thread clause exchange
-    // therefore happens inside the callbacks (e.g. through a lock-free
-    // sat::ClauseExchange), never by poking the solver directly.
+    // mutated while a solve() is in flight (setOptions() enforces this), and
+    // every callback — progressFn, exportClauseFn, importClausesFn — is
+    // invoked on the thread that called solve(). The only member safely
+    // touched from other threads during a solve is the atomic behind
+    // `cancelFlag`. Cross-thread clause exchange therefore happens inside
+    // the callbacks (e.g. through a lock-free sat::ClauseExchange), never by
+    // poking the solver directly.
 
     /// Called (on the solving thread) for each learnt clause that passes the
     /// sharing filter `lbd <= shareLbdMax || size <= shareSizeMax`. The span
@@ -179,7 +182,8 @@ struct SolverOptions {
     /// boundary, always at decision level 0. Appends foreign learnt clauses;
     /// each is checked against the current level-0 assignment before being
     /// attached (satisfied → skipped, falsified literals → dropped, empty
-    /// remainder → Unsat, unit → enqueued at level 0).
+    /// remainder → Unsat, unit → enqueued at level 0). Binary imports land
+    /// in the implication graph.
     std::function<void(std::vector<ImportedClause>&)> importClausesFn;
     /// Sharing filter: export learnt clauses with LBD at most this…
     int shareLbdMax = 4;
@@ -202,8 +206,11 @@ public:
     /// Number of variables created so far.
     [[nodiscard]] int numVars() const { return static_cast<int>(assigns_.size()); }
 
-    /// Number of problem (non-learnt) clauses currently held.
-    [[nodiscard]] std::size_t numClauses() const { return clauses_.size(); }
+    /// Number of problem (non-learnt) clauses currently held (long clauses
+    /// in the arena plus problem binaries in the implication graph).
+    [[nodiscard]] std::size_t numClauses() const {
+        return clauses_.size() + binaryProblem_;
+    }
 
     /// Adds a clause (vector is consumed). Returns false when the clause
     /// makes the formula trivially unsatisfiable (empty after simplification
@@ -240,7 +247,16 @@ public:
     [[nodiscard]] StopReason stopReason() const { return stopReason_; }
 
     [[nodiscard]] const SolverOptions& options() const { return opts_; }
-    SolverOptions& mutableOptions() { return opts_; }
+
+    /// Replaces the solver options wholesale. Throws LogicError when a
+    /// solve() is in flight on this instance — the threading contract
+    /// (options are immutable during a solve) is enforced here, not merely
+    /// documented. Call strictly between solver calls.
+    void setOptions(const SolverOptions& options);
+
+    /// Exact bytes of live learnt state (arena clauses + learnt binaries);
+    /// this is what `memoryBudgetMb` caps.
+    [[nodiscard]] std::size_t learntMemoryBytes() const { return learntBytes_; }
 
     // -- warm-start snapshots ----------------------------------------------
 
@@ -257,7 +273,8 @@ public:
     /// clause database grew past the baseline, or the formula is already
     /// inconsistent. Exported learnt clauses pass the sharing filter
     /// (shareLbdMax/shareSizeMax), mention baseline variables only, and are
-    /// capped at `maxClauses`; level-0 implied literals are exported as unit
+    /// capped at `maxClauses`; learnt binaries export straight from the
+    /// implication graph; level-0 implied literals are exported as unit
     /// clauses (they are consequences of the clause set — assumptions only
     /// ever sit at decision levels >= 1).
     [[nodiscard]] SolverSnapshot exportSnapshot(std::size_t maxClauses = 4096) const;
@@ -281,30 +298,51 @@ public:
     }
 
 private:
+    /// Watcher entry for a long (arena) clause: the clause plus a blocker
+    /// literal whose truth proves the clause satisfied without touching it.
     struct Watcher {
-        Clause* clause = nullptr;
+        ClauseRef ref = kClauseRefUndef;
         Lit blocker = kUndefLit;
     };
+    /// One half of a binary clause (x ∨ other), stored in x's falsification
+    /// list: when ~x lands on the trail, `other` is implied outright.
+    struct BinWatcher {
+        Lit other = kUndefLit;
+        std::uint32_t learnt = 0;
+    };
     struct VarData {
-        Clause* reason = nullptr;
+        Reason reason;
         int level = 0;
     };
     struct DecisionFrame {
         Lit decision = kUndefLit;
         bool flipped = false; ///< DPLL mode: both phases tried?
     };
+    /// A falsified clause found by propagate(): an arena clause, or a binary
+    /// clause given by its two (both false) literals.
+    struct Conflict {
+        ClauseRef ref = kClauseRefUndef;
+        Lit binA = kUndefLit;
+        Lit binB = kUndefLit;
+        [[nodiscard]] bool found() const {
+            return ref != kClauseRefUndef || binA.isDefined();
+        }
+        [[nodiscard]] bool isBinary() const {
+            return ref == kClauseRefUndef && binA.isDefined();
+        }
+    };
 
     // -- search ------------------------------------------------------------
     SolveResult search();
     Lit pickBranchLit();
-    bool enqueue(Lit l, Clause* from);
-    Clause* propagate();
-    void analyze(Clause* conflict, std::vector<Lit>& learnt, int& backtrackLevel,
-                 int& lbd);
+    bool enqueue(Lit l, Reason from);
+    Conflict propagate();
+    void analyze(const Conflict& conflict, std::vector<Lit>& learnt,
+                 int& backtrackLevel, int& lbd);
     bool litRedundant(Lit l, std::uint32_t abstractLevels);
     void analyzeFinal(Lit falsifiedAssumption);
     void backtrackTo(int level);
-    bool handleConflictDpll(Clause* conflict);
+    bool handleConflictDpll();
     void newDecisionLevel(Lit decision);
 
     // -- state helpers -----------------------------------------------------
@@ -314,25 +352,41 @@ private:
     [[nodiscard]] int levelOf(Var v) const {
         return varData_[static_cast<std::size_t>(v)].level;
     }
-    [[nodiscard]] Clause* reasonOf(Var v) const {
+    [[nodiscard]] Reason reasonOf(Var v) const {
         return varData_[static_cast<std::size_t>(v)].reason;
     }
     [[nodiscard]] std::uint32_t abstractLevel(Var v) const {
         return 1u << (levelOf(v) & 31);
     }
-    void attachClause(Clause& c);
-    void detachClause(Clause& c);
+    void attachClause(ClauseRef ref);
+    void detachClause(ClauseRef ref);
+    void attachBinary(Lit a, Lit b, bool learnt);
+    /// Integrates a simplified (>= 2 literals, none assigned-at-0) clause:
+    /// binary → implication graph, longer → arena + watches. Shared by
+    /// addClause / clause import / snapshot import.
+    void storeClause(std::span<const Lit> lits, bool learnt, int lbd);
     /// Drains importClausesFn at decision level 0; false → formula became
     /// Unsat (an imported clause is empty under the level-0 assignment).
     bool importSharedClauses();
     void removeSatisfiedAtLevelZero();
     void reduceLearntDb();
+    /// Relocates every live clause into a fresh arena, dropping the wasted
+    /// words left by free(); watcher/reason refs are rewritten in place so
+    /// search state (including watcher order) is untouched.
+    void garbageCollect();
+    /// garbageCollect() once wasted words cross kGcWasteFraction.
+    void maybeGarbageCollect();
     int computeLbd(const std::vector<Lit>& lits);
+    [[nodiscard]] bool lockedReason(ClauseRef ref) const {
+        const Lit first = arena_.lit(ref, 0);
+        return value(first) == lbool::True &&
+               reasonOf(first.var()) == Reason::clause(ref);
+    }
 
     // -- activity ----------------------------------------------------------
     void varBumpActivity(Var v);
     void varDecayActivity();
-    void clauseBumpActivity(Clause& c);
+    void clauseBumpActivity(ClauseRef ref);
     void clauseDecayActivity();
 
     // -- order heap (binary max-heap on activity_) ---------------------------
@@ -352,18 +406,25 @@ private:
     /// Checks every stop condition (cancellation, deadline, conflict and
     /// propagation budgets); returns the first that tripped, else None.
     [[nodiscard]] StopReason limitExceeded() const;
-    static std::size_t clauseBytes(const Clause& c);
-    void recomputeLearntBytes();
     void reportProgress();
+
+    /// Live memory of one learnt binary clause: two 8-byte BinWatcher
+    /// entries, one in each literal's list.
+    static constexpr std::size_t kBinaryBytes = 2 * sizeof(BinWatcher);
+    /// Compact the arena once this fraction of it is freed-but-unreclaimed.
+    static constexpr double kGcWasteFraction = 0.25;
 
     // -- data ---------------------------------------------------------------
     SolverOptions opts_;
     SolverStats stats_;
     bool ok_ = true;
 
-    std::vector<std::unique_ptr<Clause>> clauses_;
-    std::vector<std::unique_ptr<Clause>> learnts_;
-    std::vector<std::vector<Watcher>> watches_; ///< indexed by Lit::index()
+    ClauseArena arena_;                 ///< all long clauses, problem + learnt
+    std::vector<ClauseRef> clauses_;    ///< problem clauses (>= 3 lits)
+    std::vector<ClauseRef> learnts_;    ///< learnt clauses (>= 3 lits)
+    std::vector<std::vector<Watcher>> watches_;       ///< indexed by Lit::index()
+    std::vector<std::vector<BinWatcher>> binWatches_; ///< binary implication graph
+    std::size_t binaryProblem_ = 0; ///< live problem binaries (for numClauses)
 
     std::vector<lbool> assigns_;
     std::vector<VarData> varData_;
@@ -394,8 +455,8 @@ private:
     StopReason pendingStop_ = StopReason::None; ///< set mid-propagate
     std::int64_t conflictLimit_ = -1;     ///< absolute stats_.conflicts cap
     std::int64_t propagationLimit_ = -1;  ///< absolute stats_.propagations cap
-    std::int64_t memoryBudgetBytes_ = -1; ///< learnt-arena cap in bytes
-    std::size_t learntBytes_ = 0;         ///< current learnt-arena footprint
+    std::int64_t memoryBudgetBytes_ = -1; ///< live learnt-memory cap in bytes
+    std::size_t learntBytes_ = 0; ///< exact live learnt bytes (arena + binaries)
     std::int64_t conflictsSinceRestart_ = 0;
     std::int64_t restartLimit_ = 0;
     int restartCount_ = 0;
@@ -404,6 +465,7 @@ private:
     std::chrono::steady_clock::time_point solveStart_{};
     std::uint64_t propagationsAtSolveStart_ = 0;
     std::vector<ImportedClause> importScratch_; ///< importSharedClauses buffer
+    std::vector<Lit> simplifyScratch_;          ///< clause-simplification buffer
     std::atomic<bool> solveActive_{false}; ///< guards the single-thread contract
 
     // Snapshot baseline: addClause() invocations are counted (not stored

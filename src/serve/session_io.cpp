@@ -65,8 +65,8 @@ json::Value answerToJson(const reason::WhatIfAnswer& answer,
                          const reason::QueryTrace* trace) {
     json::Value v;
     v["verdict"] = std::string(reason::verdictName(answer.verdict));
-    v["feasible"] = answer.feasible();
-    v["timed_out"] = answer.timedOut();
+    v["feasible"] = answer.verdict == reason::Verdict::Sat;
+    v["timed_out"] = reason::gaveUp(answer.verdict);
     if (answer.stopReason != sat::StopReason::None) {
         v["stop_reason"] = std::string(sat::toString(answer.stopReason));
     }

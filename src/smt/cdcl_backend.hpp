@@ -14,7 +14,7 @@ class CdclBackend final : public Backend {
 public:
     explicit CdclBackend(const FormulaStore& store, const BackendConfig& config = {})
         : store_(&store) {
-        sat::SolverOptions& opts = solver_.mutableOptions();
+        sat::SolverOptions opts;
         opts.randomSeed = config.seed;
         opts.timeBudgetMs = config.timeoutMs > 0 ? config.timeoutMs : -1;
         opts.conflictBudget = config.conflictBudget;
@@ -23,6 +23,7 @@ public:
         opts.cancelFlag = config.cancelFlag;
         opts.progressEvery = config.progressEveryConflicts;
         opts.progressFn = config.progressFn;
+        solver_.setOptions(opts);
     }
 
     void addHard(NodeId formula, int track = -1) override;
@@ -47,10 +48,14 @@ public:
     }
 
     /// Underlying solver knobs (diversity profile, clause-sharing hooks).
-    /// Portfolio plumbing only — mutate strictly between solver calls; the
-    /// solver's threading contract (solver.hpp) applies.
-    [[nodiscard]] sat::SolverOptions& solverOptions() {
-        return solver_.mutableOptions();
+    /// Read with solverOptions(), write with setSolverOptions() — the solver
+    /// rejects option changes while a solve() is in flight (LogicError), per
+    /// its threading contract (solver.hpp).
+    [[nodiscard]] const sat::SolverOptions& solverOptions() const {
+        return solver_.options();
+    }
+    void setSolverOptions(const sat::SolverOptions& opts) {
+        solver_.setOptions(opts);
     }
 
 private:

@@ -66,7 +66,7 @@ PortfolioBackend::PortfolioBackend(const FormulaStore& store,
         auto worker = std::make_unique<CdclBackend>(store, workerConfig);
         const Profile& profile =
             kProfiles[static_cast<std::size_t>(i % kProfileCount)];
-        sat::SolverOptions& opts = worker->solverOptions();
+        sat::SolverOptions opts = worker->solverOptions();
         opts.varDecay = profile.varDecay;
         opts.restartBase = profile.restartBase;
         opts.usePhaseSaving = profile.usePhaseSaving;
@@ -76,6 +76,7 @@ PortfolioBackend::PortfolioBackend(const FormulaStore& store,
         opts.importClausesFn = [this, i](std::vector<sat::ImportedClause>& out) {
             exchange_->collect(i, out);
         };
+        worker->setSolverOptions(opts);
         workers_.push_back(std::move(worker));
     }
     pstats_.workers = n;
@@ -85,8 +86,10 @@ void PortfolioBackend::disableSharing() {
     if (!sharingEnabled_) return;
     sharingEnabled_ = false;
     for (auto& worker : workers_) {
-        worker->solverOptions().exportClauseFn = nullptr;
-        worker->solverOptions().importClausesFn = nullptr;
+        sat::SolverOptions opts = worker->solverOptions();
+        opts.exportClauseFn = nullptr;
+        opts.importClausesFn = nullptr;
+        worker->setSolverOptions(opts);
     }
 }
 
@@ -248,8 +251,10 @@ void PortfolioBackend::becomeSoleWorker(int worker) {
     // the race-cancel flag — left alone, the winner's own cancellation of
     // its siblings would instantly cancel every later call. Poll the
     // caller's flag (possibly none) directly instead.
-    workers_[static_cast<std::size_t>(worker)]->solverOptions().cancelFlag =
-        callerCancel_;
+    auto& sole = *workers_[static_cast<std::size_t>(worker)];
+    sat::SolverOptions opts = sole.solverOptions();
+    opts.cancelFlag = callerCancel_;
+    sole.setSolverOptions(opts);
 }
 
 bool PortfolioBackend::modelValue(NodeId var) const {

@@ -105,7 +105,7 @@ TEST(ErrorPaths, ProblemWithoutKbIsLogicError) {
     r.problem = p;
     // The Service catches it (failure isolation) and reports the kind.
     const reason::QueryResult result = service.run(r);
-    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.verdict != reason::Verdict::Error);
     EXPECT_EQ(result.error.errorKind, "logic_error");
     EXPECT_NE(result.error.message.find("knowledge base"), std::string::npos);
 }

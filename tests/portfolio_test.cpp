@@ -134,19 +134,23 @@ TEST(ClauseImportSoundnessTest, ImportingLearntClausesPreservesVerdicts) {
 
         ClauseExchange exchange(2);
         Solver teacher;
-        teacher.mutableOptions().exportClauseFn =
+        sat::SolverOptions teacherOpts;
+        teacherOpts.exportClauseFn =
             [&exchange](std::span<const Lit> clause, int lbd) {
                 exchange.publish(0, clause, lbd);
             };
-        teacher.mutableOptions().shareLbdMax = 1000; // export every learnt
+        teacherOpts.shareLbdMax = 1000; // export every learnt
+        teacher.setOptions(teacherOpts);
         loadInstance(teacher, cnf);
         const SolveResult teacherVerdict = teacher.solve();
 
         Solver student;
-        student.mutableOptions().importClausesFn =
+        sat::SolverOptions studentOpts;
+        studentOpts.importClausesFn =
             [&exchange](std::vector<ImportedClause>& out) {
                 exchange.collect(1, out);
             };
+        student.setOptions(studentOpts);
         loadInstance(student, cnf);
         const SolveResult studentVerdict = student.solve();
 
@@ -180,12 +184,13 @@ TEST(ClauseImportSoundnessTest, StaleUnitImportsCannotCorruptTheSolver) {
     const sat::Var x = solver.newVar();
     (void)solver.addClause(Lit(x, false)); // x is true at level 0
     bool imported = false;
-    solver.mutableOptions().importClausesFn =
-        [&](std::vector<ImportedClause>& out) {
-            if (imported) return;
-            imported = true;
-            out.push_back({{Lit(x, true)}, 1}); // ¬x: contradicts level 0
-        };
+    sat::SolverOptions opts;
+    opts.importClausesFn = [&](std::vector<ImportedClause>& out) {
+        if (imported) return;
+        imported = true;
+        out.push_back({{Lit(x, true)}, 1}); // ¬x: contradicts level 0
+    };
+    solver.setOptions(opts);
     EXPECT_EQ(solver.solve(), SolveResult::Unsat);
 }
 
@@ -196,9 +201,11 @@ TEST(SolverThreadingContractTest, ReentrantSolveIsRejected) {
     util::Rng rng(3);
     const sat::Cnf cnf = test::randomKSat(rng, 12, 70, 3); // dense → conflicts
     Solver solver;
-    solver.mutableOptions().shareLbdMax = 1000;
-    solver.mutableOptions().exportClauseFn =
+    sat::SolverOptions opts;
+    opts.shareLbdMax = 1000;
+    opts.exportClauseFn =
         [&solver](std::span<const Lit>, int) { (void)solver.solve(); };
+    solver.setOptions(opts);
     loadInstance(solver, cnf);
     EXPECT_THROW((void)solver.solve(), LogicError);
 }
@@ -340,25 +347,16 @@ TEST(VerdictTest, NamesCoverEveryValue) {
     EXPECT_STREQ(reason::verdictName(Verdict::Error), "error");
 }
 
-TEST(VerdictTest, LegacyAccessorsDeriveFromVerdict) {
-    reason::QueryResult r;
-    r.verdict = reason::Verdict::Sat;
-    EXPECT_TRUE(r.feasible() && r.ok());
-    EXPECT_FALSE(r.timedOut() || r.shed() || r.cancelled());
-
-    // The historic `timedOut` flag covered every kind of giving up.
+TEST(VerdictTest, GaveUpCoversExactlyTheIndefiniteVerdicts) {
+    // gaveUp() is the one shared definition of "no proven verdict" — it
+    // backs the historic `timed_out` wire field, so its coverage is load-
+    // bearing: deadline expiry, budget exhaustion, and cancellation only.
     for (const auto v : {reason::Verdict::TimedOut, reason::Verdict::Unknown,
-                         reason::Verdict::Cancelled}) {
-        r.verdict = v;
-        EXPECT_TRUE(r.timedOut()) << reason::verdictName(v);
-        EXPECT_FALSE(r.feasible());
-    }
-    r.verdict = reason::Verdict::Cancelled;
-    EXPECT_TRUE(r.cancelled());
-    r.verdict = reason::Verdict::Shed;
-    EXPECT_TRUE(r.shed());
-    r.verdict = reason::Verdict::Error;
-    EXPECT_FALSE(r.ok());
+                         reason::Verdict::Cancelled})
+        EXPECT_TRUE(reason::gaveUp(v)) << reason::verdictName(v);
+    for (const auto v : {reason::Verdict::Sat, reason::Verdict::Unsat,
+                         reason::Verdict::Shed, reason::Verdict::Error})
+        EXPECT_FALSE(reason::gaveUp(v)) << reason::verdictName(v);
 }
 
 class PortfolioServiceTest : public ::testing::Test {

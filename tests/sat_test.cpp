@@ -271,6 +271,91 @@ TEST(Solver, StatsAreTracked) {
     EXPECT_EQ(s.stats().solves, 1u);
 }
 
+TEST(Solver, ArenaCompactsUnderMemoryBudget) {
+    // Flood the learnt database over the 1MB budget via clause import, then
+    // require solve() to reduce + compact the arena back under budget instead
+    // of giving up. 12000 imported 20-literal clauses occupy
+    // 12000 * (3 header + 20 literal) words * 4 bytes ≈ 1.10 MB.
+    constexpr int kVars = 200;
+    constexpr int kImported = 12000;
+    constexpr int kClauseLen = 20;
+    SolverOptions opts;
+    opts.memoryBudgetMb = 1;
+    bool delivered = false;
+    opts.importClausesFn = [&delivered](std::vector<ImportedClause>& out) {
+        if (delivered) return;
+        delivered = true;
+        for (int i = 0; i < kImported; ++i) {
+            ImportedClause imp;
+            imp.lbd = 5;
+            // Two leading negative literals keep each clause satisfied by the
+            // all-false default phase, so the search stays conflict-free.
+            for (int k = 0; k < kClauseLen; ++k) {
+                const Var v = static_cast<Var>((i + k) % kVars);
+                imp.lits.push_back(k < 2 ? ~mkLit(v) : mkLit(v));
+            }
+            out.push_back(std::move(imp));
+        }
+    };
+    Solver s(opts);
+    for (int i = 0; i < kVars; ++i) s.newVar();
+    ASSERT_TRUE(s.addClause(~mkLit(0), ~mkLit(1)));
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_EQ(s.stats().importedClauses, static_cast<std::uint64_t>(kImported));
+    EXPECT_GE(s.stats().arenaGcs, 1u)
+        << "over-budget import must compact the arena, not just unlink";
+    EXPECT_LE(s.learntMemoryBytes(), std::size_t{1} << 20)
+        << "solve() finished while still over the memory budget";
+    EXPECT_GT(s.learntMemoryBytes(), 0u)
+        << "reduction should halve the database, not empty it";
+}
+
+TEST(Solver, BinaryGraphDetachesOnLevelZeroSimplification) {
+    // binaryClauses is a live gauge of the binary implication graph: binaries
+    // satisfied by the level-0 trail are detached by the pre-search sweep.
+    Solver s;
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    const Var c = s.newVar();
+    ASSERT_TRUE(s.addClause(mkLit(a), mkLit(b)));
+    ASSERT_TRUE(s.addClause(~mkLit(a), mkLit(c)));
+    EXPECT_EQ(s.stats().binaryClauses, 2u);
+    EXPECT_EQ(s.numClauses(), 2u);
+    ASSERT_TRUE(s.addClause(mkLit(a))); // level 0: a, then a → c
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+    EXPECT_TRUE(s.modelValue(c));
+    EXPECT_EQ(s.stats().binaryClauses, 0u)
+        << "both binaries are satisfied at level 0 and must be detached";
+    EXPECT_EQ(s.numClauses(), 0u);
+}
+
+TEST(Solver, AnalyzeResolvesBinaryReasonsInFirstUipCut) {
+    // The implication chain a → x → y runs entirely through the binary
+    // graph, so conflict analysis over the two long clauses must resolve
+    // tagged binary reasons (and analyzeFinal must walk them to reach the
+    // assumption for the core).
+    Solver s;
+    const Var a = s.newVar();
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    const Var z = s.newVar();
+    ASSERT_TRUE(s.addClause(~mkLit(a), mkLit(x))); // a → x (binary reason)
+    ASSERT_TRUE(s.addClause(~mkLit(x), mkLit(y))); // x → y (binary reason)
+    ASSERT_TRUE(s.addClause(~mkLit(x), ~mkLit(y), mkLit(z)));
+    ASSERT_TRUE(s.addClause(~mkLit(x), ~mkLit(y), ~mkLit(z)));
+    const std::vector<Lit> assumptions{mkLit(a)};
+    ASSERT_EQ(s.solve(assumptions), SolveResult::Unsat);
+    const auto& core = s.unsatCore();
+    ASSERT_EQ(core.size(), 1u) << "only the assumption a is to blame";
+    EXPECT_EQ(core[0], mkLit(a));
+    // Without the assumption the formula is satisfiable — and the learnt
+    // units must have forced ¬x through the binary graph.
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(x));
+    EXPECT_FALSE(s.modelValue(a));
+}
+
 // --- Parameterized property suite: solver configs × random instances -------
 
 struct ConfigCase {

@@ -83,7 +83,8 @@ TEST(SolverBudgets, ConflictBudgetStopsWithUnknown) {
     EXPECT_LE(s.stats().conflicts, 3u);
 
     // The solver stays usable: lifting the budget finishes the instance.
-    s.mutableOptions().conflictBudget = -1;
+    opts.conflictBudget = -1;
+    s.setOptions(opts);
     EXPECT_NE(s.solve(), sat::SolveResult::Unknown);
     EXPECT_EQ(s.stopReason(), sat::StopReason::None);
 }
@@ -173,10 +174,10 @@ TEST_F(ServiceFaultTest, CancelledBeforeStartSkipsSolving) {
     QueryRequest r = request(QueryKind::Optimize, caseStudyProblem(), "c");
     r.options.cancelFlag = &cancel;
     const QueryResult result = service.run(r);
-    EXPECT_TRUE(result.cancelled());
-    EXPECT_TRUE(result.timedOut());
-    EXPECT_FALSE(result.feasible());
-    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.verdict == Verdict::Cancelled);
+    EXPECT_TRUE(gaveUp(result.verdict));
+    EXPECT_FALSE(result.verdict == Verdict::Sat);
+    EXPECT_TRUE(result.verdict != Verdict::Error);
     EXPECT_EQ(result.trace.verdict, Verdict::Cancelled);
     EXPECT_EQ(result.trace.solveMs, 0.0); // never reached a backend
     EXPECT_EQ(result.trace.stats.decisions, 0u);
@@ -201,14 +202,14 @@ TEST_F(ServiceFaultTest, OneInjectedFaultDoesNotPoisonTheBatch) {
     ASSERT_EQ(results.size(), 6u);
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i == 2) {
-            EXPECT_FALSE(results[i].ok());
+            EXPECT_FALSE(results[i].verdict != Verdict::Error);
             EXPECT_EQ(results[i].error.errorKind, "fault_injected");
             EXPECT_FALSE(results[i].error.message.empty());
             EXPECT_EQ(results[i].trace.verdict, Verdict::Error);
             EXPECT_EQ(results[i].trace.errorKind, "fault_injected");
         } else {
-            EXPECT_TRUE(results[i].ok()) << results[i].error.message;
-            EXPECT_TRUE(results[i].feasible()) << results[i].id;
+            EXPECT_TRUE(results[i].verdict != Verdict::Error) << results[i].error.message;
+            EXPECT_TRUE(results[i].verdict == Verdict::Sat) << results[i].id;
         }
     }
 }
@@ -218,12 +219,12 @@ TEST_F(ServiceFaultTest, CompileFaultIsIsolatedAndServiceRecovers) {
     Service service;
     const Problem p = caseStudyProblem();
     const QueryResult broken = service.run(request(QueryKind::Feasibility, p));
-    EXPECT_FALSE(broken.ok());
+    EXPECT_FALSE(broken.verdict != Verdict::Error);
     EXPECT_EQ(broken.error.errorKind, "fault_injected");
     // The site disarmed itself after firing: the same service answers now.
     const QueryResult healthy = service.run(request(QueryKind::Feasibility, p));
-    EXPECT_TRUE(healthy.ok());
-    EXPECT_TRUE(healthy.feasible());
+    EXPECT_TRUE(healthy.verdict != Verdict::Error);
+    EXPECT_TRUE(healthy.verdict == Verdict::Sat);
 }
 
 TEST_F(ServiceFaultTest, ErrorTraceJsonCarriesTheErrorObject) {
@@ -231,7 +232,7 @@ TEST_F(ServiceFaultTest, ErrorTraceJsonCarriesTheErrorObject) {
     Service service;
     const QueryResult broken =
         service.run(request(QueryKind::Feasibility, caseStudyProblem(), "e"));
-    ASSERT_FALSE(broken.ok());
+    ASSERT_FALSE(broken.verdict != Verdict::Error);
     const json::Value v = toJson(broken.trace);
     EXPECT_EQ(v.at("schema").asInt(), kQueryTraceSchemaVersion);
     EXPECT_EQ(v.at("verdict").asString(), "error");
@@ -265,12 +266,12 @@ TEST_F(ServiceFaultTest, RejectNewShedsExcessQueriesDeterministically) {
     ASSERT_EQ(results.size(), 6u);
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i < 2) {
-            EXPECT_FALSE(results[i].shed()) << results[i].id;
-            EXPECT_TRUE(results[i].feasible()) << results[i].id;
+            EXPECT_FALSE(results[i].verdict == Verdict::Shed) << results[i].id;
+            EXPECT_TRUE(results[i].verdict == Verdict::Sat) << results[i].id;
         } else {
-            EXPECT_TRUE(results[i].shed()) << results[i].id;
-            EXPECT_FALSE(results[i].feasible());
-            EXPECT_TRUE(results[i].ok()); // shed is not an error
+            EXPECT_TRUE(results[i].verdict == Verdict::Shed) << results[i].id;
+            EXPECT_FALSE(results[i].verdict == Verdict::Sat);
+            EXPECT_TRUE(results[i].verdict != Verdict::Error); // shed is not an error
             EXPECT_EQ(results[i].trace.verdict, Verdict::Shed);
         }
     }
@@ -295,10 +296,10 @@ TEST_F(ServiceFaultTest, DropOldestShedsLongestQueuedQueries) {
     ASSERT_EQ(results.size(), 6u);
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i < 4) {
-            EXPECT_TRUE(results[i].shed()) << results[i].id;
+            EXPECT_TRUE(results[i].verdict == Verdict::Shed) << results[i].id;
         } else {
-            EXPECT_FALSE(results[i].shed()) << results[i].id;
-            EXPECT_TRUE(results[i].feasible()) << results[i].id;
+            EXPECT_FALSE(results[i].verdict == Verdict::Shed) << results[i].id;
+            EXPECT_TRUE(results[i].verdict == Verdict::Sat) << results[i].id;
         }
     }
 }
@@ -338,14 +339,14 @@ TEST_F(ServiceFaultTest, QueueBoundIsSharedAcrossConcurrentBatches) {
     ASSERT_EQ(firstResults.size(), 4u);
     ASSERT_EQ(secondResults.size(), 4u);
     for (const QueryResult& r : secondResults) {
-        EXPECT_TRUE(r.shed()) << r.id;
+        EXPECT_TRUE(r.verdict == Verdict::Shed) << r.id;
         EXPECT_EQ(r.trace.verdict, Verdict::Shed) << r.id;
     }
     int answered = 0;
     for (const QueryResult& r : firstResults)
-        if (!r.shed()) {
+        if (r.verdict != Verdict::Shed) {
             ++answered;
-            EXPECT_TRUE(r.feasible()) << r.id;
+            EXPECT_TRUE(r.verdict == Verdict::Sat) << r.id;
         }
     EXPECT_EQ(answered, 2) << "first batch should admit exactly the bound";
 }
@@ -362,9 +363,9 @@ TEST_F(ServiceFaultTest, DeadlineExpiredInQueueReturnsWithoutSolving) {
     r.options.timeoutMs = 20;
     const std::vector<QueryResult> results = service.runBatch({r});
     ASSERT_EQ(results.size(), 1u);
-    EXPECT_TRUE(results[0].timedOut());
-    EXPECT_FALSE(results[0].feasible());
-    EXPECT_TRUE(results[0].ok());
+    EXPECT_TRUE(gaveUp(results[0].verdict));
+    EXPECT_FALSE(results[0].verdict == Verdict::Sat);
+    EXPECT_TRUE(results[0].verdict != Verdict::Error);
     // v4 traces distinguish deadline expiry from budget exhaustion.
     EXPECT_EQ(results[0].trace.verdict, Verdict::TimedOut);
     EXPECT_EQ(results[0].trace.solveMs, 0.0);
@@ -400,10 +401,10 @@ TEST_F(ServiceFaultTest, DrainLetsInFlightQueriesFinishAndShedsQueued) {
 
     ASSERT_EQ(results.size(), 3u);
     EXPECT_EQ(results[0].trace.verdict, Verdict::Sat) << results[0].id;
-    EXPECT_TRUE(results[0].ok());
+    EXPECT_TRUE(results[0].verdict != Verdict::Error);
     for (std::size_t i = 1; i < results.size(); ++i) {
         EXPECT_EQ(results[i].trace.verdict, Verdict::Shed) << results[i].id;
-        EXPECT_TRUE(results[i].ok()); // shed is not an error
+        EXPECT_TRUE(results[i].verdict != Verdict::Error); // shed is not an error
     }
     EXPECT_EQ(service.activeQueries(), 0u);
     EXPECT_TRUE(service.draining());
@@ -432,8 +433,8 @@ TEST_F(ServiceFaultTest, CancelActiveDuringDrainReportsCancelledNeverError) {
     caller.join();
 
     EXPECT_EQ(result.trace.verdict, Verdict::Cancelled);
-    EXPECT_TRUE(result.ok()) << result.error.message;
-    EXPECT_TRUE(result.cancelled());
+    EXPECT_TRUE(result.verdict != Verdict::Error) << result.error.message;
+    EXPECT_TRUE(result.verdict == Verdict::Cancelled);
     EXPECT_EQ(service.activeQueries(), 0u);
 }
 
@@ -445,13 +446,13 @@ TEST_F(ServiceFaultTest, SubmissionsAfterDrainAreShed) {
     const QueryResult single =
         service.run(request(QueryKind::Feasibility, caseStudyProblem(), "s"));
     EXPECT_EQ(single.trace.verdict, Verdict::Shed);
-    EXPECT_TRUE(single.ok());
+    EXPECT_TRUE(single.verdict != Verdict::Error);
 
     const std::vector<QueryResult> batch = service.runBatch(
         {request(QueryKind::Feasibility, caseStudyProblem(), "b")});
     ASSERT_EQ(batch.size(), 1u);
     EXPECT_EQ(batch[0].trace.verdict, Verdict::Shed);
-    EXPECT_TRUE(batch[0].ok());
+    EXPECT_TRUE(batch[0].verdict != Verdict::Error);
 }
 
 // -------------------------------------------------- retry and degradation
@@ -466,11 +467,11 @@ TEST_F(ServiceFaultTest, UnknownVerdictIsRetriedWithFreshSeeds) {
     QueryRequest r = request(QueryKind::Feasibility, caseStudyProblem(), "r");
     r.options.conflictBudget = 0;
     const QueryResult result = service.run(r);
-    EXPECT_TRUE(result.timedOut());
-    EXPECT_FALSE(result.feasible());
+    EXPECT_TRUE(gaveUp(result.verdict));
+    EXPECT_FALSE(result.verdict == Verdict::Sat);
     EXPECT_EQ(result.retries, 2);
     EXPECT_EQ(result.trace.verdict, Verdict::Unknown);
-    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.verdict != Verdict::Error);
 }
 
 TEST_F(ServiceFaultTest, RetryDisabledKeepsSingleAttempt) {
@@ -481,7 +482,7 @@ TEST_F(ServiceFaultTest, RetryDisabledKeepsSingleAttempt) {
     QueryRequest r = request(QueryKind::Feasibility, caseStudyProblem());
     r.options.conflictBudget = 0;
     const QueryResult result = service.run(r);
-    EXPECT_TRUE(result.timedOut());
+    EXPECT_TRUE(gaveUp(result.verdict));
     EXPECT_EQ(result.retries, 0);
 }
 
@@ -494,8 +495,8 @@ TEST_F(ServiceFaultTest, BackendFailureFallsBackToCdcl) {
     QueryRequest r = request(QueryKind::Optimize, caseStudyProblem(), "fb");
     r.options.backend = smt::BackendKind::Z3;
     const QueryResult result = service.run(r);
-    EXPECT_TRUE(result.ok()) << result.error.message;
-    EXPECT_TRUE(result.feasible());
+    EXPECT_TRUE(result.verdict != Verdict::Error) << result.error.message;
+    EXPECT_TRUE(result.verdict == Verdict::Sat);
     EXPECT_TRUE(result.backendFellBack);
     EXPECT_EQ(result.trace.verdict, Verdict::Sat);
 }
@@ -508,7 +509,7 @@ TEST_F(ServiceFaultTest, FallbackDisabledSurfacesTheBackendError) {
     QueryRequest r = request(QueryKind::Optimize, caseStudyProblem());
     r.options.backend = smt::BackendKind::Z3;
     const QueryResult result = service.run(r);
-    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.verdict != Verdict::Error);
     EXPECT_EQ(result.error.errorKind, "fault_injected");
 }
 

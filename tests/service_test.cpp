@@ -61,12 +61,12 @@ TEST_F(ServiceTest, RepeatedQueryHitsCache) {
     const Problem p = caseStudyProblem();
 
     const QueryResult first = service.run(request(QueryKind::Optimize, p, "a"));
-    ASSERT_TRUE(first.feasible());
+    ASSERT_TRUE(first.verdict == Verdict::Sat);
     EXPECT_FALSE(first.trace.cacheHit);
     EXPECT_GT(first.trace.compileMs, 0.0);
 
     const QueryResult second = service.run(request(QueryKind::Optimize, p, "b"));
-    ASSERT_TRUE(second.feasible());
+    ASSERT_TRUE(second.verdict == Verdict::Sat);
     EXPECT_TRUE(second.trace.cacheHit);
     EXPECT_EQ(second.trace.compileMs, 0.0);
     // Same problem, same defaults → identical design and costs.
@@ -186,7 +186,7 @@ TEST_F(ServiceTest, BatchMatchesSequentialBitForBit) {
     ASSERT_EQ(actual.size(), expected.size());
     for (std::size_t i = 0; i < actual.size(); ++i) {
         EXPECT_EQ(actual[i].id, expected[i].id);
-        EXPECT_EQ(actual[i].feasible(), expected[i].feasible()) << actual[i].id;
+        EXPECT_EQ(actual[i].verdict == Verdict::Sat, expected[i].verdict == Verdict::Sat) << actual[i].id;
         EXPECT_EQ(designKey(actual[i].design), designKey(expected[i].design))
             << actual[i].id;
         EXPECT_EQ(actual[i].designs.size(), expected[i].designs.size())
@@ -206,7 +206,7 @@ TEST_F(ServiceTest, ConcurrentBatchSharesOneCompilation) {
     for (int i = 0; i < 12; ++i)
         requests.push_back(request(QueryKind::Feasibility, p));
     const std::vector<QueryResult> results = service.runBatch(requests);
-    for (const QueryResult& r : results) EXPECT_TRUE(r.feasible());
+    for (const QueryResult& r : results) EXPECT_TRUE(r.verdict == Verdict::Sat);
     const CacheStats stats = service.cacheStats();
     EXPECT_EQ(stats.entries, 1u);
     // Concurrent first-misses may compile the duplicate entry more than
@@ -245,7 +245,7 @@ TEST_F(ServiceTest, SharedCompilationServesEngineAndWhatIf) {
     Variation variation;
     variation.systems["Sonata"] = true;
     const WhatIfAnswer answer = whatIf.ask(variation);
-    EXPECT_TRUE(answer.feasible());
+    EXPECT_TRUE(answer.verdict == Verdict::Sat);
     ASSERT_TRUE(answer.design.has_value());
     EXPECT_TRUE(answer.design->uses("Sonata"));
 }
@@ -256,7 +256,7 @@ TEST_F(ServiceTest, SeededQueriesAreReproducible) {
     r.options.seed = 12345;
     const QueryResult a = service.run(r);
     const QueryResult b = service.run(r);
-    ASSERT_TRUE(a.feasible());
+    ASSERT_TRUE(a.verdict == Verdict::Sat);
     EXPECT_EQ(designKey(a.design), designKey(b.design));
 }
 
@@ -281,7 +281,7 @@ TEST_F(ServiceTest, CollectTraceOffLeavesTraceEmpty) {
     QueryRequest r = request(QueryKind::Feasibility, caseStudyProblem());
     r.options.collectTrace = false;
     const QueryResult result = service.run(r);
-    EXPECT_TRUE(result.feasible());
+    EXPECT_TRUE(result.verdict == Verdict::Sat);
     EXPECT_EQ(result.trace.totalMs, 0.0);
     EXPECT_EQ(result.trace.verdict, Verdict::Unknown); // trace untouched
 }
@@ -291,7 +291,7 @@ TEST_F(ServiceTest, ColdQuerySpanTreeHasCompileAndSolve) {
     QueryRequest r = request(QueryKind::Optimize, caseStudyProblem(), "cold");
     r.options.progressEveryConflicts = 1; // sample at every conflict
     const QueryResult result = service.run(r);
-    ASSERT_TRUE(result.feasible());
+    ASSERT_TRUE(result.verdict == Verdict::Sat);
 
     ASSERT_NE(result.trace.spans, nullptr);
     const obs::SpanNode* root = result.trace.spans->root();
@@ -363,14 +363,14 @@ TEST_F(ServiceTest, TimeoutReportsUnknownNotWrongAnswer) {
     QueryRequest r = request(QueryKind::Feasibility, caseStudyProblem());
     r.options.timeoutMs = 1;
     const QueryResult result = service.run(r);
-    if (result.timedOut()) {
-        EXPECT_FALSE(result.feasible());
+    if (gaveUp(result.verdict)) {
+        EXPECT_FALSE(result.verdict == Verdict::Sat);
         // Deadline expiry reports TimedOut; a solver that gave up a hair
         // before the deadline reports Unknown. Either way, no bogus verdict.
         EXPECT_TRUE(result.trace.verdict == Verdict::TimedOut ||
                     result.trace.verdict == Verdict::Unknown);
     } else {
-        EXPECT_TRUE(result.feasible()); // fast machine: solved inside 1ms
+        EXPECT_TRUE(result.verdict == Verdict::Sat); // fast machine: solved inside 1ms
     }
 }
 

@@ -58,7 +58,7 @@ TEST_F(SessionTest, CreateAskRenewCloseLifecycle) {
     const auto outcome = manager.ask(created.id, {});
     ASSERT_TRUE(outcome.has_value());
     EXPECT_EQ(outcome->answer.verdict, Verdict::Sat);
-    EXPECT_TRUE(outcome->answer.feasible());
+    EXPECT_TRUE(outcome->answer.verdict == Verdict::Sat);
     EXPECT_EQ(outcome->trace.kind, QueryKind::Feasibility);
     EXPECT_EQ(outcome->trace.verdict, Verdict::Sat);
     EXPECT_EQ(outcome->trace.id, created.id + "#1");
@@ -91,7 +91,7 @@ TEST_F(SessionTest, UnknownVariationNamesAreStructuredErrors) {
     ASSERT_EQ(outcome->answer.unknownNames.size(), 1U);
     EXPECT_EQ(outcome->answer.unknownNames[0], "system/Ghost");
     // The session stays usable after a client mistake.
-    EXPECT_TRUE(manager.ask(created.id, {})->answer.feasible());
+    EXPECT_TRUE(manager.ask(created.id, {})->answer.verdict == Verdict::Sat);
 }
 
 TEST_F(SessionTest, LeaseExpiryEvicts) {

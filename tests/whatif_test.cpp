@@ -39,7 +39,7 @@ TEST_F(WhatIfTest, EmptyVariationMatchesBaseFeasibility) {
     const Problem p = caseStudy();
     WhatIfSession session(p);
     const WhatIfAnswer answer = session.ask({});
-    EXPECT_TRUE(answer.feasible());
+    EXPECT_TRUE(answer.verdict == Verdict::Sat);
     ASSERT_TRUE(answer.design.has_value());
     EXPECT_TRUE(validateDesign(p, *answer.design).empty());
 }
@@ -62,7 +62,7 @@ TEST_F(WhatIfTest, AnswersMatchFreshEnginePins) {
         Problem pinned = p;
         pinned.pinnedSystems[c.system] = c.include;
         const bool fresh = Engine(pinned).checkFeasible().feasible;
-        EXPECT_EQ(incremental.feasible(), fresh)
+        EXPECT_EQ(incremental.verdict == Verdict::Sat, fresh)
             << c.system << "=" << c.include;
     }
     EXPECT_EQ(session.queriesAnswered(), 6);
@@ -74,8 +74,8 @@ TEST_F(WhatIfTest, VariationsAreIndependent) {
     WhatIfSession session(p);
     Variation impossible;
     impossible.systems["CONGA"] = false; // kills the LB bound
-    EXPECT_FALSE(session.ask(impossible).feasible());
-    EXPECT_TRUE(session.ask({}).feasible()); // back to normal
+    EXPECT_FALSE(session.ask(impossible).verdict == Verdict::Sat);
+    EXPECT_TRUE(session.ask({}).verdict == Verdict::Sat); // back to normal
 }
 
 TEST_F(WhatIfTest, HardwarePinVariation) {
@@ -84,7 +84,7 @@ TEST_F(WhatIfTest, HardwarePinVariation) {
     Variation tofino;
     tofino.hardwareModels[kb::HardwareClass::Switch] = "Intel Tofino2 32x100G";
     const WhatIfAnswer a = session.ask(tofino);
-    EXPECT_TRUE(a.feasible());
+    EXPECT_TRUE(a.verdict == Verdict::Sat);
     ASSERT_TRUE(a.design.has_value());
     EXPECT_EQ(a.design->hardwareModel.at(kb::HardwareClass::Switch),
               "Intel Tofino2 32x100G");
@@ -93,7 +93,7 @@ TEST_F(WhatIfTest, HardwarePinVariation) {
     catalyst.hardwareModels[kb::HardwareClass::Switch] =
         "Cisco Catalyst 9500-40X"; // non-P4: bound unsatisfiable
     const WhatIfAnswer b = session.ask(catalyst);
-    EXPECT_FALSE(b.feasible());
+    EXPECT_FALSE(b.verdict == Verdict::Sat);
     EXPECT_FALSE(b.conflictingRules.empty());
 }
 
@@ -106,12 +106,12 @@ TEST_F(WhatIfTest, OptionVariation) {
     Variation vegasNoScavenger;
     vegasNoScavenger.systems["Vegas"] = true;
     vegasNoScavenger.options[catalog::kOptScavengerClass] = false;
-    EXPECT_FALSE(session.ask(vegasNoScavenger).feasible());
+    EXPECT_FALSE(session.ask(vegasNoScavenger).verdict == Verdict::Sat);
 
     Variation vegasScavenger;
     vegasScavenger.systems["Vegas"] = true;
     vegasScavenger.options[catalog::kOptScavengerClass] = true;
-    EXPECT_TRUE(session.ask(vegasScavenger).feasible());
+    EXPECT_TRUE(session.ask(vegasScavenger).verdict == Verdict::Sat);
 }
 
 TEST_F(WhatIfTest, UnknownNamesReportedAsStructuredError) {
@@ -121,8 +121,8 @@ TEST_F(WhatIfTest, UnknownNamesReportedAsStructuredError) {
     bad.options["phantom_opt"] = true;
     const WhatIfAnswer a = session.ask(bad);
     EXPECT_EQ(a.verdict, Verdict::Error);
-    EXPECT_FALSE(a.ok());
-    EXPECT_FALSE(a.feasible()); // a typo must never read as feasible
+    EXPECT_FALSE(a.verdict != Verdict::Error);
+    EXPECT_FALSE(a.verdict == Verdict::Sat); // a typo must never read as feasible
     ASSERT_EQ(a.unknownNames.size(), 2u);
     EXPECT_EQ(a.unknownNames[0], "system/Ghost");
     EXPECT_EQ(a.unknownNames[1], "option/phantom_opt");
@@ -147,7 +147,7 @@ TEST_F(WhatIfTest, ManyVariationsStayConsistent) {
     for (const kb::System* s : kb_->byCategory(kb::Category::Monitoring)) {
         Variation v;
         v.systems[s->name] = true;
-        const bool incremental = session.ask(v).feasible();
+        const bool incremental = session.ask(v).verdict == Verdict::Sat;
         Problem pinned = p;
         pinned.pinnedSystems[s->name] = true;
         EXPECT_EQ(incremental, Engine(pinned).checkFeasible().feasible)
