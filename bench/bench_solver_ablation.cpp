@@ -1,139 +1,397 @@
-// ABL1 — ablation of the CDCL substrate's features (google-benchmark).
-// Compares the full configuration against variants with VSIDS, restarts,
-// phase saving, clause-DB reduction, or learning disabled, on:
-//   * random 3-SAT at the hard density (4.26 clauses/var),
-//   * pigeonhole (UNSAT, resolution-hard),
-//   * the compiled case-study reasoning query.
-#include <benchmark/benchmark.h>
+// ABL1 — inprocessing ablation: the full pipeline (subsumption,
+// vivification, probing, equivalence reduction, bounded variable
+// elimination) against the identical solver with inprocessing disabled.
+//
+// Two workload families, timed on-vs-off:
+//
+//   * planted-hard instances — random 3-SAT at the hard density
+//     (4.26 clauses/var) obfuscated the way machine-generated network
+//     encodings are: equivalence alias chains (each base variable hides
+//     behind a chain of aliases, occurrences rewritten to random chain
+//     members), Tseitin-style auxiliary definitions (d ≡ l1∨l2), and
+//     redundant superset copies of original clauses. The redundancy is
+//     exactly what the inprocessing pipeline removes; the plain solver has
+//     to search through it.
+//   * paper-KB queries — feasibility and lexicographic optimization on the
+//     compiled case-study knowledge base, end-to-end through the Engine
+//     with the `simplify` query option on vs off.
+//
+// Verdicts must agree on every row (checked; a mismatch fails the bench).
+//
+// Gates:
+//   * every on/off verdict pair agrees (where both finished);
+//   * median on-vs-off speedup >= 1.15x across all rows, OR the simplifying
+//     configuration solves strictly more instances within the per-instance
+//     conflict budget.
+//
+// Writes machine-readable results to BENCH_solver_ablation.json (override
+// with the first non-flag argument). `--smoke` shrinks sizes for the
+// sanitizer leg of scripts/verify.sh and gates only on verdict agreement
+// (wall-clock ratios are meaningless under instrumentation).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "benchutil.hpp"
 #include "catalog/catalog.hpp"
-#include "kb/objectives.hpp"
+#include "json/value.hpp"
+#include "json/write.hpp"
 #include "reason/engine.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/solver.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace lar;
+using sat::Lit;
+using sat::mkLit;
+using sat::SolveResult;
+using sat::Var;
 
 namespace {
 
-sat::SolverOptions configFor(int variant) {
-    sat::SolverOptions opts;
-    switch (variant) {
-        case 0: break; // full CDCL
-        case 1: opts.useVsids = false; break;
-        case 2: opts.useRestarts = false; break;
-        case 3: opts.usePhaseSaving = false; break;
-        case 4: opts.reduceDb = false; break;
-        case 5: opts.useLearning = false; break;
-    }
-    return opts;
+constexpr double kSpeedupGate = 1.15;
+
+struct BenchConfig {
+    int baseVars = 140;         ///< variables in the hidden 3-SAT core
+    int instances = 9;          ///< planted-hard rows
+    int aliasChainLen = 4;      ///< aliases per obfuscated base variable
+    double aliasFraction = 0.7; ///< base vars that get an alias chain
+    int tseitinDefs = 60;       ///< auxiliary d ≡ (l1 ∨ l2) definitions
+    double supersetFraction = 0.5; ///< clauses duplicated with junk literals
+    std::int64_t conflictBudget = 400'000; ///< per solve; Unknown = unsolved
+    int kbRepeats = 5;          ///< engine query repetitions per row
+};
+
+BenchConfig smokeConfig() {
+    BenchConfig cfg;
+    cfg.baseVars = 45;
+    cfg.instances = 4;
+    cfg.tseitinDefs = 20;
+    cfg.conflictBudget = 60'000;
+    cfg.kbRepeats = 1;
+    return cfg;
 }
 
-const char* variantName(int variant) {
-    switch (variant) {
-        case 0: return "full";
-        case 1: return "no_vsids";
-        case 2: return "no_restarts";
-        case 3: return "no_phase_saving";
-        case 4: return "no_db_reduction";
-        case 5: return "dpll";
+/// A hard random 3-SAT core wrapped in the redundancy layers above. The
+/// wrapped instance is equisatisfiable with the core by construction:
+/// aliases are definitionally equal to their base variable, auxiliary
+/// variables are definitionally (l1 ∨ l2), and superset clauses are
+/// subsumed by the originals they copy.
+sat::Cnf makeObfuscated(util::Rng& rng, const BenchConfig& cfg) {
+    sat::Cnf cnf;
+    const int base = cfg.baseVars;
+    cnf.numVars = base;
+
+    // Hidden core: uniform 3-SAT at the phase-transition density.
+    const int coreClauses = static_cast<int>(base * 4.26);
+    for (int c = 0; c < coreClauses; ++c) {
+        std::vector<Lit> clause;
+        std::vector<char> used(static_cast<std::size_t>(base), 0);
+        while (clause.size() < 3) {
+            const auto v =
+                static_cast<Var>(rng.below(static_cast<std::uint64_t>(base)));
+            if (used[static_cast<std::size_t>(v)]) continue;
+            used[static_cast<std::size_t>(v)] = 1;
+            clause.push_back(mkLit(v, rng.chance(0.5)));
+        }
+        cnf.clauses.push_back(std::move(clause));
+    }
+
+    // Alias chains: v ≡ a1 ≡ … ≡ ak, then rewrite core occurrences of v to
+    // random members of its chain. Equivalence substitution collapses the
+    // chains back to one representative.
+    std::vector<std::vector<Var>> chains(static_cast<std::size_t>(base));
+    for (Var v = 0; v < base; ++v) {
+        if (!rng.chance(cfg.aliasFraction)) continue;
+        Var prev = v;
+        for (int i = 0; i < cfg.aliasChainLen; ++i) {
+            const Var alias = cnf.numVars++;
+            cnf.clauses.push_back({~mkLit(prev), mkLit(alias)});
+            cnf.clauses.push_back({mkLit(prev), ~mkLit(alias)});
+            chains[static_cast<std::size_t>(v)].push_back(alias);
+            prev = alias;
+        }
+    }
+    for (int c = 0; c < coreClauses; ++c) {
+        for (Lit& l : cnf.clauses[static_cast<std::size_t>(c)]) {
+            const auto& chain = chains[static_cast<std::size_t>(l.var())];
+            if (chain.empty() || rng.chance(0.4)) continue;
+            const Var alias = chain[rng.below(chain.size())];
+            l = mkLit(alias, l.sign());
+        }
+    }
+
+    // Tseitin-style auxiliaries: d ≡ (l1 ∨ l2) over random core literals.
+    // The definitions determine d, so bounded variable elimination (or the
+    // plain solver, the hard way) can discharge them.
+    for (int i = 0; i < cfg.tseitinDefs; ++i) {
+        const auto v1 =
+            static_cast<Var>(rng.below(static_cast<std::uint64_t>(base)));
+        auto v2 = v1;
+        while (v2 == v1)
+            v2 = static_cast<Var>(rng.below(static_cast<std::uint64_t>(base)));
+        const Lit l1 = mkLit(v1, rng.chance(0.5));
+        const Lit l2 = mkLit(v2, rng.chance(0.5));
+        const Lit d = mkLit(cnf.numVars++);
+        cnf.clauses.push_back({~d, l1, l2});
+        cnf.clauses.push_back({d, ~l1});
+        cnf.clauses.push_back({d, ~l2});
+    }
+
+    // Superset copies: originals with junk literals appended — pure
+    // subsumption fodder.
+    const std::size_t before = cnf.clauses.size();
+    for (std::size_t c = 0; c < before; ++c) {
+        if (!rng.chance(cfg.supersetFraction)) continue;
+        std::vector<Lit> fat = cnf.clauses[c];
+        const int extra = 2 + static_cast<int>(rng.below(3));
+        for (int e = 0; e < extra; ++e) {
+            const auto v = static_cast<Var>(
+                rng.below(static_cast<std::uint64_t>(cnf.numVars)));
+            const Lit l = mkLit(v, rng.chance(0.5));
+            bool taut = false;
+            for (const Lit existing : fat)
+                if (existing.var() == l.var()) taut = true;
+            if (!taut) fat.push_back(l);
+        }
+        cnf.clauses.push_back(std::move(fat));
+    }
+
+    for (std::size_t i = cnf.clauses.size(); i > 1; --i)
+        std::swap(cnf.clauses[i - 1], cnf.clauses[rng.below(i)]);
+    return cnf;
+}
+
+struct SolveRow {
+    SolveResult result = SolveResult::Unknown;
+    double millis = 0.0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t subsumed = 0;
+    std::uint64_t eliminated = 0;
+};
+
+SolveRow runSolver(const sat::Cnf& cnf, bool simplifyOn,
+                   std::int64_t conflictBudget) {
+    sat::SolverOptions opts;
+    opts.conflictBudget = conflictBudget;
+    opts.simplify.enable = simplifyOn;
+    sat::Solver solver(opts);
+    loadCnf(solver, cnf);
+    SolveRow row;
+    const util::Stopwatch timer;
+    row.result = solver.solve();
+    row.millis = timer.millis();
+    row.conflicts = solver.stats().conflicts;
+    row.subsumed = solver.stats().subsumedClauses;
+    row.eliminated = solver.stats().eliminatedVars;
+    return row;
+}
+
+const char* verdictName(SolveResult r) {
+    switch (r) {
+        case SolveResult::Sat: return "sat";
+        case SolveResult::Unsat: return "unsat";
+        case SolveResult::Unknown: return "unknown";
     }
     return "?";
 }
 
-sat::Cnf random3Sat(int vars, std::uint64_t seed) {
-    util::Rng rng(seed);
-    sat::Cnf cnf;
-    cnf.numVars = vars;
-    const int clauses = static_cast<int>(vars * 4.26);
-    for (int c = 0; c < clauses; ++c) {
-        std::vector<sat::Lit> clause;
-        std::vector<char> used(static_cast<std::size_t>(vars), 0);
-        while (clause.size() < 3) {
-            const auto v = static_cast<sat::Var>(rng.below(static_cast<std::uint64_t>(vars)));
-            if (used[static_cast<std::size_t>(v)]) continue;
-            used[static_cast<std::size_t>(v)] = 1;
-            clause.push_back(sat::mkLit(v, rng.chance(0.5)));
-        }
-        cnf.clauses.push_back(std::move(clause));
-    }
-    return cnf;
+reason::QueryOptions queryOptions(bool simplifyOn) {
+    reason::QueryOptions options;
+    options.simplify = simplifyOn;
+    return options;
 }
 
-sat::Cnf pigeonhole(int holes) {
-    sat::Cnf cnf;
-    const int pigeons = holes + 1;
-    cnf.numVars = pigeons * holes;
-    const auto var = [holes](int p, int h) { return p * holes + h; };
-    for (int p = 0; p < pigeons; ++p) {
-        std::vector<sat::Lit> clause;
-        for (int h = 0; h < holes; ++h) clause.push_back(sat::mkLit(var(p, h)));
-        cnf.clauses.push_back(std::move(clause));
-    }
-    for (int h = 0; h < holes; ++h)
-        for (int p1 = 0; p1 < pigeons; ++p1)
-            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
-                cnf.clauses.push_back(
-                    {~sat::mkLit(var(p1, h)), ~sat::mkLit(var(p2, h))});
-    return cnf;
+reason::Problem caseStudyProblem(const kb::KnowledgeBase& kb) {
+    reason::Problem p = reason::makeDefaultProblem(kb);
+    p.hardware[kb::HardwareClass::Server].count = 60;
+    p.hardware[kb::HardwareClass::Switch].count = 8;
+    p.hardware[kb::HardwareClass::Nic].count = 60;
+    p.workloads = {catalog::makeInferenceWorkload()};
+    p.requiredCapabilities = {catalog::kCapDetectQueueLength};
+    return p;
 }
 
-void BM_Random3Sat(benchmark::State& state) {
-    const int variant = static_cast<int>(state.range(0));
-    const int vars = static_cast<int>(state.range(1));
-    // DPLL cannot finish hard random instances at useful sizes; shrink.
-    const int effectiveVars = variant == 5 ? std::min(vars, 40) : vars;
-    std::uint64_t solved = 0;
-    std::uint64_t conflicts = 0;
-    for (auto _ : state) {
-        const sat::Cnf cnf = random3Sat(effectiveVars, 100 + solved);
-        sat::Solver solver(configFor(variant));
-        loadCnf(solver, cnf);
-        benchmark::DoNotOptimize(solver.solve());
-        conflicts += solver.stats().conflicts;
-        ++solved;
-    }
-    state.SetLabel(variantName(variant));
-    state.counters["conflicts"] = benchmark::Counter(
-        static_cast<double>(conflicts), benchmark::Counter::kAvgIterations);
-}
-
-void BM_Pigeonhole(benchmark::State& state) {
-    const int variant = static_cast<int>(state.range(0));
-    const int holes = static_cast<int>(state.range(1));
-    for (auto _ : state) {
-        sat::Solver solver(configFor(variant));
-        loadCnf(solver, pigeonhole(holes));
-        benchmark::DoNotOptimize(solver.solve());
-    }
-    state.SetLabel(variantName(variant));
-}
-
-void BM_ReasoningQuery(benchmark::State& state) {
-    // The solver options only apply to our CDCL backend; this measures the
-    // end-to-end feasibility query on the compiled case study.
-    static const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
-    for (auto _ : state) {
-        reason::Problem p = reason::makeDefaultProblem(kb);
-        p.hardware[kb::HardwareClass::Server].count = 60;
-        p.hardware[kb::HardwareClass::Switch].count = 8;
-        p.hardware[kb::HardwareClass::Nic].count = 60;
-        p.workloads = {catalog::makeInferenceWorkload()};
-        p.requiredCapabilities = {catalog::kCapDetectQueueLength};
-        reason::Engine engine(p);
-        benchmark::DoNotOptimize(engine.checkFeasible().feasible);
-    }
+std::string ratioStr(double r) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%.2fx", r);
+    return buf;
 }
 
 } // namespace
 
-BENCHMARK(BM_Random3Sat)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {60, 100}})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Pigeonhole)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {7}})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ReasoningQuery)->Unit(benchmark::kMillisecond);
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string outPath = "BENCH_solver_ablation.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+        else outPath = argv[i];
+    }
+    const BenchConfig cfg = smoke ? smokeConfig() : BenchConfig{};
 
-BENCHMARK_MAIN();
+    bench::printHeader(
+        "ABL1: CDCL inprocessing ablation, pipeline on vs off");
+    std::printf("planted-hard: %d instances, %d core vars, alias chains + "
+                "tseitin + supersets%s\n",
+                cfg.instances, cfg.baseVars, smoke ? " (smoke)" : "");
+    bench::printRule();
+    bench::printRow({"instance", "verdict", "off", "on", "speedup"});
+    bench::printRule();
+
+    util::Rng rng(20260808);
+    json::Array rows;
+    std::vector<double> speedups;
+    bool verdictsAgree = true;
+    int solvedOn = 0;
+    int solvedOff = 0;
+
+    for (int i = 0; i < cfg.instances; ++i) {
+        const sat::Cnf cnf = makeObfuscated(rng, cfg);
+        const SolveRow off = runSolver(cnf, false, cfg.conflictBudget);
+        const SolveRow on = runSolver(cnf, true, cfg.conflictBudget);
+
+        const bool offSolved = off.result != SolveResult::Unknown;
+        const bool onSolved = on.result != SolveResult::Unknown;
+        solvedOff += offSolved ? 1 : 0;
+        solvedOn += onSolved ? 1 : 0;
+        const bool agree =
+            !offSolved || !onSolved || off.result == on.result;
+        verdictsAgree = verdictsAgree && agree;
+        const double speedup = on.millis > 0.0 ? off.millis / on.millis : 1.0;
+        speedups.push_back(speedup);
+
+        const std::string name = "planted_" + std::to_string(i) +
+                                 (agree ? "" : "  VERDICT MISMATCH");
+        bench::printRow({name, verdictName(on.result), bench::ms(off.millis),
+                         bench::ms(on.millis), ratioStr(speedup)});
+
+        json::Value row;
+        row["name"] = "planted_" + std::to_string(i);
+        row["vars"] = static_cast<std::int64_t>(cnf.numVars);
+        row["clauses"] = static_cast<std::int64_t>(cnf.clauses.size());
+        row["verdict_on"] = verdictName(on.result);
+        row["verdict_off"] = verdictName(off.result);
+        row["off_ms"] = off.millis;
+        row["on_ms"] = on.millis;
+        row["speedup"] = speedup;
+        row["off_conflicts"] = static_cast<std::int64_t>(off.conflicts);
+        row["on_conflicts"] = static_cast<std::int64_t>(on.conflicts);
+        row["subsumed"] = static_cast<std::int64_t>(on.subsumed);
+        row["eliminated_vars"] = static_cast<std::int64_t>(on.eliminated);
+        row["verdicts_agree"] = agree;
+        rows.push_back(std::move(row));
+    }
+
+    // Paper-KB rows: the end-to-end engine path, query option on vs off.
+    const kb::KnowledgeBase kb = catalog::buildKnowledgeBase();
+    struct KbRow {
+        const char* name;
+        double offMs;
+        double onMs;
+        bool agree;
+    };
+    std::vector<KbRow> kbRows;
+    {
+        bool feasOff = false;
+        bool feasOn = false;
+        const util::Stopwatch offTimer;
+        for (int r = 0; r < cfg.kbRepeats; ++r)
+            feasOff = reason::Engine(caseStudyProblem(kb), queryOptions(false))
+                          .checkFeasible()
+                          .feasible;
+        const double offMs = offTimer.millis();
+        const util::Stopwatch onTimer;
+        for (int r = 0; r < cfg.kbRepeats; ++r)
+            feasOn = reason::Engine(caseStudyProblem(kb), queryOptions(true))
+                         .checkFeasible()
+                         .feasible;
+        kbRows.push_back(
+            {"kb_feasibility", offMs, onTimer.millis(), feasOff == feasOn});
+    }
+    {
+        std::vector<std::int64_t> costsOff;
+        std::vector<std::int64_t> costsOn;
+        const util::Stopwatch offTimer;
+        for (int r = 0; r < cfg.kbRepeats; ++r) {
+            const auto plan =
+                reason::Engine(caseStudyProblem(kb), queryOptions(false))
+                    .optimize();
+            costsOff = plan ? plan->objectiveCosts
+                            : std::vector<std::int64_t>{};
+        }
+        const double offMs = offTimer.millis();
+        const util::Stopwatch onTimer;
+        for (int r = 0; r < cfg.kbRepeats; ++r) {
+            const auto plan =
+                reason::Engine(caseStudyProblem(kb), queryOptions(true))
+                    .optimize();
+            costsOn = plan ? plan->objectiveCosts
+                           : std::vector<std::int64_t>{};
+        }
+        kbRows.push_back(
+            {"kb_optimize", offMs, onTimer.millis(), costsOff == costsOn});
+    }
+    for (const KbRow& r : kbRows) {
+        verdictsAgree = verdictsAgree && r.agree;
+        const double speedup = r.onMs > 0.0 ? r.offMs / r.onMs : 1.0;
+        speedups.push_back(speedup);
+        bench::printRow({std::string(r.name) +
+                             (r.agree ? "" : "  VERDICT MISMATCH"),
+                         "-", bench::ms(r.offMs), bench::ms(r.onMs),
+                         ratioStr(speedup)});
+        json::Value row;
+        row["name"] = r.name;
+        row["off_ms"] = r.offMs;
+        row["on_ms"] = r.onMs;
+        row["speedup"] = speedup;
+        row["verdicts_agree"] = r.agree;
+        rows.push_back(std::move(row));
+    }
+    bench::printRule();
+
+    std::sort(speedups.begin(), speedups.end());
+    const double median = speedups[speedups.size() / 2];
+    std::printf("median speedup %.2fx; solved within budget: on %d/%d, "
+                "off %d/%d\n",
+                median, solvedOn, cfg.instances, solvedOff, cfg.instances);
+
+    const bool fast = median >= kSpeedupGate || solvedOn > solvedOff;
+    std::printf("gate: every verdict pair agrees .............. %s\n",
+                verdictsAgree ? "yes" : "NO");
+    if (smoke) {
+        // Smoke mode runs under sanitizer instrumentation where wall-clock
+        // ratios are meaningless; only correctness gates apply.
+        std::printf("gate: median >= %.2fx or more solved ......... skipped "
+                    "(smoke: timing not gated)\n",
+                    kSpeedupGate);
+    } else {
+        std::printf("gate: median >= %.2fx or more solved ......... %s\n",
+                    kSpeedupGate, fast ? "yes" : "NO");
+    }
+    const bool pass = verdictsAgree && (smoke || fast);
+
+    json::Value report;
+    report["smoke"] = smoke;
+    report["rows"] = json::Value(std::move(rows));
+    report["median_speedup"] = median;
+    report["solved_on"] = static_cast<std::int64_t>(solvedOn);
+    report["solved_off"] = static_cast<std::int64_t>(solvedOff);
+    report["verdicts_agree"] = verdictsAgree;
+    report["pass"] = pass;
+    if (std::FILE* f = std::fopen(outPath.c_str(), "w")) {
+        const std::string text = json::write(report);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", outPath.c_str());
+    } else {
+        std::printf("could not write %s\n", outPath.c_str());
+        return EXIT_FAILURE;
+    }
+    std::printf("%s\n", pass ? "PASS" : "FAIL");
+    return pass ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -5,10 +5,12 @@
 #   scripts/verify.sh tier1      plain build + ctest only
 #   scripts/verify.sh sanitize   ASan/UBSan build + ctest only
 #   scripts/verify.sh portfolio  TSan portfolio suite only
-#   scripts/verify.sh solver     clause-arena path: solver suite + the
-#                                portfolio/warm-start verdict-agreement
+#   scripts/verify.sh solver     clause-arena + inprocessing path: solver
+#                                and simplify suites + the portfolio/
+#                                warm-start/inprocessing verdict-agreement
 #                                fuzz oracles under ASan/UBSan, then the
 #                                bench_propagation >=1.2x throughput gate
+#                                and the bench_solver_ablation gate
 #   scripts/verify.sh server     HTTP server: unit + TSan + live smoke + bench
 #   scripts/verify.sh session    sessions: unit + TSan + warm-start oracle +
 #                                live session smoke + interactive bench
@@ -49,27 +51,40 @@ run_portfolio() {
 }
 
 run_solver() {
-    # The clause-arena redesign end to end. Arena relocation and watcher
-    # forwarding are exactly the code where a stale ClauseRef turns into
-    # silent memory corruption, so the solver unit suite and the
-    # verdict-agreement fuzz oracles (portfolio corpus + warm-start
-    # replay) run under ASan/UBSan; then bench_propagation (plain tree)
-    # must show the arena + binary-graph layout beating the old
-    # pointer-chasing layout by >=1.2x median props/sec on the scaling
-    # instances.
-    echo "== solver: arena suite + fuzz oracles under ASan/UBSan + propagation gate =="
+    # The clause-arena redesign and the inprocessing pipeline end to end.
+    # Arena relocation, watcher forwarding, and in-place clause rewriting
+    # (subsumption/vivification/elimination) are exactly the code where a
+    # stale ClauseRef turns into silent memory corruption, so the solver
+    # unit suite, the inprocessing verdict-agreement fuzz oracles, and the
+    # portfolio/warm-start oracles run under ASan/UBSan; then
+    # bench_propagation (plain tree) must show the arena + binary-graph
+    # layout beating the old pointer-chasing layout by >=1.2x median
+    # props/sec, and bench_solver_ablation --smoke must show inprocessing
+    # on/off agreeing on every verdict.
+    echo "== solver: arena suite + fuzz oracles under ASan/UBSan + gates =="
     cmake -B "$root/build-asan" -S "$root" -DLAR_SANITIZE=address,undefined
     cmake --build "$root/build-asan" -j"$jobs" --target \
-        sat_test portfolio_test warmstart_test
+        sat_test portfolio_test warmstart_test simplify_test \
+        bench_solver_ablation
     (cd "$root/build-asan" && ASAN_OPTIONS=detect_leaks=0 \
         ctest --output-on-failure -R \
-        '^(Lit\.|Solver\.|Dimacs\.|SolverSnapshot\.)|SolverConfigTest|PortfolioVerdictAgreementTest|ClauseImportSoundnessTest|WarmStartOracle')
+        '^(Lit\.|Solver\.|Dimacs\.|SolverSnapshot\.|Simplify\.|SimplifyOracle\.)|SolverConfigTest|PortfolioVerdictAgreementTest|ClauseImportSoundnessTest|WarmStartOracle')
+
+    echo "-- bench: solver ablation smoke under ASan/UBSan --"
+    (cd "$root/build-asan" && ASAN_OPTIONS=detect_leaks=0 \
+        ./bench/bench_solver_ablation --smoke)
+    grep -q '"pass":true' "$root/build-asan/BENCH_solver_ablation.json"
 
     echo "-- bench: propagation throughput gate --"
     cmake -B "$root/build" -S "$root"
     cmake --build "$root/build" -j"$jobs" --target bench_propagation
     (cd "$root/build" && ./bench/bench_propagation)
     grep -q '"pass":true' "$root/build/BENCH_propagation.json"
+
+    echo "-- bench: inprocessing ablation gate --"
+    cmake --build "$root/build" -j"$jobs" --target bench_solver_ablation
+    (cd "$root/build" && ./bench/bench_solver_ablation)
+    grep -q '"pass":true' "$root/build/BENCH_solver_ablation.json"
 }
 
 run_server() {

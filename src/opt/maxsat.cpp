@@ -43,7 +43,15 @@ std::optional<std::int64_t> minimizeAndLock(encode::CnfBuilder& builder,
     }
     if (first != sat::SolveResult::Sat) return std::nullopt;
     std::int64_t cost = encode::evalPb(solver, penalties);
-    if (cost == 0 || penalties.empty()) return cost;
+    if (cost == 0 || penalties.empty()) {
+        // Zero cost still needs the lock: later lexicographic levels must
+        // not trade this objective away. Cost 0 means every weighted soft
+        // literal is true in the model, so assert them directly — no
+        // counter needed. (The first model rarely landed here before the
+        // solver grew inprocessing; now it often starts optimal.)
+        for (const encode::PbTerm& p : penalties) builder.assertLit(~p.lit);
+        return cost;
+    }
 
     // Counter clamped just above the first cost: tighter bounds only.
     const encode::PbSum counter(

@@ -70,6 +70,17 @@ struct QueryOptions {
     /// refuses on any shape mismatch. Honoured by the single-worker CDCL
     /// backend; Z3 and portfolio backends ignore it. nullptr = cold start.
     std::shared_ptr<const sat::SolverSnapshot> warmStart;
+    /// Run CDCL inprocessing (subsumption, vivification, failed-literal
+    /// probing, equivalent-literal substitution, bounded variable
+    /// elimination) before search and at restart boundaries. Strictly
+    /// verdict-preserving — models are reconstructed and unsat cores keep
+    /// only real assumptions — so this is a performance knob, not a
+    /// semantics knob. Z3 manages its own preprocessing and ignores it.
+    bool simplify = true;
+    /// Tick budget per inprocessing round (0 = solver default). Rounds that
+    /// exhaust it stop cleanly and search continues; the trace's simplify
+    /// block records the stop.
+    std::int64_t simplifyTickBudget = 0;
     /// Export a warm-start snapshot from the query's solver session when the
     /// query ends (surfaced via Engine::lastSnapshot()). Off by default —
     /// exporting copies the short learnt clauses — and a no-op for queries
@@ -91,6 +102,8 @@ struct QueryOptions {
         config.cancelFlag = cancelFlag;
         config.progressEveryConflicts = progressEveryConflicts;
         config.portfolioWorkers = portfolioWorkers;
+        config.simplify = simplify;
+        config.simplifyTickBudget = simplifyTickBudget;
         return config;
     }
 };

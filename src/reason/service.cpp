@@ -67,6 +67,11 @@ struct ServiceMetrics {
     obs::Counter& warmImportedClauses;
     obs::Counter& warmStored;
     obs::Counter& warmEvictions;
+    obs::Counter& satSubsumed;
+    obs::Counter& satEliminatedVars;
+    obs::Counter& satProbes;
+    obs::Counter& satArenaGcs;
+    obs::Gauge& satArenaWaste;
     obs::Counter* queriesByKind[5];
 
     [[nodiscard]] obs::Counter& queries(QueryKind kind) {
@@ -142,6 +147,18 @@ struct ServiceMetrics {
                             "cache"),
                 reg.counter("lar_warmstart_evictions_total",
                             "Warm-start snapshots evicted from the LRU"),
+                reg.counter("lar_sat_subsumed",
+                            "Clauses removed by inprocessing subsumption"),
+                reg.counter("lar_sat_eliminated_vars",
+                            "Variables removed by bounded variable "
+                            "elimination"),
+                reg.counter("lar_sat_probes",
+                            "Literals probed by failed-literal probing"),
+                reg.counter("lar_sat_arena_gcs",
+                            "Clause-arena compactions in query solvers"),
+                reg.gauge("lar_sat_arena_waste_bytes",
+                          "Dead clause bytes awaiting arena compaction "
+                          "(last query's solver)"),
                 {}};
             for (const QueryKind kind :
                  {QueryKind::Feasibility, QueryKind::Explain, QueryKind::Synthesize,
@@ -491,6 +508,14 @@ void Service::solveWithPolicy(const QueryRequest& request,
                 }
             }
             result.trace.stats = engine.lastSolveStats();
+            // The engine (and its stats) is per-attempt, so these are clean
+            // per-query increments, not cumulative re-counts.
+            metrics.satSubsumed.inc(result.trace.stats.subsumedClauses);
+            metrics.satEliminatedVars.inc(result.trace.stats.eliminatedVars);
+            metrics.satProbes.inc(result.trace.stats.probedLiterals);
+            metrics.satArenaGcs.inc(result.trace.stats.arenaGcs);
+            metrics.satArenaWaste.set(
+                static_cast<double>(result.trace.stats.arenaWasteBytes));
             if (const std::optional<smt::PortfolioStats>& portfolio =
                     engine.lastPortfolioStats();
                 portfolio.has_value()) {

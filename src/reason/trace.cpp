@@ -105,6 +105,34 @@ json::Value toJson(const QueryTrace& trace) {
     stats["binary_clauses"] = static_cast<std::int64_t>(trace.stats.binaryClauses);
     stats["lbd_sum"] = static_cast<std::int64_t>(trace.stats.lbdSum);
     v["stats"] = std::move(stats);
+    if (trace.stats.simplifyRounds > 0) {
+        json::Value simplify;
+        simplify["rounds"] =
+            static_cast<std::int64_t>(trace.stats.simplifyRounds);
+        simplify["subsumed"] =
+            static_cast<std::int64_t>(trace.stats.subsumedClauses);
+        simplify["strengthened"] =
+            static_cast<std::int64_t>(trace.stats.strengthenedClauses);
+        simplify["vivified"] =
+            static_cast<std::int64_t>(trace.stats.vivifiedClauses);
+        simplify["probes"] =
+            static_cast<std::int64_t>(trace.stats.probedLiterals);
+        simplify["failed_literals"] =
+            static_cast<std::int64_t>(trace.stats.failedLiterals);
+        simplify["hyper_binaries"] =
+            static_cast<std::int64_t>(trace.stats.hyperBinaries);
+        simplify["equivalent_literals"] =
+            static_cast<std::int64_t>(trace.stats.equivalentLiterals);
+        simplify["eliminated_vars"] =
+            static_cast<std::int64_t>(trace.stats.eliminatedVars);
+        simplify["restored_vars"] =
+            static_cast<std::int64_t>(trace.stats.restoredVars);
+        simplify["time_ms"] = trace.stats.simplifyMs;
+        if (trace.stats.lastSimplifyStop != sat::SimplifyStop::None)
+            simplify["stop_reason"] =
+                std::string(sat::toString(trace.stats.lastSimplifyStop));
+        v["simplify"] = std::move(simplify);
+    }
     if (trace.spans) {
         v["spans"] = trace.spans->toJson();
         if (trace.spans->truncated()) v["spans_truncated"] = true;

@@ -36,7 +36,13 @@ namespace lar::reason {
 /// shared with the http_request/query_done log lines and the response
 /// envelope) and "spans_truncated" (the span tree hit its per-trace cap
 /// and dropped spans — present only when true).
-inline constexpr int kQueryTraceSchemaVersion = 6;
+/// v7 adds the "simplify" object (present when the solver ran at least one
+/// inprocessing round): rounds, per-technique removed/strengthened counts
+/// (subsumed, strengthened, vivified, probes, failed_literals,
+/// hyper_binaries, equivalent_literals, eliminated_vars, restored_vars),
+/// time_ms, and — when the latest round halted on its budget —
+/// "stop_reason" ("ticks" or "memory").
+inline constexpr int kQueryTraceSchemaVersion = 7;
 
 /// The query shapes the Service answers (Engine methods, by name).
 enum class QueryKind { Feasibility, Explain, Synthesize, Optimize, Enumerate };

@@ -56,6 +56,14 @@ public:
         wastedWords_ += kHeaderWords + size(ref);
     }
 
+    /// Shrinks a clause in place to its first `newSize` literals; the tail
+    /// words are booked as waste (reclaimed at the next compaction) and the
+    /// ref stays valid. Used by in-place clause strengthening.
+    void truncate(ClauseRef ref, std::uint32_t newSize) {
+        wastedWords_ += size(ref) - newSize;
+        mem_[ref] = (newSize << 3) | (mem_[ref] & 7u);
+    }
+
     [[nodiscard]] std::uint32_t size(ClauseRef ref) const {
         return mem_[ref] >> 3;
     }

@@ -1,0 +1,55 @@
+#include "sat/simplify/extender.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lar::sat {
+
+namespace {
+
+// Undef counts as false, matching Solver::modelValue.
+bool litTrue(const std::vector<lbool>& model, Lit l) {
+    const auto v = static_cast<std::size_t>(l.var());
+    const bool assignedTrue = v < model.size() && model[v] == lbool::True;
+    return assignedTrue != l.sign();
+}
+
+} // namespace
+
+void Extender::pushClause(Var v, std::span<const Lit> lits) {
+    assert(!lits.empty() && lits[0].var() == v);
+    Entry e;
+    e.var = v;
+    e.clause.assign(lits.begin(), lits.end());
+    entries_.push_back(std::move(e));
+}
+
+void Extender::pushUnit(Lit l) {
+    Entry e;
+    e.var = l.var();
+    e.clause.push_back(l);
+    entries_.push_back(std::move(e));
+}
+
+void Extender::removeVar(Var v) {
+    std::erase_if(entries_, [v](const Entry& e) { return e.var == v; });
+}
+
+void Extender::extend(std::vector<lbool>& model) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        const Entry& e = *it;
+        bool satisfied = false;
+        for (const Lit l : e.clause) {
+            if (litTrue(model, l)) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (satisfied) continue;
+        const Lit witness = e.clause[0];
+        const auto v = static_cast<std::size_t>(witness.var());
+        if (v < model.size()) model[v] = fromBool(!witness.sign());
+    }
+}
+
+} // namespace lar::sat

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace lar::sat {
+
+// Model-reconstruction stack for bounded variable elimination.
+//
+// When variable v is eliminated, the clauses of one phase are pushed here
+// (each with its v-literal first, as the witness) followed by a unit entry
+// asserting the opposite phase. extend() walks the stack in reverse push
+// order: if an entry's clause is unsatisfied under the partial model, the
+// witness literal is flipped true. Because the resolvents added at
+// elimination time are satisfied by any model of the simplified formula,
+// flipping the witness can never falsify a later (= earlier-pushed) entry
+// of the same variable, so a single reverse pass reconstructs a model of
+// the original formula.
+class Extender {
+ public:
+  struct Entry {
+    Var var = kUndefVar;
+    std::vector<Lit> clause;  // clause[0] is the witness literal of `var`
+  };
+
+  // Push one stashed clause for an eliminated variable. lits[0] must be the
+  // literal of `v` contained in the clause.
+  void pushClause(Var v, std::span<const Lit> lits);
+
+  // Push the default-phase unit for an eliminated variable.
+  void pushUnit(Lit l);
+
+  // Physically remove every entry for `v` (used when the variable is
+  // restored because a new clause mentions it).
+  void removeVar(Var v);
+
+  // Extend a model of the simplified formula to the original formula.
+  // Unassigned variables are treated as false, matching Solver::modelValue.
+  void extend(std::vector<lbool>& model) const;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lar::sat

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+namespace lar::sat {
+
+// Knobs for the inprocessing pipeline. Embedded in SolverOptions as
+// `simplify`; guarded by the same mid-solve setOptions() rules as every
+// other solver option.
+struct SimplifyOptions {
+  bool enable = true;        // master switch for inprocessing rounds
+  bool subsumption = true;   // backward subsumption + self-subsuming resolution
+  bool vivification = true;  // clause vivification (distillation)
+  bool probing = true;       // failed-literal probing over the binary graph
+  bool equivalence = true;   // SCC-based equivalent-literal substitution
+  bool elimination = true;   // bounded variable elimination with extender
+
+  // Per-round work budget in abstract ticks (clause-literal touches,
+  // propagation steps charged by the simplifier). < 0 means unlimited.
+  // When exhausted the round stops cleanly and the search continues.
+  //
+  // This is a hard CAP: the scheduler further scales each round's budget
+  // with the search effort (conflicts) since the previous round, so cheap
+  // queries pay only a small first round while long solves earn larger
+  // ones. Within a round the budget is sliced evenly across the enabled
+  // techniques so an expensive early step cannot starve the later ones.
+  std::int64_t tickBudget = 4'000'000;
+
+  // Run a round at a restart boundary only after this many conflicts have
+  // accumulated since the previous round. The first round is always due.
+  std::int64_t conflictInterval = 2000;
+
+  // Bounded variable elimination limits: a variable is a candidate only if
+  // each phase occurs in at most elimOccLimit clauses, no resolvent may
+  // exceed elimClauseLimit literals, and the resolvent count may exceed the
+  // deleted clause count by at most elimGrowth.
+  int elimOccLimit = 12;
+  int elimGrowth = 0;
+  int elimClauseLimit = 16;
+};
+
+}  // namespace lar::sat

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sat/simplify/simplify.hpp"
 #include "util/error.hpp"
 
 namespace lar::sat {
@@ -14,6 +15,15 @@ const char* toString(StopReason reason) {
     case StopReason::MemoryBudget: return "memory_budget";
     case StopReason::Deadline: return "deadline";
     case StopReason::Cancelled: return "cancelled";
+    }
+    return "none";
+}
+
+const char* toString(SimplifyStop stop) {
+    switch (stop) {
+    case SimplifyStop::None: return "none";
+    case SimplifyStop::Ticks: return "ticks";
+    case SimplifyStop::Memory: return "memory";
     }
     return "none";
 }
@@ -41,6 +51,8 @@ Var Solver::newVar() {
     activity_.push_back(0.0);
     heapIndex_.push_back(-1);
     seen_.push_back(0);
+    frozen_.push_back(0);
+    eliminated_.push_back(0);
     watches_.emplace_back();
     watches_.emplace_back();
     binWatches_.emplace_back();
@@ -52,6 +64,16 @@ Var Solver::newVar() {
 bool Solver::addClause(std::vector<Lit> lits) {
     expects(decisionLevel() == 0, "addClause: only valid at decision level 0");
     ++addClauseCalls_;
+    if (!ok_) return false;
+    // A new clause may mention a variable that bounded elimination removed:
+    // re-activate it (and transitively, anything its stashed clauses mention)
+    // before integrating the clause, so incremental growth stays sound.
+    if (numEliminated_ > 0) restoreForLits(lits);
+    if (!ok_) return false;
+    return addClauseInternal(std::move(lits));
+}
+
+bool Solver::addClauseInternal(std::vector<Lit> lits) {
     if (!ok_) return false;
 
     // Simplify: sort, drop duplicates and false literals, detect tautologies
@@ -630,12 +652,15 @@ bool Solver::importSharedClauses() {
     for (ImportedClause& imp : importScratch_) {
         // Same simplification as addClause, but a rejected clause (satisfied,
         // tautological, or from a diverged variable space) is just skipped.
+        // Clauses mentioning a variable this solver eliminated are skipped
+        // too: learnt clauses must never resurrect an eliminated variable.
         std::sort(imp.lits.begin(), imp.lits.end());
         out.clear();
         bool skip = imp.lits.empty();
         Lit prev = kUndefLit;
         for (const Lit l : imp.lits) {
-            if (l.var() < 0 || l.var() >= numVars()) {
+            if (l.var() < 0 || l.var() >= numVars() ||
+                eliminated_[static_cast<std::size_t>(l.var())] != 0) {
                 skip = true;
                 break;
             }
@@ -794,7 +819,8 @@ std::size_t Solver::importSnapshot(const SolverSnapshot& snapshot) {
         bool skip = lits.empty();
         Lit prev = kUndefLit;
         for (const Lit l : lits) {
-            if (l.var() < 0 || l.var() >= numVars()) {
+            if (l.var() < 0 || l.var() >= numVars() ||
+                eliminated_[static_cast<std::size_t>(l.var())] != 0) {
                 skip = true;
                 break;
             }
@@ -837,17 +863,22 @@ std::size_t Solver::importSnapshot(const SolverSnapshot& snapshot) {
 // ---------------------------------------------------------------------------
 
 Lit Solver::pickBranchLit() {
+    // Eliminated variables are skipped: they have no clauses left, so any
+    // branch on them is wasted work, and assigning them would leak into
+    // snapshots. restoreEliminated() re-inserts them into the heap.
     if (opts_.useVsids) {
         while (!heapEmpty()) {
             const Var v = heapPopMax();
-            if (value(v) == lbool::Undef)
+            if (value(v) == lbool::Undef &&
+                eliminated_[static_cast<std::size_t>(v)] == 0)
                 return mkLit(v, polarity_[static_cast<std::size_t>(v)] != 0);
         }
         return kUndefLit;
     }
     // Static order: lowest-index unassigned variable (ablation mode).
     for (Var v = 0; v < numVars(); ++v)
-        if (value(v) == lbool::Undef)
+        if (value(v) == lbool::Undef &&
+            eliminated_[static_cast<std::size_t>(v)] == 0)
             return mkLit(v, polarity_[static_cast<std::size_t>(v)] != 0);
     return kUndefLit;
 }
@@ -917,6 +948,11 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
     assumptions_.assign(assumptions.begin(), assumptions.end());
     for (const Lit a : assumptions_)
         expects(a.var() >= 0 && a.var() < numVars(), "solve: unknown assumption var");
+    // Assumption variables must keep their identity across simplification:
+    // freeze them (restoring any that bounded elimination already removed) so
+    // elimination never touches them and unsat cores stay honest.
+    for (const Lit a : assumptions_) freeze(a.var());
+    if (!ok_) return SolveResult::Unsat;
 
     removeSatisfiedAtLevelZero();
     if (opts_.importClausesFn && !importSharedClauses()) return SolveResult::Unsat;
@@ -962,9 +998,29 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
         }
     }
 
+    // Inprocessing round at solve() start; search() schedules further rounds
+    // at restart boundaries. Runs after the budget setup so a round respects
+    // the deadline/cancellation of the solve it belongs to.
+    if (opts_.simplify.enable && simplifyDue()) {
+        switch (runSimplifyRound()) {
+        case SimplifyOutcome::Unsat:
+            return SolveResult::Unsat;
+        case SimplifyOutcome::Stop:
+            backtrackTo(0);
+            stats_.arenaWasteBytes = arena_.wastedWords() * sizeof(std::uint32_t);
+            return SolveResult::Unknown;
+        case SimplifyOutcome::Done:
+            break;
+        }
+    }
+
     const SolveResult result = search();
-    if (result == SolveResult::Sat) model_ = assigns_;
+    if (result == SolveResult::Sat) {
+        model_ = assigns_;
+        extendModel();
+    }
     backtrackTo(0);
+    stats_.arenaWasteBytes = arena_.wastedWords() * sizeof(std::uint32_t);
     return result;
 }
 
@@ -1102,6 +1158,19 @@ SolveResult Solver::search() {
                 backtrackTo(0);
                 if (opts_.importClausesFn && !importSharedClauses())
                     return SolveResult::Unsat;
+                // Inprocessing between restarts, once enough conflicts have
+                // accumulated since the previous round.
+                if (opts_.simplify.enable && simplifyDue()) {
+                    switch (runSimplifyRound()) {
+                    case SimplifyOutcome::Unsat:
+                        return SolveResult::Unsat;
+                    case SimplifyOutcome::Stop:
+                        backtrackTo(0);
+                        return SolveResult::Unknown;
+                    case SimplifyOutcome::Done:
+                        break;
+                    }
+                }
             }
             if (opts_.reduceDb &&
                 static_cast<double>(learnts_.size()) >= maxLearnts_) {
@@ -1144,6 +1213,131 @@ SolveResult Solver::search() {
         newDecisionLevel(next);
         enqueue(next, Reason::none());
     }
+}
+
+// ---------------------------------------------------------------------------
+// Inprocessing (see src/sat/simplify/)
+// ---------------------------------------------------------------------------
+
+void Solver::freeze(Var v) {
+    expects(v >= 0 && v < numVars(), "freeze: unknown variable");
+    frozen_[static_cast<std::size_t>(v)] = 1;
+    // Freezing an already-eliminated variable re-activates it: the caller is
+    // about to rely on its identity (assumption, exported literal).
+    if (eliminated_[static_cast<std::size_t>(v)] != 0) restoreEliminated(v);
+}
+
+bool Solver::simplifyDue() const {
+    if (!simplifiedOnce_) return true;
+    return static_cast<std::int64_t>(stats_.conflicts -
+                                     conflictsAtLastSimplify_) >=
+           opts_.simplify.conflictInterval;
+}
+
+Solver::SimplifyOutcome Solver::runSimplifyRound() {
+    expects(decisionLevel() == 0, "simplify: requires decision level 0");
+    if (!ok_) return SimplifyOutcome::Unsat;
+    const auto start = std::chrono::steady_clock::now();
+    // Effort-proportional scheduling: a round's tick budget grows with the
+    // search effort since the previous round, so a query the search answers
+    // in milliseconds pays only a cheap first round while a long-running
+    // solve earns progressively larger ones. simplify.tickBudget stays the
+    // hard per-round cap (< 0 = unlimited, and then no scaling either).
+    constexpr std::int64_t kRoundBaseTicks = 200'000;
+    constexpr std::int64_t kRoundTicksPerConflict = 400;
+    std::int64_t tickLimit = opts_.simplify.tickBudget;
+    if (tickLimit >= 0) {
+        const std::int64_t sinceLast =
+            simplifiedOnce_ ? static_cast<std::int64_t>(
+                                  stats_.conflicts - conflictsAtLastSimplify_)
+                            : 0;
+        tickLimit = std::min(
+            tickLimit, kRoundBaseTicks + kRoundTicksPerConflict * sinceLast);
+    }
+    simplifiedOnce_ = true;
+    conflictsAtLastSimplify_ = stats_.conflicts;
+    // Probing/vivification open temporary decision levels; those are working
+    // state, not search depth — keep the stat honest.
+    const std::uint64_t savedMaxLevel = stats_.maxDecisionLevel;
+    Simplifier simplifier(*this, tickLimit);
+    const SimplifyOutcome outcome = simplifier.run();
+    stats_.maxDecisionLevel = savedMaxLevel;
+    stats_.simplifyMs += std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    ++stats_.simplifyRounds;
+    if (outcome == SimplifyOutcome::Done) maybeGarbageCollect();
+    return outcome;
+}
+
+bool Solver::simplify() {
+    expects(!solveActive_.load(std::memory_order_acquire),
+            "simplify: called while solve() is active");
+    expects(decisionLevel() == 0, "simplify: requires decision level 0");
+    if (!ok_) return false;
+    // This entry runs outside any solve(): clear leftover per-solve limits so
+    // the round is bounded only by its tick budget, the configured memory
+    // budget, and the cancellation flag.
+    conflictLimit_ = -1;
+    propagationLimit_ = -1;
+    hasDeadline_ = false;
+    pendingStop_ = StopReason::None;
+    stopReason_ = StopReason::None;
+    memoryBudgetBytes_ =
+        opts_.memoryBudgetMb < 0 ? -1 : opts_.memoryBudgetMb * 1024 * 1024;
+    removeSatisfiedAtLevelZero();
+    if (!ok_) return false;
+    const SimplifyOutcome outcome = runSimplifyRound();
+    backtrackTo(0);
+    return outcome != SimplifyOutcome::Unsat && ok_;
+}
+
+void Solver::restoreForLits(std::span<const Lit> lits) {
+    for (const Lit l : lits) {
+        if (l.var() < 0 || l.var() >= numVars()) continue; // addClause rejects
+        if (eliminated_[static_cast<std::size_t>(l.var())] != 0)
+            restoreEliminated(l.var());
+        if (!ok_) return;
+    }
+}
+
+void Solver::restoreEliminated(Var v) {
+    // Re-activate `v`: drop its reconstruction entries, re-add its original
+    // clauses, and cascade to any other eliminated variables those clauses
+    // mention (their reconstruction entries would otherwise disagree with the
+    // re-added clauses). The previously added resolvents stay — they are
+    // implied by the originals, so the formula remains equivalent.
+    std::vector<Var> work{v};
+    std::vector<std::vector<Lit>> toAdd;
+    while (!work.empty()) {
+        const Var x = work.back();
+        work.pop_back();
+        if (eliminated_[static_cast<std::size_t>(x)] == 0) continue;
+        eliminated_[static_cast<std::size_t>(x)] = 0;
+        --numEliminated_;
+        ++stats_.restoredVars;
+        extender_.removeVar(x);
+        if (heapIndex_[static_cast<std::size_t>(x)] < 0 &&
+            value(x) == lbool::Undef)
+            heapInsert(x);
+        const auto it = elimStash_.find(x);
+        if (it == elimStash_.end()) continue;
+        for (std::vector<Lit>& clause : it->second) {
+            for (const Lit l : clause)
+                if (eliminated_[static_cast<std::size_t>(l.var())] != 0)
+                    work.push_back(l.var());
+            toAdd.push_back(std::move(clause));
+        }
+        elimStash_.erase(it);
+    }
+    // Integrate through the internal path: restoration is not a formula
+    // change, so the snapshot baseline counter must not move.
+    for (std::vector<Lit>& clause : toAdd)
+        if (!addClauseInternal(std::move(clause))) return; // ok_ cleared
+}
+
+void Solver::extendModel() {
+    if (!extender_.empty()) extender_.extend(model_);
 }
 
 bool Solver::modelValue(Var v) const {

@@ -30,10 +30,13 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sat/arena.hpp"
 #include "sat/clause.hpp"
+#include "sat/simplify/extender.hpp"
+#include "sat/simplify/options.hpp"
 #include "sat/types.hpp"
 
 namespace lar::sat {
@@ -55,6 +58,14 @@ enum class StopReason {
 /// Human-readable StopReason name ("conflict_budget", "deadline", …).
 [[nodiscard]] const char* toString(StopReason reason);
 
+/// Why the most recent inprocessing round stopped early (None when every
+/// scheduled round ran to completion). A budget-stopped round is not an
+/// error — the search simply continues on the partially simplified formula.
+enum class SimplifyStop : std::uint8_t { None, Ticks, Memory };
+
+/// Human-readable SimplifyStop name ("none", "ticks", "memory").
+[[nodiscard]] const char* toString(SimplifyStop stop);
+
 /// Search statistics, reset per solver instance.
 struct SolverStats {
     std::uint64_t decisions = 0;
@@ -73,6 +84,24 @@ struct SolverStats {
     std::uint64_t exportedClauses = 0; ///< learnt clauses offered via exportClauseFn
     std::uint64_t importedClauses = 0; ///< foreign clauses integrated via importClausesFn
     std::uint64_t arenaGcs = 0; ///< clause-arena compaction passes performed
+
+    // -- inprocessing (see src/sat/simplify/) -------------------------------
+    std::uint64_t simplifyRounds = 0;      ///< completed or budget-stopped rounds
+    std::uint64_t subsumedClauses = 0;     ///< clauses removed by subsumption
+    std::uint64_t strengthenedClauses = 0; ///< self-subsuming resolution hits
+    std::uint64_t vivifiedClauses = 0;     ///< clauses shrunk/removed by vivification
+    std::uint64_t probedLiterals = 0;      ///< failed-literal probes attempted
+    std::uint64_t failedLiterals = 0;      ///< probes that yielded a level-0 unit
+    std::uint64_t hyperBinaries = 0;       ///< binaries added by hyper-binary resolution
+    std::uint64_t equivalentLiterals = 0;  ///< literals substituted by their SCC root
+    std::uint64_t eliminatedVars = 0;      ///< variables removed by bounded elimination
+    std::uint64_t restoredVars = 0;        ///< eliminated vars re-activated by new clauses
+    std::uint64_t simplifyStops = 0;       ///< rounds halted by the tick/memory budget
+    double simplifyMs = 0.0;               ///< total wall time spent simplifying
+    SimplifyStop lastSimplifyStop = SimplifyStop::None;
+    /// Arena words freed but not yet compacted, in bytes (gauge, sampled at
+    /// the end of each solve()).
+    std::uint64_t arenaWasteBytes = 0;
 };
 
 /// A learnt clause received from another solver in a portfolio (see
@@ -190,6 +219,12 @@ struct SolverOptions {
     /// …or with at most this many literals (short clauses prune a lot even
     /// when their LBD is poor).
     int shareSizeMax = 2;
+
+    /// Inprocessing pipeline knobs (subsumption, vivification, probing,
+    /// equivalence substitution, bounded variable elimination). Rounds run
+    /// at solve() start and at restart boundaries, budgeted by
+    /// simplify.tickBudget and the solver memory budget.
+    SimplifyOptions simplify;
 };
 
 class Solver {
@@ -297,7 +332,29 @@ public:
         return l.sign() ? ~v : v;
     }
 
+    // -- inprocessing -------------------------------------------------------
+
+    /// Marks `v` as ineligible for variable elimination, permanently. Callers
+    /// freeze every variable whose identity must survive simplification:
+    /// assumption variables (done automatically by solve()), literals exported
+    /// to the outside world (KB nodes, selectors), warm-start variables.
+    void freeze(Var v);
+    [[nodiscard]] bool isFrozen(Var v) const {
+        return frozen_[static_cast<std::size_t>(v)] != 0;
+    }
+    /// True while `v` is eliminated from the active formula. An eliminated
+    /// variable is restored automatically when a new clause or assumption
+    /// mentions it.
+    [[nodiscard]] bool isEliminated(Var v) const {
+        return eliminated_[static_cast<std::size_t>(v)] != 0;
+    }
+    /// Runs one inprocessing round immediately (outside any solve()). Returns
+    /// false when the formula became trivially unsatisfiable. Exposed for
+    /// tests and offline preprocessing; solve() schedules rounds itself.
+    bool simplify();
+
 private:
+    friend class Simplifier;
     /// Watcher entry for a long (arena) clause: the clause plus a blocker
     /// literal whose truth proves the clause satisfied without touching it.
     struct Watcher {
@@ -401,6 +458,25 @@ private:
                activity_[static_cast<std::size_t>(b)];
     }
 
+    // -- inprocessing internals ---------------------------------------------
+    /// Outcome of one inprocessing round. Done = round finished (possibly
+    /// budget-stopped, which is benign); Unsat = formula proven unsatisfiable;
+    /// Stop = a solve-level limit (deadline/cancel/propagation budget) tripped
+    /// and stopReason_ was set — the enclosing solve() must return Unknown.
+    enum class SimplifyOutcome { Done, Unsat, Stop };
+    SimplifyOutcome runSimplifyRound();
+    [[nodiscard]] bool simplifyDue() const;
+    /// Re-activates an eliminated variable: re-adds its stashed problem
+    /// clauses, erases its extender entries, and cascades to any other
+    /// eliminated variables those clauses mention.
+    void restoreEliminated(Var v);
+    void restoreForLits(std::span<const Lit> lits);
+    /// addClause body without the restore scan / addClauseCalls_ bump —
+    /// shared by addClause() and restoreEliminated().
+    bool addClauseInternal(std::vector<Lit> lits);
+    /// Replays the elimination reconstruction stack over model_.
+    void extendModel();
+
     static std::int64_t luby(std::int64_t i);
     [[nodiscard]] bool deadlineExpired() const;
     /// Checks every stop condition (cancellation, deadline, conflict and
@@ -466,6 +542,17 @@ private:
     std::uint64_t propagationsAtSolveStart_ = 0;
     std::vector<ImportedClause> importScratch_; ///< importSharedClauses buffer
     std::vector<Lit> simplifyScratch_;          ///< clause-simplification buffer
+
+    // -- inprocessing state --------------------------------------------------
+    std::vector<char> frozen_;     ///< vars excluded from elimination
+    std::vector<char> eliminated_; ///< vars currently eliminated
+    std::size_t numEliminated_ = 0;
+    Extender extender_; ///< model-reconstruction stack for eliminated vars
+    /// Original problem clauses of each eliminated var, for restoration when
+    /// a later addClause()/assumption mentions it.
+    std::unordered_map<Var, std::vector<std::vector<Lit>>> elimStash_;
+    std::uint64_t conflictsAtLastSimplify_ = 0;
+    bool simplifiedOnce_ = false;
     std::atomic<bool> solveActive_{false}; ///< guards the single-thread contract
 
     // Snapshot baseline: addClause() invocations are counted (not stored

@@ -13,7 +13,7 @@
 //    "design": {...},                 // only when verdict == sat
 //    "conflicting_rules": [...],      // only when verdict == unsat
 //    "unknown_names": [...],          // only when verdict == error
-//    "trace": {...}}                  // QueryTrace (schema v6)
+//    "trace": {...}}                  // QueryTrace (schema v7)
 #pragma once
 
 #include "json/value.hpp"

@@ -183,6 +183,12 @@ struct BackendConfig {
     /// ignores it. makeBackend(BackendKind::Cdcl, …) returns a
     /// PortfolioBackend when this exceeds 1.
     int portfolioWorkers = 1;
+    /// Run CDCL inprocessing (subsumption, vivification, probing,
+    /// equivalence reduction, bounded variable elimination) before search
+    /// and at restart boundaries. Verdict-preserving; Z3 ignores it.
+    bool simplify = true;
+    /// Tick budget per inprocessing round; 0 keeps the solver default.
+    std::int64_t simplifyTickBudget = 0;
 };
 
 /// True when the library was built with Z3 support.

@@ -20,6 +20,9 @@ sat::Lit CdclBackend::compile(NodeId id) {
             break;
         case NodeKind::Var:
             out = builder_.newLit();
+            // KB-facing variable: modelValue()/cores/what-if deltas address
+            // it directly, so inprocessing must never eliminate it.
+            solver_.freeze(out.var());
             break;
         case NodeKind::Not:
             out = ~compile(n.children[0]);
@@ -139,6 +142,9 @@ void CdclBackend::addHard(NodeId formula, int track) {
         return;
     }
     const sat::Lit selector = builder_.newLit();
+    // Selectors are assumed on every check; eliminating one between solves
+    // would silently disable its track.
+    solver_.freeze(selector.var());
     builder_.assertImplies(selector, f);
     selectors_.emplace_back(track, selector);
 }

@@ -23,6 +23,9 @@ public:
         opts.cancelFlag = config.cancelFlag;
         opts.progressEvery = config.progressEveryConflicts;
         opts.progressFn = config.progressFn;
+        opts.simplify.enable = config.simplify;
+        if (config.simplifyTickBudget > 0)
+            opts.simplify.tickBudget = config.simplifyTickBudget;
         solver_.setOptions(opts);
     }
 

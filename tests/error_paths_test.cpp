@@ -3,6 +3,7 @@
 // specific enough to act on — not a bare std::exception or a crash.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 
 #include "catalog/catalog.hpp"
@@ -10,7 +11,10 @@
 #include "reason/problem_io.hpp"
 #include "reason/service.hpp"
 #include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "testsupport.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace lar {
 namespace {
@@ -122,6 +126,28 @@ TEST(ErrorPaths, NonPositiveRetryAttemptsIsLogicError) {
     options.retry.maxAttempts = 0;
     expectThrowsWith<LogicError>([&] { reason::Service service(options); },
                                  "maxAttempts");
+}
+
+TEST(ErrorPaths, FlippingSimplifyKnobsMidSolveIsLogicError) {
+    // Inprocessing options are read by the search thread without
+    // synchronization; mutating them mid-solve() must be rejected, not
+    // silently raced. Re-enter setOptions from the export callback.
+    util::Rng rng(11);
+    const sat::Cnf cnf = test::randomKSat(rng, 12, 70, 3); // dense → conflicts
+    sat::Solver solver;
+    sat::SolverOptions opts;
+    opts.shareLbdMax = 1000;
+    opts.simplify.enable = false; // keep the instance alive into search
+    opts.exportClauseFn = [&solver, &opts](std::span<const sat::Lit>, int) {
+        sat::SolverOptions flipped = opts;
+        flipped.simplify.enable = true;
+        solver.setOptions(flipped);
+    };
+    solver.setOptions(opts);
+    while (solver.numVars() < cnf.numVars) (void)solver.newVar();
+    for (const auto& clause : cnf.clauses) (void)solver.addClause(clause);
+    expectThrowsWith<LogicError>([&] { (void)solver.solve(); },
+                                 "while solve() is active");
 }
 
 TEST(ErrorPaths, TypedErrorsRemainCatchableAsLarError) {

@@ -140,6 +140,9 @@ TEST(ClauseImportSoundnessTest, ImportingLearntClausesPreservesVerdicts) {
                 exchange.publish(0, clause, lbd);
             };
         teacherOpts.shareLbdMax = 1000; // export every learnt
+        // Inprocessing solves these small instances before search: turn it
+        // off so clauses actually cross the exchange.
+        teacherOpts.simplify.enable = false;
         teacher.setOptions(teacherOpts);
         loadInstance(teacher, cnf);
         const SolveResult teacherVerdict = teacher.solve();
@@ -150,6 +153,7 @@ TEST(ClauseImportSoundnessTest, ImportingLearntClausesPreservesVerdicts) {
             [&exchange](std::vector<ImportedClause>& out) {
                 exchange.collect(1, out);
             };
+        studentOpts.simplify.enable = false;
         student.setOptions(studentOpts);
         loadInstance(student, cnf);
         const SolveResult studentVerdict = student.solve();
@@ -203,6 +207,7 @@ TEST(SolverThreadingContractTest, ReentrantSolveIsRejected) {
     Solver solver;
     sat::SolverOptions opts;
     opts.shareLbdMax = 1000;
+    opts.simplify.enable = false; // keep the instance alive into search
     opts.exportClauseFn =
         [&solver](std::span<const Lit>, int) { (void)solver.solve(); };
     solver.setOptions(opts);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <tuple>
 
 #include "sat/dimacs.hpp"
@@ -261,6 +263,9 @@ TEST(Solver, LargePigeonholeCompletes) {
 
 TEST(Solver, StatsAreTracked) {
     Solver s;
+    sat::SolverOptions statOpts;
+    statOpts.simplify.enable = false; // decisions must come from the search path
+    s.setOptions(statOpts);
     const Var x = s.newVar();
     const Var y = s.newVar();
     s.addClause(mkLit(x), mkLit(y));
@@ -474,6 +479,292 @@ TEST(Dimacs, Malformed) {
     EXPECT_THROW(parseDimacs("1 2 0\n"), ParseError);
     EXPECT_THROW(parseDimacs("p cnf 2 1\n5 0\n"), ParseError);
     EXPECT_THROW(parseDimacs("p cnf 2 2\n1 0\n"), ParseError);
+}
+
+// ------------------------------------------------------------ inprocessing
+
+/// Loads `cnf` into `solver` (shared variable numbering).
+void loadCnfInstance(Solver& solver, const Cnf& cnf) {
+    while (solver.numVars() < cnf.numVars) (void)solver.newVar();
+    for (const auto& clause : cnf.clauses) (void)solver.addClause(clause);
+}
+
+/// Options with a single inprocessing technique enabled.
+SolverOptions onlyTechnique(void (*set)(SimplifyOptions&)) {
+    SolverOptions opts;
+    opts.simplify.subsumption = false;
+    opts.simplify.vivification = false;
+    opts.simplify.probing = false;
+    opts.simplify.equivalence = false;
+    opts.simplify.elimination = false;
+    set(opts.simplify);
+    return opts;
+}
+
+TEST(Simplify, BruteForceAgreementWithReconstruction) {
+    // Verdicts AND models are checked against the ORIGINAL formula: a model
+    // read after variable elimination exercises the reconstruction stack.
+    util::Rng rng(101);
+    for (int round = 0; round < 60; ++round) {
+        const Cnf cnf = randomKSat(rng, /*numVars=*/12, /*numClauses=*/50,
+                                   /*k=*/3);
+        const std::optional<std::vector<bool>> oracle = bruteForceSat(cnf);
+        Solver s;
+        loadCnfInstance(s, cnf);
+        const SolveResult verdict = s.solve();
+        ASSERT_EQ(verdict == SolveResult::Sat, oracle.has_value())
+            << "round " << round;
+        if (verdict != SolveResult::Sat) continue;
+        std::vector<bool> model;
+        for (int v = 0; v < cnf.numVars; ++v) model.push_back(s.modelValue(v));
+        EXPECT_TRUE(satisfies(cnf, model)) << "round " << round;
+    }
+}
+
+TEST(Simplify, RepeatedSolvesStayCorrectAcrossRounds) {
+    // Incremental use: force a simplify round before every solve and keep
+    // adding clauses (which restores any eliminated variable they mention).
+    util::Rng rng(202);
+    Cnf cnf = randomKSat(rng, 14, 40, 3);
+    Solver s;
+    SolverOptions opts;
+    opts.simplify.conflictInterval = 0; // every solve simplifies
+    s.setOptions(opts);
+    loadCnfInstance(s, cnf);
+    for (int round = 0; round < 8; ++round) {
+        const std::optional<std::vector<bool>> oracle = bruteForceSat(cnf);
+        const SolveResult verdict = s.solve();
+        ASSERT_EQ(verdict == SolveResult::Sat, oracle.has_value())
+            << "round " << round;
+        if (verdict != SolveResult::Sat) break;
+        std::vector<bool> model;
+        for (int v = 0; v < cnf.numVars; ++v) model.push_back(s.modelValue(v));
+        ASSERT_TRUE(satisfies(cnf, model)) << "round " << round;
+        // Grow the instance: 3 fresh random clauses.
+        const Cnf extra = randomKSat(rng, 14, 3, 3);
+        for (const auto& clause : extra.clauses) {
+            cnf.clauses.push_back(clause);
+            (void)s.addClause(clause);
+        }
+    }
+}
+
+TEST(Simplify, AssumptionVerdictsAndCoresStayHonest) {
+    // Same instance, random assumption sets: a simplifying solver and a
+    // plain solver must agree on every verdict, and every unsat core must
+    // be a subset of the assumptions that is itself unsatisfiable.
+    util::Rng rng(303);
+    for (int round = 0; round < 30; ++round) {
+        const Cnf cnf = randomKSat(rng, 12, 45, 3);
+        Solver simp;
+        SolverOptions simpOpts;
+        simpOpts.simplify.conflictInterval = 0;
+        simp.setOptions(simpOpts);
+        loadCnfInstance(simp, cnf);
+
+        Solver plain;
+        SolverOptions plainOpts;
+        plainOpts.simplify.enable = false;
+        plain.setOptions(plainOpts);
+        loadCnfInstance(plain, cnf);
+
+        for (int trial = 0; trial < 4; ++trial) {
+            std::vector<Lit> assumptions;
+            for (int v = 0; v < cnf.numVars; ++v)
+                if (rng.chance(0.3))
+                    assumptions.push_back(mkLit(v, rng.chance(0.5)));
+            const SolveResult a = simp.solve(assumptions);
+            const SolveResult b = plain.solve(assumptions);
+            ASSERT_EQ(a, b) << "round " << round << " trial " << trial;
+            if (a != SolveResult::Unsat) continue;
+            const std::vector<Lit>& core = simp.unsatCore();
+            for (const Lit l : core) {
+                EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l),
+                          assumptions.end())
+                    << "core literal not among the assumptions";
+            }
+            // The core alone must still be unsat on a fresh plain solver.
+            Solver check;
+            SolverOptions checkOpts;
+            checkOpts.simplify.enable = false;
+            check.setOptions(checkOpts);
+            loadCnfInstance(check, cnf);
+            EXPECT_EQ(check.solve(core), SolveResult::Unsat)
+                << "round " << round << " trial " << trial;
+        }
+    }
+}
+
+TEST(Simplify, FrozenAssumptionVariablesAreNeverEliminated) {
+    // A variable with tiny occurrence counts is elimination's first pick —
+    // unless it is assumed. solve(assumptions) freezes assumption variables
+    // before any simplify round.
+    Solver s;
+    const Var v = s.newVar();
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    (void)s.addClause(mkLit(v), mkLit(a));
+    (void)s.addClause(~mkLit(v), mkLit(b));
+    (void)s.addClause(mkLit(a), mkLit(b));
+    const std::vector<Lit> assumptions{mkLit(v)};
+    ASSERT_EQ(s.solve(assumptions), SolveResult::Sat);
+    EXPECT_TRUE(s.isFrozen(v));
+    EXPECT_FALSE(s.isEliminated(v));
+    EXPECT_TRUE(s.modelValue(v));
+}
+
+TEST(Simplify, EliminationReconstructsModelsAndRestoresOnReuse) {
+    Solver s;
+    const Var v = s.newVar();
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    const Var c = s.newVar();
+    // v occurs once per phase: a prime elimination candidate.
+    (void)s.addClause(mkLit(v), mkLit(a));
+    (void)s.addClause(~mkLit(v), mkLit(b));
+    (void)s.addClause(mkLit(a), mkLit(c));
+    ASSERT_TRUE(s.simplify());
+    ASSERT_TRUE(s.isEliminated(v));
+    EXPECT_GE(s.stats().eliminatedVars, 1u);
+
+    // Models must still cover v via the reconstruction stack.
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    const bool mv = s.modelValue(v);
+    const bool ma = s.modelValue(a);
+    const bool mb = s.modelValue(b);
+    EXPECT_TRUE(mv || ma);
+    EXPECT_TRUE(!mv || mb);
+
+    // A new clause over v transparently restores it.
+    (void)s.addClause(~mkLit(v), mkLit(c));
+    EXPECT_FALSE(s.isEliminated(v));
+    EXPECT_GE(s.stats().restoredVars, 1u);
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_TRUE(!s.modelValue(v) || s.modelValue(c));
+
+    // And assuming v (freeze-on-solve) keeps working after restoration.
+    const std::vector<Lit> assumeV{mkLit(v)};
+    ASSERT_EQ(s.solve(assumeV), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(v));
+    EXPECT_TRUE(s.modelValue(b));
+}
+
+TEST(Simplify, SnapshotRoundTripAfterElimination) {
+    // exportSnapshot from a solver that eliminated variables must import
+    // cleanly into an identically-built solver and preserve verdicts.
+    util::Rng rng(404);
+    for (int round = 0; round < 10; ++round) {
+        const Cnf cnf = randomKSat(rng, 20, 70, 3);
+        Solver exporter;
+        SolverOptions opts;
+        opts.simplify.conflictInterval = 0;
+        exporter.setOptions(opts);
+        loadCnfInstance(exporter, cnf);
+        exporter.markSnapshotBaseline();
+        const SolveResult verdict = exporter.solve();
+        const SolverSnapshot snap = exporter.exportSnapshot();
+
+        Solver importer;
+        importer.setOptions(opts);
+        loadCnfInstance(importer, cnf);
+        importer.markSnapshotBaseline();
+        (void)importer.importSnapshot(snap);
+        EXPECT_EQ(importer.solve(), verdict) << "round " << round;
+        if (verdict != SolveResult::Sat) continue;
+        std::vector<bool> model;
+        for (int v = 0; v < cnf.numVars; ++v)
+            model.push_back(importer.modelValue(v));
+        EXPECT_TRUE(satisfies(cnf, model)) << "round " << round;
+    }
+}
+
+TEST(Simplify, SubsumptionAndStrengtheningCounters) {
+    Solver s;
+    s.setOptions(onlyTechnique([](SimplifyOptions& o) { o.subsumption = true; }));
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    const Var c = s.newVar();
+    const Var d = s.newVar();
+    const Var e = s.newVar();
+    (void)s.addClause(mkLit(a), mkLit(b), mkLit(c));           // C
+    (void)s.addClause({mkLit(a), mkLit(b), mkLit(c), mkLit(d)}); // C ⊂ D
+    (void)s.addClause(~mkLit(a), mkLit(b), mkLit(e)); // strengthens vs (a∨b)
+    (void)s.addClause(mkLit(a), mkLit(b));            // binary source
+    ASSERT_TRUE(s.simplify());
+    EXPECT_GE(s.stats().subsumedClauses, 1u);
+    EXPECT_GE(s.stats().strengthenedClauses, 1u);
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Simplify, FailedLiteralProbingFindsUnits) {
+    Solver s;
+    s.setOptions(onlyTechnique([](SimplifyOptions& o) { o.probing = true; }));
+    const Var p = s.newVar();
+    const Var q = s.newVar();
+    const Var r = s.newVar();
+    (void)s.addClause(~mkLit(p), mkLit(q));  // p → q
+    (void)s.addClause(~mkLit(p), ~mkLit(q)); // p → ¬q: probing p conflicts
+    (void)s.addClause(mkLit(p), mkLit(r));   // keeps ¬p from ending it all
+    ASSERT_TRUE(s.simplify());
+    EXPECT_GE(s.stats().probedLiterals, 1u);
+    EXPECT_GE(s.stats().failedLiterals, 1u);
+    ASSERT_EQ(s.solve(), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(p));
+    EXPECT_TRUE(s.modelValue(r));
+}
+
+TEST(Simplify, EquivalentLiteralsAreSubstituted) {
+    Solver s;
+    s.setOptions(onlyTechnique([](SimplifyOptions& o) { o.equivalence = true; }));
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    const Var z = s.newVar();
+    (void)s.addClause(~mkLit(x), mkLit(y)); // x → y
+    (void)s.addClause(~mkLit(y), mkLit(x)); // y → x: x ≡ y
+    (void)s.addClause(mkLit(y), mkLit(z));
+    ASSERT_TRUE(s.simplify());
+    EXPECT_GE(s.stats().equivalentLiterals, 1u);
+    // The equivalence itself must survive substitution: x and y always agree.
+    const std::vector<Lit> assumeX{mkLit(x)};
+    ASSERT_EQ(s.solve(assumeX), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(y));
+    const std::vector<Lit> assumeNotY{~mkLit(y)};
+    ASSERT_EQ(s.solve(assumeNotY), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(x));
+}
+
+TEST(Simplify, VivificationShortensClauses) {
+    Solver s;
+    s.setOptions(
+        onlyTechnique([](SimplifyOptions& o) { o.vivification = true; }));
+    const Var x = s.newVar();
+    const Var y = s.newVar();
+    const Var z = s.newVar();
+    const Var w = s.newVar();
+    (void)s.addClause(mkLit(x), mkLit(y)); // ¬x propagates y …
+    // … so vivifying (x ∨ y ∨ z ∨ w) shrinks it to (x ∨ y).
+    (void)s.addClause({mkLit(x), mkLit(y), mkLit(z), mkLit(w)});
+    (void)s.addClause(mkLit(z), mkLit(w), mkLit(x)); // keep z,w referenced
+    ASSERT_TRUE(s.simplify());
+    EXPECT_GE(s.stats().vivifiedClauses, 1u);
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Simplify, TickBudgetStopsCleanlyAndSearchContinues) {
+    // A starved budget must halt the round benignly — the verdict still
+    // comes out of the search, and the stop is recorded in the stats.
+    util::Rng rng(505);
+    const Cnf cnf = randomKSat(rng, 18, 76, 3);
+    const std::optional<std::vector<bool>> oracle = bruteForceSat(cnf);
+    Solver s;
+    SolverOptions opts;
+    opts.simplify.tickBudget = 1; // next to nothing
+    s.setOptions(opts);
+    loadCnfInstance(s, cnf);
+    const SolveResult verdict = s.solve();
+    ASSERT_EQ(verdict == SolveResult::Sat, oracle.has_value());
+    EXPECT_GE(s.stats().simplifyStops, 1u);
+    EXPECT_EQ(s.stats().lastSimplifyStop, SimplifyStop::Ticks);
 }
 
 } // namespace

@@ -1,0 +1,144 @@
+// Inprocessing verdict-agreement oracle.
+//
+// The property under test: inprocessing (subsumption, vivification,
+// probing, equivalence reduction, bounded variable elimination) is purely a
+// performance feature. For every instance — random CNF at the solver layer,
+// fuzz-corpus knowledge bases at the engine layer — a simplifying solver
+// and a plain solver must agree on every verdict, models must satisfy the
+// ORIGINAL formula (exercising model reconstruction after elimination), and
+// optimal costs must match. Runs under ASan/UBSan in the verify solver leg.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "fuzzcorpus.hpp"
+#include "json/value.hpp"
+#include "reason/engine.hpp"
+#include "reason/service.hpp"
+#include "reason/trace.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "testsupport.hpp"
+#include "util/rng.hpp"
+
+namespace lar {
+namespace {
+
+using sat::Lit;
+using sat::mkLit;
+using sat::Solver;
+using sat::SolveResult;
+
+void loadRandomCnf(Solver& solver, const sat::Cnf& cnf) {
+    while (solver.numVars() < cnf.numVars) (void)solver.newVar();
+    for (const auto& clause : cnf.clauses) (void)solver.addClause(clause);
+}
+
+TEST(SimplifyOracle, RandomCnfVerdictsAndModelsAgreeOnVsOff) {
+    util::Rng rng(9001);
+    for (int round = 0; round < 40; ++round) {
+        const sat::Cnf cnf =
+            test::randomKSat(rng, /*numVars=*/25, /*numClauses=*/105, /*k=*/3);
+
+        Solver on;
+        sat::SolverOptions onOpts;
+        onOpts.simplify.conflictInterval = 0; // simplify before every solve
+        on.setOptions(onOpts);
+        loadRandomCnf(on, cnf);
+
+        Solver off;
+        sat::SolverOptions offOpts;
+        offOpts.simplify.enable = false;
+        off.setOptions(offOpts);
+        loadRandomCnf(off, cnf);
+
+        for (int trial = 0; trial < 3; ++trial) {
+            std::vector<Lit> assumptions;
+            for (int v = 0; v < cnf.numVars; ++v)
+                if (rng.chance(0.15))
+                    assumptions.push_back(mkLit(v, rng.chance(0.5)));
+            const SolveResult a = on.solve(assumptions);
+            const SolveResult b = off.solve(assumptions);
+            ASSERT_EQ(a, b) << "round " << round << " trial " << trial;
+            if (a != SolveResult::Sat) continue;
+            // The reconstructed model must satisfy the original formula
+            // and honour every assumption.
+            std::vector<bool> model;
+            for (int v = 0; v < cnf.numVars; ++v)
+                model.push_back(on.modelValue(v));
+            EXPECT_TRUE(test::satisfies(cnf, model))
+                << "round " << round << " trial " << trial;
+            for (const Lit l : assumptions)
+                EXPECT_EQ(model[static_cast<std::size_t>(l.var())], !l.sign())
+                    << "round " << round << " trial " << trial;
+        }
+    }
+}
+
+reason::QueryOptions simplifyOff() {
+    reason::QueryOptions options;
+    options.simplify = false;
+    return options;
+}
+
+TEST(SimplifyOracle, FuzzCorpusFeasibilityAgreesOnVsOff) {
+    for (const std::uint64_t seed : {7u, 17u, 27u, 37u}) {
+        util::Rng rng(seed);
+        for (int round = 0; round < 4; ++round) {
+            const kb::KnowledgeBase kb = fuzz::randomKb(rng);
+            const reason::Problem p = fuzz::randomProblem(rng, kb);
+
+            reason::Engine plain(p, simplifyOff());
+            const reason::FeasibilityReport expected = plain.checkFeasible();
+            reason::Engine simplifying(p); // default options: simplify on
+            const reason::FeasibilityReport actual =
+                simplifying.checkFeasible();
+            EXPECT_EQ(actual.feasible, expected.feasible)
+                << "seed " << seed << " round " << round;
+        }
+    }
+}
+
+TEST(SimplifyOracle, FuzzCorpusOptimalCostsAgreeOnVsOff) {
+    // Lexicographic optimization is the most state-sensitive query:
+    // inprocessing runs between the per-objective descents and must never
+    // move an optimum.
+    for (const std::uint64_t seed : {7u, 27u, 47u}) {
+        util::Rng rng(seed + 900);
+        const kb::KnowledgeBase kb = fuzz::randomKb(rng);
+        const reason::Problem p = fuzz::randomProblem(rng, kb);
+
+        const auto expected = reason::Engine(p, simplifyOff()).optimize();
+        const auto actual = reason::Engine(p).optimize();
+        ASSERT_EQ(actual.has_value(), expected.has_value()) << "seed " << seed;
+        if (actual.has_value())
+            EXPECT_EQ(actual->objectiveCosts, expected->objectiveCosts)
+                << "seed " << seed;
+    }
+}
+
+TEST(SimplifyOracle, TraceCarriesSimplifyBlock) {
+    util::Rng rng(42);
+    const kb::KnowledgeBase kb = fuzz::randomKb(rng);
+    reason::ServiceOptions serviceOptions;
+    serviceOptions.workers = 1;
+    reason::Service service(serviceOptions);
+    reason::QueryRequest request;
+    request.kind = reason::QueryKind::Feasibility;
+    request.problem = fuzz::randomProblem(rng, kb);
+    const reason::QueryResult result = service.run(request);
+
+    ASSERT_GE(result.trace.stats.simplifyRounds, 1u);
+    const json::Value v = reason::toJson(result.trace);
+    EXPECT_EQ(v.at("schema").asInt(), reason::kQueryTraceSchemaVersion);
+    ASSERT_TRUE(v.asObject().contains("simplify"));
+    const json::Value& s = v.at("simplify");
+    EXPECT_GE(s.at("rounds").asInt(), 1);
+    EXPECT_TRUE(s.asObject().contains("eliminated_vars"));
+    EXPECT_TRUE(s.asObject().contains("probes"));
+    EXPECT_TRUE(s.asObject().contains("time_ms"));
+}
+
+} // namespace
+} // namespace lar
